@@ -1,0 +1,122 @@
+// Microbenchmarks of the cycle-level backend (google-benchmark): AdArray
+// GEMM and circular-convolution kernels, the register-stepped Fig. 3b
+// column, and the SIMD unit — plus a simulator-vs-analytical cycle check
+// printed at the end. These measure *simulator host throughput* and report
+// simulated device cycles as counters.
+#include <benchmark/benchmark.h>
+
+#include "arch/adarray.h"
+#include "arch/circ_conv_column.h"
+#include "arch/simd_unit.h"
+#include "common/rng.h"
+#include "model/analytical.h"
+
+namespace {
+
+using nsflow::ArrayConfig;
+using nsflow::GemmDims;
+using nsflow::Rng;
+using nsflow::Tensor;
+
+Tensor RandomTensor(std::int64_t rows, std::int64_t cols, Rng& rng) {
+  Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  return t;
+}
+
+void BM_AdArrayGemm(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  nsflow::arch::AdArray array(ArrayConfig{32, 16, 16});
+  array.Fold({16, 0});
+  Rng rng(1);
+  const Tensor a = RandomTensor(m, n, rng);
+  const Tensor b = RandomTensor(n, k, rng);
+  double cycles = 0.0;
+  for (auto _ : state) {
+    const auto run = array.RunGemm(a, b, 14);
+    cycles = run.cycles;
+    benchmark::DoNotOptimize(run.output.data());
+  }
+  state.counters["sim_cycles"] = cycles;
+  state.counters["sim_us_at_272MHz"] = cycles / 272.0;
+}
+BENCHMARK(BM_AdArrayGemm)
+    ->Args({64, 576, 1024})
+    ->Args({128, 1152, 512})
+    ->Args({512, 4608, 400})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdArrayCircConvBatch(benchmark::State& state) {
+  const std::int64_t count = state.range(0);
+  const std::int64_t dim = state.range(1);
+  nsflow::arch::AdArray array(ArrayConfig{32, 16, 16});
+  array.Fold({0, 16});
+  Rng rng(2);
+  const Tensor a = RandomTensor(count, dim, rng);
+  const Tensor b = RandomTensor(count, dim, rng);
+  double cycles = 0.0;
+  for (auto _ : state) {
+    const auto run = array.RunCircConvBatch(a, b, 2);
+    cycles = run.cycles;
+    benchmark::DoNotOptimize(run.output.data());
+  }
+  state.counters["sim_cycles"] = cycles;
+}
+BENCHMARK(BM_AdArrayCircConvBatch)
+    ->Args({4, 256})
+    ->Args({16, 256})
+    ->Args({64, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CircConvColumnDetailed(benchmark::State& state) {
+  const std::int64_t h = state.range(0);
+  const std::int64_t d = state.range(1);
+  nsflow::arch::CircConvColumn column(h);
+  Rng rng(3);
+  std::vector<float> a(static_cast<std::size_t>(d));
+  std::vector<float> b(static_cast<std::size_t>(d));
+  for (auto& v : a) {
+    v = static_cast<float>(rng.Gaussian());
+  }
+  for (auto& v : b) {
+    v = static_cast<float>(rng.Gaussian());
+  }
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    const auto run = column.Run(a, b);
+    cycles = run.cycles;
+    benchmark::DoNotOptimize(run.output.data());
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["eq4_period"] = nsflow::VsaStreamPeriod(h, d);
+}
+BENCHMARK(BM_CircConvColumnDetailed)
+    ->Args({8, 64})
+    ->Args({16, 128})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimdSoftmax(benchmark::State& state) {
+  const std::int64_t elems = state.range(0);
+  nsflow::arch::SimdUnit simd(64);
+  Rng rng(4);
+  std::vector<float> data(static_cast<std::size_t>(elems));
+  for (auto& v : data) {
+    v = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    std::vector<float> copy = data;
+    simd.RunUnary(nsflow::arch::SimdOp::kSoftmax, copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.counters["elems"] = static_cast<double>(elems);
+}
+BENCHMARK(BM_SimdSoftmax)->Arg(1024)->Arg(16384)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Reproduces paper Fig. 1 — neuro-symbolic workload characterization.
+//
+//  (a) Runtime percentage split (symbolic vs. neuro) of the four Table I
+//      workloads on a CPU+GPU system.
+//  (b) End-to-end latency on Coral TPU / TX2 / NX / RTX 2080.
+//  (c) Roofline placement of each workload's neural and symbolic components
+//      on the RTX 2080 Ti roofline (symbolic = memory-bound).
+//
+// Shapes to check against the paper: symbolic dominates runtime for the
+// VSA/abduction-heavy workloads while contributing a minority of FLOPs;
+// real-time (<1 s) is not met on edge devices; every symbolic point sits
+// left of the roofline ridge.
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/device_zoo.h"
+#include "model/roofline.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+void Fig1aRuntimeSplit(const std::vector<OperatorGraph>& suite) {
+  std::printf("Fig. 1(a): runtime split on the CPU+GPU system\n");
+  TablePrinter table({"Workload", "Symbolic %", "Neuro %", "Symb FLOPs %",
+                      "Symb bytes"});
+  const auto gpu = MakeDevice(DeviceKind::kRtx2080);
+  const auto cpu = MakeDevice(DeviceKind::kXeonCpu);
+  for (const auto& graph : suite) {
+    // CPU+GPU system: neural on the GPU, symbolic wherever it is faster
+    // (the deployments the paper profiles pin symbolic to the better host).
+    const auto on_gpu = gpu->Estimate(graph);
+    const auto on_cpu = cpu->Estimate(graph);
+    const double neuro = on_gpu.neuro_s;
+    const double symbolic = std::min(on_gpu.symbolic_s, on_cpu.symbolic_s);
+    const double total = neuro + symbolic;
+
+    const auto neuro_stats = graph.StatsFor(Domain::kNeuro);
+    const auto symb_stats = graph.StatsFor(Domain::kSymbolic);
+    const double flop_share =
+        symb_stats.flops / (neuro_stats.flops + symb_stats.flops + 1e-12);
+
+    table.AddRow({graph.workload_name(),
+                  TablePrinter::Percent(symbolic / total),
+                  TablePrinter::Percent(neuro / total),
+                  TablePrinter::Percent(flop_share),
+                  TablePrinter::Bytes(symb_stats.bytes)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Fig1bDeviceLatency(const std::vector<OperatorGraph>& suite) {
+  std::printf("Fig. 1(b): end-to-end latency per device (seconds, one task)\n");
+  std::vector<std::unique_ptr<DeviceModel>> devices;
+  devices.push_back(MakeDevice(DeviceKind::kCoralTpu));
+  devices.push_back(MakeDevice(DeviceKind::kJetsonTx2));
+  devices.push_back(MakeDevice(DeviceKind::kXavierNx));
+  devices.push_back(MakeDevice(DeviceKind::kRtx2080));
+
+  std::vector<std::string> headers = {"Workload"};
+  for (const auto& d : devices) {
+    headers.push_back(d->name());
+  }
+  headers.push_back("30FPS real-time?");
+  TablePrinter table(headers);
+
+  for (const auto& graph : suite) {
+    std::vector<std::string> row = {graph.workload_name()};
+    double best = 1e9;
+    for (const auto& d : devices) {
+      const double s =
+          d->Estimate(graph).total_s() * std::max(1, graph.loop_count());
+      best = std::min(best, s);
+      row.push_back(TablePrinter::Num(s, 3));
+    }
+    row.push_back(best < 1.0 / 30.0 ? "yes" : "no");
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Fig1cRoofline(const std::vector<OperatorGraph>& suite) {
+  std::printf("Fig. 1(c): RTX 2080 Ti roofline placement\n");
+  const Roofline roofline = Rtx2080TiRoofline();
+  std::printf("  ridge intensity: %.1f FLOP/byte\n",
+              roofline.RidgeIntensity());
+  TablePrinter table(
+      {"Component", "Arith intensity (FLOP/B)", "Attained (TFLOP/s)",
+       "Bound"});
+  for (const auto& graph : suite) {
+    for (const auto& point : PlaceOnRoofline(graph, roofline)) {
+      table.AddRow({point.label,
+                    TablePrinter::Num(point.arithmetic_intensity, 2),
+                    TablePrinter::Num(point.attained_flops / 1e12, 3),
+                    point.memory_bound ? "memory" : "compute"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace nsflow
+
+int main() {
+  std::printf("=== NSFlow reproduction: Fig. 1 workload characterization ===\n\n");
+  const auto suite = nsflow::workloads::MakeCharacterizationSuite();
+  nsflow::Fig1aRuntimeSplit(suite);
+  nsflow::Fig1bDeviceLatency(suite);
+  nsflow::Fig1cRoofline(suite);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 5 — end-to-end runtime improvement across devices.
+//
+// Six reasoning tasks x {TX2, NX, Xeon CPU, RTX 2080, NSFlow, TPU-like SA,
+// DPU}, reported as runtime normalized to NSFlow = 1.00 (the paper's bar
+// heights). Shape to check: NSFlow wins everywhere; TX2 ~20-31x, NX ~14-18x,
+// CPU ~4-5.5x, RTX ~1.2-2.5x, TPU-like largest on the symbolic-heavy tasks
+// (up to ~8x), DPU ~1.7-3.4x.
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/device_zoo.h"
+#include "nsflow/framework.h"
+#include "workloads/builders.h"
+
+int main() {
+  using namespace nsflow;
+  std::printf("=== NSFlow reproduction: Fig. 5 end-to-end runtime ===\n\n");
+
+  const auto baselines = MakeFig5Baselines();
+  const Compiler compiler;
+
+  std::vector<std::string> headers = {"Task"};
+  for (const auto& d : baselines) {
+    headers.push_back(d->name());
+  }
+  headers.push_back("NSFlow");
+  headers.push_back("NSFlow (ms)");
+  TablePrinter table(headers);
+
+  for (const auto task : workloads::kAllTasks) {
+    const OperatorGraph graph = workloads::MakeTask(task);
+    const int loops = std::max(1, graph.loop_count());
+
+    const CompiledDesign compiled = compiler.Compile(OperatorGraph(graph));
+    const double ours = compiled.PredictedSeconds();
+
+    std::vector<std::string> row = {workloads::TaskName(task)};
+    for (const auto& device : baselines) {
+      const double theirs = device->Estimate(graph).total_s() * loops;
+      row.push_back(TablePrinter::Num(theirs / ours, 2));
+    }
+    row.push_back("1.00");
+    row.push_back(TablePrinter::Num(ours * 1e3, 2));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Values are runtime normalized to NSFlow = 1.00 (paper bar heights).\n"
+      "Paper anchors: TX2 23.9-31.1, NX 13.8-18.2, CPU 3.9-5.5, "
+      "RTX 1.2-2.5, TPU-like 1.7-8.4, DPU 1.7-3.4.\n");
+  return 0;
+}

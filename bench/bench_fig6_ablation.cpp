@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 6 — ablation of the two DSE phases across symbolic
+// data proportions.
+//
+// Workload: ResNet-18 plus a VSA load scaled so symbolic memory accounts
+// for {0, 5, 10, 20, 40, 60, 80}% of the footprint (an NVSA-like family).
+// Arms:
+//   * NSFlow        — full two-phase DSE on a 32x32x8-class budget,
+//   * w/o Phase II  — Phase I static partition only,
+//   * w/o Phase I   — monolithic 128x64 array, sequential execution.
+// Shape to check: runtimes grow with symbolic share; the monolithic arm
+// diverges (>= 7x at 80%); the Phase II gain peaks when NN and symbolic
+// work are balanced (paper: ~44% near 20%).
+#include <cstdio>
+
+#include "common/table.h"
+#include "dse/dse.h"
+#include "model/accel_model.h"
+#include "model/device_model.h"
+#include "workloads/builders.h"
+
+int main() {
+  using namespace nsflow;
+  std::printf("=== NSFlow reproduction: Fig. 6 DSE ablation ===\n\n");
+
+  // The paper pins the NSFlow-generated architecture at 32x32x8 = 8192 PEs;
+  // we give all arms the same PE budget.
+  DseOptions full;
+  full.max_pes = 8192;
+
+  DseOptions no_phase2 = full;
+  no_phase2.enable_phase2 = false;
+
+  // "w/o Phase I (128x64)": the Fig. 6 caption calls this the "normal TPU
+  // design" — a rigid monolithic weight-stationary array with no adaptive
+  // folding, which must lower circular convolutions to circulant GEMMs.
+  const SystolicArrayDevice mono("w/o Phase I", ArrayConfig{128, 64, 1},
+                                 full.clock_hz, full.dram_bandwidth);
+
+  TablePrinter table({"Symbolic mem %", "NSFlow (ms)", "w/o Phase II (ms)",
+                      "w/o Phase I 128x64 (ms)", "Phase II gain",
+                      "vs monolithic"});
+
+  for (const double pct : {0.0, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80}) {
+    const OperatorGraph graph = workloads::MakeParametricNsai(pct);
+    const DataflowGraph dfg(graph);
+
+    const DseResult r_full = RunTwoPhaseDse(dfg, full);
+    const DseResult r_nop2 = RunTwoPhaseDse(dfg, no_phase2);
+
+    const double clock = r_full.design.clock_hz;
+    const double ms_full = r_full.t_para_cycles / clock * 1e3;
+    const double ms_nop2 = r_nop2.t_para_cycles / clock * 1e3;
+    const double ms_nop1 = mono.Estimate(graph).total_s() * 1e3;
+
+    table.AddRow({TablePrinter::Percent(pct, 0),
+                  TablePrinter::Num(ms_full, 2),
+                  TablePrinter::Num(ms_nop2, 2),
+                  TablePrinter::Num(ms_nop1, 2),
+                  TablePrinter::Percent(
+                      ms_nop2 > 0.0 ? (ms_nop2 - ms_full) / ms_nop2 : 0.0, 1),
+                  TablePrinter::Num(ms_full > 0.0 ? ms_nop1 / ms_full : 0.0,
+                                    2) +
+                      "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper anchors (Fig. 6): NSFlow 7.8 -> 74 ms across the sweep; "
+      "monolithic 7.8 -> 538 ms (>7x at 80%% symbolic); Phase II gain up to "
+      "~44%% near 20%% symbolic share.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Table III — design configuration and FPGA deployment for
+// NVSA, MIMONet, and LVRF on the AMD U250 at 272 MHz.
+//
+// Shape to check: all three workloads get multi-thousand-PE AdArrays with an
+// NN-heavy default partition, a 64-lane-class SIMD unit, MB-scale BRAM
+// blocks with a 2x URAM cache, DSP-dominated utilization, and 272 MHz
+// closure.
+#include <cstdio>
+
+#include "common/table.h"
+#include "fpga/device.h"
+#include "nsflow/framework.h"
+#include "workloads/builders.h"
+
+int main() {
+  using namespace nsflow;
+  std::printf("=== NSFlow reproduction: Table III design configs ===\n\n");
+
+  const Compiler compiler;
+  const FpgaDevice device = U250();
+
+  TablePrinter config_table({"Workload", "NN prec", "Symb prec",
+                             "AdArray (H,W,N)", "Partition Nl:Nv", "SIMD",
+                             "MemA1", "MemA2", "MemB", "MemC", "Cache"});
+  TablePrinter util_table({"Workload", "DSP", "LUT", "FF", "BRAM", "URAM",
+                           "LUTRAM", "Clock (MHz)", "fits?"});
+
+  std::vector<OperatorGraph> workloads_list;
+  workloads_list.push_back(workloads::MakeNvsa());
+  workloads_list.push_back(workloads::MakeMimonet());
+  workloads_list.push_back(workloads::MakeLvrf());
+
+  for (auto& graph : workloads_list) {
+    const std::string name = graph.workload_name();
+    const CompiledDesign compiled = compiler.Compile(std::move(graph));
+    const auto& d = compiled.design();
+
+    config_table.AddRow(
+        {name, PrecisionName(d.precision.neural),
+         PrecisionName(d.precision.symbolic),
+         std::to_string(d.array.height) + ", " +
+             std::to_string(d.array.width) + ", " +
+             std::to_string(d.array.count),
+         std::to_string(d.default_nl) + " : " + std::to_string(d.default_nv),
+         std::to_string(d.simd_width),
+         TablePrinter::Bytes(d.memory.mem_a1_bytes),
+         TablePrinter::Bytes(d.memory.mem_a2_bytes),
+         TablePrinter::Bytes(d.memory.mem_b_bytes),
+         TablePrinter::Bytes(d.memory.mem_c_bytes),
+         TablePrinter::Bytes(d.memory.cache_bytes)});
+
+    const ResourceReport report = Report(compiled, device);
+    util_table.AddRow({name, TablePrinter::Percent(report.dsp_util, 0),
+                       TablePrinter::Percent(report.lut_util, 0),
+                       TablePrinter::Percent(report.ff_util, 0),
+                       TablePrinter::Percent(report.bram_util, 0),
+                       TablePrinter::Percent(report.uram_util, 0),
+                       TablePrinter::Percent(report.lutram_util, 0),
+                       TablePrinter::Num(report.achievable_clock_hz / 1e6, 0),
+                       report.fits ? "yes" : "NO"});
+  }
+
+  std::printf("Design configuration (paper Table III, left half):\n%s\n",
+              config_table.ToString().c_str());
+  std::printf("AMD U250 utilization @ 272 MHz (paper Table III, right "
+              "half):\n%s\n",
+              util_table.ToString().c_str());
+  std::printf("Paper anchors: NVSA (32,16,16) 14:2, SIMD 64, MemA1 2.7MB, "
+              "cache 16.2MB, DSP 89%%, 272 MHz.\n");
+  return 0;
+}

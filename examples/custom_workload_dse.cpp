@@ -1,0 +1,95 @@
+// Bring-your-own workload: author a program trace in the paper's JSON
+// format (Fig. 2's entry artifact), run it through the NSFlow frontend, and
+// inspect every generated artifact — dataflow graph summary, DSE decision,
+// design config JSON, host code, and the RTL parameter header.
+//
+//   $ ./custom_workload_dse
+#include <cstdio>
+
+#include "nsflow/framework.h"
+
+namespace {
+
+// A compact hybrid workload: a 3-layer CNN feeding a VSA associative-memory
+// query loop — the kind of custom NSAI pipeline a user would bring.
+constexpr const char* kTraceJson = R"({
+  "workload": "CustomAssocMemory",
+  "loop_count": 4,
+  "precision": {"neural": "INT8", "symbolic": "INT4"},
+  "ops": [
+    {"name": "frames", "kind": "input", "output_bytes": 1572864},
+    {"name": "conv1", "kind": "conv2d", "inputs": ["frames"],
+     "gemm": {"m": 32, "n": 27, "k": 65536},
+     "weight_bytes": 864, "activation_bytes": 786432,
+     "output_bytes": 2097152},
+    {"name": "relu1", "kind": "relu", "inputs": ["conv1"],
+     "elem_count": 2097152, "activation_bytes": 2097152,
+     "output_bytes": 2097152},
+    {"name": "conv2", "kind": "conv2d", "inputs": ["relu1"],
+     "gemm": {"m": 64, "n": 288, "k": 16384},
+     "weight_bytes": 18432, "activation_bytes": 2097152,
+     "output_bytes": 1048576},
+    {"name": "relu2", "kind": "relu", "inputs": ["conv2"],
+     "elem_count": 1048576, "activation_bytes": 1048576,
+     "output_bytes": 1048576},
+    {"name": "conv3", "kind": "conv2d", "inputs": ["relu2"],
+     "gemm": {"m": 128, "n": 576, "k": 4096},
+     "weight_bytes": 73728, "activation_bytes": 1048576,
+     "output_bytes": 524288},
+    {"name": "encode", "kind": "softmax", "inputs": ["conv3"],
+     "elem_count": 4096, "activation_bytes": 524288,
+     "output_bytes": 2048},
+    {"name": "query_bind", "kind": "nvsa.binding_circular",
+     "inputs": ["encode"], "vsa": {"count": 128, "dim": 512},
+     "weight_bytes": 32768, "activation_bytes": 32768,
+     "output_bytes": 32768},
+    {"name": "memory_unbind", "kind": "nvsa.inv_binding_circular",
+     "inputs": ["query_bind"], "vsa": {"count": 128, "dim": 512},
+     "weight_bytes": 32768, "activation_bytes": 32768,
+     "output_bytes": 32768},
+    {"name": "match", "kind": "nvsa.match_prob_multi_batched",
+     "inputs": ["memory_unbind"], "elem_count": 262144,
+     "activation_bytes": 131072, "output_bytes": 512},
+    {"name": "score", "kind": "torch.sum", "inputs": ["match"],
+     "elem_count": 512, "activation_bytes": 512, "output_bytes": 4}
+  ]
+})";
+
+}  // namespace
+
+int main() {
+  using namespace nsflow;
+
+  const Compiler compiler;
+  const CompiledDesign compiled = compiler.CompileJsonTrace(kTraceJson);
+
+  const auto& dfg = *compiled.dataflow;
+  std::printf("Ingested '%s': %zu NN layers, %zu VSA nodes, %zu SIMD ops, "
+              "%d parallel ops exposed by the BFS pass\n",
+              compiled.graph->workload_name().c_str(), dfg.layers().size(),
+              dfg.vsa_ops().size(), dfg.simd_ops().size(),
+              dfg.ParallelOpCount());
+
+  const auto& dse = compiled.dse;
+  std::printf("\nDSE decision (Algorithm 1):\n");
+  std::printf("  t_seq  = %.0f cycles\n", dse.t_seq_cycles);
+  std::printf("  t_para = %.0f cycles (Phase I %.0f -> Phase II %.0f, "
+              "gain %.1f%%)\n",
+              dse.t_para_cycles, dse.phase1_cycles, dse.phase2_cycles,
+              dse.Phase2Gain() * 100.0);
+  std::printf("  mode   = %s\n",
+              dse.design.sequential_mode ? "sequential" : "folded-parallel");
+  std::printf("  points evaluated: %lld (vs the ~10^300 exhaustive space)\n",
+              static_cast<long long>(dse.evaluated_points));
+
+  std::printf("\n--- System design config (.json) ---\n%s\n",
+              compiled.design_config_json.c_str());
+  std::printf("\n--- Generated host code (.cpp), first 800 chars ---\n%.800s"
+              "...\n",
+              compiled.host_code.c_str());
+  std::printf("\n--- RTL parameter header (nsflow_params.vh) ---\n%s\n",
+              compiled.rtl_parameter_header.c_str());
+  std::printf("Predicted latency for 4 loops: %.3f ms\n",
+              compiled.PredictedSeconds() * 1e3);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scalability study: how the NSFlow-generated design responds as the
+// symbolic share of an NSAI workload grows — the experiment behind the
+// paper's "only 4x runtime increase when symbolic workloads scale by 150x"
+// claim and the Fig. 6 ablation. Also shows how the DSE's chosen partition
+// shifts toward the symbolic side as the workload does.
+//
+//   $ ./scalability_study
+#include <cstdio>
+
+#include "dse/dse.h"
+#include "model/device_zoo.h"
+#include "nsflow/framework.h"
+#include "workloads/builders.h"
+
+int main() {
+  using namespace nsflow;
+
+  std::printf("How the generated design adapts to the symbolic share:\n\n");
+  std::printf("%-14s %-18s %-12s %-14s %-12s\n", "symb mem %", "AdArray",
+              "partition", "mode", "ms/loop");
+
+  for (const double pct : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    const OperatorGraph graph = workloads::MakeParametricNsai(pct);
+    const DataflowGraph dfg(graph);
+    const DseResult dse = RunTwoPhaseDse(dfg, {});
+    const auto& d = dse.design;
+    char array_desc[32];
+    std::snprintf(array_desc, sizeof(array_desc), "%lldx%lldx%lld",
+                  static_cast<long long>(d.array.height),
+                  static_cast<long long>(d.array.width),
+                  static_cast<long long>(d.array.count));
+    char partition[32];
+    std::snprintf(partition, sizeof(partition), "%lld:%lld",
+                  static_cast<long long>(d.default_nl),
+                  static_cast<long long>(d.default_nv));
+    std::printf("%-14.0f %-18s %-12s %-14s %-12.2f\n", pct * 100.0,
+                array_desc, d.sequential_mode ? "-" : partition,
+                d.sequential_mode ? "sequential" : "folded",
+                dse.t_para_cycles / d.clock_hz * 1e3);
+  }
+
+  std::printf("\nSymbolic scaling on NVSA (vs a rigid TPU-like array):\n\n");
+  const Compiler compiler;
+  const auto tpu = MakeDevice(DeviceKind::kTpuLikeSa);
+  const OperatorGraph base = workloads::MakeNvsa();
+  double ours_base = 0.0;
+  double tpu_base = 0.0;
+  for (const double scale : {1.0, 10.0, 50.0, 150.0}) {
+    const OperatorGraph graph = workloads::ScaleSymbolic(base, scale);
+    const double ours =
+        compiler.Compile(OperatorGraph(graph)).PredictedSeconds();
+    const double theirs = tpu->Estimate(graph).total_s() *
+                          std::max(1, graph.loop_count());
+    if (scale == 1.0) {
+      ours_base = ours;
+      tpu_base = theirs;
+    }
+    std::printf("  x%-6.0f NSFlow %8.2f ms (%5.2fx)    TPU-like %9.2f ms "
+                "(%6.2fx)\n",
+                scale, ours * 1e3, ours / ours_base, theirs * 1e3,
+                theirs / tpu_base);
+  }
+  std::printf("\nNSFlow's growth stays sub-linear: refolding shifts "
+              "sub-arrays to the symbolic lane as it saturates, and the "
+              "symbolic lane overlaps the next loop's NN compute.\n");
+  return 0;
+}

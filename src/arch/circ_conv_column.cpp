@@ -1,0 +1,172 @@
+#include "arch/circ_conv_column.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "model/analytical.h"
+
+namespace nsflow::arch {
+
+CircConvColumn::CircConvColumn(std::int64_t height) : height_(height) {
+  NSF_CHECK_MSG(height >= 1, "column needs at least one PE");
+  pes_.resize(static_cast<std::size_t>(height));
+}
+
+std::int64_t CircConvColumn::StepPass(std::span<const float> a_chunk,
+                                      std::int64_t chunk_offset,
+                                      std::span<const float> b,
+                                      std::span<float> accum) {
+  const auto d = static_cast<std::int64_t>(b.size());
+  const auto rows = static_cast<std::int64_t>(a_chunk.size());
+  NSF_CHECK_MSG(rows >= 1 && rows <= height_, "chunk must fit the column");
+  NSF_CHECK_MSG(static_cast<std::int64_t>(accum.size()) == d,
+                "accumulator size must equal vector dimension");
+
+  // Load the stationary registers (A chunk, one element per row).
+  pes_.assign(static_cast<std::size_t>(height_), CircConvPe{});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    pes_[static_cast<std::size_t>(r)].stationary =
+        a_chunk[static_cast<std::size_t>(r)];
+  }
+
+  // Per-row count of stream elements already multiplied: each row consumes
+  // exactly d elements of the cyclic B stream.
+  std::vector<std::int64_t> consumed(static_cast<std::size_t>(rows), 0);
+  // Previous-cycle partial-sum outputs (the vertical pipeline registers).
+  std::vector<float> psum_prev(static_cast<std::size_t>(rows), 0.0f);
+  std::vector<std::int64_t> psum_target_prev(static_cast<std::size_t>(rows),
+                                             -1);
+  std::vector<bool> psum_valid_prev(static_cast<std::size_t>(rows), false);
+
+  // Enough cycles for the last row's last MAC: stream reaches row r with a
+  // 2-cycle-per-row skew, so the final product happens at
+  // 2(rows-1) + d + 1; one more cycle margin to flush the bottom psum.
+  const std::int64_t sim_cycles = 2 * (rows - 1) + d + 2;
+  std::int64_t fed = 0;  // Cyclic B elements injected into row 0 so far.
+
+  for (std::int64_t t = 0; t < sim_cycles; ++t) {
+    const std::vector<CircConvPe> cur(pes_.begin(), pes_.end());
+
+    // Register shift phase (all rows update from the snapshot):
+    //   streaming(r) <- passing(r);  passing(r) <- streaming(r-1) | SRAM.
+    for (std::int64_t r = 0; r < rows; ++r) {
+      auto& pe = pes_[static_cast<std::size_t>(r)];
+      const auto& me = cur[static_cast<std::size_t>(r)];
+      pe.streaming = me.passing;
+      pe.streaming_valid = me.passing_valid;
+      pe.streaming_index = me.passing_index;
+      if (r == 0) {
+        if (fed < d + 2 * (rows - 1)) {  // Cyclic stream from SRAM.
+          pe.passing = b[static_cast<std::size_t>(fed % d)];
+          pe.passing_index = fed % d;
+          pe.passing_valid = true;
+          ++fed;
+        } else {
+          pe.passing_valid = false;
+        }
+      } else {
+        const auto& above = cur[static_cast<std::size_t>(r - 1)];
+        pe.passing = above.streaming;
+        pe.passing_index = above.streaming_index;
+        pe.passing_valid = above.streaming_valid;
+      }
+    }
+
+    // MAC phase. A row that has a valid streaming element (and stream budget
+    // left) multiplies it with its stationary element and accumulates the
+    // partial sum arriving from the row above. Because the B path advances 2
+    // cycles/row while the psum path advances 1 cycle/row, an in-flight
+    // partial sum always targets the same output element as the MAC of the
+    // row it meets — except around the circular wrap, where partial sums
+    // arrive at rows that are not (or no longer) computing; those rows
+    // forward the value unchanged (the NN-mode vertical port doubles as this
+    // pass-through) and the wrapped tail restarts as a fresh chain that
+    // merges at the bottom accumulator.
+    std::vector<float> psum_next(static_cast<std::size_t>(rows), 0.0f);
+    std::vector<std::int64_t> psum_target_next(static_cast<std::size_t>(rows),
+                                               -1);
+    std::vector<bool> psum_valid_next(static_cast<std::size_t>(rows), false);
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+      auto& pe = pes_[static_cast<std::size_t>(r)];
+      const bool incoming_valid =
+          r > 0 && psum_valid_prev[static_cast<std::size_t>(r - 1)];
+      const float incoming =
+          incoming_valid ? psum_prev[static_cast<std::size_t>(r - 1)] : 0.0f;
+      const std::int64_t incoming_target =
+          incoming_valid ? psum_target_prev[static_cast<std::size_t>(r - 1)]
+                         : -1;
+
+      const bool macs = pe.streaming_valid &&
+                        consumed[static_cast<std::size_t>(r)] < d;
+      if (macs) {
+        ++consumed[static_cast<std::size_t>(r)];
+        const std::int64_t global_a = chunk_offset + r;
+        const std::int64_t target = Mod(global_a + pe.streaming_index, d);
+        float acc = pe.stationary * pe.streaming;
+        if (incoming_valid) {
+          // While both paths are active the skew guarantees alignment.
+          NSF_CHECK_MSG(incoming_target == target,
+                        "psum skew mismatch: partial sum targets a different "
+                        "output element");
+          acc += incoming;
+        }
+        psum_next[static_cast<std::size_t>(r)] = acc;
+        psum_target_next[static_cast<std::size_t>(r)] = target;
+        psum_valid_next[static_cast<std::size_t>(r)] = true;
+        pe.psum_out = acc;
+        pe.psum_valid = true;
+        pe.psum_target = target;
+        if (r == rows - 1) {  // Bottom port: commit the finished output.
+          accum[static_cast<std::size_t>(target)] += acc;
+        }
+      } else if (incoming_valid) {
+        // Idle row: pass the partial sum straight through (1 cycle).
+        psum_next[static_cast<std::size_t>(r)] = incoming;
+        psum_target_next[static_cast<std::size_t>(r)] = incoming_target;
+        psum_valid_next[static_cast<std::size_t>(r)] = true;
+        pe.psum_out = incoming;
+        pe.psum_valid = true;
+        pe.psum_target = incoming_target;
+        if (r == rows - 1) {
+          accum[static_cast<std::size_t>(incoming_target)] += incoming;
+        }
+      } else {
+        pe.psum_valid = false;
+      }
+    }
+    psum_prev = std::move(psum_next);
+    psum_target_prev = std::move(psum_target_next);
+    psum_valid_prev = std::move(psum_valid_next);
+  }
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    NSF_CHECK_MSG(consumed[static_cast<std::size_t>(r)] == d,
+                  "every row must consume exactly d stream elements");
+  }
+
+  // Architectural pass latency (Eq. (3)/(4) streaming period): the column is
+  // reserved for stationary load + skewed stream + drain of the full height,
+  // independent of how many rows this chunk populated.
+  return static_cast<std::int64_t>(VsaStreamPeriod(height_, d));
+}
+
+CircConvRun CircConvColumn::Run(std::span<const float> a,
+                                std::span<const float> b) {
+  NSF_CHECK_MSG(a.size() == b.size(), "operands must have equal dimension");
+  const auto d = static_cast<std::int64_t>(a.size());
+
+  CircConvRun run;
+  run.output.assign(static_cast<std::size_t>(d), 0.0f);
+  for (std::int64_t offset = 0; offset < d; offset += height_) {
+    const std::int64_t rows = std::min(height_, d - offset);
+    run.cycles += StepPass(a.subspan(static_cast<std::size_t>(offset),
+                                     static_cast<std::size_t>(rows)),
+                           offset, b, run.output);
+    ++run.passes;
+  }
+  return run;
+}
+
+}  // namespace nsflow::arch

@@ -1,0 +1,85 @@
+// Register-level simulation of one AdArray column running vector-symbolic
+// circular convolution — the datapath of paper Fig. 3(b).
+//
+// Each PE in the column has four registers:
+//   * Stationary Reg — one element of vector A, loaded before streaming.
+//   * Streaming Reg  — the element of vector B being multiplied this cycle.
+//   * Passing Reg    — holds the incoming B element for ONE cycle before it
+//                      enters the streaming register; forwarding to the next
+//                      PE happens the following cycle. This extra register is
+//                      what creates the 1-cycle pace mismatch between A and B
+//                      that turns a MAC column into a circular convolver.
+//   * Partial-Sum Reg — accumulates with the partial product from the PE
+//                      above (1 cycle per row).
+//
+// B therefore advances 2 cycles per row while partial sums advance 1 cycle
+// per row; the net skew of 1 cycle per row walks each descending partial sum
+// across circularly shifted B elements, so the column emits
+//   C[n] = sum_k A[k] * B[(n-k) mod d]
+// at its bottom port. One pass over a d-element vector with H rows costs
+//   T = 3H + d - 1 cycles  (2H fill skew + d stream + H drain − 1),
+// matching Eq. (3)/(4)'s streaming period. Vectors longer than H rows run in
+// ⌈d/H⌉ passes with A chunked and partial outputs accumulated (the
+// simulator's `Run` handles the chunking; tests validate both the functional
+// output against vsa::CircularConvolve and the cycle count against Eq. (4)).
+//
+// In NN mode the passing register is bypassed via the multiplexer and the
+// column behaves as a standard systolic column (see adarray.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nsflow::arch {
+
+/// Architectural state of one PE (exposed for tests that walk the paper's
+/// cycle-by-cycle example).
+struct CircConvPe {
+  float stationary = 0.0f;
+  float passing = 0.0f;
+  float streaming = 0.0f;
+  float psum_out = 0.0f;
+  bool passing_valid = false;
+  bool streaming_valid = false;
+  bool psum_valid = false;
+  std::int64_t passing_index = -1;    // Which B element sits in passing.
+  std::int64_t streaming_index = -1;  // Which B element sits in streaming.
+  std::int64_t psum_target = -1;      // Which output the psum belongs to.
+};
+
+/// Result of running one or more passes through the column.
+struct CircConvRun {
+  std::vector<float> output;   // C, length d.
+  std::int64_t cycles = 0;     // Total column-busy cycles.
+  std::int64_t passes = 0;     // ⌈d/H⌉ chunk passes executed.
+};
+
+class CircConvColumn {
+ public:
+  explicit CircConvColumn(std::int64_t height);
+
+  std::int64_t height() const { return height_; }
+
+  /// Full circular convolution C = A ⊛ B of dimension d = a.size(),
+  /// chunking A across passes when d > H. Cycle count per pass is the
+  /// register-pipeline latency T = 3H + d − 1 (when the chunk uses all H
+  /// rows; short final chunks still pay the full fill+drain).
+  CircConvRun Run(std::span<const float> a, std::span<const float> b);
+
+  /// Single register-stepped pass with A-chunk `a_chunk` (size <= H) against
+  /// the full stream `b`, accumulating into `accum` (size d). Returns cycles.
+  /// `chunk_offset` is the index of a_chunk[0] within the original A.
+  std::int64_t StepPass(std::span<const float> a_chunk,
+                        std::int64_t chunk_offset, std::span<const float> b,
+                        std::span<float> accum);
+
+  /// PE state inspection after the most recent StepPass cycle loop.
+  const std::vector<CircConvPe>& pes() const { return pes_; }
+
+ private:
+  std::int64_t height_;
+  std::vector<CircConvPe> pes_;
+};
+
+}  // namespace nsflow::arch

@@ -1,0 +1,119 @@
+#include "arch/controller.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nsflow::arch {
+
+Controller::Controller(const AcceleratorDesign& design,
+                       const DataflowGraph& dfg)
+    : design_(design),
+      dfg_(dfg),
+      array_(design.array),
+      simd_(design.simd_width),
+      memory_(design.memory) {
+  memory_.set_bytes_per_cycle(design.dram_bandwidth / design.clock_hz);
+  if (design.sequential_mode) {
+    memory_.MergeMemA();  // Single-kind execution: one big stationary buffer.
+  }
+}
+
+SimReport Controller::RunLoop() {
+  SimReport report;
+  const auto& layers = dfg_.layers();
+  const auto& vsa = dfg_.vsa_ops();
+
+  // Configure the fold for this loop. In sequential mode the whole array
+  // serves each kernel in turn; in parallel mode the static split follows
+  // the design's default partition (kernel-level refolds are reflected in
+  // the per-node Nl/Nv the timing equations consume).
+  if (design_.sequential_mode) {
+    array_.Fold({design_.array.count, 0});
+  } else {
+    const std::int64_t nn_share =
+        design_.default_nl > 0 ? design_.default_nl : design_.array.count / 2;
+    array_.Fold({nn_share, design_.array.count - nn_share});
+  }
+
+  // ------------------------------------------------------------- NN lane
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& layer = layers[i];
+    const std::int64_t nl =
+        design_.sequential_mode ? design_.array.count : design_.nl[i];
+    // Stage this layer's filters into MemA1's shadow buffer while the
+    // previous layer computes, then swap (double buffering).
+    NSF_CHECK_MSG(layer.weight_bytes <= memory_.MemANnCapacity() / 2.0 + 0.5 ||
+                      layer.weight_bytes <=
+                          memory_.mem_a1().capacity() / 2.0 + 0.5,
+                  "DSE memory sizing must fit the largest filter");
+    memory_.mem_a1().Stage(
+        std::min(layer.weight_bytes, memory_.mem_a1().capacity() / 2.0));
+    memory_.mem_a1().Swap();
+    report.mem_a_swaps += 1.0;
+
+    report.nn_lane_cycles += LayerCycles(design_.array, nl, layer.gemm);
+    memory_.mem_b().Read(layer.weight_bytes);  // IFMAP stream proxy.
+    memory_.mem_c().Clear();
+    memory_.mem_c().Write(
+        std::min(layer.output_bytes, memory_.mem_c().capacity()));
+
+    // AXI traffic: filters always; outputs only when the URAM cache cannot
+    // hold them for the next consumer.
+    double bytes = layer.weight_bytes;
+    if (layer.output_bytes > memory_.cache().capacity()) {
+      bytes += layer.output_bytes;
+    }
+    report.dram_cycles += memory_.DramTransfer(bytes);
+    ++report.kernels_executed;
+  }
+
+  // ------------------------------------------------------------ VSA lane
+  if (!vsa.empty()) {
+    std::vector<std::int64_t> nv;
+    nv.reserve(vsa.size());
+    for (std::size_t j = 0; j < vsa.size(); ++j) {
+      nv.push_back(design_.sequential_mode ? design_.array.count
+                                           : design_.nv[j]);
+    }
+    report.vsa_lane_cycles = VsaTotalCycles(design_.array, vsa, nv);
+    for (const auto& v : vsa) {
+      memory_.mem_a2().Stage(std::min(
+          v.bytes / 2.0, memory_.mem_a2().capacity() / 2.0));  // Stationary.
+      memory_.mem_a2().Swap();
+      report.mem_a_swaps += 1.0;
+      report.dram_cycles += memory_.DramTransfer(v.bytes);
+      ++report.kernels_executed;
+    }
+  }
+
+  // --------------------------------------------------------------- Merge
+  report.array_cycles =
+      design_.sequential_mode
+          ? report.nn_lane_cycles + report.vsa_lane_cycles
+          : std::max(report.nn_lane_cycles, report.vsa_lane_cycles);
+
+  report.simd_cycles = SimdCycles(dfg_.TotalSimdElems(), design_.simd_width);
+  report.simd_exposed_cycles =
+      std::max(0.0, report.simd_cycles - report.array_cycles);
+  report.dram_stall_cycles =
+      std::max(0.0, report.dram_cycles - report.array_cycles);
+  report.total_cycles = report.array_cycles + report.simd_exposed_cycles +
+                        report.dram_stall_cycles;
+  report.dram_bytes = memory_.dram_bytes();
+  return report;
+}
+
+double Controller::RunWorkload() {
+  const SimReport steady = RunLoop();
+  const int loops = std::max(1, dfg_.source().loop_count());
+  if (design_.sequential_mode || loops == 1) {
+    return steady.Seconds(design_.clock_hz) * loops;
+  }
+  const double fill = steady.nn_lane_cycles + steady.vsa_lane_cycles +
+                      steady.simd_exposed_cycles + steady.dram_stall_cycles;
+  return (fill + static_cast<double>(loops - 1) * steady.total_cycles) /
+         design_.clock_hz;
+}
+
+}  // namespace nsflow::arch

@@ -1,0 +1,68 @@
+// Control unit: executes one loop of a workload's dataflow graph on the
+// simulated backend (AdArray + SIMD + memory system) according to an
+// accelerator design — the hardware-level task scheduling of Sec. IV-A.
+//
+// In parallel (folded) mode the controller keeps two timelines: the NN lane
+// (layers on their Nl sub-arrays, filters staged through MemA1, IFMAPs
+// through MemB) and the VSA lane (vector nodes on their Nv sub-arrays,
+// stationary operands through MemA2). The lanes advance independently —
+// inter-loop fusion lets loop k+1's NN overlap loop k's symbolic tail — so
+// loop latency is the slower lane plus any SIMD or AXI time the double
+// buffering could not hide. In sequential mode MemA1/MemA2 are merged and
+// every kernel owns the whole array.
+//
+// The controller's measured totals are validated against the closed-form
+// accelerator model (model/accel_model.h) in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/adarray.h"
+#include "arch/memory_system.h"
+#include "arch/simd_unit.h"
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+
+namespace nsflow::arch {
+
+/// Cycle/traffic report for one simulated loop.
+struct SimReport {
+  double nn_lane_cycles = 0.0;
+  double vsa_lane_cycles = 0.0;
+  double array_cycles = 0.0;        // max (parallel) or sum (sequential).
+  double simd_cycles = 0.0;
+  double simd_exposed_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double dram_stall_cycles = 0.0;
+  double total_cycles = 0.0;
+  double dram_bytes = 0.0;
+  double mem_a_swaps = 0.0;         // Double-buffer swaps performed.
+  int kernels_executed = 0;
+
+  double Seconds(double clock_hz) const { return total_cycles / clock_hz; }
+};
+
+class Controller {
+ public:
+  Controller(const AcceleratorDesign& design, const DataflowGraph& dfg);
+
+  /// Simulate one loop; repeatable (statistics accumulate in the units).
+  SimReport RunLoop();
+
+  /// End-to-end seconds across the workload's loop_count, with the first
+  /// loop paying the un-overlapped pipeline fill.
+  double RunWorkload();
+
+  AdArray& array() { return array_; }
+  SimdUnit& simd() { return simd_; }
+  MemorySystem& memory() { return memory_; }
+
+ private:
+  const AcceleratorDesign& design_;
+  const DataflowGraph& dfg_;
+  AdArray array_;
+  SimdUnit simd_;
+  MemorySystem memory_;
+};
+
+}  // namespace nsflow::arch

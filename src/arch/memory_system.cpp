@@ -1,0 +1,58 @@
+#include "arch/memory_system.h"
+
+namespace nsflow::arch {
+
+void MemoryBlock::Stage(double bytes) {
+  const int shadow = 1 - active_;
+  NSF_CHECK_MSG(occupancy_[shadow] + bytes <= capacity_ + 0.5,
+                name_ + ": staging overflows the shadow buffer");
+  occupancy_[shadow] += bytes;
+  bytes_written_ += bytes;
+}
+
+void MemoryBlock::Swap() {
+  occupancy_[active_] = 0.0;
+  active_ = 1 - active_;
+}
+
+void MemoryBlock::Read(double bytes) { bytes_read_ += bytes; }
+
+void MemoryBlock::Write(double bytes) {
+  NSF_CHECK_MSG(occupancy_[active_] + bytes <= capacity_ + 0.5,
+                name_ + ": write overflows the active buffer");
+  occupancy_[active_] += bytes;
+  bytes_written_ += bytes;
+}
+
+void MemoryBlock::Clear() { occupancy_[active_] = 0.0; }
+
+MemorySystem::MemorySystem(const MemoryConfig& config)
+    : mem_a1_("MemA1", config.mem_a1_bytes),
+      mem_a2_("MemA2", config.mem_a2_bytes),
+      mem_b_("MemB", config.mem_b_bytes),
+      mem_c_("MemC", config.mem_c_bytes),
+      cache_("Cache", config.cache_bytes) {}
+
+void MemorySystem::MergeMemA() { merged_ = true; }
+
+void MemorySystem::SplitMemA() { merged_ = false; }
+
+double MemorySystem::MemANnCapacity() const {
+  return merged_ ? mem_a1_.capacity() + mem_a2_.capacity()
+                 : mem_a1_.capacity();
+}
+
+double MemorySystem::DramTransfer(double bytes) {
+  NSF_CHECK_MSG(bytes >= 0.0, "negative DRAM transfer");
+  const double cycles = bytes / bytes_per_cycle_;
+  dram_bytes_ += bytes;
+  dram_cycles_ += cycles;
+  return cycles;
+}
+
+void MemorySystem::set_bytes_per_cycle(double bpc) {
+  NSF_CHECK_MSG(bpc > 0.0, "bytes per cycle must be positive");
+  bytes_per_cycle_ = bpc;
+}
+
+}  // namespace nsflow::arch

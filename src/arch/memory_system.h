@@ -1,0 +1,100 @@
+// Re-organizable on-chip memory system — paper Sec. IV-C.
+//
+// Three double-buffered SRAM blocks plus a URAM cache and an AXI/DRAM port:
+//   * MemA, partitioned into MemA1 (NN filters) and MemA2 (stationary VSA
+//     vectors); the two chunks can be *merged* at runtime when only one kind
+//     of operation executes.
+//   * MemB, the IFMAP buffer feeding the horizontal array inputs (NN only).
+//   * MemC, outputs of the array and SIMD unit, readable by compute units or
+//     written back to MemA/MemB/DRAM.
+//   * an on-chip URAM cache buffering intermediates for the three blocks.
+//
+// Each block tracks capacity, occupancy, double-buffer phase, and access
+// counters; the AXI port converts transferred bytes into cycles at the
+// configured bandwidth-per-cycle, letting the controller overlap loads with
+// compute (double buffering) and account only the exposed stalls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "model/accel_model.h"
+
+namespace nsflow::arch {
+
+/// One double-buffered SRAM block.
+class MemoryBlock {
+ public:
+  MemoryBlock(std::string name, double capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  double occupancy() const { return occupancy_[active_]; }
+
+  /// Stage data into the *shadow* buffer (overlapped with compute).
+  void Stage(double bytes);
+  /// Swap shadow and active buffers (0-cycle, end of a kernel).
+  void Swap();
+  /// Record a read of `bytes` from the active buffer.
+  void Read(double bytes);
+  /// Record a write of `bytes` into the active buffer.
+  void Write(double bytes);
+  /// Drop the active buffer contents.
+  void Clear();
+
+  double bytes_read() const { return bytes_read_; }
+  double bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string name_;
+  double capacity_;
+  double occupancy_[2] = {0.0, 0.0};
+  int active_ = 0;
+  double bytes_read_ = 0.0;
+  double bytes_written_ = 0.0;
+};
+
+/// The full Sec. IV-C memory complex.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& config);
+
+  MemoryBlock& mem_a1() { return mem_a1_; }
+  MemoryBlock& mem_a2() { return mem_a2_; }
+  MemoryBlock& mem_b() { return mem_b_; }
+  MemoryBlock& mem_c() { return mem_c_; }
+  MemoryBlock& cache() { return cache_; }
+
+  /// Runtime re-partitioning: merge MemA1+MemA2 into one block (single-kind
+  /// execution) or split them back (parallel NN + VSA).
+  void MergeMemA();
+  void SplitMemA();
+  bool mem_a_merged() const { return merged_; }
+  /// Capacity available to NN filters under the current partitioning.
+  double MemANnCapacity() const;
+
+  /// DRAM transfer over AXI: returns the cycles the transfer occupies on the
+  /// port at `bytes_per_cycle`.
+  double DramTransfer(double bytes);
+
+  double dram_bytes() const { return dram_bytes_; }
+  double dram_cycles() const { return dram_cycles_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  void set_bytes_per_cycle(double bpc);
+
+ private:
+  MemoryBlock mem_a1_;
+  MemoryBlock mem_a2_;
+  MemoryBlock mem_b_;
+  MemoryBlock mem_c_;
+  MemoryBlock cache_;
+  bool merged_ = false;
+  double bytes_per_cycle_ = 16.0;  // 38.4 GB/s at 272 MHz ≈ 141 B/cycle; set
+                                   // from the design at construction.
+  double dram_bytes_ = 0.0;
+  double dram_cycles_ = 0.0;
+};
+
+}  // namespace nsflow::arch

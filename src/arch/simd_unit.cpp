@@ -1,0 +1,131 @@
+#include "arch/simd_unit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "model/analytical.h"
+
+namespace nsflow::arch {
+
+SimdUnit::SimdUnit(std::int64_t width) : width_(width) {
+  NSF_CHECK_MSG(width >= 1, "SIMD width must be positive");
+}
+
+double SimdUnit::Charge(double elems) {
+  const double cycles = SimdCycles(elems, width_);
+  total_cycles_ += cycles;
+  total_elems_ += elems;
+  return cycles;
+}
+
+SimdRun SimdUnit::RunUnary(SimdOp op, std::span<float> data, float arg0,
+                           float arg1) {
+  SimdRun run;
+  switch (op) {
+    case SimdOp::kRelu:
+      for (float& v : data) {
+        v = std::max(0.0f, v);
+      }
+      break;
+    case SimdOp::kScale:
+      for (float& v : data) {
+        v *= arg0;
+      }
+      break;
+    case SimdOp::kClamp:
+      for (float& v : data) {
+        v = std::min(arg1, std::max(arg0, v));
+      }
+      break;
+    case SimdOp::kExp:
+      for (float& v : data) {
+        v = std::exp(v);
+      }
+      break;
+    case SimdOp::kTanh:
+      for (float& v : data) {
+        v = std::tanh(v);
+      }
+      break;
+    case SimdOp::kSoftmax: {
+      // Numerically stable: subtract the max, exponentiate, normalize.
+      // Three passes => three lane-sweeps of cycles.
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (const float v : data) {
+        max_v = std::max(max_v, v);
+      }
+      double sum = 0.0;
+      for (float& v : data) {
+        v = std::exp(v - max_v);
+        sum += v;
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      for (float& v : data) {
+        v *= inv;
+      }
+      run.cycles = Charge(3.0 * static_cast<double>(data.size()));
+      return run;
+    }
+    default:
+      throw Error("SimdUnit::RunUnary: not a unary op");
+  }
+  run.cycles = Charge(static_cast<double>(data.size()));
+  return run;
+}
+
+SimdRun SimdUnit::RunBinary(SimdOp op, std::span<const float> a,
+                            std::span<const float> b, std::span<float> out) {
+  NSF_CHECK_MSG(a.size() == b.size() && a.size() == out.size(),
+                "binary SIMD op requires equal spans");
+  SimdRun run;
+  switch (op) {
+    case SimdOp::kAdd:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = a[i] + b[i];
+      }
+      break;
+    case SimdOp::kMul:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = a[i] * b[i];
+      }
+      break;
+    default:
+      throw Error("SimdUnit::RunBinary: not a binary op");
+  }
+  run.cycles = Charge(static_cast<double>(a.size()));
+  return run;
+}
+
+SimdRun SimdUnit::RunReduce(SimdOp op, std::span<const float> a,
+                            std::span<const float> b) {
+  SimdRun run;
+  double acc = 0.0;
+  switch (op) {
+    case SimdOp::kSum:
+      for (const float v : a) {
+        acc += v;
+      }
+      break;
+    case SimdOp::kNorm:
+      for (const float v : a) {
+        acc += static_cast<double>(v) * v;
+      }
+      acc = std::sqrt(acc);
+      break;
+    case SimdOp::kDot:
+      NSF_CHECK_MSG(b.size() == a.size(), "dot requires equal spans");
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += static_cast<double>(a[i]) * b[i];
+      }
+      break;
+    default:
+      throw Error("SimdUnit::RunReduce: not a reduction op");
+  }
+  run.scalar_result = acc;
+  // Tree reduction: one sweep through the lanes plus log2(width) combine.
+  run.cycles = Charge(static_cast<double>(a.size()));
+  return run;
+}
+
+}  // namespace nsflow::arch

@@ -1,0 +1,65 @@
+// Custom SIMD unit — paper Sec. IV-E.
+//
+// A bank of `width` processing elements, each with compact sum / mult-div /
+// exp-log-tanh / norm / softmax circuits, sitting between the AdArray output
+// (MemC) and the input SRAMs so element-wise and reduction kernels never
+// round-trip through DRAM. Functionally exact over float spans; timing is
+// one element per lane per cycle plus a pipeline-fill constant, matching
+// model/analytical.h's SimdCycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nsflow::arch {
+
+enum class SimdOp : std::uint8_t {
+  kRelu,
+  kAdd,        // Element-wise a + b.
+  kMul,        // Element-wise a * b.
+  kScale,      // a * scalar.
+  kClamp,      // clamp(a, lo, hi).
+  kExp,
+  kTanh,
+  kSoftmax,    // In-place over the span.
+  kSum,        // Reduction -> scalar.
+  kNorm,       // L2 norm -> scalar.
+  kDot,        // Reduction over a*b -> scalar.
+};
+
+struct SimdRun {
+  double cycles = 0.0;
+  double scalar_result = 0.0;  // For reductions.
+};
+
+class SimdUnit {
+ public:
+  explicit SimdUnit(std::int64_t width);
+
+  std::int64_t width() const { return width_; }
+
+  /// Unary / in-place ops (kRelu, kScale, kClamp, kExp, kTanh, kSoftmax).
+  SimdRun RunUnary(SimdOp op, std::span<float> data, float arg0 = 0.0f,
+                   float arg1 = 0.0f);
+
+  /// Binary element-wise ops (kAdd, kMul): out = a (op) b.
+  SimdRun RunBinary(SimdOp op, std::span<const float> a,
+                    std::span<const float> b, std::span<float> out);
+
+  /// Reductions (kSum, kNorm, kDot — pass b only for kDot).
+  SimdRun RunReduce(SimdOp op, std::span<const float> a,
+                    std::span<const float> b = {});
+
+  double total_cycles() const { return total_cycles_; }
+  double total_elems() const { return total_elems_; }
+
+ private:
+  double Charge(double elems);
+
+  std::int64_t width_;
+  double total_cycles_ = 0.0;
+  double total_elems_ = 0.0;
+};
+
+}  // namespace nsflow::arch

@@ -1,0 +1,25 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace nsflow {
+
+std::string CheckError::Format(std::string_view expr, std::string_view file,
+                               int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CheckError: `" << expr << "` failed at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+
+namespace internal {
+
+void ThrowCheckError(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw CheckError(expr, file, line, msg);
+}
+
+}  // namespace internal
+}  // namespace nsflow

@@ -1,0 +1,78 @@
+// Error handling primitives for NSFlow.
+//
+// NSFlow follows the C++ Core Guidelines error model (E.2): failures that a
+// caller cannot locally prevent are reported by throwing an exception derived
+// from `nsflow::Error`. Programming errors (precondition violations) are
+// reported through NSF_CHECK / NSF_DCHECK, which throw `nsflow::CheckError`
+// with the failing expression and location so that tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nsflow {
+
+/// Base class for all NSFlow errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input: unparsable trace, bad configuration value, etc.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("ParseError: " + what) {}
+};
+
+/// A request that is structurally valid but cannot be satisfied, e.g. a DSE
+/// query whose constraints admit no feasible design point.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : Error("InfeasibleError: " + what) {}
+};
+
+/// Violated internal invariant or precondition (raised by NSF_CHECK).
+class CheckError : public Error {
+ public:
+  CheckError(std::string_view expr, std::string_view file, int line,
+             const std::string& msg)
+      : Error(Format(expr, file, line, msg)) {}
+
+ private:
+  static std::string Format(std::string_view expr, std::string_view file,
+                            int line, const std::string& msg);
+};
+
+namespace internal {
+[[noreturn]] void ThrowCheckError(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace internal
+
+}  // namespace nsflow
+
+/// Precondition / invariant check, always enabled. Throws CheckError.
+#define NSF_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::nsflow::internal::ThrowCheckError(#expr, __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check with a context message.
+#define NSF_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::nsflow::internal::ThrowCheckError(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only check. Compiles away in NDEBUG builds.
+#ifdef NDEBUG
+#define NSF_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define NSF_DCHECK(expr) NSF_CHECK(expr)
+#endif

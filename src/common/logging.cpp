@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+namespace nsflow {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, std::string_view file, int line,
+                const std::string& message) {
+  if (level < g_level.load()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto base = Basename(file);
+  std::fprintf(stderr, "[%s %.*s:%d] %s\n", LevelName(level),
+               static_cast<int>(base.size()), base.data(), line,
+               message.c_str());
+}
+
+}  // namespace nsflow

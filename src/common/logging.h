@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Intended for the framework's host-side tooling (trace ingestion, DSE
+// progress, runtime scheduling), not for per-cycle simulator events — the
+// simulator exposes structured statistics instead of log spam.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nsflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one log line (thread safe). Prefer the NSF_LOG macro.
+void LogMessage(LogLevel level, std::string_view file, int line,
+                const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by NSF_LOG; flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { LogMessage(level_, file_, line_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace nsflow
+
+#define NSF_LOG(level) \
+  ::nsflow::internal::LogStream(::nsflow::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace nsflow {
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  NSF_CHECK_MSG(k <= n, "cannot sample more elements than the population");
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher–Yates: only the first k positions need to be randomized.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        UniformInt(static_cast<std::int64_t>(i),
+                   static_cast<std::int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,64 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components of the reproduction (synthetic RPM task
+// generation, hypervector codebook sampling, workload perturbation sweeps)
+// draw from an explicitly-seeded `Rng` so that every table and figure is
+// bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5f3759df) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    NSF_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Random sign in {-1.0, +1.0} — the bipolar draw used for hypervectors.
+  double Sign() { return Bernoulli(0.5) ? 1.0 : -1.0; }
+
+  /// Sample `k` distinct indices from [0, n).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nsflow

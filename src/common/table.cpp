@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NSF_CHECK_MSG(!headers_.empty(), "table must have at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  NSF_CHECK_MSG(row.size() == headers_.size(),
+                "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Bytes(double bytes) {
+  const char* suffix = "B";
+  if (bytes >= 1024.0 * 1024.0) {
+    bytes /= 1024.0 * 1024.0;
+    suffix = "MB";
+  } else if (bytes >= 1024.0) {
+    bytes /= 1024.0;
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix);
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto separator = [&] {
+    std::string s = "+";
+    for (const auto w : widths) {
+      s += std::string(w + 2, '-') + "+";
+    }
+    return s + "\n";
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << separator << render_row(headers_) << separator;
+  for (const auto& row : rows_) {
+    os << render_row(row);
+  }
+  os << separator;
+  return os.str();
+}
+
+}  // namespace nsflow

@@ -1,0 +1,34 @@
+// ASCII table printer used by the benchmark harness to render the paper's
+// tables and figure series in a terminal-friendly, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nsflow {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+  /// Format a byte count as B / KB / MB with two decimals.
+  static std::string Bytes(double bytes);
+  /// Format a ratio as a percentage string, e.g. 0.345 -> "34.5%".
+  static std::string Percent(double fraction, int precision = 1);
+
+  /// Render with column alignment and +--+ separators.
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nsflow

@@ -1,0 +1,93 @@
+#include "dse/design_config.h"
+
+#include "common/json.h"
+
+namespace nsflow {
+
+std::string EmitDesignConfig(const AcceleratorDesign& design,
+                             const std::string& workload_name, int indent) {
+  Json doc;
+  doc["workload"] = Json(workload_name);
+  doc["clock_hz"] = Json(design.clock_hz);
+  doc["dram_bandwidth"] = Json(design.dram_bandwidth);
+  doc["sequential_mode"] = Json(design.sequential_mode);
+
+  JsonObject array;
+  array["height"] = Json(design.array.height);
+  array["width"] = Json(design.array.width);
+  array["count"] = Json(design.array.count);
+  doc["array"] = Json(std::move(array));
+
+  JsonObject partition;
+  partition["default_nl"] = Json(design.default_nl);
+  partition["default_nv"] = Json(design.default_nv);
+  JsonArray nl;
+  for (const auto v : design.nl) {
+    nl.push_back(Json(v));
+  }
+  partition["nl"] = Json(std::move(nl));
+  JsonArray nv;
+  for (const auto v : design.nv) {
+    nv.push_back(Json(v));
+  }
+  partition["nv"] = Json(std::move(nv));
+  doc["partition"] = Json(std::move(partition));
+
+  doc["simd_width"] = Json(design.simd_width);
+
+  JsonObject memory;
+  memory["mem_a1_bytes"] = Json(design.memory.mem_a1_bytes);
+  memory["mem_a2_bytes"] = Json(design.memory.mem_a2_bytes);
+  memory["mem_b_bytes"] = Json(design.memory.mem_b_bytes);
+  memory["mem_c_bytes"] = Json(design.memory.mem_c_bytes);
+  memory["cache_bytes"] = Json(design.memory.cache_bytes);
+  doc["memory"] = Json(std::move(memory));
+
+  JsonObject precision;
+  precision["neural"] = Json(PrecisionName(design.precision.neural));
+  precision["symbolic"] = Json(PrecisionName(design.precision.symbolic));
+  doc["precision"] = Json(std::move(precision));
+
+  return doc.Dump(indent);
+}
+
+AcceleratorDesign ParseDesignConfig(const std::string& text) {
+  const Json doc = Json::Parse(text);
+  AcceleratorDesign design;
+  design.clock_hz = doc.At("clock_hz").AsDouble();
+  design.dram_bandwidth = doc.At("dram_bandwidth").AsDouble();
+  design.sequential_mode = doc.At("sequential_mode").AsBool();
+
+  const auto& array = doc.At("array");
+  design.array.height = array.At("height").AsInt();
+  design.array.width = array.At("width").AsInt();
+  design.array.count = array.At("count").AsInt();
+
+  const auto& partition = doc.At("partition");
+  design.default_nl = partition.At("default_nl").AsInt();
+  design.default_nv = partition.At("default_nv").AsInt();
+  for (const auto& v : partition.At("nl").AsArray()) {
+    design.nl.push_back(v.AsInt());
+  }
+  for (const auto& v : partition.At("nv").AsArray()) {
+    design.nv.push_back(v.AsInt());
+  }
+
+  design.simd_width = doc.At("simd_width").AsInt();
+
+  const auto& memory = doc.At("memory");
+  design.memory.mem_a1_bytes = memory.At("mem_a1_bytes").AsDouble();
+  design.memory.mem_a2_bytes = memory.At("mem_a2_bytes").AsDouble();
+  design.memory.mem_b_bytes = memory.At("mem_b_bytes").AsDouble();
+  design.memory.mem_c_bytes = memory.At("mem_c_bytes").AsDouble();
+  design.memory.cache_bytes = memory.At("cache_bytes").AsDouble();
+
+  const auto& precision = doc.At("precision");
+  design.precision.neural =
+      PrecisionFromName(precision.At("neural").AsString());
+  design.precision.symbolic =
+      PrecisionFromName(precision.At("symbolic").AsString());
+  return design;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,23 @@
+// System design configuration file (paper Fig. 2: "System Design Config
+// (.json)") — the interchange between NSFlow's frontend and backend. The DAG
+// writes this file; the backend template reads it to parameterize the RTL
+// blocks, and the host runtime reads it to schedule kernels.
+#pragma once
+
+#include <string>
+
+#include "dse/dse.h"
+#include "model/accel_model.h"
+
+namespace nsflow {
+
+/// Serialize a complete accelerator design (and the DSE provenance that
+/// produced it) to JSON.
+std::string EmitDesignConfig(const AcceleratorDesign& design,
+                             const std::string& workload_name,
+                             int indent = 2);
+
+/// Parse a design-config JSON back into an AcceleratorDesign.
+AcceleratorDesign ParseDesignConfig(const std::string& text);
+
+}  // namespace nsflow

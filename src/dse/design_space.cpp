@@ -1,0 +1,56 @@
+#include "dse/design_space.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+DesignSpaceSize CountDesignSpace(const DataflowGraph& dfg, int m,
+                                 int phase2_iters) {
+  NSF_CHECK_MSG(m >= 2 && m <= 40, "m out of range");
+  DesignSpaceSize size;
+
+  // Hardware grid: H = 2^a, W = 2^b with a + b <= m (so H*W <= 2^m PEs in a
+  // single sub-array). That is (m+1)(m+2)/2 points, the paper's m(m+1)/2 up
+  // to the off-by-one of counting degenerate rows.
+  std::int64_t hw_points = 0;
+  std::int64_t hw_pruned = 0;
+  for (int a = 0; a <= m; ++a) {
+    for (int b = 0; a + b <= m; ++b) {
+      ++hw_points;
+      // Phase I aspect-ratio pruning: 1/4 <= H/W <= 16  =>  -2 <= a-b <= 4.
+      if (a - b >= -2 && a - b <= 4) {
+        ++hw_pruned;
+      }
+    }
+  }
+  size.hw_points_original = hw_points;
+  size.hw_points_pruned = hw_pruned;
+
+  // Mapping space: every AdArray node independently picks an allocation in
+  // [1, N-1]. With the smallest sub-array (4 PEs), N can reach 2^m / 4.
+  const double max_n = std::pow(2.0, m) / 4.0;
+  const auto k = static_cast<double>(dfg.layers().size() + dfg.vsa_ops().size());
+  const double log10_mapping = k * std::log10(std::max(2.0, max_n - 1.0));
+  size.log10_original =
+      std::log10(static_cast<double>(hw_points)) + log10_mapping;
+
+  // Phase I: pruned (H, W) grid x static-partition scan over N̄l in [1, N).
+  // Bounded by hw_pruned * max_n evaluations of the closed-form model.
+  size.log10_phase1 =
+      std::log10(static_cast<double>(hw_pruned) * std::max(2.0, max_n));
+
+  // Phase II: Iter_max sweeps over the NN layers.
+  const double phase2 =
+      std::max(1.0, static_cast<double>(phase2_iters) *
+                        static_cast<double>(dfg.layers().size()));
+  size.log10_phase2 = std::log10(phase2);
+
+  const double log10_total_pruned =
+      std::log10(std::pow(10.0, size.log10_phase1) + phase2);
+  size.log10_reduction = size.log10_original - log10_total_pruned;
+  return size;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,33 @@
+// Design-space accounting — paper Table II.
+//
+// The cross-coupled space is defined by the hardware configuration (sub-array
+// height H, width W, count N) and the mapping scheme (Nl[i] / Nv[j] per node,
+// each in [1, N-1]). With a maximum of 2^m PEs, exhaustive search is
+// ~m(m+1)/2 hardware points times (N-1)^k mapping points for k dataflow
+// nodes — ~10^300 for m=10 on an NVSA-sized graph. NSFlow's two phases prune
+// this to ~10^3 (Phase I) plus Iter x #layers (Phase II) evaluations, a
+// ~10^100x reduction. Sizes are returned as log10 to stay representable.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dataflow_graph.h"
+
+namespace nsflow {
+
+struct DesignSpaceSize {
+  double log10_original = 0.0;       // Full cross-coupled space.
+  double log10_phase1 = 0.0;         // Phase I evaluations after pruning.
+  double log10_phase2 = 0.0;         // Phase II evaluations (Iter x #layers).
+  double log10_reduction = 0.0;      // original / (phase1 + phase2).
+
+  std::int64_t hw_points_original = 0;  // (H, W) grid points before pruning.
+  std::int64_t hw_points_pruned = 0;    // After 1/4 <= H/W <= 16.
+};
+
+/// Count the space for a dataflow graph with `max_pes` = 2^m total PEs and
+/// `phase2_iters` Phase II sweeps.
+DesignSpaceSize CountDesignSpace(const DataflowGraph& dfg, int m,
+                                 int phase2_iters);
+
+}  // namespace nsflow

@@ -1,0 +1,302 @@
+#include "dse/dse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nsflow {
+namespace dse_internal {
+
+namespace {
+
+/// Round a byte count up to whole 18 KiB BRAM blocks.
+double RoundToBram(double bytes) {
+  constexpr double kBramBytes = 18.0 * 1024.0;
+  return std::ceil(bytes / kBramBytes) * kBramBytes;
+}
+
+/// Round a byte count up to whole 288 KiB URAM blocks.
+double RoundToUram(double bytes) {
+  constexpr double kUramBytes = 288.0 * 1024.0;
+  return std::ceil(bytes / kUramBytes) * kUramBytes;
+}
+
+}  // namespace
+
+MemoryConfig SizeMemory(const DataflowGraph& dfg, const ArrayConfig& array,
+                        double dictionary_bytes) {
+  MemoryConfig mem;
+
+  // MA1 = max filter size in Rl (Sec. V-C), double-buffered for seamless
+  // load/compute overlap (Sec. IV-C: "all double-buffered memories").
+  mem.mem_a1_bytes = RoundToBram(2.0 * dfg.MaxLayerWeightBytes());
+
+  // MA2 = max node size in Rv, plus resident cleanup dictionaries.
+  mem.mem_a2_bytes =
+      RoundToBram(2.0 * std::max(dfg.MaxVsaNodeBytes(), dictionary_bytes));
+
+  // MemB: double-buffered im2col stripe of the IFMAP — d2 rows by a column
+  // tile of up to 1024 output positions (beyond that the stripe is streamed).
+  double max_stripe = 0.0;
+  for (const auto& layer : dfg.layers()) {
+    const double tile_cols =
+        static_cast<double>(std::min<std::int64_t>(layer.gemm.k, 1024));
+    const double stripe = static_cast<double>(layer.gemm.n) * tile_cols *
+                          (layer.weight_bytes /
+                           std::max(1.0, static_cast<double>(layer.gemm.m) *
+                                             static_cast<double>(layer.gemm.n)));
+    max_stripe = std::max(max_stripe, stripe);
+  }
+  mem.mem_b_bytes = RoundToBram(2.0 * max_stripe);
+
+  // MemC: outputs of the array and the SIMD unit — the larger of the biggest
+  // layer-output tile (d1 x column tile) and the biggest VSA node output.
+  double max_out = 0.0;
+  for (const auto& layer : dfg.layers()) {
+    const double tile_cols =
+        static_cast<double>(std::min<std::int64_t>(layer.gemm.k, 1024));
+    const double bytes_per_elem =
+        layer.output_bytes /
+        std::max(1.0, static_cast<double>(layer.gemm.m) *
+                          static_cast<double>(layer.gemm.k));
+    max_out = std::max(max_out,
+                       static_cast<double>(layer.gemm.m) * tile_cols *
+                           bytes_per_elem);
+  }
+  for (const auto& v : dfg.vsa_ops()) {
+    max_out = std::max(max_out, v.bytes / 2.0);  // Output of one node.
+  }
+  mem.mem_c_bytes = RoundToBram(2.0 * max_out);
+
+  // On-chip cache (URAM): 2 x (MA + MB + MC) per Sec. V-C.
+  mem.cache_bytes = RoundToUram(2.0 * (mem.mem_a1_bytes + mem.mem_a2_bytes +
+                                       mem.mem_b_bytes + mem.mem_c_bytes));
+  (void)array;  // Geometry does not change block sizing, only block banking.
+  return mem;
+}
+
+std::int64_t SizeSimd(double total_elems, double array_cycles,
+                      const std::vector<std::int64_t>& widths) {
+  NSF_CHECK_MSG(!widths.empty(), "need at least one SIMD width candidate");
+  std::vector<std::int64_t> sorted = widths;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto width : sorted) {
+    if (SimdCycles(total_elems, width) <= array_cycles) {
+      return width;
+    }
+  }
+  return sorted.back();
+}
+
+}  // namespace dse_internal
+
+namespace {
+
+/// One Phase I candidate: static partition N̄l/N̄v on an (H, W, N) geometry.
+struct Phase1Candidate {
+  ArrayConfig array;
+  std::int64_t static_nl = 0;
+  double t_para = 0.0;
+};
+
+}  // namespace
+
+DseResult RunTwoPhaseDse(const DataflowGraph& dfg, const DseOptions& options) {
+  const auto& layers = dfg.layers();
+  const auto& vsa = dfg.vsa_ops();
+  NSF_CHECK_MSG(!layers.empty() || !vsa.empty(),
+                "workload has no AdArray kernels to map");
+
+  DseResult result;
+  result.design.clock_hz = options.clock_hz;
+  result.design.dram_bandwidth = options.dram_bandwidth;
+  result.design.precision = dfg.source().precision();
+
+  // ---------------------------------------------------------------- Phase I
+  // Fused-schedule windows guide Phase II's per-layer rebalancing; they are
+  // a property of the dataflow graph alone, computed once.
+  const std::vector<VsaSpan> windows = dfg.LayerWindows();
+
+  std::optional<Phase1Candidate> best_para;
+  double best_seq = 0.0;
+  std::optional<ArrayConfig> best_seq_array;
+
+  std::vector<ArrayConfig> geometries;
+  if (options.enable_phase1) {
+    for (const auto h : options.range_h) {
+      for (const auto w : options.range_w) {
+        // Aspect-ratio pruning (Table II): 1/4 <= H/W <= 16.
+        const double aspect = static_cast<double>(h) / static_cast<double>(w);
+        if (aspect < 0.25 || aspect > 16.0) {
+          continue;
+        }
+        std::int64_t n = options.max_pes / (h * w);  // Line 3.
+        // BRAM banking prune: N x W columns must fit the port budget.
+        if (options.max_columns > 0) {
+          n = std::min(n, options.max_columns / w);
+        }
+        if (n < 1) {
+          continue;
+        }
+        geometries.push_back(ArrayConfig{h, w, n});
+      }
+    }
+  } else {
+    NSF_CHECK_MSG(options.forced_array.has_value(),
+                  "Phase I disabled: a forced array config is required");
+    geometries.push_back(*options.forced_array);
+  }
+
+  for (const auto& cfg : geometries) {
+    // Sequential mode runtime for this geometry (Algorithm 1, line 12).
+    const double t_seq = SequentialCycles(cfg, layers, vsa);
+    ++result.evaluated_points;
+    if (!best_seq_array.has_value() || t_seq < best_seq) {
+      best_seq = t_seq;
+      best_seq_array = cfg;
+    }
+
+    // Static-partition scan (lines 4-9) needs both sides non-empty and at
+    // least two sub-arrays to split.
+    if (layers.empty() || vsa.empty() || cfg.count < 2) {
+      continue;
+    }
+    for (std::int64_t static_nl = 1; static_nl < cfg.count; ++static_nl) {
+      const std::vector<std::int64_t> nl(layers.size(), static_nl);
+      const std::vector<std::int64_t> nv(vsa.size(), cfg.count - static_nl);
+      const double t_para = ParallelCycles(cfg, layers, vsa, nl, nv);
+      ++result.evaluated_points;
+      if (!best_para.has_value() || t_para < best_para->t_para) {
+        best_para = Phase1Candidate{cfg, static_nl, t_para};
+      }
+    }
+  }
+
+  result.t_seq_cycles = best_seq;
+  // Sequential mode is immediate only when no parallel mapping exists at
+  // all; otherwise Phase II first fine-tunes the mapping and the line-14
+  // fallback comparison happens against the *tuned* parallel runtime.
+  if (!best_para.has_value()) {
+    result.design.sequential_mode = true;
+    result.design.array = *best_seq_array;
+    result.design.nl.assign(layers.size(), result.design.array.count);
+    result.design.nv.assign(vsa.size(), result.design.array.count);
+    result.design.default_nl = result.design.array.count;
+    result.design.default_nv = result.design.array.count;
+    result.t_para_cycles = best_seq;
+    result.phase1_cycles = best_seq;
+    result.phase2_cycles = best_seq;
+  } else {
+    const auto& p1 = *best_para;
+    result.design.array = p1.array;
+    result.design.default_nl = p1.static_nl;
+    result.design.default_nv = p1.array.count - p1.static_nl;
+    result.design.nl.assign(layers.size(), result.design.default_nl);
+    result.design.nv.assign(vsa.size(), result.design.default_nv);
+
+    result.phase1_cycles = p1.t_para;
+
+    // -------------------------------------------------------------- Phase II
+    auto nl = result.design.nl;
+    auto nv = result.design.nv;
+    auto best_nl = nl;
+    auto best_nv = nv;
+    double best_cycles = result.phase1_cycles;
+
+    if (options.enable_phase2) {
+      const auto& cfg = p1.array;
+      for (int iter = 0; iter < options.phase2_max_iters; ++iter) {
+        bool improved_this_iter = false;
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+          const VsaSpan span = windows[i];
+          const bool has_vsa = span.first <= span.last;
+
+          // Per-window imbalance decides the move direction (lines 19-21):
+          // donate a sub-array from the slack side to the bottleneck side of
+          // *this* window.
+          const double t_layer = LayerCycles(cfg, nl[i], layers[i].gemm);
+          double t_window_vsa = 0.0;
+          if (has_vsa) {
+            double temporal = 0.0;
+            double spatial = 0.0;
+            for (std::size_t j = span.first; j <= span.last; ++j) {
+              temporal += VsaTemporalCycles(cfg, nv[j], vsa[j].vsa);
+              spatial += VsaSpatialCycles(cfg, nv[j], vsa[j].vsa);
+            }
+            t_window_vsa = std::min(temporal, spatial);
+          }
+
+          if (t_layer < t_window_vsa && has_vsa) {
+            // NN has slack during layer i: donate one sub-array to the VSA
+            // nodes concurrent with it (lines 19-20).
+            if (nl[i] > 1) {
+              nl[i] -= 1;
+              for (std::size_t j = span.first; j <= span.last; ++j) {
+                nv[j] = std::min<std::int64_t>(nv[j] + 1, cfg.count - 1);
+              }
+            }
+          } else {
+            // Symbolic has slack: reclaim a sub-array for layer i (line 21).
+            bool can_take = true;
+            if (has_vsa) {
+              for (std::size_t j = span.first; j <= span.last; ++j) {
+                if (nv[j] <= 1) {
+                  can_take = false;
+                }
+              }
+            }
+            if (can_take && nl[i] < cfg.count - 1) {
+              nl[i] += 1;
+              if (has_vsa) {
+                for (std::size_t j = span.first; j <= span.last; ++j) {
+                  nv[j] -= 1;
+                }
+              }
+            }
+          }
+
+          const double t_para = ParallelCycles(cfg, layers, vsa, nl, nv);
+          ++result.evaluated_points;
+          if (t_para < best_cycles) {  // Line 23: keep the best seen.
+            best_cycles = t_para;
+            best_nl = nl;
+            best_nv = nv;
+            improved_this_iter = true;
+          }
+        }
+        if (!improved_this_iter) {
+          break;  // Converged before Iter_max.
+        }
+      }
+    }
+
+    result.design.nl = best_nl;
+    result.design.nv = best_nv;
+    result.phase2_cycles = best_cycles;
+    result.t_para_cycles = best_cycles;
+
+    // Re-check the sequential fallback against the tuned mapping.
+    if (result.t_seq_cycles < result.t_para_cycles) {
+      result.design.sequential_mode = true;
+      result.design.array = *best_seq_array;
+      result.t_para_cycles = result.t_seq_cycles;
+    }
+  }
+
+  // ------------------------------------------------- Memory and SIMD sizing
+  result.design.memory = dse_internal::SizeMemory(dfg, result.design.array,
+                                                  options.dictionary_bytes);
+  result.design.simd_width = dse_internal::SizeSimd(
+      dfg.TotalSimdElems(), result.t_para_cycles, options.simd_widths);
+
+  // Record which VSA mapping the model chose at the final design point.
+  if (!vsa.empty()) {
+    VsaTotalCycles(result.design.array, vsa, result.design.nv,
+                   &result.vsa_mapping);
+  }
+  return result;
+}
+
+}  // namespace nsflow

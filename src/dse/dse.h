@@ -1,0 +1,103 @@
+// Two-phase design-space exploration — paper Algorithm 1 and Sec. V-C.
+//
+// Phase I assumes a *static* partition (all Nl[i] = N̄l, all Nv[j] = N̄v =
+// N − N̄l) and scans the pruned (H, W) grid with N = ⌊M/(H·W)⌋, keeping the
+// configuration minimizing t_para = max(t_nn, t_vsa). It also evaluates the
+// sequential mode (every node owns the whole array, Eq. line 12) and falls
+// back to it when faster (line 14) — which is what happens when the workload
+// has no symbolic component worth co-scheduling.
+//
+// Phase II fine-tunes the mapping around the static partition: for each NN
+// layer i it locates the VSA span [j′, j″] concurrent with that layer in the
+// fused loop schedule and moves one sub-array between the NN and VSA sides,
+// in whichever direction reduces the bottleneck, keeping the best mapping
+// seen. Search granularity is one NN layer (VSA kernels are smaller and fit
+// arbitrary shapes, Sec. V-C).
+//
+// After the array design, the DAG sizes the memory blocks (MA1 = max filter
+// in Rl, MA2 = max node in Rv, cache = 2·(MA+MB+MC)) and picks the smallest
+// SIMD width whose latency hides under the array's busy time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+#include "model/analytical.h"
+
+namespace nsflow {
+
+struct DseOptions {
+  /// Max PEs M, from the FPGA resource budget (Table II uses M = 2^m). The
+  /// default corresponds to a U250 with the INT8 DSP packing of [30]
+  /// (two MACs per DSP48 slice pair).
+  std::int64_t max_pes = 16384;
+
+  /// Candidate sub-array heights/widths (powers of two), further pruned by
+  /// the aspect-ratio rule 1/4 <= H/W <= 16.
+  std::vector<std::int64_t> range_h = {4, 8, 16, 32, 64, 128};
+  std::vector<std::int64_t> range_w = {4, 8, 16, 32, 64, 128};
+
+  /// BRAM banking constraint: every sub-array column needs its own
+  /// (double-buffered) stationary/streaming ports, so total columns
+  /// (N x W) are bounded by the device's block-RAM inventory. The default
+  /// corresponds to ~80% of a U250's BRAM18 budget at 5 banks per column.
+  std::int64_t max_columns = 860;
+
+  int phase2_max_iters = 4;      // Iter_max.
+  bool enable_phase1 = true;     // Ablation: false pins `forced_array`.
+  bool enable_phase2 = true;     // Ablation: false keeps the static partition.
+
+  /// Used when enable_phase1 is false (e.g. the Fig. 6 "w/o Phase I" arm
+  /// pins a monolithic 128x64 array).
+  std::optional<ArrayConfig> forced_array;
+
+  /// Deployment parameters forwarded into the produced design.
+  double clock_hz = 272e6;
+  double dram_bandwidth = 77e9;  // Four DDR4-2400 channels on the U250.
+  std::vector<std::int64_t> simd_widths = {16, 32, 64, 128, 256, 512, 1024};
+
+  /// Extra stationary storage the workload needs resident in MemA2 (cleanup
+  /// dictionaries / codebooks), in bytes.
+  double dictionary_bytes = 0.0;
+};
+
+struct DseResult {
+  AcceleratorDesign design;
+  double t_para_cycles = 0.0;     // Best fused-mode cycles (Eq. max form).
+  double t_seq_cycles = 0.0;      // Best sequential-mode cycles.
+  double phase1_cycles = 0.0;     // t_para with the static partition.
+  double phase2_cycles = 0.0;     // t_para after fine-tuning.
+  VsaMapping vsa_mapping = VsaMapping::kTemporal;
+  std::int64_t evaluated_points = 0;  // Model evaluations performed.
+
+  /// Relative improvement of Phase II over Phase I (Fig. 6 reports this
+  /// reaching ~44% when NN and symbolic work are balanced).
+  double Phase2Gain() const {
+    return phase1_cycles > 0.0
+               ? (phase1_cycles - phase2_cycles) / phase1_cycles
+               : 0.0;
+  }
+};
+
+/// Run the full two-phase DSE for one workload dataflow graph.
+DseResult RunTwoPhaseDse(const DataflowGraph& dfg,
+                         const DseOptions& options = {});
+
+namespace dse_internal {
+
+/// Memory sizing per Sec. V-C (exposed for unit tests): MA1/MA2/MB/MC are
+/// double-buffered and rounded up to 18 KiB BRAM blocks; the URAM cache is
+/// 2·(MA1 + MA2 + MB + MC) rounded to 288 KiB blocks.
+MemoryConfig SizeMemory(const DataflowGraph& dfg, const ArrayConfig& array,
+                        double dictionary_bytes);
+
+/// Smallest SIMD width (from `widths`) whose cycles hide under
+/// `array_cycles`; falls back to the largest width if none does.
+std::int64_t SizeSimd(double total_elems, double array_cycles,
+                      const std::vector<std::int64_t>& widths);
+
+}  // namespace dse_internal
+}  // namespace nsflow

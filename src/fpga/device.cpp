@@ -1,0 +1,31 @@
+#include "fpga/device.h"
+
+namespace nsflow {
+
+FpgaDevice U250() {
+  FpgaDevice d;
+  d.name = "AMD U250";
+  d.dsp = 12288;
+  d.lut = 1728000;
+  d.ff = 3456000;
+  d.bram18 = 5376;        // 2688 x 36 Kb = 5376 x 18 Kb units.
+  d.uram = 1280;
+  d.lutram_luts = 791040; // SLICEM LUTs usable as distributed RAM.
+  d.max_clock_hz = 500e6;
+  return d;
+}
+
+FpgaDevice Zcu104() {
+  FpgaDevice d;
+  d.name = "ZCU104";
+  d.dsp = 1728;
+  d.lut = 230400;
+  d.ff = 460800;
+  d.bram18 = 624;         // 312 x 36 Kb.
+  d.uram = 96;
+  d.lutram_luts = 101760;
+  d.max_clock_hz = 400e6;
+  return d;
+}
+
+}  // namespace nsflow

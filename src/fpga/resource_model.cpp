@@ -1,0 +1,119 @@
+#include "fpga/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nsflow {
+namespace {
+
+/// DSP slices consumed per PE at a precision pair. The packing of [30] lets
+/// one DSP48 carry two INT8 or four INT4 multipliers, but the adaptive PE
+/// must provision the *union* of the modes it supports, so a mixed-precision
+/// PE costs more than a fixed INT8 one.
+double DspPerPe(const PrecisionPolicy& precision) {
+  const bool mixed = precision.neural != precision.symbolic;
+  switch (precision.neural) {
+    case Precision::kINT8:
+      // Two INT8 MACs per DSP48 ([30]); the adaptive splitter for a mixed
+      // INT8/INT4 PE costs an extra quarter slice of fabric-assist.
+      return mixed ? 0.625 : 0.5;
+    case Precision::kINT4:
+      return 0.25;  // Four INT4 MACs per DSP48.
+    case Precision::kFP16:
+      return 1.0;
+    case Precision::kFP32:
+      return 2.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+ResourceReport EstimateResources(const AcceleratorDesign& design,
+                                 const FpgaDevice& device) {
+  ResourceReport report;
+  const double pes = static_cast<double>(design.array.TotalPes());
+  const double subarrays = static_cast<double>(design.array.count);
+  const double columns =
+      static_cast<double>(design.array.count * design.array.width);
+  const bool mixed = design.precision.neural != design.precision.symbolic;
+
+  // ------------------------------------------------------------------ DSP
+  constexpr double kDspPerSimdLane = 4.0;  // mult/div + exp/log + norm units.
+  report.dsp = pes * DspPerPe(design.precision) +
+               static_cast<double>(design.simd_width) * kDspPerSimdLane;
+
+  // The PE datapath is provisioned at the *wider* of the two precisions
+  // (the narrower mode reuses the same registers); mixed precision adds
+  // mode-mux and splitter overhead on top.
+  const double bits =
+      static_cast<double>(std::max(BitsOf(design.precision.neural),
+                                   BitsOf(design.precision.symbolic)));
+
+  // ------------------------------------------------------------------ LUT
+  // Mode muxes + (for mixed precision) the INT4 splitter fabric.
+  const double lut_per_pe = 15.0 + 3.5 * bits + (mixed ? 10.0 : 0.0);
+  constexpr double kLutPerSubarrayCtrl = 2200.0;   // Folding FSM + routing.
+  constexpr double kLutPerSimdLane = 1400.0;
+  constexpr double kLutInfra = 42000.0;            // AXI DMA + controller.
+  report.lut = pes * lut_per_pe + subarrays * kLutPerSubarrayCtrl +
+               static_cast<double>(design.simd_width) * kLutPerSimdLane +
+               kLutInfra;
+
+  // ------------------------------------------------------------------- FF
+  // Stationary + streaming + passing + psum registers plus pipeline flops.
+  const double ff_per_pe = 30.0 + 8.0 * bits + (mixed ? 15.0 : 0.0);
+  constexpr double kFfPerSimdLane = 900.0;
+  constexpr double kFfInfra = 30000.0;
+  report.ff = pes * ff_per_pe +
+              static_cast<double>(design.simd_width) * kFfPerSimdLane +
+              kFfInfra;
+
+  // ---------------------------------------------------------------- BRAM18
+  const double capacity_blocks =
+      std::ceil(design.memory.TotalSramBytes() / (18.0 * 1024.0 / 8.0 * 8.0));
+  // Banking: each column needs independently addressed stationary and
+  // streaming ports, double-buffered => 4 BRAM18 per column; MemC adds one
+  // write bank per column of the widest fold.
+  const double banking_blocks = columns * 4.0 + columns * 1.0;
+  report.bram18 = std::max(capacity_blocks, banking_blocks);
+
+  // ------------------------------------------------------------------ URAM
+  const double uram_capacity =
+      std::ceil(design.memory.cache_bytes / (288.0 * 1024.0 / 8.0 * 8.0));
+  report.uram = uram_capacity * 2.0;  // Double-banked for read/write overlap.
+
+  // ---------------------------------------------------------------- LUTRAM
+  constexpr double kLutramPerPe = 20.0;  // PE-local scratch (Sec. IV-C).
+  report.lutram_luts = pes * kLutramPerPe +
+                       static_cast<double>(design.simd_width) * 128.0;
+
+  // ------------------------------------------------------------ Utilization
+  report.dsp_util = report.dsp / static_cast<double>(device.dsp);
+  report.lut_util = report.lut / static_cast<double>(device.lut);
+  report.ff_util = report.ff / static_cast<double>(device.ff);
+  report.bram_util = report.bram18 / static_cast<double>(device.bram18);
+  report.uram_util = report.uram / static_cast<double>(device.uram);
+  report.lutram_util =
+      report.lutram_luts / static_cast<double>(device.lutram_luts);
+  report.fits = report.dsp_util <= 1.0 && report.lut_util <= 1.0 &&
+                report.ff_util <= 1.0 && report.bram_util <= 1.0 &&
+                report.uram_util <= 1.0 && report.lutram_util <= 1.0;
+
+  // Timing closure: the deployment clock holds while the critical fabric
+  // resources stay under ~90%; beyond that, routing congestion derates it.
+  const double max_util =
+      std::max({report.dsp_util, report.lut_util, report.ff_util,
+                report.bram_util, report.uram_util});
+  double clock = design.clock_hz;
+  if (max_util > 0.9) {
+    clock *= std::max(0.5, 1.0 - (max_util - 0.9));
+  }
+  report.achievable_clock_hz = std::min(clock, device.max_clock_hz);
+  return report;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,53 @@
+// FPGA resource estimation for a generated accelerator (Table III).
+//
+// Post-synthesis resource counts are predicted from the design parameters:
+//   * DSPs: one multiplier slice per PE, derated by the mixed-precision DSP
+//     packing of [30] (two INT8 or four INT4 MACs per DSP48 share a slice
+//     pair), plus the SIMD unit's transcendental/mult lanes.
+//   * LUTs/FFs: per-PE datapath + register costs (stationary / streaming /
+//     passing / psum registers, mode multiplexers), per-sub-array folding
+//     control, SIMD lanes, and fixed AXI/controller infrastructure.
+//   * BRAM18s: the larger of capacity blocks (bytes / 18 Kb) and banking
+//     blocks (every sub-array column needs independently addressed A/B ports,
+//     double-buffered).
+//   * URAMs: cache capacity in 288 Kb blocks, double-banked.
+//   * LUTRAM: small PE-local buffers (Sec. IV-C: "small registers and
+//     buffers in compute elements use LUTRAMs").
+//
+// Calibration anchors are the three Table III rows (NVSA / MIMONet / LVRF on
+// the U250 at 272 MHz); tests pin the predictions to those bands.
+#pragma once
+
+#include "fpga/device.h"
+#include "model/accel_model.h"
+
+namespace nsflow {
+
+struct ResourceReport {
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram18 = 0.0;
+  double uram = 0.0;
+  double lutram_luts = 0.0;
+
+  // Utilization fractions against a device (filled by EstimateResources).
+  double dsp_util = 0.0;
+  double lut_util = 0.0;
+  double ff_util = 0.0;
+  double bram_util = 0.0;
+  double uram_util = 0.0;
+  double lutram_util = 0.0;
+
+  /// Timing-closure estimate: the deployment clock if the design fits with
+  /// headroom, derated as routing congestion grows past 90% utilization.
+  double achievable_clock_hz = 0.0;
+
+  /// True when every resource fits the device.
+  bool fits = false;
+};
+
+ResourceReport EstimateResources(const AcceleratorDesign& design,
+                                 const FpgaDevice& device);
+
+}  // namespace nsflow

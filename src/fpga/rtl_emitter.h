@@ -1,0 +1,27 @@
+// Parameterized-RTL instantiation — the "RTL basic blocks (.v) +
+// Parameterized Instantiation" step of the paper's backend (Fig. 2).
+//
+// NSFlow's backend keeps pre-written RTL for the AdArray, SIMD unit, memory
+// blocks, and controller, and instantiates them from the design config. In
+// this reproduction the RTL bodies are represented by generated skeletons:
+// `EmitParameterHeader` produces the Verilog parameter package every block
+// includes, and `EmitTopLevel` produces the top-level wrapper wiring the
+// blocks together with the chosen geometry. The generated text is
+// syntactically valid Verilog-2001 so it can be linted or dropped into a
+// Vivado project as the integration scaffold.
+#pragma once
+
+#include <string>
+
+#include "model/accel_model.h"
+
+namespace nsflow {
+
+/// `nsflow_params.vh`: localparam definitions for the whole design.
+std::string EmitParameterHeader(const AcceleratorDesign& design);
+
+/// `nsflow_top.v`: top-level module instantiating AdArray sub-arrays, the
+/// SIMD unit, memory blocks, and the AXI controller.
+std::string EmitTopLevel(const AcceleratorDesign& design);
+
+}  // namespace nsflow

@@ -1,0 +1,258 @@
+#include "graph/dataflow_graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+DataflowGraph::DataflowGraph(const OperatorGraph& graph) : graph_(&graph) {
+  graph.Validate();
+  ComputeDepths();
+  FindCriticalPath();
+  AttachParallelNodes();
+  SummarizeKernels();
+}
+
+void DataflowGraph::ComputeDepths() {
+  // Insertion order is topological, so one forward pass suffices.
+  depth_.assign(static_cast<std::size_t>(graph_->size()), 0);
+  for (const auto& node : graph_->nodes()) {
+    int d = 0;
+    for (const NodeId input : node.inputs) {
+      d = std::max(d, depth_[static_cast<std::size_t>(input)] + 1);
+    }
+    depth_[static_cast<std::size_t>(node.id)] = d;
+  }
+}
+
+void DataflowGraph::FindCriticalPath() {
+  // Step 1 (Fig. 4): DFS for the critical path of a single loop. We run the
+  // DFS as a memoized longest-path-to-sink computation in reverse topological
+  // order, with per-node FLOPs as the configuration-independent edge weight.
+  const auto consumers = graph_->BuildConsumers();
+  const auto n = static_cast<std::size_t>(graph_->size());
+  longest_to_sink_.assign(n, 0.0);
+  std::vector<NodeId> best_next(n, kInvalidNode);
+
+  for (std::size_t i = n; i-- > 0;) {
+    const auto& node = graph_->node(static_cast<NodeId>(i));
+    double best = 0.0;
+    NodeId next = kInvalidNode;
+    for (const NodeId c : consumers[i]) {
+      const double via = longest_to_sink_[static_cast<std::size_t>(c)];
+      if (next == kInvalidNode || via > best) {
+        best = via;
+        next = c;
+      }
+    }
+    longest_to_sink_[i] = node.Flops() + best;
+    best_next[i] = next;
+  }
+
+  // The path starts at the source with the largest total weight.
+  NodeId head = kInvalidNode;
+  double head_weight = -1.0;
+  for (const auto& node : graph_->nodes()) {
+    if (node.inputs.empty() &&
+        longest_to_sink_[static_cast<std::size_t>(node.id)] > head_weight) {
+      head_weight = longest_to_sink_[static_cast<std::size_t>(node.id)];
+      head = node.id;
+    }
+  }
+  NSF_CHECK_MSG(head != kInvalidNode, "graph has no source node");
+
+  for (NodeId at = head; at != kInvalidNode;
+       at = best_next[static_cast<std::size_t>(at)]) {
+    DfgNode dfg;
+    dfg.op = at;
+    dfg.depth = depth_[static_cast<std::size_t>(at)];
+    dfg.on_critical_path = true;
+    critical_path_.push_back(dfg);
+  }
+}
+
+void DataflowGraph::AttachParallelNodes() {
+  // Step 2 (Fig. 4): BFS over the graph; every node not on the critical path
+  // is attached to the critical-path node at the same depth (or the deepest
+  // CP node not exceeding its depth), marking its earliest start slot.
+  std::vector<bool> on_path(static_cast<std::size_t>(graph_->size()), false);
+  for (const auto& dfg : critical_path_) {
+    on_path[static_cast<std::size_t>(dfg.op)] = true;
+  }
+
+  for (const auto& node : graph_->nodes()) {
+    if (on_path[static_cast<std::size_t>(node.id)]) {
+      continue;
+    }
+    const int d = depth_[static_cast<std::size_t>(node.id)];
+    // CP nodes are depth-sorted along the path; find the attachment anchor.
+    std::size_t anchor = 0;
+    for (std::size_t i = 0; i < critical_path_.size(); ++i) {
+      if (critical_path_[i].depth <= d) {
+        anchor = i;
+      } else {
+        break;
+      }
+    }
+    critical_path_[anchor].attached.push_back(node.id);
+  }
+}
+
+void DataflowGraph::SummarizeKernels() {
+  // Steps 4–5 (Fig. 4): collect runtime-function inputs and memory footprints
+  // in schedule order (critical path order, attachments after their anchor).
+  std::vector<NodeId> schedule;
+  schedule.reserve(static_cast<std::size_t>(graph_->size()));
+  for (const auto& dfg : critical_path_) {
+    schedule.push_back(dfg.op);
+    for (const NodeId a : dfg.attached) {
+      schedule.push_back(a);
+    }
+  }
+
+  for (const NodeId id : schedule) {
+    const auto& node = graph_->node(id);
+    switch (node.unit()) {
+      case ComputeUnit::kAdArray:
+        if (node.domain() == Domain::kNeuro) {
+          layers_.push_back({id, node.gemm, node.weight_bytes,
+                             node.output_bytes});
+        } else {
+          vsa_ops_.push_back(
+              {id, node.vsa, node.weight_bytes + node.activation_bytes});
+        }
+        break;
+      case ComputeUnit::kSimd:
+        simd_ops_.push_back({id, node.elem_count, node.domain()});
+        break;
+      case ComputeUnit::kNone:
+        break;
+    }
+  }
+}
+
+VsaSpan DataflowGraph::LayerSpan(std::size_t layer_index) const {
+  NSF_CHECK_MSG(layer_index < layers_.size(), "layer index out of range");
+  if (vsa_ops_.empty()) {
+    return {0, 0};
+  }
+
+  // Step 3 (Fig. 4): with fused loops, layer i of loop k+1 executes while the
+  // symbolic tail of loop k drains. Map the layer's fractional position in
+  // total NN work onto the cumulative distribution of VSA work to find the
+  // VSA nodes it overlaps.
+  double total_nn = 0.0;
+  for (const auto& l : layers_) {
+    total_nn += l.gemm.Flops();
+  }
+  double total_vsa = 0.0;
+  for (const auto& v : vsa_ops_) {
+    total_vsa += v.vsa.Flops();
+  }
+  if (total_nn <= 0.0 || total_vsa <= 0.0) {
+    return {0, vsa_ops_.empty() ? 0 : vsa_ops_.size() - 1};
+  }
+
+  double before = 0.0;
+  for (std::size_t i = 0; i < layer_index; ++i) {
+    before += layers_[i].gemm.Flops();
+  }
+  const double start_frac = before / total_nn;
+  const double end_frac =
+      (before + layers_[layer_index].gemm.Flops()) / total_nn;
+
+  VsaSpan span;
+  bool first_set = false;
+  double cum = 0.0;
+  for (std::size_t j = 0; j < vsa_ops_.size(); ++j) {
+    const double lo = cum / total_vsa;
+    cum += vsa_ops_[j].vsa.Flops();
+    const double hi = cum / total_vsa;
+    const bool overlaps = hi > start_frac && lo < end_frac;
+    if (overlaps) {
+      if (!first_set) {
+        span.first = j;
+        first_set = true;
+      }
+      span.last = j;
+    }
+  }
+  if (!first_set) {
+    // Degenerate (zero-FLOP layer): pin to the nearest span edge.
+    span.first = span.last =
+        start_frac >= 1.0 ? vsa_ops_.size() - 1 : 0;
+  }
+  return span;
+}
+
+std::vector<VsaSpan> DataflowGraph::LayerWindows() const {
+  std::vector<VsaSpan> windows(layers_.size());
+  if (layers_.empty() || vsa_ops_.empty()) {
+    return windows;
+  }
+
+  // The controller issues the previous loop's VSA queue in program order,
+  // one contiguous slice per NN layer window, without knowing node costs
+  // (the schedule is static). Windows therefore get near-equal node
+  // *counts*, not equal work — the per-window imbalance between a layer's
+  // runtime and its VSA slice's runtime is exactly what Phase II's
+  // per-layer reallocation repairs.
+  const std::size_t num_layers = layers_.size();
+  const std::size_t num_vsa = vsa_ops_.size();
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    const std::size_t take =
+        (num_vsa * (i + 1)) / num_layers - (num_vsa * i) / num_layers;
+    if (take == 0) {
+      windows[i] = {1, 0};  // first > last encodes "no VSA in this window".
+    } else {
+      windows[i] = {next, next + take - 1};
+      next += take;
+    }
+  }
+  NSF_DCHECK(next == num_vsa);
+  return windows;
+}
+
+double DataflowGraph::MaxLayerWeightBytes() const {
+  double best = 0.0;
+  for (const auto& l : layers_) {
+    best = std::max(best, l.weight_bytes);
+  }
+  return best;
+}
+
+double DataflowGraph::MaxVsaNodeBytes() const {
+  double best = 0.0;
+  for (const auto& v : vsa_ops_) {
+    best = std::max(best, v.bytes);
+  }
+  return best;
+}
+
+double DataflowGraph::MaxLayerOutputBytes() const {
+  double best = 0.0;
+  for (const auto& l : layers_) {
+    best = std::max(best, l.output_bytes);
+  }
+  return best;
+}
+
+double DataflowGraph::TotalSimdElems() const {
+  double total = 0.0;
+  for (const auto& s : simd_ops_) {
+    total += static_cast<double>(s.elem_count);
+  }
+  return total;
+}
+
+int DataflowGraph::ParallelOpCount() const {
+  int count = 0;
+  for (const auto& dfg : critical_path_) {
+    count += static_cast<int>(dfg.attached.size());
+  }
+  return count;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,125 @@
+// Dataflow-graph construction — paper Fig. 4, steps 1–5.
+//
+// Starting from the operator graph of a single workload loop, the Dataflow
+// Architecture Generator (DAG):
+//   1. identifies the critical path with a DFS (longest weighted path from
+//      any source to any sink, FLOPs as the configuration-independent weight),
+//   2. walks the graph with a BFS and *attaches* every off-path node to the
+//      critical-path node at its depth, exposing intra-loop parallelism
+//      (symbolic ops typically attach in groups; NN layers rarely do),
+//   3. fuses consecutive loop iterations: loop k+1's first NN layer starts as
+//      soon as loop k's last NN layer frees the array, so in steady state NN
+//      compute of loop k+1 overlaps symbolic compute of loop k,
+//   4. annotates every node with its runtime-function inputs (GEMM/VSA dims),
+//   5. computes per-node memory footprints for the later memory sizing.
+//
+// The DSE (src/dse) consumes the summary views: the ordered NN-layer list Rl,
+// the ordered VSA list Rv, SIMD work, and the layer->VSA-span mapping that
+// Phase II uses to rebalance partitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/operator_graph.h"
+
+namespace nsflow {
+
+/// One node of the dataflow graph with its scheduling annotations.
+struct DfgNode {
+  NodeId op = kInvalidNode;
+  int depth = 0;                  // Topological depth (longest-path depth).
+  bool on_critical_path = false;
+  std::vector<NodeId> attached;   // Off-path ops grouped at this CP node.
+};
+
+/// Summary of an AdArray NN-layer node (an element of Rl).
+struct LayerNode {
+  NodeId op = kInvalidNode;
+  GemmDims gemm;
+  double weight_bytes = 0.0;
+  double output_bytes = 0.0;
+};
+
+/// Summary of an AdArray VSA node (an element of Rv).
+struct VsaNode {
+  NodeId op = kInvalidNode;
+  VsaDims vsa;
+  double bytes = 0.0;  // Stationary + streamed operand footprint.
+};
+
+/// Summary of a SIMD node.
+struct SimdNode {
+  NodeId op = kInvalidNode;
+  std::int64_t elem_count = 0;
+  Domain domain = Domain::kNone;
+};
+
+/// Inclusive VSA-node index range concurrent with a given NN layer in the
+/// fused inter-loop schedule (Algorithm 1, Phase II: "Locate VSA node j' and
+/// j'' where layer i starts and ends").
+struct VsaSpan {
+  std::size_t first = 0;
+  std::size_t last = 0;  // Inclusive.
+};
+
+class DataflowGraph {
+ public:
+  /// Build from one loop of `graph` (steps 1–5 above). The graph object must
+  /// outlive the DataflowGraph.
+  explicit DataflowGraph(const OperatorGraph& graph);
+
+  const OperatorGraph& source() const { return *graph_; }
+
+  /// Scheduling view: one DfgNode per critical-path position, in order.
+  const std::vector<DfgNode>& critical_path() const { return critical_path_; }
+
+  /// All nodes with their depths (by op id).
+  const std::vector<int>& depths() const { return depth_; }
+
+  /// Ordered kernel lists for the analytical model and the DSE.
+  const std::vector<LayerNode>& layers() const { return layers_; }    // Rl
+  const std::vector<VsaNode>& vsa_ops() const { return vsa_ops_; }    // Rv
+  const std::vector<SimdNode>& simd_ops() const { return simd_ops_; }
+
+  /// Phase II span: which VSA nodes run concurrently with layer `i` once
+  /// loops are fused. Derived from cumulative-FLOPs overlap between loop k+1
+  /// NN time and loop k symbolic time.
+  VsaSpan LayerSpan(std::size_t layer_index) const;
+
+  /// Disjoint variant: partitions ALL VSA nodes across the layer windows
+  /// (each node assigned to the window containing its cumulative-work
+  /// midpoint). Used by the windowed fused-schedule runtime model, where a
+  /// window executes layer i concurrently with exactly its VSA share.
+  std::vector<VsaSpan> LayerWindows() const;
+
+  /// True when the workload iterates, enabling inter-loop NN/VSA overlap.
+  bool pipelined_loops() const { return graph_->loop_count() > 1; }
+
+  /// Memory-footprint summaries used by the DAG memory sizing (Sec. V-C):
+  /// MA1 = max filter size in Rl, MA2 = max node size in Rv.
+  double MaxLayerWeightBytes() const;
+  double MaxVsaNodeBytes() const;
+  double MaxLayerOutputBytes() const;
+  double TotalSimdElems() const;
+
+  /// Count of independent ops attached at the same depth — the intra-loop
+  /// parallelism the BFS pass exposes (symbolic ops dominate this count).
+  int ParallelOpCount() const;
+
+ private:
+  void ComputeDepths();
+  void FindCriticalPath();
+  void AttachParallelNodes();
+  void SummarizeKernels();
+
+  const OperatorGraph* graph_;
+  std::vector<int> depth_;                 // By op id.
+  std::vector<double> longest_to_sink_;    // DFS memo, by op id.
+  std::vector<DfgNode> critical_path_;
+  std::vector<LayerNode> layers_;
+  std::vector<VsaNode> vsa_ops_;
+  std::vector<SimdNode> simd_ops_;
+};
+
+}  // namespace nsflow

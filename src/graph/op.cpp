@@ -1,0 +1,119 @@
+#include "graph/op.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+OpCategory CategoryOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+    case OpKind::kConstant:
+      return OpCategory::kNone;
+    case OpKind::kConv2d:
+      return OpCategory::kMatrixNn;
+    case OpKind::kLinear:
+    case OpKind::kAttentionQkv:
+      return OpCategory::kOtherGemm;
+    case OpKind::kRelu:
+    case OpKind::kBatchNorm:
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+    case OpKind::kSoftmax:
+    case OpKind::kAddElem:
+      return OpCategory::kElemNn;
+    case OpKind::kCircularBind:
+    case OpKind::kCircularUnbind:
+      return OpCategory::kVectorVsa;
+    case OpKind::kMatchProb:
+    case OpKind::kMatchProbBatched:
+    case OpKind::kVecSum:
+    case OpKind::kVecClamp:
+    case OpKind::kVecMul:
+    case OpKind::kVecNorm:
+    case OpKind::kProbAbduction:
+      return OpCategory::kElemVsa;
+  }
+  return OpCategory::kNone;
+}
+
+Domain DomainOf(OpKind kind) {
+  switch (CategoryOf(kind)) {
+    case OpCategory::kMatrixNn:
+    case OpCategory::kOtherGemm:
+    case OpCategory::kElemNn:
+      return Domain::kNeuro;
+    case OpCategory::kVectorVsa:
+    case OpCategory::kElemVsa:
+      return Domain::kSymbolic;
+    case OpCategory::kNone:
+      return Domain::kNone;
+  }
+  return Domain::kNone;
+}
+
+ComputeUnit UnitOf(OpKind kind) {
+  switch (CategoryOf(kind)) {
+    case OpCategory::kMatrixNn:
+    case OpCategory::kOtherGemm:
+    case OpCategory::kVectorVsa:
+      return ComputeUnit::kAdArray;
+    case OpCategory::kElemNn:
+    case OpCategory::kElemVsa:
+      return ComputeUnit::kSimd;
+    case OpCategory::kNone:
+      return ComputeUnit::kNone;
+  }
+  return ComputeUnit::kNone;
+}
+
+namespace {
+
+const std::unordered_map<std::string, OpKind>& NameTable() {
+  static const auto* table = new std::unordered_map<std::string, OpKind>{
+      {"input", OpKind::kInput},
+      {"constant", OpKind::kConstant},
+      {"conv2d", OpKind::kConv2d},
+      {"linear", OpKind::kLinear},
+      {"attention_qkv", OpKind::kAttentionQkv},
+      {"relu", OpKind::kRelu},
+      {"batch_norm", OpKind::kBatchNorm},
+      {"maxpool", OpKind::kMaxPool},
+      {"avgpool", OpKind::kAvgPool},
+      {"softmax", OpKind::kSoftmax},
+      {"add", OpKind::kAddElem},
+      {"nvsa.binding_circular", OpKind::kCircularBind},
+      {"nvsa.inv_binding_circular", OpKind::kCircularUnbind},
+      {"nvsa.match_prob", OpKind::kMatchProb},
+      {"nvsa.match_prob_multi_batched", OpKind::kMatchProbBatched},
+      {"torch.sum", OpKind::kVecSum},
+      {"torch.clamp", OpKind::kVecClamp},
+      {"operator.mul", OpKind::kVecMul},
+      {"torch.norm", OpKind::kVecNorm},
+      {"prae.prob_abduction", OpKind::kProbAbduction},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  for (const auto& [name, k] : NameTable()) {
+    if (k == kind) {
+      return name.c_str();
+    }
+  }
+  return "?";
+}
+
+OpKind OpKindFromName(const std::string& name) {
+  const auto& table = NameTable();
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    throw ParseError("unknown op kind: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace nsflow

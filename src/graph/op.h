@@ -1,0 +1,92 @@
+// Operator taxonomy for NSAI workloads.
+//
+// The paper's characterization (Fig. 1) splits NSAI programs into five
+// operation categories: matrix-wise NN ops, other GEMMs, vector-wise VSA ops,
+// element-wise VSA ops, and element-wise NN ops. This module defines the
+// operator kinds appearing in the four benchmark workloads (Table I), their
+// category mapping, which compute unit executes them (AdArray vs. SIMD), and
+// their FLOP / byte cost model inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "quant/precision.h"
+
+namespace nsflow {
+
+/// Concrete operator kinds, matching the kernels in the paper's Listing 1
+/// trace plus the standard CNN menagerie.
+enum class OpKind : std::uint8_t {
+  // Graph plumbing.
+  kInput,
+  kConstant,
+  // Matrix-wise neural ops (run on AdArray in NN mode).
+  kConv2d,
+  kLinear,       // Fully connected / projection GEMM.
+  kAttentionQkv, // Transformer projection GEMM (MIMONet variants).
+  // Element-wise neural ops (run on SIMD).
+  kRelu,
+  kBatchNorm,
+  kMaxPool,
+  kAvgPool,
+  kSoftmax,
+  kAddElem,
+  // Vector-wise symbolic ops (run on AdArray in VSA mode).
+  kCircularBind,     // nvsa.binding_circular — blockwise circular conv.
+  kCircularUnbind,   // nvsa.inv_binding_circular — circular correlation.
+  // Element-wise / reduction symbolic ops (run on SIMD).
+  kMatchProb,          // nvsa.match_prob
+  kMatchProbBatched,   // nvsa.match_prob_multi_batched
+  kVecSum,             // torch.sum
+  kVecClamp,           // torch.clamp
+  kVecMul,             // operator.mul
+  kVecNorm,
+  kProbAbduction,      // PrAE-style probabilistic scene abduction.
+};
+
+/// The paper's five operation categories (Fig. 1 legend).
+enum class OpCategory : std::uint8_t {
+  kMatrixNn,      // Matrix-wise NN operations.
+  kOtherGemm,     // Other GEMMs.
+  kVectorVsa,     // Vector-wise VSA operations.
+  kElemVsa,       // Element-wise VSA operations.
+  kElemNn,        // Element-wise NN operations.
+  kNone,          // Inputs/constants.
+};
+
+/// Which side of the neuro-symbolic split an op belongs to.
+enum class Domain : std::uint8_t { kNeuro, kSymbolic, kNone };
+
+/// Which hardware unit executes the op.
+enum class ComputeUnit : std::uint8_t { kAdArray, kSimd, kNone };
+
+OpCategory CategoryOf(OpKind kind);
+Domain DomainOf(OpKind kind);
+ComputeUnit UnitOf(OpKind kind);
+const char* OpKindName(OpKind kind);
+OpKind OpKindFromName(const std::string& name);
+
+/// GEMM dimensions after lowering (conv via im2col): C[m,k] = A[m,n]·B[n,k].
+/// The analytical model's (d1, d2, d3) = (m, n, k).
+struct GemmDims {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  double Flops() const { return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k); }
+  bool operator==(const GemmDims&) const = default;
+};
+
+/// Vector-symbolic kernel dimensions: `count` independent circular
+/// convolutions (the paper's n_j) over vectors of `dim` elements (d_j).
+struct VsaDims {
+  std::int64_t count = 0;
+  std::int64_t dim = 0;
+
+  /// Direct-form circular convolution cost: count * (2 d^2) FLOPs.
+  double Flops() const { return 2.0 * static_cast<double>(count) * static_cast<double>(dim) * static_cast<double>(dim); }
+  bool operator==(const VsaDims&) const = default;
+};
+
+}  // namespace nsflow

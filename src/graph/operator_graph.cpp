@@ -1,0 +1,148 @@
+#include "graph/operator_graph.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+double OpNode::Flops() const {
+  switch (unit()) {
+    case ComputeUnit::kAdArray:
+      return domain() == Domain::kNeuro ? gemm.Flops() : vsa.Flops();
+    case ComputeUnit::kSimd:
+      // Element-wise / reduction ops: ~2 flops per element (op + accumulate).
+      return 2.0 * static_cast<double>(elem_count);
+    case ComputeUnit::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double OpNode::TrafficBytes() const {
+  if (category() == OpCategory::kVectorVsa && vsa.dim > 0) {
+    // Stationary operand loaded once; streamed operand re-fetched once per
+    // output element (no reuse under modulo indexing); outputs written once.
+    return weight_bytes + activation_bytes * static_cast<double>(vsa.dim) +
+           output_bytes;
+  }
+  return TotalBytes();
+}
+
+NodeId OperatorGraph::AddNode(OpNode node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node.id = id;
+  for (const NodeId input : node.inputs) {
+    NSF_CHECK_MSG(input >= 0 && input < id,
+                  "node inputs must reference earlier nodes (topological "
+                  "insertion order)");
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const OpNode& OperatorGraph::node(NodeId id) const {
+  NSF_CHECK_MSG(id >= 0 && id < size(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+OpNode& OperatorGraph::node(NodeId id) {
+  NSF_CHECK_MSG(id >= 0 && id < size(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::optional<NodeId> OperatorGraph::FindByName(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) {
+      return n.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<NodeId>> OperatorGraph::BuildConsumers() const {
+  std::vector<std::vector<NodeId>> consumers(nodes_.size());
+  for (const auto& n : nodes_) {
+    for (const NodeId input : n.inputs) {
+      consumers[static_cast<std::size_t>(input)].push_back(n.id);
+    }
+  }
+  return consumers;
+}
+
+void OperatorGraph::Validate() const {
+  std::unordered_map<std::string, int> name_count;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    NSF_CHECK_MSG(n.id == static_cast<NodeId>(i), "node id mismatch");
+    NSF_CHECK_MSG(!n.name.empty(), "node must have a name");
+    ++name_count[n.name];
+    NSF_CHECK_MSG(name_count[n.name] == 1, "duplicate node name: " + n.name);
+    for (const NodeId input : n.inputs) {
+      NSF_CHECK_MSG(input >= 0 && input < n.id,
+                    "edge must point to an earlier node: " + n.name);
+    }
+    if (n.unit() == ComputeUnit::kAdArray && n.domain() == Domain::kNeuro) {
+      NSF_CHECK_MSG(n.gemm.m > 0 && n.gemm.n > 0 && n.gemm.k > 0,
+                    "neural array op needs GEMM dims: " + n.name);
+    }
+    if (n.unit() == ComputeUnit::kAdArray && n.domain() == Domain::kSymbolic) {
+      NSF_CHECK_MSG(n.vsa.count > 0 && n.vsa.dim > 0,
+                    "VSA array op needs vector dims: " + n.name);
+    }
+  }
+}
+
+DomainStats OperatorGraph::StatsFor(Domain domain) const {
+  DomainStats stats;
+  for (const auto& n : nodes_) {
+    if (n.domain() == domain) {
+      stats.flops += n.Flops();
+      stats.bytes += n.TotalBytes();
+      stats.traffic_bytes += n.TrafficBytes();
+      ++stats.ops;
+    }
+  }
+  return stats;
+}
+
+DomainStats OperatorGraph::StatsFor(OpCategory category) const {
+  DomainStats stats;
+  for (const auto& n : nodes_) {
+    if (n.category() == category) {
+      stats.flops += n.Flops();
+      stats.bytes += n.TotalBytes();
+      stats.traffic_bytes += n.TrafficBytes();
+      ++stats.ops;
+    }
+  }
+  return stats;
+}
+
+double OperatorGraph::TotalFlops() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    total += n.Flops();
+  }
+  return total;
+}
+
+double OperatorGraph::TotalBytes() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    total += n.TotalBytes();
+  }
+  return total;
+}
+
+std::vector<NodeId> OperatorGraph::NodesOnUnit(ComputeUnit unit) const {
+  std::vector<NodeId> ids;
+  for (const auto& n : nodes_) {
+    if (n.unit() == unit) {
+      ids.push_back(n.id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,117 @@
+// The operator graph: NSFlow's in-memory representation of one loop of an
+// NSAI workload, as extracted from the program trace (paper Fig. 2, "Program
+// Trace (.json)" -> frontend).
+//
+// Nodes carry the operator kind, data dependencies (producer node ids), the
+// lowered kernel dimensions used by the analytical model, and byte-level
+// memory footprints under the active precision policy. The graph is a DAG;
+// `Validate` enforces acyclicity and reference integrity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+#include "quant/precision.h"
+
+namespace nsflow {
+
+using NodeId = std::int64_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct OpNode {
+  NodeId id = kInvalidNode;
+  std::string name;             // e.g. "conv2d_1", "inv_binding_circular_2"
+  OpKind kind = OpKind::kInput;
+  std::vector<NodeId> inputs;   // Producer nodes.
+
+  // Kernel dimensions (which one is meaningful depends on the unit).
+  GemmDims gemm;                // AdArray NN mode.
+  VsaDims vsa;                  // AdArray VSA mode.
+  std::int64_t elem_count = 0;  // SIMD ops.
+
+  // Memory footprints in bytes at the workload's precision policy.
+  double weight_bytes = 0.0;    // Stationary operand (filters / codebooks).
+  double activation_bytes = 0.0;  // Streaming operand(s).
+  double output_bytes = 0.0;
+
+  double Flops() const;
+  double TotalBytes() const {
+    return weight_bytes + activation_bytes + output_bytes;
+  }
+  /// DRAM traffic the op generates on a cache-based device. For vector VSA
+  /// kernels the modulo-indexed circular access defeats reuse, so the
+  /// streamed operand is re-fetched once per output element (the paper's
+  /// "streaming vector elements, increasing the memory bandwidth pressure",
+  /// Sec. II-B); all other ops touch their working set once.
+  double TrafficBytes() const;
+  Domain domain() const { return DomainOf(kind); }
+  ComputeUnit unit() const { return UnitOf(kind); }
+  OpCategory category() const { return CategoryOf(kind); }
+};
+
+/// Aggregate FLOP / byte / runtime-share statistics per domain, used by the
+/// characterization benches (Fig. 1) and the DSE memory sizing.
+struct DomainStats {
+  double flops = 0.0;
+  double bytes = 0.0;          // Working-set footprint (storage accounting).
+  double traffic_bytes = 0.0;  // DRAM traffic (roofline accounting).
+  int ops = 0;
+
+  /// Arithmetic intensity in FLOPs per *transferred* byte (roofline x-axis).
+  double ArithmeticIntensity() const {
+    return traffic_bytes > 0 ? flops / traffic_bytes : 0.0;
+  }
+};
+
+class OperatorGraph {
+ public:
+  OperatorGraph() = default;
+  explicit OperatorGraph(std::string workload_name)
+      : workload_name_(std::move(workload_name)) {}
+
+  const std::string& workload_name() const { return workload_name_; }
+  void set_workload_name(std::string name) { workload_name_ = std::move(name); }
+
+  /// Number of algorithm iterations ("loops") this graph represents one of.
+  int loop_count() const { return loop_count_; }
+  void set_loop_count(int n) { loop_count_ = n; }
+
+  PrecisionPolicy precision() const { return precision_; }
+  void set_precision(PrecisionPolicy p) { precision_ = p; }
+
+  /// Append a node; returns its id. Inputs must already exist (ids < new id),
+  /// which makes insertion order a valid topological order.
+  NodeId AddNode(OpNode node);
+
+  const OpNode& node(NodeId id) const;
+  OpNode& node(NodeId id);
+  std::optional<NodeId> FindByName(const std::string& name) const;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(nodes_.size()); }
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+
+  /// Consumers of each node (reverse adjacency), rebuilt on demand.
+  std::vector<std::vector<NodeId>> BuildConsumers() const;
+
+  /// Throws CheckError on dangling references or forward edges.
+  void Validate() const;
+
+  DomainStats StatsFor(Domain domain) const;
+  DomainStats StatsFor(OpCategory category) const;
+  double TotalFlops() const;
+  double TotalBytes() const;
+
+  /// All nodes of a given compute unit, in topological (insertion) order.
+  std::vector<NodeId> NodesOnUnit(ComputeUnit unit) const;
+
+ private:
+  std::string workload_name_ = "unnamed";
+  int loop_count_ = 1;
+  PrecisionPolicy precision_ = PrecisionPolicy::Uniform(Precision::kFP32);
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace nsflow

@@ -1,0 +1,368 @@
+#include "graph/trace.h"
+
+#include <cctype>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace nsflow {
+namespace {
+
+double ShapeNumel(const std::vector<std::int64_t>& shape) {
+  double numel = 1.0;
+  for (const auto d : shape) {
+    numel *= static_cast<double>(d);
+  }
+  return shape.empty() ? 0.0 : numel;
+}
+
+}  // namespace
+
+OperatorGraph ParseJsonTrace(const std::string& text) {
+  const Json doc = Json::Parse(text);
+  OperatorGraph graph(doc.GetStringOr("workload", "unnamed"));
+  graph.set_loop_count(
+      static_cast<int>(doc.GetNumberOr("loop_count", 1.0)));
+
+  if (doc.Contains("precision")) {
+    const auto& p = doc.At("precision");
+    PrecisionPolicy policy;
+    policy.neural = PrecisionFromName(p.GetStringOr("neural", "FP32"));
+    policy.symbolic = PrecisionFromName(p.GetStringOr("symbolic", "FP32"));
+    graph.set_precision(policy);
+  }
+
+  std::unordered_map<std::string, NodeId> by_name;
+  for (const auto& op_json : doc.At("ops").AsArray()) {
+    OpNode node;
+    node.name = op_json.At("name").AsString();
+    node.kind = OpKindFromName(op_json.At("kind").AsString());
+    if (op_json.Contains("inputs")) {
+      for (const auto& input : op_json.At("inputs").AsArray()) {
+        const auto it = by_name.find(input.AsString());
+        if (it == by_name.end()) {
+          throw ParseError("trace op '" + node.name +
+                           "' references unknown input '" + input.AsString() +
+                           "'");
+        }
+        node.inputs.push_back(it->second);
+      }
+    }
+    if (op_json.Contains("gemm")) {
+      const auto& g = op_json.At("gemm");
+      node.gemm = {g.At("m").AsInt(), g.At("n").AsInt(), g.At("k").AsInt()};
+    }
+    if (op_json.Contains("vsa")) {
+      const auto& v = op_json.At("vsa");
+      node.vsa = {v.At("count").AsInt(), v.At("dim").AsInt()};
+    }
+    node.elem_count =
+        static_cast<std::int64_t>(op_json.GetNumberOr("elem_count", 0.0));
+    node.weight_bytes = op_json.GetNumberOr("weight_bytes", 0.0);
+    node.activation_bytes = op_json.GetNumberOr("activation_bytes", 0.0);
+    node.output_bytes = op_json.GetNumberOr("output_bytes", 0.0);
+    const std::string name = node.name;
+    by_name[name] = graph.AddNode(std::move(node));
+  }
+  graph.Validate();
+  return graph;
+}
+
+std::string EmitJsonTrace(const OperatorGraph& graph, int indent) {
+  Json doc;
+  doc["workload"] = Json(graph.workload_name());
+  doc["loop_count"] = Json(static_cast<std::int64_t>(graph.loop_count()));
+  JsonObject precision;
+  precision["neural"] = Json(PrecisionName(graph.precision().neural));
+  precision["symbolic"] = Json(PrecisionName(graph.precision().symbolic));
+  doc["precision"] = Json(std::move(precision));
+
+  JsonArray ops;
+  for (const auto& node : graph.nodes()) {
+    JsonObject op;
+    op["name"] = Json(node.name);
+    op["kind"] = Json(std::string(OpKindName(node.kind)));
+    JsonArray inputs;
+    for (const NodeId input : node.inputs) {
+      inputs.push_back(Json(graph.node(input).name));
+    }
+    op["inputs"] = Json(std::move(inputs));
+    if (node.gemm.m > 0) {
+      JsonObject g;
+      g["m"] = Json(node.gemm.m);
+      g["n"] = Json(node.gemm.n);
+      g["k"] = Json(node.gemm.k);
+      op["gemm"] = Json(std::move(g));
+    }
+    if (node.vsa.count > 0) {
+      JsonObject v;
+      v["count"] = Json(node.vsa.count);
+      v["dim"] = Json(node.vsa.dim);
+      op["vsa"] = Json(std::move(v));
+    }
+    if (node.elem_count > 0) {
+      op["elem_count"] = Json(node.elem_count);
+    }
+    if (node.weight_bytes > 0) {
+      op["weight_bytes"] = Json(node.weight_bytes);
+    }
+    if (node.activation_bytes > 0) {
+      op["activation_bytes"] = Json(node.activation_bytes);
+    }
+    if (node.output_bytes > 0) {
+      op["output_bytes"] = Json(node.output_bytes);
+    }
+    ops.push_back(Json(std::move(op)));
+  }
+  doc["ops"] = Json(std::move(ops));
+  return doc.Dump(indent);
+}
+
+namespace trace_internal {
+namespace {
+
+/// Small cursor over one line.
+class LineCursor {
+ public:
+  explicit LineCursor(const std::string& line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Consume(char c) {
+    if (!TryConsume(c)) {
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void ConsumeLiteral(std::string_view literal) {
+    SkipSpace();
+    if (line_.compare(pos_, literal.size(), literal) != 0) {
+      Fail("expected literal '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+  }
+
+  /// Identifier: [A-Za-z0-9_.]+
+  std::string ConsumeIdentifier() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '_' || line_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected identifier");
+    }
+    return line_.substr(start, pos_ - start);
+  }
+
+  std::vector<std::int64_t> ConsumeShape() {
+    Consume('[');
+    std::vector<std::int64_t> shape;
+    while (true) {
+      SkipSpace();
+      std::int64_t value = 0;
+      bool any = false;
+      while (pos_ < line_.size() &&
+             std::isdigit(static_cast<unsigned char>(line_[pos_])) != 0) {
+        value = value * 10 + (line_[pos_] - '0');
+        ++pos_;
+        any = true;
+      }
+      if (!any) {
+        Fail("expected dimension");
+      }
+      shape.push_back(value);
+      if (TryConsume(']')) {
+        return shape;
+      }
+      Consume(',');
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError("trace line parse error at column " +
+                     std::to_string(pos_) + ": " + message + " in: " + line_);
+  }
+
+ private:
+  const std::string& line_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TextTraceLine ParseLine(const std::string& line) {
+  TextTraceLine parsed;
+  LineCursor cursor(line);
+  cursor.Consume('%');
+  parsed.result_name = cursor.ConsumeIdentifier();
+  parsed.result_shape = cursor.ConsumeShape();
+  cursor.Consume(':');
+  parsed.call_type = cursor.ConsumeIdentifier();
+  if (parsed.call_type != "call_module" && parsed.call_type != "call_function") {
+    throw ParseError("unknown call type: " + parsed.call_type);
+  }
+  cursor.Consume('[');
+  parsed.op_name = cursor.ConsumeIdentifier();
+  cursor.Consume(']');
+  cursor.Consume('(');
+  cursor.ConsumeLiteral("args");
+  cursor.Consume('=');
+  cursor.Consume('(');
+  if (!cursor.TryConsume(')')) {
+    while (true) {
+      cursor.Consume('%');
+      TextTraceLine::Arg arg;
+      arg.name = cursor.ConsumeIdentifier();
+      arg.shape = cursor.ConsumeShape();
+      parsed.args.push_back(std::move(arg));
+      if (cursor.TryConsume(')')) {
+        break;
+      }
+      cursor.Consume(',');
+    }
+  }
+  cursor.Consume(')');
+  return parsed;
+}
+
+}  // namespace trace_internal
+
+namespace {
+
+using trace_internal::TextTraceLine;
+
+/// Map a parsed text line onto an OpNode, inferring kernel dimensions from
+/// output/input shapes. Conv filters are not present in fx-style traces, so a
+/// 3x3 kernel is assumed; this matches ResNet body convolutions and is the
+/// documented heuristic for text ingestion (JSON traces carry exact dims).
+OpNode NodeFromLine(const TextTraceLine& line, const OperatorGraph& graph,
+                    const std::unordered_map<std::string, NodeId>& by_name) {
+  OpNode node;
+  node.name = line.result_name;
+  node.kind = OpKindFromName(line.op_name);
+  for (const auto& arg : line.args) {
+    node.inputs.push_back(by_name.at(arg.name));
+  }
+
+  const auto& out_shape = line.result_shape;
+  const double out_elems = ShapeNumel(out_shape);
+  const double bytes_per_elem =
+      BytesOf(node.domain() == Domain::kSymbolic
+                  ? graph.precision().symbolic
+                  : graph.precision().neural);
+
+  switch (node.unit()) {
+    case ComputeUnit::kAdArray: {
+      if (node.domain() == Domain::kNeuro) {
+        // Output [B, C, H, W]: m = C; n = Cin * 3 * 3; k = B * H * W.
+        NSF_CHECK_MSG(out_shape.size() == 4,
+                      "conv trace line needs a 4-D output shape");
+        const std::int64_t cin =
+            line.args.empty() || line.args[0].shape.size() != 4
+                ? out_shape[1]
+                : line.args[0].shape[1];
+        node.gemm.m = out_shape[1];
+        node.gemm.n = cin * 9;
+        node.gemm.k = out_shape[0] * out_shape[2] * out_shape[3];
+        node.weight_bytes =
+            static_cast<double>(node.gemm.m * node.gemm.n) * bytes_per_elem;
+      } else {
+        // VSA op, shape [batch, blocks, block_dim]: count = batch * blocks.
+        NSF_CHECK_MSG(!out_shape.empty(), "VSA trace line needs a shape");
+        const std::int64_t dim = out_shape.back();
+        std::int64_t count = 1;
+        for (std::size_t i = 0; i + 1 < out_shape.size(); ++i) {
+          count *= out_shape[i];
+        }
+        node.vsa.count = count;
+        node.vsa.dim = dim;
+        node.weight_bytes = out_elems * bytes_per_elem;  // Stationary operand.
+      }
+      break;
+    }
+    case ComputeUnit::kSimd: {
+      // Element count: the larger of output and first-arg element counts
+      // (reductions have scalar outputs but vector inputs).
+      double elems = out_elems;
+      for (const auto& arg : line.args) {
+        elems = std::max(elems, ShapeNumel(arg.shape));
+      }
+      node.elem_count = static_cast<std::int64_t>(elems);
+      break;
+    }
+    case ComputeUnit::kNone:
+      break;
+  }
+
+  double in_elems = 0.0;
+  for (const auto& arg : line.args) {
+    in_elems += ShapeNumel(arg.shape);
+  }
+  node.activation_bytes = in_elems * bytes_per_elem;
+  node.output_bytes = out_elems * bytes_per_elem;
+  return node;
+}
+
+}  // namespace
+
+OperatorGraph ParseTextTrace(const std::string& text) {
+  OperatorGraph graph("text_trace");
+  std::unordered_map<std::string, NodeId> by_name;
+
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    // Strip leading whitespace.
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const std::string trimmed = line.substr(first);
+    if (trimmed.starts_with("//") || trimmed.starts_with("#") ||
+        trimmed.starts_with("graph()") || trimmed.starts_with("...")) {
+      continue;
+    }
+    const auto parsed = trace_internal::ParseLine(trimmed);
+
+    // Materialize implicit inputs for operands that were never defined.
+    for (const auto& arg : parsed.args) {
+      if (by_name.count(arg.name) == 0) {
+        OpNode input;
+        input.name = arg.name;
+        input.kind = OpKind::kInput;
+        input.output_bytes = ShapeNumel(arg.shape) * BytesOf(Precision::kFP32);
+        by_name[arg.name] = graph.AddNode(std::move(input));
+      }
+    }
+    by_name[parsed.result_name] =
+        graph.AddNode(NodeFromLine(parsed, graph, by_name));
+  }
+  graph.Validate();
+  return graph;
+}
+
+}  // namespace nsflow

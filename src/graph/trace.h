@@ -1,0 +1,53 @@
+// Program-trace ingestion and emission.
+//
+// The paper's frontend consumes an execution trace extracted from the user's
+// Python workload (Fig. 2: "Program Trace (.json)"; Listing 1 shows the
+// torch.fx-style text form). This module supports both:
+//
+//  * a JSON trace — the canonical machine interchange format, carrying exact
+//    lowered kernel dimensions and byte footprints per op, and
+//  * the Listing-1 text form — `%name[shape] : call_module[op](args = (...))`
+//    lines — for which kernel dimensions are inferred from shapes with
+//    documented heuristics (3x3 conv assumption, batch folding into k).
+//
+// Both parsers produce an `OperatorGraph`; `EmitJsonTrace` round-trips it.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "graph/operator_graph.h"
+
+namespace nsflow {
+
+/// Parse the canonical JSON trace format.
+OperatorGraph ParseJsonTrace(const std::string& text);
+
+/// Serialize a graph to the canonical JSON trace format.
+std::string EmitJsonTrace(const OperatorGraph& graph, int indent = 2);
+
+/// Parse the torch.fx-style text trace of the paper's Listing 1. Lines that
+/// are comments (`//`, `#`), the `graph():` header, or blank are skipped.
+/// Referenced-but-undefined operands (e.g. `%vec_0`) become implicit inputs.
+OperatorGraph ParseTextTrace(const std::string& text);
+
+namespace trace_internal {
+
+/// One parsed text-trace line, exposed for unit testing.
+struct TextTraceLine {
+  std::string result_name;
+  std::vector<std::int64_t> result_shape;
+  std::string call_type;  // "call_module" | "call_function"
+  std::string op_name;    // e.g. "conv2d", "nvsa.match_prob"
+  struct Arg {
+    std::string name;
+    std::vector<std::int64_t> shape;
+  };
+  std::vector<Arg> args;
+};
+
+/// Parse a single `%x[1,2] : call_module[f](args = (%y[3,4]))` line.
+TextTraceLine ParseLine(const std::string& line);
+
+}  // namespace trace_internal
+}  // namespace nsflow

@@ -1,0 +1,97 @@
+#include "model/accel_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nsflow {
+namespace {
+
+/// Bytes that must cross the AXI interface per loop: every node's operands
+/// whose residency exceeds its double-buffered block are (re)streamed. We
+/// charge each node's working set once — the DAG sizes MemA/MemB/MemC so
+/// that intra-node traffic never re-fetches (Sec. V-C, "eliminate inner-node
+/// memory stalls") — plus each layer's output unless it fits the cache.
+double LoopDramBytes(const DataflowGraph& dfg,
+                     const AcceleratorDesign& design) {
+  double bytes = 0.0;
+  for (const auto& layer : dfg.layers()) {
+    bytes += layer.weight_bytes;
+    if (layer.output_bytes > design.memory.cache_bytes) {
+      bytes += layer.output_bytes;
+    }
+  }
+  for (const auto& v : dfg.vsa_ops()) {
+    bytes += v.bytes;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+AccelPerf EstimateAccelerator(const DataflowGraph& dfg,
+                              const AcceleratorDesign& design) {
+  const auto& layers = dfg.layers();
+  const auto& vsa = dfg.vsa_ops();
+  NSF_CHECK_MSG(design.sequential_mode || design.nl.size() == layers.size(),
+                "parallel design needs one Nl entry per layer");
+  NSF_CHECK_MSG(design.sequential_mode || design.nv.size() == vsa.size(),
+                "parallel design needs one Nv entry per VSA node");
+
+  AccelPerf perf;
+  if (design.sequential_mode) {
+    double nn = 0.0;
+    for (const auto& layer : layers) {
+      nn += LayerCycles(design.array, design.array.count, layer.gemm);
+    }
+    std::vector<std::int64_t> all(vsa.size(), design.array.count);
+    perf.nn_cycles = nn;
+    perf.vsa_cycles = vsa.empty() ? 0.0 : VsaTotalCycles(design.array, vsa, all);
+    perf.array_cycles = perf.nn_cycles + perf.vsa_cycles;
+  } else {
+    perf.nn_cycles =
+        layers.empty() ? 0.0 : NnTotalCycles(design.array, layers, design.nl);
+    perf.vsa_cycles =
+        vsa.empty() ? 0.0 : VsaTotalCycles(design.array, vsa, design.nv);
+    perf.array_cycles = std::max(perf.nn_cycles, perf.vsa_cycles);
+  }
+
+  perf.simd_cycles = SimdCycles(dfg.TotalSimdElems(), design.simd_width);
+  // The SIMD unit drains MemC while the array computes; only the excess
+  // beyond array busy time is exposed (the DAG sizes the SIMD so this is
+  // normally zero — Sec. V-C "SIMD size is minimized such that latency ...
+  // can be hidden").
+  perf.simd_exposed_cycles =
+      std::max(0.0, perf.simd_cycles - perf.array_cycles);
+
+  const double bytes_per_cycle = design.dram_bandwidth / design.clock_hz;
+  perf.dram_cycles = LoopDramBytes(dfg, design) / bytes_per_cycle;
+  // Double buffering: transfers overlap compute; only the excess stalls.
+  perf.dram_stall_cycles =
+      std::max(0.0, perf.dram_cycles - perf.array_cycles);
+
+  perf.total_cycles =
+      perf.array_cycles + perf.simd_exposed_cycles + perf.dram_stall_cycles;
+  return perf;
+}
+
+double EndToEndSeconds(const DataflowGraph& dfg,
+                       const AcceleratorDesign& design) {
+  const AccelPerf steady = EstimateAccelerator(dfg, design);
+  const int loops = std::max(1, dfg.source().loop_count());
+
+  if (design.sequential_mode || loops == 1) {
+    return steady.Seconds(design.clock_hz) * loops;
+  }
+  // Pipelined loops: the first iteration pays NN + VSA serially (symbolic
+  // depends on the neural output — the critical-path dependency of Sec. I);
+  // the remaining loops run at the steady-state fused rate.
+  const double fill_cycles = steady.nn_cycles + steady.vsa_cycles +
+                             steady.simd_exposed_cycles +
+                             steady.dram_stall_cycles;
+  const double total =
+      fill_cycles + static_cast<double>(loops - 1) * steady.total_cycles;
+  return total / design.clock_hz;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,75 @@
+// Performance model of a generated NSFlow accelerator.
+//
+// Combines the Sec. V-C cycle equations with the memory system: array and
+// SIMD cycles from the analytical model, DRAM traffic through the AXI model
+// with double buffering (transfers overlap compute; only the excess stalls),
+// all at the deployment clock (272 MHz on the U250, Table III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+#include "model/analytical.h"
+#include "quant/precision.h"
+
+namespace nsflow {
+
+/// On-chip memory block sizes chosen by the DAG (paper Sec. IV-C / V-C).
+struct MemoryConfig {
+  double mem_a1_bytes = 0.0;   // NN filters for the NN sub-arrays.
+  double mem_a2_bytes = 0.0;   // Stationary VSA vectors for the VSA sub-arrays.
+  double mem_b_bytes = 0.0;    // IFMAP buffer (NN mode only).
+  double mem_c_bytes = 0.0;    // Output buffer (array + SIMD results).
+  double cache_bytes = 0.0;    // URAM intermediate cache.
+
+  double TotalSramBytes() const {
+    return mem_a1_bytes + mem_a2_bytes + mem_b_bytes + mem_c_bytes;
+  }
+  double TotalBytes() const { return TotalSramBytes() + cache_bytes; }
+};
+
+/// A fully specified accelerator instance — everything the backend needs to
+/// instantiate hardware, and everything this model needs to predict runtime.
+/// Produced by the DSE (src/dse) and consumed by the simulator (src/arch),
+/// the resource model (src/fpga), and the benches.
+struct AcceleratorDesign {
+  ArrayConfig array;
+  bool sequential_mode = false;       // Algorithm 1 line 14 fallback.
+  std::vector<std::int64_t> nl;       // Per-layer sub-array allocation.
+  std::vector<std::int64_t> nv;       // Per-VSA-node sub-array allocation.
+  std::int64_t default_nl = 0;        // Phase I static partition (reporting).
+  std::int64_t default_nv = 0;
+  std::int64_t simd_width = 64;
+  MemoryConfig memory;
+  PrecisionPolicy precision;
+  double clock_hz = 272e6;            // Table III deployment frequency.
+  double dram_bandwidth = 77e9;       // Four DDR4-2400 channels on the U250.
+};
+
+/// Cycle breakdown for one loop of the workload.
+struct AccelPerf {
+  double array_cycles = 0.0;      // AdArray busy time (max of NN/VSA lanes
+                                  // in parallel mode, sum in sequential).
+  double nn_cycles = 0.0;         // t_nn component.
+  double vsa_cycles = 0.0;        // t_vsa component.
+  double simd_cycles = 0.0;       // SIMD unit busy time.
+  double simd_exposed_cycles = 0.0;  // SIMD time not hidden under the array.
+  double dram_cycles = 0.0;       // AXI transfer time.
+  double dram_stall_cycles = 0.0; // Transfer time not hidden by buffering.
+  double total_cycles = 0.0;
+
+  double Seconds(double clock_hz) const { return total_cycles / clock_hz; }
+};
+
+/// Predict one-loop performance of `design` on `dfg`.
+AccelPerf EstimateAccelerator(const DataflowGraph& dfg,
+                              const AcceleratorDesign& design);
+
+/// End-to-end seconds for the workload's full loop_count, accounting for the
+/// pipeline fill of the first loop (NN and VSA cannot overlap until one NN
+/// pass has completed).
+double EndToEndSeconds(const DataflowGraph& dfg,
+                       const AcceleratorDesign& design);
+
+}  // namespace nsflow

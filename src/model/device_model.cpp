@@ -1,0 +1,122 @@
+#include "model/device_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nsflow {
+
+double CategoryEfficiency::For(OpCategory category) const {
+  switch (category) {
+    case OpCategory::kMatrixNn:
+      return matrix_nn;
+    case OpCategory::kOtherGemm:
+      return other_gemm;
+    case OpCategory::kVectorVsa:
+      return vector_vsa;
+    case OpCategory::kElemVsa:
+      return elem_vsa;
+    case OpCategory::kElemNn:
+      return elem_nn;
+    case OpCategory::kNone:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+WorkloadEstimate RooflineDevice::Estimate(const OperatorGraph& graph) const {
+  WorkloadEstimate estimate;
+  for (const auto& node : graph.nodes()) {
+    const double t = OpRuntime(node);
+    switch (node.domain()) {
+      case Domain::kNeuro:
+        estimate.neuro_s += t;
+        break;
+      case Domain::kSymbolic:
+        estimate.symbolic_s += t;
+        break;
+      case Domain::kNone:
+        break;
+    }
+  }
+  return estimate;
+}
+
+double RooflineDevice::OpRuntime(const OpNode& node) const {
+  if (node.category() == OpCategory::kNone) {
+    return 0.0;
+  }
+  const double ceff = spec_.compute_eff.For(node.category());
+  const double beff = spec_.bandwidth_eff.For(node.category());
+  NSF_CHECK_MSG(ceff > 0.0 && beff > 0.0, "efficiencies must be positive");
+  const double compute_s = node.Flops() / (spec_.peak_flops * ceff);
+  const double memory_s = node.TrafficBytes() / (spec_.mem_bandwidth * beff);
+  return std::max(compute_s, memory_s) + spec_.launch_overhead_s;
+}
+
+SystolicArrayDevice::SystolicArrayDevice(std::string name, ArrayConfig config,
+                                         double clock_hz, double mem_bandwidth,
+                                         double launch_overhead_s)
+    : name_(std::move(name)),
+      config_(config),
+      clock_hz_(clock_hz),
+      mem_bandwidth_(mem_bandwidth),
+      launch_overhead_s_(launch_overhead_s) {
+  NSF_CHECK_MSG(config_.count == 1,
+                "monolithic baseline array must have a single partition");
+}
+
+double SystolicArrayDevice::OpCycles(const OpNode& node) const {
+  switch (node.unit()) {
+    case ComputeUnit::kAdArray: {
+      if (node.domain() == Domain::kNeuro) {
+        return LayerCycles(config_, 1, node.gemm);
+      }
+      // Circular convolution on a rigid GEMM array: each output vector needs
+      // a d x d circulant-matrix GEMM, and the circulant operand must be
+      // materialized and streamed from memory every time (no stationary
+      // reuse across the d shifted copies). Compute cycles per Eq. (1) with
+      // m=n=d, k=count; memory cycles for streaming count * d*d circulant
+      // words through the array's edge bandwidth.
+      const GemmDims circulant{node.vsa.dim, node.vsa.dim, node.vsa.count};
+      const double compute = LayerCycles(config_, 1, circulant);
+      const double words = static_cast<double>(node.vsa.count) *
+                           static_cast<double>(node.vsa.dim) *
+                           static_cast<double>(node.vsa.dim);
+      const double bytes_per_cycle = mem_bandwidth_ / clock_hz_;
+      const double memory = words /* 1 byte each at INT8 */ / bytes_per_cycle;
+      return std::max(compute, memory);
+    }
+    case ComputeUnit::kSimd:
+      // No SIMD coprocessor: element-wise ops run on the accompanying host
+      // vector unit (a 256-lane-equivalent path at the array clock).
+      return SimdCycles(static_cast<double>(node.elem_count), 256);
+    case ComputeUnit::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+WorkloadEstimate SystolicArrayDevice::Estimate(const OperatorGraph& graph) const {
+  WorkloadEstimate estimate;
+  for (const auto& node : graph.nodes()) {
+    const double t = OpCycles(node) / clock_hz_ +
+                     (node.category() == OpCategory::kNone
+                          ? 0.0
+                          : launch_overhead_s_);
+    switch (node.domain()) {
+      case Domain::kNeuro:
+        estimate.neuro_s += t;
+        break;
+      case Domain::kSymbolic:
+        estimate.symbolic_s += t;
+        break;
+      case Domain::kNone:
+        break;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,112 @@
+// Baseline device models.
+//
+// HARDWARE SUBSTITUTION (see DESIGN.md): the paper measures Jetson TX2,
+// Xavier NX, Xeon CPU, RTX 2080, a Coral edge TPU, a TPU-like 128x128
+// systolic array, and a Xilinx DPU. We model each device as a roofline with
+// per-kernel-category efficiency derates and a per-kernel launch overhead:
+//
+//   t_op = max( flops / (peak · eff_class), bytes / (bw · bw_eff_class) )
+//          + launch_overhead
+//
+// Symbolic VSA kernels stream large vectors with almost no reuse, so their
+// bandwidth efficiency is low and their compute efficiency lower still —
+// exactly the paper's Fig. 1 observation (symbolic = 19% of NVSA FLOPs but
+// ~87% of GPU runtime). The TPU-like systolic array and the DPU are instead
+// modeled through the cycle equations of src/model/analytical.h so the
+// array-utilization pathology of circular convolution on a rigid GEMM engine
+// emerges structurally rather than from a tuned constant.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/operator_graph.h"
+#include "model/analytical.h"
+
+namespace nsflow {
+
+/// Per-category fraction-of-peak efficiencies.
+struct CategoryEfficiency {
+  double matrix_nn = 0.6;
+  double other_gemm = 0.5;
+  double vector_vsa = 0.05;
+  double elem_vsa = 0.05;
+  double elem_nn = 0.2;
+
+  double For(OpCategory category) const;
+};
+
+/// Roofline-style device description.
+struct DeviceSpec {
+  std::string name;
+  double peak_flops = 1e12;        // Effective FLOP/s at the deployed precision.
+  double mem_bandwidth = 100e9;    // byte/s
+  double launch_overhead_s = 5e-6; // Per-kernel dispatch cost.
+  CategoryEfficiency compute_eff;
+  CategoryEfficiency bandwidth_eff;
+  double tdp_watts = 0.0;
+};
+
+/// Per-domain runtime estimate for one loop of a workload.
+struct WorkloadEstimate {
+  double neuro_s = 0.0;
+  double symbolic_s = 0.0;
+
+  double total_s() const { return neuro_s + symbolic_s; }
+  double symbolic_share() const {
+    const double t = total_s();
+    return t > 0.0 ? symbolic_s / t : 0.0;
+  }
+};
+
+/// Interface implemented by all baseline devices.
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+  virtual const std::string& name() const = 0;
+  /// Estimated end-to-end runtime of one loop of `graph`.
+  virtual WorkloadEstimate Estimate(const OperatorGraph& graph) const = 0;
+};
+
+/// Roofline device (CPU, GPU, edge SoCs, edge TPU).
+class RooflineDevice : public DeviceModel {
+ public:
+  explicit RooflineDevice(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const std::string& name() const override { return spec_.name; }
+  const DeviceSpec& spec() const { return spec_; }
+  WorkloadEstimate Estimate(const OperatorGraph& graph) const override;
+
+  /// Runtime of a single op on this device (exposed for tests).
+  double OpRuntime(const OpNode& node) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+/// A rigid monolithic weight-stationary systolic array (TPU-like baseline,
+/// 128x128 by default). GEMMs run through Eq. (1) with N=1; circular
+/// convolutions must be lowered to circulant-matrix GEMMs (d x d matrix per
+/// vector), which is where the 8x inefficiency the paper reports comes from.
+/// Neural and symbolic phases are strictly sequential (no folding).
+class SystolicArrayDevice : public DeviceModel {
+ public:
+  SystolicArrayDevice(std::string name, ArrayConfig config, double clock_hz,
+                      double mem_bandwidth, double launch_overhead_s = 2e-6);
+
+  const std::string& name() const override { return name_; }
+  WorkloadEstimate Estimate(const OperatorGraph& graph) const override;
+
+  /// Cycles to run one op (exposed for the ablation bench).
+  double OpCycles(const OpNode& node) const;
+
+ private:
+  std::string name_;
+  ArrayConfig config_;  // count is 1 for a monolithic array.
+  double clock_hz_;
+  double mem_bandwidth_;
+  double launch_overhead_s_;
+};
+
+}  // namespace nsflow

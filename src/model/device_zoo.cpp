@@ -1,0 +1,210 @@
+#include "model/device_zoo.h"
+
+#include "common/error.h"
+
+namespace nsflow {
+namespace {
+
+// Symbolic kernels on general-purpose devices: low compute efficiency (no
+// reuse, irregular access) and derated streaming bandwidth. Calibrated so
+// that symbolic runtime share on the CPU+GPU system lands near the paper's
+// Fig. 1a bars (NVSA ~66%, MIMONet ~94%, LVRF ~80%, PrAE ~92%).
+CategoryEfficiency GpuComputeEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.45;   // cuDNN conv on Turing at the small batches /
+                          // small images NSAI perception uses (8-16 panels
+                          // of 80-160 px): well below large-batch peak.
+  eff.other_gemm = 0.40;
+  eff.vector_vsa = 0.05;  // Circular conv: no tensor-core path, strided reads.
+  eff.elem_vsa = 0.06;
+  eff.elem_nn = 0.15;
+  return eff;
+}
+
+CategoryEfficiency GpuBandwidthEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.70;
+  eff.other_gemm = 0.65;
+  eff.vector_vsa = 0.22;  // Modulo-indexed gathers defeat coalescing.
+  eff.elem_vsa = 0.30;
+  eff.elem_nn = 0.60;
+  return eff;
+}
+
+CategoryEfficiency CpuComputeEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.55;   // MKL GEMM.
+  eff.other_gemm = 0.50;
+  eff.vector_vsa = 0.10;  // Caches help the small vectors, SIMD gathers hurt.
+  eff.elem_vsa = 0.20;
+  eff.elem_nn = 0.25;
+  return eff;
+}
+
+CategoryEfficiency CpuBandwidthEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.60;
+  eff.other_gemm = 0.60;
+  eff.vector_vsa = 0.55;  // LLC-resident working sets stream reasonably well.
+  eff.elem_vsa = 0.70;    // Probability tensors stream linearly.
+  eff.elem_nn = 0.55;
+  return eff;
+}
+
+CategoryEfficiency EdgeSocComputeEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.45;   // Mobile GPU conv kernels.
+  eff.other_gemm = 0.40;
+  eff.vector_vsa = 0.03;  // Worst case: tiny SMs + uncoalesced circular reads.
+  eff.elem_vsa = 0.06;
+  eff.elem_nn = 0.12;
+  return eff;
+}
+
+CategoryEfficiency EdgeSocBandwidthEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.55;
+  eff.other_gemm = 0.50;
+  eff.vector_vsa = 0.30;
+  eff.elem_vsa = 0.35;
+  eff.elem_nn = 0.45;
+  return eff;
+}
+
+CategoryEfficiency EdgeTpuComputeEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.70;   // Conv is the edge TPU's design point.
+  eff.other_gemm = 0.55;
+  eff.vector_vsa = 0.01;  // No circular-conv support: host fallback.
+  eff.elem_vsa = 0.02;
+  eff.elem_nn = 0.30;
+  return eff;
+}
+
+CategoryEfficiency EdgeTpuBandwidthEff() {
+  CategoryEfficiency eff;
+  eff.matrix_nn = 0.60;
+  eff.other_gemm = 0.50;
+  eff.vector_vsa = 0.08;  // PCIe/USB hop to host for unsupported ops.
+  eff.elem_vsa = 0.10;
+  eff.elem_nn = 0.40;
+  return eff;
+}
+
+}  // namespace
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kJetsonTx2:
+      return "Jetson TX2";
+    case DeviceKind::kXavierNx:
+      return "Xavier NX";
+    case DeviceKind::kXeonCpu:
+      return "Xeon CPU";
+    case DeviceKind::kRtx2080:
+      return "RTX 2080";
+    case DeviceKind::kCoralTpu:
+      return "Coral TPU";
+    case DeviceKind::kTpuLikeSa:
+      return "TPU-like SA";
+    case DeviceKind::kXilinxDpu:
+      return "DPU";
+  }
+  return "?";
+}
+
+std::unique_ptr<DeviceModel> MakeDevice(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kJetsonTx2: {
+      DeviceSpec spec;
+      spec.name = DeviceKindName(kind);
+      spec.peak_flops = 0.665e12;     // 256-core Pascal @ 1.3 GHz, FP32.
+      spec.mem_bandwidth = 58.4e9;    // LPDDR4 datasheet.
+      spec.launch_overhead_s = 25e-6; // Slow mobile driver stack.
+      spec.compute_eff = EdgeSocComputeEff();
+      spec.bandwidth_eff = EdgeSocBandwidthEff();
+      spec.tdp_watts = 15.0;
+      return std::make_unique<RooflineDevice>(spec);
+    }
+    case DeviceKind::kXavierNx: {
+      DeviceSpec spec;
+      spec.name = DeviceKindName(kind);
+      spec.peak_flops = 1.1e12;       // Volta iGPU FP32 + DLA share.
+      spec.mem_bandwidth = 51.2e9;    // LPDDR4x datasheet.
+      spec.launch_overhead_s = 18e-6;
+      spec.compute_eff = EdgeSocComputeEff();
+      spec.bandwidth_eff = EdgeSocBandwidthEff();
+      spec.tdp_watts = 20.0;
+      return std::make_unique<RooflineDevice>(spec);
+    }
+    case DeviceKind::kXeonCpu: {
+      DeviceSpec spec;
+      spec.name = DeviceKindName(kind);
+      spec.peak_flops = 1.6e12;       // ~20 cores x AVX-512 FMA @ 2.5 GHz.
+      spec.mem_bandwidth = 107e9;     // 6-channel DDR4-2666.
+      spec.launch_overhead_s = 2e-6;  // Function call, not a device dispatch.
+      spec.compute_eff = CpuComputeEff();
+      spec.bandwidth_eff = CpuBandwidthEff();
+      spec.tdp_watts = 150.0;
+      return std::make_unique<RooflineDevice>(spec);
+    }
+    case DeviceKind::kRtx2080: {
+      DeviceSpec spec;
+      spec.name = DeviceKindName(kind);
+      spec.peak_flops = 10.1e12;      // Turing TU104 FP32.
+      spec.mem_bandwidth = 448e9;     // GDDR6 datasheet.
+      spec.launch_overhead_s = 8e-6;  // CUDA launch latency dominates the
+                                      // many small symbolic kernels.
+      spec.compute_eff = GpuComputeEff();
+      spec.bandwidth_eff = GpuBandwidthEff();
+      spec.tdp_watts = 215.0;
+      return std::make_unique<RooflineDevice>(spec);
+    }
+    case DeviceKind::kCoralTpu: {
+      DeviceSpec spec;
+      spec.name = DeviceKindName(kind);
+      spec.peak_flops = 4.0e12;       // 4 TOPS INT8.
+      spec.mem_bandwidth = 8e9;       // On-board LPDDR + USB/PCIe host hop.
+      spec.launch_overhead_s = 80e-6;
+      spec.compute_eff = EdgeTpuComputeEff();
+      spec.bandwidth_eff = EdgeTpuBandwidthEff();
+      spec.tdp_watts = 4.0;
+      return std::make_unique<RooflineDevice>(spec);
+    }
+    case DeviceKind::kTpuLikeSa: {
+      // Paper Sec. VI-B: "TPU-like systolic array (128x128)". Same fabric
+      // clock (272 MHz) and DDR4 bandwidth as the NSFlow U250 deployment so
+      // the comparison isolates the architecture, not the board.
+      return std::make_unique<SystolicArrayDevice>(
+          DeviceKindName(kind), ArrayConfig{128, 128, 1},
+          /*clock_hz=*/272e6, /*mem_bandwidth=*/77e9);
+    }
+    case DeviceKind::kXilinxDpu: {
+      // DPUCADF8H-class engine: ~64x64 INT8 MAC fabric at 300 MHz. Better
+      // clock than our fabric but rigid conv-only dataflow.
+      return std::make_unique<SystolicArrayDevice>(
+          DeviceKindName(kind), ArrayConfig{64, 64, 1},
+          /*clock_hz=*/300e6, /*mem_bandwidth=*/77e9,
+          /*launch_overhead_s=*/4e-6);
+    }
+  }
+  throw Error("unknown device kind");
+}
+
+std::vector<std::unique_ptr<DeviceModel>> MakeFig5Baselines() {
+  std::vector<std::unique_ptr<DeviceModel>> devices;
+  devices.push_back(MakeDevice(DeviceKind::kJetsonTx2));
+  devices.push_back(MakeDevice(DeviceKind::kXavierNx));
+  devices.push_back(MakeDevice(DeviceKind::kXeonCpu));
+  devices.push_back(MakeDevice(DeviceKind::kRtx2080));
+  devices.push_back(MakeDevice(DeviceKind::kTpuLikeSa));
+  devices.push_back(MakeDevice(DeviceKind::kXilinxDpu));
+  return devices;
+}
+
+Roofline Rtx2080TiRoofline() {
+  // TU102: 13.45 TFLOPS FP32 peak, 616 GB/s GDDR6 — the paper's Fig. 1c axes.
+  return Roofline{13.45e12, 616e9};
+}
+
+}  // namespace nsflow

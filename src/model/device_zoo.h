@@ -1,0 +1,40 @@
+// Factory for the paper's baseline devices (Sec. VI-A hardware setup).
+//
+// Every calibration constant in the zoo lives in device_zoo.cpp next to a
+// comment naming the datasheet number or paper figure it is calibrated
+// against. These models are the documented substitution for physical
+// hardware (DESIGN.md): they reproduce the *shape* of Fig. 1 and Fig. 5 —
+// orderings and rough speedup factors — not testbed-exact latencies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/device_model.h"
+#include "model/roofline.h"
+
+namespace nsflow {
+
+enum class DeviceKind {
+  kJetsonTx2,
+  kXavierNx,
+  kXeonCpu,
+  kRtx2080,
+  kCoralTpu,
+  kTpuLikeSa,   // Monolithic 128x128 weight-stationary systolic array.
+  kXilinxDpu,   // DPU-like fixed INT8 convolution engine.
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+/// Build one device model.
+std::unique_ptr<DeviceModel> MakeDevice(DeviceKind kind);
+
+/// The Fig. 5 comparison set, in the paper's legend order
+/// (TX2, NX, Xeon CPU, RTX 2080, TPU-like SA, DPU).
+std::vector<std::unique_ptr<DeviceModel>> MakeFig5Baselines();
+
+/// RTX 2080 Ti roofline used in the paper's Fig. 1c.
+Roofline Rtx2080TiRoofline();
+
+}  // namespace nsflow

@@ -1,0 +1,36 @@
+#include "model/roofline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nsflow {
+
+double Roofline::Attainable(double ai) const {
+  NSF_CHECK_MSG(peak_flops > 0.0 && mem_bandwidth > 0.0,
+                "roofline needs positive peak and bandwidth");
+  return std::min(peak_flops, ai * mem_bandwidth);
+}
+
+std::vector<RooflinePoint> PlaceOnRoofline(const OperatorGraph& graph,
+                                           const Roofline& roofline,
+                                           double efficiency) {
+  std::vector<RooflinePoint> points;
+  for (const Domain domain : {Domain::kNeuro, Domain::kSymbolic}) {
+    const DomainStats stats = graph.StatsFor(domain);
+    if (stats.ops == 0) {
+      continue;
+    }
+    RooflinePoint point;
+    point.label = graph.workload_name() +
+                  (domain == Domain::kNeuro ? " (Neuro)" : " (Symb)");
+    point.arithmetic_intensity = stats.ArithmeticIntensity();
+    point.attained_flops =
+        efficiency * roofline.Attainable(point.arithmetic_intensity);
+    point.memory_bound = !roofline.IsComputeBound(point.arithmetic_intensity);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,46 @@
+// Roofline model (paper Fig. 1c).
+//
+// For a device with peak compute P (FLOP/s) and memory bandwidth B (byte/s),
+// a kernel with arithmetic intensity I (FLOP/byte) attains at most
+// min(P, I·B). The characterization bench places each workload's neural and
+// symbolic components on the RTX 2080 Ti roofline and classifies them as
+// compute- vs. memory-bound, reproducing the paper's observation that
+// symbolic VSA kernels sit far left of the ridge point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/operator_graph.h"
+
+namespace nsflow {
+
+struct Roofline {
+  double peak_flops = 0.0;       // FLOP/s
+  double mem_bandwidth = 0.0;    // byte/s
+
+  /// Ridge point: intensity above which the kernel is compute-bound.
+  double RidgeIntensity() const { return peak_flops / mem_bandwidth; }
+
+  /// Attainable performance at intensity `ai` (FLOP/s).
+  double Attainable(double ai) const;
+
+  bool IsComputeBound(double ai) const { return ai >= RidgeIntensity(); }
+};
+
+/// One point on the roofline plot.
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0.0;  // FLOP/byte
+  double attained_flops = 0.0;        // FLOP/s actually achieved
+  bool memory_bound = false;
+};
+
+/// Place a workload's neural and symbolic components on `roofline`,
+/// derating attained performance by `efficiency` (real kernels do not hit
+/// the roofline exactly; the paper's measured points sit below it).
+std::vector<RooflinePoint> PlaceOnRoofline(const OperatorGraph& graph,
+                                           const Roofline& roofline,
+                                           double efficiency = 0.5);
+
+}  // namespace nsflow

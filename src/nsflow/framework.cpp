@@ -1,0 +1,46 @@
+#include "nsflow/framework.h"
+
+#include "dse/design_config.h"
+#include "fpga/rtl_emitter.h"
+#include "graph/trace.h"
+#include "nsflow/host_codegen.h"
+
+namespace nsflow {
+
+double CompiledDesign::PredictedSeconds() const {
+  return EndToEndSeconds(*dataflow, dse.design);
+}
+
+CompiledDesign Compiler::Compile(OperatorGraph graph) const {
+  CompiledDesign compiled;
+  compiled.graph = std::make_unique<OperatorGraph>(std::move(graph));
+  compiled.dataflow = std::make_unique<DataflowGraph>(*compiled.graph);
+
+  DseOptions dse_options = options_.dse;
+  dse_options.dictionary_bytes = options_.dictionary_bytes;
+  compiled.dse = RunTwoPhaseDse(*compiled.dataflow, dse_options);
+
+  compiled.design_config_json =
+      EmitDesignConfig(compiled.dse.design, compiled.graph->workload_name());
+  compiled.host_code = EmitHostCode(*compiled.dataflow, compiled.dse.design,
+                                    compiled.graph->workload_name());
+  compiled.rtl_parameter_header = EmitParameterHeader(compiled.dse.design);
+  compiled.rtl_top_level = EmitTopLevel(compiled.dse.design);
+  return compiled;
+}
+
+CompiledDesign Compiler::CompileJsonTrace(const std::string& trace_json) const {
+  return Compile(ParseJsonTrace(trace_json));
+}
+
+std::unique_ptr<runtime::Accelerator> Deploy(const CompiledDesign& compiled) {
+  return std::make_unique<runtime::Accelerator>(compiled.dse.design,
+                                                *compiled.dataflow);
+}
+
+ResourceReport Report(const CompiledDesign& compiled,
+                      const FpgaDevice& device) {
+  return EstimateResources(compiled.dse.design, device);
+}
+
+}  // namespace nsflow

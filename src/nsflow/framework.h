@@ -1,0 +1,66 @@
+// NSFlow framework facade — the end-to-end flow of paper Fig. 2.
+//
+//   workload trace (.json / OperatorGraph)
+//     └─ frontend: dataflow graph -> two-phase DSE -> design config + host code
+//          └─ backend: parameterized accelerator (cycle-level simulator here;
+//             RTL parameter header for a real Vivado flow) + XRT-like runtime
+//
+// `Compiler::Compile` runs the whole frontend; `Deploy` instantiates the
+// simulated accelerator from the compiled design. This is the public entry
+// point examples and benches use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dse/dse.h"
+#include "fpga/resource_model.h"
+#include "graph/dataflow_graph.h"
+#include "graph/operator_graph.h"
+#include "runtime/host_runtime.h"
+
+namespace nsflow {
+
+/// Everything the frontend produces for one workload.
+struct CompiledDesign {
+  std::unique_ptr<OperatorGraph> graph;     // The ingested workload.
+  std::unique_ptr<DataflowGraph> dataflow;  // Fig. 4 graph (references graph).
+  DseResult dse;                            // Algorithm 1 output.
+  std::string design_config_json;           // "System Design Config (.json)".
+  std::string host_code;                    // Generated host C++ (XRT calls).
+  std::string rtl_parameter_header;         // nsflow_params.vh.
+  std::string rtl_top_level;                // nsflow_top.v.
+
+  const AcceleratorDesign& design() const { return dse.design; }
+
+  /// Predicted end-to-end latency (closed-form model), seconds.
+  double PredictedSeconds() const;
+};
+
+struct CompileOptions {
+  DseOptions dse;
+  /// Reserve MemA2 headroom for cleanup dictionaries resident on-chip.
+  double dictionary_bytes = 512.0 * 1024.0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {}) : options_(std::move(options)) {}
+
+  /// Frontend on an already-ingested operator graph.
+  CompiledDesign Compile(OperatorGraph graph) const;
+
+  /// Frontend from a JSON program trace (Fig. 2's entry artifact).
+  CompiledDesign CompileJsonTrace(const std::string& trace_json) const;
+
+ private:
+  CompileOptions options_;
+};
+
+/// Instantiate the simulated accelerator for a compiled design.
+std::unique_ptr<runtime::Accelerator> Deploy(const CompiledDesign& compiled);
+
+/// FPGA utilization of a compiled design on a device (Table III columns).
+ResourceReport Report(const CompiledDesign& compiled, const FpgaDevice& device);
+
+}  // namespace nsflow

@@ -1,0 +1,18 @@
+// Host-code generation: the frontend emits the C++ host program (XRT calls)
+// that schedules accelerator kernels at deployment time (paper Fig. 2,
+// "Accelerator Host Code (.cpp)"). The generated source is a complete,
+// self-contained translation unit against the XRT native C++ API.
+#pragma once
+
+#include <string>
+
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+
+namespace nsflow {
+
+std::string EmitHostCode(const DataflowGraph& dfg,
+                         const AcceleratorDesign& design,
+                         const std::string& workload_name);
+
+}  // namespace nsflow

@@ -1,0 +1,84 @@
+#include "quant/fp16.h"
+
+#include <bit>
+#include <cstring>
+
+namespace nsflow {
+namespace {
+
+std::uint32_t FloatBits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float BitsFloat(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+}  // namespace
+
+std::uint16_t FloatToHalfBits(float value) {
+  const std::uint32_t bits = FloatBits(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exponent = (bits >> 23) & 0xFFu;
+  std::uint32_t mantissa = bits & 0x007FFFFFu;
+
+  if (exponent == 0xFF) {  // Inf or NaN.
+    // Preserve NaN-ness by forcing a non-zero mantissa bit.
+    const std::uint32_t nan_bit = mantissa != 0 ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_bit |
+                                      (mantissa >> 13));
+  }
+
+  // Re-bias exponent from 127 to 15.
+  const int new_exp = static_cast<int>(exponent) - 127 + 15;
+
+  if (new_exp >= 0x1F) {  // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (new_exp <= 0) {  // Subnormal or underflow to zero.
+    if (new_exp < -10) {
+      return static_cast<std::uint16_t>(sign);  // Too small: signed zero.
+    }
+    // Add the implicit leading 1, then shift right into subnormal position.
+    mantissa |= 0x00800000u;
+    const int shift = 14 - new_exp;  // 14..24
+    const std::uint32_t rounded =
+        (mantissa + (1u << (shift - 1)) - 1u +
+         ((mantissa >> shift) & 1u)) >>
+        shift;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normalized: round mantissa from 23 to 10 bits, round-to-nearest-even.
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(new_exp) << 10) |
+                       (mantissa >> 13);
+  const std::uint32_t round_bits = mantissa & 0x1FFFu;
+  if (round_bits > 0x1000u || (round_bits == 0x1000u && (half & 1u))) {
+    ++half;  // May carry into the exponent, which correctly yields infinity.
+  }
+  return static_cast<std::uint16_t>(half);
+}
+
+float HalfBitsToFloat(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  std::uint32_t mantissa = bits & 0x03FFu;
+
+  if (exponent == 0x1F) {  // Inf / NaN.
+    return BitsFloat(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      return BitsFloat(sign);  // Signed zero.
+    }
+    // Subnormal: normalize.
+    int e = -1;
+    do {
+      ++e;
+      mantissa <<= 1;
+    } while ((mantissa & 0x0400u) == 0);
+    mantissa &= 0x03FFu;
+    const std::uint32_t new_exp = static_cast<std::uint32_t>(127 - 15 - e);
+    return BitsFloat(sign | (new_exp << 23) | (mantissa << 13));
+  }
+  const std::uint32_t new_exp = exponent - 15 + 127;
+  return BitsFloat(sign | (new_exp << 23) | (mantissa << 13));
+}
+
+}  // namespace nsflow

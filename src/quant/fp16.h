@@ -1,0 +1,26 @@
+// Software IEEE 754 binary16 ("half") emulation.
+//
+// The reproduction runs on a CPU, so FP16 arithmetic in the accuracy study
+// (Table IV) is emulated by rounding every value through the binary16 format:
+// round-to-nearest-even conversion float -> half -> float. This captures the
+// precision loss that matters for the reasoning-accuracy experiment without
+// needing hardware half-float support.
+#pragma once
+
+#include <cstdint>
+
+namespace nsflow {
+
+/// Convert an IEEE binary32 float to binary16 bits (round-to-nearest-even,
+/// with correct handling of subnormals, infinities, and NaN).
+std::uint16_t FloatToHalfBits(float value);
+
+/// Convert binary16 bits back to binary32.
+float HalfBitsToFloat(std::uint16_t bits);
+
+/// Round-trip a float through binary16 — the "fake fp16" operator.
+inline float RoundToHalf(float value) {
+  return HalfBitsToFloat(FloatToHalfBits(value));
+}
+
+}  // namespace nsflow

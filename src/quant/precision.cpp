@@ -1,0 +1,67 @@
+#include "quant/precision.h"
+
+#include "common/error.h"
+
+namespace nsflow {
+
+int BitsOf(Precision p) {
+  switch (p) {
+    case Precision::kFP32:
+      return 32;
+    case Precision::kFP16:
+      return 16;
+    case Precision::kINT8:
+      return 8;
+    case Precision::kINT4:
+      return 4;
+  }
+  throw Error("unknown precision");
+}
+
+double BytesOf(Precision p) { return BitsOf(p) / 8.0; }
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFP32:
+      return "FP32";
+    case Precision::kFP16:
+      return "FP16";
+    case Precision::kINT8:
+      return "INT8";
+    case Precision::kINT4:
+      return "INT4";
+  }
+  return "?";
+}
+
+Precision PrecisionFromName(const std::string& name) {
+  if (name == "FP32") return Precision::kFP32;
+  if (name == "FP16") return Precision::kFP16;
+  if (name == "INT8") return Precision::kINT8;
+  if (name == "INT4") return Precision::kINT4;
+  throw ParseError("unknown precision name: " + name);
+}
+
+std::string PrecisionPolicy::Name() const {
+  if (neural == symbolic) {
+    return PrecisionName(neural);
+  }
+  return std::string("MP(") + PrecisionName(neural) + " NN, " +
+         PrecisionName(symbolic) + " Symb)";
+}
+
+int MacsPerDsp(Precision p) {
+  switch (p) {
+    case Precision::kFP32:
+      return 0;  // FP32 MACs are built from fabric + multiple DSPs; see fpga/.
+    case Precision::kFP16:
+      return 1;
+    case Precision::kINT8:
+      return 2;  // Two INT8 MACs per DSP48 via the packing of [30].
+    case Precision::kINT4:
+      return 4;  // Four INT4 MACs per DSP48 with the same technique.
+  }
+  return 1;
+}
+
+}  // namespace nsflow

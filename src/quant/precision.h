@@ -1,0 +1,49 @@
+// Numeric precision taxonomy for NSFlow's adaptive mixed-precision compute
+// (paper Sec. IV-D): FP16/FP8-class floats down to INT8/INT4 integers, with a
+// "mixed" mode that runs the NN in INT8 and the symbolic pipeline in INT4 —
+// the configuration Table III deploys for NVSA and LVRF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nsflow {
+
+enum class Precision : std::uint8_t {
+  kFP32,
+  kFP16,
+  kINT8,
+  kINT4,
+};
+
+/// Bits of storage per element.
+int BitsOf(Precision p);
+
+/// Bytes per element as used for memory-footprint accounting. INT4 packs two
+/// elements per byte, so this returns a fractional value.
+double BytesOf(Precision p);
+
+const char* PrecisionName(Precision p);
+Precision PrecisionFromName(const std::string& name);
+
+/// A (neural precision, symbolic precision) pair — the unit the frontend lets
+/// users choose per component. The paper's "MP" point is {INT8, INT4}.
+struct PrecisionPolicy {
+  Precision neural = Precision::kFP32;
+  Precision symbolic = Precision::kFP32;
+
+  static PrecisionPolicy Uniform(Precision p) { return {p, p}; }
+  static PrecisionPolicy MixedNvsa() {
+    return {Precision::kINT8, Precision::kINT4};
+  }
+
+  std::string Name() const;
+  bool operator==(const PrecisionPolicy&) const = default;
+};
+
+/// Number of `precision` multiply-accumulates a single DSP48-class slice can
+/// sustain per cycle. Models the INT8 double-pumping trick of [30]
+/// (Langhammer et al., FCCM'20) that the paper cites for its DSP packing.
+int MacsPerDsp(Precision p);
+
+}  // namespace nsflow

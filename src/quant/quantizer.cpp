@@ -1,0 +1,83 @@
+#include "quant/quantizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "quant/fp16.h"
+
+namespace nsflow {
+
+std::int32_t QuantParams::qmax() const {
+  switch (precision) {
+    case Precision::kINT8:
+      return 127;
+    case Precision::kINT4:
+      return 7;
+    default:
+      throw Error("qmax() only defined for integer precisions");
+  }
+}
+
+QuantParams QuantParams::Calibrate(Precision precision, float max_abs) {
+  QuantParams params;
+  params.precision = precision;
+  const float qmax = static_cast<float>(params.qmax());
+  // Guard the all-zero tensor: any positive scale represents it exactly.
+  params.scale = max_abs > 0.0f ? max_abs / qmax : 1.0f;
+  return params;
+}
+
+Tensor QuantizedTensor::Dequantize() const {
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = params.scale * static_cast<float>(values[static_cast<std::size_t>(i)]);
+  }
+  return t;
+}
+
+QuantizedTensor Quantize(const Tensor& t, Precision precision) {
+  NSF_CHECK_MSG(precision == Precision::kINT8 || precision == Precision::kINT4,
+                "Quantize expects an integer precision");
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.params = QuantParams::Calibrate(precision, t.MaxAbs());
+  q.values.resize(static_cast<std::size_t>(t.numel()));
+  const auto qmax = q.params.qmax();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float scaled = t.at(i) / q.params.scale;
+    const auto rounded = static_cast<std::int32_t>(std::lrintf(scaled));
+    q.values[static_cast<std::size_t>(i)] =
+        std::min(qmax, std::max(-qmax, rounded));
+  }
+  return q;
+}
+
+Tensor FakeQuantize(const Tensor& t, Precision precision) {
+  switch (precision) {
+    case Precision::kFP32:
+      return t;
+    case Precision::kFP16: {
+      Tensor out(t.shape());
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        out.at(i) = RoundToHalf(t.at(i));
+      }
+      return out;
+    }
+    case Precision::kINT8:
+    case Precision::kINT4:
+      return Quantize(t, precision).Dequantize();
+  }
+  throw Error("unknown precision in FakeQuantize");
+}
+
+double QuantizationRmse(const Tensor& t, Precision precision) {
+  const Tensor q = FakeQuantize(t, precision);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double e = static_cast<double>(t.at(i)) - static_cast<double>(q.at(i));
+    acc += e * e;
+  }
+  return t.numel() > 0 ? std::sqrt(acc / static_cast<double>(t.numel())) : 0.0;
+}
+
+}  // namespace nsflow

@@ -1,0 +1,59 @@
+// Symmetric per-tensor quantization.
+//
+// NSFlow quantizes the NN and symbolic components independently
+// (paper Sec. IV-D and Table IV): e.g. INT8 for the CNN and INT4 for the VSA
+// codebooks/vectors in the "MP" configuration. The reasoning-accuracy study
+// runs on *actually quantized* values: `Quantize` maps floats to the integer
+// grid, arithmetic happens on dequantized grid values, so precision loss
+// propagates through binding, bundling, and similarity exactly as it would on
+// the accelerator's integer datapath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.h"
+#include "quant/precision.h"
+
+namespace nsflow {
+
+/// Integer grid parameters for a symmetric quantizer: real = scale * q with
+/// q in [-qmax, qmax].
+struct QuantParams {
+  Precision precision = Precision::kINT8;
+  float scale = 1.0f;
+
+  /// Largest representable magnitude on the integer grid.
+  std::int32_t qmax() const;
+
+  /// Choose the scale so that `max_abs` maps to the grid edge.
+  static QuantParams Calibrate(Precision precision, float max_abs);
+};
+
+/// A tensor stored as quantized integers plus its grid parameters.
+struct QuantizedTensor {
+  Tensor::Shape shape;
+  std::vector<std::int32_t> values;  // In [-qmax, qmax].
+  QuantParams params;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(values.size()); }
+  /// Storage bytes at the nominal bit width (INT4 packs two per byte).
+  double byte_size() const { return numel() * BytesOf(params.precision); }
+
+  Tensor Dequantize() const;
+};
+
+/// Quantize `t` onto the grid implied by `precision` with per-tensor
+/// calibration on max|t|.
+QuantizedTensor Quantize(const Tensor& t, Precision precision);
+
+/// Fake quantization: round-trip through the grid, keep float storage.
+/// For FP32 this is the identity, for FP16 it rounds through binary16.
+Tensor FakeQuantize(const Tensor& t, Precision precision);
+
+/// Root-mean-square quantization error of fake-quantizing `t`, used by tests
+/// to assert the INT4 grid is strictly coarser than INT8 which is coarser
+/// than FP16.
+double QuantizationRmse(const Tensor& t, Precision precision);
+
+}  // namespace nsflow

@@ -1,0 +1,58 @@
+// Mixed-precision reasoning-accuracy harness — paper Table IV.
+//
+// Evaluates the VSA reasoner on the three dataset-analogue suites under the
+// five precision settings the paper reports (FP32, FP16, INT8, MP = INT8 NN
+// + INT4 symbolic, INT4), together with the model memory footprint at each
+// setting. NN quantization cannot change the symbolic arithmetic directly;
+// its effect on the pipeline is coarser perception — modeled as a
+// perception-noise multiplier on the panel encodings, calibrated against the
+// CNN-side accuracy drops the NVSA paper reports for its quantized frontend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quant/precision.h"
+#include "reasoning/rpm.h"
+
+namespace nsflow::reasoning {
+
+/// One Table IV column.
+struct PrecisionSetting {
+  std::string label;
+  Precision nn_precision = Precision::kFP32;
+  Precision vsa_precision = Precision::kFP32;
+  /// Perception-noise multiplier induced by NN quantization.
+  double nn_noise_multiplier = 1.0;
+};
+
+/// The five paper columns in order.
+std::vector<PrecisionSetting> TableIvSettings();
+
+/// Model memory footprint at a setting (Table IV bottom row): neural
+/// parameters at the NN precision + symbolic codebooks/dictionaries at the
+/// VSA precision. Element counts are chosen to reproduce the paper's
+/// 32 MB @ FP32 anchor (see accuracy.cpp for the breakdown).
+double ModelMemoryBytes(const PrecisionSetting& setting);
+
+struct AccuracyCell {
+  std::string suite;
+  std::string setting;
+  double accuracy = 0.0;
+  int trials = 0;
+};
+
+/// Evaluate one (suite, setting) cell over `trials` generated tasks.
+AccuracyCell EvaluateAccuracy(const RpmSuiteSpec& suite,
+                              const PrecisionSetting& setting, int trials,
+                              std::uint64_t seed = 42);
+
+/// Per-suite base perception noise, calibrated so FP32 accuracy lands near
+/// the paper's anchors (RAVEN 98.9 / I-RAVEN 99.0 / PGM 68.7).
+double SuiteBaseNoise(const RpmSuiteSpec& suite);
+
+/// Per-suite damping of the precision-induced noise multiplier (the harder
+/// suite sits on a steeper accuracy-vs-noise curve).
+double SuiteNoiseSensitivity(const RpmSuiteSpec& suite);
+
+}  // namespace nsflow::reasoning

@@ -1,0 +1,226 @@
+#include "reasoning/vsa_reasoner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "quant/quantizer.h"
+
+namespace nsflow::reasoning {
+
+VsaReasoner::VsaReasoner(const RpmSuiteSpec& suite,
+                         const ReasonerConfig& config, Rng& rng)
+    : suite_(suite), config_(config) {
+  // Build role and value codebooks, then the bound dictionary; store only
+  // the bound form (what cleanup needs), quantized to the VSA precision.
+  bound_.resize(static_cast<std::size_t>(suite_.num_attributes));
+  for (std::int64_t a = 0; a < suite_.num_attributes; ++a) {
+    auto role = vsa::RandomHyperVector(config_.shape, rng);
+    role.NormalizeBlocks();
+    auto& row = bound_[static_cast<std::size_t>(a)];
+    row.reserve(static_cast<std::size_t>(suite_.values_per_attribute));
+    for (std::int64_t v = 0; v < suite_.values_per_attribute; ++v) {
+      auto value = vsa::RandomHyperVector(config_.shape, rng);
+      value.NormalizeBlocks();
+      auto bound = vsa::Bind(role, value);
+      bound.NormalizeBlocks();
+      row.push_back(vsa::QuantizeHyperVector(bound, config_.vsa_precision));
+    }
+  }
+}
+
+vsa::HyperVector VsaReasoner::EncodePanel(const Panel& panel, Rng& rng) const {
+  NSF_CHECK_MSG(static_cast<std::int64_t>(panel.size()) ==
+                    suite_.num_attributes,
+                "panel arity mismatch");
+  std::vector<vsa::HyperVector> parts;
+  parts.reserve(panel.size());
+  for (std::int64_t a = 0; a < suite_.num_attributes; ++a) {
+    parts.push_back(
+        bound_[static_cast<std::size_t>(a)]
+              [static_cast<std::size_t>(panel[static_cast<std::size_t>(a)])]);
+  }
+  auto encoding = vsa::Bundle(parts);
+
+  // Perception noise: relative to the encoding's RMS element magnitude.
+  if (config_.perception_noise > 0.0) {
+    const double rms =
+        encoding.tensor().Norm() /
+        std::sqrt(static_cast<double>(encoding.tensor().numel()));
+    const double sigma = config_.perception_noise * rms;
+    for (std::int64_t i = 0; i < encoding.tensor().numel(); ++i) {
+      encoding.tensor().at(i) += static_cast<float>(rng.Gaussian(0.0, sigma));
+    }
+  }
+  return vsa::QuantizeHyperVector(encoding, config_.vsa_precision);
+}
+
+std::int64_t VsaReasoner::DecodeAttribute(const vsa::HyperVector& encoding,
+                                          std::int64_t attribute) const {
+  const auto& dict = bound_[static_cast<std::size_t>(attribute)];
+  std::int64_t best = 0;
+  double best_score = -2.0;
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(dict.size()); ++v) {
+    const double score =
+        vsa::Similarity(encoding, dict[static_cast<std::size_t>(v)]);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+RuleType VsaReasoner::AbduceRule(std::int64_t attribute,
+                                 const std::vector<Panel>& decoded) const {
+  const std::int64_t v = suite_.values_per_attribute;
+  const auto at = [&](int pos) {
+    return decoded[static_cast<std::size_t>(pos)]
+                  [static_cast<std::size_t>(attribute)];
+  };
+
+  // Check each rule family against both complete rows; first match wins.
+  // Ordering matters for ambiguous instances (e.g. a constant row is also a
+  // progression with step 0) — most-specific first.
+  const auto row_ok = [&](int row, auto&& predicate) {
+    return predicate(at(row * 3), at(row * 3 + 1), at(row * 3 + 2));
+  };
+
+  const auto constant = [](std::int64_t a, std::int64_t b, std::int64_t c) {
+    return a == b && b == c;
+  };
+  if (row_ok(0, constant) && row_ok(1, constant)) {
+    return RuleType::kConstant;
+  }
+
+  for (const std::int64_t step : {std::int64_t{1}, std::int64_t{-1}}) {
+    const auto prog = [&](std::int64_t a, std::int64_t b, std::int64_t c) {
+      return b == Mod(a + step, v) && c == Mod(b + step, v);
+    };
+    if (row_ok(0, prog) && row_ok(1, prog)) {
+      return RuleType::kProgression;
+    }
+  }
+
+  const auto arith = [&](std::int64_t a, std::int64_t b, std::int64_t c) {
+    return c == Mod(a + b, v);
+  };
+  if (row_ok(0, arith) && row_ok(1, arith)) {
+    return RuleType::kArithmetic;
+  }
+
+  return RuleType::kDistributeThree;
+}
+
+std::int64_t VsaReasoner::ExecuteRule(RuleType rule, std::int64_t attribute,
+                                      const std::vector<Panel>& decoded) const {
+  const std::int64_t v = suite_.values_per_attribute;
+  const auto at = [&](int pos) {
+    return decoded[static_cast<std::size_t>(pos)]
+                  [static_cast<std::size_t>(attribute)];
+  };
+  const std::int64_t y0 = at(6);
+  const std::int64_t y1 = at(7);
+
+  switch (rule) {
+    case RuleType::kConstant:
+      return y0;
+    case RuleType::kProgression: {
+      const std::int64_t step = Mod(y1 - y0 + v, v) <= v / 2
+                                    ? Mod(y1 - y0, v)
+                                    : Mod(y1 - y0, v) - v;
+      return Mod(y1 + step, v);
+    }
+    case RuleType::kArithmetic:
+      return Mod(y0 + y1, v);
+    case RuleType::kDistributeThree: {
+      // The triple is whatever the first row held; the answer is the member
+      // absent from the third row's first two cells.
+      std::set<std::int64_t> triple = {at(0), at(1), at(2)};
+      for (const auto value : triple) {
+        if (value != y0 && value != y1) {
+          return value;
+        }
+      }
+      return at(2);  // Degenerate decode; fall back to a seen value.
+    }
+  }
+  throw Error("unknown rule in ExecuteRule");
+}
+
+std::int64_t VsaReasoner::Solve(const RpmTask& task, Rng& rng,
+                                SolveTrace* trace) const {
+  // 1-2: perceive and parse the eight context panels.
+  std::vector<Panel> decoded;
+  decoded.reserve(8);
+  for (const auto& panel : task.context) {
+    const auto encoding = EncodePanel(panel, rng);
+    Panel values(static_cast<std::size_t>(suite_.num_attributes), 0);
+    for (std::int64_t a = 0; a < suite_.num_attributes; ++a) {
+      values[static_cast<std::size_t>(a)] = DecodeAttribute(encoding, a);
+    }
+    decoded.push_back(std::move(values));
+  }
+
+  // 3-4: abduce a rule per attribute and execute it on the third row.
+  Panel predicted(static_cast<std::size_t>(suite_.num_attributes), 0);
+  std::vector<RuleType> rules;
+  rules.reserve(static_cast<std::size_t>(suite_.num_attributes));
+  for (std::int64_t a = 0; a < suite_.num_attributes; ++a) {
+    const RuleType rule = AbduceRule(a, decoded);
+    rules.push_back(rule);
+    predicted[static_cast<std::size_t>(a)] = ExecuteRule(rule, a, decoded);
+  }
+
+  // Encode the prediction symbolically (clean — it came from rules, not
+  // perception) and match against the perceived candidates.
+  std::vector<vsa::HyperVector> parts;
+  for (std::int64_t a = 0; a < suite_.num_attributes; ++a) {
+    parts.push_back(
+        bound_[static_cast<std::size_t>(a)][static_cast<std::size_t>(
+            predicted[static_cast<std::size_t>(a)])]);
+  }
+  const auto prediction = vsa::QuantizeHyperVector(
+      vsa::Bundle(parts), config_.vsa_precision);
+
+  std::int64_t chosen = 0;
+  double best = -2.0;
+  double runner_up = -2.0;
+  for (std::int64_t c = 0;
+       c < static_cast<std::int64_t>(task.candidates.size()); ++c) {
+    const auto candidate_enc =
+        EncodePanel(task.candidates[static_cast<std::size_t>(c)], rng);
+    const double score = vsa::Similarity(prediction, candidate_enc);
+    if (score > best) {
+      runner_up = best;
+      best = score;
+      chosen = c;
+    } else if (score > runner_up) {
+      runner_up = score;
+    }
+  }
+
+  if (trace != nullptr) {
+    trace->chosen = chosen;
+    trace->decoded_context = std::move(decoded);
+    trace->abduced_rules = std::move(rules);
+    trace->predicted = std::move(predicted);
+    trace->winning_similarity = best;
+    trace->runner_up_similarity = runner_up;
+  }
+  return chosen;
+}
+
+double VsaReasoner::CodebookBytes() const {
+  double bytes = 0.0;
+  for (const auto& row : bound_) {
+    for (const auto& entry : row) {
+      bytes += entry.ByteSize(config_.vsa_precision);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace nsflow::reasoning

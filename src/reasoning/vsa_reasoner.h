@@ -1,0 +1,90 @@
+// NVSA-style vector-symbolic abductive reasoner.
+//
+// The reasoner mirrors the NVSA backend pipeline (paper Sec. II-A, Table I):
+//   1. *Perception*: each panel's attribute assignment is encoded as a
+//      block-code hypervector — the bundle over attributes of
+//      bind(role_a, value_a) — with Gaussian perception noise standing in
+//      for CNN output uncertainty (the neural frontend substitution), then
+//      quantized to the configured VSA precision. The bound role-value
+//      dictionary itself is stored quantized, exactly like the on-chip
+//      codebooks of Sec. IV-D.
+//   2. *Scene parsing*: attribute values are decoded from the noisy panel
+//      vectors by cleanup against the bound dictionary
+//      (match_prob_multi_batched + argmax in the paper's Listing 1).
+//   3. *Rule abduction*: for every attribute, the rule type is inferred from
+//      the two complete rows by checking which rule explains both.
+//   4. *Execution*: the abduced rules run forward on the third row to
+//      predict the answer panel, which is re-encoded and matched against the
+//      (noisy, quantized) candidate encodings; the argmax similarity wins.
+//
+// Quantization enters at the codebooks, the panel encodings, and the
+// similarity arithmetic, so Table IV's accuracy cliff at INT4 emerges from
+// eroded cleanup margins rather than from hard-coded constants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/precision.h"
+#include "reasoning/rpm.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::reasoning {
+
+struct ReasonerConfig {
+  vsa::BlockShape shape{4, 128};
+  /// Storage/compute precision of the VSA pipeline (Table IV columns).
+  Precision vsa_precision = Precision::kFP32;
+  /// Element-wise Gaussian noise on panel encodings, relative to the
+  /// encoding RMS — the perception-uncertainty stand-in for the CNN.
+  double perception_noise = 0.25;
+};
+
+struct SolveTrace {
+  std::int64_t chosen = -1;
+  std::vector<Panel> decoded_context;     // Post-cleanup attribute values.
+  std::vector<RuleType> abduced_rules;    // Per attribute.
+  Panel predicted;                        // Executed answer panel.
+  double winning_similarity = 0.0;
+  double runner_up_similarity = 0.0;
+};
+
+class VsaReasoner {
+ public:
+  VsaReasoner(const RpmSuiteSpec& suite, const ReasonerConfig& config,
+              Rng& rng);
+
+  const ReasonerConfig& config() const { return config_; }
+
+  /// Encode a panel: bundle of bound role-value vectors + noise, quantized.
+  vsa::HyperVector EncodePanel(const Panel& panel, Rng& rng) const;
+
+  /// Cleanup-decode one attribute from a panel encoding.
+  std::int64_t DecodeAttribute(const vsa::HyperVector& encoding,
+                               std::int64_t attribute) const;
+
+  /// Full abduction-execution solve. Returns the chosen candidate index.
+  std::int64_t Solve(const RpmTask& task, Rng& rng,
+                     SolveTrace* trace = nullptr) const;
+
+  /// Bytes of quantized VSA model state (bound dictionary) at the configured
+  /// precision — the symbolic share of the Table IV memory row.
+  double CodebookBytes() const;
+
+ private:
+  /// Infer the rule type explaining both complete rows of one attribute.
+  RuleType AbduceRule(std::int64_t attribute,
+                      const std::vector<Panel>& decoded) const;
+
+  /// Execute `rule` on the third row to predict the missing value.
+  std::int64_t ExecuteRule(RuleType rule, std::int64_t attribute,
+                           const std::vector<Panel>& decoded) const;
+
+  RpmSuiteSpec suite_;
+  ReasonerConfig config_;
+  // bound_[a][v] = quantized bind(role_a, value_v) — the cleanup dictionary.
+  std::vector<std::vector<vsa::HyperVector>> bound_;
+};
+
+}  // namespace nsflow::reasoning

@@ -1,0 +1,72 @@
+#include "runtime/host_runtime.h"
+
+#include "common/error.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::runtime {
+
+BufferObject::BufferObject(arch::MemorySystem* memory, std::int64_t bytes)
+    : memory_(memory), bytes_(bytes) {
+  NSF_CHECK_MSG(bytes >= 0, "buffer size must be non-negative");
+}
+
+double BufferObject::SyncToDevice() {
+  return memory_->DramTransfer(static_cast<double>(bytes_));
+}
+
+double BufferObject::SyncFromDevice() {
+  return memory_->DramTransfer(static_cast<double>(bytes_));
+}
+
+Accelerator::Accelerator(AcceleratorDesign design, const DataflowGraph& dfg)
+    : design_(std::move(design)), dfg_(&dfg), controller_(design_, dfg) {}
+
+BufferObject Accelerator::AllocBuffer(std::int64_t bytes) {
+  return BufferObject(&controller_.memory(), bytes);
+}
+
+KernelRun Accelerator::RunGemm(const Tensor& a, const Tensor& b) {
+  auto& array = controller_.array();
+  // Interactive kernels run on the full array in NN fold if no schedule has
+  // pinned a split (matches XRT's exclusive kernel-compute-unit access).
+  if (array.folding().nn_subarrays == 0) {
+    array.Fold({design_.array.count, 0});
+  }
+  const auto run = array.RunGemm(a, b, array.folding().nn_subarrays);
+  return {run.output, run.cycles};
+}
+
+KernelRun Accelerator::RunBind(const vsa::HyperVector& a,
+                               const vsa::HyperVector& b) {
+  auto& array = controller_.array();
+  if (array.folding().vsa_subarrays == 0) {
+    array.Fold({0, design_.array.count});
+  }
+  const auto run = array.RunCircConvBatch(a.tensor(), b.tensor(),
+                                          array.folding().vsa_subarrays);
+  return {run.output, run.cycles};
+}
+
+KernelRun Accelerator::RunUnbind(const vsa::HyperVector& composite,
+                                 const vsa::HyperVector& factor) {
+  // corr(c, f) = conv(involution(f), c): reuse the binding datapath with the
+  // index-reversed factor — exactly how the hardware implements inverse
+  // binding (no dedicated correlation mode needed).
+  const vsa::HyperVector inv = vsa::Involution(factor);
+  return RunBind(inv, composite);
+}
+
+KernelRun Accelerator::RunSoftmax(const Tensor& logits) {
+  Tensor out = logits;
+  auto& simd = controller_.simd();
+  const auto run = simd.RunUnary(
+      arch::SimdOp::kSoftmax,
+      std::span<float>(out.data(), static_cast<std::size_t>(out.numel())));
+  return {std::move(out), run.cycles};
+}
+
+double Accelerator::RunWorkload() { return controller_.RunWorkload(); }
+
+arch::SimReport Accelerator::ProfileLoop() { return controller_.RunLoop(); }
+
+}  // namespace nsflow::runtime

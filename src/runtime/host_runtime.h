@@ -1,0 +1,81 @@
+// Host runtime — the XRT-style layer of the paper's Fig. 2: the compiled
+// host binary invokes device kernels, moves buffers over AXI, and schedules
+// operations on the FPGA. Here the "device" is the cycle-level backend
+// simulator; the API mirrors the XRT buffer/kernel flow so the examples read
+// like real deployment code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/controller.h"
+#include "common/tensor.h"
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::runtime {
+
+/// A device buffer handle (bo = buffer object, XRT vocabulary). Host data is
+/// copied in/out explicitly; the DRAM traffic is charged to the AXI model.
+class BufferObject {
+ public:
+  BufferObject(arch::MemorySystem* memory, std::int64_t bytes);
+
+  std::int64_t size() const { return bytes_; }
+  /// Host -> device copy; returns AXI cycles consumed.
+  double SyncToDevice();
+  /// Device -> host copy; returns AXI cycles consumed.
+  double SyncFromDevice();
+
+ private:
+  arch::MemorySystem* memory_;
+  std::int64_t bytes_;
+};
+
+/// Result of a kernel launch: functional output plus device cycles.
+struct KernelRun {
+  Tensor output;
+  double device_cycles = 0.0;
+};
+
+/// The deployed accelerator: design-config-parameterized backend plus the
+/// host-side scheduling logic.
+class Accelerator {
+ public:
+  /// `dfg` must outlive the Accelerator (it is the compiled schedule).
+  Accelerator(AcceleratorDesign design, const DataflowGraph& dfg);
+
+  const AcceleratorDesign& design() const { return design_; }
+
+  /// Allocate a device buffer.
+  BufferObject AllocBuffer(std::int64_t bytes);
+
+  /// Launch one GEMM kernel C = A x B on the NN fold share.
+  KernelRun RunGemm(const Tensor& a, const Tensor& b);
+
+  /// Launch one VSA binding kernel (blockwise circular convolution) on the
+  /// VSA fold share. Operands are block-code hypervectors.
+  KernelRun RunBind(const vsa::HyperVector& a, const vsa::HyperVector& b);
+
+  /// Launch one VSA unbinding kernel (blockwise circular correlation).
+  KernelRun RunUnbind(const vsa::HyperVector& composite,
+                      const vsa::HyperVector& factor);
+
+  /// Launch a SIMD softmax over a vector.
+  KernelRun RunSoftmax(const Tensor& logits);
+
+  /// Timed full-workload execution (one end-to-end task): returns seconds.
+  double RunWorkload();
+
+  /// Cycle report for one steady-state loop.
+  arch::SimReport ProfileLoop();
+
+ private:
+  AcceleratorDesign design_;
+  const DataflowGraph* dfg_;
+  arch::Controller controller_;
+};
+
+}  // namespace nsflow::runtime

@@ -1,0 +1,222 @@
+// nsflow — command-line front door to the framework (the `NSFlow-generated`
+// flow of paper Fig. 2).
+//
+// Usage:
+//   nsflow compile <trace.json> [--out-dir DIR] [--max-pes N]
+//                  [--clock-mhz F] [--no-phase2]
+//       Run the frontend on a JSON program trace and emit the deployment
+//       artifacts: design_config.json, host.cpp, nsflow_params.vh,
+//       nsflow_top.v, and a report.txt with the DSE decision and the
+//       predicted performance/utilization.
+//
+//   nsflow estimate <trace.json> [--device NAME]
+//       Predict end-to-end latency of the workload on a baseline device
+//       (tx2 | nx | cpu | rtx2080 | coral | tpu-like | dpu) or on the
+//       NSFlow-generated design (default).
+//
+//   nsflow demo
+//       Compile the built-in NVSA workload and print a summary.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "fpga/device.h"
+#include "graph/trace.h"
+#include "model/device_zoo.h"
+#include "nsflow/framework.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("cannot write file: " + path);
+  }
+  out << contents;
+}
+
+struct CliArgs {
+  std::string command;
+  std::string trace_path;
+  std::string out_dir = ".";
+  std::string device = "nsflow";
+  DseOptions dse;
+};
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  if (argc < 2) {
+    throw Error("usage: nsflow <compile|estimate|demo> [args]");
+  }
+  args.command = argv[1];
+  int i = 2;
+  if ((args.command == "compile" || args.command == "estimate")) {
+    if (i >= argc) {
+      throw Error(args.command + " needs a trace file argument");
+    }
+    args.trace_path = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw Error("flag " + flag + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (flag == "--out-dir") {
+      args.out_dir = next();
+    } else if (flag == "--max-pes") {
+      args.dse.max_pes = std::stoll(next());
+    } else if (flag == "--clock-mhz") {
+      args.dse.clock_hz = std::stod(next()) * 1e6;
+    } else if (flag == "--no-phase2") {
+      args.dse.enable_phase2 = false;
+    } else if (flag == "--device") {
+      args.device = next();
+    } else {
+      throw Error("unknown flag: " + flag);
+    }
+  }
+  return args;
+}
+
+std::string ReportText(const CompiledDesign& compiled) {
+  const auto& dse = compiled.dse;
+  const auto& d = dse.design;
+  std::ostringstream os;
+  os << "NSFlow compilation report — workload '"
+     << compiled.graph->workload_name() << "'\n\n";
+  os << "Dataflow graph: " << compiled.dataflow->layers().size()
+     << " NN layers, " << compiled.dataflow->vsa_ops().size()
+     << " VSA nodes, " << compiled.dataflow->simd_ops().size()
+     << " SIMD ops, " << compiled.dataflow->ParallelOpCount()
+     << " parallel-attached ops\n\n";
+  os << "DSE (Algorithm 1): " << dse.evaluated_points
+     << " model evaluations\n";
+  os << "  t_seq  = " << dse.t_seq_cycles << " cycles\n";
+  os << "  t_para = " << dse.t_para_cycles << " cycles (Phase I "
+     << dse.phase1_cycles << " -> Phase II " << dse.phase2_cycles << ", gain "
+     << dse.Phase2Gain() * 100.0 << "%)\n";
+  os << "  mode   = " << (d.sequential_mode ? "sequential" : "folded") << "\n\n";
+  os << "AdArray: H=" << d.array.height << " W=" << d.array.width
+     << " N=" << d.array.count << " (partition " << d.default_nl << ":"
+     << d.default_nv << "), SIMD " << d.simd_width << " lanes\n";
+  os << "Memory: A1=" << d.memory.mem_a1_bytes / 1e6
+     << " MB, A2=" << d.memory.mem_a2_bytes / 1e6
+     << " MB, B=" << d.memory.mem_b_bytes / 1e6
+     << " MB, C=" << d.memory.mem_c_bytes / 1e6
+     << " MB, cache=" << d.memory.cache_bytes / 1e6 << " MB\n\n";
+
+  const ResourceReport rpt = Report(compiled, U250());
+  os << "U250 @ " << d.clock_hz / 1e6 << " MHz: DSP " << rpt.dsp_util * 100
+     << "%, LUT " << rpt.lut_util * 100 << "%, FF " << rpt.ff_util * 100
+     << "%, BRAM " << rpt.bram_util * 100 << "%, URAM "
+     << rpt.uram_util * 100 << "% -> " << (rpt.fits ? "fits" : "DOES NOT FIT")
+     << "\n";
+  os << "Predicted end-to-end latency: " << compiled.PredictedSeconds() * 1e3
+     << " ms\n";
+  return os.str();
+}
+
+int RunCompile(const CliArgs& args, OperatorGraph graph) {
+  CompileOptions options;
+  options.dse = args.dse;
+  const Compiler compiler(options);
+  const CompiledDesign compiled = compiler.Compile(std::move(graph));
+
+  const std::string prefix = args.out_dir + "/";
+  WriteFile(prefix + "design_config.json", compiled.design_config_json);
+  WriteFile(prefix + "host.cpp", compiled.host_code);
+  WriteFile(prefix + "nsflow_params.vh", compiled.rtl_parameter_header);
+  WriteFile(prefix + "nsflow_top.v", compiled.rtl_top_level);
+  const std::string report = ReportText(compiled);
+  WriteFile(prefix + "report.txt", report);
+  std::printf("%s\nArtifacts written to %s\n", report.c_str(),
+              args.out_dir.c_str());
+  return 0;
+}
+
+int RunEstimate(const CliArgs& args) {
+  const OperatorGraph graph = ParseJsonTrace(ReadFile(args.trace_path));
+  const int loops = std::max(1, graph.loop_count());
+
+  if (args.device == "nsflow") {
+    CompileOptions options;
+    options.dse = args.dse;
+    const Compiler compiler(options);
+    const CompiledDesign compiled =
+        compiler.Compile(OperatorGraph(graph));
+    std::printf("NSFlow-generated design: %.3f ms end to end\n",
+                compiled.PredictedSeconds() * 1e3);
+    return 0;
+  }
+
+  DeviceKind kind;
+  if (args.device == "tx2") {
+    kind = DeviceKind::kJetsonTx2;
+  } else if (args.device == "nx") {
+    kind = DeviceKind::kXavierNx;
+  } else if (args.device == "cpu") {
+    kind = DeviceKind::kXeonCpu;
+  } else if (args.device == "rtx2080") {
+    kind = DeviceKind::kRtx2080;
+  } else if (args.device == "coral") {
+    kind = DeviceKind::kCoralTpu;
+  } else if (args.device == "tpu-like") {
+    kind = DeviceKind::kTpuLikeSa;
+  } else if (args.device == "dpu") {
+    kind = DeviceKind::kXilinxDpu;
+  } else {
+    throw Error("unknown device: " + args.device);
+  }
+  const auto device = MakeDevice(kind);
+  const auto estimate = device->Estimate(graph);
+  std::printf("%s: %.3f ms end to end (%.1f%% symbolic)\n",
+              device->name().c_str(), estimate.total_s() * loops * 1e3,
+              estimate.symbolic_share() * 100.0);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const CliArgs args = Parse(argc, argv);
+  if (args.command == "compile") {
+    return RunCompile(args, ParseJsonTrace(ReadFile(args.trace_path)));
+  }
+  if (args.command == "estimate") {
+    return RunEstimate(args);
+  }
+  if (args.command == "demo") {
+    CliArgs demo_args = args;
+    demo_args.out_dir = ".";
+    return RunCompile(demo_args, workloads::MakeNvsa());
+  }
+  throw Error("unknown command: " + args.command);
+}
+
+}  // namespace
+}  // namespace nsflow
+
+int main(int argc, char** argv) {
+  try {
+    return nsflow::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nsflow: %s\n", e.what());
+    return 1;
+  }
+}

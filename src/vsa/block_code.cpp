@@ -1,0 +1,174 @@
+#include "vsa/block_code.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "quant/quantizer.h"
+
+namespace nsflow::vsa {
+
+HyperVector::HyperVector(BlockShape shape, Tensor data)
+    : shape_(shape), data_(std::move(data)) {
+  NSF_CHECK_MSG(data_.rank() == 2 && data_.dim(0) == shape.blocks &&
+                    data_.dim(1) == shape.block_dim,
+                "hypervector tensor shape mismatch");
+}
+
+std::span<const float> HyperVector::block(std::int64_t b) const {
+  NSF_CHECK(b >= 0 && b < shape_.blocks);
+  return {data_.data() + b * shape_.block_dim,
+          static_cast<std::size_t>(shape_.block_dim)};
+}
+
+std::span<float> HyperVector::block(std::int64_t b) {
+  NSF_CHECK(b >= 0 && b < shape_.blocks);
+  return {data_.data() + b * shape_.block_dim,
+          static_cast<std::size_t>(shape_.block_dim)};
+}
+
+void HyperVector::NormalizeBlocks() {
+  for (std::int64_t b = 0; b < shape_.blocks; ++b) {
+    auto blk = block(b);
+    double norm_sq = 0.0;
+    for (const float v : blk) {
+      norm_sq += static_cast<double>(v) * v;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > 0.0) {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& v : blk) {
+        v *= inv;
+      }
+    }
+  }
+}
+
+double HyperVector::ByteSize(Precision p) const {
+  return static_cast<double>(shape_.dim()) * BytesOf(p);
+}
+
+HyperVector RandomHyperVector(BlockShape shape, Rng& rng) {
+  HyperVector v(shape);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(shape.block_dim));
+  for (std::int64_t b = 0; b < shape.blocks; ++b) {
+    for (std::int64_t i = 0; i < shape.block_dim; ++i) {
+      v.at(b, i) = static_cast<float>(rng.Gaussian(0.0, stddev));
+    }
+  }
+  return v;
+}
+
+void CircularConvolve(std::span<const float> a, std::span<const float> b,
+                      std::span<float> out) {
+  const auto d = static_cast<std::int64_t>(a.size());
+  NSF_CHECK_MSG(b.size() == a.size() && out.size() == a.size(),
+                "circular convolution requires equal lengths");
+  for (std::int64_t n = 0; n < d; ++n) {
+    double acc = 0.0;
+    for (std::int64_t k = 0; k < d; ++k) {
+      acc += static_cast<double>(a[static_cast<std::size_t>(k)]) *
+             static_cast<double>(b[static_cast<std::size_t>(Mod(n - k, d))]);
+    }
+    out[static_cast<std::size_t>(n)] = static_cast<float>(acc);
+  }
+}
+
+void CircularCorrelate(std::span<const float> a, std::span<const float> b,
+                       std::span<float> out) {
+  const auto d = static_cast<std::int64_t>(a.size());
+  NSF_CHECK_MSG(b.size() == a.size() && out.size() == a.size(),
+                "circular correlation requires equal lengths");
+  for (std::int64_t n = 0; n < d; ++n) {
+    double acc = 0.0;
+    for (std::int64_t k = 0; k < d; ++k) {
+      acc += static_cast<double>(a[static_cast<std::size_t>(k)]) *
+             static_cast<double>(b[static_cast<std::size_t>(Mod(k + n, d))]);
+    }
+    out[static_cast<std::size_t>(n)] = static_cast<float>(acc);
+  }
+}
+
+HyperVector Bind(const HyperVector& a, const HyperVector& b) {
+  NSF_CHECK_MSG(a.shape() == b.shape(), "binding requires equal shapes");
+  HyperVector c(a.shape());
+  for (std::int64_t blk = 0; blk < a.shape().blocks; ++blk) {
+    CircularConvolve(a.block(blk), b.block(blk), c.block(blk));
+  }
+  return c;
+}
+
+HyperVector Unbind(const HyperVector& composite, const HyperVector& factor) {
+  NSF_CHECK_MSG(composite.shape() == factor.shape(),
+                "unbinding requires equal shapes");
+  HyperVector out(composite.shape());
+  for (std::int64_t blk = 0; blk < composite.shape().blocks; ++blk) {
+    // corr(c, f)[n] = sum_k c[k] f[(k+n) mod d] = conv(c, involution(f))[n].
+    CircularCorrelate(factor.block(blk), composite.block(blk), out.block(blk));
+  }
+  return out;
+}
+
+HyperVector Involution(const HyperVector& v) {
+  HyperVector out(v.shape());
+  const auto d = v.shape().block_dim;
+  for (std::int64_t blk = 0; blk < v.shape().blocks; ++blk) {
+    for (std::int64_t n = 0; n < d; ++n) {
+      out.at(blk, n) = v.at(blk, Mod(-n, d));
+    }
+  }
+  return out;
+}
+
+HyperVector Bundle(std::span<const HyperVector> inputs) {
+  NSF_CHECK_MSG(!inputs.empty(), "cannot bundle zero vectors");
+  HyperVector acc(inputs.front().shape());
+  for (const auto& v : inputs) {
+    NSF_CHECK_MSG(v.shape() == acc.shape(), "bundle requires equal shapes");
+    acc.tensor() += v.tensor();
+  }
+  // Scale by 1/sqrt(n): keeps the expected norm of a bundle of unit-norm
+  // random vectors at 1, so similarities stay comparable across bundle sizes.
+  acc.tensor() *= static_cast<float>(1.0 / std::sqrt(static_cast<double>(inputs.size())));
+  return acc;
+}
+
+double Similarity(const HyperVector& a, const HyperVector& b) {
+  NSF_CHECK_MSG(a.shape() == b.shape(), "similarity requires equal shapes");
+  double total = 0.0;
+  for (std::int64_t blk = 0; blk < a.shape().blocks; ++blk) {
+    const auto ba = a.block(blk);
+    const auto bb = b.block(blk);
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      dot += static_cast<double>(ba[i]) * bb[i];
+      na += static_cast<double>(ba[i]) * ba[i];
+      nb += static_cast<double>(bb[i]) * bb[i];
+    }
+    const double denom = std::sqrt(na) * std::sqrt(nb);
+    total += denom > 0.0 ? dot / denom : 0.0;
+  }
+  return total / static_cast<double>(a.shape().blocks);
+}
+
+double MatchProb(const HyperVector& a, const HyperVector& b) {
+  return Clamp(Similarity(a, b), 0.0, 1.0);
+}
+
+std::vector<double> MatchProbBatched(const HyperVector& query,
+                                     std::span<const HyperVector> dictionary) {
+  std::vector<double> probs;
+  probs.reserve(dictionary.size());
+  for (const auto& entry : dictionary) {
+    probs.push_back(MatchProb(query, entry));
+  }
+  return probs;
+}
+
+HyperVector QuantizeHyperVector(const HyperVector& v, Precision precision) {
+  return HyperVector(v.shape(), FakeQuantize(v.tensor(), precision));
+}
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,117 @@
+// Block-code vector-symbolic architecture (VSA) primitives.
+//
+// NVSA-family workloads (paper Table I) represent symbols as *block codes*:
+// a hypervector is a [blocks, block_dim] matrix, and the binding of two
+// symbols is the **blockwise circular convolution** the paper singles out as
+// the key symbolic kernel:
+//
+//   C[n] = sum_k A[k] * B[(n - k) mod N]          (per block, Sec. II-A)
+//
+// Binding is commutative and associative, preserves information from both
+// operands, and is (approximately) invertible through circular *correlation*
+// with the same vector — the `inv_binding_circular` kernel in the paper's
+// Listing 1 trace. Similarity between block codes (`match_prob`) is the mean
+// per-block cosine, clamped to [0, 1].
+//
+// This module is the functional golden model: the AdArray's streaming
+// circular-convolution datapath (src/arch) is verified against `CircularConvolve`,
+// and the reasoning stack (src/reasoning) is built from these operations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/tensor.h"
+#include "quant/precision.h"
+
+namespace nsflow::vsa {
+
+/// Geometry of a block-code hypervector.
+struct BlockShape {
+  std::int64_t blocks = 4;
+  std::int64_t block_dim = 256;  // NVSA uses [4, 256] block codes (Listing 1).
+
+  std::int64_t dim() const { return blocks * block_dim; }
+  bool operator==(const BlockShape&) const = default;
+};
+
+/// A block-code hypervector: value type wrapping a [blocks, block_dim] tensor.
+class HyperVector {
+ public:
+  HyperVector() = default;
+  explicit HyperVector(BlockShape shape)
+      : shape_(shape), data_({shape.blocks, shape.block_dim}) {}
+  HyperVector(BlockShape shape, Tensor data);
+
+  const BlockShape& shape() const { return shape_; }
+  const Tensor& tensor() const { return data_; }
+  Tensor& tensor() { return data_; }
+
+  /// Access element `i` of block `b`.
+  float& at(std::int64_t b, std::int64_t i) { return data_.at2(b, i); }
+  float at(std::int64_t b, std::int64_t i) const { return data_.at2(b, i); }
+
+  /// One contiguous block as a span.
+  std::span<const float> block(std::int64_t b) const;
+  std::span<float> block(std::int64_t b);
+
+  /// L2-normalize each block independently (keeps binding well-conditioned).
+  void NormalizeBlocks();
+
+  /// Memory footprint at a given storage precision.
+  double ByteSize(Precision p) const;
+
+  bool operator==(const HyperVector&) const = default;
+
+ private:
+  BlockShape shape_;
+  Tensor data_;
+};
+
+/// Draw a random hypervector with i.i.d. N(0, 1/block_dim) entries — the
+/// standard holographic-reduced-representation construction for which
+/// correlation-unbinding is an approximate inverse in high dimension.
+HyperVector RandomHyperVector(BlockShape shape, Rng& rng);
+
+/// Circular convolution of two length-d spans into `out` (direct O(d^2) form,
+/// matching the paper's definition element for element).
+void CircularConvolve(std::span<const float> a, std::span<const float> b,
+                      std::span<float> out);
+
+/// Circular correlation: out[n] = sum_k a[k] * b[(k + n) mod d].
+void CircularCorrelate(std::span<const float> a, std::span<const float> b,
+                       std::span<float> out);
+
+/// VSA binding: blockwise circular convolution. Commutative & associative.
+HyperVector Bind(const HyperVector& a, const HyperVector& b);
+
+/// Approximate inverse of binding: blockwise circular correlation of the
+/// composite with one factor recovers (a noisy copy of) the other factor.
+/// This is `nvsa.inv_binding_circular` from the paper's trace.
+HyperVector Unbind(const HyperVector& composite, const HyperVector& factor);
+
+/// The exact involution used by unbinding: b*[n] = b[(-n) mod d] per block.
+HyperVector Involution(const HyperVector& v);
+
+/// Superposition (bundling): elementwise sum of all inputs; normalized so
+/// the result stays on the same magnitude scale as its inputs.
+HyperVector Bundle(std::span<const HyperVector> inputs);
+
+/// Mean per-block cosine similarity in [-1, 1].
+double Similarity(const HyperVector& a, const HyperVector& b);
+
+/// Similarity mapped to a probability: clamp(similarity, 0, 1). This is the
+/// `nvsa.match_prob` kernel.
+double MatchProb(const HyperVector& a, const HyperVector& b);
+
+/// `nvsa.match_prob_multi_batched`: match a query against every entry of a
+/// dictionary, returning one probability per entry.
+std::vector<double> MatchProbBatched(const HyperVector& query,
+                                     std::span<const HyperVector> dictionary);
+
+/// Fake-quantize every element (used to run the reasoner at INT8/INT4).
+HyperVector QuantizeHyperVector(const HyperVector& v, Precision precision);
+
+}  // namespace nsflow::vsa

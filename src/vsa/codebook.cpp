@@ -1,0 +1,56 @@
+#include "vsa/codebook.h"
+
+#include "common/error.h"
+
+namespace nsflow::vsa {
+
+Codebook::Codebook(BlockShape shape, std::int64_t num_symbols, Rng& rng,
+                   std::string name)
+    : name_(std::move(name)), shape_(shape) {
+  NSF_CHECK_MSG(num_symbols > 0, "codebook needs at least one symbol");
+  entries_.reserve(static_cast<std::size_t>(num_symbols));
+  for (std::int64_t i = 0; i < num_symbols; ++i) {
+    auto v = RandomHyperVector(shape, rng);
+    v.NormalizeBlocks();
+    entries_.push_back(std::move(v));
+  }
+}
+
+const HyperVector& Codebook::at(std::int64_t symbol) const {
+  NSF_CHECK_MSG(symbol >= 0 && symbol < size(), "codebook symbol out of range");
+  return entries_[static_cast<std::size_t>(symbol)];
+}
+
+Codebook::CleanupResult Codebook::Cleanup(const HyperVector& query) const {
+  CleanupResult result;
+  result.scores.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double score = Similarity(query, entries_[i]);
+    result.scores.push_back(score);
+    if (result.symbol < 0 || score > result.best_score) {
+      result.runner_up_score =
+          result.symbol < 0 ? -1.0 : result.best_score;
+      result.best_score = score;
+      result.symbol = static_cast<std::int64_t>(i);
+    } else if (score > result.runner_up_score) {
+      result.runner_up_score = score;
+    }
+  }
+  return result;
+}
+
+void Codebook::QuantizeInPlace(Precision precision) {
+  for (auto& entry : entries_) {
+    entry = QuantizeHyperVector(entry, precision);
+  }
+}
+
+double Codebook::ByteSize(Precision precision) const {
+  double total = 0.0;
+  for (const auto& entry : entries_) {
+    total += entry.ByteSize(precision);
+  }
+  return total;
+}
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,59 @@
+// Codebooks and cleanup memory.
+//
+// A codebook maps discrete symbols (attribute values such as "size=3" or
+// "color=red") to hypervectors. Cleanup — finding the stored symbol nearest
+// to a noisy query — is the decode step at the end of every unbinding chain,
+// and corresponds to the `match_prob_multi_batched` + argmax pattern in the
+// paper's NVSA trace (Listing 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::vsa {
+
+class Codebook {
+ public:
+  /// Create a codebook of `num_symbols` random hypervectors.
+  Codebook(BlockShape shape, std::int64_t num_symbols, Rng& rng,
+           std::string name = "codebook");
+
+  const std::string& name() const { return name_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(entries_.size()); }
+  const BlockShape& shape() const { return shape_; }
+
+  /// Hypervector for a symbol index.
+  const HyperVector& at(std::int64_t symbol) const;
+
+  /// All entries, for batched matching.
+  std::span<const HyperVector> entries() const { return entries_; }
+
+  /// Result of a cleanup query.
+  struct CleanupResult {
+    std::int64_t symbol = -1;      // argmax index
+    double best_score = 0.0;       // similarity of the winner
+    double runner_up_score = 0.0;  // second best — margin = best - runner_up
+    std::vector<double> scores;    // full score vector (match_prob per entry)
+  };
+
+  /// Nearest-entry search by similarity (the cleanup memory operation).
+  CleanupResult Cleanup(const HyperVector& query) const;
+
+  /// Replace all entries with fake-quantized copies — models storing the
+  /// codebook in INT8/INT4 on-chip memory (paper Sec. IV-D).
+  void QuantizeInPlace(Precision precision);
+
+  /// Total storage at a given precision (for Table IV memory accounting).
+  double ByteSize(Precision precision) const;
+
+ private:
+  std::string name_;
+  BlockShape shape_;
+  std::vector<HyperVector> entries_;
+};
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,103 @@
+#include "vsa/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::vsa {
+namespace {
+
+bool PowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Shared frequency-domain pipeline: out = IFFT(f(FFT(a), FFT(b))).
+template <typename Combine>
+void FrequencyDomainOp(std::span<const float> a, std::span<const float> b,
+                       std::span<float> out, Combine&& combine) {
+  const std::size_t d = a.size();
+  std::vector<std::complex<double>> fa(d);
+  std::vector<std::complex<double>> fb(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    fa[i] = a[i];
+    fb[i] = b[i];
+  }
+  Fft(fa, /*inverse=*/false);
+  Fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < d; ++i) {
+    fa[i] = combine(fa[i], fb[i]);
+  }
+  Fft(fa, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] = static_cast<float>(fa[i].real() * scale);
+  }
+}
+
+}  // namespace
+
+void Fft(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  NSF_CHECK_MSG(PowerOfTwo(n), "FFT length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> even = data[i + k];
+        const std::complex<double> odd = data[i + k + len / 2] * w;
+        data[i + k] = even + odd;
+        data[i + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void FastCircularConvolve(std::span<const float> a, std::span<const float> b,
+                          std::span<float> out) {
+  NSF_CHECK_MSG(a.size() == b.size() && a.size() == out.size(),
+                "circular convolution requires equal lengths");
+  if (!PowerOfTwo(a.size()) || a.size() < 2) {
+    CircularConvolve(a, b, out);
+    return;
+  }
+  FrequencyDomainOp(a, b, out, [](const std::complex<double>& x,
+                                  const std::complex<double>& y) {
+    return x * y;
+  });
+}
+
+void FastCircularCorrelate(std::span<const float> a, std::span<const float> b,
+                           std::span<float> out) {
+  NSF_CHECK_MSG(a.size() == b.size() && a.size() == out.size(),
+                "circular correlation requires equal lengths");
+  if (!PowerOfTwo(a.size()) || a.size() < 2) {
+    CircularCorrelate(a, b, out);
+    return;
+  }
+  // corr(a, b)[n] = sum_k a[k] b[(k+n) mod d]  <=>  IFFT(conj(FFT(a)) FFT(b)).
+  FrequencyDomainOp(a, b, out, [](const std::complex<double>& x,
+                                  const std::complex<double>& y) {
+    return std::conj(x) * y;
+  });
+}
+
+}  // namespace nsflow::vsa

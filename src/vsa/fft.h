@@ -1,0 +1,35 @@
+// Radix-2 FFT and FFT-accelerated circular convolution.
+//
+// The direct blockwise circular convolution is O(d²) per block — fine for
+// hardware (the AdArray streams it in 3H + d − 1 cycles) but wasteful for
+// host-side software such as the reasoning stack and the golden models. For
+// power-of-two block dims (NVSA uses d = 256) the convolution theorem gives
+// C = IFFT(FFT(A) ⊙ FFT(B)) in O(d log d).
+//
+// `FastCircularConvolve` transparently falls back to the direct form for
+// non-power-of-two lengths, so callers can use it unconditionally; property
+// tests pin it to vsa::CircularConvolve within floating-point tolerance.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace nsflow::vsa {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform WITHOUT the 1/N
+/// normalization (callers normalize once).
+void Fft(std::span<std::complex<double>> data, bool inverse);
+
+/// Circular convolution via the convolution theorem (power-of-two d), or
+/// the direct O(d²) form otherwise.
+void FastCircularConvolve(std::span<const float> a, std::span<const float> b,
+                          std::span<float> out);
+
+/// Circular correlation via conj(FFT(a)) ⊙ FFT(b) (power-of-two d), or the
+/// direct form otherwise: out[n] = sum_k a[k] * b[(k + n) mod d].
+void FastCircularCorrelate(std::span<const float> a, std::span<const float> b,
+                           std::span<float> out);
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,51 @@
+#include "vsa/resonator.h"
+
+#include "common/error.h"
+
+namespace nsflow::vsa {
+
+ResonatorResult Factorize(const HyperVector& composite,
+                          std::span<const Codebook> codebooks,
+                          const ResonatorOptions& options) {
+  NSF_CHECK_MSG(!codebooks.empty(), "need at least one factor codebook");
+  const std::size_t num_factors = codebooks.size();
+
+  // Initialize every factor estimate with the bundle of its codebook — the
+  // maximally uncertain superposition state.
+  std::vector<HyperVector> estimates;
+  estimates.reserve(num_factors);
+  for (const auto& cb : codebooks) {
+    estimates.push_back(Bundle(cb.entries()));
+  }
+
+  ResonatorResult result;
+  result.factors.assign(num_factors, -1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (std::size_t i = 0; i < num_factors; ++i) {
+      // Unbind all *other* current estimates from the composite.
+      HyperVector residual = composite;
+      for (std::size_t j = 0; j < num_factors; ++j) {
+        if (j != i) {
+          residual = Unbind(residual, estimates[j]);
+        }
+      }
+      // Cleanup against this factor's codebook and snap to the winner.
+      const auto cleanup = codebooks[i].Cleanup(residual);
+      if (cleanup.symbol != result.factors[i]) {
+        changed = true;
+        result.factors[i] = cleanup.symbol;
+      }
+      estimates[i] = codebooks[i].at(cleanup.symbol);
+    }
+    if (!changed && options.early_stop) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,38 @@
+// Resonator network for factorizing composite hypervectors.
+//
+// Given a composite s = x1 ⊛ x2 ⊛ ... ⊛ xF with each factor drawn from a
+// known codebook, a resonator network recovers the factors by iterating
+//
+//   xi(t+1) = cleanup_i( s ⊘ prod_{j != i} xj(t) )
+//
+// where ⊛ is binding (blockwise circular convolution) and ⊘ is unbinding.
+// This is the factorization primitive NVSA-class systems use to decompose a
+// perceived scene vector into attribute vectors, and one of the symbolic
+// query patterns NSFlow's dataflow graph schedules onto the AdArray.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vsa/codebook.h"
+
+namespace nsflow::vsa {
+
+struct ResonatorOptions {
+  int max_iterations = 50;
+  /// Stop once every factor estimate is a fixed point of the update.
+  bool early_stop = true;
+};
+
+struct ResonatorResult {
+  std::vector<std::int64_t> factors;  // Decoded symbol per codebook.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Factorize `composite` against one codebook per factor.
+ResonatorResult Factorize(const HyperVector& composite,
+                          std::span<const Codebook> codebooks,
+                          const ResonatorOptions& options = {});
+
+}  // namespace nsflow::vsa

@@ -1,0 +1,426 @@
+#include "workloads/builders.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "workloads/resnet18.h"
+
+namespace nsflow::workloads {
+namespace {
+
+/// Incremental graph assembly helper: tracks the last node so chains read
+/// top-to-bottom, and centralizes the byte accounting per precision policy.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string name, PrecisionPolicy precision, int loop_count)
+      : graph_(std::move(name)) {
+    graph_.set_precision(precision);
+    graph_.set_loop_count(loop_count);
+  }
+
+  double NeuralBytes(double elems) const {
+    return elems * BytesOf(graph_.precision().neural);
+  }
+  double SymbolicBytes(double elems) const {
+    return elems * BytesOf(graph_.precision().symbolic);
+  }
+
+  NodeId AddInput(const std::string& name, double elems) {
+    OpNode node;
+    node.name = name;
+    node.kind = OpKind::kInput;
+    node.output_bytes = NeuralBytes(elems);
+    return graph_.AddNode(std::move(node));
+  }
+
+  /// Full ResNet-18 stack: conv + relu after every conv, maxpool after the
+  /// stem. Returns the final activation node.
+  NodeId AddResNet18(NodeId input, std::int64_t input_size,
+                     std::int64_t batch) {
+    NodeId last = input;
+    const auto layers = ResNet18Layers(input_size);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const auto& spec = layers[i];
+      OpNode conv;
+      conv.name = spec.name;
+      conv.kind = OpKind::kConv2d;
+      conv.inputs = {last};
+      conv.gemm = spec.Gemm(batch);
+      conv.weight_bytes = NeuralBytes(static_cast<double>(spec.WeightCount()));
+      conv.activation_bytes =
+          NeuralBytes(static_cast<double>(spec.InputCount(batch)));
+      conv.output_bytes =
+          NeuralBytes(static_cast<double>(spec.OutputCount(batch)));
+      last = graph_.AddNode(std::move(conv));
+
+      OpNode relu;
+      relu.name = spec.name + ".relu";
+      relu.kind = OpKind::kRelu;
+      relu.inputs = {last};
+      relu.elem_count = spec.OutputCount(batch);
+      relu.activation_bytes =
+          NeuralBytes(static_cast<double>(spec.OutputCount(batch)));
+      relu.output_bytes = relu.activation_bytes;
+      last = graph_.AddNode(std::move(relu));
+
+      if (i == 0) {
+        OpNode pool;
+        pool.name = "maxpool";
+        pool.kind = OpKind::kMaxPool;
+        pool.inputs = {last};
+        pool.elem_count = spec.OutputCount(batch);
+        pool.activation_bytes = relu.activation_bytes;
+        pool.output_bytes = relu.activation_bytes / 4.0;
+        last = graph_.AddNode(std::move(pool));
+      }
+    }
+    return last;
+  }
+
+  /// A GEMM projection layer (transformer head / classifier).
+  NodeId AddLinear(const std::string& name, NodeId input, std::int64_t rows,
+                   std::int64_t cols, std::int64_t batch) {
+    OpNode node;
+    node.name = name;
+    node.kind = OpKind::kLinear;
+    node.inputs = {input};
+    node.gemm = {rows, cols, batch};
+    node.weight_bytes = NeuralBytes(static_cast<double>(rows * cols));
+    node.activation_bytes = NeuralBytes(static_cast<double>(cols * batch));
+    node.output_bytes = NeuralBytes(static_cast<double>(rows * batch));
+    return graph_.AddNode(std::move(node));
+  }
+
+  /// One VSA binding/unbinding node fusing `fused` block-code operations.
+  NodeId AddVsaOp(const std::string& name, OpKind kind,
+                  std::vector<NodeId> inputs, std::int64_t blocks,
+                  std::int64_t block_dim, std::int64_t fused) {
+    NSF_DCHECK(kind == OpKind::kCircularBind || kind == OpKind::kCircularUnbind);
+    OpNode node;
+    node.name = name;
+    node.kind = kind;
+    node.inputs = std::move(inputs);
+    node.vsa = {blocks * fused, block_dim};
+    const double operand_elems =
+        static_cast<double>(blocks * block_dim * fused);
+    node.weight_bytes = SymbolicBytes(operand_elems);      // Stationary A.
+    node.activation_bytes = SymbolicBytes(operand_elems);  // Streamed B.
+    node.output_bytes = SymbolicBytes(operand_elems);
+    return graph_.AddNode(std::move(node));
+  }
+
+  NodeId AddSimdOp(const std::string& name, OpKind kind,
+                   std::vector<NodeId> inputs, std::int64_t elems,
+                   bool symbolic) {
+    OpNode node;
+    node.name = name;
+    node.kind = kind;
+    node.inputs = std::move(inputs);
+    node.elem_count = elems;
+    const double bytes = symbolic ? SymbolicBytes(static_cast<double>(elems))
+                                  : NeuralBytes(static_cast<double>(elems));
+    node.activation_bytes = bytes;
+    node.output_bytes = bytes / 8.0;  // Reductions shrink the output.
+    return graph_.AddNode(std::move(node));
+  }
+
+  OperatorGraph Finish() {
+    graph_.Validate();
+    return std::move(graph_);
+  }
+
+  OperatorGraph& graph() { return graph_; }
+
+ private:
+  OperatorGraph graph_;
+};
+
+/// Shared NVSA/LVRF symbolic backend: `stages` sequential phases, each with
+/// `parallel` independent unbind/bind nodes (the BFS pass groups these), each
+/// fusing `fused` block-code ops, followed by batched cleanup matching and
+/// scalar glue (sum / clamp / mul) on the SIMD unit — mirroring Listing 1.
+NodeId AddVsaBackend(GraphBuilder& b, NodeId head, const std::string& prefix,
+                     std::int64_t stages, std::int64_t parallel,
+                     std::int64_t blocks, std::int64_t block_dim,
+                     std::int64_t fused, std::int64_t dict_size) {
+  NodeId stage_head = head;
+  for (std::int64_t s = 0; s < stages; ++s) {
+    std::vector<NodeId> stage_nodes;
+    for (std::int64_t p = 0; p < parallel; ++p) {
+      const OpKind kind =
+          p % 2 == 0 ? OpKind::kCircularUnbind : OpKind::kCircularBind;
+      // Heterogeneous node sizes (x0.5 / x1 / x1.5 cycling, mean x1):
+      // real VSA programs mix small query bindings with large batched rule
+      // evaluations, which is what gives Phase II's per-node allocation
+      // something to exploit beyond the uniform Phase I split.
+      const std::int64_t scaled =
+          std::max<std::int64_t>(1, fused * (1 + ((s + p) % 3)) / 2);
+      stage_nodes.push_back(
+          b.AddVsaOp(prefix + "_vsa_s" + std::to_string(s) + "_p" +
+                         std::to_string(p),
+                     kind, {stage_head}, blocks, block_dim, scaled));
+    }
+    // Batched cleanup across the dictionary joins the stage's nodes.
+    stage_head = b.AddSimdOp(
+        prefix + "_match_s" + std::to_string(s), OpKind::kMatchProbBatched,
+        std::move(stage_nodes), dict_size * blocks * block_dim,
+        /*symbolic=*/true);
+  }
+  const NodeId sum = b.AddSimdOp(prefix + "_sum", OpKind::kVecSum,
+                                 {stage_head}, dict_size, /*symbolic=*/true);
+  const NodeId clamp = b.AddSimdOp(prefix + "_clamp", OpKind::kVecClamp, {sum},
+                                   dict_size, /*symbolic=*/true);
+  return b.AddSimdOp(prefix + "_mul", OpKind::kVecMul, {clamp}, dict_size,
+                     /*symbolic=*/true);
+}
+
+}  // namespace
+
+OperatorGraph MakeNvsa(const NvsaParams& p) {
+  GraphBuilder b("NVSA", PrecisionPolicy::MixedNvsa(), p.loop_count);
+  const NodeId input = b.AddInput(
+      "scene", static_cast<double>(p.batch * 3 * p.input_size * p.input_size));
+  const NodeId backbone = b.AddResNet18(input, p.input_size, p.batch);
+  // PMF-to-VSA head: per-panel attribute PMFs projected into block codes.
+  const NodeId pmf =
+      b.AddSimdOp("pmf_to_vsa", OpKind::kSoftmax, {backbone},
+                  p.batch * p.blocks * p.block_dim, /*symbolic=*/false);
+  AddVsaBackend(b, pmf, "nvsa", p.vsa_stages, p.vsa_parallel, p.blocks,
+                p.block_dim, p.vsa_batch, p.dict_size);
+  return b.Finish();
+}
+
+OperatorGraph MakeMimonet(const MimonetParams& p) {
+  GraphBuilder b("MIMONet", PrecisionPolicy::Uniform(Precision::kINT8),
+                 p.loop_count);
+  const NodeId input = b.AddInput(
+      "inputs", static_cast<double>(p.batch * 3 * p.input_size * p.input_size));
+
+  // Superposition binding happens *before* the CNN: the MIMO trick runs one
+  // network over bound-together inputs.
+  const NodeId bound =
+      b.AddVsaOp("mimo_bind", OpKind::kCircularBind, {input}, p.blocks,
+                 p.block_dim, p.vsa_batch);
+  const NodeId backbone = b.AddResNet18(bound, p.input_size, p.batch);
+
+  // Transformer-style head: three projections + softmax.
+  NodeId head = backbone;
+  for (const char* proj : {"q_proj", "k_proj", "v_proj"}) {
+    head = b.AddLinear(std::string("head.") + proj, head, p.embed_dim,
+                       p.embed_dim, p.batch * 64);
+  }
+  const NodeId attn = b.AddSimdOp("head.softmax", OpKind::kSoftmax, {head},
+                                  p.batch * 64 * p.embed_dim,
+                                  /*symbolic=*/false);
+
+  // Unbinding recovers per-input results from the superposed output.
+  std::vector<NodeId> unbinds;
+  for (std::int64_t i = 0; i < p.vsa_nodes; ++i) {
+    unbinds.push_back(b.AddVsaOp("mimo_unbind_" + std::to_string(i),
+                                 OpKind::kCircularUnbind, {attn}, p.blocks,
+                                 p.block_dim, p.vsa_batch));
+  }
+  b.AddSimdOp("mimo_readout", OpKind::kMatchProb, std::move(unbinds),
+              p.batch * p.blocks * p.block_dim, /*symbolic=*/true);
+  return b.Finish();
+}
+
+OperatorGraph MakeLvrf(const LvrfParams& p) {
+  GraphBuilder b("LVRF", PrecisionPolicy::MixedNvsa(), p.loop_count);
+  const NodeId input = b.AddInput(
+      "scene", static_cast<double>(p.batch * 3 * p.input_size * p.input_size));
+  const NodeId backbone = b.AddResNet18(input, p.input_size, p.batch);
+  const NodeId pmf =
+      b.AddSimdOp("pmf_to_vsa", OpKind::kSoftmax, {backbone},
+                  p.batch * p.blocks * p.block_dim, /*symbolic=*/false);
+
+  // Learnable-rule evaluation: every rule r applies its VSA program to the
+  // scene vector; rules are independent (wide intra-loop parallelism), the
+  // estimation head reduces over rules.
+  std::vector<NodeId> rule_outputs;
+  for (std::int64_t r = 0; r < p.rules; ++r) {
+    NodeId rule_head = pmf;
+    for (std::int64_t v = 0; v < p.vsa_per_rule; ++v) {
+      const OpKind kind =
+          v % 2 == 0 ? OpKind::kCircularUnbind : OpKind::kCircularBind;
+      rule_head = b.AddVsaOp(
+          "rule" + std::to_string(r) + "_vsa" + std::to_string(v), kind,
+          {rule_head}, p.blocks, p.block_dim, p.vsa_batch);
+    }
+    rule_outputs.push_back(rule_head);
+  }
+  const NodeId estimate =
+      b.AddSimdOp("rule_estimation", OpKind::kMatchProbBatched,
+                  std::move(rule_outputs),
+                  p.rules * p.blocks * p.block_dim * 64, /*symbolic=*/true);
+  b.AddSimdOp("answer_select", OpKind::kVecSum, {estimate}, p.rules * 64,
+              /*symbolic=*/true);
+  return b.Finish();
+}
+
+OperatorGraph MakePrae(const PraeParams& p) {
+  GraphBuilder b("PrAE", PrecisionPolicy::Uniform(Precision::kINT8),
+                 p.loop_count);
+  const NodeId input = b.AddInput(
+      "scene", static_cast<double>(p.batch * 3 * p.input_size * p.input_size));
+  const NodeId backbone = b.AddResNet18(input, p.input_size, p.batch);
+  const NodeId scene_inf =
+      b.AddSimdOp("scene_inference", OpKind::kSoftmax, {backbone},
+                  p.batch * 4096, /*symbolic=*/false);
+
+  // Probabilistic abduction + execution: stages of large element-wise
+  // probability-tensor manipulations (no GEMM structure at all).
+  NodeId head = scene_inf;
+  const std::int64_t per_stage = p.abduction_elems / p.abduction_stages;
+  for (std::int64_t s = 0; s < p.abduction_stages; ++s) {
+    head = b.AddSimdOp("abduction_" + std::to_string(s),
+                       OpKind::kProbAbduction, {head}, per_stage,
+                       /*symbolic=*/true);
+  }
+  b.AddSimdOp("execution", OpKind::kVecSum, {head}, p.batch * 8,
+              /*symbolic=*/true);
+  return b.Finish();
+}
+
+OperatorGraph MakeParametricNsai(double symbolic_mem_fraction,
+                                 std::int64_t input_size, std::int64_t batch) {
+  NSF_CHECK_MSG(symbolic_mem_fraction >= 0.0 && symbolic_mem_fraction < 1.0,
+                "symbolic memory fraction must be in [0, 1)");
+  GraphBuilder b("ParametricNSAI", PrecisionPolicy::MixedNvsa(),
+                 /*loop_count=*/2);
+  const NodeId input = b.AddInput(
+      "scene", static_cast<double>(batch * 3 * input_size * input_size));
+  const NodeId backbone = b.AddResNet18(input, input_size, batch);
+
+  if (symbolic_mem_fraction <= 0.0) {
+    return b.Finish();
+  }
+
+  // Measure the neural footprint, then add uniform VSA nodes until symbolic
+  // bytes reach fraction p of the total: symb = p/(1-p) * neural.
+  double neural_bytes = 0.0;
+  for (const auto& node : b.graph().nodes()) {
+    if (node.domain() == Domain::kNeuro) {
+      neural_bytes += node.TotalBytes();
+    }
+  }
+  const double target_symbolic =
+      symbolic_mem_fraction / (1.0 - symbolic_mem_fraction) * neural_bytes;
+
+  constexpr std::int64_t kBlocks = 4;
+  constexpr std::int64_t kBlockDim = 256;
+  constexpr std::int64_t kFused = 64;
+  // Bytes per VSA node (stationary + streamed + output), symbolic precision.
+  const double node_bytes =
+      3.0 * b.SymbolicBytes(static_cast<double>(kBlocks * kBlockDim * kFused));
+  const auto num_nodes = static_cast<std::int64_t>(
+      std::max(1.0, target_symbolic / node_bytes + 0.5));
+
+  // Lay the nodes out in parallel groups of 8 per stage so the dataflow
+  // graph exposes the same kind of intra-loop parallelism NVSA does.
+  NodeId head = backbone;
+  constexpr std::int64_t kGroup = 8;
+  for (std::int64_t added = 0; added < num_nodes;) {
+    std::vector<NodeId> group;
+    for (std::int64_t g = 0; g < kGroup && added < num_nodes; ++g, ++added) {
+      // Heterogeneous sizes (x0.5/x1/x1.5 cycling, mean x1) — see
+      // AddVsaBackend for the rationale.
+      const std::int64_t scaled =
+          std::max<std::int64_t>(1, kFused * (1 + (added % 3)) / 2);
+      group.push_back(b.AddVsaOp("vsa_" + std::to_string(added),
+                                 added % 2 == 0 ? OpKind::kCircularUnbind
+                                                : OpKind::kCircularBind,
+                                 {head}, kBlocks, kBlockDim, scaled));
+    }
+    head = b.AddSimdOp("join_" + std::to_string(added),
+                       OpKind::kMatchProbBatched, std::move(group),
+                       kBlocks * kBlockDim * kGroup, /*symbolic=*/true);
+  }
+  return b.Finish();
+}
+
+OperatorGraph ScaleSymbolic(const OperatorGraph& graph, double factor) {
+  NSF_CHECK_MSG(factor > 0.0, "scale factor must be positive");
+  OperatorGraph scaled(graph.workload_name() + "_x" +
+                       std::to_string(factor));
+  scaled.set_loop_count(graph.loop_count());
+  scaled.set_precision(graph.precision());
+  for (OpNode node : graph.nodes()) {  // Copy, then scale symbolic work.
+    node.id = kInvalidNode;
+    if (node.domain() == Domain::kSymbolic) {
+      if (node.unit() == ComputeUnit::kAdArray) {
+        node.vsa.count = static_cast<std::int64_t>(
+            std::max(1.0, static_cast<double>(node.vsa.count) * factor));
+      } else {
+        node.elem_count = static_cast<std::int64_t>(
+            std::max(1.0, static_cast<double>(node.elem_count) * factor));
+      }
+      node.weight_bytes *= factor;
+      node.activation_bytes *= factor;
+      node.output_bytes *= factor;
+    }
+    scaled.AddNode(std::move(node));
+  }
+  scaled.Validate();
+  return scaled;
+}
+
+const char* TaskName(TaskId id) {
+  switch (id) {
+    case TaskId::kNvsaRaven:
+      return "NVSA/RAVEN";
+    case TaskId::kNvsaIRaven:
+      return "NVSA/I-RAVEN";
+    case TaskId::kNvsaPgm:
+      return "NVSA/PGM";
+    case TaskId::kPraeRaven:
+      return "PrAE/RAVEN";
+    case TaskId::kMimonetCvr:
+      return "MIMONet/CVR";
+    case TaskId::kLvrfSvrt:
+      return "LVRF/SVRT";
+  }
+  return "?";
+}
+
+OperatorGraph MakeTask(TaskId id) {
+  switch (id) {
+    case TaskId::kNvsaRaven:
+      return MakeNvsa();
+    case TaskId::kNvsaIRaven: {
+      // I-RAVEN balances the candidate set: slightly more cleanup work.
+      NvsaParams p;
+      p.dict_size = 1280;
+      auto graph = MakeNvsa(p);
+      graph.set_workload_name("NVSA(I-RAVEN)");
+      return graph;
+    }
+    case TaskId::kNvsaPgm: {
+      // PGM has a larger rule space: more symbolic stages per loop.
+      NvsaParams p;
+      p.vsa_stages = 13;
+      p.dict_size = 2048;
+      auto graph = MakeNvsa(p);
+      graph.set_workload_name("NVSA(PGM)");
+      return graph;
+    }
+    case TaskId::kPraeRaven:
+      return MakePrae();
+    case TaskId::kMimonetCvr:
+      return MakeMimonet();
+    case TaskId::kLvrfSvrt:
+      return MakeLvrf();
+  }
+  throw Error("unknown task");
+}
+
+std::vector<OperatorGraph> MakeCharacterizationSuite() {
+  std::vector<OperatorGraph> suite;
+  suite.push_back(MakeNvsa());
+  suite.push_back(MakeMimonet());
+  suite.push_back(MakeLvrf());
+  suite.push_back(MakePrae());
+  return suite;
+}
+
+}  // namespace nsflow::workloads

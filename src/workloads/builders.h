@@ -1,0 +1,99 @@
+// Workload graph builders — the four representative NSAI models of Table I
+// plus the parametric workloads used by the ablation and scalability studies.
+//
+// Each builder emits an `OperatorGraph` for ONE loop of the algorithm
+// (`loop_count` records how many loops an end-to-end task runs), with exact
+// im2col GEMM dims for the CNN frontend, VSA kernel dims for the symbolic
+// backend, SIMD element counts, and byte footprints under the workload's
+// deployed precision policy (Table III).
+//
+// Kernel counts and dimensions are calibrated against the paper's
+// characterization anchors: NVSA symbolic ≈ 19% of FLOPs but the dominant
+// GPU runtime share (Sec. II-B), symbolic working sets of tens of MB
+// (Sec. I), MIMONet neural-dominated, PrAE abduction element-wise heavy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/operator_graph.h"
+
+namespace nsflow::workloads {
+
+struct NvsaParams {
+  std::int64_t input_size = 160;  // RAVEN panels, Listing 1: [16,·,160,160].
+  std::int64_t batch = 16;        // 8 context + 8 candidate panels.
+  std::int64_t blocks = 4;        // Block-code geometry [4,256] (Listing 1).
+  std::int64_t block_dim = 256;
+  std::int64_t vsa_stages = 10;   // Sequential symbolic phases per loop.
+  std::int64_t vsa_parallel = 10; // Independent VSA nodes per phase.
+  std::int64_t vsa_batch = 128;   // Bindings fused per node.
+  std::int64_t dict_size = 1024;  // Cleanup dictionary entries.
+  int loop_count = 2;             // Perception loop + reasoning refinement.
+};
+OperatorGraph MakeNvsa(const NvsaParams& params = {});
+
+struct MimonetParams {
+  std::int64_t input_size = 128;
+  std::int64_t batch = 8;         // Superposed inputs.
+  std::int64_t embed_dim = 512;   // Transformer-head projections.
+  std::int64_t blocks = 4;
+  std::int64_t block_dim = 256;
+  std::int64_t vsa_nodes = 2;     // Binding/unbinding of the superposition.
+  std::int64_t vsa_batch = 32;
+  int loop_count = 1;
+};
+OperatorGraph MakeMimonet(const MimonetParams& params = {});
+
+struct LvrfParams {
+  std::int64_t input_size = 160;  // Frontend shared with NVSA (Table I).
+  std::int64_t batch = 16;
+  std::int64_t blocks = 4;
+  std::int64_t block_dim = 256;
+  std::int64_t rules = 12;        // Learnable rule set R.
+  std::int64_t vsa_per_rule = 10; // Rule-evaluation VSA nodes per rule.
+  std::int64_t vsa_batch = 96;
+  int loop_count = 2;
+};
+OperatorGraph MakeLvrf(const LvrfParams& params = {});
+
+struct PraeParams {
+  std::int64_t input_size = 80;   // PrAE uses a small perception CNN.
+  std::int64_t batch = 16;
+  std::int64_t abduction_elems = 1'200'000'000;  // Probability-tensor traffic.
+  std::int64_t abduction_stages = 8;
+  int loop_count = 1;
+};
+OperatorGraph MakePrae(const PraeParams& params = {});
+
+/// Ablation workload (Fig. 6): a ResNet-18 frontend plus enough VSA nodes
+/// that symbolic data accounts for `symbolic_mem_fraction` of the total
+/// memory footprint (0 disables the symbolic part entirely).
+OperatorGraph MakeParametricNsai(double symbolic_mem_fraction,
+                                 std::int64_t input_size = 160,
+                                 std::int64_t batch = 16);
+
+/// Scalability study (Sec. I claim: 150x symbolic scale -> ~4x runtime):
+/// returns a copy of `graph` with every VSA node's vector count scaled.
+OperatorGraph ScaleSymbolic(const OperatorGraph& graph, double factor);
+
+/// The six reasoning tasks of Fig. 5.
+enum class TaskId {
+  kNvsaRaven,
+  kNvsaIRaven,
+  kNvsaPgm,
+  kPraeRaven,
+  kMimonetCvr,
+  kLvrfSvrt,
+};
+inline constexpr TaskId kAllTasks[] = {
+    TaskId::kNvsaRaven, TaskId::kNvsaIRaven, TaskId::kNvsaPgm,
+    TaskId::kPraeRaven, TaskId::kMimonetCvr, TaskId::kLvrfSvrt};
+
+const char* TaskName(TaskId id);
+OperatorGraph MakeTask(TaskId id);
+
+/// All four Table I workloads in paper order (for the Fig. 1 benches).
+std::vector<OperatorGraph> MakeCharacterizationSuite();
+
+}  // namespace nsflow::workloads

@@ -1,0 +1,75 @@
+#include "workloads/resnet18.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nsflow {
+namespace {
+
+ConvLayerSpec Conv(std::string name, std::int64_t cin, std::int64_t cout,
+                   std::int64_t kernel, std::int64_t stride,
+                   std::int64_t in_size) {
+  ConvLayerSpec spec;
+  spec.name = std::move(name);
+  spec.in_channels = cin;
+  spec.out_channels = cout;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.in_size = in_size;
+  spec.out_size = CeilDiv(in_size, stride);  // "same" padding.
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ConvLayerSpec> ResNet18Layers(std::int64_t input_size) {
+  NSF_CHECK_MSG(input_size >= 32, "input too small for ResNet-18");
+  std::vector<ConvLayerSpec> layers;
+
+  // Stem: 7x7/2 conv then 3x3/2 maxpool (pool handled as an elem op by the
+  // graph builder; it changes the spatial size used below).
+  layers.push_back(Conv("conv1", 3, 64, 7, 2, input_size));
+  const std::int64_t s1 = CeilDiv(CeilDiv(input_size, std::int64_t{2}),
+                                  std::int64_t{2});  // After stem + pool.
+
+  // Stage 1: two basic blocks, 64 channels, no downsample.
+  for (int block = 1; block <= 2; ++block) {
+    for (int i = 1; i <= 2; ++i) {
+      layers.push_back(Conv("layer1." + std::to_string(block) + ".conv" +
+                                std::to_string(i),
+                            64, 64, 3, 1, s1));
+    }
+  }
+
+  // Stages 2-4: first block downsamples (stride 2 + 1x1 shortcut conv).
+  std::int64_t size = s1;
+  std::int64_t channels = 64;
+  for (int stage = 2; stage <= 4; ++stage) {
+    const std::int64_t out_channels = channels * 2;
+    const std::string prefix = "layer" + std::to_string(stage);
+    layers.push_back(
+        Conv(prefix + ".1.conv1", channels, out_channels, 3, 2, size));
+    const std::int64_t out_size = CeilDiv(size, std::int64_t{2});
+    layers.push_back(
+        Conv(prefix + ".1.conv2", out_channels, out_channels, 3, 1, out_size));
+    layers.push_back(
+        Conv(prefix + ".1.downsample", channels, out_channels, 1, 2, size));
+    layers.push_back(
+        Conv(prefix + ".2.conv1", out_channels, out_channels, 3, 1, out_size));
+    layers.push_back(
+        Conv(prefix + ".2.conv2", out_channels, out_channels, 3, 1, out_size));
+    size = out_size;
+    channels = out_channels;
+  }
+  return layers;
+}
+
+double ResNet18Flops(std::int64_t input_size, std::int64_t batch) {
+  double flops = 0.0;
+  for (const auto& layer : ResNet18Layers(input_size)) {
+    flops += layer.Gemm(batch).Flops();
+  }
+  return flops;
+}
+
+}  // namespace nsflow

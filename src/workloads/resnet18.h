@@ -1,0 +1,54 @@
+// ResNet-18 layer catalogue.
+//
+// All four benchmark workloads (Table I) use a CNN frontend; NVSA/LVRF use a
+// ResNet-18 over 160x160 RAVEN panels (the paper's Listing 1 trace shows
+// [16,64,160,160] activations — 16 panels per reasoning task). This module
+// enumerates the conv/pool/fc structure with exact im2col-lowered GEMM
+// dimensions so the analytical model, the DSE, and the simulator all agree
+// on layer shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+
+namespace nsflow {
+
+/// One convolution (or fc) layer lowered to GEMM.
+struct ConvLayerSpec {
+  std::string name;
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 0;      // kxk.
+  std::int64_t stride = 1;
+  std::int64_t in_size = 0;     // Input spatial edge (square).
+  std::int64_t out_size = 0;    // Output spatial edge.
+  bool followed_by_relu = true;
+
+  /// im2col GEMM dims for batch `b`: m=Cout, n=Cin*k*k, k=b*out^2.
+  GemmDims Gemm(std::int64_t batch) const {
+    return {out_channels, in_channels * kernel * kernel,
+            batch * out_size * out_size};
+  }
+  std::int64_t WeightCount() const {
+    return out_channels * in_channels * kernel * kernel;
+  }
+  std::int64_t OutputCount(std::int64_t batch) const {
+    return batch * out_channels * out_size * out_size;
+  }
+  std::int64_t InputCount(std::int64_t batch) const {
+    return batch * in_channels * in_size * in_size;
+  }
+};
+
+/// The 20 weight layers of ResNet-18 (conv1, 16 block convs, 3 downsample
+/// 1x1 convs) for a square input of `input_size` pixels. The final fc is
+/// omitted: NVSA-class frontends replace it with the PMF-to-VSA head.
+std::vector<ConvLayerSpec> ResNet18Layers(std::int64_t input_size);
+
+/// Total multiply-accumulate FLOPs of the stack for a given batch.
+double ResNet18Flops(std::int64_t input_size, std::int64_t batch);
+
+}  // namespace nsflow

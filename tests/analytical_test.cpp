@@ -1,0 +1,146 @@
+// Tests for the analytical runtime model — Eqs. (1)-(5) of Sec. V-C.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "model/analytical.h"
+#include "model/roofline.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+TEST(LayerCyclesTest, MatchesClosedFormByHand) {
+  // (2H + W + d1 - 2) * ceil(ceil(d2/Nl)/H) * ceil(d3/W)
+  const ArrayConfig cfg{32, 16, 16};
+  const GemmDims g{64, 576, 1024};
+  // pass = 64+64+16-2-...: 2*32+16+64-2 = 142; rows = ceil(ceil(576/2)/32)=9;
+  // cols = ceil(1024/16) = 64.
+  EXPECT_DOUBLE_EQ(LayerCycles(cfg, 2, g), 142.0 * 9.0 * 64.0);
+}
+
+TEST(LayerCyclesTest, MoreSubArraysNeverSlower) {
+  const ArrayConfig cfg{32, 16, 16};
+  const GemmDims g{128, 4608, 6400};
+  double prev = LayerCycles(cfg, 1, g);
+  for (std::int64_t nl = 2; nl <= 16; ++nl) {
+    const double t = LayerCycles(cfg, nl, g);
+    EXPECT_LE(t, prev) << "nl=" << nl;
+    prev = t;
+  }
+}
+
+TEST(LayerCyclesTest, RejectsDegenerateInputs) {
+  const ArrayConfig cfg{32, 16, 16};
+  EXPECT_THROW(LayerCycles(cfg, 0, GemmDims{1, 1, 1}), CheckError);
+  EXPECT_THROW(LayerCycles(cfg, 1, GemmDims{0, 1, 1}), CheckError);
+}
+
+TEST(VsaStreamPeriodTest, ThreeHPlusDMinusOne) {
+  EXPECT_DOUBLE_EQ(VsaStreamPeriod(32, 256), 3.0 * 32 + 256 - 1);
+  EXPECT_DOUBLE_EQ(VsaStreamPeriod(3, 3), 11.0);  // The Fig. 3b mini example.
+}
+
+TEST(VsaCyclesTest, SpatialFormula) {
+  const ArrayConfig cfg{32, 16, 16};
+  const VsaDims v{64, 1024};
+  // n * ceil(d/(W*H*Nv)) * T with T = 3*32+1024-1 = 1119.
+  // ceil(1024/(16*32*2)) = 1.
+  EXPECT_DOUBLE_EQ(VsaSpatialCycles(cfg, 2, v), 64.0 * 1.0 * 1119.0);
+}
+
+TEST(VsaCyclesTest, TemporalFormula) {
+  const ArrayConfig cfg{32, 16, 16};
+  const VsaDims v{64, 1024};
+  // ceil(n/W) * ceil(d/(H*Nv)) * T = 4 * 16 * 1119.
+  EXPECT_DOUBLE_EQ(VsaTemporalCycles(cfg, 2, v), 4.0 * 16.0 * 1119.0);
+}
+
+TEST(VsaCyclesTest, TotalTakesTheFasterMapping) {
+  const ArrayConfig cfg{32, 16, 16};
+  const std::vector<VsaNode> nodes = {{0, {64, 1024}, 0.0},
+                                      {1, {8, 256}, 0.0}};
+  const std::vector<std::int64_t> nv = {2, 2};
+  VsaMapping mapping;
+  const double total = VsaTotalCycles(cfg, nodes, nv, &mapping);
+  double spatial = 0.0;
+  double temporal = 0.0;
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    spatial += VsaSpatialCycles(cfg, nv[j], nodes[j].vsa);
+    temporal += VsaTemporalCycles(cfg, nv[j], nodes[j].vsa);
+  }
+  EXPECT_DOUBLE_EQ(total, std::min(spatial, temporal));
+  EXPECT_EQ(mapping == VsaMapping::kTemporal, temporal <= spatial);
+}
+
+TEST(VsaCyclesTest, ManySmallVectorsFavorTemporalMapping) {
+  // Temporal mapping multiplexes vectors over columns: with n >> d it wins.
+  const ArrayConfig cfg{32, 16, 4};
+  const VsaDims many_small{1024, 64};
+  EXPECT_LT(VsaTemporalCycles(cfg, 1, many_small),
+            VsaSpatialCycles(cfg, 1, many_small));
+}
+
+TEST(SimdCyclesTest, LinearInElems) {
+  EXPECT_DOUBLE_EQ(SimdCycles(0.0, 64), 0.0);
+  const double c1 = SimdCycles(6400.0, 64);
+  const double c2 = SimdCycles(12800.0, 64);
+  EXPECT_NEAR(c2 - c1, 100.0, 1e-9);
+  EXPECT_THROW(SimdCycles(1.0, 0), CheckError);
+}
+
+TEST(SequentialVsParallelTest, ParallelWinsWhenWorkIsBalanced) {
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  const ArrayConfig cfg{32, 16, 16};
+
+  const double t_seq = SequentialCycles(cfg, dfg.layers(), dfg.vsa_ops());
+
+  // Static partition 14:2 (the paper's Table III default for NVSA).
+  const std::vector<std::int64_t> nl(dfg.layers().size(), 14);
+  const std::vector<std::int64_t> nv(dfg.vsa_ops().size(), 2);
+  const double t_para =
+      ParallelCycles(cfg, dfg.layers(), dfg.vsa_ops(), nl, nv);
+
+  EXPECT_LT(t_para, t_seq);
+}
+
+TEST(SequentialVsParallelTest, ParallelIsMaxOfLanes) {
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  const ArrayConfig cfg{32, 16, 16};
+  const std::vector<std::int64_t> nl(dfg.layers().size(), 8);
+  const std::vector<std::int64_t> nv(dfg.vsa_ops().size(), 8);
+  const double t_nn = NnTotalCycles(cfg, dfg.layers(), nl);
+  const double t_vsa = VsaTotalCycles(cfg, dfg.vsa_ops(), nv);
+  EXPECT_DOUBLE_EQ(ParallelCycles(cfg, dfg.layers(), dfg.vsa_ops(), nl, nv),
+                   std::max(t_nn, t_vsa));
+}
+
+TEST(RooflineTest, RidgeAndAttainable) {
+  const Roofline r{10e12, 500e9};
+  EXPECT_DOUBLE_EQ(r.RidgeIntensity(), 20.0);
+  EXPECT_DOUBLE_EQ(r.Attainable(2.0), 1e12);     // Memory-bound region.
+  EXPECT_DOUBLE_EQ(r.Attainable(100.0), 10e12);  // Compute-bound region.
+  EXPECT_TRUE(r.IsComputeBound(25.0));
+  EXPECT_FALSE(r.IsComputeBound(5.0));
+}
+
+TEST(RooflineTest, SymbolicComponentsAreMemoryBound) {
+  // The paper's Fig. 1c observation, reproduced for every workload that has
+  // a symbolic component.
+  const Roofline rtx{13.45e12, 616e9};
+  for (const auto& graph : workloads::MakeCharacterizationSuite()) {
+    for (const auto& point : PlaceOnRoofline(graph, rtx)) {
+      if (point.label.find("Symb") != std::string::npos) {
+        EXPECT_TRUE(point.memory_bound) << point.label;
+      }
+      if (point.label.find("NVSA (Neuro)") != std::string::npos) {
+        EXPECT_FALSE(point.memory_bound) << point.label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsflow

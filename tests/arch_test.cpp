@@ -1,0 +1,272 @@
+// Tests for the cycle-level backend: the Fig. 3b circular-convolution
+// column, the AdArray (folding, GEMM, batch circular conv), and the SIMD
+// unit. Functional outputs are validated against the VSA golden model and
+// dense MatMul.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/adarray.h"
+#include "arch/circ_conv_column.h"
+#include "arch/simd_unit.h"
+#include "common/rng.h"
+#include "common/tensor.h"
+#include "vsa/block_code.h"
+
+namespace nsflow::arch {
+namespace {
+
+std::vector<float> RandomVec(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Gaussian());
+  }
+  return v;
+}
+
+TEST(CircConvColumnTest, PaperThreeElementExample) {
+  // H = 3 PEs, d = 3: the exact scenario of Fig. 3(b).
+  CircConvColumn column(3);
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {5.0f, 7.0f, 11.0f};
+  const auto run = column.Run(a, b);
+  ASSERT_EQ(run.output.size(), 3u);
+  EXPECT_FLOAT_EQ(run.output[0], 48.0f);  // A1B1 + A2B3 + A3B2.
+  EXPECT_FLOAT_EQ(run.output[1], 50.0f);
+  EXPECT_FLOAT_EQ(run.output[2], 40.0f);
+  EXPECT_EQ(run.passes, 1);
+  // T = 3H + d - 1 = 11 cycles.
+  EXPECT_EQ(run.cycles, 11);
+}
+
+class CircConvColumnParamTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(CircConvColumnParamTest, MatchesGoldenModelAndEqFourCycles) {
+  const auto [height, dim] = GetParam();
+  CircConvColumn column(height);
+  Rng rng(height * 1000 + dim);
+  const auto a = RandomVec(dim, rng);
+  const auto b = RandomVec(dim, rng);
+
+  const auto run = column.Run(a, b);
+
+  // Functional: register-stepped pipeline == direct circular convolution.
+  std::vector<float> golden(static_cast<std::size_t>(dim));
+  vsa::CircularConvolve(a, b, golden);
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(run.output[i], golden[i], 1e-3 * (std::abs(golden[i]) + 1.0))
+        << "output " << i;
+  }
+
+  // Timing: passes x (3H + d - 1), the Eq. (4) streaming period.
+  const std::int64_t passes = (dim + height - 1) / height;
+  EXPECT_EQ(run.passes, passes);
+  EXPECT_EQ(run.cycles, passes * (3 * height + dim - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CircConvColumnParamTest,
+    ::testing::Values(std::tuple<std::int64_t, std::int64_t>{4, 4},
+                      std::tuple<std::int64_t, std::int64_t>{4, 16},
+                      std::tuple<std::int64_t, std::int64_t>{8, 5},
+                      std::tuple<std::int64_t, std::int64_t>{16, 64},
+                      std::tuple<std::int64_t, std::int64_t>{32, 256},
+                      std::tuple<std::int64_t, std::int64_t>{7, 23}),
+    [](const auto& info) {
+      return "H" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CircConvColumnTest, CommutativityThroughTheDatapath) {
+  CircConvColumn column(8);
+  Rng rng(99);
+  const auto a = RandomVec(24, rng);
+  const auto b = RandomVec(24, rng);
+  const auto ab = column.Run(a, b);
+  const auto ba = column.Run(b, a);
+  for (std::size_t i = 0; i < ab.output.size(); ++i) {
+    EXPECT_NEAR(ab.output[i], ba.output[i], 1e-3);
+  }
+}
+
+TEST(CircConvColumnTest, RejectsMismatchedOperands) {
+  CircConvColumn column(4);
+  std::vector<float> a(8), b(9);
+  EXPECT_THROW(column.Run(a, b), Error);
+}
+
+TEST(AdArrayTest, FoldingBoundsEnforced) {
+  AdArray array(ArrayConfig{8, 8, 4});
+  EXPECT_NO_THROW(array.Fold({2, 2}));
+  EXPECT_NO_THROW(array.Fold({4, 0}));
+  EXPECT_THROW(array.Fold({3, 2}), CheckError);
+  EXPECT_THROW(array.Fold({-1, 2}), CheckError);
+}
+
+TEST(AdArrayTest, GemmMatchesMatMulAcrossTilings) {
+  // The tiled hardware walk must agree with the dense golden model even
+  // when dimensions do not divide the array geometry.
+  AdArray array(ArrayConfig{8, 8, 4});
+  array.Fold({4, 0});
+  Rng rng(5);
+  for (const auto& [m, n, k] :
+       std::vector<std::tuple<int, int, int>>{{3, 5, 7},
+                                              {8, 8, 8},
+                                              {16, 24, 32},
+                                              {10, 100, 9},
+                                              {33, 17, 65}}) {
+    Tensor a({m, n});
+    Tensor b({n, k});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a.at(i) = static_cast<float>(rng.Gaussian());
+    }
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      b.at(i) = static_cast<float>(rng.Gaussian());
+    }
+    for (const std::int64_t nl : {1, 2, 4}) {
+      const auto run = array.RunGemm(a, b, nl);
+      const Tensor golden = MatMul(a, b);
+      for (std::int64_t i = 0; i < golden.numel(); ++i) {
+        EXPECT_NEAR(run.output.at(i), golden.at(i), 1e-3)
+            << m << "x" << n << "x" << k << " nl=" << nl;
+      }
+      EXPECT_DOUBLE_EQ(run.cycles,
+                       LayerCycles(array.config(), nl, GemmDims{m, n, k}));
+    }
+  }
+}
+
+TEST(AdArrayTest, GemmNeedsNnFoldShare) {
+  AdArray array(ArrayConfig{8, 8, 4});
+  array.Fold({0, 4});  // All-VSA fold.
+  EXPECT_THROW(array.RunGemm(Tensor({4, 4}), Tensor({4, 4}), 1), CheckError);
+}
+
+TEST(AdArrayTest, CircConvBatchMatchesVsaBind) {
+  AdArray array(ArrayConfig{8, 8, 4});
+  array.Fold({0, 4});
+  Rng rng(6);
+  const vsa::BlockShape shape{4, 32};
+  const auto a = vsa::RandomHyperVector(shape, rng);
+  const auto b = vsa::RandomHyperVector(shape, rng);
+
+  const auto run = array.RunCircConvBatch(a.tensor(), b.tensor(), 2);
+  const auto golden = vsa::Bind(a, b);
+  for (std::int64_t i = 0; i < golden.tensor().numel(); ++i) {
+    EXPECT_NEAR(run.output.at(i), golden.tensor().at(i), 1e-3);
+  }
+  // Cycles follow Eq. (5)'s min of the two mappings.
+  const VsaDims dims{4, 32};
+  EXPECT_DOUBLE_EQ(run.cycles,
+                   std::min(VsaSpatialCycles(array.config(), 2, dims),
+                            VsaTemporalCycles(array.config(), 2, dims)));
+}
+
+TEST(AdArrayTest, UtilizationIsAFraction) {
+  AdArray array(ArrayConfig{8, 8, 2});
+  array.Fold({2, 0});
+  Rng rng(7);
+  Tensor a({16, 16});
+  Tensor b({16, 16});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = 1.0f;
+    b.at(i) = 1.0f;
+  }
+  const auto run = array.RunGemm(a, b, 2);
+  EXPECT_GT(run.utilization, 0.0);
+  EXPECT_LE(run.utilization, 1.0);
+  EXPECT_GT(array.total_macs(), 0.0);
+  EXPECT_GT(array.nn_cycles(), 0.0);
+}
+
+TEST(DetailedGemmPassTest, MatchesDenseProductAndTiming) {
+  AdArray array(ArrayConfig{8, 8, 1});
+  Rng rng(8);
+  // Tile: B[6, 5] stationary, A[10, 6] streamed.
+  Tensor a({10, 6});
+  Tensor b({6, 5});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  const auto run = array.SimulateGemmPassDetailed(a, b);
+  const Tensor golden = MatMul(a, b);
+  for (std::int64_t i = 0; i < golden.numel(); ++i) {
+    EXPECT_NEAR(run.output.at(i), golden.at(i), 1e-4);
+  }
+  // Eq. (1) single-pass term: 2H + W + m - 2 at full sub-array geometry.
+  EXPECT_EQ(run.cycles, 2 * 8 + 8 + 10 - 2);
+}
+
+TEST(DetailedGemmPassTest, RejectsOversizedTile) {
+  AdArray array(ArrayConfig{4, 4, 1});
+  EXPECT_THROW(array.SimulateGemmPassDetailed(Tensor({4, 8}), Tensor({8, 4})),
+               CheckError);
+}
+
+TEST(SimdUnitTest, UnaryOps) {
+  SimdUnit simd(16);
+  std::vector<float> data = {-1.0f, 0.0f, 2.0f, -3.0f};
+  simd.RunUnary(SimdOp::kRelu, data);
+  EXPECT_EQ(data, (std::vector<float>{0.0f, 0.0f, 2.0f, 0.0f}));
+
+  std::vector<float> scaled = {1.0f, 2.0f};
+  simd.RunUnary(SimdOp::kScale, scaled, 3.0f);
+  EXPECT_EQ(scaled, (std::vector<float>{3.0f, 6.0f}));
+
+  std::vector<float> clamped = {-5.0f, 0.5f, 5.0f};
+  simd.RunUnary(SimdOp::kClamp, clamped, 0.0f, 1.0f);
+  EXPECT_EQ(clamped, (std::vector<float>{0.0f, 0.5f, 1.0f}));
+}
+
+TEST(SimdUnitTest, SoftmaxNormalizes) {
+  SimdUnit simd(16);
+  std::vector<float> data = {1.0f, 2.0f, 3.0f, 4.0f};
+  simd.RunUnary(SimdOp::kSoftmax, data);
+  float sum = 0.0f;
+  for (const float v : data) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(data[3], data[0]);  // Monotone in the logits.
+}
+
+TEST(SimdUnitTest, Reductions) {
+  SimdUnit simd(8);
+  const std::vector<float> a = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(simd.RunReduce(SimdOp::kSum, a).scalar_result, 7.0);
+  EXPECT_DOUBLE_EQ(simd.RunReduce(SimdOp::kNorm, a).scalar_result, 5.0);
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(simd.RunReduce(SimdOp::kDot, a, b).scalar_result, 11.0);
+}
+
+TEST(SimdUnitTest, BinaryOpsAndCycleAccounting) {
+  SimdUnit simd(4);
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> b = {5.0f, 6.0f, 7.0f, 8.0f};
+  std::vector<float> out(4);
+  const auto add = simd.RunBinary(SimdOp::kAdd, a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{6.0f, 8.0f, 10.0f, 12.0f}));
+  EXPECT_GT(add.cycles, 0.0);
+  simd.RunBinary(SimdOp::kMul, a, b, out);
+  EXPECT_EQ(out[3], 32.0f);
+  EXPECT_GT(simd.total_cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(simd.total_elems(), 8.0);
+}
+
+TEST(SimdUnitTest, WrongArityThrows) {
+  SimdUnit simd(4);
+  std::vector<float> data(4);
+  EXPECT_THROW(simd.RunUnary(SimdOp::kAdd, data), Error);
+  EXPECT_THROW(simd.RunReduce(SimdOp::kRelu, data), Error);
+  std::vector<float> small(2);
+  EXPECT_THROW(simd.RunBinary(SimdOp::kAdd, data, small, data), Error);
+}
+
+}  // namespace
+}  // namespace nsflow::arch

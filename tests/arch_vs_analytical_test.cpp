@@ -1,0 +1,110 @@
+// Cross-validation: the cycle-level simulator must agree with the
+// closed-form analytical model (Eqs. (1)-(5)) that the DSE searches over.
+// This is the contract that makes the frontend's decisions meaningful.
+#include <gtest/gtest.h>
+
+#include "arch/adarray.h"
+#include "arch/circ_conv_column.h"
+#include "arch/controller.h"
+#include "common/rng.h"
+#include "dse/dse.h"
+#include "model/accel_model.h"
+#include "model/analytical.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+TEST(ArchVsAnalytical, GemmCyclesEqualEqOne) {
+  arch::AdArray array(ArrayConfig{16, 8, 4});
+  array.Fold({4, 0});
+  Rng rng(1);
+  for (const auto& [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {8, 32, 16}, {20, 100, 50}, {64, 64, 64}}) {
+    Tensor a({m, n});
+    Tensor b({n, k});
+    for (const std::int64_t nl : {1, 2, 4}) {
+      const auto run = array.RunGemm(a, b, nl);
+      EXPECT_DOUBLE_EQ(run.cycles,
+                       LayerCycles(array.config(), nl, GemmDims{m, n, k}));
+    }
+  }
+}
+
+TEST(ArchVsAnalytical, ColumnCyclesEqualStreamPeriod) {
+  for (const std::int64_t h : {4, 8, 16}) {
+    arch::CircConvColumn column(h);
+    for (const std::int64_t d : {8, 32, 100}) {
+      Rng rng(h * 100 + d);
+      std::vector<float> a(static_cast<std::size_t>(d), 1.0f);
+      std::vector<float> b(static_cast<std::size_t>(d), 1.0f);
+      const auto run = column.Run(a, b);
+      const std::int64_t passes = (d + h - 1) / h;
+      EXPECT_EQ(run.cycles,
+                passes * static_cast<std::int64_t>(VsaStreamPeriod(h, d)));
+    }
+  }
+}
+
+TEST(ArchVsAnalytical, ControllerMatchesAccelModelOnNvsa) {
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  const DseResult dse = RunTwoPhaseDse(dfg, {});
+
+  arch::Controller controller(dse.design, dfg);
+  const arch::SimReport sim = controller.RunLoop();
+  const AccelPerf model = EstimateAccelerator(dfg, dse.design);
+
+  // Array lanes are computed by the same equations walked kernel-by-kernel:
+  // exact agreement expected.
+  EXPECT_NEAR(sim.nn_lane_cycles, model.nn_cycles, 1.0);
+  EXPECT_NEAR(sim.vsa_lane_cycles, model.vsa_cycles, 1.0);
+  EXPECT_NEAR(sim.array_cycles, model.array_cycles, 1.0);
+  EXPECT_NEAR(sim.simd_cycles, model.simd_cycles, 1.0);
+  // DRAM traffic model is shared; stalls must agree within rounding.
+  EXPECT_NEAR(sim.dram_stall_cycles, model.dram_stall_cycles,
+              0.01 * model.total_cycles + 1.0);
+  EXPECT_NEAR(sim.total_cycles, model.total_cycles,
+              0.01 * model.total_cycles + 1.0);
+}
+
+TEST(ArchVsAnalytical, ControllerMatchesAccelModelSequentialMode) {
+  const OperatorGraph graph = workloads::MakeParametricNsai(0.0);
+  const DataflowGraph dfg(graph);
+  const DseResult dse = RunTwoPhaseDse(dfg, {});
+  ASSERT_TRUE(dse.design.sequential_mode);
+
+  arch::Controller controller(dse.design, dfg);
+  const arch::SimReport sim = controller.RunLoop();
+  const AccelPerf model = EstimateAccelerator(dfg, dse.design);
+  EXPECT_NEAR(sim.total_cycles, model.total_cycles,
+              0.01 * model.total_cycles + 1.0);
+}
+
+TEST(ArchVsAnalytical, EndToEndSecondsAgree) {
+  for (const auto task :
+       {workloads::TaskId::kNvsaRaven, workloads::TaskId::kMimonetCvr}) {
+    const OperatorGraph graph = workloads::MakeTask(task);
+    const DataflowGraph dfg(graph);
+    const DseResult dse = RunTwoPhaseDse(dfg, {});
+    arch::Controller controller(dse.design, dfg);
+    const double sim_s = controller.RunWorkload();
+    const double model_s = EndToEndSeconds(dfg, dse.design);
+    EXPECT_NEAR(sim_s, model_s, 0.02 * model_s)
+        << workloads::TaskName(task);
+  }
+}
+
+TEST(ArchVsAnalytical, DsePredictionIsAchievedBySimulator) {
+  // The design the DSE promises (t_para cycles) must be what the simulated
+  // backend actually delivers for the array portion.
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  const DseResult dse = RunTwoPhaseDse(dfg, {});
+  arch::Controller controller(dse.design, dfg);
+  const arch::SimReport sim = controller.RunLoop();
+  EXPECT_NEAR(sim.array_cycles, dse.t_para_cycles, 1.0);
+}
+
+}  // namespace
+}  // namespace nsflow

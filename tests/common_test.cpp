@@ -1,0 +1,207 @@
+// Unit tests for src/common: errors, math helpers, RNG, table, tensor.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/tensor.h"
+
+namespace nsflow {
+namespace {
+
+TEST(ErrorTest, CheckThrowsWithExpressionAndLocation) {
+  try {
+    NSF_CHECK_MSG(1 == 2, "context message");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("context message"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(NSF_CHECK(2 + 2 == 4));
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw InfeasibleError("x"), Error);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv<std::int64_t>(10, 3), 4);
+  EXPECT_EQ(CeilDiv<std::int64_t>(9, 3), 3);
+  EXPECT_EQ(CeilDiv<std::int64_t>(1, 3), 1);
+  EXPECT_EQ(CeilDiv<std::int64_t>(0, 3), 0);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp<std::int64_t>(10, 8), 16);
+  EXPECT_EQ(RoundUp<std::int64_t>(16, 8), 16);
+}
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+}
+
+TEST(MathUtilTest, ModIsEuclidean) {
+  EXPECT_EQ(Mod(5, 3), 2);
+  EXPECT_EQ(Mod(-1, 3), 2);
+  EXPECT_EQ(Mod(-3, 3), 0);
+  EXPECT_EQ(Mod(0, 7), 0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(20, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto v : sample) {
+    EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(3);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), CheckError);
+}
+
+TEST(RngTest, GaussianHasRoughlyCorrectMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter table({"Device", "Runtime"});
+  table.AddRow({"TX2", "23.90"});
+  table.AddRow({"NSFlow", "1.00"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Device"), std::string::npos);
+  EXPECT_NE(out.find("| TX2"), std::string::npos);
+  EXPECT_NE(out.find("| NSFlow"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  TablePrinter table({"A", "B"});
+  EXPECT_THROW(table.AddRow({"only one"}), CheckError);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Percent(0.345, 1), "34.5%");
+  EXPECT_EQ(TablePrinter::Bytes(2.0 * 1024.0 * 1024.0), "2.00 MB");
+  EXPECT_EQ(TablePrinter::Bytes(512.0), "512.00 B");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t.at(i), 0.0f);
+  }
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f}), CheckError);
+}
+
+TEST(TensorTest, At2) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(1, 2), 6.0f);
+  t.at2(1, 0) = 9.0f;
+  EXPECT_EQ(t.at(3), 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.Reshaped({4, 2}), CheckError);
+}
+
+TEST(TensorTest, ArithmeticHelpers) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(a.Dot(b), 32.0f);
+  EXPECT_FLOAT_EQ(b.MaxAbs(), 6.0f);
+  a += b;
+  EXPECT_EQ(a.at(0), 5.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a.at(2), 18.0f);
+  EXPECT_NEAR(Tensor({2}, {3, 4}).Norm(), 5.0f, 1e-6);
+}
+
+TEST(MatMulTest, MatchesHandComputedProduct) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(5);
+  Tensor a({4, 4});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  Tensor eye({4, 4});
+  for (int i = 0; i < 4; ++i) {
+    eye.at2(i, i) = 1.0f;
+  }
+  EXPECT_EQ(MatMul(a, eye), a);
+}
+
+TEST(MatMulTest, RejectsMismatchedInner) {
+  EXPECT_THROW(MatMul(Tensor({2, 3}), Tensor({4, 2})), CheckError);
+}
+
+}  // namespace
+}  // namespace nsflow

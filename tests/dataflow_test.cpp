@@ -1,0 +1,165 @@
+// Tests for the dataflow-graph construction (paper Fig. 4 steps 1-5).
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dataflow_graph.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+/// A small diamond-shaped NSAI graph: input -> conv1 -> conv2 (critical, big)
+/// with two parallel VSA ops hanging off conv1, joined by a SIMD op.
+OperatorGraph MakeDiamond() {
+  OperatorGraph graph("diamond");
+  graph.set_loop_count(2);
+
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  const NodeId in = graph.AddNode(input);
+
+  OpNode conv1;
+  conv1.name = "conv1";
+  conv1.kind = OpKind::kConv2d;
+  conv1.inputs = {in};
+  conv1.gemm = {64, 576, 4096};
+  conv1.weight_bytes = 36864.0;
+  conv1.output_bytes = 262144.0;
+  const NodeId c1 = graph.AddNode(conv1);
+
+  OpNode conv2 = conv1;
+  conv2.name = "conv2";
+  conv2.inputs = {c1};
+  conv2.gemm = {128, 1152, 4096};  // Bigger: stays on the critical path.
+  conv2.weight_bytes = 147456.0;
+  const NodeId c2 = graph.AddNode(conv2);
+
+  OpNode vsa1;
+  vsa1.name = "vsa1";
+  vsa1.kind = OpKind::kCircularUnbind;
+  vsa1.inputs = {c1};
+  vsa1.vsa = {4, 256};
+  vsa1.weight_bytes = 1024.0;
+  vsa1.activation_bytes = 1024.0;
+  const NodeId v1 = graph.AddNode(vsa1);
+
+  OpNode vsa2 = vsa1;
+  vsa2.name = "vsa2";
+  const NodeId v2 = graph.AddNode(vsa2);
+
+  OpNode join;
+  join.name = "join";
+  join.kind = OpKind::kMatchProbBatched;
+  join.inputs = {c2, v1, v2};
+  join.elem_count = 4096;
+  graph.AddNode(join);
+
+  graph.Validate();
+  return graph;
+}
+
+TEST(DataflowTest, DepthsAreLongestPath) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  const auto& d = dfg.depths();
+  EXPECT_EQ(d[0], 0);  // in
+  EXPECT_EQ(d[1], 1);  // conv1
+  EXPECT_EQ(d[2], 2);  // conv2
+  EXPECT_EQ(d[3], 2);  // vsa1 (same depth as conv2)
+  EXPECT_EQ(d[5], 3);  // join
+}
+
+TEST(DataflowTest, CriticalPathFollowsHeaviestChain) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  std::vector<std::string> path_names;
+  for (const auto& n : dfg.critical_path()) {
+    path_names.push_back(graph.node(n.op).name);
+  }
+  // conv2's FLOPs dwarf the VSA branch, so the DFS keeps the conv chain.
+  EXPECT_EQ(path_names,
+            (std::vector<std::string>{"in", "conv1", "conv2", "join"}));
+}
+
+TEST(DataflowTest, OffPathNodesAttachAtTheirDepth) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  // vsa1/vsa2 sit at depth 2 -> attached to the depth-2 CP node (conv2).
+  const auto& cp = dfg.critical_path();
+  ASSERT_EQ(cp.size(), 4u);
+  EXPECT_EQ(graph.node(cp[2].op).name, "conv2");
+  ASSERT_EQ(cp[2].attached.size(), 2u);
+  EXPECT_EQ(graph.node(cp[2].attached[0]).name, "vsa1");
+  EXPECT_EQ(dfg.ParallelOpCount(), 2);
+}
+
+TEST(DataflowTest, KernelListsInScheduleOrder) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  ASSERT_EQ(dfg.layers().size(), 2u);
+  EXPECT_EQ(graph.node(dfg.layers()[0].op).name, "conv1");
+  EXPECT_EQ(graph.node(dfg.layers()[1].op).name, "conv2");
+  ASSERT_EQ(dfg.vsa_ops().size(), 2u);
+  ASSERT_EQ(dfg.simd_ops().size(), 1u);
+  EXPECT_EQ(dfg.simd_ops()[0].elem_count, 4096);
+}
+
+TEST(DataflowTest, MemorySummaries) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  EXPECT_DOUBLE_EQ(dfg.MaxLayerWeightBytes(), 147456.0);
+  EXPECT_DOUBLE_EQ(dfg.MaxVsaNodeBytes(), 2048.0);
+  EXPECT_DOUBLE_EQ(dfg.MaxLayerOutputBytes(), 262144.0);
+  EXPECT_DOUBLE_EQ(dfg.TotalSimdElems(), 4096.0);
+}
+
+TEST(DataflowTest, LayerSpanCoversAllVsaNodes) {
+  const OperatorGraph graph = MakeDiamond();
+  const DataflowGraph dfg(graph);
+  // Spans must be within range and monotone non-decreasing across layers.
+  VsaSpan prev{0, 0};
+  for (std::size_t i = 0; i < dfg.layers().size(); ++i) {
+    const VsaSpan span = dfg.LayerSpan(i);
+    EXPECT_LE(span.first, span.last);
+    EXPECT_LT(span.last, dfg.vsa_ops().size());
+    EXPECT_GE(span.first, prev.first);
+    prev = span;
+  }
+  EXPECT_THROW(dfg.LayerSpan(99), CheckError);
+}
+
+TEST(DataflowTest, PipelinedLoopsFlag) {
+  OperatorGraph graph = MakeDiamond();
+  EXPECT_TRUE(DataflowGraph(graph).pipelined_loops());
+  graph.set_loop_count(1);
+  EXPECT_FALSE(DataflowGraph(graph).pipelined_loops());
+}
+
+TEST(DataflowTest, NvsaWorkloadStructure) {
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  // ResNet-18: 20 weight layers.
+  EXPECT_EQ(dfg.layers().size(), 20u);
+  // NVSA params: 10 stages x 10 parallel VSA nodes.
+  EXPECT_EQ(dfg.vsa_ops().size(), 100u);
+  // BFS attachment exposes symbolic parallelism: many attached nodes.
+  EXPECT_GT(dfg.ParallelOpCount(), 50);
+  // Every NN layer's concurrent-VSA span is valid.
+  for (std::size_t i = 0; i < dfg.layers().size(); ++i) {
+    const auto span = dfg.LayerSpan(i);
+    EXPECT_LT(span.last, dfg.vsa_ops().size());
+  }
+}
+
+TEST(DataflowTest, PureNeuralGraphHasNoVsaNodes) {
+  const OperatorGraph graph = workloads::MakeParametricNsai(0.0);
+  const DataflowGraph dfg(graph);
+  EXPECT_EQ(dfg.vsa_ops().size(), 0u);
+  EXPECT_EQ(dfg.layers().size(), 20u);
+  EXPECT_DOUBLE_EQ(dfg.MaxVsaNodeBytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace nsflow

@@ -1,0 +1,138 @@
+// Tests for the baseline device models (the hardware substitution layer).
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "model/device_model.h"
+#include "model/device_zoo.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+TEST(RooflineDeviceTest, OpRuntimeIsMaxOfComputeAndMemory) {
+  DeviceSpec spec;
+  spec.name = "toy";
+  spec.peak_flops = 1e12;
+  spec.mem_bandwidth = 1e11;
+  spec.launch_overhead_s = 0.0;
+  const RooflineDevice device(spec);
+
+  OpNode conv;
+  conv.kind = OpKind::kConv2d;
+  conv.gemm = {100, 100, 100};  // 2e6 flops.
+  conv.weight_bytes = 1e3;
+  // Compute-bound: 2e6/(1e12*0.6) ≈ 3.3e-6 s >> 1e3/(1e11*0.7).
+  EXPECT_NEAR(device.OpRuntime(conv), 2e6 / (1e12 * 0.6), 1e-9);
+
+  OpNode bind;
+  bind.kind = OpKind::kCircularBind;
+  bind.vsa = {1, 64};  // 8192 flops, trivial compute.
+  bind.activation_bytes = 1e6;  // Streamed operand: re-fetched dim=64 times.
+  EXPECT_NEAR(device.OpRuntime(bind), 64e6 / (1e11 * 0.05), 1e-6);
+}
+
+TEST(RooflineDeviceTest, LaunchOverheadAddsPerKernel) {
+  DeviceSpec spec;
+  spec.peak_flops = 1e15;  // Effectively free compute.
+  spec.mem_bandwidth = 1e15;
+  spec.launch_overhead_s = 1e-5;
+  const RooflineDevice device(spec);
+  OpNode relu;
+  relu.kind = OpKind::kRelu;
+  relu.elem_count = 10;
+  EXPECT_GT(device.OpRuntime(relu), 1e-5);
+  EXPECT_LT(device.OpRuntime(relu), 1.1e-5);
+}
+
+TEST(DeviceZooTest, AllDevicesConstruct) {
+  for (const auto kind :
+       {DeviceKind::kJetsonTx2, DeviceKind::kXavierNx, DeviceKind::kXeonCpu,
+        DeviceKind::kRtx2080, DeviceKind::kCoralTpu, DeviceKind::kTpuLikeSa,
+        DeviceKind::kXilinxDpu}) {
+    const auto device = MakeDevice(kind);
+    ASSERT_NE(device, nullptr);
+    EXPECT_EQ(device->name(), DeviceKindName(kind));
+  }
+}
+
+TEST(DeviceZooTest, Fig5BaselineOrder) {
+  const auto devices = MakeFig5Baselines();
+  ASSERT_EQ(devices.size(), 6u);
+  EXPECT_EQ(devices[0]->name(), "Jetson TX2");
+  EXPECT_EQ(devices[3]->name(), "RTX 2080");
+  EXPECT_EQ(devices[5]->name(), "DPU");
+}
+
+TEST(DeviceZooTest, EdgeDevicesSlowerThanDesktopGpu) {
+  // Fig. 1b: the same workload is strictly slower on TX2 than NX than RTX.
+  const OperatorGraph nvsa = workloads::MakeNvsa();
+  const double tx2 =
+      MakeDevice(DeviceKind::kJetsonTx2)->Estimate(nvsa).total_s();
+  const double nx =
+      MakeDevice(DeviceKind::kXavierNx)->Estimate(nvsa).total_s();
+  const double rtx =
+      MakeDevice(DeviceKind::kRtx2080)->Estimate(nvsa).total_s();
+  EXPECT_GT(tx2, nx);
+  EXPECT_GT(nx, rtx);
+}
+
+TEST(DeviceZooTest, SymbolicDominatesGpuRuntimeOnNvsa) {
+  // Paper Sec. II-B: symbolic ops are ~19% of FLOPs but the dominant share
+  // of GPU runtime (quoted at 87% for NVSA).
+  const OperatorGraph nvsa = workloads::MakeNvsa();
+  const auto estimate = MakeDevice(DeviceKind::kRtx2080)->Estimate(nvsa);
+  EXPECT_GT(estimate.symbolic_share(), 0.5);
+  EXPECT_LT(estimate.symbolic_share(), 0.97);
+}
+
+TEST(DeviceZooTest, MimonetIsNotSymbolicBound) {
+  const OperatorGraph mimo = workloads::MakeMimonet();
+  const auto estimate = MakeDevice(DeviceKind::kRtx2080)->Estimate(mimo);
+  EXPECT_LT(estimate.symbolic_share(), 0.5);
+}
+
+TEST(SystolicArrayDeviceTest, RequiresMonolithicArray) {
+  EXPECT_THROW(SystolicArrayDevice("bad", ArrayConfig{16, 16, 4}, 1e8, 1e9),
+               CheckError);
+}
+
+TEST(SystolicArrayDeviceTest, CircularConvIsPathological) {
+  // The architectural point of the paper: a rigid 128x128 GEMM array wastes
+  // enormous time on circular convolutions (circulant lowering + streaming).
+  const SystolicArrayDevice sa("TPU-like", ArrayConfig{128, 128, 1}, 272e6,
+                               38.4e9);
+  OpNode conv;
+  conv.kind = OpKind::kConv2d;
+  conv.gemm = {64, 576, 6400};
+
+  OpNode bind;
+  bind.kind = OpKind::kCircularBind;
+  bind.vsa = {256, 256};
+
+  // Per-FLOP cost of the symbolic op is far worse than the conv's.
+  const double conv_cost = sa.OpCycles(conv) / conv.Flops();
+  const double bind_cost = sa.OpCycles(bind) / bind.Flops();
+  EXPECT_GT(bind_cost, 4.0 * conv_cost);
+}
+
+TEST(SystolicArrayDeviceTest, EstimateSeparatesDomains) {
+  const SystolicArrayDevice sa("TPU-like", ArrayConfig{128, 128, 1}, 272e6,
+                               38.4e9);
+  const OperatorGraph nvsa = workloads::MakeNvsa();
+  const auto estimate = sa.Estimate(nvsa);
+  EXPECT_GT(estimate.neuro_s, 0.0);
+  EXPECT_GT(estimate.symbolic_s, 0.0);
+  // On the rigid array the symbolic share is crushing (paper: up to 8x
+  // total-runtime gap vs NSFlow).
+  EXPECT_GT(estimate.symbolic_share(), 0.6);
+}
+
+TEST(RooflineZooTest, Rtx2080TiMatchesDatasheet) {
+  const Roofline r = Rtx2080TiRoofline();
+  EXPECT_NEAR(r.peak_flops, 13.45e12, 1e10);
+  EXPECT_NEAR(r.mem_bandwidth, 616e9, 1e9);
+}
+
+}  // namespace
+}  // namespace nsflow

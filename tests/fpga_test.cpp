@@ -1,0 +1,113 @@
+// Tests for FPGA device descriptions, the resource model (Table III), and
+// the RTL emitter.
+#include <gtest/gtest.h>
+
+#include "dse/dse.h"
+#include "fpga/device.h"
+#include "fpga/resource_model.h"
+#include "fpga/rtl_emitter.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+AcceleratorDesign NvsaDesign() {
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  return RunTwoPhaseDse(dfg, {}).design;
+}
+
+TEST(FpgaDeviceTest, InventoriesMatchDatasheets) {
+  const FpgaDevice u250 = U250();
+  EXPECT_EQ(u250.dsp, 12288);
+  EXPECT_EQ(u250.bram18, 5376);
+  EXPECT_EQ(u250.uram, 1280);
+  const FpgaDevice zcu = Zcu104();
+  EXPECT_LT(zcu.dsp, u250.dsp);
+  EXPECT_GT(zcu.BramBytes(), 0.0);
+}
+
+TEST(ResourceModelTest, NvsaDesignFitsU250) {
+  const auto design = NvsaDesign();
+  const auto report = EstimateResources(design, U250());
+  EXPECT_TRUE(report.fits);
+  // Table III band: the U250 deployment is DSP-heavy (89%) with LUT/FF in
+  // the 40-60% range. Allow generous bands around the paper's numbers.
+  EXPECT_GT(report.dsp_util, 0.5);
+  EXPECT_LE(report.dsp_util, 1.0);
+  EXPECT_GT(report.lut_util, 0.2);
+  EXPECT_LT(report.lut_util, 0.9);
+  EXPECT_GT(report.ff_util, 0.2);
+  EXPECT_LT(report.ff_util, 0.9);
+  EXPECT_GT(report.bram_util, 0.05);
+  EXPECT_LT(report.bram_util, 0.8);
+  EXPECT_GT(report.uram_util, 0.01);
+  EXPECT_LT(report.uram_util, 0.5);
+}
+
+TEST(ResourceModelTest, ClockHoldsAtModerateUtilization) {
+  const auto design = NvsaDesign();
+  const auto report = EstimateResources(design, U250());
+  // Paper Table III: 272 MHz closure on the U250.
+  EXPECT_DOUBLE_EQ(report.achievable_clock_hz, 272e6);
+}
+
+TEST(ResourceModelTest, SameDesignOverflowsZcu104) {
+  // An 8192-PE design cannot fit a ZCU104-class part; the model must say so.
+  const auto design = NvsaDesign();
+  const auto report = EstimateResources(design, Zcu104());
+  EXPECT_FALSE(report.fits);
+  EXPECT_GT(report.dsp_util, 1.0);
+}
+
+TEST(ResourceModelTest, MixedPrecisionCostsMoreThanUniform) {
+  auto design = NvsaDesign();
+  design.precision = PrecisionPolicy::MixedNvsa();
+  const auto mixed = EstimateResources(design, U250());
+  design.precision = PrecisionPolicy::Uniform(Precision::kINT8);
+  const auto uniform = EstimateResources(design, U250());
+  EXPECT_GT(mixed.dsp, uniform.dsp);
+  EXPECT_GT(mixed.lut, uniform.lut);
+  EXPECT_GT(mixed.ff, uniform.ff);
+}
+
+TEST(ResourceModelTest, ResourcesScaleWithArraySize) {
+  auto design = NvsaDesign();
+  const auto base = EstimateResources(design, U250());
+  design.array.count /= 2;
+  const auto half = EstimateResources(design, U250());
+  EXPECT_LT(half.dsp, base.dsp);
+  EXPECT_LT(half.lut, base.lut);
+  EXPECT_LT(half.bram18, base.bram18);
+}
+
+TEST(RtlEmitterTest, ParameterHeaderCarriesTheDesign) {
+  const auto design = NvsaDesign();
+  const std::string header = EmitParameterHeader(design);
+  EXPECT_NE(header.find("SUB_ARRAY_H   = " +
+                        std::to_string(design.array.height)),
+            std::string::npos);
+  EXPECT_NE(header.find("NUM_SUBARRAYS = " +
+                        std::to_string(design.array.count)),
+            std::string::npos);
+  EXPECT_NE(header.find("SIMD_WIDTH"), std::string::npos);
+  EXPECT_NE(header.find("`ifndef NSFLOW_PARAMS_VH"), std::string::npos);
+  EXPECT_NE(header.find("`endif"), std::string::npos);
+}
+
+TEST(RtlEmitterTest, TopLevelInstantiatesAllBlocks) {
+  const auto design = NvsaDesign();
+  const std::string top = EmitTopLevel(design);
+  EXPECT_NE(top.find("module nsflow_top"), std::string::npos);
+  EXPECT_NE(top.find("nsflow_subarray"), std::string::npos);
+  EXPECT_NE(top.find("nsflow_simd"), std::string::npos);
+  EXPECT_NE(top.find("u_mem_a1"), std::string::npos);
+  EXPECT_NE(top.find("nsflow_uram_cache"), std::string::npos);
+  EXPECT_NE(top.find("endmodule"), std::string::npos);
+  // Balanced generate block.
+  EXPECT_NE(top.find("generate"), std::string::npos);
+  EXPECT_NE(top.find("endgenerate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsflow

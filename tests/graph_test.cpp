@@ -1,0 +1,187 @@
+// Unit tests for the operator graph and op taxonomy.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/operator_graph.h"
+
+namespace nsflow {
+namespace {
+
+OpNode MakeConv(const std::string& name, std::vector<NodeId> inputs,
+                GemmDims gemm) {
+  OpNode node;
+  node.name = name;
+  node.kind = OpKind::kConv2d;
+  node.inputs = std::move(inputs);
+  node.gemm = gemm;
+  node.weight_bytes = static_cast<double>(gemm.m * gemm.n);
+  return node;
+}
+
+TEST(OpTaxonomyTest, CategoriesMatchPaperFig1Legend) {
+  EXPECT_EQ(CategoryOf(OpKind::kConv2d), OpCategory::kMatrixNn);
+  EXPECT_EQ(CategoryOf(OpKind::kLinear), OpCategory::kOtherGemm);
+  EXPECT_EQ(CategoryOf(OpKind::kCircularBind), OpCategory::kVectorVsa);
+  EXPECT_EQ(CategoryOf(OpKind::kMatchProb), OpCategory::kElemVsa);
+  EXPECT_EQ(CategoryOf(OpKind::kRelu), OpCategory::kElemNn);
+  EXPECT_EQ(CategoryOf(OpKind::kInput), OpCategory::kNone);
+}
+
+TEST(OpTaxonomyTest, DomainSplit) {
+  EXPECT_EQ(DomainOf(OpKind::kConv2d), Domain::kNeuro);
+  EXPECT_EQ(DomainOf(OpKind::kSoftmax), Domain::kNeuro);
+  EXPECT_EQ(DomainOf(OpKind::kCircularUnbind), Domain::kSymbolic);
+  EXPECT_EQ(DomainOf(OpKind::kVecSum), Domain::kSymbolic);
+}
+
+TEST(OpTaxonomyTest, UnitAssignment) {
+  // Matrix and vector kernels run on the AdArray; element-wise on SIMD.
+  EXPECT_EQ(UnitOf(OpKind::kConv2d), ComputeUnit::kAdArray);
+  EXPECT_EQ(UnitOf(OpKind::kCircularBind), ComputeUnit::kAdArray);
+  EXPECT_EQ(UnitOf(OpKind::kRelu), ComputeUnit::kSimd);
+  EXPECT_EQ(UnitOf(OpKind::kMatchProbBatched), ComputeUnit::kSimd);
+}
+
+TEST(OpTaxonomyTest, ListingOneKernelNamesParse) {
+  // Every kernel name appearing in the paper's Listing 1 must resolve.
+  for (const char* name :
+       {"conv2d", "maxpool", "relu", "nvsa.inv_binding_circular",
+        "nvsa.match_prob", "nvsa.match_prob_multi_batched", "torch.sum",
+        "torch.clamp", "operator.mul"}) {
+    EXPECT_NO_THROW(OpKindFromName(name)) << name;
+  }
+  EXPECT_THROW(OpKindFromName("torch.nonexistent"), ParseError);
+}
+
+TEST(OpNodeTest, FlopsPerUnit) {
+  OpNode conv = MakeConv("c", {}, {64, 576, 1024});
+  EXPECT_DOUBLE_EQ(conv.Flops(), 2.0 * 64 * 576 * 1024);
+
+  OpNode bind;
+  bind.kind = OpKind::kCircularBind;
+  bind.vsa = {8, 256};
+  EXPECT_DOUBLE_EQ(bind.Flops(), 2.0 * 8 * 256 * 256);
+
+  OpNode relu;
+  relu.kind = OpKind::kRelu;
+  relu.elem_count = 1000;
+  EXPECT_DOUBLE_EQ(relu.Flops(), 2000.0);
+}
+
+TEST(OperatorGraphTest, TopologicalInsertionEnforced) {
+  OperatorGraph graph("test");
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  const NodeId id = graph.AddNode(input);
+  EXPECT_EQ(id, 0);
+
+  OpNode bad = MakeConv("bad", {5}, {1, 1, 1});  // Forward reference.
+  EXPECT_THROW(graph.AddNode(bad), CheckError);
+}
+
+TEST(OperatorGraphTest, ValidateCatchesDuplicateNames) {
+  OperatorGraph graph("test");
+  OpNode a;
+  a.name = "x";
+  a.kind = OpKind::kInput;
+  graph.AddNode(a);
+  OpNode b;
+  b.name = "x";
+  b.kind = OpKind::kInput;
+  graph.AddNode(b);
+  EXPECT_THROW(graph.Validate(), CheckError);
+}
+
+TEST(OperatorGraphTest, ValidateRequiresKernelDims) {
+  OperatorGraph graph("test");
+  OpNode conv;
+  conv.name = "conv";
+  conv.kind = OpKind::kConv2d;  // Missing GEMM dims.
+  graph.AddNode(conv);
+  EXPECT_THROW(graph.Validate(), CheckError);
+}
+
+TEST(OperatorGraphTest, FindByName) {
+  OperatorGraph graph("test");
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  graph.AddNode(input);
+  graph.AddNode(MakeConv("conv1", {0}, {8, 8, 8}));
+  ASSERT_TRUE(graph.FindByName("conv1").has_value());
+  EXPECT_EQ(*graph.FindByName("conv1"), 1);
+  EXPECT_FALSE(graph.FindByName("nope").has_value());
+}
+
+TEST(OperatorGraphTest, ConsumersReverseAdjacency) {
+  OperatorGraph graph("test");
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  graph.AddNode(input);
+  graph.AddNode(MakeConv("a", {0}, {4, 4, 4}));
+  graph.AddNode(MakeConv("b", {0}, {4, 4, 4}));
+  const auto consumers = graph.BuildConsumers();
+  ASSERT_EQ(consumers[0].size(), 2u);
+  EXPECT_EQ(consumers[0][0], 1);
+  EXPECT_EQ(consumers[0][1], 2);
+  EXPECT_TRUE(consumers[1].empty());
+}
+
+TEST(OperatorGraphTest, DomainStatsAggregation) {
+  OperatorGraph graph("test");
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  graph.AddNode(input);
+  OpNode conv = MakeConv("conv", {0}, {10, 10, 10});
+  conv.activation_bytes = 100.0;
+  conv.output_bytes = 50.0;
+  graph.AddNode(conv);
+  OpNode bind;
+  bind.name = "bind";
+  bind.kind = OpKind::kCircularBind;
+  bind.inputs = {1};
+  bind.vsa = {2, 16};
+  bind.weight_bytes = 32.0;
+  graph.AddNode(bind);
+
+  const auto neuro = graph.StatsFor(Domain::kNeuro);
+  EXPECT_EQ(neuro.ops, 1);
+  EXPECT_DOUBLE_EQ(neuro.flops, 2000.0);
+  EXPECT_DOUBLE_EQ(neuro.bytes, 250.0);
+  EXPECT_DOUBLE_EQ(neuro.ArithmeticIntensity(), 8.0);
+
+  const auto symbolic = graph.StatsFor(Domain::kSymbolic);
+  EXPECT_EQ(symbolic.ops, 1);
+  EXPECT_DOUBLE_EQ(symbolic.flops, 2.0 * 2 * 16 * 16);
+
+  EXPECT_DOUBLE_EQ(graph.TotalFlops(), neuro.flops + symbolic.flops);
+}
+
+TEST(OperatorGraphTest, NodesOnUnitFiltersInOrder) {
+  OperatorGraph graph("test");
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  graph.AddNode(input);
+  graph.AddNode(MakeConv("c1", {0}, {4, 4, 4}));
+  OpNode relu;
+  relu.name = "r1";
+  relu.kind = OpKind::kRelu;
+  relu.inputs = {1};
+  relu.elem_count = 16;
+  graph.AddNode(relu);
+  graph.AddNode(MakeConv("c2", {2}, {4, 4, 4}));
+
+  const auto array_nodes = graph.NodesOnUnit(ComputeUnit::kAdArray);
+  ASSERT_EQ(array_nodes.size(), 2u);
+  EXPECT_EQ(array_nodes[0], 1);
+  EXPECT_EQ(array_nodes[1], 3);
+  EXPECT_EQ(graph.NodesOnUnit(ComputeUnit::kSimd).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nsflow

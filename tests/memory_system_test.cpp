@@ -1,0 +1,83 @@
+// Tests for the re-organizable on-chip memory system (Sec. IV-C).
+#include <gtest/gtest.h>
+
+#include "arch/memory_system.h"
+
+namespace nsflow::arch {
+namespace {
+
+MemoryConfig SmallConfig() {
+  MemoryConfig config;
+  config.mem_a1_bytes = 1024.0;
+  config.mem_a2_bytes = 512.0;
+  config.mem_b_bytes = 2048.0;
+  config.mem_c_bytes = 256.0;
+  config.cache_bytes = 8192.0;
+  return config;
+}
+
+TEST(MemoryBlockTest, DoubleBufferStageAndSwap) {
+  MemoryBlock block("MemA1", 1000.0);
+  block.Stage(600.0);            // Into the shadow buffer.
+  EXPECT_DOUBLE_EQ(block.occupancy(), 0.0);  // Active still empty.
+  block.Swap();
+  EXPECT_DOUBLE_EQ(block.occupancy(), 600.0);
+  // New shadow is empty: the next stage can fill it fully.
+  block.Stage(1000.0);
+  block.Swap();
+  EXPECT_DOUBLE_EQ(block.occupancy(), 1000.0);
+}
+
+TEST(MemoryBlockTest, OverflowDetected) {
+  MemoryBlock block("MemB", 100.0);
+  EXPECT_THROW(block.Stage(200.0), CheckError);
+  block.Write(80.0);
+  EXPECT_THROW(block.Write(30.0), CheckError);
+  block.Clear();
+  EXPECT_NO_THROW(block.Write(100.0));
+}
+
+TEST(MemoryBlockTest, AccessCounters) {
+  MemoryBlock block("MemC", 1000.0);
+  block.Write(100.0);
+  block.Read(40.0);
+  block.Read(60.0);
+  EXPECT_DOUBLE_EQ(block.bytes_written(), 100.0);
+  EXPECT_DOUBLE_EQ(block.bytes_read(), 100.0);
+}
+
+TEST(MemorySystemTest, BlocksCarryConfiguredCapacities) {
+  MemorySystem mem(SmallConfig());
+  EXPECT_DOUBLE_EQ(mem.mem_a1().capacity(), 1024.0);
+  EXPECT_DOUBLE_EQ(mem.mem_a2().capacity(), 512.0);
+  EXPECT_DOUBLE_EQ(mem.mem_b().capacity(), 2048.0);
+  EXPECT_DOUBLE_EQ(mem.mem_c().capacity(), 256.0);
+  EXPECT_DOUBLE_EQ(mem.cache().capacity(), 8192.0);
+}
+
+TEST(MemorySystemTest, MergeAndSplitMemA) {
+  // Sec. IV-C feature 1: MemA1/MemA2 merge for single-kind execution.
+  MemorySystem mem(SmallConfig());
+  EXPECT_FALSE(mem.mem_a_merged());
+  EXPECT_DOUBLE_EQ(mem.MemANnCapacity(), 1024.0);
+  mem.MergeMemA();
+  EXPECT_TRUE(mem.mem_a_merged());
+  EXPECT_DOUBLE_EQ(mem.MemANnCapacity(), 1536.0);
+  mem.SplitMemA();
+  EXPECT_DOUBLE_EQ(mem.MemANnCapacity(), 1024.0);
+}
+
+TEST(MemorySystemTest, DramTransferChargesCycles) {
+  MemorySystem mem(SmallConfig());
+  mem.set_bytes_per_cycle(100.0);
+  const double cycles = mem.DramTransfer(1000.0);
+  EXPECT_DOUBLE_EQ(cycles, 10.0);
+  mem.DramTransfer(500.0);
+  EXPECT_DOUBLE_EQ(mem.dram_bytes(), 1500.0);
+  EXPECT_DOUBLE_EQ(mem.dram_cycles(), 15.0);
+  EXPECT_THROW(mem.DramTransfer(-1.0), CheckError);
+  EXPECT_THROW(mem.set_bytes_per_cycle(0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace nsflow::arch

@@ -1,0 +1,177 @@
+// Property-based tests: randomized sweeps over kernel dimensions, array
+// geometries, and VSA shapes, asserting the structural invariants that the
+// paper's design rests on.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/adarray.h"
+#include "common/rng.h"
+#include "dse/dse.h"
+#include "model/analytical.h"
+#include "vsa/block_code.h"
+#include "workloads/builders.h"
+
+namespace nsflow {
+namespace {
+
+TEST(PropertyTest, LayerCyclesMonotoneInEveryGemmDim) {
+  Rng rng(1);
+  const ArrayConfig cfg{16, 16, 8};
+  for (int trial = 0; trial < 200; ++trial) {
+    const GemmDims g{rng.UniformInt(1, 512), rng.UniformInt(1, 4096),
+                     rng.UniformInt(1, 8192)};
+    const double base = LayerCycles(cfg, 4, g);
+    EXPECT_GE(LayerCycles(cfg, 4, {g.m + 16, g.n, g.k}), base);
+    EXPECT_GE(LayerCycles(cfg, 4, {g.m, g.n + 64, g.k}), base);
+    EXPECT_GE(LayerCycles(cfg, 4, {g.m, g.n, g.k + 64}), base);
+  }
+}
+
+TEST(PropertyTest, VsaCyclesMonotoneInWorkAndAntitoneInArrays) {
+  Rng rng(2);
+  const ArrayConfig cfg{32, 16, 16};
+  for (int trial = 0; trial < 200; ++trial) {
+    const VsaDims v{rng.UniformInt(1, 512), rng.UniformInt(8, 2048)};
+    const std::int64_t nv = rng.UniformInt(1, 15);
+    const std::vector<VsaNode> node = {{0, v, 0.0}};
+    const std::vector<std::int64_t> alloc = {nv};
+    const double base = VsaTotalCycles(cfg, node, alloc);
+
+    // More vectors or more sub-arrays move runtime the right way.
+    const std::vector<VsaNode> more_work = {{0, {v.count * 2, v.dim}, 0.0}};
+    EXPECT_GE(VsaTotalCycles(cfg, more_work, alloc), base);
+    if (nv < 15) {
+      const std::vector<std::int64_t> more_arrays = {nv + 1};
+      EXPECT_LE(VsaTotalCycles(cfg, node, more_arrays), base);
+    }
+  }
+}
+
+TEST(PropertyTest, ParallelNeverSlowerThanItsLanes) {
+  // t_para = max(t_nn, t_vsa) >= each lane; and with all-N sequential
+  // allocations, sequential >= the slower lane too.
+  Rng rng(3);
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  const ArrayConfig cfg{32, 16, 16};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t static_nl = rng.UniformInt(1, 15);
+    const std::vector<std::int64_t> nl(dfg.layers().size(), static_nl);
+    const std::vector<std::int64_t> nv(dfg.vsa_ops().size(),
+                                       cfg.count - static_nl);
+    const double t_nn = NnTotalCycles(cfg, dfg.layers(), nl);
+    const double t_vsa = VsaTotalCycles(cfg, dfg.vsa_ops(), nv);
+    const double t_para =
+        ParallelCycles(cfg, dfg.layers(), dfg.vsa_ops(), nl, nv);
+    EXPECT_GE(t_para, t_nn);
+    EXPECT_GE(t_para, t_vsa);
+  }
+}
+
+TEST(PropertyTest, BindSimilarityInvariantUnderSharedBinding) {
+  // Binding with a common vector approximately preserves similarity
+  // structure: sim(a⊛c, b⊛c) ≈ sim(a, b).
+  Rng rng(4);
+  const vsa::BlockShape shape{4, 256};
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = vsa::RandomHyperVector(shape, rng);
+    a.NormalizeBlocks();
+    auto b = vsa::RandomHyperVector(shape, rng);
+    b.NormalizeBlocks();
+    auto c = vsa::RandomHyperVector(shape, rng);
+    c.NormalizeBlocks();
+    const double before = vsa::Similarity(a, b);
+    const double after = vsa::Similarity(vsa::Bind(a, c), vsa::Bind(b, c));
+    EXPECT_NEAR(after, before, 0.25);
+  }
+}
+
+TEST(PropertyTest, RandomGemmsAgreeWithGoldenOnRandomGeometries) {
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::int64_t h = 1 << rng.UniformInt(1, 4);
+    const std::int64_t w = 1 << rng.UniformInt(1, 4);
+    const std::int64_t count = rng.UniformInt(1, 4);
+    arch::AdArray array(ArrayConfig{h, w, count});
+    array.Fold({count, 0});
+
+    const std::int64_t m = rng.UniformInt(1, 24);
+    const std::int64_t n = rng.UniformInt(1, 48);
+    const std::int64_t k = rng.UniformInt(1, 24);
+    Tensor a({m, n});
+    Tensor b({n, k});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a.at(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      b.at(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    const std::int64_t nl = rng.UniformInt(1, count);
+    const auto run = array.RunGemm(a, b, nl);
+    const Tensor golden = MatMul(a, b);
+    for (std::int64_t i = 0; i < golden.numel(); ++i) {
+      ASSERT_NEAR(run.output.at(i), golden.at(i), 1e-3)
+          << "geometry " << h << "x" << w << "x" << count << " nl=" << nl;
+    }
+  }
+}
+
+TEST(PropertyTest, DseRespectsPeBudgetAcrossRandomBudgets) {
+  Rng rng(6);
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  for (int trial = 0; trial < 8; ++trial) {
+    DseOptions options;
+    options.max_pes = 1 << rng.UniformInt(9, 14);  // 512 .. 16384 PEs.
+    const DseResult result = RunTwoPhaseDse(dfg, options);
+    EXPECT_LE(result.design.array.TotalPes(), options.max_pes);
+    EXPECT_GT(result.t_para_cycles, 0.0);
+  }
+}
+
+TEST(PropertyTest, DseRuntimeMonotoneInPeBudget) {
+  // More silicon never makes the chosen design slower.
+  const OperatorGraph graph = workloads::MakeNvsa();
+  const DataflowGraph dfg(graph);
+  double prev = 0.0;
+  for (const std::int64_t budget : {1024, 2048, 4096, 8192, 16384}) {
+    DseOptions options;
+    options.max_pes = budget;
+    const double t = RunTwoPhaseDse(dfg, options).t_para_cycles;
+    if (prev > 0.0) {
+      EXPECT_LE(t, prev * 1.001) << "budget " << budget;
+    }
+    prev = t;
+  }
+}
+
+TEST(PropertyTest, AblationOrderingHoldsAcrossSymbolicRatios) {
+  // For every symbolic share: full NSFlow <= w/o Phase II <= (roughly)
+  // monolithic w/o Phase I. The first inequality is exact (Phase II keeps
+  // the best seen); the second holds at any nontrivial symbolic share.
+  for (const double ratio : {0.1, 0.3, 0.6}) {
+    const OperatorGraph graph = workloads::MakeParametricNsai(ratio);
+    const DataflowGraph dfg(graph);
+
+    const DseResult full = RunTwoPhaseDse(dfg, {});
+
+    DseOptions no_p2;
+    no_p2.enable_phase2 = false;
+    const DseResult phase1_only = RunTwoPhaseDse(dfg, no_p2);
+
+    DseOptions mono;
+    mono.enable_phase1 = false;
+    mono.enable_phase2 = false;
+    mono.forced_array = ArrayConfig{128, 64, 1};
+    const DseResult monolithic = RunTwoPhaseDse(dfg, mono);
+
+    EXPECT_LE(full.t_para_cycles, phase1_only.t_para_cycles + 1.0)
+        << "ratio " << ratio;
+    EXPECT_LE(phase1_only.t_para_cycles, monolithic.t_para_cycles)
+        << "ratio " << ratio;
+  }
+}
+
+}  // namespace
+}  // namespace nsflow

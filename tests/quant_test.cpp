@@ -1,0 +1,192 @@
+// Unit + property tests for mixed-precision arithmetic (fp16, INT8/INT4).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quant/fp16.h"
+#include "quant/precision.h"
+#include "quant/quantizer.h"
+
+namespace nsflow {
+namespace {
+
+TEST(PrecisionTest, BitsAndBytes) {
+  EXPECT_EQ(BitsOf(Precision::kFP32), 32);
+  EXPECT_EQ(BitsOf(Precision::kFP16), 16);
+  EXPECT_EQ(BitsOf(Precision::kINT8), 8);
+  EXPECT_EQ(BitsOf(Precision::kINT4), 4);
+  EXPECT_DOUBLE_EQ(BytesOf(Precision::kINT4), 0.5);
+}
+
+TEST(PrecisionTest, NamesRoundTrip) {
+  for (const auto p : {Precision::kFP32, Precision::kFP16, Precision::kINT8,
+                       Precision::kINT4}) {
+    EXPECT_EQ(PrecisionFromName(PrecisionName(p)), p);
+  }
+  EXPECT_THROW(PrecisionFromName("INT2"), ParseError);
+}
+
+TEST(PrecisionTest, PolicyNames) {
+  EXPECT_EQ(PrecisionPolicy::Uniform(Precision::kINT8).Name(), "INT8");
+  EXPECT_EQ(PrecisionPolicy::MixedNvsa().Name(), "MP(INT8 NN, INT4 Symb)");
+}
+
+TEST(PrecisionTest, DspPackingMonotone) {
+  // Narrower integer precisions pack more MACs per DSP ([30]).
+  EXPECT_GT(MacsPerDsp(Precision::kINT4), MacsPerDsp(Precision::kINT8));
+  EXPECT_GT(MacsPerDsp(Precision::kINT8), MacsPerDsp(Precision::kFP16));
+}
+
+TEST(Fp16Test, ExactValuesSurviveRoundTrip) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f,
+                        65504.0f /* max half */}) {
+    EXPECT_EQ(RoundToHalf(v), v) << v;
+  }
+}
+
+TEST(Fp16Test, SignedZero) {
+  EXPECT_EQ(FloatToHalfBits(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalfBits(0.0f), 0x0000);
+}
+
+TEST(Fp16Test, OverflowToInfinity) {
+  const float inf = HalfBitsToFloat(FloatToHalfBits(1e6f));
+  EXPECT_TRUE(std::isinf(inf));
+  EXPECT_GT(inf, 0.0f);
+  EXPECT_TRUE(std::isinf(RoundToHalf(-1e6f)));
+  EXPECT_LT(RoundToHalf(-1e6f), 0.0f);
+}
+
+TEST(Fp16Test, NanPropagates) {
+  EXPECT_TRUE(std::isnan(RoundToHalf(std::nanf(""))));
+}
+
+TEST(Fp16Test, SubnormalsRepresented) {
+  // Smallest positive half subnormal = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(RoundToHalf(tiny), tiny);
+  // Below half subnormal range: flushes to zero.
+  EXPECT_EQ(RoundToHalf(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16Test, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // round-to-nearest-even picks 1.0 (even mantissa).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(RoundToHalf(halfway), 1.0f);
+  // Slightly above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -14);
+  EXPECT_EQ(RoundToHalf(above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16Test, RelativeErrorBounded) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<float>(rng.Uniform(-1000.0, 1000.0));
+    const float r = RoundToHalf(v);
+    if (v != 0.0f) {
+      EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0f / 1024.0f) << v;
+    }
+  }
+}
+
+TEST(QuantizerTest, QmaxPerPrecision) {
+  QuantParams p8 = QuantParams::Calibrate(Precision::kINT8, 1.0f);
+  QuantParams p4 = QuantParams::Calibrate(Precision::kINT4, 1.0f);
+  EXPECT_EQ(p8.qmax(), 127);
+  EXPECT_EQ(p4.qmax(), 7);
+  EXPECT_THROW(QuantParams::Calibrate(Precision::kFP32, 1.0f).qmax(), Error);
+}
+
+TEST(QuantizerTest, GridEdgeMapsExactly) {
+  const Tensor t({3}, {-2.0f, 0.0f, 2.0f});
+  const auto q = Quantize(t, Precision::kINT8);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[2], 127);
+  const Tensor d = q.Dequantize();
+  EXPECT_FLOAT_EQ(d.at(0), -2.0f);
+  EXPECT_FLOAT_EQ(d.at(2), 2.0f);
+}
+
+TEST(QuantizerTest, AllZeroTensorIsExact) {
+  const Tensor t({4});
+  const auto q = Quantize(t, Precision::kINT4);
+  EXPECT_EQ(q.Dequantize(), t);
+}
+
+TEST(QuantizerTest, Int4PacksHalfByte) {
+  const Tensor t({100});
+  const auto q = Quantize(t, Precision::kINT4);
+  EXPECT_DOUBLE_EQ(q.byte_size(), 50.0);
+}
+
+TEST(QuantizerTest, FakeQuantizeFp32IsIdentity) {
+  Rng rng(3);
+  Tensor t({64});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  EXPECT_EQ(FakeQuantize(t, Precision::kFP32), t);
+}
+
+TEST(QuantizerTest, QuantizationErrorOrdering) {
+  // Property: coarser grids have strictly larger RMSE on generic data.
+  Rng rng(7);
+  Tensor t({4096});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  const double e16 = QuantizationRmse(t, Precision::kFP16);
+  const double e8 = QuantizationRmse(t, Precision::kINT8);
+  const double e4 = QuantizationRmse(t, Precision::kINT4);
+  EXPECT_LT(e16, e8);
+  EXPECT_LT(e8, e4);
+  EXPECT_GT(e4, 0.0);
+}
+
+TEST(QuantizerTest, DequantizedValuesStayOnGrid) {
+  Rng rng(9);
+  Tensor t({256});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.Uniform(-5.0, 5.0));
+  }
+  const auto q = Quantize(t, Precision::kINT4);
+  for (const auto v : q.values) {
+    EXPECT_GE(v, -7);
+    EXPECT_LE(v, 7);
+  }
+  // Idempotence: fake-quantizing a fake-quantized tensor changes nothing.
+  const Tensor once = FakeQuantize(t, Precision::kINT4);
+  const Tensor twice = FakeQuantize(once, Precision::kINT4);
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(once.at(i), twice.at(i), 1e-6);
+  }
+}
+
+class QuantRoundTripTest : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(QuantRoundTripTest, ErrorBoundedByHalfStep) {
+  const Precision precision = GetParam();
+  Rng rng(13);
+  Tensor t({512});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  }
+  const auto q = Quantize(t, precision);
+  const Tensor d = q.Dequantize();
+  const double half_step = q.params.scale / 2.0 + 1e-6;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(d.at(i) - t.at(i)), half_step) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IntegerGrids, QuantRoundTripTest,
+                         ::testing::Values(Precision::kINT8, Precision::kINT4),
+                         [](const auto& info) {
+                           return PrecisionName(info.param);
+                         });
+
+}  // namespace
+}  // namespace nsflow

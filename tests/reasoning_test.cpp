@@ -1,0 +1,203 @@
+// Tests for the synthetic RPM generator and the VSA abductive reasoner.
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "reasoning/accuracy.h"
+#include "reasoning/rpm.h"
+#include "reasoning/vsa_reasoner.h"
+
+namespace nsflow::reasoning {
+namespace {
+
+bool RowSatisfiesRule(RuleType rule, std::int64_t a, std::int64_t b,
+                      std::int64_t c, std::int64_t v) {
+  switch (rule) {
+    case RuleType::kConstant:
+      return a == b && b == c;
+    case RuleType::kProgression:
+      return (b == Mod(a + 1, v) && c == Mod(b + 1, v)) ||
+             (b == Mod(a - 1, v) && c == Mod(b - 1, v));
+    case RuleType::kArithmetic:
+      return c == Mod(a + b, v);
+    case RuleType::kDistributeThree:
+      return a != b && b != c && a != c;
+  }
+  return false;
+}
+
+TEST(RpmGeneratorTest, GeneratedRowsObeyTheirRules) {
+  Rng rng(1);
+  const RpmGenerator gen(RavenLikeSuite());
+  for (int trial = 0; trial < 50; ++trial) {
+    const RpmTask task = gen.Generate(rng);
+    const std::int64_t v = gen.spec().values_per_attribute;
+    // Reassemble the full grid with the true solution.
+    std::vector<Panel> grid = task.context;
+    grid.push_back(task.solution);
+    for (std::int64_t a = 0; a < gen.spec().num_attributes; ++a) {
+      const RuleType rule = task.rules[static_cast<std::size_t>(a)];
+      for (int row = 0; row < 3; ++row) {
+        const auto x0 = grid[static_cast<std::size_t>(row * 3)]
+                            [static_cast<std::size_t>(a)];
+        const auto x1 = grid[static_cast<std::size_t>(row * 3 + 1)]
+                            [static_cast<std::size_t>(a)];
+        const auto x2 = grid[static_cast<std::size_t>(row * 3 + 2)]
+                            [static_cast<std::size_t>(a)];
+        EXPECT_TRUE(RowSatisfiesRule(rule, x0, x1, x2, v))
+            << RuleTypeName(rule) << " row " << row << " = (" << x0 << ","
+            << x1 << "," << x2 << ")";
+      }
+    }
+  }
+}
+
+TEST(RpmGeneratorTest, AnswerIndexPointsAtSolution) {
+  Rng rng(2);
+  const RpmGenerator gen(RavenLikeSuite());
+  for (int trial = 0; trial < 50; ++trial) {
+    const RpmTask task = gen.Generate(rng);
+    ASSERT_LT(task.answer_index,
+              static_cast<std::int64_t>(task.candidates.size()));
+    EXPECT_EQ(task.candidates[static_cast<std::size_t>(task.answer_index)],
+              task.solution);
+  }
+}
+
+TEST(RpmGeneratorTest, CandidatesAreDistinct) {
+  Rng rng(3);
+  const RpmGenerator gen(PgmLikeSuite());
+  const RpmTask task = gen.Generate(rng);
+  EXPECT_EQ(task.candidates.size(), 8u);
+  for (std::size_t i = 0; i < task.candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < task.candidates.size(); ++j) {
+      EXPECT_NE(task.candidates[i], task.candidates[j]);
+    }
+  }
+}
+
+TEST(RpmGeneratorTest, SuitePresetsDifferInDifficultyKnobs) {
+  const auto raven = RavenLikeSuite();
+  const auto pgm = PgmLikeSuite();
+  EXPECT_GT(pgm.num_attributes, raven.num_attributes);
+  EXPECT_GT(pgm.values_per_attribute, raven.values_per_attribute);
+  EXPECT_GT(pgm.near_miss_fraction, raven.near_miss_fraction);
+}
+
+TEST(VsaReasonerTest, NoiselessFloatReasonerIsNearPerfect) {
+  Rng rng(4);
+  const auto suite = RavenLikeSuite();
+  ReasonerConfig config;
+  config.perception_noise = 0.0;
+  const VsaReasoner reasoner(suite, config, rng);
+  const RpmGenerator gen(suite);
+  int correct = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const RpmTask task = gen.Generate(rng);
+    if (reasoner.Solve(task, rng) == task.answer_index) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, kTrials - 2);  // Rule-ambiguity may cost a task or two.
+}
+
+TEST(VsaReasonerTest, DecodeRecoversEncodedAttributes) {
+  Rng rng(5);
+  const auto suite = RavenLikeSuite();
+  ReasonerConfig config;
+  config.perception_noise = 0.1;
+  const VsaReasoner reasoner(suite, config, rng);
+  const Panel panel = {3, 7, 1, 9};
+  const auto encoding = reasoner.EncodePanel(panel, rng);
+  for (std::int64_t a = 0; a < suite.num_attributes; ++a) {
+    EXPECT_EQ(reasoner.DecodeAttribute(encoding, a),
+              panel[static_cast<std::size_t>(a)])
+        << "attribute " << a;
+  }
+}
+
+TEST(VsaReasonerTest, SolveTraceIsPopulated) {
+  Rng rng(6);
+  const auto suite = RavenLikeSuite();
+  ReasonerConfig config;
+  config.perception_noise = 0.0;
+  const VsaReasoner reasoner(suite, config, rng);
+  const RpmGenerator gen(suite);
+  const RpmTask task = gen.Generate(rng);
+  SolveTrace trace;
+  reasoner.Solve(task, rng, &trace);
+  EXPECT_EQ(trace.decoded_context.size(), 8u);
+  EXPECT_EQ(trace.abduced_rules.size(),
+            static_cast<std::size_t>(suite.num_attributes));
+  EXPECT_EQ(trace.predicted.size(),
+            static_cast<std::size_t>(suite.num_attributes));
+  EXPECT_GE(trace.winning_similarity, trace.runner_up_similarity);
+}
+
+TEST(VsaReasonerTest, CodebookBytesScaleWithPrecision) {
+  Rng rng(7);
+  const auto suite = RavenLikeSuite();
+  ReasonerConfig fp32;
+  fp32.vsa_precision = Precision::kFP32;
+  ReasonerConfig int4;
+  int4.vsa_precision = Precision::kINT4;
+  const VsaReasoner r32(suite, fp32, rng);
+  const VsaReasoner r4(suite, int4, rng);
+  EXPECT_DOUBLE_EQ(r32.CodebookBytes() / r4.CodebookBytes(), 8.0);
+}
+
+TEST(AccuracyHarnessTest, TableIvSettingsInPaperOrder) {
+  const auto settings = TableIvSettings();
+  ASSERT_EQ(settings.size(), 5u);
+  EXPECT_EQ(settings[0].label, "FP32");
+  EXPECT_EQ(settings[3].vsa_precision, Precision::kINT4);
+  EXPECT_EQ(settings[3].nn_precision, Precision::kINT8);
+  EXPECT_EQ(settings[4].label, "INT4");
+}
+
+TEST(AccuracyHarnessTest, MemoryRowMatchesPaperAnchors) {
+  const auto settings = TableIvSettings();
+  // Paper Table IV: 32 MB, 16 MB, 8 MB, 5.5 MB, 4 MB.
+  EXPECT_NEAR(ModelMemoryBytes(settings[0]) / 1e6, 32.0, 0.5);
+  EXPECT_NEAR(ModelMemoryBytes(settings[1]) / 1e6, 16.0, 0.5);
+  EXPECT_NEAR(ModelMemoryBytes(settings[2]) / 1e6, 8.0, 0.5);
+  EXPECT_NEAR(ModelMemoryBytes(settings[3]) / 1e6, 5.5, 0.5);
+  EXPECT_NEAR(ModelMemoryBytes(settings[4]) / 1e6, 4.0, 0.5);
+}
+
+TEST(AccuracyHarnessTest, AccuracyDegradesGracefullyThenCliffsAtInt4) {
+  // The Table IV shape: FP32 ≈ FP16 ≈ INT8 >= MP >> INT4, on the RAVEN-like
+  // suite. Small trial counts keep this fast; bands are wide accordingly.
+  const auto suite = RavenLikeSuite();
+  const auto settings = TableIvSettings();
+  constexpr int kTrials = 120;
+  std::vector<double> acc;
+  for (const auto& setting : settings) {
+    acc.push_back(EvaluateAccuracy(suite, setting, kTrials, 7).accuracy);
+  }
+  EXPECT_GT(acc[0], 0.9);                 // FP32 near the paper's 98.9%.
+  EXPECT_NEAR(acc[1], acc[0], 0.06);      // FP16 ≈ FP32.
+  EXPECT_GE(acc[2] + 0.08, acc[0]);       // INT8 within a few points.
+  EXPECT_GE(acc[3] + 0.12, acc[0]);       // MP within ~a point of INT8.
+  EXPECT_LT(acc[4], acc[0] - 0.02);       // INT4 visibly worse.
+}
+
+TEST(AccuracyHarnessTest, PgmIsHarderThanRaven) {
+  const auto settings = TableIvSettings();
+  const double raven =
+      EvaluateAccuracy(RavenLikeSuite(), settings[0], 100, 11).accuracy;
+  const double pgm =
+      EvaluateAccuracy(PgmLikeSuite(), settings[0], 100, 11).accuracy;
+  EXPECT_GT(raven, pgm + 0.1);
+}
+
+TEST(AccuracyHarnessTest, DeterministicGivenSeed) {
+  const auto suite = RavenLikeSuite();
+  const auto setting = TableIvSettings()[0];
+  const auto a = EvaluateAccuracy(suite, setting, 40, 123);
+  const auto b = EvaluateAccuracy(suite, setting, 40, 123);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+}  // namespace
+}  // namespace nsflow::reasoning

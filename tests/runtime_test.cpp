@@ -1,0 +1,110 @@
+// Tests for the XRT-like host runtime over the simulated accelerator.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dse/dse.h"
+#include "runtime/host_runtime.h"
+#include "workloads/builders.h"
+
+namespace nsflow::runtime {
+namespace {
+
+struct Deployed {
+  std::unique_ptr<OperatorGraph> graph;
+  std::unique_ptr<DataflowGraph> dfg;
+  std::unique_ptr<Accelerator> accel;
+};
+
+Deployed DeployNvsa() {
+  Deployed d;
+  d.graph = std::make_unique<OperatorGraph>(workloads::MakeNvsa());
+  d.dfg = std::make_unique<DataflowGraph>(*d.graph);
+  const DseResult dse = RunTwoPhaseDse(*d.dfg, {});
+  d.accel = std::make_unique<Accelerator>(dse.design, *d.dfg);
+  return d;
+}
+
+TEST(HostRuntimeTest, GemmKernelComputesCorrectProduct) {
+  auto d = DeployNvsa();
+  Rng rng(1);
+  Tensor a({6, 10});
+  Tensor b({10, 4});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  const KernelRun run = d.accel->RunGemm(a, b);
+  const Tensor golden = MatMul(a, b);
+  for (std::int64_t i = 0; i < golden.numel(); ++i) {
+    EXPECT_NEAR(run.output.at(i), golden.at(i), 1e-3);
+  }
+  EXPECT_GT(run.device_cycles, 0.0);
+}
+
+TEST(HostRuntimeTest, BindUnbindRoundTripOnDevice) {
+  auto d = DeployNvsa();
+  Rng rng(2);
+  const vsa::BlockShape shape{4, 64};
+  auto a = vsa::RandomHyperVector(shape, rng);
+  a.NormalizeBlocks();
+  auto b = vsa::RandomHyperVector(shape, rng);
+  b.NormalizeBlocks();
+
+  const KernelRun bound = d.accel->RunBind(a, b);
+  const vsa::HyperVector composite(shape, bound.output);
+  // Golden: library binding.
+  const auto golden = vsa::Bind(a, b);
+  for (std::int64_t i = 0; i < golden.tensor().numel(); ++i) {
+    EXPECT_NEAR(composite.tensor().at(i), golden.tensor().at(i), 1e-3);
+  }
+
+  // Unbind on-device recovers the factor approximately (HRR property).
+  const KernelRun recovered_run = d.accel->RunUnbind(composite, b);
+  const vsa::HyperVector recovered(shape, recovered_run.output);
+  EXPECT_GT(vsa::Similarity(recovered, a), 0.6);
+}
+
+TEST(HostRuntimeTest, SoftmaxKernel) {
+  auto d = DeployNvsa();
+  Tensor logits({4}, {0.0f, 1.0f, 2.0f, 3.0f});
+  const KernelRun run = d.accel->RunSoftmax(logits);
+  float sum = 0.0f;
+  for (std::int64_t i = 0; i < run.output.numel(); ++i) {
+    sum += run.output.at(i);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(HostRuntimeTest, BufferSyncChargesAxiCycles) {
+  auto d = DeployNvsa();
+  BufferObject bo = d.accel->AllocBuffer(1 << 20);
+  const double to_device = bo.SyncToDevice();
+  const double from_device = bo.SyncFromDevice();
+  EXPECT_GT(to_device, 0.0);
+  EXPECT_DOUBLE_EQ(to_device, from_device);
+}
+
+TEST(HostRuntimeTest, WorkloadRunProducesRealTimeLatency) {
+  auto d = DeployNvsa();
+  const double seconds = d.accel->RunWorkload();
+  // The headline claim: NSFlow enables real-time NSAI — NVSA end-to-end
+  // inference lands in the sub-second range on the generated design.
+  EXPECT_GT(seconds, 1e-5);
+  EXPECT_LT(seconds, 1.0);
+}
+
+TEST(HostRuntimeTest, ProfileLoopReportsAllUnits) {
+  auto d = DeployNvsa();
+  const arch::SimReport report = d.accel->ProfileLoop();
+  EXPECT_GT(report.nn_lane_cycles, 0.0);
+  EXPECT_GT(report.vsa_lane_cycles, 0.0);
+  EXPECT_GT(report.simd_cycles, 0.0);
+  EXPECT_GT(report.kernels_executed, 100);
+  EXPECT_GT(report.dram_bytes, 0.0);
+  EXPECT_GT(report.mem_a_swaps, 0.0);
+}
+
+}  // namespace
+}  // namespace nsflow::runtime

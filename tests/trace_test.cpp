@@ -1,0 +1,164 @@
+// Tests for trace ingestion: the Listing-1 text format and the JSON format.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/trace.h"
+
+namespace nsflow {
+namespace {
+
+using trace_internal::ParseLine;
+
+TEST(TextLineParserTest, ParsesCallModuleLine) {
+  const auto line = ParseLine(
+      "%relu_1[16,64,160,160] : call_module[relu](args = "
+      "(%bn1[16,64,160,160]))");
+  EXPECT_EQ(line.result_name, "relu_1");
+  EXPECT_EQ(line.result_shape, (std::vector<std::int64_t>{16, 64, 160, 160}));
+  EXPECT_EQ(line.call_type, "call_module");
+  EXPECT_EQ(line.op_name, "relu");
+  ASSERT_EQ(line.args.size(), 1u);
+  EXPECT_EQ(line.args[0].name, "bn1");
+}
+
+TEST(TextLineParserTest, ParsesCallFunctionWithTwoArgs) {
+  const auto line = ParseLine(
+      "%inv_binding_circular_1[1,4,256] : "
+      "call_function[nvsa.inv_binding_circular](args = (%vec_0[1,4,256], "
+      "%vec_1[1,4,256]))");
+  EXPECT_EQ(line.op_name, "nvsa.inv_binding_circular");
+  ASSERT_EQ(line.args.size(), 2u);
+  EXPECT_EQ(line.args[1].name, "vec_1");
+  EXPECT_EQ(line.args[1].shape, (std::vector<std::int64_t>{1, 4, 256}));
+}
+
+TEST(TextLineParserTest, ParsesScalarShapes) {
+  const auto line = ParseLine(
+      "%sum_1[1] : call_function[torch.sum](args = "
+      "(%match_prob_multi_batched_1[1]))");
+  EXPECT_EQ(line.result_shape, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(line.op_name, "torch.sum");
+}
+
+TEST(TextLineParserTest, RejectsMalformedLines) {
+  EXPECT_THROW(ParseLine("garbage"), ParseError);
+  EXPECT_THROW(ParseLine("%x[1] : call_other[f](args = ())"), ParseError);
+  EXPECT_THROW(ParseLine("%x[] : call_module[f](args = ())"), ParseError);
+}
+
+TEST(TextTraceTest, ParsesListingOneSnippet) {
+  // A condensed version of the paper's Listing 1.
+  const std::string trace = R"(graph():
+    ...
+    // Symbolic Operations
+    %inv_binding_circular_1[1,4,256] : call_function[nvsa.inv_binding_circular](args = (%vec_0[1,4,256], %vec_1[1,4,256]))
+    %inv_binding_circular_2[1,4,256] : call_function[nvsa.inv_binding_circular](args = (%vec_3[1,4,256], %vec_4[1,4,256]))
+    %match_prob_1[1] : call_function[nvsa.match_prob](args = (%inv_binding_circular_1[1,4,256], %vec_2[1,4,256]))
+    %match_prob_multi_batched_1[1] : call_function[nvsa.match_prob_multi_batched](args = (%inv_binding_circular_2[1,4,256], %vec_5[7,4,256]))
+    %sum_1[1] : call_function[torch.sum](args = (%match_prob_multi_batched_1[1]))
+    %clamp_1[1] : call_function[torch.clamp](args = (%sum_1[1]))
+    %mul_1[1] : call_function[operator.mul](args = (%match_prob_1[1], %clamp_1[1]))
+)";
+  const OperatorGraph graph = ParseTextTrace(trace);
+
+  // 6 implicit inputs (vec_0..vec_5) + 7 ops.
+  EXPECT_EQ(graph.size(), 13);
+  ASSERT_TRUE(graph.FindByName("inv_binding_circular_1").has_value());
+  const auto& unbind =
+      graph.node(*graph.FindByName("inv_binding_circular_1"));
+  EXPECT_EQ(unbind.kind, OpKind::kCircularUnbind);
+  EXPECT_EQ(unbind.vsa.count, 4);   // [1,4,256] -> 4 blocks.
+  EXPECT_EQ(unbind.vsa.dim, 256);
+
+  // mul_1 depends on match_prob_1 and clamp_1.
+  const auto& mul = graph.node(*graph.FindByName("mul_1"));
+  ASSERT_EQ(mul.inputs.size(), 2u);
+  EXPECT_EQ(graph.node(mul.inputs[0]).name, "match_prob_1");
+  EXPECT_EQ(graph.node(mul.inputs[1]).name, "clamp_1");
+}
+
+TEST(TextTraceTest, ConvShapeHeuristics) {
+  const std::string trace =
+      "%conv2d_1[16,64,80,80] : call_module[conv2d](args = "
+      "(%maxpool_1[16,32,80,80]))\n";
+  const OperatorGraph graph = ParseTextTrace(trace);
+  const auto& conv = graph.node(*graph.FindByName("conv2d_1"));
+  EXPECT_EQ(conv.gemm.m, 64);           // Output channels.
+  EXPECT_EQ(conv.gemm.n, 32 * 9);       // Cin * 3x3 heuristic.
+  EXPECT_EQ(conv.gemm.k, 16 * 80 * 80); // Batch * spatial.
+  EXPECT_GT(conv.weight_bytes, 0.0);
+}
+
+TEST(JsonTraceTest, RoundTripsThroughEmit) {
+  OperatorGraph graph("RoundTrip");
+  graph.set_loop_count(3);
+  graph.set_precision(PrecisionPolicy::MixedNvsa());
+
+  OpNode input;
+  input.name = "in";
+  input.kind = OpKind::kInput;
+  input.output_bytes = 1024.0;
+  graph.AddNode(input);
+
+  OpNode conv;
+  conv.name = "conv1";
+  conv.kind = OpKind::kConv2d;
+  conv.inputs = {0};
+  conv.gemm = {64, 147, 102400};
+  conv.weight_bytes = 9408.0;
+  conv.activation_bytes = 1000.0;
+  conv.output_bytes = 2000.0;
+  graph.AddNode(conv);
+
+  OpNode bind;
+  bind.name = "bind1";
+  bind.kind = OpKind::kCircularBind;
+  bind.inputs = {1};
+  bind.vsa = {4, 256};
+  bind.weight_bytes = 512.0;
+  graph.AddNode(bind);
+
+  OpNode sum;
+  sum.name = "sum1";
+  sum.kind = OpKind::kVecSum;
+  sum.inputs = {2};
+  sum.elem_count = 1024;
+  graph.AddNode(sum);
+
+  const std::string json = EmitJsonTrace(graph);
+  const OperatorGraph parsed = ParseJsonTrace(json);
+
+  EXPECT_EQ(parsed.workload_name(), "RoundTrip");
+  EXPECT_EQ(parsed.loop_count(), 3);
+  EXPECT_EQ(parsed.precision(), PrecisionPolicy::MixedNvsa());
+  ASSERT_EQ(parsed.size(), graph.size());
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    EXPECT_EQ(parsed.node(id).name, graph.node(id).name);
+    EXPECT_EQ(parsed.node(id).kind, graph.node(id).kind);
+    EXPECT_EQ(parsed.node(id).inputs, graph.node(id).inputs);
+    EXPECT_EQ(parsed.node(id).gemm, graph.node(id).gemm);
+    EXPECT_EQ(parsed.node(id).vsa, graph.node(id).vsa);
+    EXPECT_DOUBLE_EQ(parsed.node(id).weight_bytes, graph.node(id).weight_bytes);
+  }
+}
+
+TEST(JsonTraceTest, UnknownInputRejected) {
+  const std::string bad = R"({
+    "workload": "x",
+    "ops": [{"name": "a", "kind": "relu", "inputs": ["ghost"],
+             "elem_count": 4}]
+  })";
+  EXPECT_THROW(ParseJsonTrace(bad), ParseError);
+}
+
+TEST(JsonTraceTest, UnknownKindRejected) {
+  const std::string bad = R"({
+    "workload": "x",
+    "ops": [{"name": "a", "kind": "warp_drive"}]
+  })";
+  EXPECT_THROW(ParseJsonTrace(bad), ParseError);
+}
+
+}  // namespace
+}  // namespace nsflow

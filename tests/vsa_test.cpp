@@ -1,0 +1,323 @@
+// Unit + property tests for the VSA library: circular convolution algebra,
+// binding/unbinding, bundling, similarity, codebooks, and the resonator.
+#include <cmath>
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vsa/block_code.h"
+#include "vsa/codebook.h"
+#include "vsa/resonator.h"
+
+namespace nsflow::vsa {
+namespace {
+
+HyperVector RandomUnit(BlockShape shape, Rng& rng) {
+  auto v = RandomHyperVector(shape, rng);
+  v.NormalizeBlocks();
+  return v;
+}
+
+TEST(CircularConvolveTest, PaperThreeElementExample) {
+  // The exact example of paper Fig. 3(b): (A1,A2,A3) ⊛ (B1,B2,B3) =
+  // (A1B1+A2B3+A3B2, A1B2+A2B1+A3B3, A1B3+A2B2+A3B1)... written in the
+  // paper's order: C[n] = sum_k A[k] B[(n-k) mod N].
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {5.0f, 7.0f, 11.0f};
+  std::vector<float> c(3);
+  CircularConvolve(a, b, c);
+  // C[0] = A0B0 + A1B2 + A2B1 = 5 + 22 + 21 = 48
+  // C[1] = A0B1 + A1B0 + A2B2 = 7 + 10 + 33 = 50
+  // C[2] = A0B2 + A1B1 + A2B0 = 11 + 14 + 15 = 40
+  EXPECT_FLOAT_EQ(c[0], 48.0f);
+  EXPECT_FLOAT_EQ(c[1], 50.0f);
+  EXPECT_FLOAT_EQ(c[2], 40.0f);
+}
+
+TEST(CircularConvolveTest, DeltaIsIdentity) {
+  // Convolving with the unit impulse leaves the vector unchanged.
+  const std::vector<float> a = {3.0f, -1.0f, 4.0f, 1.0f, -5.0f};
+  std::vector<float> delta(5, 0.0f);
+  delta[0] = 1.0f;
+  std::vector<float> c(5);
+  CircularConvolve(a, delta, c);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(c[i], a[i]);
+  }
+}
+
+TEST(CircularConvolveTest, ShiftedDeltaRotates) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> delta(4, 0.0f);
+  delta[1] = 1.0f;  // Shift by one.
+  std::vector<float> c(4);
+  CircularConvolve(a, delta, c);
+  EXPECT_FLOAT_EQ(c[0], 4.0f);
+  EXPECT_FLOAT_EQ(c[1], 1.0f);
+  EXPECT_FLOAT_EQ(c[2], 2.0f);
+  EXPECT_FLOAT_EQ(c[3], 3.0f);
+}
+
+TEST(CircularConvolveTest, RejectsLengthMismatch) {
+  std::vector<float> a(4), b(5), c(4);
+  EXPECT_THROW(CircularConvolve(a, b, c), Error);
+}
+
+class BindAlgebraTest : public ::testing::TestWithParam<BlockShape> {};
+
+TEST_P(BindAlgebraTest, BindingIsCommutative) {
+  Rng rng(1);
+  const auto shape = GetParam();
+  const auto a = RandomUnit(shape, rng);
+  const auto b = RandomUnit(shape, rng);
+  const auto ab = Bind(a, b);
+  const auto ba = Bind(b, a);
+  for (std::int64_t i = 0; i < ab.tensor().numel(); ++i) {
+    EXPECT_NEAR(ab.tensor().at(i), ba.tensor().at(i), 1e-4);
+  }
+}
+
+TEST_P(BindAlgebraTest, BindingIsAssociative) {
+  Rng rng(2);
+  const auto shape = GetParam();
+  const auto a = RandomUnit(shape, rng);
+  const auto b = RandomUnit(shape, rng);
+  const auto c = RandomUnit(shape, rng);
+  const auto left = Bind(Bind(a, b), c);
+  const auto right = Bind(a, Bind(b, c));
+  for (std::int64_t i = 0; i < left.tensor().numel(); ++i) {
+    EXPECT_NEAR(left.tensor().at(i), right.tensor().at(i), 1e-3);
+  }
+}
+
+TEST_P(BindAlgebraTest, UnbindRecoversBoundFactor) {
+  Rng rng(3);
+  const auto shape = GetParam();
+  const auto a = RandomUnit(shape, rng);
+  const auto b = RandomUnit(shape, rng);
+  const auto composite = Bind(a, b);
+  const auto recovered = Unbind(composite, b);
+  // HRR unbinding is approximate: the recovered vector correlates strongly
+  // with the true factor and weakly with an unrelated one.
+  EXPECT_GT(Similarity(recovered, a), 0.6);
+  const auto unrelated = RandomUnit(shape, rng);
+  EXPECT_LT(std::abs(Similarity(recovered, unrelated)), 0.3);
+}
+
+TEST_P(BindAlgebraTest, BoundVectorIsDissimilarToFactors) {
+  Rng rng(4);
+  const auto shape = GetParam();
+  const auto a = RandomUnit(shape, rng);
+  const auto b = RandomUnit(shape, rng);
+  const auto ab = Bind(a, b);
+  EXPECT_LT(std::abs(Similarity(ab, a)), 0.3);
+  EXPECT_LT(std::abs(Similarity(ab, b)), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BindAlgebraTest,
+    ::testing::Values(BlockShape{1, 128}, BlockShape{4, 256},
+                      BlockShape{8, 64}),
+    [](const auto& info) {
+      return "b" + std::to_string(info.param.blocks) + "x" +
+             std::to_string(info.param.block_dim);
+    });
+
+TEST(InvolutionTest, UnbindEqualsBindWithInvolution) {
+  Rng rng(5);
+  const BlockShape shape{2, 64};
+  const auto c = RandomUnit(shape, rng);
+  const auto f = RandomUnit(shape, rng);
+  const auto via_unbind = Unbind(c, f);
+  const auto via_involution = Bind(Involution(f), c);
+  for (std::int64_t i = 0; i < via_unbind.tensor().numel(); ++i) {
+    EXPECT_NEAR(via_unbind.tensor().at(i), via_involution.tensor().at(i), 1e-4);
+  }
+}
+
+TEST(InvolutionTest, IsSelfInverse) {
+  Rng rng(6);
+  const auto v = RandomUnit({3, 50}, rng);
+  const auto twice = Involution(Involution(v));
+  EXPECT_EQ(twice, v);
+}
+
+TEST(BundleTest, PreservesSimilarityToMembers) {
+  Rng rng(7);
+  const BlockShape shape{4, 256};
+  std::vector<HyperVector> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(RandomUnit(shape, rng));
+  }
+  const auto bundle = Bundle(members);
+  for (const auto& m : members) {
+    EXPECT_GT(Similarity(bundle, m), 0.3);
+  }
+  const auto outsider = RandomUnit(shape, rng);
+  EXPECT_LT(std::abs(Similarity(bundle, outsider)), 0.2);
+}
+
+TEST(BundleTest, SingleElementIsIdentityUpToScale) {
+  Rng rng(8);
+  const auto v = RandomUnit({2, 32}, rng);
+  const auto b = Bundle(std::vector<HyperVector>{v});
+  EXPECT_NEAR(Similarity(b, v), 1.0, 1e-6);
+}
+
+TEST(BundleTest, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(Bundle(std::vector<HyperVector>{}), Error);
+  Rng rng(9);
+  std::vector<HyperVector> mixed = {RandomUnit({2, 32}, rng),
+                                    RandomUnit({2, 64}, rng)};
+  EXPECT_THROW(Bundle(mixed), Error);
+}
+
+TEST(SimilarityTest, SelfSimilarityIsOne) {
+  Rng rng(10);
+  const auto v = RandomUnit({4, 128}, rng);
+  EXPECT_NEAR(Similarity(v, v), 1.0, 1e-6);
+}
+
+TEST(SimilarityTest, RandomVectorsNearOrthogonal) {
+  Rng rng(11);
+  double total = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto a = RandomUnit({4, 256}, rng);
+    const auto b = RandomUnit({4, 256}, rng);
+    total += std::abs(Similarity(a, b));
+  }
+  EXPECT_LT(total / 50.0, 0.1);
+}
+
+TEST(SimilarityTest, MatchProbClampsToUnitInterval) {
+  Rng rng(12);
+  const auto v = RandomUnit({2, 64}, rng);
+  auto negated = v;
+  negated.tensor() *= -1.0f;
+  EXPECT_DOUBLE_EQ(MatchProb(v, negated), 0.0);  // Similarity -1 clamps to 0.
+  EXPECT_DOUBLE_EQ(MatchProb(v, v), 1.0);
+}
+
+TEST(SimilarityTest, BatchedMatchesSingle) {
+  Rng rng(13);
+  const BlockShape shape{2, 64};
+  const auto query = RandomUnit(shape, rng);
+  std::vector<HyperVector> dict;
+  for (int i = 0; i < 5; ++i) {
+    dict.push_back(RandomUnit(shape, rng));
+  }
+  const auto batched = MatchProbBatched(query, dict);
+  ASSERT_EQ(batched.size(), 5u);
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], MatchProb(query, dict[i]));
+  }
+}
+
+TEST(HyperVectorTest, ByteSizeScalesWithPrecision) {
+  const HyperVector v({4, 256});
+  EXPECT_DOUBLE_EQ(v.ByteSize(Precision::kFP32), 4096.0);
+  EXPECT_DOUBLE_EQ(v.ByteSize(Precision::kINT4), 512.0);
+}
+
+TEST(HyperVectorTest, QuantizedVectorStaysSimilar) {
+  Rng rng(14);
+  const auto v = RandomUnit({4, 256}, rng);
+  const auto q8 = QuantizeHyperVector(v, Precision::kINT8);
+  const auto q4 = QuantizeHyperVector(v, Precision::kINT4);
+  EXPECT_GT(Similarity(v, q8), 0.99);
+  EXPECT_GT(Similarity(v, q4), 0.9);
+  EXPECT_LT(Similarity(v, q4), Similarity(v, q8));  // INT4 is coarser.
+}
+
+TEST(CodebookTest, CleanupFindsStoredSymbol) {
+  Rng rng(15);
+  const Codebook cb({4, 128}, 32, rng);
+  for (std::int64_t s = 0; s < cb.size(); s += 5) {
+    const auto result = cb.Cleanup(cb.at(s));
+    EXPECT_EQ(result.symbol, s);
+    EXPECT_NEAR(result.best_score, 1.0, 1e-6);
+    EXPECT_LT(result.runner_up_score, 0.5);
+  }
+}
+
+TEST(CodebookTest, CleanupSurvivesModerateNoise) {
+  Rng rng(16);
+  const Codebook cb({4, 256}, 16, rng);
+  int correct = 0;
+  for (std::int64_t s = 0; s < cb.size(); ++s) {
+    auto noisy = cb.at(s);
+    for (std::int64_t i = 0; i < noisy.tensor().numel(); ++i) {
+      noisy.tensor().at(i) += static_cast<float>(rng.Gaussian(0.0, 0.05));
+    }
+    if (cb.Cleanup(noisy).symbol == s) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 16);
+}
+
+TEST(CodebookTest, QuantizeInPlaceShrinksFootprint) {
+  Rng rng(17);
+  Codebook cb({4, 128}, 8, rng);
+  const double fp32 = cb.ByteSize(Precision::kFP32);
+  const double int4 = cb.ByteSize(Precision::kINT4);
+  EXPECT_DOUBLE_EQ(fp32 / int4, 8.0);
+  cb.QuantizeInPlace(Precision::kINT4);
+  // Entries remain decodable after quantization.
+  EXPECT_EQ(cb.Cleanup(cb.at(3)).symbol, 3);
+}
+
+TEST(CodebookTest, OutOfRangeThrows) {
+  Rng rng(18);
+  const Codebook cb({2, 32}, 4, rng);
+  EXPECT_THROW(cb.at(-1), Error);
+  EXPECT_THROW(cb.at(4), Error);
+}
+
+TEST(ResonatorTest, FactorizesTwoFactorComposite) {
+  Rng rng(19);
+  const BlockShape shape{4, 256};
+  std::vector<Codebook> books;
+  books.emplace_back(shape, 8, rng, "x");
+  books.emplace_back(shape, 8, rng, "y");
+  const auto composite = Bind(books[0].at(3), books[1].at(5));
+  const auto result = Factorize(composite, books);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.factors.size(), 2u);
+  EXPECT_EQ(result.factors[0], 3);
+  EXPECT_EQ(result.factors[1], 5);
+}
+
+TEST(ResonatorTest, FactorizesThreeFactorComposite) {
+  Rng rng(20);
+  const BlockShape shape{4, 512};
+  std::vector<Codebook> books;
+  books.emplace_back(shape, 6, rng, "x");
+  books.emplace_back(shape, 6, rng, "y");
+  books.emplace_back(shape, 6, rng, "z");
+  const auto composite =
+      Bind(Bind(books[0].at(1), books[1].at(2)), books[2].at(4));
+  const auto result = Factorize(composite, books);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.factors[0], 1);
+  EXPECT_EQ(result.factors[1], 2);
+  EXPECT_EQ(result.factors[2], 4);
+}
+
+TEST(ResonatorTest, IterationBudgetRespected) {
+  Rng rng(21);
+  const BlockShape shape{1, 32};  // Tiny: likely not to converge instantly.
+  std::vector<Codebook> books;
+  books.emplace_back(shape, 16, rng, "x");
+  books.emplace_back(shape, 16, rng, "y");
+  const auto composite = Bind(books[0].at(0), books[1].at(1));
+  ResonatorOptions options;
+  options.max_iterations = 3;
+  const auto result = Factorize(composite, books, options);
+  EXPECT_LE(result.iterations, 3);
+}
+
+}  // namespace
+}  // namespace nsflow::vsa

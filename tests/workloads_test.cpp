@@ -1,0 +1,172 @@
+// Tests for the workload zoo: ResNet-18 shapes and the four NSAI builders.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/builders.h"
+#include "workloads/resnet18.h"
+
+namespace nsflow {
+namespace {
+
+using workloads::MakeCharacterizationSuite;
+using workloads::MakeLvrf;
+using workloads::MakeMimonet;
+using workloads::MakeNvsa;
+using workloads::MakeParametricNsai;
+using workloads::MakePrae;
+using workloads::MakeTask;
+using workloads::ScaleSymbolic;
+using workloads::TaskId;
+
+TEST(ResNet18Test, LayerCount) {
+  // conv1 + 16 block convs + 3 downsample projections = 20 weight layers.
+  EXPECT_EQ(ResNet18Layers(224).size(), 20u);
+  EXPECT_EQ(ResNet18Layers(160).size(), 20u);
+}
+
+TEST(ResNet18Test, ChannelProgression) {
+  const auto layers = ResNet18Layers(160);
+  EXPECT_EQ(layers.front().in_channels, 3);
+  EXPECT_EQ(layers.front().out_channels, 64);
+  EXPECT_EQ(layers.back().out_channels, 512);
+  // Spatial size shrinks monotonically along the chain.
+  EXPECT_EQ(layers.front().in_size, 160);
+  EXPECT_EQ(layers.back().out_size, 5);  // 160/2/2/2/2/2.
+}
+
+TEST(ResNet18Test, GemmDimsMatchImTwoCol) {
+  const auto layers = ResNet18Layers(160);
+  const auto& stem = layers.front();
+  const GemmDims g = stem.Gemm(16);
+  EXPECT_EQ(g.m, 64);
+  EXPECT_EQ(g.n, 3 * 7 * 7);
+  EXPECT_EQ(g.k, 16 * 80 * 80);
+}
+
+TEST(ResNet18Test, FlopsScaleWithInputAndBatch) {
+  const double f160 = ResNet18Flops(160, 1);
+  const double f224 = ResNet18Flops(224, 1);
+  const double f160b16 = ResNet18Flops(160, 16);
+  EXPECT_GT(f224, f160 * 1.5);              // Quadratic-ish in edge length.
+  EXPECT_NEAR(f160b16 / f160, 16.0, 1e-9);  // Linear in batch.
+  // Sanity: ResNet-18 @224 is ~3.6 GFLOPs (2x MACs).
+  EXPECT_GT(f224, 2.5e9);
+  EXPECT_LT(f224, 5.0e9);
+}
+
+TEST(WorkloadBuildersTest, AllWorkloadsValidate) {
+  for (const auto& graph : MakeCharacterizationSuite()) {
+    EXPECT_NO_THROW(graph.Validate()) << graph.workload_name();
+    EXPECT_GT(graph.size(), 10) << graph.workload_name();
+  }
+}
+
+TEST(WorkloadBuildersTest, NvsaMatchesPaperCharacterization) {
+  const OperatorGraph nvsa = MakeNvsa();
+  const auto neuro = nvsa.StatsFor(Domain::kNeuro);
+  const auto symbolic = nvsa.StatsFor(Domain::kSymbolic);
+
+  // Paper Sec. II-B: NVSA symbolic ops are ~19% of total FLOPs.
+  const double symb_flop_share =
+      symbolic.flops / (neuro.flops + symbolic.flops);
+  EXPECT_GT(symb_flop_share, 0.10);
+  EXPECT_LT(symb_flop_share, 0.30);
+
+  // Paper Sec. I: VSA working sets are tens of MB.
+  EXPECT_GT(symbolic.bytes, 5.0 * 1024 * 1024);
+  EXPECT_LT(symbolic.bytes, 500.0 * 1024 * 1024);
+
+  // Symbolic is far less arithmetically intense than neural (Fig. 1c).
+  EXPECT_LT(symbolic.ArithmeticIntensity(), neuro.ArithmeticIntensity());
+
+  EXPECT_EQ(nvsa.precision(), PrecisionPolicy::MixedNvsa());
+  EXPECT_EQ(nvsa.loop_count(), 2);
+}
+
+TEST(WorkloadBuildersTest, MimonetIsNeuralDominated) {
+  const OperatorGraph mimo = MakeMimonet();
+  const auto neuro = mimo.StatsFor(Domain::kNeuro);
+  const auto symbolic = mimo.StatsFor(Domain::kSymbolic);
+  EXPECT_GT(neuro.flops, 10.0 * symbolic.flops);
+}
+
+TEST(WorkloadBuildersTest, PraeIsElementwiseSymbolic) {
+  const OperatorGraph prae = MakePrae();
+  // PrAE's symbolic side is probabilistic abduction: element-wise, no GEMM.
+  const auto vector_vsa = prae.StatsFor(OpCategory::kVectorVsa);
+  const auto elem_vsa = prae.StatsFor(OpCategory::kElemVsa);
+  EXPECT_EQ(vector_vsa.ops, 0);
+  EXPECT_GT(elem_vsa.ops, 3);
+  EXPECT_GT(elem_vsa.bytes, 50e6);  // Large probability tensors.
+}
+
+TEST(WorkloadBuildersTest, LvrfSharesNvsaFrontend) {
+  const OperatorGraph lvrf = MakeLvrf();
+  const OperatorGraph nvsa = MakeNvsa();
+  // Table I: LVRF's frontend is the same ResNet on the same panels.
+  EXPECT_DOUBLE_EQ(lvrf.StatsFor(OpCategory::kMatrixNn).flops,
+                   nvsa.StatsFor(OpCategory::kMatrixNn).flops);
+  // But its rule set adds distinct symbolic structure.
+  EXPECT_NE(lvrf.StatsFor(Domain::kSymbolic).ops,
+            nvsa.StatsFor(Domain::kSymbolic).ops);
+}
+
+class ParametricRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParametricRatioTest, SymbolicMemoryFractionHit) {
+  const double target = GetParam();
+  const OperatorGraph graph = MakeParametricNsai(target);
+  double neural = 0.0;
+  double symbolic = 0.0;
+  for (const auto& node : graph.nodes()) {
+    if (node.domain() == Domain::kNeuro) {
+      neural += node.TotalBytes();
+    } else if (node.domain() == Domain::kSymbolic) {
+      symbolic += node.TotalBytes();
+    }
+  }
+  const double actual = symbolic / (neural + symbolic);
+  // Discretization to whole VSA nodes allows a small deviation; SIMD joins
+  // add a little symbolic memory on top of the VSA nodes.
+  EXPECT_NEAR(actual, target, 0.05) << "target fraction " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig6Sweep, ParametricRatioTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6, 0.8));
+
+TEST(ScaleSymbolicTest, ScalesOnlySymbolicWork) {
+  const OperatorGraph base = MakeNvsa();
+  const OperatorGraph scaled = ScaleSymbolic(base, 10.0);
+  const auto base_neuro = base.StatsFor(Domain::kNeuro);
+  const auto scaled_neuro = scaled.StatsFor(Domain::kNeuro);
+  EXPECT_DOUBLE_EQ(base_neuro.flops, scaled_neuro.flops);
+  EXPECT_DOUBLE_EQ(base_neuro.bytes, scaled_neuro.bytes);
+
+  const auto base_symb = base.StatsFor(Domain::kSymbolic);
+  const auto scaled_symb = scaled.StatsFor(Domain::kSymbolic);
+  EXPECT_NEAR(scaled_symb.flops / base_symb.flops, 10.0, 0.5);
+  EXPECT_NEAR(scaled_symb.bytes / base_symb.bytes, 10.0, 0.5);
+}
+
+TEST(TaskZooTest, AllTasksBuildAndDiffer) {
+  double prev_flops = -1.0;
+  for (const TaskId id : workloads::kAllTasks) {
+    const OperatorGraph graph = MakeTask(id);
+    EXPECT_NO_THROW(graph.Validate()) << workloads::TaskName(id);
+    EXPECT_GT(graph.TotalFlops(), 0.0);
+    // Tasks must not all be identical workloads.
+    EXPECT_NE(graph.TotalFlops(), prev_flops);
+    prev_flops = graph.TotalFlops();
+  }
+}
+
+TEST(TaskZooTest, PgmHasMoreSymbolicWorkThanRaven) {
+  const auto raven = MakeTask(TaskId::kNvsaRaven);
+  const auto pgm = MakeTask(TaskId::kNvsaPgm);
+  EXPECT_GT(pgm.StatsFor(Domain::kSymbolic).flops,
+            raven.StatsFor(Domain::kSymbolic).flops);
+}
+
+}  // namespace
+}  // namespace nsflow
