@@ -336,12 +336,14 @@ OperatorGraph ParseTextTrace(const std::string& text) {
   std::istringstream stream(text);
   std::string line;
   while (std::getline(stream, line)) {
-    // Strip leading whitespace.
-    std::size_t first = line.find_first_not_of(" \t");
+    // Strip surrounding whitespace, including the '\r' a CRLF-encoded trace
+    // leaves behind (std::getline only consumes the '\n').
+    const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) {
-      continue;
+      continue;  // Blank (or whitespace-only) lines are skipped anywhere.
     }
-    const std::string trimmed = line.substr(first);
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string trimmed = line.substr(first, last - first + 1);
     if (trimmed.starts_with("//") || trimmed.starts_with("#") ||
         trimmed.starts_with("graph()") || trimmed.starts_with("...")) {
       continue;

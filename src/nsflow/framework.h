@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dse/dse.h"
 #include "fpga/resource_model.h"
@@ -59,6 +60,22 @@ class Compiler {
 
 /// Instantiate the simulated accelerator for a compiled design.
 std::unique_ptr<runtime::Accelerator> Deploy(const CompiledDesign& compiled);
+
+/// One point on the (PE budget, latency) pareto frontier.
+struct ParetoPoint {
+  AcceleratorDesign design;
+  double predicted_seconds = 0.0;  // End-to-end workload latency.
+  std::int64_t pes = 0;            // H * W * N of the chosen array.
+};
+
+/// Sweep the DSE across shrinking PE budgets (halving from
+/// `base.max_pes` down to `min_pes`) and keep the designs on the
+/// (PEs, latency) pareto frontier, largest budget first. Serving pools use
+/// this to deploy heterogeneous replica sets: a few full-budget low-latency
+/// replicas plus smaller ones that trade latency for FPGA area.
+std::vector<ParetoPoint> ParetoDesigns(const DataflowGraph& dfg,
+                                       DseOptions base, int max_points,
+                                       std::int64_t min_pes = 1024);
 
 /// FPGA utilization of a compiled design on a device (Table III columns).
 ResourceReport Report(const CompiledDesign& compiled, const FpgaDevice& device);

@@ -1,5 +1,7 @@
 #include "runtime/host_runtime.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "vsa/block_code.h"
 
@@ -36,6 +38,49 @@ KernelRun Accelerator::RunGemm(const Tensor& a, const Tensor& b) {
   return {run.output, run.cycles};
 }
 
+BatchedKernelRun Accelerator::RunGemmBatched(const std::vector<Tensor>& as,
+                                             const Tensor& b) {
+  NSF_CHECK_MSG(!as.empty(), "batched GEMM needs at least one request");
+  const std::int64_t inner = b.dim(0);
+  std::int64_t total_rows = 0;
+  for (const auto& a : as) {
+    NSF_CHECK_MSG(a.rank() == 2 && a.dim(1) == inner,
+                  "batched GEMM operands must share the inner dimension");
+    total_rows += a.dim(0);
+  }
+
+  // Stack the per-request activations into one tall operand so the array
+  // sees a single streaming pass over the stationary weights.
+  Tensor stacked({total_rows, inner});
+  std::int64_t row = 0;
+  for (const auto& a : as) {
+    std::copy(a.data(), a.data() + a.numel(),
+              stacked.data() + row * inner);
+    row += a.dim(0);
+  }
+
+  auto& array = controller_.array();
+  if (array.folding().nn_subarrays == 0) {
+    array.Fold({design_.array.count, 0});
+  }
+  const auto run = array.RunGemm(stacked, b, array.folding().nn_subarrays);
+
+  BatchedKernelRun result;
+  result.device_cycles = run.cycles;
+  result.outputs.reserve(as.size());
+  const std::int64_t out_cols = b.dim(1);
+  row = 0;
+  for (const auto& a : as) {
+    const std::int64_t rows = a.dim(0);
+    Tensor out({rows, out_cols});
+    std::copy(run.output.data() + row * out_cols,
+              run.output.data() + (row + rows) * out_cols, out.data());
+    result.outputs.push_back(std::move(out));
+    row += rows;
+  }
+  return result;
+}
+
 KernelRun Accelerator::RunBind(const vsa::HyperVector& a,
                                const vsa::HyperVector& b) {
   auto& array = controller_.array();
@@ -66,6 +111,10 @@ KernelRun Accelerator::RunSoftmax(const Tensor& logits) {
 }
 
 double Accelerator::RunWorkload() { return controller_.RunWorkload(); }
+
+double Accelerator::RunWorkloadBatch(int batch_size) {
+  return controller_.RunWorkloadBatch(batch_size);
+}
 
 arch::SimReport Accelerator::ProfileLoop() { return controller_.RunLoop(); }
 

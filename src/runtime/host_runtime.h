@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/controller.h"
 #include "common/tensor.h"
@@ -40,6 +41,13 @@ struct KernelRun {
   double device_cycles = 0.0;
 };
 
+/// Result of a batched kernel launch: per-request outputs plus the total
+/// device cycles for the whole batch (one pipeline fill, one weight load).
+struct BatchedKernelRun {
+  std::vector<Tensor> outputs;
+  double device_cycles = 0.0;
+};
+
 /// The deployed accelerator: design-config-parameterized backend plus the
 /// host-side scheduling logic.
 class Accelerator {
@@ -55,6 +63,14 @@ class Accelerator {
   /// Launch one GEMM kernel C = A x B on the NN fold share.
   KernelRun RunGemm(const Tensor& a, const Tensor& b);
 
+  /// Launch a batch of GEMMs sharing the stationary operand: C_i = A_i x B.
+  /// This is the serving-path kernel — every request multiplies its own
+  /// activations against the same resident weights, so the batch streams
+  /// through one array pass and pays the pipeline fill and weight staging
+  /// once instead of per request. All A_i must share the inner dimension.
+  BatchedKernelRun RunGemmBatched(const std::vector<Tensor>& as,
+                                  const Tensor& b);
+
   /// Launch one VSA binding kernel (blockwise circular convolution) on the
   /// VSA fold share. Operands are block-code hypervectors.
   KernelRun RunBind(const vsa::HyperVector& a, const vsa::HyperVector& b);
@@ -68,6 +84,12 @@ class Accelerator {
 
   /// Timed full-workload execution (one end-to-end task): returns seconds.
   double RunWorkload();
+
+  /// Timed execution of `batch_size` back-to-back tasks with the model
+  /// weights kept resident between requests; returns total seconds for the
+  /// batch. Strictly cheaper than batch_size x RunWorkload() because the
+  /// controller setup and the stationary-operand AXI transfers amortize.
+  double RunWorkloadBatch(int batch_size);
 
   /// Cycle report for one steady-state loop.
   arch::SimReport ProfileLoop();

@@ -1,0 +1,62 @@
+#include "serve/batch_former.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace nsflow::serve {
+
+BatchFormer::BatchFormer(BatchPolicy policy) : policy_(policy) {
+  NSF_CHECK_MSG(policy_.max_batch >= 1, "max_batch must be positive");
+  NSF_CHECK_MSG(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+}
+
+Batch BatchFormer::CloseAt(double formed_s) {
+  Batch batch;
+  batch.requests = std::move(pending_);
+  batch.formed_s = formed_s;
+  pending_.clear();
+  return batch;
+}
+
+std::optional<Batch> BatchFormer::Add(const Request& request,
+                                      double busy_until) {
+  std::optional<Batch> closed;
+  // The pending batch's wait clock may have expired before this arrival:
+  // close it at its effective deadline — stretched to `busy_until` while no
+  // server could take it anyway — so its requests are not delayed by a lull
+  // in the arrival process.
+  const double effective_deadline = std::max(Deadline(), busy_until);
+  if (!pending_.empty() && request.arrival_s >= effective_deadline) {
+    closed = CloseAt(effective_deadline);
+  }
+  pending_.push_back(request);
+  if (static_cast<std::int64_t>(pending_.size()) >= policy_.max_batch) {
+    NSF_CHECK_MSG(!closed.has_value(),
+                  "a single arrival cannot close two batches");
+    return CloseAt(request.arrival_s);
+  }
+  return closed;
+}
+
+std::optional<Batch> BatchFormer::Flush(double now) {
+  if (pending_.empty()) {
+    return std::nullopt;
+  }
+  // Close no later than the wait deadline and no earlier than the newest
+  // pending arrival (a batch cannot form before its requests exist).
+  const double formed =
+      std::max(pending_.back().arrival_s, std::min(now, Deadline()));
+  return CloseAt(formed);
+}
+
+double BatchFormer::Deadline() const {
+  if (pending_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return pending_.front().arrival_s + policy_.max_wait_s;
+}
+
+}  // namespace nsflow::serve

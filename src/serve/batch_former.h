@@ -1,0 +1,61 @@
+// Batch forming policy: coalesce the FIFO request stream into batches under
+// a max-batch-size / max-wait contract.
+//
+// A batch closes when either
+//   * it reaches `max_batch` requests (closed at the last arrival), or
+//   * the *oldest* request in it has waited `max_wait_s` AND a server is
+//     free (closed at that moment — the next arrival proves virtual time
+//     passed it). While every replica is busy (`busy_until` at Add time),
+//     waiting longer costs nothing, so the pending batch keeps absorbing
+//     backlog up to max_batch — this is what makes batching engage at
+//     saturation, where the amortization matters most.
+//
+// The former is a pure, single-threaded policy object operating on
+// arrival-stamped requests in arrival order; all latency/wait bookkeeping is
+// virtual time, so forming is deterministic and unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace nsflow::serve {
+
+struct BatchPolicy {
+  std::int64_t max_batch = 8;
+  double max_wait_s = 5e-3;
+};
+
+class BatchFormer {
+ public:
+  explicit BatchFormer(BatchPolicy policy);
+
+  /// Feed the next request (arrival order). Returns a closed batch when the
+  /// policy fires; the new request is never part of a batch closed by its
+  /// own arrival's deadline check (it arrived after the deadline).
+  /// `busy_until` is the earliest time any server frees up (0 when one is
+  /// already idle): the wait deadline stretches to it, growing batches from
+  /// backlog while dispatch would stall anyway.
+  std::optional<Batch> Add(const Request& request, double busy_until = 0.0);
+
+  /// Close the pending batch at `now` (stream drained / engine shutdown).
+  std::optional<Batch> Flush(double now);
+
+  /// Virtual deadline of the pending batch (+inf when nothing pends).
+  double Deadline() const;
+
+  std::int64_t pending() const {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  Batch CloseAt(double formed_s);
+
+  BatchPolicy policy_;
+  std::vector<Request> pending_;
+};
+
+}  // namespace nsflow::serve

@@ -1,0 +1,95 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "serve/batch_former.h"
+#include "serve/request_queue.h"
+
+namespace nsflow::serve {
+
+std::vector<Request> SyntheticArrivals(const ServeOptions& options) {
+  NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
+  NSF_CHECK_MSG(options.duration_s > 0.0, "duration must be positive");
+  Rng rng(options.seed);
+  std::vector<Request> arrivals;
+  double now = 0.0;
+  std::int64_t next_id = 0;
+  while (true) {
+    // Exponential inter-arrival times — memoryless open-loop traffic.
+    now += -std::log(1.0 - rng.Uniform()) / options.qps;
+    if (now >= options.duration_s) {
+      break;
+    }
+    arrivals.push_back(Request{next_id++, now});
+  }
+  return arrivals;
+}
+
+ServeReport RunSyntheticServe(const DataflowGraph& dfg,
+                              const std::vector<AcceleratorDesign>& designs,
+                              const ServeOptions& options) {
+  NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
+  const std::vector<Request> arrivals = SyntheticArrivals(options);
+
+  // Producer thread feeds the queue in arrival order; the consumer below
+  // drains it into the batch former. FIFO + virtual timestamps keep the
+  // result independent of how the two threads interleave.
+  RequestQueue queue;
+  std::thread producer([&] {
+    for (const Request& request : arrivals) {
+      if (!queue.Push(request)) {
+        break;  // Queue closed under us — nothing left to feed.
+      }
+    }
+    queue.Close();
+  });
+
+  ServerPool pool(designs, dfg, options.worker_threads);
+  pool.WarmBatchSizes(options.max_batch);  // Parallel cycle-model warm-up.
+  ServeStats stats(pool.size());
+
+  // Integrated forming + dispatch: each closed batch goes straight to the
+  // earliest-available replica, and the pool's availability feeds back into
+  // the former so batches grow from backlog while all replicas are busy.
+  BatchFormer former(BatchPolicy{options.max_batch, options.max_wait_s});
+  std::vector<DispatchRecord> dispatches;
+  std::int64_t started = 0;  // Requests whose batch already dispatched.
+  const auto dispatch = [&](Batch&& batch) {
+    // Backlog the batch sees at its start: arrivals in the system (the
+    // stream is sorted, so count by binary search) minus requests already
+    // sent to a replica.
+    const double start = std::max(batch.formed_s, pool.EarliestFree());
+    const auto arrived = static_cast<std::int64_t>(
+        std::upper_bound(arrivals.begin(), arrivals.end(), start,
+                         [](double t, const Request& r) {
+                           return t < r.arrival_s;
+                         }) -
+        arrivals.begin());
+    dispatches.push_back(pool.Dispatch(batch, &stats, arrived - started));
+    started += batch.size();
+  };
+
+  while (auto request = queue.Pop()) {
+    if (auto batch = former.Add(*request, pool.EarliestFree())) {
+      dispatch(std::move(*batch));
+    }
+  }
+  if (auto tail = former.Flush(options.duration_s + options.max_wait_s)) {
+    dispatch(std::move(*tail));
+  }
+  producer.join();
+
+  ServeReport report;
+  report.generated_requests = static_cast<std::int64_t>(arrivals.size());
+  report.single_request_s = pool.BatchSeconds(0, 1);
+  report.dispatches = std::move(dispatches);
+  report.summary = stats.Summarize(options.qps, options.duration_s);
+  return report;
+}
+
+}  // namespace nsflow::serve

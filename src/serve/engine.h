@@ -1,0 +1,56 @@
+// NSFlow-Serve engine — the end-to-end serving loop.
+//
+//   Poisson arrival generator (producer thread, virtual timestamps)
+//     └─> RequestQueue (thread-safe FIFO handoff)
+//           └─> BatchFormer (max-batch / max-wait coalescing)
+//                 └─> ServerPool (N accelerator replicas, worker threads)
+//                       └─> ServeStats (p50/p95/p99, throughput, util)
+//
+// The engine turns the paper's one-shot `RunWorkload` accelerator into a
+// throughput-oriented service: an open-loop synthetic trace with exponential
+// inter-arrival times drives the pipeline for `duration_s` virtual seconds,
+// and the report captures tail latency and saturation behavior. With a fixed
+// seed the whole run is bit-reproducible (see request.h on virtual time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+#include "serve/request.h"
+#include "serve/server_pool.h"
+#include "serve/serve_stats.h"
+
+namespace nsflow::serve {
+
+struct ServeOptions {
+  double qps = 100.0;          // Open-loop offered load (Poisson arrivals).
+  double duration_s = 1.0;     // Virtual length of the arrival trace.
+  std::int64_t max_batch = 8;  // BatchFormer size cap.
+  double max_wait_s = 5e-3;    // BatchFormer wait cap.
+  std::uint64_t seed = 42;     // Arrival-process RNG seed.
+  int worker_threads = 0;      // 0 = hardware concurrency.
+};
+
+struct ServeReport {
+  StatsSummary summary;
+  std::vector<DispatchRecord> dispatches;
+  std::int64_t generated_requests = 0;
+  /// Single-request latency on replica 0 — the no-batching baseline the
+  /// throughput numbers are judged against.
+  double single_request_s = 0.0;
+};
+
+/// Generate the open-loop Poisson arrival trace for `options` (exposed for
+/// tests and for replaying the same trace against different pools).
+std::vector<Request> SyntheticArrivals(const ServeOptions& options);
+
+/// Run the full pipeline: synthetic arrivals through queue, former, and
+/// pool. `designs` defines the pool (one replica per entry; `dfg` must
+/// outlive the call).
+ServeReport RunSyntheticServe(const DataflowGraph& dfg,
+                              const std::vector<AcceleratorDesign>& designs,
+                              const ServeOptions& options);
+
+}  // namespace nsflow::serve

@@ -1,0 +1,35 @@
+// Serving request/batch value types — the unit of work NSFlow-Serve moves
+// through its pipeline (arrival stream -> RequestQueue -> BatchFormer ->
+// ServerPool).
+//
+// Timestamps are *virtual* seconds on the serving timeline: arrivals are
+// stamped by the open-loop generator, batch close times by the forming
+// policy, and completion times by the replica dispatch sweep. Keeping the
+// timeline virtual (while the expensive cycle-model evaluations run on real
+// worker threads) is what makes a serve run bit-reproducible under a fixed
+// RNG seed regardless of thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsflow::serve {
+
+/// One inference/reasoning request entering the serving engine.
+struct Request {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;  // Virtual arrival time.
+};
+
+/// A group of requests coalesced by the BatchFormer and dispatched to one
+/// accelerator replica as a single RunWorkloadBatch launch.
+struct Batch {
+  std::vector<Request> requests;
+  double formed_s = 0.0;  // Virtual time the batch closed.
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(requests.size());
+  }
+};
+
+}  // namespace nsflow::serve

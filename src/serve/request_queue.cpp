@@ -1,0 +1,64 @@
+#include "serve/request_queue.h"
+
+namespace nsflow::serve {
+
+bool RequestQueue::Push(Request request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+  });
+  if (closed_) {
+    return false;
+  }
+  queue_.push_back(request);
+  max_depth_ = std::max(max_depth_, queue_.size());
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return std::nullopt;  // Closed and drained.
+  }
+  Request request = queue_.front();
+  queue_.pop_front();
+  not_full_.notify_one();
+  return request;
+}
+
+std::optional<Request> RequestQueue::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Request request = queue_.front();
+  queue_.pop_front();
+  not_full_.notify_one();
+  return request;
+}
+
+void RequestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RequestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+}  // namespace nsflow::serve

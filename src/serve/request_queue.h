@@ -1,0 +1,59 @@
+// Thread-safe FIFO request queue — the handoff between the arrival producer
+// and the batching consumer (the "task queue" of the oneflow-style serving
+// idiom: producers enqueue, workers drain, close() ends the stream).
+//
+// Single-producer/single-consumer in the engine, but safe for any number of
+// either. FIFO order is guaranteed, which — together with virtual
+// timestamps on the requests — keeps downstream batching deterministic no
+// matter how the threads interleave.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.h"
+
+namespace nsflow::serve {
+
+class RequestQueue {
+ public:
+  /// `capacity` == 0 means unbounded; otherwise Push blocks while full
+  /// (producer backpressure).
+  explicit RequestQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueue; blocks while the queue is at capacity. Returns false if the
+  /// queue was closed (the request is dropped).
+  bool Push(Request request);
+
+  /// Dequeue in FIFO order; blocks while empty. Returns nullopt once the
+  /// queue is closed *and* drained.
+  std::optional<Request> Pop();
+
+  /// Non-blocking dequeue.
+  std::optional<Request> TryPop();
+
+  /// End the stream: wakes all blocked producers/consumers. Idempotent.
+  void Close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  /// High-water mark of the wall-clock queue depth since construction.
+  std::size_t max_depth() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace nsflow::serve

@@ -1,0 +1,125 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace nsflow::serve {
+
+ServeStats::ServeStats(int replicas) {
+  NSF_CHECK_MSG(replicas >= 1, "a serve pool needs at least one replica");
+  replica_busy_s_.assign(static_cast<std::size_t>(replicas), 0.0);
+}
+
+void ServeStats::RecordRequest(double arrival_s, double complete_s) {
+  NSF_CHECK_MSG(complete_s >= arrival_s,
+                "completion cannot precede arrival");
+  arrivals_s_.push_back(arrival_s);
+  completions_s_.push_back(complete_s);
+  latencies_s_.push_back(complete_s - arrival_s);
+}
+
+void ServeStats::RecordBatch(std::int64_t size, std::int64_t queue_depth) {
+  NSF_CHECK_MSG(size >= 1, "batches are non-empty");
+  batch_sizes_.push_back(size);
+  depth_samples_.push_back(std::max<std::int64_t>(0, queue_depth));
+}
+
+void ServeStats::RecordReplicaBusy(int index, double busy_s) {
+  NSF_CHECK_MSG(index >= 0 &&
+                    index < static_cast<int>(replica_busy_s_.size()),
+                "replica index out of range");
+  replica_busy_s_[static_cast<std::size_t>(index)] += busy_s;
+}
+
+double ServeStats::Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  NSF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: smallest value with at least p% of the population at or
+  // below it.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const std::size_t index =
+      static_cast<std::size_t>(std::max(1.0, rank)) - 1;
+  return values[std::min(index, values.size() - 1)];
+}
+
+StatsSummary ServeStats::Summarize(double offered_qps,
+                                   double run_duration_s) const {
+  StatsSummary s;
+  s.completed = completed();
+  s.batches = static_cast<std::int64_t>(batch_sizes_.size());
+  s.offered_qps = offered_qps;
+  double last_completion = 0.0;
+  for (const double c : completions_s_) {
+    last_completion = std::max(last_completion, c);
+  }
+  s.horizon_s = std::max(run_duration_s, last_completion);
+  if (s.horizon_s > 0.0 && s.completed > 0) {
+    s.throughput_rps = static_cast<double>(s.completed) / s.horizon_s;
+  }
+
+  s.p50_ms = Percentile(latencies_s_, 50.0) * 1e3;
+  s.p95_ms = Percentile(latencies_s_, 95.0) * 1e3;
+  s.p99_ms = Percentile(latencies_s_, 99.0) * 1e3;
+  if (!latencies_s_.empty()) {
+    s.mean_ms = std::accumulate(latencies_s_.begin(), latencies_s_.end(), 0.0) /
+                static_cast<double>(latencies_s_.size()) * 1e3;
+    s.max_ms = *std::max_element(latencies_s_.begin(), latencies_s_.end()) * 1e3;
+  }
+
+  if (!batch_sizes_.empty()) {
+    s.mean_batch =
+        static_cast<double>(std::accumulate(batch_sizes_.begin(),
+                                            batch_sizes_.end(),
+                                            std::int64_t{0})) /
+        static_cast<double>(batch_sizes_.size());
+  }
+  if (!depth_samples_.empty()) {
+    s.mean_queue_depth =
+        static_cast<double>(std::accumulate(depth_samples_.begin(),
+                                            depth_samples_.end(),
+                                            std::int64_t{0})) /
+        static_cast<double>(depth_samples_.size());
+    s.max_queue_depth =
+        *std::max_element(depth_samples_.begin(), depth_samples_.end());
+  }
+
+  s.replica_utilization.reserve(replica_busy_s_.size());
+  for (const double busy : replica_busy_s_) {
+    s.replica_utilization.push_back(s.horizon_s > 0.0 ? busy / s.horizon_s
+                                                      : 0.0);
+  }
+  return s;
+}
+
+std::string ServeStats::ToTable(const StatsSummary& s) {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"requests completed", std::to_string(s.completed)});
+  table.AddRow({"batches dispatched", std::to_string(s.batches)});
+  table.AddRow({"offered load", TablePrinter::Num(s.offered_qps, 1) + " rps"});
+  table.AddRow(
+      {"throughput", TablePrinter::Num(s.throughput_rps, 1) + " rps"});
+  table.AddRow({"latency p50", TablePrinter::Num(s.p50_ms, 3) + " ms"});
+  table.AddRow({"latency p95", TablePrinter::Num(s.p95_ms, 3) + " ms"});
+  table.AddRow({"latency p99", TablePrinter::Num(s.p99_ms, 3) + " ms"});
+  table.AddRow({"latency mean", TablePrinter::Num(s.mean_ms, 3) + " ms"});
+  table.AddRow({"latency max", TablePrinter::Num(s.max_ms, 3) + " ms"});
+  table.AddRow({"mean batch size", TablePrinter::Num(s.mean_batch, 2)});
+  table.AddRow(
+      {"mean queue depth", TablePrinter::Num(s.mean_queue_depth, 2)});
+  table.AddRow({"max queue depth", std::to_string(s.max_queue_depth)});
+  for (std::size_t i = 0; i < s.replica_utilization.size(); ++i) {
+    table.AddRow({"replica " + std::to_string(i) + " utilization",
+                  TablePrinter::Percent(s.replica_utilization[i])});
+  }
+  return table.ToString();
+}
+
+}  // namespace nsflow::serve

@@ -1,0 +1,69 @@
+// ServeStats — latency/throughput/utilization collector for NSFlow-Serve.
+//
+// Accumulates per-request latencies, batch sizes, backlog samples, and
+// per-replica busy time during a serve run, then summarizes them into the
+// operator-facing table: p50/p95/p99 latency, sustained throughput, queue
+// depth, and replica utilization. Percentiles use the nearest-rank method on
+// the full latency population (no reservoir sampling — runs are bounded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsflow::serve {
+
+/// Point-in-time summary of a finished serve run.
+struct StatsSummary {
+  std::int64_t completed = 0;
+  std::int64_t batches = 0;
+  double horizon_s = 0.0;        // Last completion (or run duration).
+  double throughput_rps = 0.0;   // completed / horizon.
+  double offered_qps = 0.0;      // Arrival rate the run was driven at.
+
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  double mean_batch = 0.0;       // Average formed batch size.
+  double mean_queue_depth = 0.0; // Mean backlog sampled at batch starts.
+  std::int64_t max_queue_depth = 0;
+
+  std::vector<double> replica_utilization;  // Busy share per replica.
+};
+
+class ServeStats {
+ public:
+  explicit ServeStats(int replicas);
+
+  /// One request finished: latency = complete - arrival (virtual seconds).
+  void RecordRequest(double arrival_s, double complete_s);
+  /// One batch dispatched with `size` requests and the backlog it saw.
+  void RecordBatch(std::int64_t size, std::int64_t queue_depth);
+  /// Replica `index` was busy for `busy_s` more virtual seconds.
+  void RecordReplicaBusy(int index, double busy_s);
+
+  /// Nearest-rank percentile, p in [0, 100]. Exposed for tests.
+  static double Percentile(std::vector<double> values, double p);
+
+  StatsSummary Summarize(double offered_qps, double run_duration_s) const;
+
+  /// Render a summary as the operator-facing ASCII table.
+  static std::string ToTable(const StatsSummary& summary);
+
+  std::int64_t completed() const {
+    return static_cast<std::int64_t>(latencies_s_.size());
+  }
+
+ private:
+  std::vector<double> latencies_s_;
+  std::vector<double> arrivals_s_;
+  std::vector<double> completions_s_;
+  std::vector<std::int64_t> batch_sizes_;
+  std::vector<std::int64_t> depth_samples_;
+  std::vector<double> replica_busy_s_;
+};
+
+}  // namespace nsflow::serve

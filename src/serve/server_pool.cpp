@@ -1,0 +1,217 @@
+#include "serve/server_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+
+namespace nsflow::serve {
+
+bool SameServingDesign(const AcceleratorDesign& a,
+                       const AcceleratorDesign& b) {
+  // Every field the cycle model reads must participate: the memory sizing
+  // (cache capacity gates output-spill AXI traffic) as much as the array.
+  return a.array.height == b.array.height && a.array.width == b.array.width &&
+         a.array.count == b.array.count &&
+         a.sequential_mode == b.sequential_mode && a.nl == b.nl &&
+         a.nv == b.nv && a.simd_width == b.simd_width &&
+         a.clock_hz == b.clock_hz && a.dram_bandwidth == b.dram_bandwidth &&
+         a.memory.mem_a1_bytes == b.memory.mem_a1_bytes &&
+         a.memory.mem_a2_bytes == b.memory.mem_a2_bytes &&
+         a.memory.mem_b_bytes == b.memory.mem_b_bytes &&
+         a.memory.mem_c_bytes == b.memory.mem_c_bytes &&
+         a.memory.cache_bytes == b.memory.cache_bytes;
+}
+
+ServerPool::ServerPool(std::vector<AcceleratorDesign> designs,
+                       const DataflowGraph& dfg, int worker_threads)
+    : dfg_(&dfg), designs_(std::move(designs)) {
+  NSF_CHECK_MSG(!designs_.empty(), "a pool needs at least one replica");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  worker_threads_ =
+      worker_threads > 0 ? worker_threads : static_cast<int>(hw);
+
+  free_at_.assign(designs_.size(), 0.0);
+  kind_.reserve(designs_.size());
+  replicas_.reserve(designs_.size());
+  for (const auto& design : designs_) {
+    int kind = -1;
+    for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
+      if (SameServingDesign(distinct_designs_[k], design)) {
+        kind = static_cast<int>(k);
+        break;
+      }
+    }
+    if (kind < 0) {
+      kind = static_cast<int>(distinct_designs_.size());
+      distinct_designs_.push_back(design);
+    }
+    kind_.push_back(kind);
+    replicas_.push_back(
+        std::make_unique<runtime::Accelerator>(design, dfg));
+  }
+}
+
+const AcceleratorDesign& ServerPool::design(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return designs_[static_cast<std::size_t>(replica)];
+}
+
+runtime::Accelerator& ServerPool::replica(int index) {
+  NSF_CHECK(index >= 0 && index < size());
+  return *replicas_[static_cast<std::size_t>(index)];
+}
+
+double ServerPool::BatchSeconds(int replica, std::int64_t batch_size) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  NSF_CHECK_MSG(batch_size >= 1, "batch size must be positive");
+  const Key key{kind_[static_cast<std::size_t>(replica)], batch_size};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = latency_cache_.find(key);
+    if (it != latency_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Evaluate on a scratch deployment: the cycle model is a pure function of
+  // (design, dfg, batch size), and a private Accelerator keeps concurrent
+  // cache warming race-free without serializing the long-lived replicas.
+  runtime::Accelerator scratch(
+      distinct_designs_[static_cast<std::size_t>(key.kind)], *dfg_);
+  const double seconds =
+      scratch.RunWorkloadBatch(static_cast<int>(batch_size));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  latency_cache_.emplace(key, seconds);
+  return seconds;
+}
+
+void ServerPool::WarmLatencyCache(const std::vector<Batch>& batches) {
+  // Distinct (kind, size) work items: every replica kind must be able to
+  // serve every batch size that occurs.
+  std::set<std::int64_t> sizes;
+  for (const auto& batch : batches) {
+    sizes.insert(batch.size());
+  }
+  WarmSizes(sizes);
+}
+
+void ServerPool::WarmBatchSizes(std::int64_t max_batch) {
+  NSF_CHECK_MSG(max_batch >= 1, "max_batch must be positive");
+  std::set<std::int64_t> sizes;
+  for (std::int64_t s = 1; s <= max_batch; ++s) {
+    sizes.insert(s);
+  }
+  WarmSizes(sizes);
+}
+
+void ServerPool::WarmSizes(const std::set<std::int64_t>& sizes) {
+  std::vector<Key> work;
+  for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
+    for (const std::int64_t s : sizes) {
+      work.push_back(Key{static_cast<int>(k), s});
+    }
+  }
+  if (work.empty()) {
+    return;
+  }
+
+  // Representative replica per kind, for routing through BatchSeconds.
+  std::vector<int> kind_replica(distinct_designs_.size(), 0);
+  for (int r = 0; r < size(); ++r) {
+    kind_replica[static_cast<std::size_t>(kind_[static_cast<std::size_t>(r)])] =
+        r;
+  }
+
+  const int threads =
+      std::min<int>(worker_threads_, static_cast<int>(work.size()));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < work.size();
+           i = next.fetch_add(1)) {
+        BatchSeconds(kind_replica[static_cast<std::size_t>(work[i].kind)],
+                     work[i].batch_size);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}
+
+double ServerPool::EarliestFree() const {
+  return *std::min_element(free_at_.begin(), free_at_.end());
+}
+
+void ServerPool::ResetSchedule() {
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  dispatched_batches_ = 0;
+}
+
+DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
+                                    std::int64_t queue_depth) {
+  NSF_CHECK_MSG(batch.size() > 0, "cannot dispatch an empty batch");
+  // Earliest-available replica, ties to the lowest id.
+  int choice = 0;
+  for (int r = 1; r < size(); ++r) {
+    if (free_at_[static_cast<std::size_t>(r)] <
+        free_at_[static_cast<std::size_t>(choice)]) {
+      choice = r;
+    }
+  }
+  const double service = BatchSeconds(choice, batch.size());
+  DispatchRecord record;
+  record.batch_index = dispatched_batches_++;
+  record.replica = choice;
+  record.start_s =
+      std::max(batch.formed_s, free_at_[static_cast<std::size_t>(choice)]);
+  record.complete_s = record.start_s + service;
+  record.size = batch.size();
+  free_at_[static_cast<std::size_t>(choice)] = record.complete_s;
+
+  if (stats != nullptr) {
+    stats->RecordBatch(batch.size(), queue_depth);
+    stats->RecordReplicaBusy(choice, service);
+    for (const auto& request : batch.requests) {
+      stats->RecordRequest(request.arrival_s, record.complete_s);
+    }
+  }
+  return record;
+}
+
+std::vector<DispatchRecord> ServerPool::Dispatch(
+    const std::vector<Batch>& batches, ServeStats* stats) {
+  WarmLatencyCache(batches);
+  ResetSchedule();
+
+  // Backlog accounting: arrivals that have entered the system but whose
+  // batch has not yet started on a replica, sampled at each batch start.
+  std::vector<double> arrivals;
+  for (const auto& batch : batches) {
+    for (const auto& request : batch.requests) {
+      arrivals.push_back(request.arrival_s);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<DispatchRecord> records;
+  records.reserve(batches.size());
+  std::int64_t started = 0;  // Requests whose batch already started.
+  for (const Batch& batch : batches) {
+    // Start time is what Dispatch will compute: max(formed, earliest free).
+    const double start = std::max(batch.formed_s, EarliestFree());
+    const auto arrived = static_cast<std::int64_t>(
+        std::upper_bound(arrivals.begin(), arrivals.end(), start) -
+        arrivals.begin());
+    records.push_back(Dispatch(batch, stats, arrived - started));
+    started += batch.size();
+  }
+  return records;
+}
+
+}  // namespace nsflow::serve

@@ -1,0 +1,120 @@
+// ServerPool — N deployed accelerator replicas serving batches.
+//
+// The pool owns one `runtime::Accelerator` per replica. Replicas may share a
+// single `AcceleratorDesign` (homogeneous pool) or carry different designs
+// from the DSE pareto set (heterogeneous pool: a few large low-latency
+// replicas plus many small high-throughput ones).
+//
+// Dispatch splits into two concerns:
+//   1. A worker-thread pool evaluates the batched cycle model — one
+//      `RunWorkloadBatch` per distinct (design, batch size) pair, memoized —
+//      in parallel (`WarmBatchSizes` / `WarmLatencyCache`). This is the
+//      expensive part of a serve run.
+//   2. A deterministic schedule assigns each formed batch to the
+//      earliest-available replica, ties broken by the lowest replica id, and
+//      stamps per-request completion times on the virtual timeline. The
+//      engine interleaves this with batch forming so `EarliestFree()` can
+//      stretch the forming wait while every replica is busy.
+// Splitting model evaluation from assignment keeps results independent of
+// thread scheduling: same designs + same batch stream -> same dispatch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+#include "runtime/host_runtime.h"
+#include "serve/request.h"
+#include "serve/serve_stats.h"
+
+namespace nsflow::serve {
+
+/// Where one batch executed on the virtual timeline.
+struct DispatchRecord {
+  std::int64_t batch_index = 0;
+  int replica = 0;
+  double start_s = 0.0;     // max(batch formed, replica free).
+  double complete_s = 0.0;  // start + batched service time.
+  std::int64_t size = 0;
+};
+
+class ServerPool {
+ public:
+  /// One replica per design in `designs` (all referencing `dfg`, which must
+  /// outlive the pool). `worker_threads` == 0 picks the hardware
+  /// concurrency.
+  ServerPool(std::vector<AcceleratorDesign> designs, const DataflowGraph& dfg,
+             int worker_threads = 0);
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  const AcceleratorDesign& design(int replica) const;
+  runtime::Accelerator& replica(int index);
+
+  /// Batched service seconds for `batch_size` requests on `replica`
+  /// (memoized cycle-model evaluation).
+  double BatchSeconds(int replica, std::int64_t batch_size);
+
+  /// Pre-evaluate every (replica kind, batch size <= max_batch) pair on the
+  /// worker-thread pool, so later dispatches are pure cache hits.
+  void WarmBatchSizes(std::int64_t max_batch);
+
+  /// Earliest virtual time any replica is free (0 while one is idle) under
+  /// the current schedule — the batch former's wait-extension signal.
+  double EarliestFree() const;
+
+  /// Forget the schedule (all replicas free at t=0). Cached latencies keep.
+  void ResetSchedule();
+
+  /// Dispatch one formed batch to the earliest-available replica (ties to
+  /// the lowest id), advancing the schedule. Fills per-request latencies,
+  /// the batch/backlog sample (`queue_depth` is the caller-observed backlog
+  /// at dispatch), and replica busy time into `stats` when non-null.
+  DispatchRecord Dispatch(const Batch& batch, ServeStats* stats,
+                          std::int64_t queue_depth = 0);
+
+  /// Dispatch a whole batch stream (formation order) against a fresh
+  /// schedule, deriving backlog samples from the batches' own arrival
+  /// stamps. Deterministic for a fixed stream.
+  std::vector<DispatchRecord> Dispatch(const std::vector<Batch>& batches,
+                                       ServeStats* stats);
+
+ private:
+  /// Replicas sharing a design share cache entries; kind_[r] indexes the
+  /// distinct-design table.
+  struct Key {
+    int kind;
+    std::int64_t batch_size;
+    bool operator<(const Key& other) const {
+      return kind != other.kind ? kind < other.kind
+                                : batch_size < other.batch_size;
+    }
+  };
+
+  /// Evaluate every (kind, batch size) pair `batches` needs, in parallel.
+  void WarmLatencyCache(const std::vector<Batch>& batches);
+  /// Evaluate the given batch sizes for every kind, in parallel.
+  void WarmSizes(const std::set<std::int64_t>& sizes);
+
+  const DataflowGraph* dfg_;
+  std::vector<AcceleratorDesign> designs_;           // Per replica.
+  std::vector<int> kind_;                            // Per replica.
+  std::vector<AcceleratorDesign> distinct_designs_;  // Per kind.
+  std::vector<std::unique_ptr<runtime::Accelerator>> replicas_;
+  std::vector<double> free_at_;                      // Per replica schedule.
+  std::int64_t dispatched_batches_ = 0;
+  int worker_threads_;
+
+  std::mutex cache_mu_;
+  std::map<Key, double> latency_cache_;
+};
+
+/// Equality on the design fields that determine serving latency (used to
+/// deduplicate replica kinds).
+bool SameServingDesign(const AcceleratorDesign& a, const AcceleratorDesign& b);
+
+}  // namespace nsflow::serve

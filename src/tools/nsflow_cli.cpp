@@ -14,6 +14,14 @@
 //       (tx2 | nx | cpu | rtx2080 | coral | tpu-like | dpu) or on the
 //       NSFlow-generated design (default).
 //
+//   nsflow serve [trace.json] [--qps F] [--duration F] [--replicas N]
+//                [--max-batch N] [--max-wait-ms F] [--seed N] [--threads N]
+//                [--heterogeneous]
+//       Compile the workload (built-in NVSA when no trace is given), deploy
+//       a pool of accelerator replicas, drive it with an open-loop Poisson
+//       arrival trace, and print the ServeStats table (p50/p95/p99 latency,
+//       throughput, queue depth, per-replica utilization).
+//
 //   nsflow demo
 //       Compile the built-in NVSA workload and print a summary.
 #include <cstdio>
@@ -21,12 +29,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "fpga/device.h"
 #include "graph/trace.h"
 #include "model/device_zoo.h"
 #include "nsflow/framework.h"
+#include "serve/engine.h"
 #include "workloads/builders.h"
 
 namespace nsflow {
@@ -56,12 +66,15 @@ struct CliArgs {
   std::string out_dir = ".";
   std::string device = "nsflow";
   DseOptions dse;
+  serve::ServeOptions serve;
+  int replicas = 1;
+  bool heterogeneous = false;
 };
 
 CliArgs Parse(int argc, char** argv) {
   CliArgs args;
   if (argc < 2) {
-    throw Error("usage: nsflow <compile|estimate|demo> [args]");
+    throw Error("usage: nsflow <compile|estimate|serve|demo> [args]");
   }
   args.command = argv[1];
   int i = 2;
@@ -70,6 +83,9 @@ CliArgs Parse(int argc, char** argv) {
       throw Error(args.command + " needs a trace file argument");
     }
     args.trace_path = argv[i++];
+  }
+  if (args.command == "serve" && i < argc && argv[i][0] != '-') {
+    args.trace_path = argv[i++];  // Optional: defaults to built-in NVSA.
   }
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -89,6 +105,22 @@ CliArgs Parse(int argc, char** argv) {
       args.dse.enable_phase2 = false;
     } else if (flag == "--device") {
       args.device = next();
+    } else if (flag == "--qps") {
+      args.serve.qps = std::stod(next());
+    } else if (flag == "--duration") {
+      args.serve.duration_s = std::stod(next());
+    } else if (flag == "--replicas") {
+      args.replicas = static_cast<int>(std::stoll(next()));
+    } else if (flag == "--max-batch") {
+      args.serve.max_batch = std::stoll(next());
+    } else if (flag == "--max-wait-ms") {
+      args.serve.max_wait_s = std::stod(next()) * 1e-3;
+    } else if (flag == "--seed") {
+      args.serve.seed = static_cast<std::uint64_t>(std::stoull(next()));
+    } else if (flag == "--threads") {
+      args.serve.worker_threads = static_cast<int>(std::stoll(next()));
+    } else if (flag == "--heterogeneous") {
+      args.heterogeneous = true;
     } else {
       throw Error("unknown flag: " + flag);
     }
@@ -193,6 +225,61 @@ int RunEstimate(const CliArgs& args) {
   return 0;
 }
 
+int RunServe(const CliArgs& args) {
+  if (args.replicas < 1) {
+    throw Error("--replicas must be at least 1");
+  }
+  OperatorGraph graph = args.trace_path.empty()
+                            ? workloads::MakeNvsa()
+                            : ParseJsonTrace(ReadFile(args.trace_path));
+  const std::string workload_name = graph.workload_name();
+  CompileOptions options;
+  options.dse = args.dse;
+  const Compiler compiler(options);
+  const CompiledDesign compiled = compiler.Compile(std::move(graph));
+
+  // Homogeneous pool: N copies of the DSE winner. Heterogeneous pool: walk
+  // the (PEs, latency) pareto frontier so big low-latency replicas coexist
+  // with small area-efficient ones.
+  std::vector<AcceleratorDesign> designs;
+  if (args.heterogeneous) {
+    // Mirror Compiler::Compile's option adjustment so the frontier designs
+    // are provisioned for the same resident dictionaries as the compiled
+    // design.
+    DseOptions pareto_options = args.dse;
+    pareto_options.dictionary_bytes = options.dictionary_bytes;
+    const auto frontier =
+        ParetoDesigns(*compiled.dataflow, pareto_options, args.replicas);
+    for (int r = 0; r < args.replicas; ++r) {
+      designs.push_back(
+          frontier[static_cast<std::size_t>(r) % frontier.size()].design);
+    }
+  } else {
+    designs.assign(static_cast<std::size_t>(args.replicas),
+                   compiled.design());
+  }
+
+  std::printf(
+      "NSFlow-Serve — workload '%s', %d replica(s)%s, max batch %lld, "
+      "max wait %.2f ms\n",
+      workload_name.c_str(), args.replicas,
+      args.heterogeneous ? " (heterogeneous pareto pool)" : "",
+      static_cast<long long>(args.serve.max_batch),
+      args.serve.max_wait_s * 1e3);
+  std::printf("Open-loop trace: %.1f qps for %.2f s (seed %llu)\n\n",
+              args.serve.qps, args.serve.duration_s,
+              static_cast<unsigned long long>(args.serve.seed));
+
+  const serve::ServeReport report =
+      serve::RunSyntheticServe(*compiled.dataflow, designs, args.serve);
+  std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
+  std::printf(
+      "Single-request baseline: %.3f ms -> %.1f rps per unbatched replica\n",
+      report.single_request_s * 1e3,
+      report.single_request_s > 0.0 ? 1.0 / report.single_request_s : 0.0);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const CliArgs args = Parse(argc, argv);
   if (args.command == "compile") {
@@ -200,6 +287,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "estimate") {
     return RunEstimate(args);
+  }
+  if (args.command == "serve") {
+    return RunServe(args);
   }
   if (args.command == "demo") {
     CliArgs demo_args = args;

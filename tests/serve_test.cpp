@@ -1,0 +1,334 @@
+// Tests for NSFlow-Serve: batch forming, queue FIFO semantics, stat
+// percentiles, batched cycle accounting, and multi-replica dispatch
+// determinism under a fixed RNG seed.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "dse/dse.h"
+#include "nsflow/framework.h"
+#include "runtime/host_runtime.h"
+#include "serve/batch_former.h"
+#include "serve/engine.h"
+#include "serve/request_queue.h"
+#include "serve/serve_stats.h"
+#include "serve/server_pool.h"
+#include "workloads/builders.h"
+
+namespace nsflow::serve {
+namespace {
+
+Request At(std::int64_t id, double arrival_s) { return Request{id, arrival_s}; }
+
+// ---------------------------------------------------------------- former
+
+TEST(BatchFormerTest, ClosesAtMaxBatchSize) {
+  BatchFormer former(BatchPolicy{3, 1.0});
+  EXPECT_FALSE(former.Add(At(0, 0.00)).has_value());
+  EXPECT_FALSE(former.Add(At(1, 0.01)).has_value());
+  const auto batch = former.Add(At(2, 0.02));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 3);
+  EXPECT_DOUBLE_EQ(batch->formed_s, 0.02);  // Closed by the last arrival.
+  EXPECT_EQ(former.pending(), 0);
+}
+
+TEST(BatchFormerTest, ClosesAtMaxWaitDeadline) {
+  BatchFormer former(BatchPolicy{8, 0.005});
+  EXPECT_FALSE(former.Add(At(0, 0.000)).has_value());
+  EXPECT_FALSE(former.Add(At(1, 0.001)).has_value());
+  // Arrival after the oldest request's deadline closes the pending batch at
+  // the deadline, not at the new arrival.
+  const auto batch = former.Add(At(2, 0.050));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 2);
+  EXPECT_DOUBLE_EQ(batch->formed_s, 0.005);
+  // The late request seeds the next batch.
+  EXPECT_EQ(former.pending(), 1);
+}
+
+TEST(BatchFormerTest, PreservesFifoOrderWithinBatch) {
+  BatchFormer former(BatchPolicy{4, 1.0});
+  former.Add(At(10, 0.0));
+  former.Add(At(11, 0.1));
+  former.Add(At(12, 0.2));
+  const auto batch = former.Add(At(13, 0.3));
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->size(), 4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch->requests[static_cast<std::size_t>(i)].id, 10 + i);
+  }
+}
+
+TEST(BatchFormerTest, BusyPoolStretchesWaitDeadline) {
+  BatchFormer former(BatchPolicy{8, 0.005});
+  former.Add(At(0, 0.000));
+  // Every replica is busy until t=0.100: arrivals past the nominal 5 ms
+  // deadline keep accumulating instead of closing a tiny batch.
+  EXPECT_FALSE(former.Add(At(1, 0.020), /*busy_until=*/0.100).has_value());
+  EXPECT_FALSE(former.Add(At(2, 0.050), /*busy_until=*/0.100).has_value());
+  // First arrival past the busy horizon closes the batch at that horizon.
+  const auto batch = former.Add(At(3, 0.120), /*busy_until=*/0.100);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 3);
+  EXPECT_DOUBLE_EQ(batch->formed_s, 0.100);
+  EXPECT_EQ(former.pending(), 1);
+}
+
+TEST(BatchFormerTest, FlushDrainsTail) {
+  BatchFormer former(BatchPolicy{8, 0.005});
+  former.Add(At(0, 0.100));
+  former.Add(At(1, 0.101));
+  const auto tail = former.Flush(1.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 2);
+  // Flush clamps to the wait deadline of the oldest request.
+  EXPECT_DOUBLE_EQ(tail->formed_s, 0.105);
+  EXPECT_FALSE(former.Flush(2.0).has_value());
+}
+
+// ----------------------------------------------------------------- queue
+
+TEST(RequestQueueTest, FifoAcrossThreads) {
+  RequestQueue queue;
+  constexpr int kCount = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      queue.Push(At(i, 1e-3 * i));
+    }
+    queue.Close();
+  });
+  std::int64_t expected = 0;
+  while (auto request = queue.Pop()) {
+    EXPECT_EQ(request->id, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+  EXPECT_TRUE(queue.closed());
+  EXPECT_GE(queue.max_depth(), 1u);
+}
+
+TEST(RequestQueueTest, PushAfterCloseIsDropped) {
+  RequestQueue queue;
+  queue.Push(At(0, 0.0));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(At(1, 0.1)));
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // Closed and drained.
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(ServeStatsTest, NearestRankPercentiles) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile(values, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile(values, 95.0), 95.0);
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile(values, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile(values, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile({5.0}, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(ServeStats::Percentile({}, 50.0), 0.0);
+}
+
+TEST(ServeStatsTest, SummarizesLatencyAndUtilization) {
+  ServeStats stats(2);
+  stats.RecordRequest(0.0, 0.010);
+  stats.RecordRequest(0.0, 0.020);
+  stats.RecordRequest(0.0, 0.030);
+  stats.RecordRequest(0.0, 0.040);
+  stats.RecordBatch(4, 6);
+  stats.RecordReplicaBusy(0, 0.02);
+  stats.RecordReplicaBusy(1, 0.01);
+
+  const StatsSummary s = stats.Summarize(100.0, 0.04);
+  EXPECT_EQ(s.completed, 4);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 20.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 40.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 25.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_batch, 4.0);
+  EXPECT_EQ(s.max_queue_depth, 6);
+  ASSERT_EQ(s.replica_utilization.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.replica_utilization[0], 0.5);
+  EXPECT_DOUBLE_EQ(s.replica_utilization[1], 0.25);
+  // The rendered table mentions the headline metrics.
+  const std::string table = ServeStats::ToTable(s);
+  EXPECT_NE(table.find("latency p99"), std::string::npos);
+  EXPECT_NE(table.find("throughput"), std::string::npos);
+}
+
+// ------------------------------------------------------- batched kernels
+
+struct Deployed {
+  std::unique_ptr<OperatorGraph> graph;
+  std::unique_ptr<DataflowGraph> dfg;
+  DseResult dse;
+};
+
+Deployed CompileNvsa() {
+  Deployed d;
+  d.graph = std::make_unique<OperatorGraph>(workloads::MakeNvsa());
+  d.dfg = std::make_unique<DataflowGraph>(*d.graph);
+  d.dse = RunTwoPhaseDse(*d.dfg, {});
+  return d;
+}
+
+TEST(BatchedKernelTest, GemmBatchMatchesGoldenAndAmortizesCycles) {
+  const Deployed d = CompileNvsa();
+  runtime::Accelerator accel(d.dse.design, *d.dfg);
+  Rng rng(3);
+  Tensor b({12, 6});
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = static_cast<float>(rng.Gaussian());
+  }
+  std::vector<Tensor> as;
+  for (int r = 0; r < 4; ++r) {
+    Tensor a({5, 12});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a.at(i) = static_cast<float>(rng.Gaussian());
+    }
+    as.push_back(std::move(a));
+  }
+
+  const runtime::BatchedKernelRun batched = accel.RunGemmBatched(as, b);
+  ASSERT_EQ(batched.outputs.size(), 4u);
+  for (std::size_t r = 0; r < as.size(); ++r) {
+    const Tensor golden = MatMul(as[r], b);
+    ASSERT_EQ(batched.outputs[r].numel(), golden.numel());
+    for (std::int64_t i = 0; i < golden.numel(); ++i) {
+      EXPECT_NEAR(batched.outputs[r].at(i), golden.at(i), 1e-3);
+    }
+  }
+
+  // One batched launch is cheaper than four singles (shared pipeline fill).
+  runtime::Accelerator solo(d.dse.design, *d.dfg);
+  double single_cycles = 0.0;
+  for (const auto& a : as) {
+    single_cycles += solo.RunGemm(a, b).device_cycles;
+  }
+  EXPECT_GT(batched.device_cycles, 0.0);
+  EXPECT_LT(batched.device_cycles, single_cycles);
+}
+
+TEST(BatchedKernelTest, WorkloadBatchAmortizesWeightTraffic) {
+  const Deployed d = CompileNvsa();
+  runtime::Accelerator accel(d.dse.design, *d.dfg);
+  const double single = accel.RunWorkloadBatch(1);
+  EXPECT_DOUBLE_EQ(single, accel.RunWorkload());
+  const double batch4 = accel.RunWorkloadBatch(4);
+  const double batch8 = accel.RunWorkloadBatch(8);
+  // Batching amortizes: total grows with batch size but stays below the
+  // pay-per-request total, and the marginal request is cheaper than the
+  // first (which carries the pipeline fill and the weight load).
+  EXPECT_GT(batch4, single);
+  EXPECT_GT(batch8, batch4);
+  EXPECT_LT(batch4, 4.0 * single);
+  EXPECT_LT(batch8, 8.0 * single);
+  EXPECT_LT(batch8 - batch4, 4.0 * single);
+}
+
+// -------------------------------------------------------------- dispatch
+
+std::vector<AcceleratorDesign> Pool(const Deployed& d, int replicas) {
+  return std::vector<AcceleratorDesign>(static_cast<std::size_t>(replicas),
+                                        d.dse.design);
+}
+
+TEST(ServerPoolTest, DispatchIsDeterministicUnderFixedSeed) {
+  const Deployed d = CompileNvsa();
+  ServeOptions options;
+  options.qps = 150.0;
+  options.duration_s = 0.5;
+  options.max_batch = 8;
+  options.seed = 1234;
+
+  const ServeReport first = RunSyntheticServe(*d.dfg, Pool(d, 4), options);
+  const ServeReport second = RunSyntheticServe(*d.dfg, Pool(d, 4), options);
+
+  ASSERT_EQ(first.dispatches.size(), second.dispatches.size());
+  for (std::size_t i = 0; i < first.dispatches.size(); ++i) {
+    EXPECT_EQ(first.dispatches[i].replica, second.dispatches[i].replica);
+    EXPECT_DOUBLE_EQ(first.dispatches[i].start_s,
+                     second.dispatches[i].start_s);
+    EXPECT_DOUBLE_EQ(first.dispatches[i].complete_s,
+                     second.dispatches[i].complete_s);
+    EXPECT_EQ(first.dispatches[i].size, second.dispatches[i].size);
+  }
+  EXPECT_DOUBLE_EQ(first.summary.p99_ms, second.summary.p99_ms);
+  EXPECT_DOUBLE_EQ(first.summary.throughput_rps,
+                   second.summary.throughput_rps);
+
+  // A different seed produces a different arrival trace.
+  options.seed = 99;
+  const ServeReport other = RunSyntheticServe(*d.dfg, Pool(d, 4), options);
+  EXPECT_NE(other.generated_requests, 0);
+  EXPECT_NE(other.summary.p99_ms, first.summary.p99_ms);
+}
+
+TEST(ServerPoolTest, EarliestAvailableDispatchBalancesReplicas) {
+  const Deployed d = CompileNvsa();
+  // Four equal batches, all formed at t=0: each replica must take exactly
+  // one (earliest-available with lowest-id tie-break = round robin here).
+  std::vector<Batch> batches(4);
+  for (int b = 0; b < 4; ++b) {
+    batches[static_cast<std::size_t>(b)].formed_s = 0.0;
+    batches[static_cast<std::size_t>(b)].requests = {At(b, 0.0)};
+  }
+  ServerPool pool(Pool(d, 4), *d.dfg);
+  ServeStats stats(pool.size());
+  const auto records = pool.Dispatch(batches, &stats);
+  ASSERT_EQ(records.size(), 4u);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(records[static_cast<std::size_t>(b)].replica, b);
+    EXPECT_DOUBLE_EQ(records[static_cast<std::size_t>(b)].start_s, 0.0);
+  }
+}
+
+TEST(ServerPoolTest, ReplicationScalesSaturatedThroughput) {
+  const Deployed d = CompileNvsa();
+  ServeOptions options;
+  options.duration_s = 1.0;
+  options.max_batch = 8;
+  options.seed = 42;
+  // Saturating load for even the largest pool.
+  options.qps = 800.0;
+
+  const double one =
+      RunSyntheticServe(*d.dfg, Pool(d, 1), options).summary.throughput_rps;
+  const double four =
+      RunSyntheticServe(*d.dfg, Pool(d, 4), options).summary.throughput_rps;
+  EXPECT_GT(one, 0.0);
+  // Acceptance bar: 4 replicas at saturation >= 2x the single-replica
+  // baseline (in practice close to 4x).
+  EXPECT_GE(four, 2.0 * one);
+}
+
+TEST(ServerPoolTest, HeterogeneousParetoPoolServes) {
+  const Deployed d = CompileNvsa();
+  const auto frontier = ParetoDesigns(*d.dfg, DseOptions{}, 3);
+  ASSERT_GE(frontier.size(), 1u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    // Largest budget first, strictly shrinking area along the frontier.
+    EXPECT_LT(frontier[i].pes, frontier[i - 1].pes);
+  }
+
+  std::vector<AcceleratorDesign> designs;
+  for (int r = 0; r < 3; ++r) {
+    designs.push_back(frontier[static_cast<std::size_t>(r) % frontier.size()]
+                          .design);
+  }
+  ServeOptions options;
+  options.qps = 120.0;
+  options.duration_s = 0.5;
+  options.seed = 5;
+  const ServeReport report = RunSyntheticServe(*d.dfg, designs, options);
+  EXPECT_EQ(report.summary.completed, report.generated_requests);
+  EXPECT_GT(report.summary.throughput_rps, 0.0);
+  ASSERT_EQ(report.summary.replica_utilization.size(), 3u);
+}
+
+}  // namespace
+}  // namespace nsflow::serve

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/trace.h"
+#include "workloads/builders.h"
 
 namespace nsflow {
 namespace {
@@ -78,6 +79,44 @@ TEST(TextTraceTest, ParsesListingOneSnippet) {
   EXPECT_EQ(graph.node(mul.inputs[1]).name, "clamp_1");
 }
 
+TEST(TextTraceTest, ToleratesCrlfLineEndings) {
+  // The same trace emitted by a Windows toolchain: CRLF line endings plus
+  // trailing blank lines (both CRLF and bare LF).
+  const std::string trace =
+      "graph():\r\n"
+      "    %inv_binding_circular_1[1,4,256] : "
+      "call_function[nvsa.inv_binding_circular](args = (%vec_0[1,4,256], "
+      "%vec_1[1,4,256]))\r\n"
+      "    %match_prob_1[1] : call_function[nvsa.match_prob](args = "
+      "(%inv_binding_circular_1[1,4,256], %vec_2[1,4,256]))\r\n"
+      "\r\n"
+      "   \r\n"
+      "\n"
+      "\n";
+  const OperatorGraph graph = ParseTextTrace(trace);
+  // 3 implicit inputs (vec_0..vec_2) + 2 ops.
+  EXPECT_EQ(graph.size(), 5);
+  const auto unbind_id = graph.FindByName("inv_binding_circular_1");
+  ASSERT_TRUE(unbind_id.has_value());
+  EXPECT_EQ(graph.node(*unbind_id).kind, OpKind::kCircularUnbind);
+
+  // Byte-identical content modulo line endings parses identically.
+  std::string lf_trace = trace;
+  std::string no_cr;
+  for (const char c : lf_trace) {
+    if (c != '\r') {
+      no_cr.push_back(c);
+    }
+  }
+  const OperatorGraph lf_graph = ParseTextTrace(no_cr);
+  ASSERT_EQ(lf_graph.size(), graph.size());
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    EXPECT_EQ(lf_graph.node(id).name, graph.node(id).name);
+    EXPECT_EQ(lf_graph.node(id).kind, graph.node(id).kind);
+    EXPECT_EQ(lf_graph.node(id).inputs, graph.node(id).inputs);
+  }
+}
+
 TEST(TextTraceTest, ConvShapeHeuristics) {
   const std::string trace =
       "%conv2d_1[16,64,80,80] : call_module[conv2d](args = "
@@ -140,6 +179,34 @@ TEST(JsonTraceTest, RoundTripsThroughEmit) {
     EXPECT_EQ(parsed.node(id).gemm, graph.node(id).gemm);
     EXPECT_EQ(parsed.node(id).vsa, graph.node(id).vsa);
     EXPECT_DOUBLE_EQ(parsed.node(id).weight_bytes, graph.node(id).weight_bytes);
+  }
+}
+
+TEST(JsonTraceTest, RoundTripsFullWorkloads) {
+  // Every Table-I workload builder survives emit -> parse with ops, kernel
+  // shapes, edges, and footprints intact.
+  const OperatorGraph workloads[] = {
+      workloads::MakeNvsa(), workloads::MakeMimonet(), workloads::MakeLvrf(),
+      workloads::MakePrae()};
+  for (const OperatorGraph& graph : workloads) {
+    const OperatorGraph parsed = ParseJsonTrace(EmitJsonTrace(graph));
+    EXPECT_EQ(parsed.workload_name(), graph.workload_name());
+    EXPECT_EQ(parsed.loop_count(), graph.loop_count());
+    ASSERT_EQ(parsed.size(), graph.size()) << graph.workload_name();
+    for (NodeId id = 0; id < graph.size(); ++id) {
+      const OpNode& want = graph.node(id);
+      const OpNode& got = parsed.node(id);
+      EXPECT_EQ(got.name, want.name);
+      EXPECT_EQ(got.kind, want.kind);
+      EXPECT_EQ(got.inputs, want.inputs);
+      EXPECT_EQ(got.gemm, want.gemm);
+      EXPECT_EQ(got.vsa, want.vsa);
+      EXPECT_EQ(got.elem_count, want.elem_count);
+      EXPECT_DOUBLE_EQ(got.weight_bytes, want.weight_bytes);
+      EXPECT_DOUBLE_EQ(got.activation_bytes, want.activation_bytes);
+      EXPECT_DOUBLE_EQ(got.output_bytes, want.output_bytes);
+    }
+    EXPECT_DOUBLE_EQ(parsed.TotalFlops(), graph.TotalFlops());
   }
 }
 
