@@ -1,0 +1,81 @@
+// NSFlow-Serve multi-tenant sweep: workload mix x replica partitioning.
+//
+// Serves three compiled workloads (mlp, resnet18, nvsa) from one pool and
+// sweeps (a) the QPS mix between them and (b) how the replicas are carved
+// up: a shared pool where every replica serves every workload vs. a
+// partitioned pool where replica r is dedicated to workload r % W. Reports
+// total throughput plus per-workload p50/p99 at every point.
+//
+// Reading: sharing wins when the mix is skewed (idle dedicated replicas are
+// wasted capacity), partitioning wins isolation — a heavy tenant cannot
+// inflate a light tenant's tail latency by occupying its replicas.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "serve/engine.h"
+#include "serve/workload_registry.h"
+
+int main() {
+  using namespace nsflow;
+  std::printf(
+      "=== NSFlow-Serve: multi-tenant sweep (mix x partitioning) ===\n\n");
+
+  serve::WorkloadRegistry registry;
+  for (const char* name : {"mlp", "resnet18", "nvsa"}) {
+    registry.RegisterBuiltin(name);
+  }
+  std::printf("Registered %d workloads (%lld frontend compiles, %lld cache "
+              "hits)\n\n",
+              registry.size(),
+              static_cast<long long>(registry.cache().misses()),
+              static_cast<long long>(registry.cache().hits()));
+
+  constexpr int kReplicas = 4;
+  const auto pool_for = [&](bool partitioned) {
+    return registry.ReplicaSpecs(kReplicas, partitioned);
+  };
+
+  struct MixPoint {
+    const char* label;
+    std::vector<serve::WorkloadShare> mix;
+  };
+  const std::vector<MixPoint> mixes = {
+      {"uniform", {{"mlp", 1.0}, {"resnet18", 1.0}, {"nvsa", 1.0}}},
+      {"mlp-heavy", {{"mlp", 0.8}, {"resnet18", 0.1}, {"nvsa", 0.1}}},
+      {"nvsa-heavy", {{"mlp", 0.1}, {"resnet18", 0.1}, {"nvsa", 0.8}}},
+      {"paper-mix", {{"mlp", 0.6}, {"resnet18", 0.3}, {"nvsa", 0.1}}},
+  };
+
+  serve::ServeOptions options;
+  options.qps = 300.0;
+  options.duration_s = 1.0;
+  options.max_batch = 8;
+  options.max_wait_s = 10e-3;
+  options.seed = 7;
+
+  TablePrinter table({"mix", "pool", "throughput (rps)", "p99 (ms)",
+                      "mlp p50/p99", "resnet18 p50/p99", "nvsa p50/p99"});
+  const auto cell = [](const serve::WorkloadSummary& w) {
+    return TablePrinter::Num(w.p50_ms, 1) + "/" +
+           TablePrinter::Num(w.p99_ms, 1);
+  };
+  for (const MixPoint& point : mixes) {
+    for (const bool partitioned : {false, true}) {
+      const serve::ServeReport report = serve::RunSyntheticServe(
+          registry, pool_for(partitioned), point.mix, options);
+      const auto& s = report.summary;
+      table.AddRow({point.label, partitioned ? "partitioned" : "shared",
+                    TablePrinter::Num(s.throughput_rps, 1),
+                    TablePrinter::Num(s.p99_ms, 1), cell(s.per_workload[0]),
+                    cell(s.per_workload[1]), cell(s.per_workload[2])});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: shared pools absorb skewed mixes (no replica idles), while\n"
+      "partitioned pools isolate each tenant's tail latency from the "
+      "others' load.\n");
+  return 0;
+}

@@ -59,4 +59,121 @@ double BatchFormer::Deadline() const {
   return pending_.front().arrival_s + policy_.max_wait_s;
 }
 
+// ---------------------------------------------------------------------------
+// MultiBatchFormer
+
+MultiBatchFormer::MultiBatchFormer(BatchPolicy policy, int workloads)
+    : policy_(policy) {
+  NSF_CHECK_MSG(policy_.max_batch >= 1, "max_batch must be positive");
+  NSF_CHECK_MSG(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+  NSF_CHECK_MSG(workloads >= 1, "need at least one workload lane");
+  lanes_.resize(static_cast<std::size_t>(workloads));
+}
+
+Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s) {
+  auto& lane = lanes_[static_cast<std::size_t>(w)];
+  Batch batch;
+  batch.requests = std::move(lane);
+  batch.formed_s = formed_s;
+  batch.workload = w;
+  lane.clear();
+  return batch;
+}
+
+std::vector<WorkloadId> MultiBatchFormer::ExpiredLanes(
+    double now, const std::vector<double>& busy_until) const {
+  std::vector<WorkloadId> expired;
+  for (int w = 0; w < workloads(); ++w) {
+    const auto& lane = lanes_[static_cast<std::size_t>(w)];
+    if (lane.empty()) {
+      continue;
+    }
+    const double busy = static_cast<std::size_t>(w) < busy_until.size()
+                            ? busy_until[static_cast<std::size_t>(w)]
+                            : 0.0;
+    if (now >= std::max(Deadline(w), busy)) {
+      expired.push_back(w);
+    }
+  }
+  // Oldest head-of-line first; workload id breaks exact ties.
+  std::sort(expired.begin(), expired.end(),
+            [this](WorkloadId a, WorkloadId b) {
+              const double ha = lanes_[static_cast<std::size_t>(a)].front()
+                                    .arrival_s;
+              const double hb = lanes_[static_cast<std::size_t>(b)].front()
+                                    .arrival_s;
+              return ha != hb ? ha < hb : a < b;
+            });
+  return expired;
+}
+
+std::vector<Batch> MultiBatchFormer::Add(
+    const Request& request, const std::vector<double>& busy_until) {
+  NSF_CHECK_MSG(request.workload >= 0 && request.workload < workloads(),
+                "request targets an unregistered workload lane");
+  std::vector<Batch> closed;
+  // This arrival proves virtual time reached `request.arrival_s`: every lane
+  // whose effective deadline (stretched to its busy horizon) has passed
+  // closes at that deadline, not at the arrival — a lull in one workload's
+  // traffic must not delay another workload's formed batch.
+  for (const WorkloadId w : ExpiredLanes(request.arrival_s, busy_until)) {
+    const double busy = static_cast<std::size_t>(w) < busy_until.size()
+                            ? busy_until[static_cast<std::size_t>(w)]
+                            : 0.0;
+    closed.push_back(CloseLane(w, std::max(Deadline(w), busy)));
+  }
+  auto& lane = lanes_[static_cast<std::size_t>(request.workload)];
+  lane.push_back(request);
+  if (static_cast<std::int64_t>(lane.size()) >= policy_.max_batch) {
+    closed.push_back(CloseLane(request.workload, request.arrival_s));
+  }
+  return closed;
+}
+
+std::vector<Batch> MultiBatchFormer::Flush(double now) {
+  std::vector<WorkloadId> order;
+  for (int w = 0; w < workloads(); ++w) {
+    if (!lanes_[static_cast<std::size_t>(w)].empty()) {
+      order.push_back(w);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](WorkloadId a, WorkloadId b) {
+    const double ha = lanes_[static_cast<std::size_t>(a)].front().arrival_s;
+    const double hb = lanes_[static_cast<std::size_t>(b)].front().arrival_s;
+    return ha != hb ? ha < hb : a < b;
+  });
+  std::vector<Batch> closed;
+  for (const WorkloadId w : order) {
+    // Same clamp as BatchFormer::Flush: no later than the lane's deadline,
+    // no earlier than its newest pending arrival.
+    const double formed =
+        std::max(lanes_[static_cast<std::size_t>(w)].back().arrival_s,
+                 std::min(now, Deadline(w)));
+    closed.push_back(CloseLane(w, formed));
+  }
+  return closed;
+}
+
+double MultiBatchFormer::Deadline(WorkloadId w) const {
+  NSF_CHECK(w >= 0 && w < workloads());
+  const auto& lane = lanes_[static_cast<std::size_t>(w)];
+  if (lane.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return lane.front().arrival_s + policy_.max_wait_s;
+}
+
+std::int64_t MultiBatchFormer::pending(WorkloadId w) const {
+  NSF_CHECK(w >= 0 && w < workloads());
+  return static_cast<std::int64_t>(lanes_[static_cast<std::size_t>(w)].size());
+}
+
+std::int64_t MultiBatchFormer::total_pending() const {
+  std::int64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += static_cast<std::int64_t>(lane.size());
+  }
+  return total;
+}
+
 }  // namespace nsflow::serve

@@ -58,4 +58,48 @@ class BatchFormer {
   std::vector<Request> pending_;
 };
 
+/// Multi-tenant generalization of the BatchFormer: one pending lane per
+/// workload, identical close policy per lane, and a global notion of virtual
+/// time — *any* arrival can prove that another workload's pending batch
+/// passed its deadline and close it. Batches never mix workloads.
+///
+/// Fairness: when several lanes are past their deadlines at the same
+/// arrival, they close oldest head-of-line first (the lane whose oldest
+/// pending request arrived earliest; ties to the lowest workload id), so a
+/// high-rate workload cannot starve a trickle workload's formed batches.
+class MultiBatchFormer {
+ public:
+  /// `workloads` lanes, all sharing `policy`.
+  MultiBatchFormer(BatchPolicy policy, int workloads);
+
+  /// Feed the next request (global arrival order). `busy_until[w]` is the
+  /// earliest virtual time a replica able to serve workload `w` frees up
+  /// (0 when one is already idle); like the single-workload former, a
+  /// lane's wait deadline stretches to its busy horizon. Returns every
+  /// batch this arrival closed, in fairness order.
+  std::vector<Batch> Add(const Request& request,
+                         const std::vector<double>& busy_until);
+
+  /// Close all pending lanes at `now` (stream drained), fairness order.
+  std::vector<Batch> Flush(double now);
+
+  /// Virtual deadline of workload `w`'s pending batch (+inf when empty).
+  double Deadline(WorkloadId w) const;
+
+  std::int64_t pending(WorkloadId w) const;
+  std::int64_t total_pending() const;
+  int workloads() const { return static_cast<int>(lanes_.size()); }
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  Batch CloseLane(WorkloadId w, double formed_s);
+  /// Lanes past their effective deadline at time `now`, fairness-ordered.
+  std::vector<WorkloadId> ExpiredLanes(double now,
+                                       const std::vector<double>& busy_until)
+      const;
+
+  BatchPolicy policy_;
+  std::vector<std::vector<Request>> lanes_;  // Pending, one lane/workload.
+};
+
 }  // namespace nsflow::serve

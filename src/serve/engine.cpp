@@ -13,8 +13,21 @@
 namespace nsflow::serve {
 
 std::vector<Request> SyntheticArrivals(const ServeOptions& options) {
+  return SyntheticArrivals(options, {1.0});
+}
+
+std::vector<Request> SyntheticArrivals(const ServeOptions& options,
+                                       const std::vector<double>& shares) {
   NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
   NSF_CHECK_MSG(options.duration_s > 0.0, "duration must be positive");
+  NSF_CHECK_MSG(!shares.empty(), "need at least one workload share");
+  double total_share = 0.0;
+  for (const double share : shares) {
+    NSF_CHECK_MSG(share >= 0.0, "workload shares must be non-negative");
+    total_share += share;
+  }
+  NSF_CHECK_MSG(total_share > 0.0, "at least one share must be positive");
+
   Rng rng(options.seed);
   std::vector<Request> arrivals;
   double now = 0.0;
@@ -25,16 +38,76 @@ std::vector<Request> SyntheticArrivals(const ServeOptions& options) {
     if (now >= options.duration_s) {
       break;
     }
-    arrivals.push_back(Request{next_id++, now});
+    // The workload draw shares the RNG stream with the inter-arrival draw,
+    // so one seed pins the entire (time, workload) trace. FP rounding can
+    // leave `pick` non-negative after subtracting every share, so the
+    // fallback is the *last positive-share* workload — never a zero-share
+    // tenant.
+    WorkloadId workload = 0;
+    if (shares.size() > 1) {
+      for (std::size_t w = shares.size(); w-- > 0;) {
+        if (shares[w] > 0.0) {
+          workload = static_cast<WorkloadId>(w);
+          break;
+        }
+      }
+      double pick = rng.Uniform() * total_share;
+      for (std::size_t w = 0; w < shares.size(); ++w) {
+        pick -= shares[w];
+        if (pick < 0.0) {
+          workload = static_cast<WorkloadId>(w);
+          break;
+        }
+      }
+    }
+    arrivals.push_back(Request{next_id++, now, workload});
   }
   return arrivals;
 }
 
-ServeReport RunSyntheticServe(const DataflowGraph& dfg,
-                              const std::vector<AcceleratorDesign>& designs,
-                              const ServeOptions& options) {
+std::vector<WorkloadShare> ParseMix(const std::string& spec) {
+  std::vector<WorkloadShare> mix;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (entry.empty() || eq == std::string::npos || eq == 0) {
+      throw Error("bad mix entry '" + entry +
+                  "' (expected name=share, e.g. mlp=0.6)");
+    }
+    WorkloadShare share;
+    share.workload = entry.substr(0, eq);
+    try {
+      share.share = std::stod(entry.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw Error("bad mix share in '" + entry + "'");
+    }
+    if (share.share <= 0.0) {
+      throw Error("mix share for '" + share.workload + "' must be positive");
+    }
+    mix.push_back(std::move(share));
+    start = end + 1;
+  }
+  if (mix.empty()) {
+    throw Error("empty workload mix");
+  }
+  return mix;
+}
+
+namespace {
+
+/// Shared forming + dispatch loop: stream `arrivals` through the queue into
+/// the multi-workload former, sending every closed batch to the earliest
+/// capable replica. Works unchanged for the single-workload path (one lane,
+/// every replica capable).
+ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
+                        const std::vector<Request>& arrivals,
+                        const ServeOptions& options) {
   NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
-  const std::vector<Request> arrivals = SyntheticArrivals(options);
 
   // Producer thread feeds the queue in arrival order; the consumer below
   // drains it into the batch former. FIFO + virtual timestamps keep the
@@ -49,21 +122,35 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
     queue.Close();
   });
 
-  ServerPool pool(designs, dfg, options.worker_threads);
-  pool.WarmBatchSizes(options.max_batch);  // Parallel cycle-model warm-up.
-  ServeStats stats(pool.size());
+  // Parallel cycle-model warm-up, restricted to workloads that actually
+  // have traffic — idle tenants stay lazily memoized (their unbatched
+  // baseline below is the only evaluation they pay).
+  std::vector<bool> active(static_cast<std::size_t>(pool.workloads()), false);
+  for (const Request& request : arrivals) {
+    active[static_cast<std::size_t>(request.workload)] = true;
+  }
+  std::vector<WorkloadId> active_ids;
+  for (int w = 0; w < pool.workloads(); ++w) {
+    if (active[static_cast<std::size_t>(w)]) {
+      active_ids.push_back(w);
+    }
+  }
+  pool.WarmBatchSizes(options.max_batch, active_ids);
 
   // Integrated forming + dispatch: each closed batch goes straight to the
-  // earliest-available replica, and the pool's availability feeds back into
-  // the former so batches grow from backlog while all replicas are busy.
-  BatchFormer former(BatchPolicy{options.max_batch, options.max_wait_s});
+  // earliest-available capable replica, and the pool's per-workload
+  // availability feeds back into the former so lanes grow from backlog
+  // while every replica that could take them is busy.
+  MultiBatchFormer former(BatchPolicy{options.max_batch, options.max_wait_s},
+                          pool.workloads());
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
   const auto dispatch = [&](Batch&& batch) {
     // Backlog the batch sees at its start: arrivals in the system (the
     // stream is sorted, so count by binary search) minus requests already
     // sent to a replica.
-    const double start = std::max(batch.formed_s, pool.EarliestFree());
+    const double start =
+        std::max(batch.formed_s, pool.EarliestFree(batch.workload));
     const auto arrived = static_cast<std::int64_t>(
         std::upper_bound(arrivals.begin(), arrivals.end(), start,
                          [](double t, const Request& r) {
@@ -74,22 +161,77 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
     started += batch.size();
   };
 
+  std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
+                                 0.0);
   while (auto request = queue.Pop()) {
-    if (auto batch = former.Add(*request, pool.EarliestFree())) {
-      dispatch(std::move(*batch));
+    for (int w = 0; w < pool.workloads(); ++w) {
+      busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
+    }
+    for (Batch& batch : former.Add(*request, busy_until)) {
+      dispatch(std::move(batch));
     }
   }
-  if (auto tail = former.Flush(options.duration_s + options.max_wait_s)) {
-    dispatch(std::move(*tail));
+  for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
+    dispatch(std::move(tail));
   }
   producer.join();
 
   ServeReport report;
   report.generated_requests = static_cast<std::int64_t>(arrivals.size());
-  report.single_request_s = pool.BatchSeconds(0, 1);
+  for (int w = 0; w < pool.workloads(); ++w) {
+    // The unbatched baseline runs on the first replica deployed for w.
+    for (int r = 0; r < pool.size(); ++r) {
+      if (pool.CanServe(r, w)) {
+        report.single_request_by_workload.push_back(
+            pool.BatchSeconds(r, w, 1));
+        break;
+      }
+    }
+  }
+  report.single_request_s = report.single_request_by_workload.empty()
+                                ? 0.0
+                                : report.single_request_by_workload.front();
   report.dispatches = std::move(dispatches);
   report.summary = stats.Summarize(options.qps, options.duration_s);
   return report;
+}
+
+}  // namespace
+
+ServeReport RunSyntheticServe(const DataflowGraph& dfg,
+                              const std::vector<AcceleratorDesign>& designs,
+                              const ServeOptions& options) {
+  const std::vector<Request> arrivals = SyntheticArrivals(options);
+  ServerPool pool(designs, dfg, options.worker_threads);
+  ServeStats stats(pool.size());
+  return RunPipeline(pool, stats, arrivals, options);
+}
+
+ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
+                              const std::vector<ReplicaSpec>& replicas,
+                              const std::vector<WorkloadShare>& mix,
+                              const ServeOptions& options) {
+  NSF_CHECK_MSG(registry.size() >= 1, "registry has no workloads");
+  NSF_CHECK_MSG(!mix.empty(), "workload mix cannot be empty");
+
+  // Resolve names -> per-id shares. Unlisted workloads get zero traffic
+  // (they are still compiled and servable — just idle this run).
+  std::vector<double> shares(static_cast<std::size_t>(registry.size()), 0.0);
+  for (const WorkloadShare& entry : mix) {
+    NSF_CHECK_MSG(entry.share > 0.0, "mix shares must be positive");
+    const WorkloadId id = registry.IdOf(entry.workload);
+    NSF_CHECK_MSG(shares[static_cast<std::size_t>(id)] == 0.0,
+                  "workload '" + entry.workload + "' listed twice in mix");
+    shares[static_cast<std::size_t>(id)] = entry.share;
+  }
+
+  const std::vector<Request> arrivals = SyntheticArrivals(options, shares);
+  ServerPool pool(replicas, registry.Dataflows(), options.worker_threads);
+  ServeStats stats(pool.size(), registry.size());
+  for (WorkloadId w = 0; w < registry.size(); ++w) {
+    stats.SetWorkloadName(w, registry.NameOf(w));
+  }
+  return RunPipeline(pool, stats, arrivals, options);
 }
 
 }  // namespace nsflow::serve

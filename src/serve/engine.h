@@ -1,19 +1,28 @@
 // NSFlow-Serve engine — the end-to-end serving loop.
 //
-//   Poisson arrival generator (producer thread, virtual timestamps)
+//   Poisson arrival generator (producer thread, virtual timestamps,
+//   per-workload mix sampling)
 //     └─> RequestQueue (thread-safe FIFO handoff)
-//           └─> BatchFormer (max-batch / max-wait coalescing)
-//                 └─> ServerPool (N accelerator replicas, worker threads)
-//                       └─> ServeStats (p50/p95/p99, throughput, util)
+//           └─> BatchFormer / MultiBatchFormer (max-batch / max-wait
+//               coalescing, one lane per workload — batches never mix
+//               workloads)
+//                 └─> ServerPool (N accelerator replicas, per-replica
+//                     workload sets, worker threads)
+//                       └─> ServeStats (p50/p95/p99, throughput, util,
+//                           per-workload breakdown)
 //
 // The engine turns the paper's one-shot `RunWorkload` accelerator into a
 // throughput-oriented service: an open-loop synthetic trace with exponential
 // inter-arrival times drives the pipeline for `duration_s` virtual seconds,
-// and the report captures tail latency and saturation behavior. With a fixed
-// seed the whole run is bit-reproducible (see request.h on virtual time).
+// and the report captures tail latency and saturation behavior. A
+// multi-tenant run draws each arrival's workload from the requested QPS mix
+// with the same RNG stream as the inter-arrival times, so with a fixed seed
+// the whole run — single- or multi-workload — is bit-reproducible (see
+// request.h on virtual time).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/dataflow_graph.h"
@@ -21,6 +30,7 @@
 #include "serve/request.h"
 #include "serve/server_pool.h"
 #include "serve/serve_stats.h"
+#include "serve/workload_registry.h"
 
 namespace nsflow::serve {
 
@@ -33,24 +43,52 @@ struct ServeOptions {
   int worker_threads = 0;      // 0 = hardware concurrency.
 };
 
+/// One entry of a multi-tenant QPS mix: `share` of the total offered load
+/// goes to the named registry workload. Shares are normalized, so
+/// {mlp=0.6, nvsa=0.2} and {mlp=3, nvsa=1} describe the same mix.
+struct WorkloadShare {
+  std::string workload;
+  double share = 0.0;
+};
+
+/// Parse a CLI mix spec "mlp=0.6,resnet18=0.3,nvsa=0.1" into shares.
+std::vector<WorkloadShare> ParseMix(const std::string& spec);
+
 struct ServeReport {
   StatsSummary summary;
   std::vector<DispatchRecord> dispatches;
   std::int64_t generated_requests = 0;
-  /// Single-request latency on replica 0 — the no-batching baseline the
-  /// throughput numbers are judged against.
+  /// Single-request latency of workload 0 on a capable replica — the
+  /// no-batching baseline the throughput numbers are judged against.
   double single_request_s = 0.0;
+  /// Same baseline per registered workload (one entry in single-workload
+  /// runs).
+  std::vector<double> single_request_by_workload;
 };
 
 /// Generate the open-loop Poisson arrival trace for `options` (exposed for
-/// tests and for replaying the same trace against different pools).
+/// tests and for replaying the same trace against different pools). The
+/// multi-workload overload additionally samples each arrival's workload id
+/// from `shares` (normalized weights indexed by workload id) with the same
+/// RNG stream.
 std::vector<Request> SyntheticArrivals(const ServeOptions& options);
+std::vector<Request> SyntheticArrivals(const ServeOptions& options,
+                                       const std::vector<double>& shares);
 
 /// Run the full pipeline: synthetic arrivals through queue, former, and
 /// pool. `designs` defines the pool (one replica per entry; `dfg` must
 /// outlive the call).
 ServeReport RunSyntheticServe(const DataflowGraph& dfg,
                               const std::vector<AcceleratorDesign>& designs,
+                              const ServeOptions& options);
+
+/// Multi-tenant pipeline: every arrival draws its workload from `mix`
+/// (names resolved through `registry`, which must outlive the call), the
+/// former keeps one lane per workload, and each batch routes to an
+/// earliest-available replica deployed for its workload.
+ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
+                              const std::vector<ReplicaSpec>& replicas,
+                              const std::vector<WorkloadShare>& mix,
                               const ServeOptions& options);
 
 }  // namespace nsflow::serve

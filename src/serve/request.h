@@ -15,17 +15,24 @@
 
 namespace nsflow::serve {
 
+/// Dense index of a workload registered with a `WorkloadRegistry` (or 0 in
+/// a single-workload pipeline).
+using WorkloadId = int;
+
 /// One inference/reasoning request entering the serving engine.
 struct Request {
   std::int64_t id = 0;
-  double arrival_s = 0.0;  // Virtual arrival time.
+  double arrival_s = 0.0;     // Virtual arrival time.
+  WorkloadId workload = 0;    // Which compiled workload this request targets.
 };
 
 /// A group of requests coalesced by the BatchFormer and dispatched to one
-/// accelerator replica as a single RunWorkloadBatch launch.
+/// accelerator replica as a single RunWorkloadBatch launch. Batches never
+/// mix workloads: one batch = one workload = one kernel launch.
 struct Batch {
   std::vector<Request> requests;
-  double formed_s = 0.0;  // Virtual time the batch closed.
+  double formed_s = 0.0;      // Virtual time the batch closed.
+  WorkloadId workload = 0;    // Workload all member requests share.
 
   std::int64_t size() const {
     return static_cast<std::int64_t>(requests.size());

@@ -10,23 +10,48 @@
 
 namespace nsflow::serve {
 
-ServeStats::ServeStats(int replicas) {
+ServeStats::ServeStats(int replicas, int workloads) {
   NSF_CHECK_MSG(replicas >= 1, "a serve pool needs at least one replica");
+  NSF_CHECK_MSG(workloads >= 1, "stats need at least one workload slice");
   replica_busy_s_.assign(static_cast<std::size_t>(replicas), 0.0);
+  workload_names_.resize(static_cast<std::size_t>(workloads));
+  for (int w = 0; w < workloads; ++w) {
+    workload_names_[static_cast<std::size_t>(w)] =
+        "workload " + std::to_string(w);
+  }
+  workload_latencies_s_.resize(static_cast<std::size_t>(workloads));
+  workload_batches_.resize(static_cast<std::size_t>(workloads));
 }
 
-void ServeStats::RecordRequest(double arrival_s, double complete_s) {
+void ServeStats::SetWorkloadName(WorkloadId w, std::string name) {
+  NSF_CHECK_MSG(w >= 0 && w < static_cast<int>(workload_names_.size()),
+                "workload index out of range");
+  workload_names_[static_cast<std::size_t>(w)] = std::move(name);
+}
+
+void ServeStats::RecordRequest(WorkloadId workload, double arrival_s,
+                               double complete_s) {
   NSF_CHECK_MSG(complete_s >= arrival_s,
                 "completion cannot precede arrival");
+  NSF_CHECK_MSG(workload >= 0 &&
+                    workload < static_cast<int>(workload_latencies_s_.size()),
+                "workload index out of range");
   arrivals_s_.push_back(arrival_s);
   completions_s_.push_back(complete_s);
   latencies_s_.push_back(complete_s - arrival_s);
+  workload_latencies_s_[static_cast<std::size_t>(workload)].push_back(
+      complete_s - arrival_s);
 }
 
-void ServeStats::RecordBatch(std::int64_t size, std::int64_t queue_depth) {
+void ServeStats::RecordBatch(WorkloadId workload, std::int64_t size,
+                             std::int64_t queue_depth) {
   NSF_CHECK_MSG(size >= 1, "batches are non-empty");
+  NSF_CHECK_MSG(workload >= 0 &&
+                    workload < static_cast<int>(workload_batches_.size()),
+                "workload index out of range");
   batch_sizes_.push_back(size);
   depth_samples_.push_back(std::max<std::int64_t>(0, queue_depth));
+  workload_batches_[static_cast<std::size_t>(workload)].push_back(size);
 }
 
 void ServeStats::RecordReplicaBusy(int index, double busy_s) {
@@ -96,6 +121,36 @@ StatsSummary ServeStats::Summarize(double offered_qps,
     s.replica_utilization.push_back(s.horizon_s > 0.0 ? busy / s.horizon_s
                                                       : 0.0);
   }
+
+  s.per_workload.reserve(workload_names_.size());
+  for (std::size_t w = 0; w < workload_names_.size(); ++w) {
+    WorkloadSummary slice;
+    slice.name = workload_names_[w];
+    const auto& latencies = workload_latencies_s_[w];
+    slice.completed = static_cast<std::int64_t>(latencies.size());
+    if (s.horizon_s > 0.0 && slice.completed > 0) {
+      slice.throughput_rps =
+          static_cast<double>(slice.completed) / s.horizon_s;
+    }
+    slice.p50_ms = Percentile(latencies, 50.0) * 1e3;
+    slice.p95_ms = Percentile(latencies, 95.0) * 1e3;
+    slice.p99_ms = Percentile(latencies, 99.0) * 1e3;
+    if (!latencies.empty()) {
+      slice.mean_ms = std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+                      static_cast<double>(latencies.size()) * 1e3;
+      slice.max_ms =
+          *std::max_element(latencies.begin(), latencies.end()) * 1e3;
+    }
+    const auto& batches = workload_batches_[w];
+    slice.batches = static_cast<std::int64_t>(batches.size());
+    if (!batches.empty()) {
+      slice.mean_batch =
+          static_cast<double>(std::accumulate(batches.begin(), batches.end(),
+                                              std::int64_t{0})) /
+          static_cast<double>(batches.size());
+    }
+    s.per_workload.push_back(std::move(slice));
+  }
   return s;
 }
 
@@ -119,7 +174,23 @@ std::string ServeStats::ToTable(const StatsSummary& s) {
     table.AddRow({"replica " + std::to_string(i) + " utilization",
                   TablePrinter::Percent(s.replica_utilization[i])});
   }
-  return table.ToString();
+  std::string out = table.ToString();
+
+  // Per-workload breakdown, only meaningful for multi-tenant runs.
+  if (s.per_workload.size() >= 2) {
+    TablePrinter breakdown({"workload", "completed", "throughput (rps)",
+                            "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean batch"});
+    for (const WorkloadSummary& w : s.per_workload) {
+      breakdown.AddRow({w.name, std::to_string(w.completed),
+                        TablePrinter::Num(w.throughput_rps, 1),
+                        TablePrinter::Num(w.p50_ms, 3),
+                        TablePrinter::Num(w.p95_ms, 3),
+                        TablePrinter::Num(w.p99_ms, 3),
+                        TablePrinter::Num(w.mean_batch, 2)});
+    }
+    out += "\n" + breakdown.ToString();
+  }
+  return out;
 }
 
 }  // namespace nsflow::serve

@@ -11,7 +11,23 @@
 #include <string>
 #include <vector>
 
+#include "serve/request.h"
+
 namespace nsflow::serve {
+
+/// Per-workload slice of a finished serve run (multi-tenant pools).
+struct WorkloadSummary {
+  std::string name;              // Registry name ("mlp", "nvsa", ...).
+  std::int64_t completed = 0;
+  std::int64_t batches = 0;
+  double throughput_rps = 0.0;   // completed / run horizon.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_batch = 0.0;       // Average formed batch size.
+};
 
 /// Point-in-time summary of a finished serve run.
 struct StatsSummary {
@@ -32,16 +48,30 @@ struct StatsSummary {
   std::int64_t max_queue_depth = 0;
 
   std::vector<double> replica_utilization;  // Busy share per replica.
+  /// One slice per registered workload (a single slice in single-workload
+  /// runs); ToTable prints the per-workload section when there are >= 2.
+  std::vector<WorkloadSummary> per_workload;
 };
 
 class ServeStats {
  public:
-  explicit ServeStats(int replicas);
+  /// `workloads` sizes the per-workload breakdown (1 in single-tenant use).
+  explicit ServeStats(int replicas, int workloads = 1);
+
+  /// Label workload `w`'s slice in the summary/table.
+  void SetWorkloadName(WorkloadId w, std::string name);
 
   /// One request finished: latency = complete - arrival (virtual seconds).
-  void RecordRequest(double arrival_s, double complete_s);
+  void RecordRequest(double arrival_s, double complete_s) {
+    RecordRequest(0, arrival_s, complete_s);
+  }
+  void RecordRequest(WorkloadId workload, double arrival_s, double complete_s);
   /// One batch dispatched with `size` requests and the backlog it saw.
-  void RecordBatch(std::int64_t size, std::int64_t queue_depth);
+  void RecordBatch(std::int64_t size, std::int64_t queue_depth) {
+    RecordBatch(0, size, queue_depth);
+  }
+  void RecordBatch(WorkloadId workload, std::int64_t size,
+                   std::int64_t queue_depth);
   /// Replica `index` was busy for `busy_s` more virtual seconds.
   void RecordReplicaBusy(int index, double busy_s);
 
@@ -64,6 +94,10 @@ class ServeStats {
   std::vector<std::int64_t> batch_sizes_;
   std::vector<std::int64_t> depth_samples_;
   std::vector<double> replica_busy_s_;
+
+  std::vector<std::string> workload_names_;
+  std::vector<std::vector<double>> workload_latencies_s_;    // Per workload.
+  std::vector<std::vector<std::int64_t>> workload_batches_;  // Batch sizes.
 };
 
 }  // namespace nsflow::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <set>
 #include <thread>
 #include <utility>
@@ -26,33 +27,134 @@ bool SameServingDesign(const AcceleratorDesign& a,
          a.memory.cache_bytes == b.memory.cache_bytes;
 }
 
+AcceleratorDesign RefitDesign(AcceleratorDesign design,
+                              const DataflowGraph& dfg) {
+  const std::size_t layers = dfg.layers().size();
+  const std::size_t vsa = dfg.vsa_ops().size();
+  if (design.sequential_mode || vsa == 0) {
+    // Whole array per kernel: sequential execution, or an all-NN graph for
+    // which the adaptive array refolds every sub-array into GEMM mode.
+    design.nl.assign(layers, design.array.count);
+    design.nv.assign(vsa, design.array.count);
+  } else {
+    const std::int64_t nn_share =
+        design.default_nl > 0 && design.default_nl < design.array.count
+            ? design.default_nl
+            : std::max<std::int64_t>(1, design.array.count / 2);
+    design.nl.assign(layers, nn_share);
+    design.nv.assign(vsa, design.array.count - nn_share);
+  }
+  return design;
+}
+
 ServerPool::ServerPool(std::vector<AcceleratorDesign> designs,
                        const DataflowGraph& dfg, int worker_threads)
-    : dfg_(&dfg), designs_(std::move(designs)) {
-  NSF_CHECK_MSG(!designs_.empty(), "a pool needs at least one replica");
+    : dfgs_({&dfg}), worker_threads_(worker_threads) {
+  std::vector<ReplicaSpec> specs;
+  specs.reserve(designs.size());
+  for (auto& design : designs) {
+    // The single-workload constructor's designs are, by contract, produced
+    // for `dfg` (the compiled design or its pareto frontier): keep their
+    // tuned allocations.
+    specs.push_back(ReplicaSpec{std::move(design), {}, 0});
+  }
+  Init(specs);
+}
+
+ServerPool::ServerPool(const std::vector<ReplicaSpec>& specs,
+                       std::vector<const DataflowGraph*> workload_dfgs,
+                       int worker_threads)
+    : dfgs_(std::move(workload_dfgs)), worker_threads_(worker_threads) {
+  NSF_CHECK_MSG(!dfgs_.empty(), "a pool needs at least one workload");
+  for (const DataflowGraph* dfg : dfgs_) {
+    NSF_CHECK_MSG(dfg != nullptr, "workload dataflow graph is null");
+  }
+  Init(specs);
+}
+
+void ServerPool::Init(const std::vector<ReplicaSpec>& specs) {
+  NSF_CHECK_MSG(!specs.empty(), "a pool needs at least one replica");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   worker_threads_ =
-      worker_threads > 0 ? worker_threads : static_cast<int>(hw);
+      worker_threads_ > 0 ? worker_threads_ : static_cast<int>(hw);
 
-  free_at_.assign(designs_.size(), 0.0);
-  kind_.reserve(designs_.size());
-  replicas_.reserve(designs_.size());
-  for (const auto& design : designs_) {
+  free_at_.assign(specs.size(), 0.0);
+  kind_.reserve(specs.size());
+  replicas_.reserve(specs.size());
+  designs_.reserve(specs.size());
+  serves_.reserve(specs.size());
+  for (const ReplicaSpec& spec : specs) {
+    designs_.push_back(spec.design);
+    NSF_CHECK_MSG(spec.tuned_for == kTunedForNone ||
+                      (spec.tuned_for >= 0 && spec.tuned_for < workloads()),
+                  "tuned_for must name a pool workload or kTunedForNone");
+    // Kind dedup is a cache-sharing optimization, so a kind merges only
+    // replicas that agree on both the design *and* its provenance — two
+    // tenants' DSE winners converging on identical hardware still get
+    // separate kinds, because their tuned allocations mean different
+    // things. Ids aliasing one compiled graph (registry compile-cache
+    // hit) count as the same provenance.
     int kind = -1;
     for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
-      if (SameServingDesign(distinct_designs_[k], design)) {
+      const WorkloadId prev = kind_tuned_for_[k];
+      if (SameServingDesign(distinct_designs_[k], spec.design) &&
+          (prev == spec.tuned_for || IsTunedFor(spec.tuned_for, prev))) {
         kind = static_cast<int>(k);
         break;
       }
     }
     if (kind < 0) {
       kind = static_cast<int>(distinct_designs_.size());
-      distinct_designs_.push_back(design);
+      distinct_designs_.push_back(spec.design);
+      kind_tuned_for_.push_back(spec.tuned_for);
     }
     kind_.push_back(kind);
-    replicas_.push_back(
-        std::make_unique<runtime::Accelerator>(design, dfg));
+
+    // Empty workload set = deployed for every workload the pool knows.
+    std::vector<bool> serves(dfgs_.size(), spec.workloads.empty());
+    for (const WorkloadId w : spec.workloads) {
+      NSF_CHECK_MSG(w >= 0 && w < workloads(),
+                    "replica declares an unknown workload id");
+      serves[static_cast<std::size_t>(w)] = true;
+    }
+    serves_.push_back(std::move(serves));
+
+    // The long-lived replica accelerator is instantiated against the first
+    // workload it serves; cycle-model evaluation always goes through
+    // per-workload scratch deployments (BatchSeconds), so this instance
+    // only backs the `replica()` accessor.
+    std::size_t first = 0;
+    while (first < dfgs_.size() && !serves_.back()[first]) {
+      ++first;
+    }
+    NSF_CHECK_MSG(first < dfgs_.size(),
+                  "replica serves no workload at all");
+    const bool tuned =
+        IsTunedFor(spec.tuned_for, static_cast<WorkloadId>(first));
+    replicas_.push_back(std::make_unique<runtime::Accelerator>(
+        tuned ? spec.design : RefitDesign(spec.design, *dfgs_[first]),
+        *dfgs_[first]));
   }
+
+  for (int w = 0; w < workloads(); ++w) {
+    bool covered = false;
+    for (int r = 0; r < size() && !covered; ++r) {
+      covered = serves_[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(w)];
+    }
+    NSF_CHECK_MSG(covered, "workload has no replica able to serve it");
+  }
+}
+
+bool ServerPool::IsTunedFor(WorkloadId tuned_for, WorkloadId workload) const {
+  if (tuned_for == kTunedForNone || workload == kTunedForNone) {
+    return false;
+  }
+  // Same id, or two registry names aliasing one compiled graph (the
+  // registry's compile cache hands both the same DataflowGraph instance).
+  return tuned_for == workload ||
+         dfgs_[static_cast<std::size_t>(tuned_for)] ==
+             dfgs_[static_cast<std::size_t>(workload)];
 }
 
 const AcceleratorDesign& ServerPool::design(int replica) const {
@@ -65,10 +167,20 @@ runtime::Accelerator& ServerPool::replica(int index) {
   return *replicas_[static_cast<std::size_t>(index)];
 }
 
-double ServerPool::BatchSeconds(int replica, std::int64_t batch_size) {
+bool ServerPool::CanServe(int replica, WorkloadId workload) const {
   NSF_CHECK(replica >= 0 && replica < size());
+  NSF_CHECK(workload >= 0 && workload < workloads());
+  return serves_[static_cast<std::size_t>(replica)]
+                [static_cast<std::size_t>(workload)];
+}
+
+double ServerPool::BatchSeconds(int replica, WorkloadId workload,
+                                std::int64_t batch_size) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  NSF_CHECK(workload >= 0 && workload < workloads());
   NSF_CHECK_MSG(batch_size >= 1, "batch size must be positive");
-  const Key key{kind_[static_cast<std::size_t>(replica)], batch_size};
+  const Key key{kind_[static_cast<std::size_t>(replica)], workload,
+                batch_size};
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto it = latency_cache_.find(key);
@@ -79,8 +191,15 @@ double ServerPool::BatchSeconds(int replica, std::int64_t batch_size) {
   // Evaluate on a scratch deployment: the cycle model is a pure function of
   // (design, dfg, batch size), and a private Accelerator keeps concurrent
   // cache warming race-free without serializing the long-lived replicas.
+  // Provenance decides the allocation: the workload the design was DSE'd
+  // for keeps its Phase II tuned nl/nv, every other tenant gets a refit.
+  const DataflowGraph& dfg = *dfgs_[static_cast<std::size_t>(workload)];
+  const auto& hardware =
+      distinct_designs_[static_cast<std::size_t>(key.kind)];
+  const bool tuned = IsTunedFor(
+      kind_tuned_for_[static_cast<std::size_t>(key.kind)], workload);
   runtime::Accelerator scratch(
-      distinct_designs_[static_cast<std::size_t>(key.kind)], *dfg_);
+      tuned ? hardware : RefitDesign(hardware, dfg), dfg);
   const double seconds =
       scratch.RunWorkloadBatch(static_cast<int>(batch_size));
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -89,40 +208,64 @@ double ServerPool::BatchSeconds(int replica, std::int64_t batch_size) {
 }
 
 void ServerPool::WarmLatencyCache(const std::vector<Batch>& batches) {
-  // Distinct (kind, size) work items: every replica kind must be able to
-  // serve every batch size that occurs.
-  std::set<std::int64_t> sizes;
+  // Distinct (workload, size) work items: every capable replica kind must
+  // be able to serve every batch shape that occurs.
+  std::set<std::pair<WorkloadId, std::int64_t>> pairs;
   for (const auto& batch : batches) {
-    sizes.insert(batch.size());
+    pairs.insert({batch.workload, batch.size()});
   }
-  WarmSizes(sizes);
+  WarmPairs(pairs);
 }
 
 void ServerPool::WarmBatchSizes(std::int64_t max_batch) {
-  NSF_CHECK_MSG(max_batch >= 1, "max_batch must be positive");
-  std::set<std::int64_t> sizes;
-  for (std::int64_t s = 1; s <= max_batch; ++s) {
-    sizes.insert(s);
+  std::vector<WorkloadId> all;
+  for (int w = 0; w < workloads(); ++w) {
+    all.push_back(w);
   }
-  WarmSizes(sizes);
+  WarmBatchSizes(max_batch, all);
 }
 
-void ServerPool::WarmSizes(const std::set<std::int64_t>& sizes) {
+void ServerPool::WarmBatchSizes(std::int64_t max_batch,
+                                const std::vector<WorkloadId>& only) {
+  NSF_CHECK_MSG(max_batch >= 1, "max_batch must be positive");
+  std::set<std::pair<WorkloadId, std::int64_t>> pairs;
+  for (const WorkloadId w : only) {
+    NSF_CHECK(w >= 0 && w < workloads());
+    for (std::int64_t s = 1; s <= max_batch; ++s) {
+      pairs.insert({w, s});
+    }
+  }
+  WarmPairs(pairs);
+}
+
+void ServerPool::WarmPairs(
+    const std::set<std::pair<WorkloadId, std::int64_t>>& pairs) {
+  // One work item per (kind, workload, size) where some replica of that
+  // kind is deployed for the workload; kind_replica routes the evaluation
+  // through BatchSeconds.
   std::vector<Key> work;
+  std::vector<int> kind_replica;
   for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
-    for (const std::int64_t s : sizes) {
-      work.push_back(Key{static_cast<int>(k), s});
+    kind_replica.push_back(-1);
+    for (int r = 0; r < size(); ++r) {
+      if (kind_[static_cast<std::size_t>(r)] == static_cast<int>(k)) {
+        kind_replica.back() = r;
+        break;
+      }
+    }
+    for (const auto& [w, s] : pairs) {
+      bool capable = false;
+      for (int r = 0; r < size() && !capable; ++r) {
+        capable = kind_[static_cast<std::size_t>(r)] == static_cast<int>(k) &&
+                  CanServe(r, w);
+      }
+      if (capable) {
+        work.push_back(Key{static_cast<int>(k), w, s});
+      }
     }
   }
   if (work.empty()) {
     return;
-  }
-
-  // Representative replica per kind, for routing through BatchSeconds.
-  std::vector<int> kind_replica(distinct_designs_.size(), 0);
-  for (int r = 0; r < size(); ++r) {
-    kind_replica[static_cast<std::size_t>(kind_[static_cast<std::size_t>(r)])] =
-        r;
   }
 
   const int threads =
@@ -135,7 +278,7 @@ void ServerPool::WarmSizes(const std::set<std::int64_t>& sizes) {
       for (std::size_t i = next.fetch_add(1); i < work.size();
            i = next.fetch_add(1)) {
         BatchSeconds(kind_replica[static_cast<std::size_t>(work[i].kind)],
-                     work[i].batch_size);
+                     work[i].workload, work[i].batch_size);
       }
     });
   }
@@ -148,6 +291,19 @@ double ServerPool::EarliestFree() const {
   return *std::min_element(free_at_.begin(), free_at_.end());
 }
 
+double ServerPool::EarliestFree(WorkloadId workload) const {
+  NSF_CHECK(workload >= 0 && workload < workloads());
+  double earliest = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < size(); ++r) {
+    if (serves_[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(workload)]) {
+      earliest =
+          std::min(earliest, free_at_[static_cast<std::size_t>(r)]);
+    }
+  }
+  return earliest;
+}
+
 void ServerPool::ResetSchedule() {
   std::fill(free_at_.begin(), free_at_.end(), 0.0);
   dispatched_batches_ = 0;
@@ -156,18 +312,24 @@ void ServerPool::ResetSchedule() {
 DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
                                     std::int64_t queue_depth) {
   NSF_CHECK_MSG(batch.size() > 0, "cannot dispatch an empty batch");
-  // Earliest-available replica, ties to the lowest id.
-  int choice = 0;
-  for (int r = 1; r < size(); ++r) {
-    if (free_at_[static_cast<std::size_t>(r)] <
-        free_at_[static_cast<std::size_t>(choice)]) {
+  // Earliest-available replica among those deployed for the batch's
+  // workload, ties to the lowest id.
+  int choice = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (!CanServe(r, batch.workload)) {
+      continue;
+    }
+    if (choice < 0 || free_at_[static_cast<std::size_t>(r)] <
+                          free_at_[static_cast<std::size_t>(choice)]) {
       choice = r;
     }
   }
-  const double service = BatchSeconds(choice, batch.size());
+  NSF_CHECK_MSG(choice >= 0, "no replica serves the batch's workload");
+  const double service = BatchSeconds(choice, batch.workload, batch.size());
   DispatchRecord record;
   record.batch_index = dispatched_batches_++;
   record.replica = choice;
+  record.workload = batch.workload;
   record.start_s =
       std::max(batch.formed_s, free_at_[static_cast<std::size_t>(choice)]);
   record.complete_s = record.start_s + service;
@@ -175,10 +337,11 @@ DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
   free_at_[static_cast<std::size_t>(choice)] = record.complete_s;
 
   if (stats != nullptr) {
-    stats->RecordBatch(batch.size(), queue_depth);
+    stats->RecordBatch(batch.workload, batch.size(), queue_depth);
     stats->RecordReplicaBusy(choice, service);
     for (const auto& request : batch.requests) {
-      stats->RecordRequest(request.arrival_s, record.complete_s);
+      stats->RecordRequest(batch.workload, request.arrival_s,
+                           record.complete_s);
     }
   }
   return record;
@@ -203,8 +366,10 @@ std::vector<DispatchRecord> ServerPool::Dispatch(
   records.reserve(batches.size());
   std::int64_t started = 0;  // Requests whose batch already started.
   for (const Batch& batch : batches) {
-    // Start time is what Dispatch will compute: max(formed, earliest free).
-    const double start = std::max(batch.formed_s, EarliestFree());
+    // Start time is what Dispatch will compute: max(formed, earliest free
+    // among capable replicas).
+    const double start =
+        std::max(batch.formed_s, EarliestFree(batch.workload));
     const auto arrived = static_cast<std::int64_t>(
         std::upper_bound(arrivals.begin(), arrivals.end(), start) -
         arrivals.begin());

@@ -3,18 +3,22 @@
 // The pool owns one `runtime::Accelerator` per replica. Replicas may share a
 // single `AcceleratorDesign` (homogeneous pool) or carry different designs
 // from the DSE pareto set (heterogeneous pool: a few large low-latency
-// replicas plus many small high-throughput ones).
+// replicas plus many small high-throughput ones). A pool is *multi-tenant*:
+// it serves one or more compiled workloads (dataflow graphs), each replica
+// is deployed for a declared workload set (empty = all), and batches route
+// only to replicas able to serve their workload.
 //
 // Dispatch splits into two concerns:
 //   1. A worker-thread pool evaluates the batched cycle model — one
-//      `RunWorkloadBatch` per distinct (design, batch size) pair, memoized —
-//      in parallel (`WarmBatchSizes` / `WarmLatencyCache`). This is the
-//      expensive part of a serve run.
+//      `RunWorkloadBatch` per distinct (design kind, workload, batch size)
+//      triple, memoized — in parallel (`WarmBatchSizes` /
+//      `WarmLatencyCache`). This is the expensive part of a serve run.
 //   2. A deterministic schedule assigns each formed batch to the
-//      earliest-available replica, ties broken by the lowest replica id, and
-//      stamps per-request completion times on the virtual timeline. The
-//      engine interleaves this with batch forming so `EarliestFree()` can
-//      stretch the forming wait while every replica is busy.
+//      earliest-available *capable* replica, ties broken by the lowest
+//      replica id, and stamps per-request completion times on the virtual
+//      timeline. The engine interleaves this with batch forming so
+//      `EarliestFree(workload)` can stretch the forming wait while every
+//      capable replica is busy.
 // Splitting model evaluation from assignment keeps results independent of
 // thread scheduling: same designs + same batch stream -> same dispatch.
 #pragma once
@@ -34,10 +38,28 @@
 
 namespace nsflow::serve {
 
+/// Sentinel for "this design's per-kernel allocation was not tuned for any
+/// workload this pool serves" (always refit).
+inline constexpr WorkloadId kTunedForNone = -1;
+
+/// One replica's deployment: the accelerator design, the set of registry
+/// workload ids it is provisioned to serve (empty = every workload the
+/// pool knows), and which workload's DSE produced the design.
+/// `tuned_for` is provenance, not preference: serving that workload keeps
+/// the design's Phase II per-kernel allocation verbatim, while every other
+/// workload gets a refit allocation (`RefitDesign`) — matching vector
+/// sizes are *not* proof of tuning.
+struct ReplicaSpec {
+  AcceleratorDesign design;
+  std::vector<WorkloadId> workloads;
+  WorkloadId tuned_for = kTunedForNone;
+};
+
 /// Where one batch executed on the virtual timeline.
 struct DispatchRecord {
   std::int64_t batch_index = 0;
   int replica = 0;
+  WorkloadId workload = 0;
   double start_s = 0.0;     // max(batch formed, replica free).
   double complete_s = 0.0;  // start + batched service time.
   std::int64_t size = 0;
@@ -45,35 +67,58 @@ struct DispatchRecord {
 
 class ServerPool {
  public:
-  /// One replica per design in `designs` (all referencing `dfg`, which must
-  /// outlive the pool). `worker_threads` == 0 picks the hardware
-  /// concurrency.
+  /// Single-workload pool: one replica per design in `designs` (all
+  /// referencing `dfg`, which must outlive the pool). `worker_threads` == 0
+  /// picks the hardware concurrency.
   ServerPool(std::vector<AcceleratorDesign> designs, const DataflowGraph& dfg,
              int worker_threads = 0);
 
+  /// Multi-tenant pool: `workload_dfgs[w]` is workload `w`'s compiled
+  /// dataflow graph (all must outlive the pool; a WorkloadRegistry's
+  /// `Dataflows()` is the usual source). Every workload must be servable by
+  /// at least one replica.
+  ServerPool(const std::vector<ReplicaSpec>& specs,
+             std::vector<const DataflowGraph*> workload_dfgs,
+             int worker_threads = 0);
+
   int size() const { return static_cast<int>(replicas_.size()); }
+  int workloads() const { return static_cast<int>(dfgs_.size()); }
   const AcceleratorDesign& design(int replica) const;
   runtime::Accelerator& replica(int index);
+  /// Whether `replica` is deployed for `workload`.
+  bool CanServe(int replica, WorkloadId workload) const;
 
-  /// Batched service seconds for `batch_size` requests on `replica`
-  /// (memoized cycle-model evaluation).
-  double BatchSeconds(int replica, std::int64_t batch_size);
+  /// Batched service seconds for `batch_size` requests of `workload` on
+  /// `replica` (memoized cycle-model evaluation).
+  double BatchSeconds(int replica, std::int64_t batch_size) {
+    return BatchSeconds(replica, 0, batch_size);
+  }
+  double BatchSeconds(int replica, WorkloadId workload,
+                      std::int64_t batch_size);
 
-  /// Pre-evaluate every (replica kind, batch size <= max_batch) pair on the
-  /// worker-thread pool, so later dispatches are pure cache hits.
+  /// Pre-evaluate every (replica kind, served workload, batch size <=
+  /// max_batch) triple on the worker-thread pool, so later dispatches are
+  /// pure cache hits. The restricted overload warms only the listed
+  /// workloads (e.g. the ones with traffic in the mix — idle tenants stay
+  /// lazily memoized).
   void WarmBatchSizes(std::int64_t max_batch);
+  void WarmBatchSizes(std::int64_t max_batch,
+                      const std::vector<WorkloadId>& only);
 
   /// Earliest virtual time any replica is free (0 while one is idle) under
   /// the current schedule — the batch former's wait-extension signal.
   double EarliestFree() const;
+  /// Same, restricted to replicas able to serve `workload`.
+  double EarliestFree(WorkloadId workload) const;
 
   /// Forget the schedule (all replicas free at t=0). Cached latencies keep.
   void ResetSchedule();
 
-  /// Dispatch one formed batch to the earliest-available replica (ties to
-  /// the lowest id), advancing the schedule. Fills per-request latencies,
-  /// the batch/backlog sample (`queue_depth` is the caller-observed backlog
-  /// at dispatch), and replica busy time into `stats` when non-null.
+  /// Dispatch one formed batch to the earliest-available replica able to
+  /// serve its workload (ties to the lowest id), advancing the schedule.
+  /// Fills per-request latencies, the batch/backlog sample (`queue_depth`
+  /// is the caller-observed backlog at dispatch), and replica busy time
+  /// into `stats` when non-null.
   DispatchRecord Dispatch(const Batch& batch, ServeStats* stats,
                           std::int64_t queue_depth = 0);
 
@@ -85,25 +130,37 @@ class ServerPool {
 
  private:
   /// Replicas sharing a design share cache entries; kind_[r] indexes the
-  /// distinct-design table.
+  /// distinct-design table. The workload id completes the key because the
+  /// cycle model is a function of (design, dataflow graph, batch size).
   struct Key {
     int kind;
+    WorkloadId workload;
     std::int64_t batch_size;
     bool operator<(const Key& other) const {
-      return kind != other.kind ? kind < other.kind
-                                : batch_size < other.batch_size;
+      if (kind != other.kind) return kind < other.kind;
+      if (workload != other.workload) return workload < other.workload;
+      return batch_size < other.batch_size;
     }
   };
 
-  /// Evaluate every (kind, batch size) pair `batches` needs, in parallel.
+  void Init(const std::vector<ReplicaSpec>& specs);
+  /// Whether a design with provenance `tuned_for` carries a tuned
+  /// allocation for `workload` (same id, or two ids aliasing the same
+  /// dataflow graph instance).
+  bool IsTunedFor(WorkloadId tuned_for, WorkloadId workload) const;
+  /// Evaluate every (kind, workload, batch size) triple `batches` needs, in
+  /// parallel.
   void WarmLatencyCache(const std::vector<Batch>& batches);
-  /// Evaluate the given batch sizes for every kind, in parallel.
-  void WarmSizes(const std::set<std::int64_t>& sizes);
+  /// Evaluate the given (workload, size) pairs for every capable kind, in
+  /// parallel.
+  void WarmPairs(const std::set<std::pair<WorkloadId, std::int64_t>>& pairs);
 
-  const DataflowGraph* dfg_;
+  std::vector<const DataflowGraph*> dfgs_;           // Per workload.
   std::vector<AcceleratorDesign> designs_;           // Per replica.
   std::vector<int> kind_;                            // Per replica.
+  std::vector<std::vector<bool>> serves_;            // [replica][workload].
   std::vector<AcceleratorDesign> distinct_designs_;  // Per kind.
+  std::vector<WorkloadId> kind_tuned_for_;           // Per kind provenance.
   std::vector<std::unique_ptr<runtime::Accelerator>> replicas_;
   std::vector<double> free_at_;                      // Per replica schedule.
   std::int64_t dispatched_batches_ = 0;
@@ -116,5 +173,17 @@ class ServerPool {
 /// Equality on the design fields that determine serving latency (used to
 /// deduplicate replica kinds).
 bool SameServingDesign(const AcceleratorDesign& a, const AcceleratorDesign& b);
+
+/// Adapt `design` to run `dfg` when the design was DSE'd for a different
+/// workload: the hardware (array, memory, SIMD, clock) is fixed, but the
+/// per-kernel sub-array allocation (`nl`/`nv`) is a software schedule sized
+/// to the origin workload's layer list, so it is discarded and rebuilt from
+/// the design's static Phase I partition resized to `dfg` (full array per
+/// kernel in sequential mode, or when the graph has no VSA work to hold
+/// the fold). Callers that know the design was tuned for `dfg` (see
+/// `ReplicaSpec::tuned_for`) should skip the call and keep the tuned
+/// allocation — matching vector sizes alone do not prove tuning.
+AcceleratorDesign RefitDesign(AcceleratorDesign design,
+                              const DataflowGraph& dfg);
 
 }  // namespace nsflow::serve

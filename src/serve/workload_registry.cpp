@@ -1,0 +1,209 @@
+#include "serve/workload_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "graph/trace.h"
+#include "workloads/builders.h"
+
+namespace nsflow::serve {
+
+std::uint64_t CompileCache::ContentHash(const OperatorGraph& graph) {
+  // FNV-1a 64-bit over the canonical trace serialization: cheap, stable,
+  // and insensitive to how the graph object was produced (builder, JSON
+  // parse, copy) as long as the content matches.
+  const std::string trace = EmitJsonTrace(graph, /*indent=*/0);
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : trace) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::shared_ptr<const CompiledDesign> CompileCache::GetOrCompile(
+    const OperatorGraph& graph) {
+  const std::uint64_t key = ContentHash(graph);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compile outside the lock — the frontend (DSE included) is the expensive
+  // part and must not serialize unrelated registrations. A concurrent
+  // compile of the same content is wasted work, not a correctness problem:
+  // the first insert wins below.
+  auto compiled = std::make_shared<CompiledDesign>(
+      compiler_.Compile(OperatorGraph(graph)));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(compiled));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::int64_t CompileCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t CompileCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::int64_t CompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(cache_.size());
+}
+
+WorkloadId WorkloadRegistry::Register(const std::string& name,
+                                      OperatorGraph graph) {
+  NSF_CHECK_MSG(!name.empty(), "workload name cannot be empty");
+  const auto existing = by_name_.find(name);
+  if (existing != by_name_.end()) {
+    const WorkloadId id = existing->second;
+    NSF_CHECK_MSG(
+        CompileCache::ContentHash(graph) ==
+            CompileCache::ContentHash(*designs_[static_cast<std::size_t>(id)]
+                                           ->graph),
+        "workload '" + name + "' already registered with different content");
+    return id;
+  }
+  auto compiled = cache_.GetOrCompile(graph);
+  const auto id = static_cast<WorkloadId>(designs_.size());
+  names_.push_back(name);
+  designs_.push_back(std::move(compiled));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+WorkloadId WorkloadRegistry::RegisterBuiltin(const std::string& name) {
+  if (name == "mlp") {
+    return Register(name, workloads::MakeMlp());
+  }
+  if (name == "resnet18") {
+    return Register(name, workloads::MakeResnet18Classifier());
+  }
+  if (name == "nvsa") {
+    return Register(name, workloads::MakeNvsa());
+  }
+  if (name == "mimonet") {
+    return Register(name, workloads::MakeMimonet());
+  }
+  if (name == "lvrf") {
+    return Register(name, workloads::MakeLvrf());
+  }
+  if (name == "prae") {
+    return Register(name, workloads::MakePrae());
+  }
+  std::string known;
+  for (const std::string& builtin : BuiltinNames()) {
+    known += (known.empty() ? "" : ", ") + builtin;
+  }
+  throw Error("unknown built-in workload '" + name + "' (known: " + known +
+              ")");
+}
+
+WorkloadId WorkloadRegistry::RegisterJsonTrace(const std::string& name,
+                                               const std::string& trace_json) {
+  return Register(name, ParseJsonTrace(trace_json));
+}
+
+bool WorkloadRegistry::Contains(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+WorkloadId WorkloadRegistry::IdOf(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw Error("workload '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+const std::string& WorkloadRegistry::NameOf(WorkloadId id) const {
+  NSF_CHECK_MSG(id >= 0 && id < size(), "workload id out of range");
+  return names_[static_cast<std::size_t>(id)];
+}
+
+const CompiledDesign& WorkloadRegistry::compiled(WorkloadId id) const {
+  NSF_CHECK_MSG(id >= 0 && id < size(), "workload id out of range");
+  return *designs_[static_cast<std::size_t>(id)];
+}
+
+const DataflowGraph& WorkloadRegistry::dataflow(WorkloadId id) const {
+  return *compiled(id).dataflow;
+}
+
+std::vector<const DataflowGraph*> WorkloadRegistry::Dataflows() const {
+  std::vector<const DataflowGraph*> dfgs;
+  dfgs.reserve(designs_.size());
+  for (const auto& design : designs_) {
+    dfgs.push_back(design->dataflow.get());
+  }
+  return dfgs;
+}
+
+AcceleratorDesign WorkloadRegistry::ProvisionDesign(
+    WorkloadId base, const std::vector<WorkloadId>& served) const {
+  AcceleratorDesign design = compiled(base).design();
+  std::vector<WorkloadId> ids = served;
+  if (ids.empty()) {
+    for (WorkloadId w = 0; w < size(); ++w) {
+      ids.push_back(w);
+    }
+  }
+  for (const WorkloadId w : ids) {
+    const auto& tenant = compiled(w).design().memory;
+    auto& m = design.memory;
+    m.mem_a1_bytes = std::max(m.mem_a1_bytes, tenant.mem_a1_bytes);
+    m.mem_a2_bytes = std::max(m.mem_a2_bytes, tenant.mem_a2_bytes);
+    m.mem_b_bytes = std::max(m.mem_b_bytes, tenant.mem_b_bytes);
+    m.mem_c_bytes = std::max(m.mem_c_bytes, tenant.mem_c_bytes);
+    m.cache_bytes = std::max(m.cache_bytes, tenant.cache_bytes);
+    // The controller double-buffers filters in MemA1: the largest filter of
+    // every tenant must fit in half of it, whatever memory-merge mode the
+    // tenant's own DSE assumed.
+    for (const auto& layer : dataflow(w).layers()) {
+      m.mem_a1_bytes = std::max(m.mem_a1_bytes, 2.0 * layer.weight_bytes);
+    }
+  }
+  return design;
+}
+
+std::vector<ReplicaSpec> WorkloadRegistry::ReplicaSpecs(
+    int replicas, bool partitioned) const {
+  NSF_CHECK_MSG(size() >= 1, "registry has no workloads");
+  NSF_CHECK_MSG(replicas >= 1, "need at least one replica");
+  NSF_CHECK_MSG(!partitioned || replicas >= size(),
+                "a partitioned pool needs at least one replica per workload");
+  std::vector<ReplicaSpec> specs;
+  specs.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    const auto w = static_cast<WorkloadId>(r % size());
+    ReplicaSpec spec;
+    spec.tuned_for = w;
+    if (partitioned) {
+      spec.design = compiled(w).design();
+      spec.workloads = {w};
+    } else {
+      spec.design = ProvisionDesign(w);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<std::string> WorkloadRegistry::BuiltinNames() {
+  return {"mlp", "resnet18", "nvsa", "mimonet", "lvrf", "prae"};
+}
+
+}  // namespace nsflow::serve

@@ -16,11 +16,18 @@
 //
 //   nsflow serve [trace.json] [--qps F] [--duration F] [--replicas N]
 //                [--max-batch N] [--max-wait-ms F] [--seed N] [--threads N]
-//                [--heterogeneous]
+//                [--heterogeneous] [--mix name=share,...] [--partition]
 //       Compile the workload (built-in NVSA when no trace is given), deploy
 //       a pool of accelerator replicas, drive it with an open-loop Poisson
 //       arrival trace, and print the ServeStats table (p50/p95/p99 latency,
-//       throughput, queue depth, per-replica utilization).
+//       throughput, queue depth, per-replica utilization). With --mix the
+//       pool turns multi-tenant: every listed workload (built-ins mlp |
+//       resnet18 | nvsa | mimonet | lvrf | prae, plus the trace file when
+//       given) is compiled through the WorkloadRegistry and served side by
+//       side at its share of the offered load, with a per-workload
+//       latency/throughput breakdown. --partition dedicates replica r to
+//       workload r % W instead of sharing every replica across all
+//       workloads (requires replicas >= workloads). See docs/SERVING.md.
 //
 //   nsflow demo
 //       Compile the built-in NVSA workload and print a summary.
@@ -69,6 +76,8 @@ struct CliArgs {
   serve::ServeOptions serve;
   int replicas = 1;
   bool heterogeneous = false;
+  std::string mix;       // Multi-tenant QPS mix, e.g. "mlp=0.6,nvsa=0.4".
+  bool partition = false;  // Dedicate replica r to workload r % W.
 };
 
 CliArgs Parse(int argc, char** argv) {
@@ -121,6 +130,10 @@ CliArgs Parse(int argc, char** argv) {
       args.serve.worker_threads = static_cast<int>(std::stoll(next()));
     } else if (flag == "--heterogeneous") {
       args.heterogeneous = true;
+    } else if (flag == "--mix") {
+      args.mix = next();
+    } else if (flag == "--partition") {
+      args.partition = true;
     } else {
       throw Error("unknown flag: " + flag);
     }
@@ -225,9 +238,84 @@ int RunEstimate(const CliArgs& args) {
   return 0;
 }
 
+/// Multi-tenant serve: compile every mix workload through the registry,
+/// deploy one shared (or partitioned) pool over all of them, and print the
+/// per-workload breakdown next to the aggregate table.
+int RunServeMix(const CliArgs& args) {
+  const std::vector<serve::WorkloadShare> mix = serve::ParseMix(args.mix);
+
+  CompileOptions options;
+  options.dse = args.dse;
+  serve::WorkloadRegistry registry(options);
+  // A trace file on the command line registers under its workload name and
+  // can then be referenced from the mix like any built-in.
+  if (!args.trace_path.empty()) {
+    const OperatorGraph traced = ParseJsonTrace(ReadFile(args.trace_path));
+    registry.Register(traced.workload_name(), OperatorGraph(traced));
+  }
+  for (const serve::WorkloadShare& entry : mix) {
+    if (!registry.Contains(entry.workload)) {
+      registry.RegisterBuiltin(entry.workload);
+    }
+  }
+
+  if (args.partition && args.replicas < registry.size()) {
+    throw Error("--partition needs at least one replica per workload (" +
+                std::to_string(registry.size()) + " workloads)");
+  }
+
+  // Replica r carries the DSE winner of workload r % W — with --partition
+  // it serves only that workload, otherwise every replica serves the full
+  // set with memory provisioned for the worst tenant (the design variety
+  // then acts as a heterogeneous pool).
+  const std::vector<serve::ReplicaSpec> replicas =
+      registry.ReplicaSpecs(args.replicas, args.partition);
+
+  std::printf(
+      "NSFlow-Serve — %d workload(s) [", registry.size());
+  for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
+    std::printf("%s%s", w == 0 ? "" : ", ", registry.NameOf(w).c_str());
+  }
+  std::printf(
+      "], %d replica(s)%s, max batch %lld, max wait %.2f ms\n",
+      args.replicas, args.partition ? " (partitioned)" : " (shared)",
+      static_cast<long long>(args.serve.max_batch),
+      args.serve.max_wait_s * 1e3);
+  std::printf("Open-loop trace: %.1f qps for %.2f s (seed %llu), mix %s\n",
+              args.serve.qps, args.serve.duration_s,
+              static_cast<unsigned long long>(args.serve.seed),
+              args.mix.c_str());
+  std::printf("Compile cache: %lld compile(s), %lld hit(s)\n\n",
+              static_cast<long long>(registry.cache().misses()),
+              static_cast<long long>(registry.cache().hits()));
+
+  const serve::ServeReport report =
+      serve::RunSyntheticServe(registry, replicas, mix, args.serve);
+  std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
+  for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
+    const double single =
+        report.single_request_by_workload[static_cast<std::size_t>(w)];
+    std::printf(
+        "Single-request baseline [%s]: %.3f ms -> %.1f rps per unbatched "
+        "replica\n",
+        registry.NameOf(w).c_str(), single * 1e3,
+        single > 0.0 ? 1.0 / single : 0.0);
+  }
+  return 0;
+}
+
 int RunServe(const CliArgs& args) {
   if (args.replicas < 1) {
     throw Error("--replicas must be at least 1");
+  }
+  if (!args.mix.empty()) {
+    if (args.heterogeneous) {
+      throw Error(
+          "--heterogeneous is not supported with --mix (a mixed pool is "
+          "already heterogeneous: replica r carries workload r % W's "
+          "design)");
+    }
+    return RunServeMix(args);
   }
   OperatorGraph graph = args.trace_path.empty()
                             ? workloads::MakeNvsa()

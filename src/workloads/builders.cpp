@@ -282,6 +282,42 @@ OperatorGraph MakePrae(const PraeParams& p) {
   return b.Finish();
 }
 
+OperatorGraph MakeMlp(const MlpParams& p) {
+  NSF_CHECK_MSG(p.hidden_layers >= 1, "an MLP needs at least one hidden layer");
+  GraphBuilder b("MLP", PrecisionPolicy::Uniform(Precision::kINT8),
+                 /*loop_count=*/1);
+  NodeId head = b.AddInput(
+      "features", static_cast<double>(p.batch * p.input_dim));
+  std::int64_t in_dim = p.input_dim;
+  for (std::int64_t l = 0; l < p.hidden_layers; ++l) {
+    head = b.AddLinear("fc" + std::to_string(l), head, p.hidden_dim, in_dim,
+                       p.batch);
+    head = b.AddSimdOp("fc" + std::to_string(l) + ".relu", OpKind::kRelu,
+                       {head}, p.batch * p.hidden_dim, /*symbolic=*/false);
+    in_dim = p.hidden_dim;
+  }
+  head = b.AddLinear("classifier", head, p.classes, in_dim, p.batch);
+  b.AddSimdOp("softmax", OpKind::kSoftmax, {head}, p.batch * p.classes,
+              /*symbolic=*/false);
+  return b.Finish();
+}
+
+OperatorGraph MakeResnet18Classifier(const Resnet18ClassifierParams& p) {
+  GraphBuilder b("ResNet18", PrecisionPolicy::Uniform(Precision::kINT8),
+                 /*loop_count=*/1);
+  const NodeId input = b.AddInput(
+      "image", static_cast<double>(p.batch * 3 * p.input_size * p.input_size));
+  const NodeId backbone = b.AddResNet18(input, p.input_size, p.batch);
+  // Global-average-pooled features into the fc head the NSAI frontends drop.
+  const NodeId pooled = b.AddSimdOp("avgpool", OpKind::kVecSum, {backbone},
+                                    p.batch * 512, /*symbolic=*/false);
+  const NodeId logits =
+      b.AddLinear("fc", pooled, p.classes, 512, p.batch);
+  b.AddSimdOp("softmax", OpKind::kSoftmax, {logits}, p.batch * p.classes,
+              /*symbolic=*/false);
+  return b.Finish();
+}
+
 OperatorGraph MakeParametricNsai(double symbolic_mem_fraction,
                                  std::int64_t input_size, std::int64_t batch) {
   NSF_CHECK_MSG(symbolic_mem_fraction >= 0.0 && symbolic_mem_fraction < 1.0,

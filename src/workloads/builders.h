@@ -66,6 +66,28 @@ struct PraeParams {
 };
 OperatorGraph MakePrae(const PraeParams& params = {});
 
+/// Purely-neural serving workloads — the small/medium tenants a multi-tenant
+/// NSFlow-Serve pool mixes with the NSAI reasoning models (the paper's
+/// Fig. 2 flow compiles classic NN workloads end-to-end through the same
+/// frontend; the AdArray simply never folds into VSA mode).
+
+struct MlpParams {
+  std::int64_t input_dim = 784;   // MNIST-style flattened input.
+  std::int64_t hidden_dim = 1024;
+  std::int64_t hidden_layers = 3;
+  std::int64_t classes = 10;
+  std::int64_t batch = 16;
+};
+OperatorGraph MakeMlp(const MlpParams& params = {});
+
+struct Resnet18ClassifierParams {
+  std::int64_t input_size = 160;  // Square input edge.
+  std::int64_t batch = 16;
+  std::int64_t classes = 1000;
+};
+OperatorGraph MakeResnet18Classifier(
+    const Resnet18ClassifierParams& params = {});
+
 /// Ablation workload (Fig. 6): a ResNet-18 frontend plus enough VSA nodes
 /// that symbolic data accounts for `symbolic_mem_fraction` of the total
 /// memory footprint (0 disables the symbolic part entirely).

@@ -1,0 +1,293 @@
+// Tests for the multi-tenant serving path: CompileCache content-hash
+// memoization, per-workload batch purity and FIFO order in the
+// MultiBatchFormer, workload-set-aware dispatch, and fixed-seed determinism
+// of a 3-workload mixed serve run.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/batch_former.h"
+#include "serve/engine.h"
+#include "serve/server_pool.h"
+#include "serve/workload_registry.h"
+#include "workloads/builders.h"
+
+namespace nsflow::serve {
+namespace {
+
+Request At(std::int64_t id, double arrival_s, WorkloadId workload) {
+  return Request{id, arrival_s, workload};
+}
+
+/// One registry shared by the whole suite: the three mix workloads are
+/// compiled exactly once no matter how many tests exercise them.
+WorkloadRegistry& SharedRegistry() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    r->RegisterBuiltin("mlp");
+    r->RegisterBuiltin("resnet18");
+    r->RegisterBuiltin("nvsa");
+    return r;
+  }();
+  return *registry;
+}
+
+// -------------------------------------------------------------- compile cache
+
+TEST(CompileCacheTest, HitsOnIdenticalTraceContent) {
+  WorkloadRegistry registry;
+  const WorkloadId a = registry.Register("a", workloads::MakeMlp());
+  EXPECT_EQ(registry.cache().misses(), 1);
+  EXPECT_EQ(registry.cache().hits(), 0);
+
+  // Same builder, same params -> same trace content -> cache hit, and both
+  // names share one CompiledDesign instance.
+  const WorkloadId b = registry.Register("b", workloads::MakeMlp());
+  EXPECT_EQ(registry.cache().misses(), 1);
+  EXPECT_EQ(registry.cache().hits(), 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(&registry.compiled(a), &registry.compiled(b));
+
+  // Different content misses.
+  workloads::MlpParams small;
+  small.hidden_dim = 256;
+  registry.Register("c", workloads::MakeMlp(small));
+  EXPECT_EQ(registry.cache().misses(), 2);
+}
+
+TEST(CompileCacheTest, ContentHashTracksTraceContent) {
+  const auto h1 = CompileCache::ContentHash(workloads::MakeMlp());
+  const auto h2 = CompileCache::ContentHash(workloads::MakeMlp());
+  EXPECT_EQ(h1, h2);
+  workloads::MlpParams other;
+  other.hidden_layers = 2;
+  EXPECT_NE(h1, CompileCache::ContentHash(workloads::MakeMlp(other)));
+}
+
+TEST(CompileCacheTest, ReregisteringSameNameSameContentReturnsSameId) {
+  WorkloadRegistry registry;
+  const WorkloadId first = registry.Register("mlp", workloads::MakeMlp());
+  const WorkloadId again = registry.Register("mlp", workloads::MakeMlp());
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(registry.size(), 1);
+  // Same name with different content is rejected.
+  workloads::MlpParams other;
+  other.classes = 20;
+  EXPECT_ANY_THROW(registry.Register("mlp", workloads::MakeMlp(other)));
+}
+
+TEST(CompileCacheTest, UnknownNamesThrow) {
+  WorkloadRegistry registry;
+  EXPECT_ANY_THROW(registry.RegisterBuiltin("not-a-workload"));
+  EXPECT_ANY_THROW(registry.IdOf("missing"));
+  EXPECT_FALSE(registry.Contains("missing"));
+}
+
+// ------------------------------------------------------------- multi former
+
+TEST(MultiBatchFormerTest, BatchesNeverMixWorkloads) {
+  MultiBatchFormer former(BatchPolicy{4, 1.0}, 2);
+  const std::vector<double> idle(2, 0.0);
+  std::vector<Batch> closed;
+  // Interleaved arrivals: w0, w1, w0, w1, ... Each lane fills to 4 on its
+  // own; every closed batch must be single-workload.
+  for (int i = 0; i < 16; ++i) {
+    for (Batch& batch :
+         former.Add(At(i, 0.001 * i, static_cast<WorkloadId>(i % 2)), idle)) {
+      closed.push_back(std::move(batch));
+    }
+  }
+  ASSERT_EQ(closed.size(), 4u);
+  for (const Batch& batch : closed) {
+    EXPECT_EQ(batch.size(), 4);
+    for (const Request& request : batch.requests) {
+      EXPECT_EQ(request.workload, batch.workload);
+    }
+  }
+}
+
+TEST(MultiBatchFormerTest, FifoOrderWithinWorkload) {
+  MultiBatchFormer former(BatchPolicy{8, 0.005}, 3);
+  const std::vector<double> idle(3, 0.0);
+  std::vector<Batch> closed;
+  // Round-robin arrivals across 3 workloads, then flush.
+  for (int i = 0; i < 12; ++i) {
+    for (Batch& batch :
+         former.Add(At(i, 1e-4 * i, static_cast<WorkloadId>(i % 3)), idle)) {
+      closed.push_back(std::move(batch));
+    }
+  }
+  for (Batch& batch : former.Flush(1.0)) {
+    closed.push_back(std::move(batch));
+  }
+  std::int64_t total = 0;
+  for (const Batch& batch : closed) {
+    for (std::size_t i = 1; i < batch.requests.size(); ++i) {
+      EXPECT_LT(batch.requests[i - 1].id, batch.requests[i].id);
+      EXPECT_LT(batch.requests[i - 1].arrival_s, batch.requests[i].arrival_s);
+    }
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 12);
+}
+
+TEST(MultiBatchFormerTest, ExpiredLanesCloseOldestHeadOfLineFirst) {
+  MultiBatchFormer former(BatchPolicy{8, 0.005}, 3);
+  const std::vector<double> idle(3, 0.0);
+  // Lane 2's head arrives first, then lane 0's: both wait past their
+  // deadlines; a late arrival on lane 1 must close lane 2 before lane 0.
+  EXPECT_TRUE(former.Add(At(0, 0.000, 2), idle).empty());
+  EXPECT_TRUE(former.Add(At(1, 0.002, 0), idle).empty());
+  const std::vector<Batch> closed = former.Add(At(2, 0.100, 1), idle);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].workload, 2);
+  EXPECT_DOUBLE_EQ(closed[0].formed_s, 0.005);  // Its own deadline.
+  EXPECT_EQ(closed[1].workload, 0);
+  EXPECT_DOUBLE_EQ(closed[1].formed_s, 0.007);
+  EXPECT_EQ(former.pending(1), 1);
+}
+
+TEST(MultiBatchFormerTest, BusyHorizonStretchesPerWorkload) {
+  MultiBatchFormer former(BatchPolicy{8, 0.005}, 2);
+  // Workload 0's replicas are busy until t=0.1; workload 1's are idle.
+  const std::vector<double> busy = {0.100, 0.0};
+  EXPECT_TRUE(former.Add(At(0, 0.000, 0), busy).empty());
+  EXPECT_TRUE(former.Add(At(1, 0.001, 1), busy).empty());
+  // t=0.050: lane 1 is past its (unstretched) deadline and closes; lane 0
+  // keeps absorbing backlog until its busy horizon.
+  const std::vector<Batch> closed = former.Add(At(2, 0.050, 0), busy);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].workload, 1);
+  EXPECT_EQ(former.pending(0), 2);
+  // t=0.120 passes the stretched horizon: lane 0 closes at it.
+  const std::vector<Batch> after = former.Add(At(3, 0.120, 1), busy);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].workload, 0);
+  EXPECT_DOUBLE_EQ(after[0].formed_s, 0.100);
+}
+
+// ------------------------------------------------------------ pool routing
+
+TEST(MultiTenantPoolTest, PartitionedDispatchRespectsWorkloadSets) {
+  WorkloadRegistry& registry = SharedRegistry();
+  // Replica r serves only workload r (3 replicas, 3 workloads).
+  const std::vector<ReplicaSpec> specs =
+      registry.ReplicaSpecs(registry.size(), /*partitioned=*/true);
+  ServerPool pool(specs, registry.Dataflows());
+  for (int r = 0; r < pool.size(); ++r) {
+    for (WorkloadId w = 0; w < pool.workloads(); ++w) {
+      EXPECT_EQ(pool.CanServe(r, w), r == w);
+    }
+  }
+
+  ServeStats stats(pool.size(), pool.workloads());
+  for (int i = 0; i < 6; ++i) {
+    Batch batch;
+    batch.workload = static_cast<WorkloadId>(i % 3);
+    batch.formed_s = 0.0;
+    batch.requests = {At(i, 0.0, batch.workload)};
+    const DispatchRecord record = pool.Dispatch(batch, &stats);
+    EXPECT_EQ(record.replica, batch.workload);  // Only capable replica.
+    EXPECT_EQ(record.workload, batch.workload);
+  }
+  // A batch for a workload with no capable replica is rejected up front at
+  // pool construction, not dispatch: constructing such a pool throws.
+  std::vector<ReplicaSpec> uncovered = {
+      ReplicaSpec{registry.compiled(0).design(), {0}, 0}};
+  EXPECT_ANY_THROW(ServerPool(uncovered, registry.Dataflows()));
+  // So is a partitioned layout with fewer replicas than workloads.
+  EXPECT_ANY_THROW(registry.ReplicaSpecs(registry.size() - 1,
+                                         /*partitioned=*/true));
+}
+
+TEST(MultiTenantPoolTest, LatencyCacheIsKeyedByWorkload) {
+  WorkloadRegistry& registry = SharedRegistry();
+  // One replica, one design, serving all three workloads: the same batch
+  // size must yield per-workload service times (mlp is far lighter than
+  // nvsa).
+  const WorkloadId nvsa = registry.IdOf("nvsa");
+  std::vector<ReplicaSpec> specs = {
+      ReplicaSpec{registry.ProvisionDesign(nvsa), {}, nvsa}};
+  ServerPool pool(specs, registry.Dataflows());
+  const double mlp_s = pool.BatchSeconds(0, registry.IdOf("mlp"), 4);
+  const double nvsa_s = pool.BatchSeconds(0, registry.IdOf("nvsa"), 4);
+  EXPECT_GT(mlp_s, 0.0);
+  EXPECT_GT(nvsa_s, mlp_s);
+}
+
+// ----------------------------------------------------------- mixed serving
+
+TEST(MultiTenantServeTest, ThreeWorkloadMixIsDeterministicUnderFixedSeed) {
+  WorkloadRegistry& registry = SharedRegistry();
+  const std::vector<WorkloadShare> mix = {
+      {"mlp", 0.6}, {"resnet18", 0.3}, {"nvsa", 0.1}};
+  const std::vector<ReplicaSpec> replicas =
+      registry.ReplicaSpecs(4, /*partitioned=*/false);
+  ServeOptions options;
+  options.qps = 150.0;
+  options.duration_s = 0.4;
+  options.seed = 7;
+
+  const ServeReport first =
+      RunSyntheticServe(registry, replicas, mix, options);
+  const ServeReport second =
+      RunSyntheticServe(registry, replicas, mix, options);
+
+  EXPECT_EQ(first.generated_requests, second.generated_requests);
+  ASSERT_EQ(first.dispatches.size(), second.dispatches.size());
+  for (std::size_t i = 0; i < first.dispatches.size(); ++i) {
+    EXPECT_EQ(first.dispatches[i].replica, second.dispatches[i].replica);
+    EXPECT_EQ(first.dispatches[i].workload, second.dispatches[i].workload);
+    EXPECT_DOUBLE_EQ(first.dispatches[i].start_s,
+                     second.dispatches[i].start_s);
+    EXPECT_DOUBLE_EQ(first.dispatches[i].complete_s,
+                     second.dispatches[i].complete_s);
+    EXPECT_EQ(first.dispatches[i].size, second.dispatches[i].size);
+  }
+  ASSERT_EQ(first.summary.per_workload.size(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(first.summary.per_workload[w].completed,
+              second.summary.per_workload[w].completed);
+    EXPECT_DOUBLE_EQ(first.summary.per_workload[w].p99_ms,
+                     second.summary.per_workload[w].p99_ms);
+  }
+
+  // All generated traffic completes, every workload in the mix saw some,
+  // and the shares roughly track the mix (0.6 mlp vs 0.1 nvsa).
+  EXPECT_EQ(first.summary.completed, first.generated_requests);
+  const auto& slices = first.summary.per_workload;
+  EXPECT_EQ(slices[0].name, "mlp");
+  EXPECT_GT(slices[0].completed, 0);
+  EXPECT_GT(slices[1].completed, 0);
+  EXPECT_GT(slices[2].completed, 0);
+  EXPECT_GT(slices[0].completed, slices[2].completed);
+
+  // A different seed draws a different (time, workload) trace.
+  options.seed = 99;
+  const ServeReport other =
+      RunSyntheticServe(registry, replicas, mix, options);
+  EXPECT_NE(other.summary.p99_ms, first.summary.p99_ms);
+}
+
+TEST(MultiTenantServeTest, ArrivalMixSamplingIsSeeded) {
+  ServeOptions options;
+  options.qps = 500.0;
+  options.duration_s = 1.0;
+  options.seed = 11;
+  const std::vector<double> shares = {0.6, 0.3, 0.1};
+  const auto first = SyntheticArrivals(options, shares);
+  const auto second = SyntheticArrivals(options, shares);
+  ASSERT_EQ(first.size(), second.size());
+  std::vector<std::int64_t> counts(3, 0);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].workload, second[i].workload);
+    EXPECT_DOUBLE_EQ(first[i].arrival_s, second[i].arrival_s);
+    ++counts[static_cast<std::size_t>(first[i].workload)];
+  }
+  // Law of large numbers at ~500 samples: ordering of shares is preserved.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+}  // namespace
+}  // namespace nsflow::serve

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in docs/*.md and README.md resolve.
+
+No network: external links (http/https/mailto) are skipped; everything
+else is resolved against the linking file's directory (or the repo root
+for absolute-style paths) and must exist. Anchors are stripped — only the
+file part is checked. Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images is unnecessary; they must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def check(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:  # Pure in-page anchor.
+            continue
+        if file_part.startswith("/"):
+            resolved = os.path.join(REPO_ROOT, file_part.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), file_part)
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    files = md_files()
+    failures = 0
+    for path in files:
+        for target, resolved in check(path):
+            rel = os.path.relpath(path, REPO_ROOT)
+            print(f"BROKEN: {rel}: ({target}) -> {resolved}")
+            failures += 1
+    print(f"checked {len(files)} file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
