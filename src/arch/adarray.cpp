@@ -43,29 +43,40 @@ ArrayRun AdArray::RunGemm(const Tensor& a, const Tensor& b, std::int64_t nl) {
   const std::int64_t row_tiles = CeilDiv(n_per_array, h);
   const std::int64_t col_tiles = CeilDiv(k, w);
 
+  // Hot loop: raw row pointers and hoisted tile bounds — the per-element
+  // at2() index arithmetic would dominate the MAC work otherwise. The loop
+  // order (and so the float accumulation order) is exactly the tiled
+  // hardware schedule above, keeping outputs bit-identical.
+  const float* a_data = a.data();
+  const float* b_data = b.data();
+  float* out_data = run.output.data();
   for (std::int64_t sub = 0; sub < nl; ++sub) {
     const std::int64_t n0 = sub * n_per_array;
     if (n0 >= n) {
       break;  // Trailing sub-arrays idle when n does not fill them.
     }
+    const std::int64_t n_end = std::min(n, n0 + n_per_array);
     for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
       const std::int64_t r0 = n0 + rt * h;
-      if (r0 >= std::min(n, n0 + n_per_array)) {
+      if (r0 >= n_end) {
         break;
       }
-      const std::int64_t r1 = std::min({n, n0 + n_per_array, r0 + h});
+      const std::int64_t r1 = std::min(n_end, r0 + h);
       for (std::int64_t ct = 0; ct < col_tiles; ++ct) {
         const std::int64_t c0 = ct * w;
         const std::int64_t c1 = std::min(k, c0 + w);
         // One array pass: C[:, c0:c1] += A[:, r0:r1] * B[r0:r1, c0:c1].
         for (std::int64_t i = 0; i < m; ++i) {
+          const float* a_row = a_data + i * n;
+          float* out_row = out_data + i * k;
           for (std::int64_t r = r0; r < r1; ++r) {
-            const float av = a.at2(i, r);
+            const float av = a_row[r];
             if (av == 0.0f) {
-              continue;
+              continue;  // Sparse activations skip whole B rows.
             }
+            const float* b_row = b_data + r * k;
             for (std::int64_t c = c0; c < c1; ++c) {
-              run.output.at2(i, c) += av * b.at2(r, c);
+              out_row[c] += av * b_row[c];
             }
           }
         }
@@ -99,18 +110,24 @@ ArrayRun AdArray::RunCircConvBatch(const Tensor& a, const Tensor& b,
   run.output = Tensor({count, d});
   // Functional result: each vector pair convolves independently; hardware
   // mapping (spatial vs. temporal) only changes *where*, not *what*.
+  // Hot loop: the wrap-around index Mod(n - k, d) is replaced by splitting
+  // the k range at n (k <= n reads b[n-k], k > n reads b[n-k+d]) — same
+  // ascending-k accumulation order, so results stay bit-identical, without
+  // a modulo per MAC.
   for (std::int64_t v = 0; v < count; ++v) {
-    std::span<const float> av{a.data() + v * d, static_cast<std::size_t>(d)};
-    std::span<const float> bv{b.data() + v * d, static_cast<std::size_t>(d)};
-    std::span<float> ov{run.output.data() + v * d,
-                        static_cast<std::size_t>(d)};
+    const float* av = a.row(v);
+    const float* bv = b.row(v);
+    float* ov = run.output.row(v);
     for (std::int64_t n = 0; n < d; ++n) {
       double acc = 0.0;
-      for (std::int64_t k = 0; k < d; ++k) {
-        acc += static_cast<double>(av[static_cast<std::size_t>(k)]) *
-               static_cast<double>(bv[static_cast<std::size_t>(Mod(n - k, d))]);
+      for (std::int64_t k = 0; k <= n; ++k) {
+        acc += static_cast<double>(av[k]) * static_cast<double>(bv[n - k]);
       }
-      ov[static_cast<std::size_t>(n)] = static_cast<float>(acc);
+      for (std::int64_t k = n + 1; k < d; ++k) {
+        acc += static_cast<double>(av[k]) *
+               static_cast<double>(bv[n - k + d]);
+      }
+      ov[n] = static_cast<float>(acc);
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/fastpath.h"
 #include "common/error.h"
 
 namespace nsflow::arch {
@@ -19,8 +20,20 @@ Controller::Controller(const AcceleratorDesign& design,
   }
 }
 
+SimReport Controller::EstimateLoop() const {
+  return arch::EstimateLoop(design_, dfg_);
+}
+
 SimReport Controller::RunLoop() {
-  SimReport report;
+  SimReport report = arch::EstimateLoop(design_, dfg_);
+  ReplayLoopTraffic();
+  // Unlike the per-loop estimate, RunLoop reports the memory system's
+  // cumulative AXI traffic (statistics accumulate across calls).
+  report.dram_bytes = memory_.dram_bytes();
+  return report;
+}
+
+void Controller::ReplayLoopTraffic() {
   const auto& layers = dfg_.layers();
   const auto& vsa = dfg_.vsa_ops();
 
@@ -36,23 +49,12 @@ SimReport Controller::RunLoop() {
     array_.Fold({nn_share, design_.array.count - nn_share});
   }
 
-  // ------------------------------------------------------------- NN lane
-  for (std::size_t i = 0; i < layers.size(); ++i) {
-    const auto& layer = layers[i];
-    const std::int64_t nl =
-        design_.sequential_mode ? design_.array.count : design_.nl[i];
+  for (const auto& layer : layers) {
     // Stage this layer's filters into MemA1's shadow buffer while the
     // previous layer computes, then swap (double buffering).
-    NSF_CHECK_MSG(layer.weight_bytes <= memory_.MemANnCapacity() / 2.0 + 0.5 ||
-                      layer.weight_bytes <=
-                          memory_.mem_a1().capacity() / 2.0 + 0.5,
-                  "DSE memory sizing must fit the largest filter");
     memory_.mem_a1().Stage(
         std::min(layer.weight_bytes, memory_.mem_a1().capacity() / 2.0));
     memory_.mem_a1().Swap();
-    report.mem_a_swaps += 1.0;
-
-    report.nn_lane_cycles += LayerCycles(design_.array, nl, layer.gemm);
     memory_.mem_b().Read(layer.weight_bytes);  // IFMAP stream proxy.
     memory_.mem_c().Clear();
     memory_.mem_c().Write(
@@ -64,95 +66,38 @@ SimReport Controller::RunLoop() {
     if (layer.output_bytes > memory_.cache().capacity()) {
       bytes += layer.output_bytes;
     }
-    report.dram_cycles += memory_.DramTransfer(bytes);
-    ++report.kernels_executed;
+    memory_.DramTransfer(bytes);
   }
 
-  // ------------------------------------------------------------ VSA lane
-  if (!vsa.empty()) {
-    std::vector<std::int64_t> nv;
-    nv.reserve(vsa.size());
-    for (std::size_t j = 0; j < vsa.size(); ++j) {
-      nv.push_back(design_.sequential_mode ? design_.array.count
-                                           : design_.nv[j]);
-    }
-    report.vsa_lane_cycles = VsaTotalCycles(design_.array, vsa, nv);
-    for (const auto& v : vsa) {
-      memory_.mem_a2().Stage(std::min(
-          v.bytes / 2.0, memory_.mem_a2().capacity() / 2.0));  // Stationary.
-      memory_.mem_a2().Swap();
-      report.mem_a_swaps += 1.0;
-      report.dram_cycles += memory_.DramTransfer(v.bytes);
-      ++report.kernels_executed;
-    }
+  for (const auto& v : vsa) {
+    memory_.mem_a2().Stage(std::min(
+        v.bytes / 2.0, memory_.mem_a2().capacity() / 2.0));  // Stationary.
+    memory_.mem_a2().Swap();
+    memory_.DramTransfer(v.bytes);
   }
-
-  // --------------------------------------------------------------- Merge
-  report.array_cycles =
-      design_.sequential_mode
-          ? report.nn_lane_cycles + report.vsa_lane_cycles
-          : std::max(report.nn_lane_cycles, report.vsa_lane_cycles);
-
-  report.simd_cycles = SimdCycles(dfg_.TotalSimdElems(), design_.simd_width);
-  report.simd_exposed_cycles =
-      std::max(0.0, report.simd_cycles - report.array_cycles);
-  report.dram_stall_cycles =
-      std::max(0.0, report.dram_cycles - report.array_cycles);
-  report.total_cycles = report.array_cycles + report.simd_exposed_cycles +
-                        report.dram_stall_cycles;
-  report.dram_bytes = memory_.dram_bytes();
-  return report;
 }
 
 double Controller::WeightDramCycles() const {
-  double weight_bytes = 0.0;
-  for (const auto& layer : dfg_.layers()) {
-    weight_bytes += layer.weight_bytes;
-  }
-  for (const auto& v : dfg_.vsa_ops()) {
-    // Only the stationary half of a VSA node's footprint stays resident
-    // across batch items (RunLoop stages v.bytes / 2 into MemA2); the
-    // streamed query operand is per-request traffic.
-    weight_bytes += v.bytes / 2.0;
-  }
-  return weight_bytes / memory_.bytes_per_cycle();
+  return EstimateWeightDramCycles(design_, dfg_);
 }
 
 double Controller::RunWorkloadBatch(int batch_size) {
+  // Validate before RunLoop(): a rejected batch size must not leave one
+  // loop's traffic accumulated in the unit statistics.
   NSF_CHECK_MSG(batch_size >= 1, "batch size must be positive");
-  const SimReport steady = RunLoop();
-  const int loops = std::max(1, dfg_.source().loop_count());
-  const double first = WorkloadSeconds(steady, loops);
-  if (batch_size == 1) {
-    return first;
-  }
-  // Marginal loop cost for tasks 2..B: same array/SIMD work, but the
-  // stationary-operand AXI traffic disappears (weight-stationary serving),
-  // shrinking — often eliminating — the exposed DRAM stall.
-  const double amortized_dram =
-      std::max(0.0, steady.dram_cycles - WeightDramCycles());
-  const double amortized_stall =
-      std::max(0.0, amortized_dram - steady.array_cycles);
-  const double marginal_cycles =
-      steady.array_cycles + steady.simd_exposed_cycles + amortized_stall;
-  return first + static_cast<double>(batch_size - 1) *
-                     static_cast<double>(loops) * marginal_cycles /
-                     design_.clock_hz;
+  return BatchSecondsFromReport(design_, dfg_, RunLoop(), batch_size);
 }
 
 double Controller::RunWorkload() {
-  const SimReport steady = RunLoop();
-  return WorkloadSeconds(steady, std::max(1, dfg_.source().loop_count()));
+  return WorkloadSecondsFromReport(design_, dfg_, RunLoop());
 }
 
-double Controller::WorkloadSeconds(const SimReport& steady, int loops) const {
-  if (design_.sequential_mode || loops == 1) {
-    return steady.Seconds(design_.clock_hz) * loops;
-  }
-  const double fill = steady.nn_lane_cycles + steady.vsa_lane_cycles +
-                      steady.simd_exposed_cycles + steady.dram_stall_cycles;
-  return (fill + static_cast<double>(loops - 1) * steady.total_cycles) /
-         design_.clock_hz;
+double Controller::EstimateWorkload() const {
+  return EstimateWorkloadSeconds(design_, dfg_);
+}
+
+double Controller::EstimateWorkloadBatch(int batch_size) const {
+  return EstimateWorkloadBatchSeconds(design_, dfg_, batch_size);
 }
 
 }  // namespace nsflow::arch

@@ -11,6 +11,13 @@
 // buffering could not hide. In sequential mode MemA1/MemA2 are merged and
 // every kernel owns the whole array.
 //
+// Timing is a pure function of (design, dataflow graph): the cycle math
+// lives in arch/fastpath.h and the controller delegates to it, so the
+// Estimate* methods return bit-identical numbers to their Run* twins while
+// touching no simulator state. Run* additionally replays the loop's memory
+// traffic into the units so their statistics (occupancy, bytes moved, DRAM
+// totals) describe a real execution.
+//
 // The controller's measured totals are validated against the closed-form
 // accelerator model (model/accel_model.h) in tests.
 #pragma once
@@ -19,28 +26,12 @@
 
 #include "arch/adarray.h"
 #include "arch/memory_system.h"
+#include "arch/sim_report.h"
 #include "arch/simd_unit.h"
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 
 namespace nsflow::arch {
-
-/// Cycle/traffic report for one simulated loop.
-struct SimReport {
-  double nn_lane_cycles = 0.0;
-  double vsa_lane_cycles = 0.0;
-  double array_cycles = 0.0;        // max (parallel) or sum (sequential).
-  double simd_cycles = 0.0;
-  double simd_exposed_cycles = 0.0;
-  double dram_cycles = 0.0;
-  double dram_stall_cycles = 0.0;
-  double total_cycles = 0.0;
-  double dram_bytes = 0.0;
-  double mem_a_swaps = 0.0;         // Double-buffer swaps performed.
-  int kernels_executed = 0;
-
-  double Seconds(double clock_hz) const { return total_cycles / clock_hz; }
-};
 
 class Controller {
  public:
@@ -61,6 +52,14 @@ class Controller {
   /// of the DRAM stall. Batch size 1 degenerates to RunWorkload().
   double RunWorkloadBatch(int batch_size);
 
+  /// Timing-only twins of RunLoop / RunWorkload / RunWorkloadBatch: the same
+  /// numbers (bit-identical doubles; EstimateLoop's `dram_bytes` is per-loop
+  /// where RunLoop's accumulates across calls), no tensor movement, no unit
+  /// mutation. These are the serve-path entry points.
+  SimReport EstimateLoop() const;
+  double EstimateWorkload() const;
+  double EstimateWorkloadBatch(int batch_size) const;
+
   /// AXI cycles one loop spends moving stationary operands (NN filters plus
   /// stationary VSA vectors) — the share a batch amortizes.
   double WeightDramCycles() const;
@@ -70,9 +69,9 @@ class Controller {
   MemorySystem& memory() { return memory_; }
 
  private:
-  /// End-to-end seconds for `loops` iterations given one steady-state loop
-  /// report (the first loop pays the un-overlapped pipeline fill).
-  double WorkloadSeconds(const SimReport& steady, int loops) const;
+  /// Push one loop's worth of traffic through the memory system and the
+  /// array fold so unit statistics reflect the execution RunLoop reports.
+  void ReplayLoopTraffic();
 
   const AcceleratorDesign& design_;
   const DataflowGraph& dfg_;

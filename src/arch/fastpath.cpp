@@ -1,0 +1,213 @@
+#include "arch/fastpath.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/analytical.h"
+
+namespace nsflow::arch {
+
+LoopAlloc TunedAlloc(const AcceleratorDesign& design,
+                     const DataflowGraph& dfg) {
+  LoopAlloc alloc;
+  if (design.sequential_mode) {
+    // Single-kind execution: every kernel in turn owns the whole array.
+    alloc.uniform_nl = design.array.count;
+    alloc.uniform_nv = design.array.count;
+    return alloc;
+  }
+  NSF_CHECK_MSG(design.nl.size() == dfg.layers().size(),
+                "tuned design needs one Nl entry per layer");
+  NSF_CHECK_MSG(design.nv.size() == dfg.vsa_ops().size(),
+                "tuned design needs one Nv entry per VSA node");
+  alloc.nl = design.nl;
+  alloc.nv = design.nv;
+  return alloc;
+}
+
+LoopAlloc RefitAlloc(const AcceleratorDesign& design,
+                     const DataflowGraph& dfg) {
+  LoopAlloc alloc;
+  if (design.sequential_mode || dfg.vsa_ops().empty()) {
+    // Whole array per kernel: sequential execution, or an all-NN graph for
+    // which the adaptive array refolds every sub-array into GEMM mode.
+    alloc.uniform_nl = design.array.count;
+    alloc.uniform_nv = design.array.count;
+    return alloc;
+  }
+  const std::int64_t nn_share =
+      design.default_nl > 0 && design.default_nl < design.array.count
+          ? design.default_nl
+          : std::max<std::int64_t>(1, design.array.count / 2);
+  alloc.uniform_nl = nn_share;
+  alloc.uniform_nv = design.array.count - nn_share;
+  return alloc;
+}
+
+SimReport EstimateLoopReport(const AcceleratorDesign& design,
+                             const DataflowGraph& dfg,
+                             const LoopAlloc& alloc) {
+  SimReport report;
+  const auto& layers = dfg.layers();
+  const auto& vsa = dfg.vsa_ops();
+  NSF_CHECK_MSG(alloc.nl.empty() || alloc.nl.size() == layers.size(),
+                "allocation needs one Nl entry per layer");
+  NSF_CHECK_MSG(alloc.nv.empty() || alloc.nv.size() == vsa.size(),
+                "allocation needs one Nv entry per VSA node");
+
+  // Derived exactly as the controller derives them at construction: the AXI
+  // rate from the design's bandwidth/clock ratio, and the MemA partitioning
+  // merged in sequential (single-kind) mode.
+  const double bytes_per_cycle = design.dram_bandwidth / design.clock_hz;
+  const double mem_a1_capacity = design.memory.mem_a1_bytes;
+  const double mem_a_nn_capacity =
+      design.sequential_mode
+          ? design.memory.mem_a1_bytes + design.memory.mem_a2_bytes
+          : design.memory.mem_a1_bytes;
+
+  // ------------------------------------------------------------- NN lane
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& layer = layers[i];
+    NSF_CHECK_MSG(layer.weight_bytes <= mem_a_nn_capacity / 2.0 + 0.5 ||
+                      layer.weight_bytes <= mem_a1_capacity / 2.0 + 0.5,
+                  "DSE memory sizing must fit the largest filter");
+    report.mem_a_swaps += 1.0;
+    report.nn_lane_cycles +=
+        LayerCycles(design.array, alloc.Nl(i), layer.gemm);
+
+    // AXI traffic: filters always; outputs only when the URAM cache cannot
+    // hold them for the next consumer.
+    double bytes = layer.weight_bytes;
+    if (layer.output_bytes > design.memory.cache_bytes) {
+      bytes += layer.output_bytes;
+    }
+    report.dram_cycles += bytes / bytes_per_cycle;
+    report.dram_bytes += bytes;
+    ++report.kernels_executed;
+  }
+
+  // ------------------------------------------------------------ VSA lane
+  if (!vsa.empty()) {
+    // Eq. (5) walked per node in list order — the same accumulation
+    // VsaTotalCycles performs, without materializing an Nv vector.
+    double temporal = 0.0;
+    double spatial = 0.0;
+    for (std::size_t j = 0; j < vsa.size(); ++j) {
+      const std::int64_t nv = alloc.Nv(j);
+      temporal += VsaTemporalCycles(design.array, nv, vsa[j].vsa);
+      spatial += VsaSpatialCycles(design.array, nv, vsa[j].vsa);
+    }
+    report.vsa_lane_cycles = std::min(temporal, spatial);
+    for (const auto& v : vsa) {
+      report.mem_a_swaps += 1.0;
+      report.dram_cycles += v.bytes / bytes_per_cycle;
+      report.dram_bytes += v.bytes;
+      ++report.kernels_executed;
+    }
+  }
+
+  // --------------------------------------------------------------- Merge
+  report.array_cycles =
+      design.sequential_mode
+          ? report.nn_lane_cycles + report.vsa_lane_cycles
+          : std::max(report.nn_lane_cycles, report.vsa_lane_cycles);
+
+  report.simd_cycles = SimdCycles(dfg.TotalSimdElems(), design.simd_width);
+  report.simd_exposed_cycles =
+      std::max(0.0, report.simd_cycles - report.array_cycles);
+  report.dram_stall_cycles =
+      std::max(0.0, report.dram_cycles - report.array_cycles);
+  report.total_cycles = report.array_cycles + report.simd_exposed_cycles +
+                        report.dram_stall_cycles;
+  return report;
+}
+
+SimReport EstimateLoop(const AcceleratorDesign& design,
+                       const DataflowGraph& dfg) {
+  return EstimateLoopReport(design, dfg, TunedAlloc(design, dfg));
+}
+
+double EstimateWeightDramCycles(const AcceleratorDesign& design,
+                                const DataflowGraph& dfg) {
+  double weight_bytes = 0.0;
+  for (const auto& layer : dfg.layers()) {
+    weight_bytes += layer.weight_bytes;
+  }
+  for (const auto& v : dfg.vsa_ops()) {
+    // Only the stationary half of a VSA node's footprint stays resident
+    // across batch items; the streamed query operand is per-request traffic.
+    weight_bytes += v.bytes / 2.0;
+  }
+  return weight_bytes / (design.dram_bandwidth / design.clock_hz);
+}
+
+double WorkloadSecondsFromReport(const AcceleratorDesign& design,
+                                 const DataflowGraph& dfg,
+                                 const SimReport& steady) {
+  const int loops = std::max(1, dfg.source().loop_count());
+  if (design.sequential_mode || loops == 1) {
+    return steady.Seconds(design.clock_hz) * loops;
+  }
+  const double fill = steady.nn_lane_cycles + steady.vsa_lane_cycles +
+                      steady.simd_exposed_cycles + steady.dram_stall_cycles;
+  return (fill + static_cast<double>(loops - 1) * steady.total_cycles) /
+         design.clock_hz;
+}
+
+ServingModel ServingModelFromReport(const AcceleratorDesign& design,
+                                    const DataflowGraph& dfg,
+                                    const SimReport& steady) {
+  ServingModel model;
+  model.loops = std::max(1, dfg.source().loop_count());
+  model.clock_hz = design.clock_hz;
+  model.first_seconds = WorkloadSecondsFromReport(design, dfg, steady);
+  // Marginal loop cost for tasks 2..B: same array/SIMD work, but the
+  // stationary-operand AXI traffic disappears (weight-stationary serving),
+  // shrinking — often eliminating — the exposed DRAM stall.
+  const double amortized_dram = std::max(
+      0.0, steady.dram_cycles - EstimateWeightDramCycles(design, dfg));
+  const double amortized_stall =
+      std::max(0.0, amortized_dram - steady.array_cycles);
+  model.marginal_cycles =
+      steady.array_cycles + steady.simd_exposed_cycles + amortized_stall;
+  return model;
+}
+
+ServingModel BuildServingModel(const AcceleratorDesign& design,
+                               const DataflowGraph& dfg, bool tuned) {
+  const LoopAlloc alloc =
+      tuned ? TunedAlloc(design, dfg) : RefitAlloc(design, dfg);
+  return ServingModelFromReport(design, dfg,
+                                EstimateLoopReport(design, dfg, alloc));
+}
+
+double BatchSecondsFromReport(const AcceleratorDesign& design,
+                              const DataflowGraph& dfg,
+                              const SimReport& steady, int batch_size) {
+  NSF_CHECK_MSG(batch_size >= 1, "batch size must be positive");
+  return ServingModelFromReport(design, dfg, steady).BatchSeconds(batch_size);
+}
+
+double EstimateWorkloadSeconds(const AcceleratorDesign& design,
+                               const DataflowGraph& dfg) {
+  return WorkloadSecondsFromReport(design, dfg, EstimateLoop(design, dfg));
+}
+
+double EstimateWorkloadBatchSeconds(const AcceleratorDesign& design,
+                                    const DataflowGraph& dfg,
+                                    int batch_size) {
+  return BatchSecondsFromReport(design, dfg, EstimateLoop(design, dfg),
+                                batch_size);
+}
+
+double EstimateServingBatchSeconds(const AcceleratorDesign& design,
+                                   const DataflowGraph& dfg, int batch_size,
+                                   bool tuned) {
+  const LoopAlloc alloc =
+      tuned ? TunedAlloc(design, dfg) : RefitAlloc(design, dfg);
+  return BatchSecondsFromReport(design, dfg,
+                                EstimateLoopReport(design, dfg, alloc),
+                                batch_size);
+}
+
+}  // namespace nsflow::arch

@@ -1,0 +1,138 @@
+// Fast-path cycle estimation — the timing-only twin of the cycle-level
+// simulator (arch/controller.h).
+//
+// NSFlow's value is its closed-form cycle model (Eqs. (1)/(3)/(4)): every
+// number `Controller::RunLoop` reports is a pure function of the
+// (AcceleratorDesign, DataflowGraph) pair. The functions here compute the
+// full `SimReport` — array, SIMD, DRAM, lane, and stall cycles — directly
+// from that pair, without constructing an `Accelerator`, a `MemorySystem`,
+// or any `Tensor`, and without mutating anything. They are what the serving
+// stack (ServerPool::BatchSeconds, cache warming), the DSE sweep
+// (ParetoDesigns), and the benches call on their hot paths.
+//
+// Contract: the estimator is the single source of truth for the loop cycle
+// math. `Controller::RunLoop` *delegates* to `EstimateLoop` for its report
+// and only replays the memory-system traffic on top for unit statistics, so
+// `EstimateWorkloadBatchSeconds(design, dfg, b)` bit-matches
+// `Controller::RunWorkloadBatch(b)` (exact double equality) by construction.
+// tests/fastpath_test.cpp enforces this across every builtin workload and
+// batch size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/sim_report.h"
+#include "graph/dataflow_graph.h"
+#include "model/accel_model.h"
+
+namespace nsflow::arch {
+
+/// Per-kernel sub-array allocation the estimator walks: either spans over a
+/// design's tuned Phase II `nl`/`nv` vectors, or uniform values (sequential
+/// mode, and the `RefitDesign` schedule for a design serving a foreign
+/// tenant) — the uniform form never materializes an allocation vector.
+struct LoopAlloc {
+  std::span<const std::int64_t> nl;  // Empty => uniform_nl for every layer.
+  std::span<const std::int64_t> nv;  // Empty => uniform_nv for every node.
+  std::int64_t uniform_nl = 0;
+  std::int64_t uniform_nv = 0;
+
+  std::int64_t Nl(std::size_t i) const { return nl.empty() ? uniform_nl : nl[i]; }
+  std::int64_t Nv(std::size_t j) const { return nv.empty() ? uniform_nv : nv[j]; }
+};
+
+/// The allocation `Controller::RunLoop` uses for a design tuned to `dfg`:
+/// the whole array per kernel in sequential mode, the design's per-kernel
+/// `nl`/`nv` otherwise (sizes must match the graph's kernel lists).
+LoopAlloc TunedAlloc(const AcceleratorDesign& design, const DataflowGraph& dfg);
+
+/// The allocation `serve::RefitDesign` would assign when `design` was DSE'd
+/// for a different workload: uniform full-array (sequential or all-NN
+/// graphs) or the design's static Phase I partition — computed without
+/// building the refit design's vectors.
+LoopAlloc RefitAlloc(const AcceleratorDesign& design, const DataflowGraph& dfg);
+
+/// One-loop report under an explicit allocation. Pure; allocates nothing.
+SimReport EstimateLoopReport(const AcceleratorDesign& design,
+                             const DataflowGraph& dfg, const LoopAlloc& alloc);
+
+/// One-loop report with the tuned allocation (what `Controller::RunLoop`
+/// reports for a fresh controller, except `dram_bytes` which the controller
+/// accumulates across calls and the estimator reports per loop).
+SimReport EstimateLoop(const AcceleratorDesign& design,
+                       const DataflowGraph& dfg);
+
+/// AXI cycles one loop spends on stationary operands (NN filters plus the
+/// resident half of each VSA node) — the share a batch amortizes. Mirrors
+/// `Controller::WeightDramCycles`.
+double EstimateWeightDramCycles(const AcceleratorDesign& design,
+                                const DataflowGraph& dfg);
+
+/// End-to-end seconds for the workload's loop_count given one steady-state
+/// report (first loop pays the un-overlapped pipeline fill). The exact
+/// arithmetic `Controller::RunWorkload` applies to its own report.
+double WorkloadSecondsFromReport(const AcceleratorDesign& design,
+                                 const DataflowGraph& dfg,
+                                 const SimReport& steady);
+
+/// Seconds for `batch_size` back-to-back tasks given one steady-state
+/// report: first task pays the full workload, follow-ups amortize the
+/// stationary-operand AXI traffic. The exact arithmetic
+/// `Controller::RunWorkloadBatch` applies to its own report.
+double BatchSecondsFromReport(const AcceleratorDesign& design,
+                              const DataflowGraph& dfg,
+                              const SimReport& steady, int batch_size);
+
+/// Batch-size-independent serving state for one (design, dfg, allocation):
+/// everything the batched-latency formula needs, so a latency cache can
+/// evaluate the loop equations once per (design kind, workload) and derive
+/// *every* batch size in a handful of flops. `BatchSeconds` keeps the
+/// operation order of `Controller::RunWorkloadBatch`'s tail expression
+/// verbatim, so derived values stay bit-identical to the functional path.
+struct ServingModel {
+  double first_seconds = 0.0;     // Batch-1 (full workload) latency.
+  double marginal_cycles = 0.0;   // Steady loop cycles for tasks 2..B.
+  int loops = 1;                  // Workload loop_count.
+  double clock_hz = 1.0;
+
+  double BatchSeconds(int batch_size) const {
+    if (batch_size == 1) {
+      return first_seconds;
+    }
+    return first_seconds + static_cast<double>(batch_size - 1) *
+                               static_cast<double>(loops) * marginal_cycles /
+                               clock_hz;
+  }
+};
+
+/// Fold a steady-state report into the O(1)-per-batch-size form.
+ServingModel ServingModelFromReport(const AcceleratorDesign& design,
+                                    const DataflowGraph& dfg,
+                                    const SimReport& steady);
+
+/// Evaluate the loop equations once and return the memoizable serving
+/// model: `tuned` keeps the design's Phase II allocation, otherwise the
+/// `RefitAlloc` schedule applies (see EstimateServingBatchSeconds).
+ServingModel BuildServingModel(const AcceleratorDesign& design,
+                               const DataflowGraph& dfg, bool tuned);
+
+/// End-to-end seconds, tuned allocation. Bit-matches
+/// `Controller::RunWorkload` on a fresh controller.
+double EstimateWorkloadSeconds(const AcceleratorDesign& design,
+                               const DataflowGraph& dfg);
+
+/// Batched seconds, tuned allocation. Bit-matches
+/// `Controller::RunWorkloadBatch` on a fresh controller.
+double EstimateWorkloadBatchSeconds(const AcceleratorDesign& design,
+                                    const DataflowGraph& dfg, int batch_size);
+
+/// Batched seconds for the serving cache: `tuned` keeps the design's Phase
+/// II allocation, otherwise the `RefitAlloc` schedule applies — equal to
+/// deploying `RefitDesign(design, dfg)` functionally, with zero design
+/// copies and zero vector materialization.
+double EstimateServingBatchSeconds(const AcceleratorDesign& design,
+                                   const DataflowGraph& dfg, int batch_size,
+                                   bool tuned);
+
+}  // namespace nsflow::arch

@@ -1,0 +1,27 @@
+// SimReport — the cycle/traffic breakdown of one simulated (or estimated)
+// workload loop. Shared by the mutating cycle-level simulator
+// (arch/controller.h) and the allocation-free fast-path estimator
+// (arch/fastpath.h); the two are bit-match-contracted in
+// tests/fastpath_test.cpp.
+#pragma once
+
+namespace nsflow::arch {
+
+/// Cycle/traffic report for one simulated loop.
+struct SimReport {
+  double nn_lane_cycles = 0.0;
+  double vsa_lane_cycles = 0.0;
+  double array_cycles = 0.0;        // max (parallel) or sum (sequential).
+  double simd_cycles = 0.0;
+  double simd_exposed_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double dram_stall_cycles = 0.0;
+  double total_cycles = 0.0;
+  double dram_bytes = 0.0;
+  double mem_a_swaps = 0.0;         // Double-buffer swaps performed.
+  int kernels_executed = 0;
+
+  double Seconds(double clock_hz) const { return total_cycles / clock_hz; }
+};
+
+}  // namespace nsflow::arch

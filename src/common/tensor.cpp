@@ -20,13 +20,31 @@ std::int64_t ComputeNumel(const Tensor::Shape& shape) {
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(ComputeNumel(shape_)),
-      data_(static_cast<std::size_t>(numel_), 0.0f) {}
+      data_(static_cast<std::size_t>(numel_), 0.0f) {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), numel_(ComputeNumel(shape_)),
       data_(std::move(data)) {
   NSF_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == numel_,
                 "data size does not match shape");
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), numel_(other.numel_), data_(other.data_) {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    numel_ = other.numel_;
+    data_ = other.data_;
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
@@ -52,10 +70,16 @@ float Tensor::at2(std::int64_t row, std::int64_t col) const {
   return data_[static_cast<std::size_t>(row * shape_[1] + col)];
 }
 
-Tensor Tensor::Reshaped(Shape new_shape) const {
+Tensor Tensor::Reshaped(Shape new_shape) const& {
   NSF_CHECK_MSG(ComputeNumel(new_shape) == numel_,
                 "reshape must preserve element count");
   return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) && {
+  NSF_CHECK_MSG(ComputeNumel(new_shape) == numel_,
+                "reshape must preserve element count");
+  return Tensor(std::move(new_shape), std::move(data_));
 }
 
 Tensor& Tensor::operator+=(const Tensor& other) {
@@ -120,13 +144,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   Tensor c({m, k});
   for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* c_row = c.row(i);
     for (std::int64_t j = 0; j < n; ++j) {
-      const float aij = a.at2(i, j);
+      const float aij = a_row[j];
       if (aij == 0.0f) {
-        continue;
+        continue;  // Sparse activations skip whole B rows.
       }
+      const float* b_row = b.row(j);
       for (std::int64_t l = 0; l < k; ++l) {
-        c.at2(i, l) += aij * b.at2(j, l);
+        c_row[l] += aij * b_row[l];
       }
     }
   }

@@ -6,6 +6,7 @@
 // C.10): shape + contiguous storage, no views, no autograd.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <string>
@@ -27,8 +28,24 @@ class Tensor {
   /// Tensor with explicit contents; `data.size()` must equal the element count.
   Tensor(Shape shape, std::vector<float> data);
 
+  // Copies count as buffer materializations (see allocation_count());
+  // moves transfer storage and count nothing.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  ~Tensor() = default;
+
   static Tensor Full(Shape shape, float value);
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+  /// Process-wide count of tensor-buffer materializations (shape/data
+  /// constructions and copies; moves and default constructions excluded).
+  /// The fast-path contract test (tests/fastpath_test.cpp) samples this to
+  /// prove the timing-only estimator never allocates tensor data.
+  static std::int64_t allocation_count() {
+    return allocations_.load(std::memory_order_relaxed);
+  }
 
   const Shape& shape() const { return shape_; }
   std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
@@ -55,8 +72,23 @@ class Tensor {
   float& at2(std::int64_t row, std::int64_t col);
   float at2(std::int64_t row, std::int64_t col) const;
 
-  /// Returns a reshaped copy sharing no storage; element count must match.
-  Tensor Reshaped(Shape new_shape) const;
+  /// Raw row pointer (rank must be 2): hot loops walk rows directly instead
+  /// of paying per-element index arithmetic through at2().
+  float* row(std::int64_t r) {
+    NSF_DCHECK(rank() == 2 && r >= 0 && r < shape_[0]);
+    return data_.data() + static_cast<std::size_t>(r * shape_[1]);
+  }
+  const float* row(std::int64_t r) const {
+    NSF_DCHECK(rank() == 2 && r >= 0 && r < shape_[0]);
+    return data_.data() + static_cast<std::size_t>(r * shape_[1]);
+  }
+
+  /// Returns a reshaped tensor; element count must match. The lvalue
+  /// overload copies the storage; the rvalue overload moves it (no buffer
+  /// copy), so workload builders can chain `Tensor{...}.Reshaped(...)` for
+  /// free.
+  Tensor Reshaped(Shape new_shape) const&;
+  Tensor Reshaped(Shape new_shape) &&;
 
   /// Elementwise helpers used across the reasoning stack.
   Tensor& operator+=(const Tensor& other);
@@ -72,6 +104,8 @@ class Tensor {
   }
 
  private:
+  inline static std::atomic<std::int64_t> allocations_{0};
+
   Shape shape_;
   std::int64_t numel_ = 0;
   std::vector<float> data_;

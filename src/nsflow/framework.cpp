@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "arch/fastpath.h"
 #include "common/error.h"
 #include "dse/design_config.h"
 #include "fpga/rtl_emitter.h"
@@ -57,7 +58,11 @@ std::vector<ParetoPoint> ParetoDesigns(const DataflowGraph& dfg,
     point.design = RunTwoPhaseDse(dfg, options).design;
     point.pes = point.design.array.height * point.design.array.width *
                 point.design.array.count;
-    point.predicted_seconds = EndToEndSeconds(dfg, point.design);
+    // Fast-path estimate: the exact seconds a deployed replica's cycle
+    // model reports (serve::ServerPool::BatchSeconds at batch 1), so the
+    // frontier's predicted latency and the serving pool's latency cache
+    // agree to the bit.
+    point.predicted_seconds = arch::EstimateWorkloadSeconds(point.design, dfg);
     candidates.push_back(std::move(point));
   }
 

@@ -50,12 +50,17 @@ BatchedKernelRun Accelerator::RunGemmBatched(const std::vector<Tensor>& as,
   }
 
   // Stack the per-request activations into one tall operand so the array
-  // sees a single streaming pass over the stationary weights.
-  Tensor stacked({total_rows, inner});
+  // sees a single streaming pass over the stationary weights. The staging
+  // buffer is a member so steady-state serving (same batch shape every
+  // call) re-fills it in place instead of reallocating per batch.
+  if (batch_stack_.rank() != 2 || batch_stack_.dim(0) != total_rows ||
+      batch_stack_.dim(1) != inner) {
+    batch_stack_ = Tensor({total_rows, inner});
+  }
   std::int64_t row = 0;
   for (const auto& a : as) {
     std::copy(a.data(), a.data() + a.numel(),
-              stacked.data() + row * inner);
+              batch_stack_.data() + row * inner);
     row += a.dim(0);
   }
 
@@ -63,7 +68,8 @@ BatchedKernelRun Accelerator::RunGemmBatched(const std::vector<Tensor>& as,
   if (array.folding().nn_subarrays == 0) {
     array.Fold({design_.array.count, 0});
   }
-  const auto run = array.RunGemm(stacked, b, array.folding().nn_subarrays);
+  const auto run =
+      array.RunGemm(batch_stack_, b, array.folding().nn_subarrays);
 
   BatchedKernelRun result;
   result.device_cycles = run.cycles;
@@ -116,6 +122,18 @@ double Accelerator::RunWorkloadBatch(int batch_size) {
   return controller_.RunWorkloadBatch(batch_size);
 }
 
+double Accelerator::EstimateWorkload() const {
+  return controller_.EstimateWorkload();
+}
+
+double Accelerator::EstimateWorkloadBatch(int batch_size) const {
+  return controller_.EstimateWorkloadBatch(batch_size);
+}
+
 arch::SimReport Accelerator::ProfileLoop() { return controller_.RunLoop(); }
+
+arch::SimReport Accelerator::EstimateLoop() const {
+  return controller_.EstimateLoop();
+}
 
 }  // namespace nsflow::runtime

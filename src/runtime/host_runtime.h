@@ -91,13 +91,23 @@ class Accelerator {
   /// controller setup and the stationary-operand AXI transfers amortize.
   double RunWorkloadBatch(int batch_size);
 
+  /// Timing-only fast path (arch/fastpath.h): the same seconds as the Run*
+  /// twins — bit-identical doubles — without touching the simulated units
+  /// or moving any tensor data. The serving stack evaluates latencies
+  /// through these.
+  double EstimateWorkload() const;
+  double EstimateWorkloadBatch(int batch_size) const;
+
   /// Cycle report for one steady-state loop.
   arch::SimReport ProfileLoop();
+  /// Timing-only twin of ProfileLoop (per-loop `dram_bytes`, no mutation).
+  arch::SimReport EstimateLoop() const;
 
  private:
   AcceleratorDesign design_;
   const DataflowGraph* dfg_;
   arch::Controller controller_;
+  Tensor batch_stack_;  // RunGemmBatched staging scratch, reused across calls.
 };
 
 }  // namespace nsflow::runtime

@@ -62,17 +62,22 @@ void ServeStats::RecordReplicaBusy(int index, double busy_s) {
 }
 
 double ServeStats::Percentile(std::vector<double> values, double p) {
-  if (values.empty()) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+double ServeStats::PercentileSorted(const std::vector<double>& sorted,
+                                    double p) {
+  if (sorted.empty()) {
     return 0.0;
   }
   NSF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
-  std::sort(values.begin(), values.end());
   // Nearest-rank: smallest value with at least p% of the population at or
   // below it.
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
   const std::size_t index =
       static_cast<std::size_t>(std::max(1.0, rank)) - 1;
-  return values[std::min(index, values.size() - 1)];
+  return sorted[std::min(index, sorted.size() - 1)];
 }
 
 StatsSummary ServeStats::Summarize(double offered_qps,
@@ -90,13 +95,19 @@ StatsSummary ServeStats::Summarize(double offered_qps,
     s.throughput_rps = static_cast<double>(s.completed) / s.horizon_s;
   }
 
-  s.p50_ms = Percentile(latencies_s_, 50.0) * 1e3;
-  s.p95_ms = Percentile(latencies_s_, 95.0) * 1e3;
-  s.p99_ms = Percentile(latencies_s_, 99.0) * 1e3;
-  if (!latencies_s_.empty()) {
+  // One sorted copy serves all three percentiles plus the max — not three
+  // copy-and-sort passes through Percentile(). The mean stays on the
+  // record-order vector: float summation is order-sensitive and the summary
+  // must be bit-identical to what the unsorted accumulation reports.
+  std::vector<double> sorted = latencies_s_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = PercentileSorted(sorted, 50.0) * 1e3;
+  s.p95_ms = PercentileSorted(sorted, 95.0) * 1e3;
+  s.p99_ms = PercentileSorted(sorted, 99.0) * 1e3;
+  if (!sorted.empty()) {
     s.mean_ms = std::accumulate(latencies_s_.begin(), latencies_s_.end(), 0.0) /
                 static_cast<double>(latencies_s_.size()) * 1e3;
-    s.max_ms = *std::max_element(latencies_s_.begin(), latencies_s_.end()) * 1e3;
+    s.max_ms = sorted.back() * 1e3;
   }
 
   if (!batch_sizes_.empty()) {
@@ -132,14 +143,15 @@ StatsSummary ServeStats::Summarize(double offered_qps,
       slice.throughput_rps =
           static_cast<double>(slice.completed) / s.horizon_s;
     }
-    slice.p50_ms = Percentile(latencies, 50.0) * 1e3;
-    slice.p95_ms = Percentile(latencies, 95.0) * 1e3;
-    slice.p99_ms = Percentile(latencies, 99.0) * 1e3;
-    if (!latencies.empty()) {
+    std::vector<double> slice_sorted = latencies;
+    std::sort(slice_sorted.begin(), slice_sorted.end());
+    slice.p50_ms = PercentileSorted(slice_sorted, 50.0) * 1e3;
+    slice.p95_ms = PercentileSorted(slice_sorted, 95.0) * 1e3;
+    slice.p99_ms = PercentileSorted(slice_sorted, 99.0) * 1e3;
+    if (!slice_sorted.empty()) {
       slice.mean_ms = std::accumulate(latencies.begin(), latencies.end(), 0.0) /
                       static_cast<double>(latencies.size()) * 1e3;
-      slice.max_ms =
-          *std::max_element(latencies.begin(), latencies.end()) * 1e3;
+      slice.max_ms = slice_sorted.back() * 1e3;
     }
     const auto& batches = workload_batches_[w];
     slice.batches = static_cast<std::int64_t>(batches.size());

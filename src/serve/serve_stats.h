@@ -75,8 +75,13 @@ class ServeStats {
   /// Replica `index` was busy for `busy_s` more virtual seconds.
   void RecordReplicaBusy(int index, double busy_s);
 
-  /// Nearest-rank percentile, p in [0, 100]. Exposed for tests.
+  /// Nearest-rank percentile, p in [0, 100]. Exposed for tests. Copies and
+  /// sorts; Summarize() uses PercentileSorted on one sorted copy instead of
+  /// paying this per percentile.
   static double Percentile(std::vector<double> values, double p);
+
+  /// Nearest-rank percentile over an already ascending-sorted vector.
+  static double PercentileSorted(const std::vector<double>& sorted, double p);
 
   StatsSummary Summarize(double offered_qps, double run_duration_s) const;
 

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "arch/fastpath.h"
 #include "common/error.h"
 
 namespace nsflow::serve {
@@ -29,21 +30,13 @@ bool SameServingDesign(const AcceleratorDesign& a,
 
 AcceleratorDesign RefitDesign(AcceleratorDesign design,
                               const DataflowGraph& dfg) {
-  const std::size_t layers = dfg.layers().size();
-  const std::size_t vsa = dfg.vsa_ops().size();
-  if (design.sequential_mode || vsa == 0) {
-    // Whole array per kernel: sequential execution, or an all-NN graph for
-    // which the adaptive array refolds every sub-array into GEMM mode.
-    design.nl.assign(layers, design.array.count);
-    design.nv.assign(vsa, design.array.count);
-  } else {
-    const std::int64_t nn_share =
-        design.default_nl > 0 && design.default_nl < design.array.count
-            ? design.default_nl
-            : std::max<std::int64_t>(1, design.array.count / 2);
-    design.nl.assign(layers, nn_share);
-    design.nv.assign(vsa, design.array.count - nn_share);
-  }
+  // The allocation policy (whole array per kernel in sequential/all-NN
+  // execution, the static Phase I split otherwise) lives in
+  // arch::RefitAlloc — the same source the fast-path latency cache reads —
+  // so a deployed refit replica and its cached estimate cannot diverge.
+  const arch::LoopAlloc alloc = arch::RefitAlloc(design, dfg);
+  design.nl.assign(dfg.layers().size(), alloc.uniform_nl);
+  design.nv.assign(dfg.vsa_ops().size(), alloc.uniform_nv);
   return design;
 }
 
@@ -120,9 +113,9 @@ void ServerPool::Init(const std::vector<ReplicaSpec>& specs) {
     serves_.push_back(std::move(serves));
 
     // The long-lived replica accelerator is instantiated against the first
-    // workload it serves; cycle-model evaluation always goes through
-    // per-workload scratch deployments (BatchSeconds), so this instance
-    // only backs the `replica()` accessor.
+    // workload it serves; cycle-model evaluation goes through the
+    // allocation-free fast path (BatchSeconds), so this instance only
+    // backs the `replica()` accessor and functional cross-checks.
     std::size_t first = 0;
     while (first < dfgs_.size() && !serves_.back()[first]) {
       ++first;
@@ -182,29 +175,72 @@ double ServerPool::BatchSeconds(int replica, WorkloadId workload,
   const Key key{kind_[static_cast<std::size_t>(replica)], workload,
                 batch_size};
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Warm path: concurrent replicas share the read lock — no
+    // serialization on cache hits.
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
     const auto it = latency_cache_.find(key);
     if (it != latency_cache_.end()) {
       return it->second;
     }
   }
-  // Evaluate on a scratch deployment: the cycle model is a pure function of
-  // (design, dfg, batch size), and a private Accelerator keeps concurrent
-  // cache warming race-free without serializing the long-lived replicas.
-  // Provenance decides the allocation: the workload the design was DSE'd
-  // for keeps its Phase II tuned nl/nv, every other tenant gets a refit.
-  const DataflowGraph& dfg = *dfgs_[static_cast<std::size_t>(workload)];
-  const auto& hardware =
-      distinct_designs_[static_cast<std::size_t>(key.kind)];
-  const bool tuned = IsTunedFor(
-      kind_tuned_for_[static_cast<std::size_t>(key.kind)], workload);
-  runtime::Accelerator scratch(
-      tuned ? hardware : RefitDesign(hardware, dfg), dfg);
-  const double seconds =
-      scratch.RunWorkloadBatch(static_cast<int>(batch_size));
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  latency_cache_.emplace(key, seconds);
+
+  // Timing-only fast path: the cycle model is a pure function of
+  // (design, dfg, batch size), so no scratch Accelerator and no tensor
+  // data are needed. The expensive part — the loop equations — is
+  // memoized single-flight per (kind, workload) inside ServingModelFor
+  // (a double evaluation is impossible, not just benign); what remains
+  // here is an O(1) derivation two racing warmers may both perform, with
+  // bit-identical results.
+  const double seconds = ServingModelFor(key.kind, workload)
+                             .BatchSeconds(static_cast<int>(batch_size));
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  latency_cache_.emplace(key, seconds);  // Second racer's insert is a no-op.
   return seconds;
+}
+
+arch::ServingModel ServerPool::ServingModelFor(int kind,
+                                               WorkloadId workload) {
+  const std::pair<int, WorkloadId> key{kind, workload};
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    const auto it = model_cache_.find(key);
+    if (it != model_cache_.end()) {
+      const std::shared_future<arch::ServingModel> hit = it->second;
+      lock.unlock();
+      return hit.get();
+    }
+  }
+  std::promise<arch::ServingModel> promise;
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    const auto it = model_cache_.find(key);
+    if (it != model_cache_.end()) {
+      const std::shared_future<arch::ServingModel> hit = it->second;
+      lock.unlock();
+      return hit.get();
+    }
+    model_cache_.emplace(key, promise.get_future().share());
+  }
+  // Provenance decides the allocation: the workload the design was DSE'd
+  // for keeps its Phase II tuned nl/nv, every other tenant gets the
+  // RefitDesign schedule.
+  const DataflowGraph& dfg = *dfgs_[static_cast<std::size_t>(workload)];
+  const auto& hardware = distinct_designs_[static_cast<std::size_t>(kind)];
+  const bool tuned =
+      IsTunedFor(kind_tuned_for_[static_cast<std::size_t>(kind)], workload);
+  try {
+    const arch::ServingModel model =
+        arch::BuildServingModel(hardware, dfg, tuned);
+    promise.set_value(model);
+    return model;
+  } catch (...) {
+    {
+      std::unique_lock<std::shared_mutex> lock(cache_mu_);
+      model_cache_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 void ServerPool::WarmLatencyCache(const std::vector<Batch>& batches) {
@@ -214,7 +250,7 @@ void ServerPool::WarmLatencyCache(const std::vector<Batch>& batches) {
   for (const auto& batch : batches) {
     pairs.insert({batch.workload, batch.size()});
   }
-  WarmPairs(pairs);
+  WarmPairs({pairs.begin(), pairs.end()});
 }
 
 void ServerPool::WarmBatchSizes(std::int64_t max_batch) {
@@ -228,18 +264,23 @@ void ServerPool::WarmBatchSizes(std::int64_t max_batch) {
 void ServerPool::WarmBatchSizes(std::int64_t max_batch,
                                 const std::vector<WorkloadId>& only) {
   NSF_CHECK_MSG(max_batch >= 1, "max_batch must be positive");
-  std::set<std::pair<WorkloadId, std::int64_t>> pairs;
+  // Built in (workload, size) order — already sorted and duplicate-free
+  // unless the caller listed a workload twice, which dedup below absorbs.
+  std::vector<std::pair<WorkloadId, std::int64_t>> pairs;
+  pairs.reserve(only.size() * static_cast<std::size_t>(max_batch));
   for (const WorkloadId w : only) {
     NSF_CHECK(w >= 0 && w < workloads());
     for (std::int64_t s = 1; s <= max_batch; ++s) {
-      pairs.insert({w, s});
+      pairs.emplace_back(w, s);
     }
   }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   WarmPairs(pairs);
 }
 
 void ServerPool::WarmPairs(
-    const std::set<std::pair<WorkloadId, std::int64_t>>& pairs) {
+    const std::vector<std::pair<WorkloadId, std::int64_t>>& pairs) {
   // One work item per (kind, workload, size) where some replica of that
   // kind is deployed for the workload; kind_replica routes the evaluation
   // through BatchSeconds.
@@ -265,6 +306,36 @@ void ServerPool::WarmPairs(
     }
   }
   if (work.empty()) {
+    return;
+  }
+
+  // The fast-path estimator makes each evaluation sub-microsecond, so the
+  // worker pool only pays for itself on big sweeps; small warm-ups run
+  // inline — spawning even one thread would dominate the whole warm-up.
+  // The inline path exploits that `work` is grouped by (kind, workload):
+  // one model fetch per group, every batch size derived locally, and a
+  // single write-lock round publishing the whole fill.
+  constexpr std::size_t kParallelWarmThreshold = 1024;
+  if (work.size() < kParallelWarmThreshold) {
+    std::vector<std::pair<Key, double>> fill;
+    fill.reserve(work.size());
+    int model_kind = -1;
+    WorkloadId model_workload = kTunedForNone;
+    arch::ServingModel model;
+    for (const Key& item : work) {
+      if (item.kind != model_kind || item.workload != model_workload) {
+        model = ServingModelFor(item.kind, item.workload);
+        model_kind = item.kind;
+        model_workload = item.workload;
+      }
+      fill.emplace_back(item,
+                        model.BatchSeconds(static_cast<int>(item.batch_size)));
+    }
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    latency_cache_.reserve(latency_cache_.size() + fill.size());
+    for (auto& [key, seconds] : fill) {
+      latency_cache_.emplace(key, seconds);  // No-ops on already-warm keys.
+    }
     return;
   }
 

@@ -9,10 +9,16 @@
 // only to replicas able to serve their workload.
 //
 // Dispatch splits into two concerns:
-//   1. A worker-thread pool evaluates the batched cycle model — one
-//      `RunWorkloadBatch` per distinct (design kind, workload, batch size)
-//      triple, memoized — in parallel (`WarmBatchSizes` /
-//      `WarmLatencyCache`). This is the expensive part of a serve run.
+//   1. Cycle-model evaluation — one estimate per distinct (design kind,
+//      workload, batch size) triple, memoized under a reader/writer lock.
+//      Evaluation goes through the timing-only fast path
+//      (`arch::EstimateServingBatchSeconds`): no scratch `Accelerator`, no
+//      tensor movement, just the closed-form cycle equations, bit-matching
+//      what a functional `RunWorkloadBatch` on a deployed replica would
+//      report (tests/fastpath_test.cpp). Cold misses are single-flight —
+//      racing warmers share one computation through a `shared_future` —
+//      and warm hits take only a `shared_lock`, so concurrent replicas
+//      never serialize on the cache.
 //   2. A deterministic schedule assigns each formed batch to the
 //      earliest-available *capable* replica, ties broken by the lowest
 //      replica id, and stamps per-request completion times on the virtual
@@ -24,12 +30,15 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "arch/fastpath.h"
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 #include "runtime/host_runtime.h"
@@ -141,6 +150,21 @@ class ServerPool {
       if (workload != other.workload) return workload < other.workload;
       return batch_size < other.batch_size;
     }
+    bool operator==(const Key& other) const {
+      return kind == other.kind && workload == other.workload &&
+             batch_size == other.batch_size;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // Kinds and workloads are small dense ids; batch sizes are small.
+      // Mixing by large odd constants spreads them over the table.
+      auto h = static_cast<std::size_t>(key.batch_size);
+      h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(key.kind);
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::size_t>(key.workload);
+      return h;
+    }
   };
 
   void Init(const std::vector<ReplicaSpec>& specs);
@@ -148,12 +172,18 @@ class ServerPool {
   /// allocation for `workload` (same id, or two ids aliasing the same
   /// dataflow graph instance).
   bool IsTunedFor(WorkloadId tuned_for, WorkloadId workload) const;
+  /// Batch-size-independent serving model for one (design kind, workload),
+  /// memoized single-flight: the loop equations run once per pair, and
+  /// every batch size derives from the cached model in O(1) flops.
+  arch::ServingModel ServingModelFor(int kind, WorkloadId workload);
   /// Evaluate every (kind, workload, batch size) triple `batches` needs, in
   /// parallel.
   void WarmLatencyCache(const std::vector<Batch>& batches);
-  /// Evaluate the given (workload, size) pairs for every capable kind, in
-  /// parallel.
-  void WarmPairs(const std::set<std::pair<WorkloadId, std::int64_t>>& pairs);
+  /// Evaluate the given (workload, size) pairs — sorted, duplicate-free —
+  /// for every capable kind (inline for small sweeps, worker threads for
+  /// large ones).
+  void WarmPairs(
+      const std::vector<std::pair<WorkloadId, std::int64_t>>& pairs);
 
   std::vector<const DataflowGraph*> dfgs_;           // Per workload.
   std::vector<AcceleratorDesign> designs_;           // Per replica.
@@ -166,8 +196,17 @@ class ServerPool {
   std::int64_t dispatched_batches_ = 0;
   int worker_threads_;
 
-  std::mutex cache_mu_;
-  std::map<Key, double> latency_cache_;
+  /// Reader/writer caches: warm hits share the lock, so concurrent
+  /// replicas never serialize. The model cache holds the batch-size-
+  /// independent loop-equation result per (kind, workload) behind a
+  /// single-flight `shared_future` — racing warmers wait on one evaluation
+  /// instead of re-running it. The latency cache then memoizes the O(1)
+  /// per-batch-size derivation as plain doubles (re-deriving a few flops
+  /// on a race is harmless; both writers produce the identical value).
+  mutable std::shared_mutex cache_mu_;
+  std::unordered_map<Key, double, KeyHash> latency_cache_;
+  std::map<std::pair<int, WorkloadId>, std::shared_future<arch::ServingModel>>
+      model_cache_;
 };
 
 /// Equality on the design fields that determine serving latency (used to

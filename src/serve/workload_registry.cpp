@@ -26,10 +26,12 @@ std::shared_ptr<const CompiledDesign> CompileCache::GetOrCompile(
     const OperatorGraph& graph) {
   const std::uint64_t key = ContentHash(graph);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Warm hits ride the reader lock — repeat registrations of known
+    // content proceed concurrently.
+    std::shared_lock<std::shared_mutex> lock(mu_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
@@ -39,28 +41,18 @@ std::shared_ptr<const CompiledDesign> CompileCache::GetOrCompile(
   // the first insert wins below.
   auto compiled = std::make_shared<CompiledDesign>(
       compiler_.Compile(OperatorGraph(graph)));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const auto [it, inserted] = cache_.emplace(key, std::move(compiled));
   if (inserted) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
 }
 
-std::int64_t CompileCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-std::int64_t CompileCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
-}
-
 std::int64_t CompileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<std::int64_t>(cache_.size());
 }
 

@@ -15,10 +15,11 @@
 // per-workload priorities/SLOs hang their configuration off the same ids.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,20 +45,24 @@ class CompileCache {
   static std::uint64_t ContentHash(const OperatorGraph& graph);
 
   /// Return the compiled design for `graph`, compiling at most once per
-  /// distinct content hash. Safe to call concurrently.
+  /// distinct content hash. Safe to call concurrently; warm hits take only
+  /// a shared (reader) lock, so concurrent registrations of already-known
+  /// content never serialize.
   std::shared_ptr<const CompiledDesign> GetOrCompile(
       const OperatorGraph& graph);
 
-  std::int64_t hits() const;
-  std::int64_t misses() const;
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   std::int64_t size() const;
 
  private:
   Compiler compiler_;
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<const CompiledDesign>> cache_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
 };
 
 class WorkloadRegistry {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""NSFlow perf-regression harness.
+
+Runs the serve benches from an existing build tree and records the perf
+trajectory artifact, BENCH_serve.json (see docs/PERFORMANCE.md for the
+schema and how to read it). The heavy lifting — timing the cold/warm
+latency-cache paths, the estimator-vs-functional comparison, and the
+fixed-seed serve run — happens inside bench_serve_fastpath; this script
+drives it, sanity-checks the emitted JSON, and fails loudly when the
+fast-path estimator diverges from the functional simulator.
+
+Usage:
+  tools/run_benches.py [--build-dir build] [--out BENCH_serve.json]
+                       [--smoke] [--full]
+
+  --smoke  reduced iteration counts (the CI bench-smoke job's mode)
+  --full   additionally run the serve throughput/multi-tenant sweeps
+           (console tables only; they do not feed the JSON)
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run(cmd, **kwargs)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding the bench binaries")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="where to write the perf artifact")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced iteration counts (CI mode)")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the serve sweep benches")
+    args = parser.parse_args()
+
+    build = pathlib.Path(args.build_dir).resolve()
+    fastpath = build / "bench_serve_fastpath"
+    if not fastpath.exists():
+        print(f"error: {fastpath} not found — build the tree first "
+              f"(cmake -B {build} -S . && cmake --build {build} -j)",
+              file=sys.stderr)
+        return 2
+
+    cmd = [str(fastpath), "--out", args.out]
+    if args.smoke:
+        cmd.append("--smoke")
+    result = run(cmd)
+    if result.returncode != 0:
+        print("error: bench_serve_fastpath failed "
+              "(estimator/functional divergence fails the bench)",
+              file=sys.stderr)
+        return result.returncode
+
+    # Independent sanity pass over the artifact: the bench already exits
+    # non-zero on divergence, but a malformed or truncated JSON should not
+    # reach CI artifacts silently.
+    with open(args.out, encoding="utf-8") as fh:
+        report = json.load(fh)
+    divergent = report["contract"]["divergent"]
+    if divergent != 0:
+        print(f"error: {divergent} divergent cycle estimates",
+              file=sys.stderr)
+        return 1
+    cold = report["cold_cache"]
+    print(f"cold-cache fill: functional {cold['functional_fill_us']:.1f} us "
+          f"-> fast path {cold['fastpath_fill_us']:.1f} us "
+          f"({cold['speedup']:.1f}x), "
+          f"warm hit {report['latency_cache']['warm_hit_ns']:.0f} ns")
+    serve = report["serve"]
+    print(f"serve: {serve['throughput_rps']:.1f} rps over "
+          f"{serve['virtual_duration_s']:.1f} virtual s "
+          f"({serve['engine_wall_ms']:.1f} ms wall), "
+          f"p99 {serve['p99_ms']:.3f} ms")
+
+    if args.full:
+        for bench in ("bench_serve_throughput", "bench_serve_multitenant",
+                      "bench_scalability"):
+            path = build / bench
+            if path.exists():
+                if run([str(path)]).returncode != 0:
+                    print(f"error: {bench} failed", file=sys.stderr)
+                    return 1
+            else:
+                print(f"note: {path} not built, skipping")
+
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
