@@ -1,0 +1,179 @@
+// Capacity-planner / traffic-scenario smoke bench — the source of
+// BENCH_plan.json (docs/PLANNING.md).
+//
+// One SLO-driven plan *per arrival scenario* for the standard serving mix
+// (the planner provisions against each pattern's peak rate), followed by a
+// validation run: the planned pool is instantiated exactly as `nsflow
+// serve --plan` would run it and driven at the planning qps under that
+// pattern. The artifact records, per scenario x workload, the plan's
+// predicted p99 next to the measured p99 and their ratio; any ratio
+// outside the tolerance documented in docs/PLANNING.md ([0.25x, 1.25x]
+// under the planning assumptions) makes the bench exit non-zero, which is
+// what the CI bench-smoke job keys on.
+//
+// Usage: bench_plan_scenarios [--out BENCH_plan.json] [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/capacity_planner.h"
+#include "serve/engine.h"
+#include "serve/scenario.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nsflow;
+
+  std::string out_path = "BENCH_plan.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out BENCH_plan.json] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Virtual seconds are cheap (engine wall clock scales with request
+  // count); long horizons keep every per-workload p99 a real quantile.
+  const double duration_s = smoke ? 16.0 : 60.0;
+  constexpr double kToleranceHigh = 1.25;  // docs/PLANNING.md.
+  constexpr double kToleranceLow = 0.25;
+
+  std::printf("=== NSFlow capacity planner: scenario smoke ===\n\n");
+
+  serve::WorkloadRegistry registry;
+  registry.RegisterBuiltin("mlp");
+  registry.RegisterBuiltin("resnet18");
+  registry.RegisterBuiltin("nvsa");
+  const std::vector<serve::WorkloadShare> mix = {
+      {"mlp", 0.6}, {"resnet18", 0.3}, {"nvsa", 0.1}};
+
+  const std::vector<std::string> scenarios = {
+      "poisson",
+      "diurnal:depth=0.8",
+      "bursty:on=0.05,off=0.15,idle=0.1",
+      "ramp:from=0.2,to=1.8",
+      "spike:mult=4",
+  };
+
+  int violations = 0;
+  JsonArray scenario_rows;
+  for (const std::string& scenario_text : scenarios) {
+    serve::PlanOptions plan_options;
+    plan_options.qps = 200.0;
+    plan_options.p99_slo_s = 50e-3;
+    plan_options.device = "u250";
+    plan_options.devices = 16;  // Enough boards for every crest.
+    plan_options.scenario = serve::ScenarioSpec::Parse(scenario_text);
+
+    const auto plan_start = Clock::now();
+    const serve::PoolPlan plan =
+        serve::PlanCapacity(registry, mix, plan_options);
+    const double plan_ms = ElapsedMs(plan_start);
+    if (!plan.feasible) {
+      std::fprintf(stderr, "error: %s plan infeasible: %s\n",
+                   scenario_text.c_str(), plan.note.c_str());
+      return 1;
+    }
+    std::printf("%s: %d replicas for %.0f rps peak, planned in %.1f ms\n",
+                scenario_text.c_str(), plan.TotalReplicas(),
+                plan.planning_rate, plan_ms);
+
+    serve::ServeOptions serve_options;
+    serve_options.qps = plan.qps;
+    serve_options.duration_s = duration_s;
+    serve_options.seed = 42;
+    serve_options.max_batch = plan.max_batch;
+    serve_options.max_wait_s = plan.max_wait_s;
+    serve_options.per_workload_max_batch = plan.PerWorkloadMaxBatch();
+    serve_options.scenario = serve::ScenarioSpec::Parse(scenario_text);
+
+    const auto run_start = Clock::now();
+    const serve::ServeReport report =
+        serve::RunSyntheticServe(registry, plan.Replicas(), mix,
+                                 serve_options);
+    const double run_ms = ElapsedMs(run_start);
+
+    JsonObject row;
+    row["scenario"] = Json(scenario_text);
+    row["replicas"] = Json(plan.TotalReplicas());
+    row["planning_rate_rps"] = Json(plan.planning_rate);
+    row["planning_wall_ms"] = Json(plan_ms);
+    row["dsp"] = Json(plan.resources.dsp);
+    row["requests"] = Json(report.generated_requests);
+    row["wall_ms"] = Json(run_ms);
+    row["throughput_rps"] = Json(report.summary.throughput_rps);
+    JsonArray workloads;
+    for (const serve::GroupPlan& group : plan.groups) {
+      const auto w = static_cast<std::size_t>(group.workload_id);
+      const double predicted_ms = group.predicted_p99_s * 1e3;
+      const double measured_ms = report.summary.per_workload[w].p99_ms;
+      const double ratio =
+          predicted_ms > 0.0 ? measured_ms / predicted_ms : 0.0;
+      if (ratio < kToleranceLow || ratio > kToleranceHigh) {
+        ++violations;
+        std::fprintf(stderr,
+                     "TOLERANCE VIOLATION: %s/%s measured %.3f ms vs "
+                     "predicted %.3f ms (ratio %.2f)\n",
+                     scenario_text.c_str(), group.workload.c_str(),
+                     measured_ms, predicted_ms, ratio);
+      }
+      JsonObject entry;
+      entry["workload"] = Json(group.workload);
+      entry["predicted_p99_ms"] = Json(predicted_ms);
+      entry["measured_p99_ms"] = Json(measured_ms);
+      entry["ratio"] = Json(ratio);
+      workloads.push_back(Json(std::move(entry)));
+      std::printf("  %-10s pred %8.3f ms  meas %8.3f ms  ratio %.2f\n",
+                  group.workload.c_str(), predicted_ms, measured_ms, ratio);
+    }
+    row["per_workload"] = Json(std::move(workloads));
+    scenario_rows.push_back(Json(std::move(row)));
+  }
+
+  JsonObject tolerance;
+  tolerance["low"] = Json(kToleranceLow);
+  tolerance["high"] = Json(kToleranceHigh);
+  tolerance["violations"] = Json(violations);
+
+  JsonObject setup;
+  setup["mix"] = Json("mlp=0.6,resnet18=0.3,nvsa=0.1");
+  setup["qps"] = Json(200.0);
+  setup["p99_slo_ms"] = Json(50.0);
+  setup["budget"] = Json("16 x u250");
+  setup["virtual_duration_s"] = Json(duration_s);
+
+  JsonObject root;
+  root["setup"] = Json(std::move(setup));
+  root["scenarios"] = Json(std::move(scenario_rows));
+  root["tolerance"] = Json(std::move(tolerance));
+
+  std::ofstream out(out_path, std::ios::binary);
+  out << Json(std::move(root)).Dump(2) << "\n";
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (violations != 0) {
+    std::fprintf(stderr, "%d tolerance violation(s)\n", violations);
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "fpga/device.h"
 
+#include "common/error.h"
+
 namespace nsflow {
 
 FpgaDevice U250() {
@@ -26,6 +28,16 @@ FpgaDevice Zcu104() {
   d.lutram_luts = 101760;
   d.max_clock_hz = 400e6;
   return d;
+}
+
+FpgaDevice DeviceByName(const std::string& name) {
+  if (name == "u250") {
+    return U250();
+  }
+  if (name == "zcu104") {
+    return Zcu104();
+  }
+  throw Error("unknown FPGA device '" + name + "' (known: u250, zcu104)");
 }
 
 }  // namespace nsflow

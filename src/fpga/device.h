@@ -30,4 +30,8 @@ FpgaDevice U250();
 /// Zynq UltraScale+ ZCU104 (xczu7ev).
 FpgaDevice Zcu104();
 
+/// Look up a device by CLI name: "u250" | "zcu104". Throws on anything
+/// else, listing the known names (the `nsflow plan --budget` resolver).
+FpgaDevice DeviceByName(const std::string& name);
+
 }  // namespace nsflow

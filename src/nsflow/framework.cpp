@@ -56,6 +56,7 @@ std::vector<ParetoPoint> ParetoDesigns(const DataflowGraph& dfg,
     options.max_pes = budget;
     ParetoPoint point;
     point.design = RunTwoPhaseDse(dfg, options).design;
+    point.pe_budget = budget;
     point.pes = point.design.array.height * point.design.array.width *
                 point.design.array.count;
     // Fast-path estimate: the exact seconds a deployed replica's cycle

@@ -66,6 +66,11 @@ struct ParetoPoint {
   AcceleratorDesign design;
   double predicted_seconds = 0.0;  // End-to-end workload latency.
   std::int64_t pes = 0;            // H * W * N of the chosen array.
+  /// The `max_pes` DSE budget that produced this design. Re-running the
+  /// (deterministic) DSE with this budget reproduces `design` bit-exactly —
+  /// the capacity planner records it so a serialized PoolPlan can rebuild
+  /// its designs instead of serializing them.
+  std::int64_t pe_budget = 0;
 };
 
 /// Sweep the DSE across shrinking PE budgets (halving from

@@ -63,11 +63,20 @@ double BatchFormer::Deadline() const {
 // MultiBatchFormer
 
 MultiBatchFormer::MultiBatchFormer(BatchPolicy policy, int workloads)
-    : policy_(policy) {
-  NSF_CHECK_MSG(policy_.max_batch >= 1, "max_batch must be positive");
-  NSF_CHECK_MSG(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+    : MultiBatchFormer(std::vector<BatchPolicy>(
+          static_cast<std::size_t>(std::max(workloads, 1)), policy)) {
   NSF_CHECK_MSG(workloads >= 1, "need at least one workload lane");
-  lanes_.resize(static_cast<std::size_t>(workloads));
+}
+
+MultiBatchFormer::MultiBatchFormer(std::vector<BatchPolicy> policies)
+    : policies_(std::move(policies)) {
+  NSF_CHECK_MSG(!policies_.empty(), "need at least one workload lane");
+  for (const BatchPolicy& policy : policies_) {
+    NSF_CHECK_MSG(policy.max_batch >= 1, "max_batch must be positive");
+    NSF_CHECK_MSG(policy.max_wait_s >= 0.0,
+                  "max_wait_s must be non-negative");
+  }
+  lanes_.resize(policies_.size());
 }
 
 Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s) {
@@ -124,7 +133,8 @@ std::vector<Batch> MultiBatchFormer::Add(
   }
   auto& lane = lanes_[static_cast<std::size_t>(request.workload)];
   lane.push_back(request);
-  if (static_cast<std::int64_t>(lane.size()) >= policy_.max_batch) {
+  if (static_cast<std::int64_t>(lane.size()) >=
+      policy(request.workload).max_batch) {
     closed.push_back(CloseLane(request.workload, request.arrival_s));
   }
   return closed;
@@ -160,7 +170,7 @@ double MultiBatchFormer::Deadline(WorkloadId w) const {
   if (lane.empty()) {
     return std::numeric_limits<double>::infinity();
   }
-  return lane.front().arrival_s + policy_.max_wait_s;
+  return lane.front().arrival_s + policy(w).max_wait_s;
 }
 
 std::int64_t MultiBatchFormer::pending(WorkloadId w) const {

@@ -72,6 +72,13 @@ class MultiBatchFormer {
   /// `workloads` lanes, all sharing `policy`.
   MultiBatchFormer(BatchPolicy policy, int workloads);
 
+  /// One policy per lane — how an SLO-planned pool runs tenants with
+  /// different batching contracts side by side (a latency-critical lane at
+  /// max_batch 1 closes every batch at its arrival and pays no forming
+  /// wait, while a throughput lane keeps coalescing). `policies.size()`
+  /// fixes the lane count.
+  explicit MultiBatchFormer(std::vector<BatchPolicy> policies);
+
   /// Feed the next request (global arrival order). `busy_until[w]` is the
   /// earliest virtual time a replica able to serve workload `w` frees up
   /// (0 when one is already idle); like the single-workload former, a
@@ -89,7 +96,9 @@ class MultiBatchFormer {
   std::int64_t pending(WorkloadId w) const;
   std::int64_t total_pending() const;
   int workloads() const { return static_cast<int>(lanes_.size()); }
-  const BatchPolicy& policy() const { return policy_; }
+  const BatchPolicy& policy(WorkloadId w = 0) const {
+    return policies_[static_cast<std::size_t>(w)];
+  }
 
  private:
   Batch CloseLane(WorkloadId w, double formed_s);
@@ -98,7 +107,7 @@ class MultiBatchFormer {
                                        const std::vector<double>& busy_until)
       const;
 
-  BatchPolicy policy_;
+  std::vector<BatchPolicy> policies_;        // One per lane.
   std::vector<std::vector<Request>> lanes_;  // Pending, one lane/workload.
 };
 

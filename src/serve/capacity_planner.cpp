@@ -1,0 +1,616 @@
+#include "serve/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "arch/fastpath.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "fpga/resource_model.h"
+
+namespace nsflow::serve {
+namespace {
+
+/// Erlang C — probability an arriving job waits in an M/M/k queue offered
+/// `a` erlangs. Computed through the numerically stable Erlang B recursion
+/// B(n) = a·B(n−1) / (n + a·B(n−1)). Requires a < k.
+double ErlangC(int k, double a) {
+  double b = 1.0;
+  for (int n = 1; n <= k; ++n) {
+    b = a * b / (static_cast<double>(n) + a * b);
+  }
+  const double rho = a / static_cast<double>(k);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+/// Smallest n with P(Poisson(mean) <= n) >= q.
+int PoissonQuantile(double mean, double q) {
+  double pmf = std::exp(-mean);
+  double cdf = pmf;
+  int n = 0;
+  while (cdf < q && n < 4096) {
+    ++n;
+    pmf *= mean / static_cast<double>(n);
+    cdf += pmf;
+  }
+  return n;
+}
+
+/// The queueing-bound evaluation for one replica group under batch cap `c`
+/// (see the header comment for the model and docs/PLANNING.md for its
+/// assumptions).
+struct QueueEval {
+  bool stable = false;      // rho under the utilization cap.
+  int planned_batch = 1;    // b*.
+  double batch_service_s = 0.0;
+  double utilization = 0.0;
+  double p_wait = 0.0;      // Erlang C.
+  double forming_s = 0.0;   // Forming-delay bound added to both quantiles.
+  double wait_p50_s = 0.0;
+  double wait_p99_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+QueueEval EvaluateQueue(double lambda_rps, int k,
+                        const arch::ServingModel& model, std::int64_t cap,
+                        double max_wait_s, double max_utilization) {
+  QueueEval eval;
+  // The former coalesces roughly one deadline window of arrivals per
+  // launch, bounded by the lane's size cap.
+  const auto batch = static_cast<std::int64_t>(
+      std::clamp(std::ceil(lambda_rps * max_wait_s), 1.0,
+                 static_cast<double>(cap)));
+  eval.planned_batch = static_cast<int>(batch);
+  eval.batch_service_s = model.BatchSeconds(eval.planned_batch);
+
+  // Jobs are whole batches: rate lambda/b*, deterministic service S(b*).
+  const double job_rate = lambda_rps / static_cast<double>(batch);
+  const double a = job_rate * eval.batch_service_s;  // Offered erlangs.
+  eval.utilization = a / static_cast<double>(k);
+  eval.stable = eval.utilization <= max_utilization;
+
+  // Forming delay: a cap-1 lane closes every batch at its own arrival and
+  // pays nothing. In the deadline-close regime a thin batch's requests
+  // wait out the full max_wait deadline; once size closes dominate (b* at
+  // the cap), a batch fills in cap/lambda.
+  if (cap == 1) {
+    eval.forming_s = 0.0;
+  } else {
+    eval.forming_s =
+        batch >= cap
+            ? std::min(max_wait_s, static_cast<double>(cap) / lambda_rps)
+            : max_wait_s;
+  }
+
+  if (eval.utilization < 1.0) {
+    eval.p_wait = ErlangC(k, a);
+    // M/M/k wait tail P(W > t) = C · e^{−θt}, θ = (k − a)/S. Service is
+    // deterministic and batch-quantized here, so whenever tail waits occur
+    // at all (P_wait above the quantile), the quantile request additionally
+    // sits behind one full batch in service — waits come in service-sized
+    // quanta. The exponential term covers the queue ahead of that batch.
+    const double theta = (static_cast<double>(k) - a) / eval.batch_service_s;
+    eval.wait_p99_s =
+        eval.p_wait > 0.01
+            ? std::log(eval.p_wait / 0.01) / theta + eval.batch_service_s
+            : 0.0;
+    eval.wait_p50_s =
+        eval.p_wait > 0.5
+            ? std::log(eval.p_wait / 0.5) / theta + eval.batch_service_s
+            : 0.0;
+  } else {
+    // Unstable queue: report divergence, not numbers.
+    eval.p_wait = 1.0;
+    eval.wait_p99_s = std::numeric_limits<double>::infinity();
+    eval.wait_p50_s = std::numeric_limits<double>::infinity();
+  }
+
+  // Batch-tail residence: the quantile request rides the batch its
+  // co-arrival cluster formed. Residence on these designs is nearly linear
+  // in batch size, and the busy-horizon deadline stretch lets a cluster
+  // spanning a forming window plus one service keep feeding the same lane,
+  // so the q-quantile batch is 1 + Q_q(Poisson co-arrivals in that span),
+  // clamped to the cap. A cap-1 lane never batches.
+  const auto tail_batch = [&](double q, double span_s) {
+    if (cap == 1) {
+      return 1;
+    }
+    return static_cast<int>(
+        std::min(cap, 1 + static_cast<std::int64_t>(PoissonQuantile(
+                          lambda_rps * span_s, q))));
+  };
+  const double residence_p99_s = model.BatchSeconds(
+      tail_batch(0.99, max_wait_s + eval.batch_service_s));
+  const double residence_p50_s =
+      model.BatchSeconds(tail_batch(0.5, max_wait_s));
+
+  eval.p50_s = eval.forming_s + eval.wait_p50_s + residence_p50_s;
+  eval.p99_s = eval.forming_s + eval.wait_p99_s + residence_p99_s;
+  return eval;
+}
+
+/// Mix-weighted aggregate latency quantile: the smallest per-group
+/// q-quantile t such that groups covering a q-share of the traffic predict
+/// their own q-quantile <= t. A conservative composition — the true mixed
+/// quantile is never above it when every group meets its own prediction —
+/// that avoids widening GroupPlan with tail parameters for a display-only
+/// aggregate.
+double AggregateQuantile(const std::vector<GroupPlan>& groups,
+                         const std::vector<double>& shares, double q) {
+  std::vector<std::pair<double, double>> by_quantile;  // (quantile, share).
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    // An unplaceable group (no replicas) has no latency at all — infinite,
+    // not zero, or an infeasible plan's aggregate would read as passing.
+    const double quantile =
+        groups[i].replicas == 0
+            ? std::numeric_limits<double>::infinity()
+            : (q >= 0.99 ? groups[i].predicted_p99_s
+                         : groups[i].predicted_p50_s);
+    by_quantile.emplace_back(quantile, shares[i]);
+  }
+  std::sort(by_quantile.begin(), by_quantile.end());
+  double covered = 0.0;
+  for (const auto& [quantile, share] : by_quantile) {
+    covered += share;
+    if (covered >= q) {
+      return quantile;
+    }
+  }
+  return by_quantile.empty() ? 0.0 : by_quantile.back().first;
+}
+
+double BottleneckShare(const ResourceReport& report) {
+  return std::max({report.dsp_util, report.lut_util, report.ff_util,
+                   report.bram_util, report.uram_util});
+}
+
+}  // namespace
+
+int PoolPlan::TotalReplicas() const {
+  int total = 0;
+  for (const GroupPlan& group : groups) {
+    total += group.replicas;
+  }
+  return total;
+}
+
+std::vector<std::int64_t> PoolPlan::PerWorkloadMaxBatch() const {
+  WorkloadId max_id = 0;
+  for (const GroupPlan& group : groups) {
+    max_id = std::max(max_id, group.workload_id);
+  }
+  std::vector<std::int64_t> caps(static_cast<std::size_t>(max_id) + 1, 0);
+  for (const GroupPlan& group : groups) {
+    caps[static_cast<std::size_t>(group.workload_id)] = group.batch_cap;
+  }
+  return caps;
+}
+
+std::vector<ReplicaSpec> PoolPlan::Replicas() const {
+  std::vector<ReplicaSpec> specs;
+  specs.reserve(static_cast<std::size_t>(TotalReplicas()));
+  for (const GroupPlan& group : groups) {
+    for (int r = 0; r < group.replicas; ++r) {
+      ReplicaSpec spec;
+      spec.design = group.design;
+      spec.workloads = {group.workload_id};
+      spec.tuned_for = group.workload_id;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+PoolPlan PlanCapacity(const WorkloadRegistry& registry,
+                      const std::vector<WorkloadShare>& mix,
+                      const PlanOptions& options) {
+  NSF_CHECK_MSG(!mix.empty(), "workload mix cannot be empty");
+  NSF_CHECK_MSG(options.p99_slo_s > 0.0, "p99 SLO must be positive");
+  NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
+  NSF_CHECK_MSG(options.devices >= 1, "need at least one device");
+  NSF_CHECK_MSG(options.max_replicas_per_workload >= 1,
+                "need at least one replica per workload");
+  NSF_CHECK_MSG(
+      options.max_utilization > 0.0 && options.max_utilization < 1.0,
+      "utilization cap must be in (0, 1)");
+  NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
+  NSF_CHECK_MSG(options.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+  NSF_CHECK_MSG(options.scenario.kind != ScenarioKind::kClosedLoop,
+                "closed-loop scenarios size their own load from the client "
+                "count — plan with the open-loop pattern the clients "
+                "approximate instead");
+
+  const FpgaDevice device = DeviceByName(options.device);
+
+  PoolPlan plan;
+  plan.mix = mix;
+  plan.qps = options.qps;
+  plan.planning_rate =
+      ScenarioPeakRate(options.scenario, options.qps, /*duration_s=*/1.0);
+  plan.p99_slo_s = options.p99_slo_s;
+  plan.device_name = options.device;
+  plan.devices = options.devices;
+  plan.max_batch = options.max_batch;
+  plan.max_wait_s = options.max_wait_s;
+  plan.scenario = options.scenario;
+  plan.dse_clock_hz = options.dse.clock_hz;
+  plan.dse_enable_phase2 = options.dse.enable_phase2;
+  plan.dictionary_bytes = options.dictionary_bytes;
+  plan.feasible = true;
+
+  double total_share = 0.0;
+  for (const WorkloadShare& entry : mix) {
+    NSF_CHECK_MSG(entry.share > 0.0, "mix shares must be positive");
+    total_share += entry.share;
+  }
+
+  DseOptions base = options.dse;
+  base.dictionary_bytes = options.dictionary_bytes;
+
+  std::vector<double> shares_norm;
+  for (const WorkloadShare& entry : mix) {
+    shares_norm.push_back(entry.share / total_share);
+    const WorkloadId id = registry.IdOf(entry.workload);
+    const DataflowGraph& dfg = registry.dataflow(id);
+    const double lambda = plan.planning_rate * entry.share / total_share;
+
+    const std::vector<ParetoPoint> frontier =
+        ParetoDesigns(dfg, base, options.frontier_points);
+
+    GroupPlan best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    GroupPlan fallback;  // Lowest-p99 configuration at max replicas.
+    bool have_fallback = false;
+    bool any_design_fits = false;  // Distinguishes "doesn't fit a board"
+                                   // from "overloaded at max replicas".
+
+    for (const ParetoPoint& point : frontier) {
+      const ResourceReport report = EstimateResources(point.design, device);
+      if (!report.fits) {
+        continue;  // A single replica must fit one board.
+      }
+      any_design_fits = true;
+      const double bottleneck = BottleneckShare(report);
+      const arch::ServingModel model =
+          arch::BuildServingModel(point.design, dfg, /*tuned=*/true);
+
+      const auto fill = [&](GroupPlan& group, std::int64_t cap, int k,
+                            const QueueEval& eval) {
+        group.workload = entry.workload;
+        group.workload_id = id;
+        group.design = point.design;
+        group.pe_budget = point.pe_budget;
+        group.pes = point.pes;
+        group.replicas = k;
+        group.lambda_rps = lambda;
+        group.batch_cap = cap;
+        group.planned_batch = eval.planned_batch;
+        group.service_s = model.BatchSeconds(1);
+        group.batch_service_s = eval.batch_service_s;
+        group.utilization = eval.utilization;
+        group.wait_p99_s = eval.wait_p99_s;
+        group.predicted_p50_s = eval.p50_s;
+        group.predicted_p99_s = eval.p99_s;
+      };
+
+      // Candidate batch caps: powers of two up to the policy bound (the
+      // bound itself always included) — batching trades tail latency
+      // (residence ~ linear in batch size) for throughput on
+      // batch-amortizing workloads; the search makes the trade per
+      // workload instead of hard-coding either answer.
+      std::vector<std::int64_t> caps;
+      for (std::int64_t c = 1; c < options.max_batch; c *= 2) {
+        caps.push_back(c);
+      }
+      caps.push_back(options.max_batch);
+      for (const std::int64_t cap : caps) {
+        for (int k = 1; k <= options.max_replicas_per_workload; ++k) {
+          const QueueEval eval =
+              EvaluateQueue(lambda, k, model, cap, options.max_wait_s,
+                            options.max_utilization);
+          if (k == options.max_replicas_per_workload && eval.stable &&
+              (!have_fallback || eval.p99_s < fallback.predicted_p99_s)) {
+            // Best-effort answer when no configuration meets the SLO.
+            fill(fallback, cap, k, eval);
+            have_fallback = true;
+          }
+          if (eval.stable && eval.p99_s <= options.p99_slo_s) {
+            // Smallest replica count for this (design, cap) meeting the
+            // SLO; cost is the FPGA area it ties up (bottleneck share x
+            // count).
+            const double cost = bottleneck * static_cast<double>(k);
+            if (cost < best_cost ||
+                (cost == best_cost && eval.p99_s < best.predicted_p99_s)) {
+              best_cost = cost;
+              fill(best, cap, k, eval);
+            }
+            break;
+          }
+        }
+      }
+    }
+
+    if (std::isfinite(best_cost)) {
+      plan.groups.push_back(std::move(best));
+    } else {
+      plan.feasible = false;
+      plan.note += (plan.note.empty() ? "" : "; ");
+      if (have_fallback) {
+        plan.note += "workload '" + entry.workload +
+                     "' cannot meet the SLO within " +
+                     std::to_string(options.max_replicas_per_workload) +
+                     " replicas";
+        plan.groups.push_back(std::move(fallback));
+      } else {
+        // No usable configuration at all: either nothing fits one board,
+        // or every fitting design stays over the utilization cap even at
+        // max replicas (overload) — distinct problems, distinct advice.
+        if (any_design_fits) {
+          plan.note += "workload '" + entry.workload +
+                       "' exceeds the utilization cap even at " +
+                       std::to_string(options.max_replicas_per_workload) +
+                       " replicas (raise --max-replicas or reduce load)";
+        } else {
+          plan.note += "no frontier design of workload '" + entry.workload +
+                       "' fits a single " + device.name;
+        }
+        GroupPlan unplaceable;
+        unplaceable.workload = entry.workload;
+        unplaceable.workload_id = id;
+        unplaceable.lambda_rps = lambda;
+        plan.groups.push_back(std::move(unplaceable));
+      }
+    }
+  }
+
+  // Budget accounting: summed per-replica resources against the aggregate
+  // inventory (each replica already individually fits one board).
+  for (const GroupPlan& group : plan.groups) {
+    if (group.replicas == 0) {
+      continue;
+    }
+    const ResourceReport report = EstimateResources(group.design, device);
+    const auto k = static_cast<double>(group.replicas);
+    plan.resources.dsp += k * report.dsp;
+    plan.resources.lut += k * report.lut;
+    plan.resources.ff += k * report.ff;
+    plan.resources.bram18 += k * report.bram18;
+    plan.resources.uram += k * report.uram;
+  }
+  const auto budget = static_cast<double>(plan.devices);
+  plan.resources.fits =
+      plan.resources.dsp <= budget * static_cast<double>(device.dsp) &&
+      plan.resources.lut <= budget * static_cast<double>(device.lut) &&
+      plan.resources.ff <= budget * static_cast<double>(device.ff) &&
+      plan.resources.bram18 <= budget * static_cast<double>(device.bram18) &&
+      plan.resources.uram <= budget * static_cast<double>(device.uram);
+  if (!plan.resources.fits) {
+    plan.feasible = false;
+    plan.note += (plan.note.empty() ? "" : "; ");
+    plan.note += "plan needs more FPGA area than " +
+                 std::to_string(plan.devices) + " x " + device.name +
+                 " provides (add --devices or relax the SLO)";
+  }
+
+  plan.predicted_p50_s = AggregateQuantile(plan.groups, shares_norm, 0.5);
+  plan.predicted_p99_s = AggregateQuantile(plan.groups, shares_norm, 0.99);
+  return plan;
+}
+
+Json PoolPlan::ToJson() const {
+  JsonObject root;
+  root["version"] = Json(1);
+
+  JsonArray mix_json;
+  for (const WorkloadShare& entry : mix) {
+    JsonObject m;
+    m["workload"] = Json(entry.workload);
+    m["share"] = Json(entry.share);
+    mix_json.push_back(Json(std::move(m)));
+  }
+  root["mix"] = Json(std::move(mix_json));
+
+  JsonObject traffic;
+  traffic["qps"] = Json(qps);
+  traffic["scenario"] = Json(scenario.ToString());
+  traffic["planning_rate_rps"] = Json(planning_rate);
+  root["traffic"] = Json(std::move(traffic));
+
+  JsonObject slo;
+  slo["p99_ms"] = Json(p99_slo_s * 1e3);
+  root["slo"] = Json(std::move(slo));
+
+  JsonObject budget;
+  budget["device"] = Json(device_name);
+  budget["devices"] = Json(devices);
+  root["budget"] = Json(std::move(budget));
+
+  JsonObject batching;
+  batching["max_batch"] = Json(max_batch);
+  batching["max_wait_ms"] = Json(max_wait_s * 1e3);
+  root["batching"] = Json(std::move(batching));
+
+  JsonObject dse;
+  dse["clock_hz"] = Json(dse_clock_hz);
+  dse["enable_phase2"] = Json(dse_enable_phase2);
+  dse["dictionary_bytes"] = Json(dictionary_bytes);
+  root["dse"] = Json(std::move(dse));
+
+  JsonArray groups_json;
+  for (const GroupPlan& group : groups) {
+    JsonObject g;
+    g["workload"] = Json(group.workload);
+    g["replicas"] = Json(group.replicas);
+    g["pe_budget"] = Json(group.pe_budget);
+    g["pes"] = Json(group.pes);
+    g["lambda_rps"] = Json(group.lambda_rps);
+    g["batch_cap"] = Json(group.batch_cap);
+    g["planned_batch"] = Json(group.planned_batch);
+    g["service_ms_batch1"] = Json(group.service_s * 1e3);
+    g["service_ms_planned_batch"] = Json(group.batch_service_s * 1e3);
+    JsonObject predicted;
+    predicted["p50_ms"] = Json(group.predicted_p50_s * 1e3);
+    predicted["p99_ms"] = Json(group.predicted_p99_s * 1e3);
+    predicted["wait_p99_ms"] = Json(group.wait_p99_s * 1e3);
+    predicted["utilization"] = Json(group.utilization);
+    g["predicted"] = Json(std::move(predicted));
+    groups_json.push_back(Json(std::move(g)));
+  }
+  root["groups"] = Json(std::move(groups_json));
+
+  JsonObject resources;
+  resources["dsp"] = Json(this->resources.dsp);
+  resources["lut"] = Json(this->resources.lut);
+  resources["ff"] = Json(this->resources.ff);
+  resources["bram18"] = Json(this->resources.bram18);
+  resources["uram"] = Json(this->resources.uram);
+  resources["fits"] = Json(this->resources.fits);
+  root["resources"] = Json(std::move(resources));
+
+  JsonObject predicted;
+  predicted["p50_ms"] = Json(predicted_p50_s * 1e3);
+  predicted["p99_ms"] = Json(predicted_p99_s * 1e3);
+  root["predicted"] = Json(std::move(predicted));
+
+  root["feasible"] = Json(feasible);
+  root["note"] = Json(note);
+  return Json(std::move(root));
+}
+
+PoolPlan LoadPlan(const Json& plan_json, WorkloadRegistry& registry) {
+  NSF_CHECK_MSG(plan_json.At("version").AsInt() == 1,
+                "unsupported PoolPlan version");
+  PoolPlan plan;
+  for (const Json& entry : plan_json.At("mix").AsArray()) {
+    WorkloadShare share;
+    share.workload = entry.At("workload").AsString();
+    share.share = entry.At("share").AsDouble();
+    if (!registry.Contains(share.workload)) {
+      registry.RegisterBuiltin(share.workload);
+    }
+    plan.mix.push_back(std::move(share));
+  }
+
+  const Json& traffic = plan_json.At("traffic");
+  plan.qps = traffic.At("qps").AsDouble();
+  plan.scenario = ScenarioSpec::Parse(traffic.At("scenario").AsString());
+  plan.planning_rate = traffic.At("planning_rate_rps").AsDouble();
+  plan.p99_slo_s = plan_json.At("slo").At("p99_ms").AsDouble() * 1e-3;
+  plan.device_name = plan_json.At("budget").At("device").AsString();
+  plan.devices = static_cast<int>(plan_json.At("budget").At("devices").AsInt());
+  plan.max_batch = plan_json.At("batching").At("max_batch").AsInt();
+  plan.max_wait_s =
+      plan_json.At("batching").At("max_wait_ms").AsDouble() * 1e-3;
+  plan.dse_clock_hz = plan_json.At("dse").At("clock_hz").AsDouble();
+  plan.dse_enable_phase2 = plan_json.At("dse").At("enable_phase2").AsBool();
+  plan.dictionary_bytes = plan_json.At("dse").At("dictionary_bytes").AsDouble();
+  plan.feasible = plan_json.At("feasible").AsBool();
+  plan.note = plan_json.At("note").AsString();
+  plan.predicted_p50_s =
+      plan_json.At("predicted").At("p50_ms").AsDouble() * 1e-3;
+  plan.predicted_p99_s =
+      plan_json.At("predicted").At("p99_ms").AsDouble() * 1e-3;
+
+  const Json& resources = plan_json.At("resources");
+  plan.resources.dsp = resources.At("dsp").AsDouble();
+  plan.resources.lut = resources.At("lut").AsDouble();
+  plan.resources.ff = resources.At("ff").AsDouble();
+  plan.resources.bram18 = resources.At("bram18").AsDouble();
+  plan.resources.uram = resources.At("uram").AsDouble();
+  plan.resources.fits = resources.At("fits").AsBool();
+
+  // Rebuild each group's design by re-running the deterministic DSE at the
+  // recorded PE budget — bit-identical to the planner's design, with no
+  // design serialization in the JSON. Assumes default DseOptions apart
+  // from the recorded clock, Phase II switch, and dictionary reserve
+  // (docs/PLANNING.md).
+  DseOptions base;
+  base.clock_hz = plan.dse_clock_hz;
+  base.enable_phase2 = plan.dse_enable_phase2;
+  base.dictionary_bytes = plan.dictionary_bytes;
+  for (const Json& entry : plan_json.At("groups").AsArray()) {
+    GroupPlan group;
+    group.workload = entry.At("workload").AsString();
+    group.workload_id = registry.IdOf(group.workload);
+    group.replicas = static_cast<int>(entry.At("replicas").AsInt());
+    group.pe_budget = entry.At("pe_budget").AsInt();
+    group.pes = entry.At("pes").AsInt();
+    group.lambda_rps = entry.At("lambda_rps").AsDouble();
+    group.batch_cap = entry.At("batch_cap").AsInt();
+    group.planned_batch =
+        static_cast<int>(entry.At("planned_batch").AsInt());
+    group.service_s = entry.At("service_ms_batch1").AsDouble() * 1e-3;
+    group.batch_service_s =
+        entry.At("service_ms_planned_batch").AsDouble() * 1e-3;
+    const Json& predicted = entry.At("predicted");
+    group.predicted_p50_s = predicted.At("p50_ms").AsDouble() * 1e-3;
+    group.predicted_p99_s = predicted.At("p99_ms").AsDouble() * 1e-3;
+    group.wait_p99_s = predicted.At("wait_p99_ms").AsDouble() * 1e-3;
+    group.utilization = predicted.At("utilization").AsDouble();
+    if (group.replicas > 0) {
+      DseOptions options = base;
+      options.max_pes = group.pe_budget;
+      group.design =
+          RunTwoPhaseDse(registry.dataflow(group.workload_id), options)
+              .design;
+      // Guard against stale or hand-edited plans: the rebuilt design must
+      // be the one the recorded predictions describe.
+      const std::int64_t rebuilt_pes = group.design.array.height *
+                                       group.design.array.width *
+                                       group.design.array.count;
+      NSF_CHECK_MSG(rebuilt_pes == group.pes,
+                    "plan group '" + group.workload +
+                        "' rebuilds to a different design (" +
+                        std::to_string(rebuilt_pes) + " PEs vs recorded " +
+                        std::to_string(group.pes) +
+                        ") — the plan is stale; re-run nsflow plan");
+    }
+    plan.groups.push_back(std::move(group));
+  }
+  return plan;
+}
+
+std::string PlanValidationTable(const PoolPlan& plan,
+                                const StatsSummary& measured) {
+  TablePrinter table({"workload", "replicas x PEs", "pred p50 (ms)",
+                      "meas p50 (ms)", "pred p99 (ms)", "meas p99 (ms)",
+                      "meas/pred p99"});
+  for (const GroupPlan& group : plan.groups) {
+    const auto w = static_cast<std::size_t>(group.workload_id);
+    double measured_p50 = 0.0;
+    double measured_p99 = 0.0;
+    if (w < measured.per_workload.size()) {
+      measured_p50 = measured.per_workload[w].p50_ms;
+      measured_p99 = measured.per_workload[w].p99_ms;
+    } else if (measured.per_workload.size() <= 1 && plan.groups.size() == 1) {
+      measured_p50 = measured.p50_ms;
+      measured_p99 = measured.p99_ms;
+    }
+    const double predicted_p99_ms = group.predicted_p99_s * 1e3;
+    table.AddRow({group.workload,
+                  std::to_string(group.replicas) + " x " +
+                      std::to_string(group.pes),
+                  TablePrinter::Num(group.predicted_p50_s * 1e3, 3),
+                  TablePrinter::Num(measured_p50, 3),
+                  TablePrinter::Num(predicted_p99_ms, 3),
+                  TablePrinter::Num(measured_p99, 3),
+                  predicted_p99_ms > 0.0
+                      ? TablePrinter::Num(measured_p99 / predicted_p99_ms, 2)
+                      : "-"});
+  }
+  table.AddRow({"aggregate", std::to_string(plan.TotalReplicas()) + " total",
+                TablePrinter::Num(plan.predicted_p50_s * 1e3, 3),
+                TablePrinter::Num(measured.p50_ms, 3),
+                TablePrinter::Num(plan.predicted_p99_s * 1e3, 3),
+                TablePrinter::Num(measured.p99_ms, 3),
+                plan.predicted_p99_s > 0.0
+                    ? TablePrinter::Num(
+                          measured.p99_ms / (plan.predicted_p99_s * 1e3), 2)
+                    : "-"});
+  return table.ToString();
+}
+
+}  // namespace nsflow::serve

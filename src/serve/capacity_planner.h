@@ -1,0 +1,164 @@
+// SLO-driven capacity planner — the paper's DSE provisioning the serving
+// pool.
+//
+// PRs 1–3 sized replica pools by hand (`--replicas`, `--heterogeneous`).
+// The planner closes the loop: given a workload mix, a p99-latency SLO, and
+// an FPGA resource budget, it searches each workload's `ParetoDesigns`
+// frontier (the two-phase DSE swept across shrinking PE budgets) with
+// fast-path `ServingModel` latencies and an M/G/k-style queueing bound, and
+// emits a `PoolPlan` — replica count x design kind x workload set with
+// predicted p50/p99/utilization — that `ServerPool`/`WorkloadRegistry` can
+// instantiate directly and `RunSyntheticServe` can validate (predicted vs
+// measured p99 side by side; docs/PLANNING.md documents the tolerance).
+//
+// The queueing model, in one paragraph (assumptions in docs/PLANNING.md):
+// each workload gets its own partitioned replica group, so each group is an
+// independent queue. Arrivals are Poisson at the *scenario peak* rate share
+// λ_w (plan for the crest, not the mean). For a candidate batch cap c the
+// former coalesces ~b* = clamp(⌈λ_w · max_wait⌉, 1, c) requests per launch,
+// so the group is approximated as M/D/k at job rate λ_w/b* with
+// deterministic service S_w(b*) from the bit-exact fast path. The p99 is
+// composed of three parts: the forming delay (0 when c = 1 — size-close at
+// the arrival; else bounded by max_wait), the M/M/k (Erlang C) wait tail
+// plus one service quantum when tail waits occur at all (service is
+// deterministic and batch-quantized, so a waiting request sits behind a
+// whole batch), and the *batch-tail residence* S_w(b99) where b99 counts
+// the 99th-percentile co-arrival cluster joining the same lane within a
+// forming-window + service span — residence grows nearly linearly in batch
+// size on these designs, and the busy-horizon deadline stretch turns
+// co-arrival clusters into larger batches. The planner searches (frontier
+// design x batch cap x replica count) per workload and keeps the cheapest
+// configuration meeting the SLO below the utilization cap whose summed
+// per-replica FPGA resources fit the device budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "dse/dse.h"
+#include "fpga/device.h"
+#include "nsflow/framework.h"
+#include "serve/engine.h"
+#include "serve/server_pool.h"
+#include "serve/workload_registry.h"
+
+namespace nsflow::serve {
+
+struct PlanOptions {
+  /// Total offered load the plan must absorb (mean rate; the scenario's
+  /// peak-to-mean shape scales it to the planning rate).
+  double qps = 100.0;
+  /// The p99 latency SLO every workload must meet, seconds.
+  double p99_slo_s = 10e-3;
+  /// FPGA budget: `devices` boards of the named device ("u250" | "zcu104").
+  std::string device = "u250";
+  int devices = 1;
+  /// Search bounds and stability margin.
+  int max_replicas_per_workload = 16;
+  double max_utilization = 0.85;  // Planned rho cap (stability margin).
+  int frontier_points = 4;        // Pareto points evaluated per workload.
+  /// Batching policy bounds for the planned pool: the planner picks each
+  /// group's batch cap from {1, 2, 4, ..., max_batch} (batching buys
+  /// throughput on batch-amortizing workloads at a tail-latency cost — the
+  /// search makes the trade explicitly).
+  std::int64_t max_batch = 8;
+  double max_wait_s = 5e-3;
+  /// Traffic shape: the plan provisions for ScenarioPeakRate(scenario).
+  ScenarioSpec scenario;
+  /// Base DSE options (the per-point PE budget is swept below
+  /// `dse.max_pes`); `dictionary_bytes` mirrors CompileOptions so planned
+  /// designs match what the registry compiled.
+  DseOptions dse;
+  double dictionary_bytes = 512.0 * 1024.0;
+};
+
+/// One workload's replica group in a plan.
+struct GroupPlan {
+  std::string workload;
+  WorkloadId workload_id = 0;
+  AcceleratorDesign design;     // The chosen frontier design.
+  std::int64_t pe_budget = 0;   // DSE max_pes that produced it (rebuildable).
+  std::int64_t pes = 0;         // Actual H*W*N.
+  int replicas = 0;
+  double lambda_rps = 0.0;      // Planned (peak) arrival share.
+  std::int64_t batch_cap = 1;   // The lane's chosen max_batch.
+  int planned_batch = 1;        // b* the queueing model assumed.
+  double service_s = 0.0;       // Batch-1 latency (fast path).
+  double batch_service_s = 0.0; // Latency at planned_batch.
+  double utilization = 0.0;     // Planned rho.
+  double wait_p99_s = 0.0;      // Queueing-wait component of p99.
+  double predicted_p50_s = 0.0;
+  double predicted_p99_s = 0.0;
+};
+
+/// Per-resource totals of a plan against the device budget.
+struct PlanResources {
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram18 = 0.0;
+  double uram = 0.0;
+  bool fits = false;  // Every total <= devices x inventory.
+};
+
+/// The planner's output: a pool layout `ServerPool` can instantiate
+/// directly (via `Replicas()`), with its predictions and budget accounting.
+/// Serializes to the PoolPlan JSON schema (docs/PLANNING.md); `LoadPlan`
+/// rebuilds an identical plan from that JSON by re-running the
+/// deterministic DSE at each group's recorded PE budget.
+struct PoolPlan {
+  std::vector<GroupPlan> groups;
+  std::vector<WorkloadShare> mix;
+  double qps = 0.0;            // Mean offered load the plan was asked for.
+  double planning_rate = 0.0;  // Scenario peak rate actually provisioned.
+  double p99_slo_s = 0.0;
+  std::string device_name;     // CLI name ("u250"), not the display name.
+  int devices = 1;
+  std::int64_t max_batch = 8;
+  double max_wait_s = 5e-3;
+  ScenarioSpec scenario;
+  // Recorded for the bit-exact DSE rebuild: every CLI-settable DSE knob
+  // that shapes a design besides the per-group PE budget.
+  double dse_clock_hz = 272e6;
+  bool dse_enable_phase2 = true;
+  double dictionary_bytes = 512.0 * 1024.0;
+  PlanResources resources;
+  bool feasible = false;
+  std::string note;            // Why infeasible (empty when feasible).
+  double predicted_p50_s = 0.0;  // Mix-weighted aggregate quantiles.
+  double predicted_p99_s = 0.0;
+
+  int TotalReplicas() const;
+  /// Expand the groups into the partitioned ReplicaSpec list (group order,
+  /// `tuned_for` set) — the `ServerPool` / `RunSyntheticServe` input.
+  std::vector<ReplicaSpec> Replicas() const;
+  /// The groups' chosen batch caps as `ServeOptions::per_workload_max_batch`
+  /// (indexed by WorkloadId).
+  std::vector<std::int64_t> PerWorkloadMaxBatch() const;
+  Json ToJson() const;
+};
+
+/// Plan a pool for `mix` over the workloads registered in `registry` (every
+/// mix name must already be registered). Always returns a plan — when no
+/// configuration meets the SLO and budget, `feasible` is false, `note` says
+/// why, and the groups hold the best-effort (fastest-design, max-replica)
+/// layout so the caller can still inspect what fell short.
+PoolPlan PlanCapacity(const WorkloadRegistry& registry,
+                      const std::vector<WorkloadShare>& mix,
+                      const PlanOptions& options);
+
+/// Rebuild a serialized plan: resolves mix workloads in `registry`
+/// (registering builtins on demand), re-runs the deterministic DSE at each
+/// group's recorded PE budget, and restores the recorded predictions. The
+/// rebuilt designs are bit-identical to the planner's (tests pin this).
+PoolPlan LoadPlan(const Json& plan_json, WorkloadRegistry& registry);
+
+/// Predicted-vs-measured comparison table for a validation run (the
+/// `nsflow plan --validate` / `nsflow serve --plan` report): one row per
+/// workload with predicted p99, measured p99, and the ratio.
+std::string PlanValidationTable(const PoolPlan& plan,
+                                const StatsSummary& measured);
+
+}  // namespace nsflow::serve

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "common/error.h"
-#include "common/rng.h"
 #include "serve/batch_former.h"
 #include "serve/request_queue.h"
 
@@ -16,53 +18,42 @@ std::vector<Request> SyntheticArrivals(const ServeOptions& options) {
   return SyntheticArrivals(options, {1.0});
 }
 
-std::vector<Request> SyntheticArrivals(const ServeOptions& options,
-                                       const std::vector<double>& shares) {
-  NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
-  NSF_CHECK_MSG(options.duration_s > 0.0, "duration must be positive");
-  NSF_CHECK_MSG(!shares.empty(), "need at least one workload share");
-  double total_share = 0.0;
-  for (const double share : shares) {
-    NSF_CHECK_MSG(share >= 0.0, "workload shares must be non-negative");
-    total_share += share;
+double EffectiveOfferedRps(const ServeOptions& options,
+                           std::int64_t generated_requests) {
+  switch (options.scenario.kind) {
+    case ScenarioKind::kClosedLoop:
+      // Sized by the client count; --qps is ignored.
+      return ScenarioMeanRate(options.scenario, options.qps,
+                              options.duration_s);
+    case ScenarioKind::kTrace:
+      // A replayed file has no rate parameter — report what it contained.
+      return static_cast<double>(generated_requests) / options.duration_s;
+    default:
+      return options.qps;
   }
-  NSF_CHECK_MSG(total_share > 0.0, "at least one share must be positive");
+}
 
-  Rng rng(options.seed);
-  std::vector<Request> arrivals;
-  double now = 0.0;
-  std::int64_t next_id = 0;
-  while (true) {
-    // Exponential inter-arrival times — memoryless open-loop traffic.
-    now += -std::log(1.0 - rng.Uniform()) / options.qps;
-    if (now >= options.duration_s) {
-      break;
+std::vector<Request> SyntheticArrivals(
+    const ServeOptions& options, const std::vector<double>& shares,
+    const std::vector<std::string>& workload_names) {
+  NSF_CHECK_MSG(options.duration_s > 0.0, "duration must be positive");
+  if (options.scenario.kind == ScenarioKind::kTrace) {
+    // Replay: workload labels resolve through the registry's names; a
+    // single-workload caller passes {} and the labels are ignored.
+    std::ifstream in(options.scenario.trace_path, std::ios::binary);
+    if (!in) {
+      throw Error("cannot open arrival trace: " + options.scenario.trace_path);
     }
-    // The workload draw shares the RNG stream with the inter-arrival draw,
-    // so one seed pins the entire (time, workload) trace. FP rounding can
-    // leave `pick` non-negative after subtracting every share, so the
-    // fallback is the *last positive-share* workload — never a zero-share
-    // tenant.
-    WorkloadId workload = 0;
-    if (shares.size() > 1) {
-      for (std::size_t w = shares.size(); w-- > 0;) {
-        if (shares[w] > 0.0) {
-          workload = static_cast<WorkloadId>(w);
-          break;
-        }
-      }
-      double pick = rng.Uniform() * total_share;
-      for (std::size_t w = 0; w < shares.size(); ++w) {
-        pick -= shares[w];
-        if (pick < 0.0) {
-          workload = static_cast<WorkloadId>(w);
-          break;
-        }
-      }
-    }
-    arrivals.push_back(Request{next_id++, now, workload});
+    std::ostringstream text;
+    text << in.rdbuf();
+    return ParseArrivalTraceJson(text.str(), workload_names,
+                                 options.duration_s);
   }
-  return arrivals;
+  // The workload draw shares the RNG stream with the inter-arrival draws,
+  // so one seed pins the entire (time, workload) trace whatever the
+  // scenario (see scenario.cpp).
+  return GenerateArrivals(options.scenario, options.qps, options.duration_s,
+                          options.seed, shares);
 }
 
 std::vector<WorkloadShare> ParseMix(const std::string& spec) {
@@ -108,6 +99,20 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                         const std::vector<Request>& arrivals,
                         const ServeOptions& options) {
   NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
+  // Per-lane batching policies: `per_workload_max_batch` overrides the
+  // uniform cap where set (0 entries fall back).
+  std::vector<BatchPolicy> policies(
+      static_cast<std::size_t>(pool.workloads()),
+      BatchPolicy{options.max_batch, options.max_wait_s});
+  NSF_CHECK_MSG(options.per_workload_max_batch.empty() ||
+                    options.per_workload_max_batch.size() ==
+                        policies.size(),
+                "per_workload_max_batch must have one entry per workload");
+  for (std::size_t w = 0; w < options.per_workload_max_batch.size(); ++w) {
+    if (options.per_workload_max_batch[w] > 0) {
+      policies[w].max_batch = options.per_workload_max_batch[w];
+    }
+  }
 
   // Producer thread feeds the queue in arrival order; the consumer below
   // drains it into the batch former. FIFO + virtual timestamps keep the
@@ -129,20 +134,25 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   for (const Request& request : arrivals) {
     active[static_cast<std::size_t>(request.workload)] = true;
   }
-  std::vector<WorkloadId> active_ids;
+  // Warm each active lane only up to *its* batch cap — a cap-1 lane never
+  // forms a batch its policy forbids, so pre-evaluating larger sizes for
+  // it would be wasted cold-start work. Lanes sharing a cap warm together.
+  std::map<std::int64_t, std::vector<WorkloadId>> active_by_cap;
   for (int w = 0; w < pool.workloads(); ++w) {
     if (active[static_cast<std::size_t>(w)]) {
-      active_ids.push_back(w);
+      active_by_cap[policies[static_cast<std::size_t>(w)].max_batch]
+          .push_back(w);
     }
   }
-  pool.WarmBatchSizes(options.max_batch, active_ids);
+  for (const auto& [cap, ids] : active_by_cap) {
+    pool.WarmBatchSizes(cap, ids);
+  }
 
   // Integrated forming + dispatch: each closed batch goes straight to the
   // earliest-available capable replica, and the pool's per-workload
   // availability feeds back into the former so lanes grow from backlog
   // while every replica that could take them is busy.
-  MultiBatchFormer former(BatchPolicy{options.max_batch, options.max_wait_s},
-                          pool.workloads());
+  MultiBatchFormer former(policies);
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
   const auto dispatch = [&](Batch&& batch) {
@@ -192,7 +202,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                                 ? 0.0
                                 : report.single_request_by_workload.front();
   report.dispatches = std::move(dispatches);
-  report.summary = stats.Summarize(options.qps, options.duration_s);
+  report.summary = stats.Summarize(
+      EffectiveOfferedRps(options, report.generated_requests),
+      options.duration_s);
   return report;
 }
 
@@ -225,7 +237,8 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
     shares[static_cast<std::size_t>(id)] = entry.share;
   }
 
-  const std::vector<Request> arrivals = SyntheticArrivals(options, shares);
+  const std::vector<Request> arrivals =
+      SyntheticArrivals(options, shares, registry.Names());
   ServerPool pool(replicas, registry.Dataflows(), options.worker_threads);
   ServeStats stats(pool.size(), registry.size());
   for (WorkloadId w = 0; w < registry.size(); ++w) {

@@ -28,6 +28,7 @@
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 #include "serve/request.h"
+#include "serve/scenario.h"
 #include "serve/server_pool.h"
 #include "serve/serve_stats.h"
 #include "serve/workload_registry.h"
@@ -41,6 +42,15 @@ struct ServeOptions {
   double max_wait_s = 5e-3;    // BatchFormer wait cap.
   std::uint64_t seed = 42;     // Arrival-process RNG seed.
   int worker_threads = 0;      // 0 = hardware concurrency.
+  /// Arrival pattern (scenario.h). The default stationary Poisson
+  /// reproduces the pre-scenario arrival stream bit-for-bit.
+  ScenarioSpec scenario;
+  /// Per-workload batch-size caps, indexed by WorkloadId (empty = every
+  /// lane uses `max_batch`; entries of 0 also fall back to it). The
+  /// capacity planner sets these so a latency-critical tenant can run
+  /// unbatched (cap 1 — batches close at their own arrival, no forming
+  /// wait) next to a throughput tenant that keeps coalescing.
+  std::vector<std::int64_t> per_workload_max_batch;
 };
 
 /// One entry of a multi-tenant QPS mix: `share` of the total offered load
@@ -66,14 +76,26 @@ struct ServeReport {
   std::vector<double> single_request_by_workload;
 };
 
-/// Generate the open-loop Poisson arrival trace for `options` (exposed for
-/// tests and for replaying the same trace against different pools). The
+/// Generate the arrival trace for `options` — `options.scenario` picks the
+/// pattern (stationary Poisson by default; see scenario.h). Exposed for
+/// tests and for replaying the same trace against different pools. The
 /// multi-workload overload additionally samples each arrival's workload id
 /// from `shares` (normalized weights indexed by workload id) with the same
-/// RNG stream.
+/// RNG stream; `workload_names` (indexed by id) resolves the labels of a
+/// replayed `trace:file=...` scenario — pass {} when not serving named
+/// workloads (labels are then ignored, everything maps to workload 0).
 std::vector<Request> SyntheticArrivals(const ServeOptions& options);
 std::vector<Request> SyntheticArrivals(const ServeOptions& options,
-                                       const std::vector<double>& shares);
+                                       const std::vector<double>& shares,
+                                       const std::vector<std::string>&
+                                           workload_names = {});
+
+/// The offered load a run actually carried: `options.qps` for rate-driven
+/// scenarios, the renewal rate for closed loops (which ignore qps), and
+/// the replayed count over the horizon for traces. This is what the
+/// summary's `offered_qps` records and the CLI headers print.
+double EffectiveOfferedRps(const ServeOptions& options,
+                           std::int64_t generated_requests);
 
 /// Run the full pipeline: synthetic arrivals through queue, former, and
 /// pool. `designs` defines the pool (one replica per entry; `dfg` must

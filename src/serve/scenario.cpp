@@ -1,0 +1,627 @@
+#include "serve/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace nsflow::serve {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+struct KindInfo {
+  ScenarioKind kind;
+  const char* name;
+  // Parameter keys this kind accepts (nullptr-terminated).
+  const char* keys[5];
+};
+
+constexpr KindInfo kKinds[] = {
+    {ScenarioKind::kPoisson, "poisson", {nullptr}},
+    {ScenarioKind::kDiurnal, "diurnal", {"period", "depth", "phase", nullptr}},
+    {ScenarioKind::kBursty, "bursty", {"on", "off", "idle", nullptr}},
+    {ScenarioKind::kRamp, "ramp", {"from", "to", nullptr}},
+    {ScenarioKind::kSpike, "spike", {"at", "width", "mult", nullptr}},
+    {ScenarioKind::kClosedLoop,
+     "closed",
+     {"clients", "think_ms", "service_ms", nullptr}},
+    {ScenarioKind::kTrace, "trace", {nullptr}},  // "file" handled separately.
+};
+
+const KindInfo& InfoFor(ScenarioKind kind) {
+  for (const KindInfo& info : kKinds) {
+    if (info.kind == kind) {
+      return info;
+    }
+  }
+  throw Error("unknown scenario kind");
+}
+
+std::string KnownScenarioNames() {
+  std::string names;
+  for (const KindInfo& info : kKinds) {
+    names += (names.empty() ? "" : ", ") + std::string(info.name);
+  }
+  return names;
+}
+
+/// The workload draw shared by every generator: same distribution, same
+/// fallback rule as the original engine sampler (see engine.cpp history) —
+/// FP rounding can leave `pick` non-negative after subtracting every share,
+/// so the fallback is the last *positive-share* workload, never a
+/// zero-share tenant. Consumes one uniform iff there are >= 2 shares.
+WorkloadId DrawWorkload(Rng& rng, const std::vector<double>& shares,
+                        double total_share) {
+  WorkloadId workload = 0;
+  if (shares.size() > 1) {
+    for (std::size_t w = shares.size(); w-- > 0;) {
+      if (shares[w] > 0.0) {
+        workload = static_cast<WorkloadId>(w);
+        break;
+      }
+    }
+    double pick = rng.Uniform() * total_share;
+    for (std::size_t w = 0; w < shares.size(); ++w) {
+      pick -= shares[w];
+      if (pick < 0.0) {
+        workload = static_cast<WorkloadId>(w);
+        break;
+      }
+    }
+  }
+  return workload;
+}
+
+/// The bursty on-state rate, normalized so the long-run mean stays `qps`:
+///   (rate_on * on + rate_off * off) / (on + off) = qps.
+/// Shared by the generator, the peak-rate query, and spec validation —
+/// all three must agree that an off-state exceeding the mean is an error.
+double BurstyOnRate(const ScenarioSpec& spec, double qps) {
+  const double on_s = spec.Param("on", 0.05);
+  const double off_s = spec.Param("off", 0.15);
+  const double idle = spec.Param("idle", 0.1);
+  NSF_CHECK_MSG(on_s > 0.0, "bursty on-dwell must be positive");
+  NSF_CHECK_MSG(off_s >= 0.0, "bursty off-dwell must be non-negative");
+  NSF_CHECK_MSG(idle >= 0.0, "bursty idle fraction must be non-negative");
+  const double rate_on =
+      (qps * (on_s + off_s) - idle * qps * off_s) / on_s;
+  NSF_CHECK_MSG(rate_on > 0.0,
+                "bursty idle fraction too large for the dwell ratio (the "
+                "off-state alone exceeds the target mean rate)");
+  return rate_on;
+}
+
+double CheckedTotalShare(const std::vector<double>& shares) {
+  NSF_CHECK_MSG(!shares.empty(), "need at least one workload share");
+  double total = 0.0;
+  for (const double share : shares) {
+    NSF_CHECK_MSG(share >= 0.0, "workload shares must be non-negative");
+    total += share;
+  }
+  NSF_CHECK_MSG(total > 0.0, "at least one share must be positive");
+  return total;
+}
+
+/// Stationary Poisson at `qps` — bit-identical to the original PR 1/2
+/// generator: one uniform per gap, one per workload draw (when mixing).
+std::vector<Request> GeneratePoisson(double qps, double duration_s, Rng& rng,
+                                     const std::vector<double>& shares,
+                                     double total_share) {
+  std::vector<Request> arrivals;
+  double now = 0.0;
+  std::int64_t next_id = 0;
+  while (true) {
+    now += -std::log(1.0 - rng.Uniform()) / qps;
+    if (now >= duration_s) {
+      break;
+    }
+    const WorkloadId workload = DrawWorkload(rng, shares, total_share);
+    arrivals.push_back(Request{next_id++, now, workload});
+  }
+  return arrivals;
+}
+
+/// Lewis–Shedler thinning against the ceiling `rate_max`: candidates arrive
+/// as a homogeneous Poisson at rate_max, and candidate t survives with
+/// probability rate(t)/rate_max. Consumes two uniforms per candidate plus
+/// the workload draw per accepted arrival — a fixed order, so the (seed,
+/// spec) pair pins the trace.
+template <typename RateFn>
+std::vector<Request> GenerateThinned(double rate_max, double duration_s,
+                                     Rng& rng,
+                                     const std::vector<double>& shares,
+                                     double total_share, const RateFn& rate) {
+  NSF_CHECK_MSG(rate_max > 0.0, "scenario rate ceiling must be positive");
+  std::vector<Request> arrivals;
+  double now = 0.0;
+  std::int64_t next_id = 0;
+  while (true) {
+    now += -std::log(1.0 - rng.Uniform()) / rate_max;
+    if (now >= duration_s) {
+      break;
+    }
+    if (rng.Uniform() * rate_max < rate(now)) {
+      const WorkloadId workload = DrawWorkload(rng, shares, total_share);
+      arrivals.push_back(Request{next_id++, now, workload});
+    }
+  }
+  return arrivals;
+}
+
+/// MMPP-style on/off modulation: alternating exponential dwell windows, a
+/// homogeneous Poisson at the window's state rate inside each. Restarting
+/// the gap draw at every window boundary is exact (memorylessness), so the
+/// count in a window of length L at rate r is Poisson(r*L).
+std::vector<Request> GenerateBursty(const ScenarioSpec& spec, double qps,
+                                    double duration_s, Rng& rng,
+                                    const std::vector<double>& shares,
+                                    double total_share) {
+  const double on_s = spec.Param("on", 0.05);
+  const double off_s = spec.Param("off", 0.15);
+  const double rate_off = spec.Param("idle", 0.1) * qps;
+  const double rate_on = BurstyOnRate(spec, qps);
+
+  std::vector<Request> arrivals;
+  std::int64_t next_id = 0;
+  double window_start = 0.0;
+  bool on = true;  // Runs open in a burst so short horizons see one.
+  while (window_start < duration_s) {
+    const double dwell =
+        -std::log(1.0 - rng.Uniform()) * (on ? on_s : off_s);
+    const double window_end = std::min(window_start + dwell, duration_s);
+    const double rate = on ? rate_on : rate_off;
+    if (rate > 0.0) {
+      double now = window_start;
+      while (true) {
+        now += -std::log(1.0 - rng.Uniform()) / rate;
+        if (now >= window_end) {
+          break;
+        }
+        const WorkloadId workload = DrawWorkload(rng, shares, total_share);
+        arrivals.push_back(Request{next_id++, now, workload});
+      }
+    }
+    window_start = window_end;
+    on = !on;
+  }
+  return arrivals;
+}
+
+/// Closed-loop sessions: each client issues its next request an exponential
+/// think time plus a fixed residence estimate after the previous one (no
+/// completion feedback — the residence estimate stands in for the service
+/// round-trip, keeping the trace pre-computable and bit-deterministic).
+std::vector<Request> GenerateClosedLoop(const ScenarioSpec& spec,
+                                        double duration_s, Rng& rng,
+                                        const std::vector<double>& shares,
+                                        double total_share) {
+  const int clients = static_cast<int>(spec.Param("clients", 4.0));
+  const double think_s = spec.Param("think_ms", 10.0) * 1e-3;
+  const double service_s = spec.Param("service_ms", 1.0) * 1e-3;
+  NSF_CHECK_MSG(clients >= 1, "closed loop needs at least one client");
+  NSF_CHECK_MSG(think_s > 0.0, "closed-loop think time must be positive");
+  NSF_CHECK_MSG(service_s >= 0.0,
+                "closed-loop service estimate must be non-negative");
+
+  // Per-client generation in client order (deterministic), then one sort by
+  // (time, client, sequence) to interleave the sessions on the timeline.
+  struct Pending {
+    double t;
+    int client;
+    std::int64_t seq;
+    WorkloadId workload;
+  };
+  std::vector<Pending> pending;
+  for (int c = 0; c < clients; ++c) {
+    double now = 0.0;
+    std::int64_t seq = 0;
+    while (true) {
+      now += -std::log(1.0 - rng.Uniform()) * think_s;
+      if (seq > 0) {
+        now += service_s;  // The previous request's residence.
+      }
+      if (now >= duration_s) {
+        break;
+      }
+      const WorkloadId workload = DrawWorkload(rng, shares, total_share);
+      pending.push_back(Pending{now, c, seq++, workload});
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              return std::tie(a.t, a.client, a.seq) <
+                     std::tie(b.t, b.client, b.seq);
+            });
+  std::vector<Request> arrivals;
+  arrivals.reserve(pending.size());
+  std::int64_t next_id = 0;
+  for (const Pending& p : pending) {
+    arrivals.push_back(Request{next_id++, p.t, p.workload});
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::Parse(const std::string& text) {
+  ScenarioSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  bool known = false;
+  for (const KindInfo& info : kKinds) {
+    if (name == info.name) {
+      spec.kind = info.kind;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw Error("unknown scenario '" + name +
+                "' (known: " + KnownScenarioNames() + ")");
+  }
+
+  std::size_t start = colon == std::string::npos ? text.size() : colon + 1;
+  while (start < text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string entry = text.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (entry.empty() || eq == std::string::npos || eq == 0) {
+      throw Error("bad scenario parameter '" + entry +
+                  "' (expected key=value)");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (spec.kind == ScenarioKind::kTrace && key == "file") {
+      spec.trace_path = value;
+    } else {
+      const KindInfo& info = InfoFor(spec.kind);
+      bool accepted = false;
+      for (const char* const* k = info.keys; *k != nullptr; ++k) {
+        if (key == *k) {
+          accepted = true;
+          break;
+        }
+      }
+      if (!accepted) {
+        std::string keys;
+        for (const char* const* k = info.keys; *k != nullptr; ++k) {
+          keys += (keys.empty() ? "" : ", ") + std::string(*k);
+        }
+        if (spec.kind == ScenarioKind::kTrace) {
+          keys = "file";
+        }
+        throw Error("scenario '" + std::string(info.name) +
+                    "' has no parameter '" + key + "'" +
+                    (keys.empty() ? "" : " (known: " + keys + ")"));
+      }
+      try {
+        spec.params[key] = std::stod(value);
+      } catch (const std::exception&) {
+        throw Error("bad numeric value for scenario parameter '" + key +
+                    "': '" + value + "'");
+      }
+    }
+    start = end + 1;
+  }
+  if (spec.kind == ScenarioKind::kTrace && spec.trace_path.empty()) {
+    throw Error("trace scenario needs file=<path> (e.g. "
+                "trace:file=arrivals.json)");
+  }
+
+  // Range validation of the provided parameters (defaults are always
+  // valid; duration-relative defaults are resolved at generation time).
+  const auto require = [&](bool ok, const char* message) {
+    if (!ok) {
+      throw Error("scenario '" + spec.Name() + "': " + message);
+    }
+  };
+  switch (spec.kind) {
+    case ScenarioKind::kDiurnal: {
+      const double depth = spec.Param("depth", 0.8);
+      require(depth >= 0.0 && depth < 1.0, "depth must be in [0, 1)");
+      require(spec.Param("period", 1.0) > 0.0, "period must be positive");
+      break;
+    }
+    case ScenarioKind::kBursty:
+      require(spec.Param("on", 0.05) > 0.0, "on-dwell must be positive");
+      require(spec.Param("off", 0.15) >= 0.0,
+              "off-dwell must be non-negative");
+      require(spec.Param("idle", 0.1) >= 0.0,
+              "idle fraction must be non-negative");
+      // rate_on > 0 is qps-independent: (on + off) - idle*off > 0.
+      require(spec.Param("on", 0.05) + spec.Param("off", 0.15) -
+                      spec.Param("idle", 0.1) * spec.Param("off", 0.15) >
+                  0.0,
+              "idle fraction too large for the dwell ratio (the off-state "
+              "alone would exceed the target mean rate)");
+      break;
+    case ScenarioKind::kRamp:
+      require(spec.Param("from", 0.0) >= 0.0 && spec.Param("to", 2.0) >= 0.0,
+              "endpoints must be non-negative");
+      require(spec.Param("from", 0.0) > 0.0 || spec.Param("to", 2.0) > 0.0,
+              "at least one endpoint must be positive");
+      break;
+    case ScenarioKind::kSpike:
+      require(spec.Param("width", 1.0) >= 0.0, "width must be non-negative");
+      require(spec.Param("mult", 5.0) >= 0.0, "mult must be non-negative");
+      break;
+    case ScenarioKind::kClosedLoop:
+      require(spec.Param("clients", 4.0) >= 1.0, "need at least one client");
+      require(spec.Param("think_ms", 10.0) > 0.0,
+              "think time must be positive");
+      require(spec.Param("service_ms", 1.0) >= 0.0,
+              "service estimate must be non-negative");
+      break;
+    case ScenarioKind::kPoisson:
+    case ScenarioKind::kTrace:
+      break;
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::Name() const { return InfoFor(kind).name; }
+
+std::string ScenarioSpec::ToString() const {
+  std::string out = Name();
+  char sep = ':';
+  if (!trace_path.empty()) {
+    out += sep;
+    out += "file=" + trace_path;
+    sep = ',';
+  }
+  for (const auto& [key, value] : params) {
+    out += sep;
+    sep = ',';
+    // Shortest form that parses back to the same double — the canonical
+    // string must round-trip bit-exactly (plan JSON records it). Moderate
+    // integers print as integers ("100", not "1e+02").
+    char buf[64];
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) {
+          break;
+        }
+      }
+    }
+    out += key + "=" + buf;
+  }
+  return out;
+}
+
+double ScenarioSpec::Param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+double ScenarioRate(const ScenarioSpec& spec, double qps, double duration_s,
+                    double t) {
+  switch (spec.kind) {
+    case ScenarioKind::kPoisson:
+      return qps;
+    case ScenarioKind::kDiurnal: {
+      const double period = spec.Param("period", duration_s);
+      const double depth = spec.Param("depth", 0.8);
+      const double phase = spec.Param("phase", 0.0);
+      NSF_CHECK_MSG(period > 0.0, "diurnal period must be positive");
+      NSF_CHECK_MSG(depth >= 0.0 && depth < 1.0,
+                    "diurnal depth must be in [0, 1)");
+      return qps * (1.0 + depth * std::sin(kTwoPi * (t / period + phase)));
+    }
+    case ScenarioKind::kBursty:
+      throw Error(
+          "bursty is stochastic-rate (MMPP); it has no deterministic rate "
+          "function — use ScenarioMeanRate");
+    case ScenarioKind::kRamp: {
+      const double from = spec.Param("from", 0.0);
+      const double to = spec.Param("to", 2.0);
+      NSF_CHECK_MSG(from >= 0.0 && to >= 0.0,
+                    "ramp endpoints must be non-negative");
+      return qps * (from + (to - from) * t / duration_s);
+    }
+    case ScenarioKind::kSpike: {
+      const double at = spec.Param("at", 0.4 * duration_s);
+      const double width = spec.Param("width", 0.1 * duration_s);
+      const double mult = spec.Param("mult", 5.0);
+      NSF_CHECK_MSG(width >= 0.0, "spike width must be non-negative");
+      NSF_CHECK_MSG(mult >= 0.0, "spike mult must be non-negative");
+      return (t >= at && t < at + width) ? qps * mult : qps;
+    }
+    case ScenarioKind::kClosedLoop:
+    case ScenarioKind::kTrace:
+      throw Error("scenario '" + spec.Name() +
+                  "' has no open-loop rate function");
+  }
+  throw Error("unknown scenario kind");
+}
+
+double ScenarioMeanRate(const ScenarioSpec& spec, double qps,
+                        double duration_s) {
+  switch (spec.kind) {
+    case ScenarioKind::kPoisson:
+      return qps;
+    case ScenarioKind::kDiurnal: {
+      const double period = spec.Param("period", duration_s);
+      const double depth = spec.Param("depth", 0.8);
+      const double phase = spec.Param("phase", 0.0);
+      // Analytic integral of the sinusoid over [0, duration_s).
+      const double integral =
+          period / kTwoPi *
+          (std::cos(kTwoPi * phase) -
+           std::cos(kTwoPi * (duration_s / period + phase)));
+      return qps * (1.0 + depth * integral / duration_s);
+    }
+    case ScenarioKind::kBursty:
+      return qps;  // Normalized by construction (long-run mean).
+    case ScenarioKind::kRamp:
+      return qps * (spec.Param("from", 0.0) + spec.Param("to", 2.0)) / 2.0;
+    case ScenarioKind::kSpike: {
+      const double at = spec.Param("at", 0.4 * duration_s);
+      const double width = spec.Param("width", 0.1 * duration_s);
+      const double mult = spec.Param("mult", 5.0);
+      const double lo = std::clamp(at, 0.0, duration_s);
+      const double hi = std::clamp(at + width, 0.0, duration_s);
+      return qps * (1.0 + (mult - 1.0) * (hi - lo) / duration_s);
+    }
+    case ScenarioKind::kClosedLoop: {
+      // Renewal-reward: each client cycles think + residence per request.
+      const double clients = spec.Param("clients", 4.0);
+      const double think_s = spec.Param("think_ms", 10.0) * 1e-3;
+      const double service_s = spec.Param("service_ms", 1.0) * 1e-3;
+      return clients / (think_s + service_s);
+    }
+    case ScenarioKind::kTrace:
+      throw Error("trace scenarios have no closed-form rate (count the "
+                  "replayed arrivals instead)");
+  }
+  throw Error("unknown scenario kind");
+}
+
+double ScenarioPeakRate(const ScenarioSpec& spec, double qps,
+                        double duration_s) {
+  switch (spec.kind) {
+    case ScenarioKind::kPoisson:
+      return qps;
+    case ScenarioKind::kDiurnal:
+      return qps * (1.0 + spec.Param("depth", 0.8));
+    case ScenarioKind::kBursty:
+      // idle > 1 makes the "off" state the hot one; the pool must absorb
+      // whichever state runs faster.
+      return std::max(BurstyOnRate(spec, qps), spec.Param("idle", 0.1) * qps);
+    case ScenarioKind::kRamp:
+      return qps * std::max(spec.Param("from", 0.0), spec.Param("to", 2.0));
+    case ScenarioKind::kSpike:
+      return qps * std::max(1.0, spec.Param("mult", 5.0));
+    case ScenarioKind::kClosedLoop:
+      return ScenarioMeanRate(spec, qps, duration_s);
+    case ScenarioKind::kTrace:
+      return qps;
+  }
+  throw Error("unknown scenario kind");
+}
+
+std::vector<Request> GenerateArrivals(const ScenarioSpec& spec, double qps,
+                                      double duration_s, std::uint64_t seed,
+                                      const std::vector<double>& shares) {
+  NSF_CHECK_MSG(duration_s > 0.0, "duration must be positive");
+  if (spec.kind != ScenarioKind::kClosedLoop) {
+    NSF_CHECK_MSG(qps > 0.0, "qps must be positive");
+  }
+  const double total_share = CheckedTotalShare(shares);
+  Rng rng(seed);
+
+  switch (spec.kind) {
+    case ScenarioKind::kPoisson:
+      return GeneratePoisson(qps, duration_s, rng, shares, total_share);
+    case ScenarioKind::kDiurnal: {
+      const double depth = spec.Param("depth", 0.8);
+      const double ceiling = qps * (1.0 + depth);
+      return GenerateThinned(ceiling, duration_s, rng, shares, total_share,
+                             [&](double t) {
+                               return ScenarioRate(spec, qps, duration_s, t);
+                             });
+    }
+    case ScenarioKind::kBursty:
+      return GenerateBursty(spec, qps, duration_s, rng, shares, total_share);
+    case ScenarioKind::kRamp: {
+      const double ceiling =
+          qps * std::max(spec.Param("from", 0.0), spec.Param("to", 2.0));
+      return GenerateThinned(ceiling, duration_s, rng, shares, total_share,
+                             [&](double t) {
+                               return ScenarioRate(spec, qps, duration_s, t);
+                             });
+    }
+    case ScenarioKind::kSpike: {
+      const double ceiling = qps * std::max(1.0, spec.Param("mult", 5.0));
+      return GenerateThinned(ceiling, duration_s, rng, shares, total_share,
+                             [&](double t) {
+                               return ScenarioRate(spec, qps, duration_s, t);
+                             });
+    }
+    case ScenarioKind::kClosedLoop:
+      return GenerateClosedLoop(spec, duration_s, rng, shares, total_share);
+    case ScenarioKind::kTrace:
+      throw Error(
+          "trace scenarios replay a file — resolve workload names and call "
+          "ParseArrivalTraceJson (the engine does this when --scenario "
+          "trace:file=... is given)");
+  }
+  throw Error("unknown scenario kind");
+}
+
+std::string EmitArrivalTraceJson(
+    const std::vector<Request>& arrivals,
+    const std::vector<std::string>& workload_names) {
+  JsonArray entries;
+  entries.reserve(arrivals.size());
+  for (const Request& request : arrivals) {
+    JsonObject entry;
+    entry["t_s"] = Json(request.arrival_s);
+    if (!workload_names.empty()) {
+      const auto w = static_cast<std::size_t>(request.workload);
+      NSF_CHECK_MSG(w < workload_names.size(),
+                    "arrival workload id out of range of workload_names");
+      entry["workload"] = Json(workload_names[w]);
+    }
+    entries.push_back(Json(std::move(entry)));
+  }
+  JsonObject root;
+  root["arrivals"] = Json(std::move(entries));
+  return Json(std::move(root)).Dump(2);
+}
+
+std::vector<Request> ParseArrivalTraceJson(
+    const std::string& json_text,
+    const std::vector<std::string>& workload_names, double duration_s) {
+  const Json root = Json::Parse(json_text);
+  const JsonArray& entries = root.At("arrivals").AsArray();
+  std::vector<Request> arrivals;
+  arrivals.reserve(entries.size());
+  double previous = 0.0;
+  std::int64_t next_id = 0;
+  for (const Json& entry : entries) {
+    const double t = entry.At("t_s").AsDouble();
+    if (t < 0.0) {
+      throw Error("arrival trace has a negative timestamp");
+    }
+    if (t < previous) {
+      throw Error("arrival trace timestamps must be ascending");
+    }
+    previous = t;
+    if (t >= duration_s) {
+      continue;  // Past the engine's flush horizon — dropped.
+    }
+    WorkloadId workload = 0;
+    // Workload labels are resolved only when the caller serves named
+    // workloads; single-workload replays ignore them.
+    if (entry.is_object() && entry.Contains("workload") &&
+        !workload_names.empty()) {
+      const std::string& name = entry.At("workload").AsString();
+      const auto it =
+          std::find(workload_names.begin(), workload_names.end(), name);
+      if (it == workload_names.end()) {
+        throw Error("arrival trace references unknown workload '" + name +
+                    "'");
+      }
+      workload = static_cast<WorkloadId>(it - workload_names.begin());
+    }
+    arrivals.push_back(Request{next_id++, t, workload});
+  }
+  return arrivals;
+}
+
+}  // namespace nsflow::serve

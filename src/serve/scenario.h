@@ -1,0 +1,126 @@
+// Traffic scenarios — arrival-trace generators beyond stationary Poisson.
+//
+// NSFlow-Serve's engine consumes a pre-generated arrival vector (virtual
+// timestamps; see request.h), which keeps every run bit-reproducible under a
+// fixed seed. A `ScenarioSpec` names the arrival *pattern* that vector is
+// drawn from:
+//
+//   poisson   stationary Poisson at `qps` (the PR 1 default — the generator
+//             here reproduces the original stream bit-for-bit).
+//   diurnal   sinusoidal rate: qps * (1 + depth * sin(2π(t/period + phase))).
+//             Models the day/night cycle compressed onto the run horizon.
+//   bursty    MMPP-style two-state on/off modulation: exponential dwell
+//             times, a hot on-state rate and a trickle off-state rate,
+//             normalized so the long-run mean stays `qps`.
+//   ramp      linearly growing rate qps*(from + (to-from)*t/duration) —
+//             a load ramp (or drain when to < from).
+//   spike     flash crowd: baseline qps, multiplied by `mult` inside the
+//             window [at, at+width).
+//   closed    closed-loop clients: `clients` independent sessions, each
+//             issuing its next request `think` (exponential) + `service`
+//             (fixed residence estimate) after the previous one. Offered
+//             load derives from the client count, not `qps`.
+//   trace     replay a recorded arrival trace from a JSON file
+//             (see ParseArrivalTraceJson for the schema).
+//
+// Every inhomogeneous-rate pattern samples by Lewis–Shedler thinning against
+// the pattern's rate ceiling, drawing from one seeded RNG stream in a fixed
+// order, so a (seed, spec) pair pins the whole (time, workload) trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace nsflow::serve {
+
+enum class ScenarioKind {
+  kPoisson,
+  kDiurnal,
+  kBursty,
+  kRamp,
+  kSpike,
+  kClosedLoop,
+  kTrace,
+};
+
+/// A parsed `--scenario` value: the pattern plus its numeric parameters.
+/// Parameters not listed in the spec keep the defaults documented in
+/// docs/SCENARIOS.md; unknown names are an error (typos must not silently
+/// fall back to defaults).
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kPoisson;
+  std::map<std::string, double> params;  // Deterministic iteration order.
+  std::string trace_path;                // kTrace only.
+
+  /// Parse "name" or "name:key=value,key=value" (e.g.
+  /// "diurnal:period=0.5,depth=0.8", "trace:file=arrivals.json"). Throws on
+  /// unknown scenario names and unknown parameter keys.
+  static ScenarioSpec Parse(const std::string& text);
+
+  /// Canonical round-trippable form ("diurnal:depth=0.8,period=0.5").
+  /// Parse(ToString()) == *this.
+  std::string ToString() const;
+
+  /// The scenario's name without parameters ("diurnal").
+  std::string Name() const;
+
+  double Param(const std::string& key, double fallback) const;
+  bool operator==(const ScenarioSpec& other) const {
+    return kind == other.kind && params == other.params &&
+           trace_path == other.trace_path;
+  }
+};
+
+/// Instantaneous arrival rate of `spec` at virtual time `t` for a run driven
+/// at `qps` over `duration_s` — the closed form the generators sample from
+/// and the tests integrate against. Closed-loop and trace scenarios have no
+/// open-loop rate function and throw.
+double ScenarioRate(const ScenarioSpec& spec, double qps, double duration_s,
+                    double t);
+
+/// Mean of `ScenarioRate` over [0, duration_s) (analytic, not numeric):
+/// the expected request count is this times `duration_s`. Closed-loop
+/// returns the renewal rate clients/(think + service); trace throws.
+double ScenarioMeanRate(const ScenarioSpec& spec, double qps,
+                        double duration_s);
+
+/// The scenario's rate ceiling — the instantaneous rate a pool must absorb
+/// to hold a tail-latency SLO through the pattern's worst moment (diurnal
+/// crest, burst on-state, ramp end, spike window). The capacity planner
+/// provisions against this, not the mean. Closed-loop returns the renewal
+/// rate (its arrivals are self-limiting); trace returns `qps` (a replayed
+/// file has no closed form — drive planning with an explicit --qps).
+double ScenarioPeakRate(const ScenarioSpec& spec, double qps,
+                        double duration_s);
+
+/// Generate the arrival trace for `spec`: virtual timestamps in [0,
+/// duration_s), ids in time order, each arrival's workload drawn from
+/// `shares` (normalized weights indexed by workload id) on the same RNG
+/// stream. Bit-deterministic for a fixed (spec, qps, duration_s, seed,
+/// shares) tuple. `{1.0}` is the single-workload share vector.
+std::vector<Request> GenerateArrivals(const ScenarioSpec& spec, double qps,
+                                      double duration_s, std::uint64_t seed,
+                                      const std::vector<double>& shares);
+
+/// Serialize an arrival trace to the replayable JSON form. `workload_names`
+/// (indexed by WorkloadId) labels each arrival; pass an empty vector to
+/// omit workload labels (single-workload traces).
+std::string EmitArrivalTraceJson(const std::vector<Request>& arrivals,
+                                 const std::vector<std::string>& workload_names);
+
+/// Parse the replayable JSON trace:
+///   {"arrivals": [{"t_s": 0.0012, "workload": "mlp"}, ...]}
+/// `workload` is optional (defaults to id 0) and is resolved through
+/// `workload_names` (its index is the WorkloadId); an unknown name throws.
+/// Arrivals must be non-negative and ascending in time. Entries at or past
+/// `duration_s` are dropped (the engine's flush horizon ends there);
+/// pass an infinite duration to keep everything.
+std::vector<Request> ParseArrivalTraceJson(
+    const std::string& json_text,
+    const std::vector<std::string>& workload_names, double duration_s);
+
+}  // namespace nsflow::serve

@@ -1,36 +1,18 @@
 // nsflow — command-line front door to the framework (the `NSFlow-generated`
 // flow of paper Fig. 2).
 //
-// Usage:
-//   nsflow compile <trace.json> [--out-dir DIR] [--max-pes N]
-//                  [--clock-mhz F] [--no-phase2]
-//       Run the frontend on a JSON program trace and emit the deployment
-//       artifacts: design_config.json, host.cpp, nsflow_params.vh,
-//       nsflow_top.v, and a report.txt with the DSE decision and the
-//       predicted performance/utilization.
+//   nsflow compile <trace.json>   frontend -> deployment artifacts
+//   nsflow estimate <trace.json>  latency prediction on baseline devices
+//   nsflow serve [trace.json]     NSFlow-Serve replica pool (docs/SERVING.md)
+//   nsflow plan                   SLO-driven capacity planning
+//                                 (docs/PLANNING.md)
+//   nsflow demo                   compile the built-in NVSA workload
 //
-//   nsflow estimate <trace.json> [--device NAME]
-//       Predict end-to-end latency of the workload on a baseline device
-//       (tx2 | nx | cpu | rtx2080 | coral | tpu-like | dpu) or on the
-//       NSFlow-generated design (default).
-//
-//   nsflow serve [trace.json] [--qps F] [--duration F] [--replicas N]
-//                [--max-batch N] [--max-wait-ms F] [--seed N] [--threads N]
-//                [--heterogeneous] [--mix name=share,...] [--partition]
-//       Compile the workload (built-in NVSA when no trace is given), deploy
-//       a pool of accelerator replicas, drive it with an open-loop Poisson
-//       arrival trace, and print the ServeStats table (p50/p95/p99 latency,
-//       throughput, queue depth, per-replica utilization). With --mix the
-//       pool turns multi-tenant: every listed workload (built-ins mlp |
-//       resnet18 | nvsa | mimonet | lvrf | prae, plus the trace file when
-//       given) is compiled through the WorkloadRegistry and served side by
-//       side at its share of the offered load, with a per-workload
-//       latency/throughput breakdown. --partition dedicates replica r to
-//       workload r % W instead of sharing every replica across all
-//       workloads (requires replicas >= workloads). See docs/SERVING.md.
-//
-//   nsflow demo
-//       Compile the built-in NVSA workload and print a summary.
+// `nsflow <command> --help` prints the command's flag reference. The flag
+// tables below are the single source of that help text, and each command
+// accepts exactly its own flags — a flag from another command (or an
+// unknown one) is an error with a non-zero exit, never silently ignored.
+// tools/check_doc_links.py cross-checks these tables against the docs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,11 +21,15 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/json.h"
+#include "common/table.h"
 #include "fpga/device.h"
 #include "graph/trace.h"
 #include "model/device_zoo.h"
 #include "nsflow/framework.h"
+#include "serve/capacity_planner.h"
 #include "serve/engine.h"
+#include "serve/scenario.h"
 #include "workloads/builders.h"
 
 namespace nsflow {
@@ -67,8 +53,155 @@ void WriteFile(const std::string& path, const std::string& contents) {
   out << contents;
 }
 
+// ---------------------------------------------------------------- flag spec
+
+/// One command-line flag: its value placeholder ("" = boolean switch), the
+/// default shown in --help, and the help line. These tables are the single
+/// source of truth for `--help`, for per-command flag validation, and for
+/// the docs cross-check in tools/check_doc_links.py.
+struct FlagSpec {
+  const char* flag;
+  const char* value;    // "" for boolean switches.
+  const char* fallback; // Default, as shown in help.
+  const char* help;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* operand;  // Positional operand, "" when none.
+  const char* summary;
+  std::vector<FlagSpec> flags;
+};
+
+const std::vector<FlagSpec> kDseFlags = {
+    {"--max-pes", "N", "16384", "DSE PE budget M (FPGA resource bound)"},
+    {"--clock-mhz", "F", "272", "deployment clock frequency, MHz"},
+    {"--no-phase2", "", "off", "disable DSE Phase II per-kernel tuning"},
+};
+
+std::vector<FlagSpec> WithDseFlags(std::vector<FlagSpec> flags) {
+  flags.insert(flags.end(), kDseFlags.begin(), kDseFlags.end());
+  return flags;
+}
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"compile", "<trace.json>",
+       "run the frontend on a JSON program trace and emit design_config.json,"
+       " host.cpp, nsflow_params.vh, nsflow_top.v, and report.txt",
+       WithDseFlags({
+           {"--out-dir", "DIR", ".", "directory for the emitted artifacts"},
+       })},
+      {"estimate", "<trace.json>",
+       "predict end-to-end workload latency on a baseline device or the"
+       " NSFlow-generated design",
+       WithDseFlags({
+           {"--device", "NAME", "nsflow",
+            "nsflow | tx2 | nx | cpu | rtx2080 | coral | tpu-like | dpu"},
+       })},
+      {"serve", "[trace.json]",
+       "deploy a replica pool and drive it with a synthetic arrival trace;"
+       " see docs/SERVING.md and docs/SCENARIOS.md",
+       WithDseFlags({
+           {"--qps", "F", "100", "offered load, requests/second (scenario"
+                                 " mean rate)"},
+           {"--duration", "F", "1.0", "virtual arrival-trace length, seconds"},
+           {"--replicas", "N", "1", "pool size"},
+           {"--max-batch", "N", "8", "batch former size cap"},
+           {"--max-wait-ms", "F", "5", "batch former wait cap, ms"},
+           {"--seed", "N", "42", "arrival-trace RNG seed"},
+           {"--threads", "N", "0",
+            "cycle-model warm-up threads (0 = hardware concurrency)"},
+           {"--heterogeneous", "", "off",
+            "single-workload pools: replica designs from the DSE pareto"
+            " frontier"},
+           {"--mix", "name=share,...", "off",
+            "multi-tenant mode, e.g. mlp=0.6,resnet18=0.3,nvsa=0.1"},
+           {"--partition", "", "off",
+            "with --mix: dedicate replica r to workload r % W"},
+           {"--scenario", "name[:k=v,...]", "poisson",
+            "arrival pattern: poisson | diurnal | bursty | ramp | spike |"
+            " closed | trace (docs/SCENARIOS.md)"},
+           {"--plan", "FILE", "off",
+            "execute a PoolPlan emitted by `nsflow plan --out` and report"
+            " predicted vs measured latency"},
+       })},
+      {"plan", "",
+       "search the DSE pareto frontier for the smallest replica pool meeting"
+       " a p99 SLO under an FPGA budget; see docs/PLANNING.md",
+       WithDseFlags({
+           {"--mix", "name=share,...", "required",
+            "workload mix the pool must serve"},
+           {"--p99-ms", "F", "10", "p99 latency SLO, ms"},
+           {"--budget", "NAME", "u250", "budget FPGA device: u250 | zcu104"},
+           {"--devices", "N", "1", "how many budget devices the pool may use"},
+           {"--qps", "F", "100", "offered load to plan for (mean rate; the"
+                                 " scenario's peak shape scales it)"},
+           {"--scenario", "name[:k=v,...]", "poisson",
+            "traffic shape to provision for (peak-rate planning)"},
+           {"--max-batch", "N", "8", "batching policy of the planned pool"},
+           {"--max-wait-ms", "F", "5", "batching wait cap of the planned"
+                                       " pool, ms"},
+           {"--max-replicas", "N", "16", "per-workload replica search bound"},
+           {"--duration", "F", "1.0", "validation-run trace length, seconds"},
+           {"--seed", "N", "42", "validation-run RNG seed"},
+           {"--threads", "N", "0", "validation-run warm-up threads"},
+           {"--out", "FILE", "off", "write the PoolPlan JSON here"},
+           {"--validate", "", "off",
+            "run the planned pool and print predicted vs measured"},
+       })},
+      {"demo", "", "compile the built-in NVSA workload and print a summary",
+       {}},
+  };
+  return kCommands;
+}
+
+const CommandSpec& CommandByName(const std::string& name) {
+  for (const CommandSpec& command : Commands()) {
+    if (name == command.name) {
+      return command;
+    }
+  }
+  std::string known;
+  for (const CommandSpec& command : Commands()) {
+    known += (known.empty() ? "" : ", ") + std::string(command.name);
+  }
+  throw Error("unknown command: " + name + " (known: " + known + ")");
+}
+
+void PrintGlobalHelp() {
+  std::printf("nsflow — NSFlow compiler, estimator, and serving front door\n");
+  std::printf("\nusage: nsflow <command> [operand] [flags]\n\n");
+  for (const CommandSpec& command : Commands()) {
+    std::printf("  %-9s %-13s %s\n", command.name, command.operand,
+                command.summary);
+  }
+  std::printf(
+      "\nRun 'nsflow <command> --help' for that command's flag reference.\n");
+}
+
+void PrintCommandHelp(const CommandSpec& command) {
+  std::printf("nsflow %s — %s\n\nusage: nsflow %s%s%s%s\n", command.name,
+              command.summary, command.name,
+              command.operand[0] ? " " : "", command.operand,
+              command.flags.empty() ? "" : " [flags]");
+  if (!command.flags.empty()) {
+    std::printf("\nflags (default in brackets):\n");
+    for (const FlagSpec& flag : command.flags) {
+      const std::string left =
+          std::string(flag.flag) +
+          (flag.value[0] ? " " + std::string(flag.value) : "");
+      std::printf("  %-26s %s [%s]\n", left.c_str(), flag.help,
+                  flag.fallback);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ parsing
+
 struct CliArgs {
   std::string command;
+  bool help = false;
   std::string trace_path;
   std::string out_dir = ".";
   std::string device = "nsflow";
@@ -76,20 +209,53 @@ struct CliArgs {
   serve::ServeOptions serve;
   int replicas = 1;
   bool heterogeneous = false;
-  std::string mix;       // Multi-tenant QPS mix, e.g. "mlp=0.6,nvsa=0.4".
-  bool partition = false;  // Dedicate replica r to workload r % W.
+  std::string mix;        // Multi-tenant QPS mix, e.g. "mlp=0.6,nvsa=0.4".
+  bool partition = false; // Dedicate replica r to workload r % W.
+  std::string plan_path;  // serve --plan: execute this PoolPlan JSON.
+  // Plan command.
+  double p99_ms = 10.0;
+  std::string budget = "u250";
+  int devices = 1;
+  int max_replicas = 16;
+  std::string plan_out;
+  bool validate = false;
+  // Which traffic flags were given explicitly (a plan's recorded values
+  // apply otherwise when executing `serve --plan`).
+  bool qps_set = false;
+  bool max_batch_set = false;
+  bool max_wait_set = false;
+  bool scenario_set = false;
+  bool replicas_set = false;
+  bool dse_set = false;  // Any of --max-pes/--clock-mhz/--no-phase2.
 };
 
 CliArgs Parse(int argc, char** argv) {
   CliArgs args;
   if (argc < 2) {
-    throw Error("usage: nsflow <compile|estimate|serve|demo> [args]");
+    throw Error(
+        "usage: nsflow <compile|estimate|serve|plan|demo> [args] "
+        "(try nsflow --help)");
   }
   args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h" ||
+      args.command == "help") {
+    args.command.clear();
+    args.help = true;
+    return args;
+  }
+  const CommandSpec& spec = CommandByName(args.command);
+
   int i = 2;
   if ((args.command == "compile" || args.command == "estimate")) {
-    if (i >= argc) {
-      throw Error(args.command + " needs a trace file argument");
+    if (i < argc &&
+        (std::strcmp(argv[i], "--help") == 0 ||
+         std::strcmp(argv[i], "-h") == 0)) {
+      args.help = true;
+      return args;
+    }
+    if (i >= argc || argv[i][0] == '-') {
+      throw Error(args.command + " needs a trace file argument (see nsflow " +
+                  args.command + " --help)");
     }
     args.trace_path = argv[i++];
   }
@@ -98,6 +264,32 @@ CliArgs Parse(int argc, char** argv) {
   }
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      args.help = true;
+      return args;
+    }
+    bool known = false;
+    for (const FlagSpec& allowed : spec.flags) {
+      if (flag == allowed.flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      // Distinguish "wrong command" from "no such flag" in the message.
+      for (const CommandSpec& other : Commands()) {
+        for (const FlagSpec& other_flag : other.flags) {
+          if (flag == other_flag.flag) {
+            throw Error("flag " + flag + " is not valid for 'nsflow " +
+                        args.command + "' (it belongs to 'nsflow " +
+                        other.name + "'; see nsflow " + args.command +
+                        " --help)");
+          }
+        }
+      }
+      throw Error("unknown flag: " + flag + " (see nsflow " + args.command +
+                  " --help)");
+    }
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         throw Error("flag " + flag + " needs a value");
@@ -108,22 +300,29 @@ CliArgs Parse(int argc, char** argv) {
       args.out_dir = next();
     } else if (flag == "--max-pes") {
       args.dse.max_pes = std::stoll(next());
+      args.dse_set = true;
     } else if (flag == "--clock-mhz") {
       args.dse.clock_hz = std::stod(next()) * 1e6;
+      args.dse_set = true;
     } else if (flag == "--no-phase2") {
       args.dse.enable_phase2 = false;
+      args.dse_set = true;
     } else if (flag == "--device") {
       args.device = next();
     } else if (flag == "--qps") {
       args.serve.qps = std::stod(next());
+      args.qps_set = true;
     } else if (flag == "--duration") {
       args.serve.duration_s = std::stod(next());
     } else if (flag == "--replicas") {
       args.replicas = static_cast<int>(std::stoll(next()));
+      args.replicas_set = true;
     } else if (flag == "--max-batch") {
       args.serve.max_batch = std::stoll(next());
+      args.max_batch_set = true;
     } else if (flag == "--max-wait-ms") {
       args.serve.max_wait_s = std::stod(next()) * 1e-3;
+      args.max_wait_set = true;
     } else if (flag == "--seed") {
       args.serve.seed = static_cast<std::uint64_t>(std::stoull(next()));
     } else if (flag == "--threads") {
@@ -134,12 +333,31 @@ CliArgs Parse(int argc, char** argv) {
       args.mix = next();
     } else if (flag == "--partition") {
       args.partition = true;
+    } else if (flag == "--scenario") {
+      args.serve.scenario = serve::ScenarioSpec::Parse(next());
+      args.scenario_set = true;
+    } else if (flag == "--plan") {
+      args.plan_path = next();
+    } else if (flag == "--p99-ms") {
+      args.p99_ms = std::stod(next());
+    } else if (flag == "--budget") {
+      args.budget = next();
+    } else if (flag == "--devices") {
+      args.devices = static_cast<int>(std::stoll(next()));
+    } else if (flag == "--max-replicas") {
+      args.max_replicas = static_cast<int>(std::stoll(next()));
+    } else if (flag == "--out") {
+      args.plan_out = next();
+    } else if (flag == "--validate") {
+      args.validate = true;
     } else {
-      throw Error("unknown flag: " + flag);
+      throw Error("unhandled flag: " + flag);  // Spec/dispatch drift.
     }
   }
   return args;
 }
+
+// ----------------------------------------------------------------- commands
 
 std::string ReportText(const CompiledDesign& compiled) {
   const auto& dse = compiled.dse;
@@ -238,6 +456,206 @@ int RunEstimate(const CliArgs& args) {
   return 0;
 }
 
+/// The "Arrival trace: ..." header line, scenario-aware: closed loops and
+/// trace replays ignore --qps, so printing it would misstate the run.
+std::string TrafficLine(const serve::ServeOptions& options) {
+  char buf[192];
+  const std::string scenario = options.scenario.ToString();
+  if (options.scenario.kind == serve::ScenarioKind::kClosedLoop) {
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f rps offered (client-driven; --qps unused) for %.2f "
+                  "s (seed %llu, scenario %s)",
+                  serve::EffectiveOfferedRps(options, 0),
+                  options.duration_s,
+                  static_cast<unsigned long long>(options.seed),
+                  scenario.c_str());
+  } else if (options.scenario.kind == serve::ScenarioKind::kTrace) {
+    std::snprintf(buf, sizeof(buf),
+                  "replayed arrivals (--qps unused) for %.2f s (scenario "
+                  "%s)",
+                  options.duration_s, scenario.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f qps for %.2f s (seed %llu, scenario %s)",
+                  options.qps, options.duration_s,
+                  static_cast<unsigned long long>(options.seed),
+                  scenario.c_str());
+  }
+  return buf;
+}
+
+void PrintPlan(const serve::PoolPlan& plan) {
+  std::printf(
+      "PoolPlan — mix over %zu workload(s), SLO p99 <= %.3f ms, budget %d x "
+      "%s\n",
+      plan.mix.size(), plan.p99_slo_s * 1e3, plan.devices,
+      plan.device_name.c_str());
+  std::printf(
+      "Traffic: %.1f qps mean, scenario %s -> planning for %.1f rps peak\n\n",
+      plan.qps, plan.scenario.ToString().c_str(), plan.planning_rate);
+  TablePrinter table({"workload", "replicas", "PEs (budget)", "batch cap",
+                      "service (ms)", "rho", "pred p50 (ms)",
+                      "pred p99 (ms)"});
+  for (const serve::GroupPlan& group : plan.groups) {
+    table.AddRow(
+        {group.workload, std::to_string(group.replicas),
+         std::to_string(group.pes) + " (" + std::to_string(group.pe_budget) +
+             ")",
+         std::to_string(group.batch_cap),
+         TablePrinter::Num(group.batch_service_s * 1e3, 3),
+         TablePrinter::Percent(group.utilization),
+         TablePrinter::Num(group.predicted_p50_s * 1e3, 3),
+         TablePrinter::Num(group.predicted_p99_s * 1e3, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Resources: %.0f DSP, %.0f kLUT, %.0f BRAM18, %.0f URAM -> %s\n",
+      plan.resources.dsp, plan.resources.lut / 1e3, plan.resources.bram18,
+      plan.resources.uram,
+      plan.resources.fits ? "fits the budget" : "EXCEEDS the budget");
+  std::printf("Aggregate predicted: p50 %.3f ms, p99 %.3f ms (SLO %.3f ms)\n",
+              plan.predicted_p50_s * 1e3, plan.predicted_p99_s * 1e3,
+              plan.p99_slo_s * 1e3);
+  if (!plan.feasible) {
+    std::printf("INFEASIBLE: %s\n", plan.note.c_str());
+  }
+}
+
+serve::ServeOptions ValidationOptions(const CliArgs& args,
+                                      const serve::PoolPlan& plan) {
+  serve::ServeOptions options = args.serve;
+  if (!args.qps_set) {
+    options.qps = plan.qps;
+  }
+  if (!args.max_batch_set) {
+    options.max_batch = plan.max_batch;
+    // The plan's per-lane batch caps apply unless the user pinned a
+    // uniform cap explicitly.
+    options.per_workload_max_batch = plan.PerWorkloadMaxBatch();
+  }
+  if (!args.max_wait_set) {
+    options.max_wait_s = plan.max_wait_s;
+  }
+  if (!args.scenario_set) {
+    options.scenario = plan.scenario;
+  }
+  return options;
+}
+
+int RunPlanCommand(const CliArgs& args) {
+  if (args.mix.empty()) {
+    throw Error("nsflow plan needs --mix name=share,... (the workloads the "
+                "pool must serve)");
+  }
+  const std::vector<serve::WorkloadShare> mix = serve::ParseMix(args.mix);
+
+  CompileOptions options;
+  options.dse = args.dse;
+  serve::WorkloadRegistry registry(options);
+  for (const serve::WorkloadShare& entry : mix) {
+    if (!registry.Contains(entry.workload)) {
+      registry.RegisterBuiltin(entry.workload);
+    }
+  }
+
+  serve::PlanOptions plan_options;
+  plan_options.qps = args.serve.qps;
+  plan_options.p99_slo_s = args.p99_ms * 1e-3;
+  plan_options.device = args.budget;
+  plan_options.devices = args.devices;
+  plan_options.max_replicas_per_workload = args.max_replicas;
+  plan_options.max_batch = args.serve.max_batch;
+  plan_options.max_wait_s = args.serve.max_wait_s;
+  plan_options.scenario = args.serve.scenario;
+  plan_options.dse = args.dse;
+  plan_options.dictionary_bytes = options.dictionary_bytes;
+
+  const serve::PoolPlan plan = serve::PlanCapacity(registry, mix, plan_options);
+  PrintPlan(plan);
+
+  if (!args.plan_out.empty()) {
+    WriteFile(args.plan_out, plan.ToJson().Dump(2) + "\n");
+    std::printf("\nPoolPlan written to %s (execute with `nsflow serve --plan "
+                "%s`)\n",
+                args.plan_out.c_str(), args.plan_out.c_str());
+  }
+
+  // Validation needs every mix workload placed — a group left at zero
+  // replicas (no frontier design fit the budget device) has no replica
+  // able to serve it and the pool cannot be built.
+  bool every_group_placed = !plan.groups.empty();
+  for (const serve::GroupPlan& group : plan.groups) {
+    every_group_placed = every_group_placed && group.replicas > 0;
+  }
+  if (args.validate && !every_group_placed) {
+    std::printf("\nSkipping --validate: not every workload could be placed "
+                "(%s)\n",
+                plan.note.c_str());
+  }
+  if (args.validate && every_group_placed) {
+    serve::ServeOptions serve_options = ValidationOptions(args, plan);
+    std::printf("\nValidation run: %s\n\n",
+                TrafficLine(serve_options).c_str());
+    const serve::ServeReport report =
+        serve::RunSyntheticServe(registry, plan.Replicas(), mix,
+                                 serve_options);
+    std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
+    std::printf("%s\n",
+                serve::PlanValidationTable(plan, report.summary).c_str());
+  }
+  return plan.feasible ? 0 : 3;
+}
+
+/// Execute a PoolPlan emitted by `nsflow plan --out`: rebuild its designs
+/// (deterministic DSE at the recorded budgets), run the planned pool, and
+/// print measured latency next to the plan's predictions.
+int RunServePlan(const CliArgs& args) {
+  if (!args.trace_path.empty()) {
+    throw Error(
+        "serve --plan takes its workloads from the plan (serialized plans "
+        "cover built-in workloads; plan trace workloads with `nsflow plan "
+        "--validate` in-process)");
+  }
+  if (!args.mix.empty() || args.heterogeneous || args.partition ||
+      args.replicas_set) {
+    throw Error(
+        "serve --plan derives the pool and mix from the plan — drop --mix/"
+        "--heterogeneous/--partition/--replicas");
+  }
+  if (args.dse_set) {
+    throw Error(
+        "serve --plan rebuilds designs from the plan's recorded DSE options "
+        "— drop --max-pes/--clock-mhz/--no-phase2 (re-plan with them "
+        "instead)");
+  }
+  const Json plan_json = Json::Parse(ReadFile(args.plan_path));
+  CompileOptions options;
+  options.dse = args.dse;
+  serve::WorkloadRegistry registry(options);
+  const serve::PoolPlan plan = serve::LoadPlan(plan_json, registry);
+  NSF_CHECK_MSG(!plan.groups.empty(), "plan has no workload groups");
+  for (const serve::GroupPlan& group : plan.groups) {
+    NSF_CHECK_MSG(group.replicas > 0,
+                  "plan leaves workload '" + group.workload +
+                      "' without a replica (was it feasible?)");
+  }
+
+  const serve::ServeOptions serve_options = ValidationOptions(args, plan);
+  std::printf(
+      "NSFlow-Serve — executing PoolPlan %s: %d replica(s) across %zu "
+      "workload(s)\n",
+      args.plan_path.c_str(), plan.TotalReplicas(), plan.groups.size());
+  std::printf("Traffic: %s\n\n", TrafficLine(serve_options).c_str());
+
+  const serve::ServeReport report =
+      serve::RunSyntheticServe(registry, plan.Replicas(), plan.mix,
+                               serve_options);
+  std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
+  std::printf("%s\n",
+              serve::PlanValidationTable(plan, report.summary).c_str());
+  return 0;
+}
+
 /// Multi-tenant serve: compile every mix workload through the registry,
 /// deploy one shared (or partitioned) pool over all of them, and print the
 /// per-workload breakdown next to the aggregate table.
@@ -281,9 +699,7 @@ int RunServeMix(const CliArgs& args) {
       args.replicas, args.partition ? " (partitioned)" : " (shared)",
       static_cast<long long>(args.serve.max_batch),
       args.serve.max_wait_s * 1e3);
-  std::printf("Open-loop trace: %.1f qps for %.2f s (seed %llu), mix %s\n",
-              args.serve.qps, args.serve.duration_s,
-              static_cast<unsigned long long>(args.serve.seed),
+  std::printf("Arrival trace: %s, mix %s\n", TrafficLine(args.serve).c_str(),
               args.mix.c_str());
   std::printf("Compile cache: %lld compile(s), %lld hit(s)\n\n",
               static_cast<long long>(registry.cache().misses()),
@@ -307,6 +723,9 @@ int RunServeMix(const CliArgs& args) {
 int RunServe(const CliArgs& args) {
   if (args.replicas < 1) {
     throw Error("--replicas must be at least 1");
+  }
+  if (!args.plan_path.empty()) {
+    return RunServePlan(args);
   }
   if (!args.mix.empty()) {
     if (args.heterogeneous) {
@@ -354,9 +773,7 @@ int RunServe(const CliArgs& args) {
       args.heterogeneous ? " (heterogeneous pareto pool)" : "",
       static_cast<long long>(args.serve.max_batch),
       args.serve.max_wait_s * 1e3);
-  std::printf("Open-loop trace: %.1f qps for %.2f s (seed %llu)\n\n",
-              args.serve.qps, args.serve.duration_s,
-              static_cast<unsigned long long>(args.serve.seed));
+  std::printf("Arrival trace: %s\n\n", TrafficLine(args.serve).c_str());
 
   const serve::ServeReport report =
       serve::RunSyntheticServe(*compiled.dataflow, designs, args.serve);
@@ -370,6 +787,14 @@ int RunServe(const CliArgs& args) {
 
 int Main(int argc, char** argv) {
   const CliArgs args = Parse(argc, argv);
+  if (args.help) {
+    if (args.command.empty()) {
+      PrintGlobalHelp();
+    } else {
+      PrintCommandHelp(CommandByName(args.command));
+    }
+    return 0;
+  }
   if (args.command == "compile") {
     return RunCompile(args, ParseJsonTrace(ReadFile(args.trace_path)));
   }
@@ -378,6 +803,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "serve") {
     return RunServe(args);
+  }
+  if (args.command == "plan") {
+    return RunPlanCommand(args);
   }
   if (args.command == "demo") {
     CliArgs demo_args = args;

@@ -1,16 +1,34 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links in docs/*.md and README.md resolve.
+"""Check docs/*.md + README.md against the repo: links and the nsflow CLI.
 
-No network: external links (http/https/mailto) are skipped; everything
-else is resolved against the linking file's directory (or the repo root
-for absolute-style paths) and must exist. Anchors are stripped — only the
-file part is checked. Exits non-zero listing every broken link.
+Two passes, no network:
+
+1. Relative markdown links must resolve. External links
+   (http/https/mailto) are skipped; everything else is resolved against
+   the linking file's directory (or the repo root for absolute-style
+   paths) and must exist. Anchors are stripped — only the file part is
+   checked.
+
+2. The docs and the CLI must agree. The per-command flag tables in
+   src/tools/nsflow_cli.cpp (the single source of `--help` and flag
+   validation) are parsed, then:
+     * every `nsflow <subcommand>` invocation in a fenced code block must
+       name a real subcommand and use only that subcommand's flags
+       (backslash continuations are followed);
+     * every markdown flag-table row (tables under a heading mentioning
+       "flag", or with a "Flag" column) may only document flags the CLI
+       actually has;
+     * conversely, every user-facing CLI flag and subcommand must be
+       mentioned somewhere in README.md or docs/*.md.
+
+Exits non-zero listing every violation.
 """
 import os
 import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CLI_SOURCE = os.path.join(REPO_ROOT, "src", "tools", "nsflow_cli.cpp")
 
 # [text](target) — excluding images is unnecessary; they must resolve too.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -46,6 +64,135 @@ def check(path):
     return broken
 
 
+def parse_cli_spec():
+    """Flags per subcommand from nsflow_cli.cpp's spec tables.
+
+    FlagSpec rows look like `{"--qps", "F", "100", "..."}` and CommandSpec
+    rows open with `{"serve", ...`; kDseFlags (appended to commands via
+    WithDseFlags) is parsed from its own initializer.
+    """
+    with open(CLI_SOURCE, encoding="utf-8") as f:
+        text = f.read()
+
+    dse_block = re.search(
+        r"kDseFlags\s*=\s*\{(.*?)\n\};", text, re.DOTALL)
+    dse_flags = set(re.findall(r'\{"(--[a-z0-9-]+)"', dse_block.group(1)))
+
+    commands_block = re.search(
+        r"kCommands\s*=\s*\{(.*?)\n\s*\};", text, re.DOTALL)
+    commands = {}
+    # Split on command openers: {"name", "operand", or {"name", "",
+    current = None
+    for line in commands_block.group(1).splitlines():
+        opener = re.match(r'\s*\{"([a-z][a-z0-9-]*)",', line)
+        flag = re.search(r'\{"(--[a-z0-9-]+)"', line)
+        if opener:
+            current = opener.group(1)
+            commands[current] = set()
+            if "WithDseFlags" in line:
+                commands[current] |= dse_flags
+        elif current is not None:
+            if "WithDseFlags" in line:
+                commands[current] |= dse_flags
+            if flag:
+                commands[current].add(flag.group(1))
+    # --help is accepted everywhere but intentionally undocumented per-row.
+    for flags in commands.values():
+        flags.add("--help")
+    return commands
+
+
+def check_cli_docs(files, commands):
+    """Cross-check doc-mentioned subcommands/flags against the CLI spec."""
+    problems = []
+    all_flags = set().union(*commands.values())
+    mentioned = ""  # Concatenated doc text for the reverse check.
+
+    for path in files:
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        mentioned += "\n".join(lines)
+
+        in_fence = False
+        heading = ""
+        in_flag_table = False  # Inside a table whose header names a Flag
+                               # column (or that sits under a "flags"
+                               # heading).
+        logical = None  # Backslash-continued command line.
+        for line in lines:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                logical = None
+                continue
+            if not in_fence and line.startswith("#"):
+                heading = line.lower()
+                continue
+            if not in_fence and not line.startswith("|"):
+                in_flag_table = False
+
+            if in_fence:
+                # Stitch backslash continuations into one logical line.
+                if logical is not None:
+                    logical += " " + line.strip()
+                elif re.match(r"\s*(\./build/)?nsflow(\s|$)", line):
+                    logical = line.strip()
+                if logical is None:
+                    continue
+                if logical.endswith("\\"):
+                    logical = logical[:-1]
+                    continue
+                tokens = logical.replace("./build/", "").split()
+                logical = None
+                sub = tokens[1] if len(tokens) > 1 else ""
+                if sub.startswith("-") and sub not in ("--help", "-h"):
+                    problems.append(f"{rel}: `nsflow {sub}` without a "
+                                    "subcommand")
+                    continue
+                if not sub or sub in ("--help", "-h", "help"):
+                    continue
+                if sub not in commands:
+                    problems.append(f"{rel}: unknown subcommand in example: "
+                                    f"nsflow {sub}")
+                    continue
+                for token in tokens[2:]:
+                    if token.startswith("--"):
+                        flag = token.split("=")[0]
+                        if flag not in commands[sub]:
+                            problems.append(
+                                f"{rel}: example uses {flag}, which "
+                                f"`nsflow {sub}` does not accept")
+            else:
+                # Flag-table rows: a table under a "flags"-ish heading, or
+                # one whose header row names a Flag column (the header row
+                # itself arms the check for the rows that follow).
+                if line.startswith("|"):
+                    if re.search(r"\|\s*Flag\s*\|", line) or "flag" in heading:
+                        in_flag_table = True
+                    if in_flag_table:
+                        for flag in re.findall(r"`(--[a-z0-9-]+)", line):
+                            if flag not in all_flags:
+                                problems.append(
+                                    f"{rel}: documents {flag}, which no "
+                                    "nsflow command accepts")
+
+    # Reverse direction: every user-facing flag/subcommand is documented.
+    # Word-boundary matches: `--out` must not be satisfied by `--out-dir`,
+    # nor `nsflow plan` by a hypothetical `nsflow planner`.
+    def doc_mentions(token):
+        return re.search(re.escape(token) + r"(?![a-z0-9-])", mentioned)
+
+    for sub, flags in commands.items():
+        if not doc_mentions(f"nsflow {sub}"):
+            problems.append(f"CLI subcommand `nsflow {sub}` is not "
+                            "mentioned in README.md or docs/")
+        for flag in sorted(flags - {"--help"}):
+            if not doc_mentions(flag):
+                problems.append(f"CLI flag {flag} (nsflow {sub}) is not "
+                                "mentioned in README.md or docs/")
+    return problems
+
+
 def main():
     files = md_files()
     failures = 0
@@ -54,7 +201,11 @@ def main():
             rel = os.path.relpath(path, REPO_ROOT)
             print(f"BROKEN: {rel}: ({target}) -> {resolved}")
             failures += 1
-    print(f"checked {len(files)} file(s), {failures} broken link(s)")
+    cli_problems = check_cli_docs(files, parse_cli_spec())
+    for problem in cli_problems:
+        print(f"CLI-DOC DRIFT: {problem}")
+        failures += 1
+    print(f"checked {len(files)} file(s), {failures} problem(s)")
     return 1 if failures else 0
 
 

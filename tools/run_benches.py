@@ -2,16 +2,17 @@
 """NSFlow perf-regression harness.
 
 Runs the serve benches from an existing build tree and records the perf
-trajectory artifact, BENCH_serve.json (see docs/PERFORMANCE.md for the
-schema and how to read it). The heavy lifting — timing the cold/warm
-latency-cache paths, the estimator-vs-functional comparison, and the
-fixed-seed serve run — happens inside bench_serve_fastpath; this script
-drives it, sanity-checks the emitted JSON, and fails loudly when the
-fast-path estimator diverges from the functional simulator.
+trajectory artifacts: BENCH_serve.json (fast-path cycle estimation — see
+docs/PERFORMANCE.md) and BENCH_plan.json (capacity-planner predicted vs
+measured p99 per traffic scenario — see docs/PLANNING.md). The heavy
+lifting happens inside bench_serve_fastpath and bench_plan_scenarios;
+this script drives them, sanity-checks the emitted JSON, and fails loudly
+when the fast-path estimator diverges from the functional simulator or a
+planned pool's measured tail leaves the documented tolerance band.
 
 Usage:
   tools/run_benches.py [--build-dir build] [--out BENCH_serve.json]
-                       [--smoke] [--full]
+                       [--plan-out BENCH_plan.json] [--smoke] [--full]
 
   --smoke  reduced iteration counts (the CI bench-smoke job's mode)
   --full   additionally run the serve throughput/multi-tenant sweeps
@@ -36,6 +37,8 @@ def main():
                         help="CMake build tree holding the bench binaries")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="where to write the perf artifact")
+    parser.add_argument("--plan-out", default="BENCH_plan.json",
+                        help="where to write the planner/scenario artifact")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced iteration counts (CI mode)")
     parser.add_argument("--full", action="store_true",
@@ -81,6 +84,34 @@ def main():
           f"({serve['engine_wall_ms']:.1f} ms wall), "
           f"p99 {serve['p99_ms']:.3f} ms")
 
+    # Planner/scenario smoke: plan once, validate predicted vs measured
+    # p99 under each arrival pattern. The bench itself exits non-zero on
+    # a tolerance violation; re-check the artifact independently.
+    plan_bench = build / "bench_plan_scenarios"
+    if not plan_bench.exists():
+        print(f"error: {plan_bench} not found — build the tree first",
+              file=sys.stderr)
+        return 2
+    cmd = [str(plan_bench), "--out", args.plan_out]
+    if args.smoke:
+        cmd.append("--smoke")
+    result = run(cmd)
+    if result.returncode != 0:
+        print("error: bench_plan_scenarios failed (measured p99 outside the "
+              "documented tolerance of the plan's prediction)",
+              file=sys.stderr)
+        return result.returncode
+    with open(args.plan_out, encoding="utf-8") as fh:
+        plan_report = json.load(fh)
+    if plan_report["tolerance"]["violations"] != 0:
+        print("error: planner tolerance violations recorded in artifact",
+              file=sys.stderr)
+        return 1
+    rows = plan_report["scenarios"]
+    ratios = [w["ratio"] for row in rows for w in row["per_workload"]]
+    print(f"plan: {len(rows)} scenario(s) planned+validated, "
+          f"p99 meas/pred ratios {min(ratios):.2f}..{max(ratios):.2f}")
+
     if args.full:
         for bench in ("bench_serve_throughput", "bench_serve_multitenant",
                       "bench_scalability"):
@@ -92,7 +123,7 @@ def main():
             else:
                 print(f"note: {path} not built, skipping")
 
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} and {args.plan_out}")
     return 0
 
 
