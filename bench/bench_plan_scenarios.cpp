@@ -11,6 +11,12 @@
 // under the planning assumptions) makes the bench exit non-zero, which is
 // what the CI bench-smoke job keys on.
 //
+// The artifact's `autoscale` section is the elastic-vs-static headline
+// (docs/AUTOSCALING.md): the diurnal scenario planned statically for its
+// peak, then served twice — once with the fixed plan pool and once with
+// `ServeOptions::autoscale` — and gated on the autoscaled run meeting the
+// same p99 SLO with at most 70% of the static pool's replica-seconds.
+//
 // Usage: bench_plan_scenarios [--out BENCH_plan.json] [--smoke]
 #include <chrono>
 #include <cstdio>
@@ -149,6 +155,118 @@ int main(int argc, char** argv) {
     scenario_rows.push_back(Json(std::move(row)));
   }
 
+  // ---- bench_autoscale: elastic vs static on the diurnal pattern. A
+  // utilization-bound mix (the resnet18 group's replica count tracks the
+  // offered rate) at a rate high enough for fine-grained scaling.
+  std::printf("\n--- autoscale: diurnal elastic vs static ---\n");
+  constexpr double kReplicaSecondsGate = 0.70;
+  // Its own registry: a partitioned pool must cover every registered
+  // workload, and this comparison serves only the two-tenant mix.
+  serve::WorkloadRegistry elastic_registry;
+  elastic_registry.RegisterBuiltin("mlp");
+  elastic_registry.RegisterBuiltin("resnet18");
+  const std::vector<serve::WorkloadShare> elastic_mix = {
+      {"mlp", 0.2}, {"resnet18", 0.8}};
+  serve::PlanOptions elastic_plan_options;
+  elastic_plan_options.qps = 2000.0;
+  elastic_plan_options.p99_slo_s = 50e-3;
+  elastic_plan_options.device = "u250";
+  elastic_plan_options.devices = 128;
+  elastic_plan_options.max_replicas_per_workload = 64;
+  elastic_plan_options.scenario =
+      serve::ScenarioSpec::Parse("diurnal:depth=0.8");
+  const serve::PoolPlan elastic_plan =
+      serve::PlanCapacity(elastic_registry, elastic_mix, elastic_plan_options);
+  if (!elastic_plan.feasible) {
+    std::fprintf(stderr, "error: autoscale baseline plan infeasible: %s\n",
+                 elastic_plan.note.c_str());
+    return 1;
+  }
+
+  serve::ServeOptions elastic_options;
+  elastic_options.qps = elastic_plan_options.qps;
+  elastic_options.duration_s = duration_s;
+  elastic_options.seed = 42;
+  elastic_options.max_batch = elastic_plan.max_batch;
+  elastic_options.max_wait_s = elastic_plan.max_wait_s;
+  elastic_options.per_workload_max_batch =
+      elastic_plan.PerWorkloadMaxBatch();
+  elastic_options.scenario = elastic_plan_options.scenario;
+
+  const auto static_start = Clock::now();
+  const serve::ServeReport static_report = serve::RunSyntheticServe(
+      elastic_registry, elastic_plan.Replicas(), elastic_mix, elastic_options);
+  const double static_ms = ElapsedMs(static_start);
+
+  // The tuned control knobs (tests/autoscaler_test.cpp pins the same
+  // configuration; docs/AUTOSCALING.md documents the trade).
+  elastic_options.autoscale = true;
+  elastic_options.autoscale_opts.p99_slo_s = elastic_plan.p99_slo_s;
+  elastic_options.autoscale_opts.devices = elastic_plan.devices;
+  elastic_options.autoscale_opts.max_replicas = 64;
+  elastic_options.autoscale_opts.headroom = 0.10;
+  elastic_options.autoscale_opts.up_band = 1.05;
+  elastic_options.autoscale_opts.down_band = 0.85;
+  elastic_options.autoscale_opts.cooldown_s = 0.5;
+  const auto elastic_start = Clock::now();
+  const serve::ServeReport elastic_report = serve::RunSyntheticServe(
+      elastic_registry, elastic_plan.Replicas(), elastic_mix, elastic_options);
+  const double elastic_ms = ElapsedMs(elastic_start);
+
+  const double replica_seconds_ratio =
+      static_report.replica_seconds > 0.0
+          ? elastic_report.replica_seconds / static_report.replica_seconds
+          : 0.0;
+  const serve::PoolDeltaCounts deltas =
+      serve::CountDeltas(elastic_report.deltas);
+  std::printf(
+      "static  %2d replicas: p99 %7.3f ms, %8.1f replica-s (%.1f ms wall)\n",
+      elastic_plan.TotalReplicas(), static_report.summary.p99_ms,
+      static_report.replica_seconds, static_ms);
+  std::printf(
+      "elastic %2d deltas:   p99 %7.3f ms, %8.1f replica-s (%.1f ms wall) "
+      "-> %.0f%% of static\n",
+      deltas.total(), elastic_report.summary.p99_ms,
+      elastic_report.replica_seconds, elastic_ms,
+      100.0 * replica_seconds_ratio);
+  const double slo_ms = elastic_plan.p99_slo_s * 1e3;
+  if (elastic_report.summary.p99_ms > slo_ms) {
+    ++violations;
+    std::fprintf(stderr,
+                 "AUTOSCALE VIOLATION: elastic p99 %.3f ms misses the %.1f "
+                 "ms SLO the static plan meets\n",
+                 elastic_report.summary.p99_ms, slo_ms);
+  }
+  if (replica_seconds_ratio > kReplicaSecondsGate) {
+    ++violations;
+    std::fprintf(stderr,
+                 "AUTOSCALE VIOLATION: elastic pool used %.0f%% of the "
+                 "static replica-seconds (gate: %.0f%%)\n",
+                 100.0 * replica_seconds_ratio,
+                 100.0 * kReplicaSecondsGate);
+  }
+
+  JsonObject autoscale;
+  autoscale["scenario"] = Json("diurnal:depth=0.8");
+  autoscale["mix"] = Json("mlp=0.2,resnet18=0.8");
+  autoscale["qps"] = Json(elastic_plan_options.qps);
+  autoscale["p99_slo_ms"] = Json(slo_ms);
+  autoscale["static_replicas"] = Json(elastic_plan.TotalReplicas());
+  autoscale["static_p99_ms"] = Json(static_report.summary.p99_ms);
+  autoscale["static_replica_seconds"] =
+      Json(static_report.replica_seconds);
+  autoscale["elastic_p99_ms"] = Json(elastic_report.summary.p99_ms);
+  autoscale["elastic_replica_seconds"] =
+      Json(elastic_report.replica_seconds);
+  autoscale["replica_seconds_ratio"] = Json(replica_seconds_ratio);
+  autoscale["replica_seconds_gate"] = Json(kReplicaSecondsGate);
+  autoscale["deltas_add"] = Json(deltas.adds);
+  autoscale["deltas_retire"] = Json(deltas.retires);
+  autoscale["deltas_refit"] = Json(deltas.refits);
+  autoscale["deltas_batch_cap"] = Json(deltas.batch_caps);
+  autoscale["static_wall_ms"] = Json(static_ms);
+  autoscale["elastic_wall_ms"] = Json(elastic_ms);
+
   JsonObject tolerance;
   tolerance["low"] = Json(kToleranceLow);
   tolerance["high"] = Json(kToleranceHigh);
@@ -164,6 +282,7 @@ int main(int argc, char** argv) {
   JsonObject root;
   root["setup"] = Json(std::move(setup));
   root["scenarios"] = Json(std::move(scenario_rows));
+  root["autoscale"] = Json(std::move(autoscale));
   root["tolerance"] = Json(std::move(tolerance));
 
   std::ofstream out(out_path, std::ios::binary);

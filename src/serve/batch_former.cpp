@@ -173,6 +173,13 @@ double MultiBatchFormer::Deadline(WorkloadId w) const {
   return lane.front().arrival_s + policy(w).max_wait_s;
 }
 
+void MultiBatchFormer::SetPolicy(WorkloadId w, BatchPolicy policy) {
+  NSF_CHECK(w >= 0 && w < workloads());
+  NSF_CHECK_MSG(policy.max_batch >= 1, "max_batch must be positive");
+  NSF_CHECK_MSG(policy.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+  policies_[static_cast<std::size_t>(w)] = policy;
+}
+
 std::int64_t MultiBatchFormer::pending(WorkloadId w) const {
   NSF_CHECK(w >= 0 && w < workloads());
   return static_cast<std::int64_t>(lanes_[static_cast<std::size_t>(w)].size());

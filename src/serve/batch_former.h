@@ -93,6 +93,12 @@ class MultiBatchFormer {
   /// Virtual deadline of workload `w`'s pending batch (+inf when empty).
   double Deadline(WorkloadId w) const;
 
+  /// Swap lane `w`'s policy mid-stream (the autoscaler's kSetBatchCap
+  /// delta). Applies from the next Add on: a pending lane already above a
+  /// shrunken cap closes at the next arrival's size check, and a grown cap
+  /// simply lets the lane keep absorbing.
+  void SetPolicy(WorkloadId w, BatchPolicy policy);
+
   std::int64_t pending(WorkloadId w) const;
   std::int64_t total_pending() const;
   int workloads() const { return static_cast<int>(lanes_.size()); }

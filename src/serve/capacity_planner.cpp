@@ -204,9 +204,56 @@ std::vector<ReplicaSpec> PoolPlan::Replicas() const {
   return specs;
 }
 
+const PlanFrontier::WorkloadEntry& PlanFrontier::Entry(
+    const std::string& workload) const {
+  for (const WorkloadEntry& entry : workloads) {
+    if (entry.workload == workload) {
+      return entry;
+    }
+  }
+  throw Error("plan frontier was not built over workload '" + workload +
+              "' (rebuild it with the full mix)");
+}
+
+PlanFrontier BuildPlanFrontier(const WorkloadRegistry& registry,
+                               const std::vector<WorkloadShare>& mix,
+                               const PlanOptions& options) {
+  NSF_CHECK_MSG(!mix.empty(), "workload mix cannot be empty");
+  PlanFrontier frontier;
+  frontier.device = DeviceByName(options.device);
+
+  DseOptions base = options.dse;
+  base.dictionary_bytes = options.dictionary_bytes;
+  for (const WorkloadShare& entry : mix) {
+    PlanFrontier::WorkloadEntry workload;
+    workload.workload = entry.workload;
+    workload.workload_id = registry.IdOf(entry.workload);
+    const DataflowGraph& dfg = registry.dataflow(workload.workload_id);
+    workload.points = ParetoDesigns(dfg, base, options.frontier_points);
+    workload.models.reserve(workload.points.size());
+    workload.resources.reserve(workload.points.size());
+    for (const ParetoPoint& point : workload.points) {
+      workload.models.push_back(
+          arch::BuildServingModel(point.design, dfg, /*tuned=*/true));
+      workload.resources.push_back(
+          EstimateResources(point.design, frontier.device));
+    }
+    frontier.workloads.push_back(std::move(workload));
+  }
+  return frontier;
+}
+
 PoolPlan PlanCapacity(const WorkloadRegistry& registry,
                       const std::vector<WorkloadShare>& mix,
                       const PlanOptions& options) {
+  return PlanCapacity(registry, mix, options,
+                      BuildPlanFrontier(registry, mix, options));
+}
+
+PoolPlan PlanCapacity(const WorkloadRegistry& registry,
+                      const std::vector<WorkloadShare>& mix,
+                      const PlanOptions& options,
+                      const PlanFrontier& frontier) {
   NSF_CHECK_MSG(!mix.empty(), "workload mix cannot be empty");
   NSF_CHECK_MSG(options.p99_slo_s > 0.0, "p99 SLO must be positive");
   NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
@@ -223,7 +270,10 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
                 "count — plan with the open-loop pattern the clients "
                 "approximate instead");
 
-  const FpgaDevice device = DeviceByName(options.device);
+  const FpgaDevice& device = frontier.device;
+  NSF_CHECK_MSG(DeviceByName(options.device).name == device.name,
+                "plan frontier was built for a different budget device — "
+                "rebuild it for '" + options.device + "'");
 
   PoolPlan plan;
   plan.mix = mix;
@@ -238,6 +288,7 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
   plan.scenario = options.scenario;
   plan.dse_clock_hz = options.dse.clock_hz;
   plan.dse_enable_phase2 = options.dse.enable_phase2;
+  plan.dse_max_pes = options.dse.max_pes;
   plan.dictionary_bytes = options.dictionary_bytes;
   plan.feasible = true;
 
@@ -247,18 +298,15 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
     total_share += entry.share;
   }
 
-  DseOptions base = options.dse;
-  base.dictionary_bytes = options.dictionary_bytes;
-
   std::vector<double> shares_norm;
   for (const WorkloadShare& entry : mix) {
     shares_norm.push_back(entry.share / total_share);
     const WorkloadId id = registry.IdOf(entry.workload);
-    const DataflowGraph& dfg = registry.dataflow(id);
+    const PlanFrontier::WorkloadEntry& swept = frontier.Entry(entry.workload);
+    NSF_CHECK_MSG(swept.workload_id == id,
+                  "plan frontier ids disagree with the registry — rebuild "
+                  "the frontier against this registry");
     const double lambda = plan.planning_rate * entry.share / total_share;
-
-    const std::vector<ParetoPoint> frontier =
-        ParetoDesigns(dfg, base, options.frontier_points);
 
     GroupPlan best;
     double best_cost = std::numeric_limits<double>::infinity();
@@ -267,15 +315,15 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
     bool any_design_fits = false;  // Distinguishes "doesn't fit a board"
                                    // from "overloaded at max replicas".
 
-    for (const ParetoPoint& point : frontier) {
-      const ResourceReport report = EstimateResources(point.design, device);
+    for (std::size_t p = 0; p < swept.points.size(); ++p) {
+      const ParetoPoint& point = swept.points[p];
+      const ResourceReport& report = swept.resources[p];
       if (!report.fits) {
         continue;  // A single replica must fit one board.
       }
       any_design_fits = true;
       const double bottleneck = BottleneckShare(report);
-      const arch::ServingModel model =
-          arch::BuildServingModel(point.design, dfg, /*tuned=*/true);
+      const arch::ServingModel& model = swept.models[p];
 
       const auto fill = [&](GroupPlan& group, std::int64_t cap, int k,
                             const QueueEval& eval) {
@@ -436,6 +484,7 @@ Json PoolPlan::ToJson() const {
   JsonObject dse;
   dse["clock_hz"] = Json(dse_clock_hz);
   dse["enable_phase2"] = Json(dse_enable_phase2);
+  dse["max_pes"] = Json(dse_max_pes);
   dse["dictionary_bytes"] = Json(dictionary_bytes);
   root["dse"] = Json(std::move(dse));
 
@@ -506,6 +555,11 @@ PoolPlan LoadPlan(const Json& plan_json, WorkloadRegistry& registry) {
       plan_json.At("batching").At("max_wait_ms").AsDouble() * 1e-3;
   plan.dse_clock_hz = plan_json.At("dse").At("clock_hz").AsDouble();
   plan.dse_enable_phase2 = plan_json.At("dse").At("enable_phase2").AsBool();
+  // max_pes joined the schema in PR 5; plans written before it keep the
+  // default sweep base.
+  if (plan_json.At("dse").Contains("max_pes")) {
+    plan.dse_max_pes = plan_json.At("dse").At("max_pes").AsInt();
+  }
   plan.dictionary_bytes = plan_json.At("dse").At("dictionary_bytes").AsDouble();
   plan.feasible = plan_json.At("feasible").AsBool();
   plan.note = plan_json.At("note").AsString();

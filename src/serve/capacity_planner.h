@@ -36,9 +36,11 @@
 #include <string>
 #include <vector>
 
+#include "arch/fastpath.h"
 #include "common/json.h"
 #include "dse/dse.h"
 #include "fpga/device.h"
+#include "fpga/resource_model.h"
 #include "nsflow/framework.h"
 #include "serve/engine.h"
 #include "serve/server_pool.h"
@@ -120,9 +122,12 @@ struct PoolPlan {
   double max_wait_s = 5e-3;
   ScenarioSpec scenario;
   // Recorded for the bit-exact DSE rebuild: every CLI-settable DSE knob
-  // that shapes a design besides the per-group PE budget.
+  // that shapes a design besides the per-group PE budget. `dse_max_pes`
+  // is the frontier sweep's base budget — the autoscaler rebuilds the
+  // same frontier from it when serving the plan elastically.
   double dse_clock_hz = 272e6;
   bool dse_enable_phase2 = true;
+  std::int64_t dse_max_pes = 16384;
   double dictionary_bytes = 512.0 * 1024.0;
   PlanResources resources;
   bool feasible = false;
@@ -140,6 +145,42 @@ struct PoolPlan {
   Json ToJson() const;
 };
 
+/// The reusable, expensive half of a capacity plan: each workload's DSE
+/// pareto frontier with the bit-exact fast-path serving model and the
+/// budget-device resource report per frontier point. Building a frontier
+/// runs the two-phase DSE (hundreds of ms per workload); everything
+/// PlanCapacity does on top of it — the (design x batch cap x replica
+/// count) queueing search — is microseconds. Online replanning (the
+/// autoscaler's control loop) builds one frontier up front and re-plans
+/// against it every decision, so a replan costs no DSE at all.
+///
+/// A frontier stays valid while the registry's compiled workloads, the
+/// budget device, and the DSE options that built it are unchanged; the
+/// traffic fields of PlanOptions (qps, scenario, SLO, replica bounds,
+/// batching policy) may differ freely between replans.
+struct PlanFrontier {
+  struct WorkloadEntry {
+    std::string workload;
+    WorkloadId workload_id = 0;
+    std::vector<ParetoPoint> points;
+    std::vector<arch::ServingModel> models;  // Per point, tuned allocation.
+    std::vector<ResourceReport> resources;   // Per point, vs `device`.
+  };
+  std::vector<WorkloadEntry> workloads;
+  FpgaDevice device;
+
+  /// Entry for a mix workload name; throws when the frontier was not built
+  /// over it.
+  const WorkloadEntry& Entry(const std::string& workload) const;
+};
+
+/// Sweep the frontier for every workload in `mix` (names resolved through
+/// `registry`) under `options.dse` / `options.frontier_points` /
+/// `options.device`.
+PlanFrontier BuildPlanFrontier(const WorkloadRegistry& registry,
+                               const std::vector<WorkloadShare>& mix,
+                               const PlanOptions& options);
+
 /// Plan a pool for `mix` over the workloads registered in `registry` (every
 /// mix name must already be registered). Always returns a plan — when no
 /// configuration meets the SLO and budget, `feasible` is false, `note` says
@@ -148,6 +189,16 @@ struct PoolPlan {
 PoolPlan PlanCapacity(const WorkloadRegistry& registry,
                       const std::vector<WorkloadShare>& mix,
                       const PlanOptions& options);
+
+/// Incremental replan: the same search against a pre-built frontier (the
+/// DSE is skipped entirely). `mix` may be any subset of the frontier's
+/// workloads — the autoscaler replans one workload at a time. The
+/// three-argument PlanCapacity is exactly this overload over
+/// `BuildPlanFrontier(registry, mix, options)`, pinned by tests.
+PoolPlan PlanCapacity(const WorkloadRegistry& registry,
+                      const std::vector<WorkloadShare>& mix,
+                      const PlanOptions& options,
+                      const PlanFrontier& frontier);
 
 /// Rebuild a serialized plan: resolves mix workloads in `registry`
 /// (registering builtins on demand), re-runs the deterministic DSE at each

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "serve/autoscaler.h"
 #include "serve/batch_former.h"
 #include "serve/request_queue.h"
 
@@ -94,10 +95,14 @@ namespace {
 /// Shared forming + dispatch loop: stream `arrivals` through the queue into
 /// the multi-workload former, sending every closed batch to the earliest
 /// capable replica. Works unchanged for the single-workload path (one lane,
-/// every replica capable).
+/// every replica capable). With `autoscaler` non-null, its control
+/// decisions interleave with the arrival stream on the virtual timeline:
+/// every tick at or before the next arrival fires first, so a fixed seed
+/// pins the whole (arrival, decision) sequence.
 ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                         const std::vector<Request>& arrivals,
-                        const ServeOptions& options) {
+                        const ServeOptions& options,
+                        Autoscaler* autoscaler = nullptr) {
   NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
   // Per-lane batching policies: `per_workload_max_batch` overrides the
   // uniform cap where set (0 entries fall back).
@@ -116,7 +121,10 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
 
   // Producer thread feeds the queue in arrival order; the consumer below
   // drains it into the batch former. FIFO + virtual timestamps keep the
-  // result independent of how the two threads interleave.
+  // result independent of how the two threads interleave. The joiner
+  // makes the consumer exception-safe: an error thrown mid-pipeline (an
+  // autoscaler guard, a bad trace) must propagate to the caller, not hit
+  // the joinable-thread destructor and terminate the process.
   RequestQueue queue;
   std::thread producer([&] {
     for (const Request& request : arrivals) {
@@ -126,6 +134,16 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     }
     queue.Close();
   });
+  struct ProducerJoiner {
+    RequestQueue& queue;
+    std::thread& producer;
+    ~ProducerJoiner() {
+      queue.Close();  // Unblocks a producer still pushing.
+      if (producer.joinable()) {
+        producer.join();
+      }
+    }
+  } joiner{queue, producer};
 
   // Parallel cycle-model warm-up, restricted to workloads that actually
   // have traffic — idle tenants stay lazily memoized (their unbatched
@@ -171,9 +189,22 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     started += batch.size();
   };
 
+  std::vector<PoolDelta> deltas;
   std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
                                  0.0);
   while (auto request = queue.Pop()) {
+    // Control decisions scheduled at or before this arrival fire first —
+    // the tick clock and the arrival stamps share one virtual timeline.
+    // The arrival record only exists to feed the autoscaler's windowed
+    // rate samples; static runs skip the bookkeeping (hot path).
+    if (autoscaler != nullptr) {
+      while (autoscaler->next_tick_s() <= request->arrival_s) {
+        for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
+          deltas.push_back(std::move(delta));
+        }
+      }
+      stats.RecordArrival(request->workload, request->arrival_s);
+    }
     for (int w = 0; w < pool.workloads(); ++w) {
       busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
     }
@@ -181,10 +212,25 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       dispatch(std::move(batch));
     }
   }
+  // Run out the tick clock over the arrival-free tail, then flush.
+  if (autoscaler != nullptr) {
+    while (autoscaler->next_tick_s() <= options.duration_s) {
+      for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
+        deltas.push_back(std::move(delta));
+      }
+    }
+  }
   for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
     dispatch(std::move(tail));
   }
-  producer.join();
+
+  // Utilization denominators: each replica against its provisioned span
+  // (a no-op for static pools, whose spans are the whole horizon).
+  if (autoscaler != nullptr) {
+    for (int r = 0; r < pool.size(); ++r) {
+      stats.SetReplicaSpan(r, pool.AddedAt(r), pool.RetiredAt(r));
+    }
+  }
 
   ServeReport report;
   report.generated_requests = static_cast<std::int64_t>(arrivals.size());
@@ -202,9 +248,11 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                                 ? 0.0
                                 : report.single_request_by_workload.front();
   report.dispatches = std::move(dispatches);
+  report.deltas = std::move(deltas);
   report.summary = stats.Summarize(
       EffectiveOfferedRps(options, report.generated_requests),
       options.duration_s);
+  report.replica_seconds = pool.ReplicaSeconds(report.summary.horizon_s);
   return report;
 }
 
@@ -213,6 +261,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
 ServeReport RunSyntheticServe(const DataflowGraph& dfg,
                               const std::vector<AcceleratorDesign>& designs,
                               const ServeOptions& options) {
+  NSF_CHECK_MSG(!options.autoscale,
+                "autoscaling requires the multi-tenant engine — serve a "
+                "mix or a plan (docs/AUTOSCALING.md)");
   const std::vector<Request> arrivals = SyntheticArrivals(options);
   ServerPool pool(designs, dfg, options.worker_threads);
   ServeStats stats(pool.size());
@@ -243,6 +294,16 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
   ServeStats stats(pool.size(), registry.size());
   for (WorkloadId w = 0; w < registry.size(); ++w) {
     stats.SetWorkloadName(w, registry.NameOf(w));
+  }
+  if (options.autoscale) {
+    for (const ReplicaSpec& spec : replicas) {
+      NSF_CHECK_MSG(spec.workloads.size() == 1,
+                    "autoscaling needs a partitioned pool (every replica "
+                    "dedicated to exactly one workload) — `nsflow plan` "
+                    "emits one, or pass --partition with --mix");
+    }
+    Autoscaler autoscaler(registry, mix, pool, options);
+    return RunPipeline(pool, stats, arrivals, options, &autoscaler);
   }
   return RunPipeline(pool, stats, arrivals, options);
 }

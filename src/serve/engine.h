@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/dse.h"
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 #include "serve/request.h"
@@ -34,6 +35,39 @@
 #include "serve/workload_registry.h"
 
 namespace nsflow::serve {
+
+/// Elastic-autoscaler knobs (docs/AUTOSCALING.md). All times are virtual
+/// seconds; every decision is a pure function of windowed arrival counts
+/// and forming-lane depths, so an autoscaled run stays bit-deterministic
+/// under a fixed seed. The replan target fields mirror PlanOptions — the
+/// control loop re-runs the capacity search (against a cached frontier)
+/// at the observed rate; when serving a PoolPlan, the CLI copies these
+/// from the plan.
+struct AutoscaleOptions {
+  // Control loop.
+  double interval_s = 0.25;  // Decision cadence.
+  double window_s = 1.0;     // Trailing rate-observation window.
+  double headroom = 0.25;    // Provision for observed * (1 + headroom).
+  // Hysteresis bands around each group's provisioned (headroom-inclusive)
+  // rate: replan up above up_band x provisioned, down below down_band x
+  // provisioned. up_band < 1 + headroom keeps undetected drift inside the
+  // provisioned capacity (docs/AUTOSCALING.md derives the invariant).
+  double up_band = 1.10;
+  double down_band = 0.60;
+  double cooldown_s = 2.0;     // Min gap after any delta before a group
+                               // may scale *down* (ups are never delayed).
+  double reconfig_s = 0.02;    // Warm add/refit readiness delay.
+  int min_replicas = 1;        // Per-workload floor.
+  int max_replicas = 16;       // Per-workload ceiling (replan bound).
+  // Replan target (PlanCapacity re-run per decision).
+  double p99_slo_s = 50e-3;
+  std::string device = "u250";
+  int devices = 16;
+  double max_utilization = 0.85;
+  int frontier_points = 4;
+  DseOptions dse;              // Frontier build only (one DSE, up front).
+  double dictionary_bytes = 512.0 * 1024.0;
+};
 
 struct ServeOptions {
   double qps = 100.0;          // Open-loop offered load (Poisson arrivals).
@@ -51,6 +85,13 @@ struct ServeOptions {
   /// unbatched (cap 1 — batches close at their own arrival, no forming
   /// wait) next to a throughput tenant that keeps coalescing.
   std::vector<std::int64_t> per_workload_max_batch;
+  /// Elastic autoscaling (docs/AUTOSCALING.md): the multi-tenant engine
+  /// runs an online control loop that samples windowed arrival rates,
+  /// replans against a cached DSE frontier, and applies PoolDeltas (warm
+  /// add / drain-retire / refit / batch-cap change) mid-run. Requires a
+  /// partitioned pool — every replica dedicated to exactly one workload.
+  bool autoscale = false;
+  AutoscaleOptions autoscale_opts;
 };
 
 /// One entry of a multi-tenant QPS mix: `share` of the total offered load
@@ -74,6 +115,13 @@ struct ServeReport {
   /// Same baseline per registered workload (one entry in single-workload
   /// runs).
   std::vector<double> single_request_by_workload;
+  /// Autoscaler actions in decision order (empty when autoscaling is off).
+  std::vector<PoolDelta> deltas;
+  /// FPGA time the pool consumed: the integral of the provisioned-replica
+  /// count over the run horizon. A static pool uses replicas x horizon;
+  /// the elastic-vs-static efficiency ratio divides the two
+  /// (docs/AUTOSCALING.md).
+  double replica_seconds = 0.0;
 };
 
 /// Generate the arrival trace for `options` — `options.scenario` picks the

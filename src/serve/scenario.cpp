@@ -491,6 +491,48 @@ double ScenarioMeanRate(const ScenarioSpec& spec, double qps,
   throw Error("unknown scenario kind");
 }
 
+double ScenarioWindowMeanRate(const ScenarioSpec& spec, double qps,
+                              double duration_s, double t0, double t1) {
+  NSF_CHECK_MSG(t1 > t0 && t0 >= 0.0 && t1 <= duration_s,
+                "rate window must be a non-empty slice of [0, duration)");
+  const double width = t1 - t0;
+  switch (spec.kind) {
+    case ScenarioKind::kPoisson:
+      return qps;
+    case ScenarioKind::kDiurnal: {
+      const double period = spec.Param("period", duration_s);
+      const double depth = spec.Param("depth", 0.8);
+      const double phase = spec.Param("phase", 0.0);
+      NSF_CHECK_MSG(period > 0.0, "diurnal period must be positive");
+      // ∫ sin(2π(t/period + phase)) dt over [t0, t1).
+      const double integral =
+          period / kTwoPi *
+          (std::cos(kTwoPi * (t0 / period + phase)) -
+           std::cos(kTwoPi * (t1 / period + phase)));
+      return qps * (1.0 + depth * integral / width);
+    }
+    case ScenarioKind::kBursty:
+      return qps;  // Long-run mean; windows are stochastic (MMPP).
+    case ScenarioKind::kRamp:
+      // Linear rate: the window mean is the rate at the window midpoint.
+      return ScenarioRate(spec, qps, duration_s, (t0 + t1) / 2.0);
+    case ScenarioKind::kSpike: {
+      const double at = spec.Param("at", 0.4 * duration_s);
+      const double spike_width = spec.Param("width", 0.1 * duration_s);
+      const double mult = spec.Param("mult", 5.0);
+      const double lo = std::clamp(at, t0, t1);
+      const double hi = std::clamp(at + spike_width, t0, t1);
+      return qps * (1.0 + (mult - 1.0) * (hi - lo) / width);
+    }
+    case ScenarioKind::kClosedLoop:
+      return ScenarioMeanRate(spec, qps, duration_s);
+    case ScenarioKind::kTrace:
+      throw Error("trace scenarios have no closed-form rate (count the "
+                  "replayed arrivals instead)");
+  }
+  throw Error("unknown scenario kind");
+}
+
 double ScenarioPeakRate(const ScenarioSpec& spec, double qps,
                         double duration_s) {
   switch (spec.kind) {

@@ -88,6 +88,16 @@ double ScenarioRate(const ScenarioSpec& spec, double qps, double duration_s,
 double ScenarioMeanRate(const ScenarioSpec& spec, double qps,
                         double duration_s);
 
+/// Mean of `ScenarioRate` over the window [t0, t1) ⊆ [0, duration_s)
+/// (analytic, not numeric): the expected arrival count in the window is
+/// this times (t1 - t0). This is the closed form the autoscaler's windowed
+/// rate observations converge to — tests compare the two. Bursty returns
+/// the long-run mean `qps` (the MMPP state sequence is stochastic, so a
+/// window has no deterministic rate); closed-loop returns the renewal
+/// rate; trace throws.
+double ScenarioWindowMeanRate(const ScenarioSpec& spec, double qps,
+                              double duration_s, double t0, double t1);
+
 /// The scenario's rate ceiling — the instantaneous rate a pool must absorb
 /// to hold a tail-latency SLO through the pattern's worst moment (diurnal
 /// crest, burst on-state, ramp end, spike window). The capacity planner

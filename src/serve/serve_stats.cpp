@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -14,7 +15,11 @@ ServeStats::ServeStats(int replicas, int workloads) {
   NSF_CHECK_MSG(replicas >= 1, "a serve pool needs at least one replica");
   NSF_CHECK_MSG(workloads >= 1, "stats need at least one workload slice");
   replica_busy_s_.assign(static_cast<std::size_t>(replicas), 0.0);
+  replica_spans_.assign(
+      static_cast<std::size_t>(replicas),
+      {0.0, std::numeric_limits<double>::infinity()});
   workload_names_.resize(static_cast<std::size_t>(workloads));
+  workload_arrivals_s_.resize(static_cast<std::size_t>(workloads));
   for (int w = 0; w < workloads; ++w) {
     workload_names_[static_cast<std::size_t>(w)] =
         "workload " + std::to_string(w);
@@ -59,6 +64,64 @@ void ServeStats::RecordReplicaBusy(int index, double busy_s) {
                     index < static_cast<int>(replica_busy_s_.size()),
                 "replica index out of range");
   replica_busy_s_[static_cast<std::size_t>(index)] += busy_s;
+}
+
+void ServeStats::RecordArrival(WorkloadId workload, double arrival_s) {
+  NSF_CHECK_MSG(workload >= 0 &&
+                    workload <
+                        static_cast<int>(workload_arrivals_s_.size()),
+                "workload index out of range");
+  NSF_CHECK_MSG(arrival_stamps_.empty() ||
+                    arrival_s >= arrival_stamps_.back(),
+                "arrivals must be recorded in time order");
+  arrival_stamps_.push_back(arrival_s);
+  workload_arrivals_s_[static_cast<std::size_t>(workload)].push_back(
+      arrival_s);
+}
+
+namespace {
+
+std::int64_t CountInWindow(const std::vector<double>& sorted, double t0,
+                           double t1) {
+  return std::lower_bound(sorted.begin(), sorted.end(), t1) -
+         std::lower_bound(sorted.begin(), sorted.end(), t0);
+}
+
+}  // namespace
+
+std::int64_t ServeStats::ArrivalsInWindow(WorkloadId workload, double t0,
+                                          double t1) const {
+  NSF_CHECK_MSG(workload >= 0 &&
+                    workload <
+                        static_cast<int>(workload_arrivals_s_.size()),
+                "workload index out of range");
+  return CountInWindow(workload_arrivals_s_[static_cast<std::size_t>(workload)],
+                       t0, t1);
+}
+
+std::int64_t ServeStats::ArrivalsInWindow(double t0, double t1) const {
+  return CountInWindow(arrival_stamps_, t0, t1);
+}
+
+void ServeStats::RecordPoolEvent(PoolEvent event) {
+  NSF_CHECK_MSG(timeline_.empty() || event.t_s >= timeline_.back().t_s,
+                "timeline events must be recorded in time order");
+  timeline_.push_back(std::move(event));
+}
+
+void ServeStats::AddReplicaSlot() {
+  replica_busy_s_.push_back(0.0);
+  replica_spans_.push_back({0.0, std::numeric_limits<double>::infinity()});
+}
+
+void ServeStats::SetReplicaSpan(int index, double added_s,
+                                double retired_s) {
+  NSF_CHECK_MSG(index >= 0 &&
+                    index < static_cast<int>(replica_spans_.size()),
+                "replica index out of range");
+  NSF_CHECK_MSG(added_s >= 0.0 && retired_s >= added_s,
+                "replica span must be a non-negative interval");
+  replica_spans_[static_cast<std::size_t>(index)] = {added_s, retired_s};
 }
 
 double ServeStats::Percentile(std::vector<double> values, double p) {
@@ -128,10 +191,18 @@ StatsSummary ServeStats::Summarize(double offered_qps,
   }
 
   s.replica_utilization.reserve(replica_busy_s_.size());
-  for (const double busy : replica_busy_s_) {
-    s.replica_utilization.push_back(s.horizon_s > 0.0 ? busy / s.horizon_s
-                                                      : 0.0);
+  for (std::size_t r = 0; r < replica_busy_s_.size(); ++r) {
+    // Busy share of the replica's *active span* within the horizon: a
+    // warm-added or drained replica is judged against the time it was
+    // actually provisioned, not the whole run (spans default to the full
+    // horizon for static pools).
+    const double span =
+        std::min(replica_spans_[r].second, s.horizon_s) -
+        std::min(replica_spans_[r].first, s.horizon_s);
+    s.replica_utilization.push_back(
+        span > 0.0 ? replica_busy_s_[r] / span : 0.0);
   }
+  s.timeline = timeline_;
 
   s.per_workload.reserve(workload_names_.size());
   for (std::size_t w = 0; w < workload_names_.size(); ++w) {

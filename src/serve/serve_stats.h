@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/request.h"
@@ -29,6 +30,17 @@ struct WorkloadSummary {
   double mean_batch = 0.0;       // Average formed batch size.
 };
 
+/// One point on the pool's reconfiguration/utilization timeline: either a
+/// periodic autoscaler sample (`event` empty) or an applied PoolDelta
+/// (`event` describes it). Recorded in virtual-time order.
+struct PoolEvent {
+  double t_s = 0.0;
+  std::string event;            // "" for periodic samples.
+  int active_replicas = 0;      // Provisioned (added, not retired) at t_s.
+  double window_rate_rps = 0.0; // Trailing-window aggregate arrival rate.
+  std::int64_t queue_depth = 0; // Requests pending in forming lanes at t_s.
+};
+
 /// Point-in-time summary of a finished serve run.
 struct StatsSummary {
   std::int64_t completed = 0;
@@ -47,10 +59,16 @@ struct StatsSummary {
   double mean_queue_depth = 0.0; // Mean backlog sampled at batch starts.
   std::int64_t max_queue_depth = 0;
 
-  std::vector<double> replica_utilization;  // Busy share per replica.
+  std::vector<double> replica_utilization;  // Busy share per replica —
+                                            // against each replica's own
+                                            // active span (= the run
+                                            // horizon for static pools).
   /// One slice per registered workload (a single slice in single-workload
   /// runs); ToTable prints the per-workload section when there are >= 2.
   std::vector<WorkloadSummary> per_workload;
+  /// Reconfiguration/utilization-over-time timeline (autoscaled runs;
+  /// empty otherwise). Samples and deltas interleaved in time order.
+  std::vector<PoolEvent> timeline;
 };
 
 class ServeStats {
@@ -74,6 +92,25 @@ class ServeStats {
                    std::int64_t queue_depth);
   /// Replica `index` was busy for `busy_s` more virtual seconds.
   void RecordReplicaBusy(int index, double busy_s);
+
+  /// One request entered the system at `arrival_s` (recorded in arrival
+  /// order — the autoscaler's windowed-rate source).
+  void RecordArrival(WorkloadId workload, double arrival_s);
+  /// Arrivals of `workload` (or of every workload) with arrival time in
+  /// [t0, t1). O(log n) — the arrival record is time-ordered.
+  std::int64_t ArrivalsInWindow(WorkloadId workload, double t0,
+                                double t1) const;
+  std::int64_t ArrivalsInWindow(double t0, double t1) const;
+
+  /// Append one point to the reconfiguration/utilization timeline.
+  void RecordPoolEvent(PoolEvent event);
+
+  /// A replica was warm-added mid-run: grow the per-replica accounting.
+  void AddReplicaSlot();
+  /// Clamp replica `index`'s utilization denominator to its active span
+  /// [added_s, retired_s) instead of the whole run horizon (warm-added or
+  /// drained replicas). Spans default to [0, +inf) = the full horizon.
+  void SetReplicaSpan(int index, double added_s, double retired_s);
 
   /// Nearest-rank percentile, p in [0, 100]. Exposed for tests. Copies and
   /// sorts; Summarize() uses PercentileSorted on one sorted copy instead of
@@ -99,6 +136,10 @@ class ServeStats {
   std::vector<std::int64_t> batch_sizes_;
   std::vector<std::int64_t> depth_samples_;
   std::vector<double> replica_busy_s_;
+  std::vector<std::pair<double, double>> replica_spans_;  // [added, retired).
+  std::vector<PoolEvent> timeline_;
+  std::vector<double> arrival_stamps_;                    // All workloads.
+  std::vector<std::vector<double>> workload_arrivals_s_;  // Per workload.
 
   std::vector<std::string> workload_names_;
   std::vector<std::vector<double>> workload_latencies_s_;    // Per workload.

@@ -28,6 +28,19 @@ bool SameServingDesign(const AcceleratorDesign& a,
          a.memory.cache_bytes == b.memory.cache_bytes;
 }
 
+PoolDeltaCounts CountDeltas(const std::vector<PoolDelta>& deltas) {
+  PoolDeltaCounts counts;
+  for (const PoolDelta& delta : deltas) {
+    switch (delta.kind) {
+      case PoolDeltaKind::kAddReplica: ++counts.adds; break;
+      case PoolDeltaKind::kRetireReplica: ++counts.retires; break;
+      case PoolDeltaKind::kRefitReplica: ++counts.refits; break;
+      case PoolDeltaKind::kSetBatchCap: ++counts.batch_caps; break;
+    }
+  }
+  return counts;
+}
+
 AcceleratorDesign RefitDesign(AcceleratorDesign design,
                               const DataflowGraph& dfg) {
   // The allocation policy (whole array per kernel in sequential/all-NN
@@ -71,62 +84,13 @@ void ServerPool::Init(const std::vector<ReplicaSpec>& specs) {
   worker_threads_ =
       worker_threads_ > 0 ? worker_threads_ : static_cast<int>(hw);
 
-  free_at_.assign(specs.size(), 0.0);
   kind_.reserve(specs.size());
   replicas_.reserve(specs.size());
   designs_.reserve(specs.size());
   serves_.reserve(specs.size());
+  free_at_.reserve(specs.size());
   for (const ReplicaSpec& spec : specs) {
-    designs_.push_back(spec.design);
-    NSF_CHECK_MSG(spec.tuned_for == kTunedForNone ||
-                      (spec.tuned_for >= 0 && spec.tuned_for < workloads()),
-                  "tuned_for must name a pool workload or kTunedForNone");
-    // Kind dedup is a cache-sharing optimization, so a kind merges only
-    // replicas that agree on both the design *and* its provenance — two
-    // tenants' DSE winners converging on identical hardware still get
-    // separate kinds, because their tuned allocations mean different
-    // things. Ids aliasing one compiled graph (registry compile-cache
-    // hit) count as the same provenance.
-    int kind = -1;
-    for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
-      const WorkloadId prev = kind_tuned_for_[k];
-      if (SameServingDesign(distinct_designs_[k], spec.design) &&
-          (prev == spec.tuned_for || IsTunedFor(spec.tuned_for, prev))) {
-        kind = static_cast<int>(k);
-        break;
-      }
-    }
-    if (kind < 0) {
-      kind = static_cast<int>(distinct_designs_.size());
-      distinct_designs_.push_back(spec.design);
-      kind_tuned_for_.push_back(spec.tuned_for);
-    }
-    kind_.push_back(kind);
-
-    // Empty workload set = deployed for every workload the pool knows.
-    std::vector<bool> serves(dfgs_.size(), spec.workloads.empty());
-    for (const WorkloadId w : spec.workloads) {
-      NSF_CHECK_MSG(w >= 0 && w < workloads(),
-                    "replica declares an unknown workload id");
-      serves[static_cast<std::size_t>(w)] = true;
-    }
-    serves_.push_back(std::move(serves));
-
-    // The long-lived replica accelerator is instantiated against the first
-    // workload it serves; cycle-model evaluation goes through the
-    // allocation-free fast path (BatchSeconds), so this instance only
-    // backs the `replica()` accessor and functional cross-checks.
-    std::size_t first = 0;
-    while (first < dfgs_.size() && !serves_.back()[first]) {
-      ++first;
-    }
-    NSF_CHECK_MSG(first < dfgs_.size(),
-                  "replica serves no workload at all");
-    const bool tuned =
-        IsTunedFor(spec.tuned_for, static_cast<WorkloadId>(first));
-    replicas_.push_back(std::make_unique<runtime::Accelerator>(
-        tuned ? spec.design : RefitDesign(spec.design, *dfgs_[first]),
-        *dfgs_[first]));
+    AppendReplica(spec, /*ready_s=*/0.0);
   }
 
   for (int w = 0; w < workloads(); ++w) {
@@ -137,6 +101,69 @@ void ServerPool::Init(const std::vector<ReplicaSpec>& specs) {
     }
     NSF_CHECK_MSG(covered, "workload has no replica able to serve it");
   }
+}
+
+int ServerPool::KindFor(const ReplicaSpec& spec) {
+  // Kind dedup is a cache-sharing optimization, so a kind merges only
+  // replicas that agree on both the design *and* its provenance — two
+  // tenants' DSE winners converging on identical hardware still get
+  // separate kinds, because their tuned allocations mean different
+  // things. Ids aliasing one compiled graph (registry compile-cache
+  // hit) count as the same provenance.
+  for (std::size_t k = 0; k < distinct_designs_.size(); ++k) {
+    const WorkloadId prev = kind_tuned_for_[k];
+    if (SameServingDesign(distinct_designs_[k], spec.design) &&
+        (prev == spec.tuned_for || IsTunedFor(spec.tuned_for, prev))) {
+      return static_cast<int>(k);
+    }
+  }
+  distinct_designs_.push_back(spec.design);
+  kind_tuned_for_.push_back(spec.tuned_for);
+  return static_cast<int>(distinct_designs_.size()) - 1;
+}
+
+std::vector<bool> ServerPool::BuildServes(const ReplicaSpec& spec) const {
+  NSF_CHECK_MSG(spec.tuned_for == kTunedForNone ||
+                    (spec.tuned_for >= 0 && spec.tuned_for < workloads()),
+                "tuned_for must name a pool workload or kTunedForNone");
+  // Empty workload set = deployed for every workload the pool knows.
+  std::vector<bool> serves(dfgs_.size(), spec.workloads.empty());
+  for (const WorkloadId w : spec.workloads) {
+    NSF_CHECK_MSG(w >= 0 && w < workloads(),
+                  "replica declares an unknown workload id");
+    serves[static_cast<std::size_t>(w)] = true;
+  }
+  return serves;
+}
+
+std::unique_ptr<runtime::Accelerator> ServerPool::InstantiateReplica(
+    const ReplicaSpec& spec, const std::vector<bool>& serves) const {
+  // The long-lived replica accelerator is instantiated against the first
+  // workload it serves; cycle-model evaluation goes through the
+  // allocation-free fast path (BatchSeconds), so this instance only
+  // backs the `replica()` accessor and functional cross-checks.
+  std::size_t first = 0;
+  while (first < dfgs_.size() && !serves[first]) {
+    ++first;
+  }
+  NSF_CHECK_MSG(first < dfgs_.size(), "replica serves no workload at all");
+  const bool tuned =
+      IsTunedFor(spec.tuned_for, static_cast<WorkloadId>(first));
+  return std::make_unique<runtime::Accelerator>(
+      tuned ? spec.design : RefitDesign(spec.design, *dfgs_[first]),
+      *dfgs_[first]);
+}
+
+void ServerPool::AppendReplica(const ReplicaSpec& spec, double ready_s) {
+  std::vector<bool> serves = BuildServes(spec);
+  designs_.push_back(spec.design);
+  kind_.push_back(KindFor(spec));
+  replicas_.push_back(InstantiateReplica(spec, serves));
+  serves_.push_back(std::move(serves));
+  free_at_.push_back(ready_s);
+  draining_.push_back(false);
+  added_at_.push_back(ready_s);
+  retired_at_.push_back(std::numeric_limits<double>::infinity());
 }
 
 bool ServerPool::IsTunedFor(WorkloadId tuned_for, WorkloadId workload) const {
@@ -359,14 +386,21 @@ void ServerPool::WarmPairs(
 }
 
 double ServerPool::EarliestFree() const {
-  return *std::min_element(free_at_.begin(), free_at_.end());
+  double earliest = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < size(); ++r) {
+    if (!draining_[static_cast<std::size_t>(r)]) {
+      earliest = std::min(earliest, free_at_[static_cast<std::size_t>(r)]);
+    }
+  }
+  return earliest;
 }
 
 double ServerPool::EarliestFree(WorkloadId workload) const {
   NSF_CHECK(workload >= 0 && workload < workloads());
   double earliest = std::numeric_limits<double>::infinity();
   for (int r = 0; r < size(); ++r) {
-    if (serves_[static_cast<std::size_t>(r)]
+    if (!draining_[static_cast<std::size_t>(r)] &&
+        serves_[static_cast<std::size_t>(r)]
                [static_cast<std::size_t>(workload)]) {
       earliest =
           std::min(earliest, free_at_[static_cast<std::size_t>(r)]);
@@ -376,18 +410,112 @@ double ServerPool::EarliestFree(WorkloadId workload) const {
 }
 
 void ServerPool::ResetSchedule() {
-  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  // Replicas warm-added mid-run stay unavailable before their ready time.
+  for (std::size_t r = 0; r < free_at_.size(); ++r) {
+    free_at_[r] = added_at_[r];
+  }
   dispatched_batches_ = 0;
+}
+
+int ServerPool::AddReplica(const ReplicaSpec& spec, double ready_s) {
+  NSF_CHECK_MSG(ready_s >= 0.0, "replica ready time must be non-negative");
+  AppendReplica(spec, ready_s);
+  return size() - 1;
+}
+
+void ServerPool::CheckNoOrphans(int replica,
+                                const std::vector<bool>* keep) const {
+  const auto rs = static_cast<std::size_t>(replica);
+  for (std::size_t w = 0; w < dfgs_.size(); ++w) {
+    if (!serves_[rs][w] || (keep != nullptr && (*keep)[w])) {
+      continue;  // Not losing this workload's coverage.
+    }
+    bool covered = false;
+    for (int other = 0; other < size() && !covered; ++other) {
+      covered = other != replica &&
+                !draining_[static_cast<std::size_t>(other)] &&
+                serves_[static_cast<std::size_t>(other)][w];
+    }
+    NSF_CHECK_MSG(covered,
+                  "reconfiguration would leave a workload with no replica "
+                  "able to serve it");
+  }
+}
+
+void ServerPool::DrainReplica(int replica, double now_s) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  const auto r = static_cast<std::size_t>(replica);
+  NSF_CHECK_MSG(!draining_[r], "replica is already draining");
+  CheckNoOrphans(replica, nullptr);
+  draining_[r] = true;
+  // In-flight work finishes; an idle replica retires at the decision time.
+  retired_at_[r] = std::max(now_s, free_at_[r]);
+}
+
+void ServerPool::RefitInPlace(int replica, const ReplicaSpec& spec,
+                              double ready_s) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  const auto r = static_cast<std::size_t>(replica);
+  NSF_CHECK_MSG(!draining_[r], "cannot refit a draining replica");
+  std::vector<bool> serves = BuildServes(spec);
+  CheckNoOrphans(replica, &serves);
+
+  designs_[r] = spec.design;
+  kind_[r] = KindFor(spec);
+  replicas_[r] = InstantiateReplica(spec, serves);
+  serves_[r] = std::move(serves);
+  // The in-flight batch (if any) finishes on the old deployment before the
+  // refit replica comes up.
+  free_at_[r] = std::max(free_at_[r], ready_s);
+}
+
+bool ServerPool::draining(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return draining_[static_cast<std::size_t>(replica)];
+}
+
+double ServerPool::AddedAt(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return added_at_[static_cast<std::size_t>(replica)];
+}
+
+double ServerPool::RetiredAt(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return retired_at_[static_cast<std::size_t>(replica)];
+}
+
+int ServerPool::ActiveReplicas(double t) const {
+  int active = 0;
+  for (int r = 0; r < size(); ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (added_at_[i] <= t && t < retired_at_[i]) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+double ServerPool::ReplicaSeconds(double horizon_s) const {
+  double total = 0.0;
+  for (int r = 0; r < size(); ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const double from = std::min(added_at_[i], horizon_s);
+    const double to = std::min(retired_at_[i], horizon_s);
+    total += std::max(0.0, to - from);
+  }
+  return total;
 }
 
 DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
                                     std::int64_t queue_depth) {
   NSF_CHECK_MSG(batch.size() > 0, "cannot dispatch an empty batch");
   // Earliest-available replica among those deployed for the batch's
-  // workload, ties to the lowest id.
+  // workload, ties to the lowest id. Draining replicas take no new work —
+  // their in-flight batch is the last thing they run.
   int choice = -1;
   for (int r = 0; r < size(); ++r) {
-    if (!CanServe(r, batch.workload)) {
+    if (!CanServe(r, batch.workload) ||
+        draining_[static_cast<std::size_t>(r)]) {
       continue;
     }
     if (choice < 0 || free_at_[static_cast<std::size_t>(r)] <

@@ -64,6 +64,39 @@ struct ReplicaSpec {
   WorkloadId tuned_for = kTunedForNone;
 };
 
+/// One warm-reconfiguration action on a running pool — the autoscaler's
+/// output unit (docs/AUTOSCALING.md). Deltas are decisions on the virtual
+/// timeline: the engine applies them between arrivals, so a fixed seed
+/// pins the whole (decision, action) sequence bit-exactly.
+enum class PoolDeltaKind {
+  kAddReplica,     // Provision a new replica for `workload` (spec payload).
+  kRetireReplica,  // Drain-then-remove `replica` (in-flight work finishes).
+  kRefitReplica,   // Reassign `replica` to `workload`, keeping its hardware
+                   // (the per-kernel allocation is refit — RefitDesign).
+  kSetBatchCap,    // Change `workload`'s forming-lane batch cap.
+};
+
+struct PoolDelta {
+  PoolDeltaKind kind = PoolDeltaKind::kAddReplica;
+  double t_s = 0.0;        // Virtual decision time.
+  WorkloadId workload = 0; // The tenant the delta serves.
+  int replica = -1;        // Target replica (retire/refit; -1 for add).
+  std::int64_t batch_cap = 0;  // kSetBatchCap payload.
+  ReplicaSpec spec;        // kAddReplica / kRefitReplica payload.
+  std::string reason;      // Human-readable trigger ("rate 212 rps > ...").
+};
+
+/// Per-kind tally of a delta log — shared by the CLI epilogue, the bench
+/// artifact, and the tests.
+struct PoolDeltaCounts {
+  int adds = 0;
+  int retires = 0;
+  int refits = 0;
+  int batch_caps = 0;
+  int total() const { return adds + retires + refits + batch_caps; }
+};
+PoolDeltaCounts CountDeltas(const std::vector<PoolDelta>& deltas);
+
 /// Where one batch executed on the virtual timeline.
 struct DispatchRecord {
   std::int64_t batch_index = 0;
@@ -120,8 +153,47 @@ class ServerPool {
   /// Same, restricted to replicas able to serve `workload`.
   double EarliestFree(WorkloadId workload) const;
 
-  /// Forget the schedule (all replicas free at t=0). Cached latencies keep.
+  /// Forget the schedule (every replica free at the time it was added, 0
+  /// for the initial pool). Cached latencies and drain marks keep.
   void ResetSchedule();
+
+  // ---- Warm reconfiguration (the autoscaler's PoolDelta surface). All
+  // times are virtual seconds; every operation is safe mid-flight: batches
+  // already dispatched complete on their replica, and future dispatch
+  // routes around draining replicas.
+
+  /// Provision a new replica per `spec`, free (and billed) from `ready_s`
+  /// onward — decision time plus the warm-reconfiguration delay. Returns
+  /// the new replica's index (indices are stable; retired replicas keep
+  /// theirs).
+  int AddReplica(const ReplicaSpec& spec, double ready_s);
+
+  /// Begin draining `replica` at `now_s`: it takes no new batches, its
+  /// in-flight batch (if any) finishes, and it retires at
+  /// max(now_s, current busy horizon). Refuses to orphan a workload: every
+  /// workload the replica serves must keep at least one other non-draining
+  /// capable replica.
+  void DrainReplica(int replica, double now_s);
+
+  /// Redeploy `replica` per `spec` (typically: same hardware, a different
+  /// tenant's workload set — the refit allocation applies automatically
+  /// via the tuned_for provenance). The replica is unavailable until
+  /// max(ready_s, its busy horizon): the in-flight batch finishes on the
+  /// old deployment first. Refuses to orphan a workload, like DrainReplica.
+  void RefitInPlace(int replica, const ReplicaSpec& spec, double ready_s);
+
+  /// Whether `replica` is draining (or already retired).
+  bool draining(int replica) const;
+  /// When `replica` joined the pool (0 for the initial replicas).
+  double AddedAt(int replica) const;
+  /// When `replica` retired (+inf while active).
+  double RetiredAt(int replica) const;
+  /// Replicas provisioned at virtual time `t` (added and not yet retired).
+  int ActiveReplicas(double t) const;
+  /// FPGA time the pool consumed over [0, horizon_s): the integral of the
+  /// active-replica count — the elastic-vs-static efficiency metric
+  /// (docs/AUTOSCALING.md).
+  double ReplicaSeconds(double horizon_s) const;
 
   /// Dispatch one formed batch to the earliest-available replica able to
   /// serve its workload (ties to the lowest id), advancing the schedule.
@@ -168,6 +240,23 @@ class ServerPool {
   };
 
   void Init(const std::vector<ReplicaSpec>& specs);
+  /// Append one replica (shared by Init and AddReplica): design/kind
+  /// bookkeeping, workload-set expansion, and the backing accelerator.
+  void AppendReplica(const ReplicaSpec& spec, double ready_s);
+  /// Validate `spec` (tuned_for + workload ids) and expand its workload
+  /// set into the per-workload coverage vector (empty set = all). Shared
+  /// by AppendReplica and RefitInPlace.
+  std::vector<bool> BuildServes(const ReplicaSpec& spec) const;
+  /// The backing functional accelerator for a replica deployed per `spec`
+  /// over coverage `serves`: instantiated against the first served
+  /// workload, tuned allocation iff the provenance applies to it.
+  std::unique_ptr<runtime::Accelerator> InstantiateReplica(
+      const ReplicaSpec& spec, const std::vector<bool>& serves) const;
+  /// Throws when draining `replica` (or stripping `keep` of its workload
+  /// set) would leave some workload without a non-draining capable replica.
+  void CheckNoOrphans(int replica, const std::vector<bool>* keep) const;
+  /// Kind index for `spec` (dedup against existing kinds, else a new one).
+  int KindFor(const ReplicaSpec& spec);
   /// Whether a design with provenance `tuned_for` carries a tuned
   /// allocation for `workload` (same id, or two ids aliasing the same
   /// dataflow graph instance).
@@ -193,6 +282,9 @@ class ServerPool {
   std::vector<WorkloadId> kind_tuned_for_;           // Per kind provenance.
   std::vector<std::unique_ptr<runtime::Accelerator>> replicas_;
   std::vector<double> free_at_;                      // Per replica schedule.
+  std::vector<bool> draining_;                       // No new batches.
+  std::vector<double> added_at_;                     // Provisioning time.
+  std::vector<double> retired_at_;                   // +inf while active.
   std::int64_t dispatched_batches_ = 0;
   int worker_threads_;
 

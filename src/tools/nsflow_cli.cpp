@@ -125,6 +125,19 @@ const std::vector<CommandSpec>& Commands() {
            {"--plan", "FILE", "off",
             "execute a PoolPlan emitted by `nsflow plan --out` and report"
             " predicted vs measured latency"},
+           {"--autoscale", "", "off",
+            "elastic autoscaling: replan online from windowed arrival"
+            " rates and reconfigure the pool mid-run (needs --plan, or"
+            " --mix with --partition; docs/AUTOSCALING.md)"},
+           {"--headroom", "F", "0.25",
+            "autoscale: provision for observed rate x (1 + headroom)"},
+           {"--cooldown-s", "F", "2",
+            "autoscale: min virtual seconds between scale-downs of one"
+            " workload"},
+           {"--min-replicas", "N", "1",
+            "autoscale: per-workload replica floor"},
+           {"--max-replicas", "N", "16",
+            "autoscale: per-workload replica ceiling (replan bound)"},
        })},
       {"plan", "",
        "search the DSE pareto frontier for the smallest replica pool meeting"
@@ -338,6 +351,21 @@ CliArgs Parse(int argc, char** argv) {
       args.scenario_set = true;
     } else if (flag == "--plan") {
       args.plan_path = next();
+    } else if (flag == "--autoscale") {
+      args.serve.autoscale = true;
+    } else if (flag == "--headroom") {
+      auto& autoscale = args.serve.autoscale_opts;
+      autoscale.headroom = std::stod(next());
+      // The SLO invariant needs up_band < 1 + headroom; the CLI exposes
+      // only --headroom, so tighten the default band to fit small values
+      // instead of tripping the autoscaler's internal check.
+      autoscale.up_band =
+          std::min(autoscale.up_band, 1.0 + 0.9 * autoscale.headroom);
+    } else if (flag == "--cooldown-s") {
+      args.serve.autoscale_opts.cooldown_s = std::stod(next());
+    } else if (flag == "--min-replicas") {
+      args.serve.autoscale_opts.min_replicas =
+          static_cast<int>(std::stoll(next()));
     } else if (flag == "--p99-ms") {
       args.p99_ms = std::stod(next());
     } else if (flag == "--budget") {
@@ -345,7 +373,10 @@ CliArgs Parse(int argc, char** argv) {
     } else if (flag == "--devices") {
       args.devices = static_cast<int>(std::stoll(next()));
     } else if (flag == "--max-replicas") {
+      // `plan`'s search bound and `serve --autoscale`'s replan ceiling —
+      // only the owning command accepts the flag, so set both.
       args.max_replicas = static_cast<int>(std::stoll(next()));
+      args.serve.autoscale_opts.max_replicas = args.max_replicas;
     } else if (flag == "--out") {
       args.plan_out = next();
     } else if (flag == "--validate") {
@@ -606,6 +637,27 @@ int RunPlanCommand(const CliArgs& args) {
   return plan.feasible ? 0 : 3;
 }
 
+/// The elastic-run epilogue: delta counts, replica-seconds vs the static
+/// pool the run started from, and the decision log (docs/AUTOSCALING.md).
+void PrintAutoscaleSummary(const serve::ServeReport& report,
+                           int initial_replicas) {
+  const serve::PoolDeltaCounts counts = serve::CountDeltas(report.deltas);
+  std::printf(
+      "\nAutoscaler: %d delta(s) — %d add, %d retire, %d refit, %d "
+      "batch-cap\n",
+      counts.total(), counts.adds, counts.retires, counts.refits,
+      counts.batch_caps);
+  const double static_rs =
+      static_cast<double>(initial_replicas) * report.summary.horizon_s;
+  std::printf(
+      "Replica-seconds: %.1f elastic vs %.1f static-equivalent (%.0f%%)\n",
+      report.replica_seconds, static_rs,
+      static_rs > 0.0 ? 100.0 * report.replica_seconds / static_rs : 0.0);
+  for (const serve::PoolDelta& delta : report.deltas) {
+    std::printf("  t=%7.3fs  %s\n", delta.t_s, delta.reason.c_str());
+  }
+}
+
 /// Execute a PoolPlan emitted by `nsflow plan --out`: rebuild its designs
 /// (deterministic DSE at the recorded budgets), run the planned pool, and
 /// print measured latency next to the plan's predictions.
@@ -640,11 +692,24 @@ int RunServePlan(const CliArgs& args) {
                       "' without a replica (was it feasible?)");
   }
 
-  const serve::ServeOptions serve_options = ValidationOptions(args, plan);
+  serve::ServeOptions serve_options = ValidationOptions(args, plan);
+  if (serve_options.autoscale) {
+    // The plan carries the replan target: its SLO, budget device, and the
+    // recorded DSE knobs (so the frontier rebuild is bit-identical to the
+    // designs the plan deployed). The control knobs come from the flags.
+    serve_options.autoscale_opts.p99_slo_s = plan.p99_slo_s;
+    serve_options.autoscale_opts.device = plan.device_name;
+    serve_options.autoscale_opts.devices = plan.devices;
+    serve_options.autoscale_opts.dse.clock_hz = plan.dse_clock_hz;
+    serve_options.autoscale_opts.dse.enable_phase2 = plan.dse_enable_phase2;
+    serve_options.autoscale_opts.dse.max_pes = plan.dse_max_pes;
+    serve_options.autoscale_opts.dictionary_bytes = plan.dictionary_bytes;
+  }
   std::printf(
       "NSFlow-Serve — executing PoolPlan %s: %d replica(s) across %zu "
-      "workload(s)\n",
-      args.plan_path.c_str(), plan.TotalReplicas(), plan.groups.size());
+      "workload(s)%s\n",
+      args.plan_path.c_str(), plan.TotalReplicas(), plan.groups.size(),
+      serve_options.autoscale ? ", elastic (--autoscale)" : "");
   std::printf("Traffic: %s\n\n", TrafficLine(serve_options).c_str());
 
   const serve::ServeReport report =
@@ -653,6 +718,9 @@ int RunServePlan(const CliArgs& args) {
   std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
   std::printf("%s\n",
               serve::PlanValidationTable(plan, report.summary).c_str());
+  if (serve_options.autoscale) {
+    PrintAutoscaleSummary(report, plan.TotalReplicas());
+  }
   return 0;
 }
 
@@ -681,6 +749,11 @@ int RunServeMix(const CliArgs& args) {
     throw Error("--partition needs at least one replica per workload (" +
                 std::to_string(registry.size()) + " workloads)");
   }
+  if (args.serve.autoscale && !args.partition) {
+    throw Error(
+        "--autoscale needs a partitioned pool: add --partition (or execute "
+        "a plan: nsflow serve --plan plan.json --autoscale)");
+  }
 
   // Replica r carries the DSE winner of workload r % W — with --partition
   // it serves only that workload, otherwise every replica serves the full
@@ -705,9 +778,21 @@ int RunServeMix(const CliArgs& args) {
               static_cast<long long>(registry.cache().misses()),
               static_cast<long long>(registry.cache().hits()));
 
+  serve::ServeOptions serve_options = args.serve;
+  if (serve_options.autoscale) {
+    // The frontier must model the pool actually deployed: carry the
+    // compile-time DSE knobs into the replan target (the SLO/budget stay
+    // at the AutoscaleOptions defaults in mix mode — serve a plan to
+    // carry those).
+    serve_options.autoscale_opts.dse = args.dse;
+    serve_options.autoscale_opts.dictionary_bytes = options.dictionary_bytes;
+  }
   const serve::ServeReport report =
-      serve::RunSyntheticServe(registry, replicas, mix, args.serve);
+      serve::RunSyntheticServe(registry, replicas, mix, serve_options);
   std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
+  if (serve_options.autoscale) {
+    PrintAutoscaleSummary(report, args.replicas);
+  }
   for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
     const double single =
         report.single_request_by_workload[static_cast<std::size_t>(w)];
@@ -735,6 +820,12 @@ int RunServe(const CliArgs& args) {
           "design)");
     }
     return RunServeMix(args);
+  }
+  if (args.serve.autoscale) {
+    throw Error(
+        "--autoscale needs the multi-tenant engine: serve a plan (--plan "
+        "plan.json) or a mix with --mix ... --partition "
+        "(docs/AUTOSCALING.md)");
   }
   OperatorGraph graph = args.trace_path.empty()
                             ? workloads::MakeNvsa()

@@ -18,6 +18,10 @@ Two passes, no network:
      * every markdown flag-table row (tables under a heading mentioning
        "flag", or with a "Flag" column) may only document flags the CLI
        actually has;
+     * a heading that names one command's flag reference (e.g.
+       "## `nsflow serve` flags") arms the *completeness* drift check:
+       the section's table rows must cover every flag that command
+       accepts — adding a CLI flag without documenting it there fails;
      * conversely, every user-facing CLI flag and subcommand must be
        mentioned somewhere in README.md or docs/*.md.
 
@@ -120,13 +124,36 @@ def check_cli_docs(files, commands):
                                # column (or that sits under a "flags"
                                # heading).
         logical = None  # Backslash-continued command line.
+
+        # Completeness scope: a heading naming one command's flag table
+        # ("## `nsflow serve` flags") collects the section's documented
+        # flags and, at the next heading (or EOF), requires the full set.
+        armed_command = None
+        armed_flags = set()
+
+        def finish_flag_table():
+            nonlocal armed_command, armed_flags
+            if armed_command is not None:
+                for flag in sorted(commands[armed_command] - {"--help"} -
+                                   armed_flags):
+                    problems.append(
+                        f"{rel}: flag table for `nsflow {armed_command}` "
+                        f"does not document {flag} (drift: the CLI accepts "
+                        "it)")
+            armed_command = None
+            armed_flags = set()
+
         for line in lines:
             if line.lstrip().startswith("```"):
                 in_fence = not in_fence
                 logical = None
                 continue
             if not in_fence and line.startswith("#"):
+                finish_flag_table()
                 heading = line.lower()
+                named = re.search(r"nsflow\s+([a-z][a-z0-9-]*)", heading)
+                if "flag" in heading and named and named.group(1) in commands:
+                    armed_command = named.group(1)
                 continue
             if not in_fence and not line.startswith("|"):
                 in_flag_table = False
@@ -175,6 +202,9 @@ def check_cli_docs(files, commands):
                                 problems.append(
                                     f"{rel}: documents {flag}, which no "
                                     "nsflow command accepts")
+                            if armed_command is not None:
+                                armed_flags.add(flag)
+        finish_flag_table()  # A flag table may end the file.
 
     # Reverse direction: every user-facing flag/subcommand is documented.
     # Word-boundary matches: `--out` must not be satisfied by `--out-dir`,
