@@ -17,7 +17,16 @@
 // evaluate; any divergence makes the bench exit non-zero, which is what
 // the CI bench-smoke job keys on.
 //
+// A fourth section gates the observability overhead contract
+// (docs/OBSERVABILITY.md): the same fixed-seed mix run is timed with
+// tracing off and on (paired, best-of-N), and the bench exits non-zero
+// when obs-on costs more than 5% wall-clock over obs-off (plus a small
+// absolute epsilon — smoke runs are sub-millisecond). `--trace-out FILE`
+// additionally writes the traced run's Chrome JSON, which the CI
+// bench-smoke job uploads as an artifact.
+//
 // Usage: bench_serve_fastpath [--out BENCH_serve.json] [--smoke]
+//                             [--trace-out trace.json]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,6 +39,7 @@
 
 #include "arch/fastpath.h"
 #include "common/json.h"
+#include "obs/observability.h"
 #include "runtime/host_runtime.h"
 #include "serve/engine.h"
 #include "serve/server_pool.h"
@@ -50,15 +60,20 @@ int main(int argc, char** argv) {
   using namespace nsflow;
 
   std::string out_path = "BENCH_serve.json";
+  std::string trace_out_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out BENCH_serve.json] [--smoke]\n", argv[0]);
+                   "usage: %s [--out BENCH_serve.json] [--smoke] "
+                   "[--trace-out trace.json]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -234,6 +249,59 @@ int main(int argc, char** argv) {
               engine_wall_ms, report.summary.throughput_rps,
               report.summary.p99_ms);
 
+  // ------------------------------------------- observability overhead gate
+  // Paired obs-off / obs-on runs of the same fixed-seed mix, best-of-N
+  // (the virtual clock makes the *work* identical; only recording cost
+  // differs). The contract (docs/OBSERVABILITY.md): obs-on wall-clock may
+  // not exceed obs-off by more than 5%, with a small absolute epsilon so
+  // sub-millisecond smoke runs don't gate on scheduler jitter.
+  const int obs_rounds = smoke ? 5 : 7;
+  const double obs_epsilon_ms = 0.2;
+  serve::ServeOptions obs_options = options;
+  obs_options.duration_s = smoke ? 2.0 : 4.0;
+  double obs_off_ms = 0.0;
+  double obs_on_ms = 0.0;
+  std::shared_ptr<obs::Observability> obs_bundle;
+  for (int round = 0; round < obs_rounds; ++round) {
+    obs_options.trace.enabled = false;
+    auto start = Clock::now();
+    const serve::ServeReport off =
+        serve::RunSyntheticServe(registry, specs, mix, obs_options);
+    const double off_ms = ElapsedNs(start) / 1e6;
+    sink += static_cast<double>(off.summary.completed);
+    if (round == 0 || off_ms < obs_off_ms) {
+      obs_off_ms = off_ms;
+    }
+
+    obs_options.trace.enabled = true;
+    start = Clock::now();
+    serve::ServeReport on =
+        serve::RunSyntheticServe(registry, specs, mix, obs_options);
+    const double on_ms = ElapsedNs(start) / 1e6;
+    sink += static_cast<double>(on.summary.completed);
+    if (round == 0 || on_ms < obs_on_ms) {
+      obs_on_ms = on_ms;
+    }
+    obs_bundle = std::move(on.obs);  // Deterministic: any round's is THE trace.
+  }
+  const double obs_ratio = obs_on_ms / obs_off_ms;
+  const bool obs_gate_ok =
+      obs_on_ms <= obs_off_ms * 1.05 + obs_epsilon_ms;
+  std::printf("Obs overhead (best of %d): off %.3f ms, on %.3f ms -> "
+              "%.3fx (gate 1.05 + %.1f ms) %s\n",
+              obs_rounds, obs_off_ms, obs_on_ms, obs_ratio, obs_epsilon_ms,
+              obs_gate_ok ? "OK" : "FAIL");
+
+  if (!trace_out_path.empty() && obs_bundle) {
+    std::ofstream trace_file(trace_out_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out_path.c_str());
+      return 2;
+    }
+    trace_file << obs_bundle->ChromeTraceJson() << "\n";
+    std::printf("Wrote %s\n", trace_out_path.c_str());
+  }
+
   // ------------------------------------------------------------ emit JSON
   JsonObject cold_cache;
   cold_cache["cache_entries"] = Json(static_cast<std::int64_t>(evals.size()));
@@ -261,6 +329,16 @@ int main(int argc, char** argv) {
   serve_run["p95_ms"] = Json(report.summary.p95_ms);
   serve_run["p99_ms"] = Json(report.summary.p99_ms);
 
+  JsonObject obs_overhead;
+  obs_overhead["rounds"] = Json(obs_rounds);
+  obs_overhead["virtual_duration_s"] = Json(obs_options.duration_s);
+  obs_overhead["off_wall_ms"] = Json(obs_off_ms);
+  obs_overhead["on_wall_ms"] = Json(obs_on_ms);
+  obs_overhead["ratio"] = Json(obs_ratio);
+  obs_overhead["gate_ratio"] = Json(1.05);
+  obs_overhead["gate_epsilon_ms"] = Json(obs_epsilon_ms);
+  obs_overhead["ok"] = Json(obs_gate_ok);
+
   JsonObject contract;
   contract["checked"] = Json(static_cast<std::int64_t>(evals.size()));
   contract["divergent"] = Json(divergent);
@@ -271,6 +349,7 @@ int main(int argc, char** argv) {
   root["cold_cache"] = Json(std::move(cold_cache));
   root["latency_cache"] = Json(std::move(cache));
   root["serve"] = Json(std::move(serve_run));
+  root["obs_overhead"] = Json(std::move(obs_overhead));
   root["contract"] = Json(std::move(contract));
   root["checksum_sink"] = Json(sink);  // Keeps the timed loops honest.
 
@@ -287,6 +366,13 @@ int main(int argc, char** argv) {
                  "FAIL: estimator diverged from the functional simulator on "
                  "%lld evaluation(s)\n",
                  static_cast<long long>(divergent));
+    return 1;
+  }
+  if (!obs_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.3fx exceeds the 5%% gate "
+                 "(off %.3f ms, on %.3f ms)\n",
+                 obs_ratio, obs_off_ms, obs_on_ms);
     return 1;
   }
   return 0;

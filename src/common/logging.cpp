@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string_view>
+#include <utility>
 
 namespace nsflow {
 namespace {
@@ -11,7 +12,20 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 std::mutex g_mutex;
 
-const char* LevelName(LogLevel level) {
+void DefaultSink(const LogRecord& record) {
+  const auto base = LogBasename(record.file);
+  std::fprintf(stderr, "[%s %.*s:%d] %s\n", LogLevelName(record.level),
+               static_cast<int>(base.size()), base.data(), record.line,
+               record.message.c_str());
+}
+
+// Guarded by g_mutex; empty std::function means the default stderr sink
+// (an injected sink that wraps DefaultSink would defeat nullptr-restore).
+LogSink g_sink;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -25,15 +39,20 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::string_view Basename(std::string_view path) {
+std::string_view LogBasename(std::string_view path) {
   const auto pos = path.find_last_of('/');
   return pos == std::string_view::npos ? path : path.substr(pos + 1);
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+
+LogSink SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 void LogMessage(LogLevel level, std::string_view file, int line,
                 const std::string& message) {
@@ -41,10 +60,12 @@ void LogMessage(LogLevel level, std::string_view file, int line,
     return;
   }
   const std::lock_guard<std::mutex> lock(g_mutex);
-  const auto base = Basename(file);
-  std::fprintf(stderr, "[%s %.*s:%d] %s\n", LevelName(level),
-               static_cast<int>(base.size()), base.data(), line,
-               message.c_str());
+  const LogRecord record{level, file, line, message};
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    DefaultSink(record);
+  }
 }
 
 }  // namespace nsflow

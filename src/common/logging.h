@@ -1,22 +1,55 @@
-// Minimal leveled logger.
+// Leveled, thread-safe structured logger.
 //
 // Intended for the framework's host-side tooling (trace ingestion, DSE
-// progress, runtime scheduling), not for per-cycle simulator events — the
-// simulator exposes structured statistics instead of log spam.
+// progress, runtime scheduling, the autoscaler's delta log), not for
+// per-cycle simulator events — the simulator exposes structured statistics
+// instead of log spam.
+//
+// Every emission is a structured `LogRecord` (level, source location,
+// message) routed through the installed sink. The default sink formats
+// `[LEVEL file:line] message` to stderr; `SetLogSink` injects a custom
+// consumer (the CLI routes the autoscaler's delta log to stdout this way,
+// and tests capture records without touching the process's streams). Level
+// filtering happens before the sink is consulted, so discarded messages
+// cost one atomic load.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace nsflow {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// One structured log emission, as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view file;  // Full __FILE__ path (sinks may Basename it).
+  int line = 0;
+  std::string message;
+};
+
+/// Consumes records that pass the level filter. Called under the logger's
+/// mutex: sinks may be non-reentrant, but must not log.
+using LogSink = std::function<void(const LogRecord&)>;
+
 /// Process-wide minimum level; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emit one log line (thread safe). Prefer the NSF_LOG macro.
+/// Install `sink` as the record consumer and return the previous sink.
+/// Passing nullptr restores the default stderr formatter. Thread safe.
+LogSink SetLogSink(LogSink sink);
+
+/// "DEBUG" / "INFO" / "WARN" / "ERROR" — exposed for custom sinks.
+const char* LogLevelName(LogLevel level);
+/// Strip the directory part of a __FILE__ path — for custom sinks that
+/// format their own location prefix.
+std::string_view LogBasename(std::string_view path);
+
+/// Emit one record (thread safe). Prefer the NSF_LOG macro.
 void LogMessage(LogLevel level, std::string_view file, int line,
                 const std::string& message);
 

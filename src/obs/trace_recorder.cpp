@@ -1,0 +1,121 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+
+namespace nsflow::obs {
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity, int shards)
+    : ring_capacity_(ring_capacity) {
+  NSF_CHECK_MSG(shards >= 1, "recorder needs at least one shard");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TraceRecorder::Shard& TraceRecorder::ShardForThisThread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *shards_[h % shards_.size()];
+}
+
+template <typename Record>
+void TraceRecorder::Push(Shard& shard, std::vector<Record>& pool,
+                         std::size_t& head, Record record) {
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_capacity_ > 0 && pool.size() >= ring_capacity_) {
+    pool[head] = std::move(record);  // Overwrite the oldest record.
+    head = (head + 1) % ring_capacity_;
+    ++shard.dropped;
+    return;
+  }
+  if (pool.capacity() == 0) {
+    // Reserve on a shard's first record, not at construction: the engine
+    // records from one consumer thread, so 7 of 8 shards stay empty and
+    // a short traced run never pays 8x the up-front allocation.
+    pool.reserve(ring_capacity_ > 0 ? ring_capacity_ : kInitialReserve);
+  }
+  pool.push_back(std::move(record));
+}
+
+void TraceRecorder::RecordRequest(RequestSpan span) {
+  Shard& shard = ShardForThisThread();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Push(shard, shard.requests, shard.request_head, span);
+}
+
+void TraceRecorder::RecordBatch(BatchSpan span) {
+  Shard& shard = ShardForThisThread();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Push(shard, shard.batches, shard.batch_head, span);
+}
+
+void TraceRecorder::RecordInstant(InstantEvent event) {
+  Shard& shard = ShardForThisThread();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  // Control-plane events are never ring-evicted: they are rare and a
+  // long-run trace must keep its reconfiguration history.
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  shard.instants.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(CounterSample sample) {
+  Shard& shard = ShardForThisThread();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  sample.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  shard.counters.push_back(sample);
+}
+
+namespace {
+
+/// (timestamp, seq) ordering; seq alone already orders records from one
+/// recording thread, but the timestamp leads so a multi-shard merge stays
+/// in virtual-time order.
+template <typename Record>
+void SortByTime(std::vector<Record>& records, double Record::* stamp) {
+  std::sort(records.begin(), records.end(),
+            [stamp](const Record& a, const Record& b) {
+              if (a.*stamp != b.*stamp) {
+                return a.*stamp < b.*stamp;
+              }
+              return a.seq < b.seq;
+            });
+}
+
+}  // namespace
+
+TraceData TraceRecorder::Drain() const {
+  TraceData data;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    data.requests.insert(data.requests.end(), shard->requests.begin(),
+                         shard->requests.end());
+    data.batches.insert(data.batches.end(), shard->batches.begin(),
+                        shard->batches.end());
+    data.instants.insert(data.instants.end(), shard->instants.begin(),
+                         shard->instants.end());
+    data.counters.insert(data.counters.end(), shard->counters.begin(),
+                         shard->counters.end());
+    data.dropped += shard->dropped;
+  }
+  SortByTime(data.requests, &RequestSpan::complete_s);
+  SortByTime(data.batches, &BatchSpan::start_s);
+  SortByTime(data.instants, &InstantEvent::t_s);
+  SortByTime(data.counters, &CounterSample::t_s);
+  return data;
+}
+
+std::int64_t TraceRecorder::dropped() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dropped;
+  }
+  return total;
+}
+
+}  // namespace nsflow::obs

@@ -1,0 +1,167 @@
+// TraceRecorder — pooled, lock-sharded capture of serve-path lifecycle
+// events on the virtual timeline (docs/OBSERVABILITY.md).
+//
+// Every record is stamped with virtual seconds (the serving timeline of
+// serve/request.h), never wall clock: a fixed arrival seed therefore pins
+// the recorded trace bit-exactly, whatever the thread interleaving — the
+// serve determinism contract extends to the trace itself.
+//
+// The hot-path records (RequestSpan, BatchSpan) are fixed-size PODs pushed
+// into per-shard vectors whose capacity is reserved on the shard's first
+// record (untouched shards allocate nothing), so the steady-state
+// recording cost is a mutex on an uncontended shard plus a bounds-checked
+// append — no allocation, no string building. Shards are
+// keyed by the recording thread's id, so concurrent recorders (a future
+// multi-queue engine) never serialize on one lock; today's engine records
+// from its single consumer thread and always hits the same shard. Rare
+// control-plane events (autoscaler decisions, replica transitions) carry a
+// human-readable detail string — they happen a handful of times per run,
+// outside the steady state.
+//
+// `ring_capacity` > 0 bounds each record pool per shard: when full, the
+// oldest record in the shard is overwritten (ring buffer) and `dropped()`
+// counts the evictions — the long-run mode where a trace must not grow
+// with the request count. Drain() merges the shards into one deterministic
+// stream ordered by (timestamp, sequence number).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nsflow::obs {
+
+/// Reasons a formed batch closed (mirrors the BatchFormer policy).
+enum class BatchClose : std::int32_t {
+  kNone = 0,      // Not recorded (single-shot dispatch paths).
+  kSizeCap = 1,   // Reached the lane's max_batch.
+  kDeadline = 2,  // Oldest request hit max_wait (stretched to busy horizon).
+  kFlush = 3,     // Stream drained; engine flushed the lane.
+};
+
+/// One request's full lifecycle on the virtual timeline. Written once,
+/// fully resolved, at dispatch time (the engine knows every phase stamp by
+/// then), so recording never revisits a partially filled span.
+struct RequestSpan {
+  std::int64_t request_id = 0;
+  std::int32_t workload = 0;
+  BatchClose close = BatchClose::kNone;
+  double arrival_s = 0.0;   // Generator stamp == queue entry (virtual time).
+  double formed_s = 0.0;    // The request's batch closed.
+  double start_s = 0.0;     // Batch began executing on its replica.
+  double complete_s = 0.0;  // Batch finished; the request's latency ends.
+  std::int64_t batch_index = 0;
+  std::int32_t replica = 0;
+  std::int32_t batch_size = 0;
+  std::int64_t seq = 0;     // Global record order (assigned by the recorder).
+};
+
+/// One dispatched batch's execution on a replica track.
+struct BatchSpan {
+  std::int64_t batch_index = 0;
+  std::int32_t workload = 0;
+  std::int32_t replica = 0;
+  BatchClose close = BatchClose::kNone;
+  double formed_s = 0.0;
+  double start_s = 0.0;
+  double complete_s = 0.0;
+  std::int64_t size = 0;
+  std::int64_t seq = 0;
+};
+
+/// Control-plane instants: autoscaler decisions and replica lifecycle
+/// transitions. Rare; the detail string is allowed to allocate.
+enum class InstantKind : std::int32_t {
+  kAutoscalerDecision = 0,  // An applied PoolDelta (detail = reason).
+  kAutoscalerDeferred = 1,  // Budget-exhausted add deferral.
+  kReplicaAdded = 2,
+  kReplicaDraining = 3,
+  kReplicaRetired = 4,
+  kReplicaRefit = 5,
+};
+
+struct InstantEvent {
+  double t_s = 0.0;
+  InstantKind kind = InstantKind::kAutoscalerDecision;
+  std::int32_t replica = -1;   // Target replica (-1 = none).
+  std::int32_t workload = -1;  // Tenant the event serves (-1 = none).
+  std::string detail;
+  std::int64_t seq = 0;
+};
+
+/// Periodic autoscaler-track sample (window rate, pool size, backlog) —
+/// exported as Chrome counter events.
+struct CounterSample {
+  double t_s = 0.0;
+  double window_rate_rps = 0.0;
+  std::int32_t active_replicas = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t seq = 0;
+};
+
+/// Everything one recorder captured, shard-merged and deterministically
+/// ordered by (timestamp, seq). The unit the exporters (chrome_trace.h)
+/// consume.
+struct TraceData {
+  std::vector<RequestSpan> requests;
+  std::vector<BatchSpan> batches;
+  std::vector<InstantEvent> instants;
+  std::vector<CounterSample> counters;
+  std::int64_t dropped = 0;  // Ring-mode evictions across all pools.
+};
+
+class TraceRecorder {
+ public:
+  /// `ring_capacity` == 0: unbounded pools (a shard reserves
+  /// kInitialReserve at its first record and grows geometrically —
+  /// amortized allocation-free). > 0: per-shard ring buffers of that many
+  /// records.
+  explicit TraceRecorder(std::size_t ring_capacity = 0, int shards = 8);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void RecordRequest(RequestSpan span);
+  void RecordBatch(BatchSpan span);
+  void RecordInstant(InstantEvent event);
+  void RecordCounter(CounterSample sample);
+
+  /// Merge every shard into one stream, ordered by (timestamp, seq). Seq
+  /// numbers are assigned at record time from one atomic counter; with the
+  /// engine's single recording thread the order is bit-deterministic.
+  TraceData Drain() const;
+
+  std::int64_t dropped() const;
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  static constexpr std::size_t kInitialReserve = 4096;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<RequestSpan> requests;
+    std::vector<BatchSpan> batches;
+    std::vector<InstantEvent> instants;
+    std::vector<CounterSample> counters;
+    // Ring write cursors (used only when ring_capacity_ > 0).
+    std::size_t request_head = 0;
+    std::size_t batch_head = 0;
+    std::int64_t dropped = 0;
+  };
+
+  Shard& ShardForThisThread();
+
+  /// Append `record` to `pool`, wrapping at the ring capacity.
+  template <typename Record>
+  void Push(Shard& shard, std::vector<Record>& pool, std::size_t& head,
+            Record record);
+
+  std::size_t ring_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> next_seq_{0};
+};
+
+}  // namespace nsflow::obs

@@ -8,6 +8,7 @@
 #include "arch/fastpath.h"
 #include "common/error.h"
 #include "fpga/resource_model.h"
+#include "obs/metrics.h"
 
 namespace nsflow::serve {
 namespace {
@@ -291,11 +292,32 @@ bool Autoscaler::RefitKeepsSlo(int donor_replica, int to_group, int batch) {
              .BatchSeconds(batch);
 }
 
+void Autoscaler::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tick_counter_ = nullptr;
+    add_counter_ = nullptr;
+    retire_counter_ = nullptr;
+    refit_counter_ = nullptr;
+    batch_cap_counter_ = nullptr;
+    deferred_counter_ = nullptr;
+    return;
+  }
+  tick_counter_ = registry->GetCounter("autoscaler.ticks");
+  add_counter_ = registry->GetCounter("autoscaler.adds");
+  retire_counter_ = registry->GetCounter("autoscaler.retires");
+  refit_counter_ = registry->GetCounter("autoscaler.refits");
+  batch_cap_counter_ = registry->GetCounter("autoscaler.batch_caps");
+  deferred_counter_ = registry->GetCounter("autoscaler.deferred_adds");
+}
+
 std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
                                         ServeStats& stats) {
   const double t = next_tick_s_;
   next_tick_s_ += opts_.interval_s;
   const double window = std::min(opts_.window_s, t);
+  if (tick_counter_ != nullptr) {
+    tick_counter_->Increment();
+  }
 
   // Settle the budget of drained replicas that have now actually retired.
   for (std::size_t i = 0; i < pending_frees_.size();) {
@@ -372,6 +394,16 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
 
   std::vector<PoolDelta> applied;
   const auto record = [&](PoolDelta delta) {
+    obs::Counter* counter = nullptr;
+    switch (delta.kind) {
+      case PoolDeltaKind::kAddReplica: counter = add_counter_; break;
+      case PoolDeltaKind::kRetireReplica: counter = retire_counter_; break;
+      case PoolDeltaKind::kRefitReplica: counter = refit_counter_; break;
+      case PoolDeltaKind::kSetBatchCap: counter = batch_cap_counter_; break;
+    }
+    if (counter != nullptr) {
+      counter->Increment();
+    }
     PoolEvent event;
     event.t_s = t;
     event.event = delta.reason;
@@ -438,6 +470,9 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
           capped.window_rate_rps = total_rate;
           capped.queue_depth = former.total_pending();
           stats.RecordPoolEvent(std::move(capped));
+          if (deferred_counter_ != nullptr) {
+            deferred_counter_->Increment();
+          }
           deferred = true;
           continue;
         }

@@ -44,6 +44,11 @@
 #include "serve/server_pool.h"
 #include "serve/workload_registry.h"
 
+namespace nsflow::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace nsflow::obs
+
 namespace nsflow::serve {
 
 class Autoscaler {
@@ -66,6 +71,10 @@ class Autoscaler {
   /// and return the applied deltas (often empty — inside the bands the
   /// loop only samples).
   std::vector<PoolDelta> Tick(MultiBatchFormer& former, ServeStats& stats);
+
+  /// Publish control-loop tallies into `registry` (`autoscaler.ticks`,
+  /// per-kind delta counters, deferred adds). Null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   struct Group {
@@ -136,6 +145,14 @@ class Autoscaler {
            std::optional<arch::ServingModel>>
       refit_models_;
   double next_tick_s_ = 0.0;
+
+  // Resolved by AttachMetrics; null = metrics off.
+  obs::Counter* tick_counter_ = nullptr;
+  obs::Counter* add_counter_ = nullptr;
+  obs::Counter* retire_counter_ = nullptr;
+  obs::Counter* refit_counter_ = nullptr;
+  obs::Counter* batch_cap_counter_ = nullptr;
+  obs::Counter* deferred_counter_ = nullptr;
 };
 
 }  // namespace nsflow::serve

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace nsflow::serve {
 
@@ -13,10 +14,11 @@ BatchFormer::BatchFormer(BatchPolicy policy) : policy_(policy) {
   NSF_CHECK_MSG(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
 }
 
-Batch BatchFormer::CloseAt(double formed_s) {
+Batch BatchFormer::CloseAt(double formed_s, BatchCloseReason reason) {
   Batch batch;
   batch.requests = std::move(pending_);
   batch.formed_s = formed_s;
+  batch.close_reason = reason;
   pending_.clear();
   return batch;
 }
@@ -30,13 +32,13 @@ std::optional<Batch> BatchFormer::Add(const Request& request,
   // in the arrival process.
   const double effective_deadline = std::max(Deadline(), busy_until);
   if (!pending_.empty() && request.arrival_s >= effective_deadline) {
-    closed = CloseAt(effective_deadline);
+    closed = CloseAt(effective_deadline, BatchCloseReason::kDeadline);
   }
   pending_.push_back(request);
   if (static_cast<std::int64_t>(pending_.size()) >= policy_.max_batch) {
     NSF_CHECK_MSG(!closed.has_value(),
                   "a single arrival cannot close two batches");
-    return CloseAt(request.arrival_s);
+    return CloseAt(request.arrival_s, BatchCloseReason::kSizeCap);
   }
   return closed;
 }
@@ -49,7 +51,7 @@ std::optional<Batch> BatchFormer::Flush(double now) {
   // pending arrival (a batch cannot form before its requests exist).
   const double formed =
       std::max(pending_.back().arrival_s, std::min(now, Deadline()));
-  return CloseAt(formed);
+  return CloseAt(formed, BatchCloseReason::kFlush);
 }
 
 double BatchFormer::Deadline() const {
@@ -79,13 +81,28 @@ MultiBatchFormer::MultiBatchFormer(std::vector<BatchPolicy> policies)
   lanes_.resize(policies_.size());
 }
 
-Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s) {
+Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s,
+                                  BatchCloseReason reason) {
   auto& lane = lanes_[static_cast<std::size_t>(w)];
   Batch batch;
   batch.requests = std::move(lane);
   batch.formed_s = formed_s;
   batch.workload = w;
+  batch.close_reason = reason;
   lane.clear();
+  switch (reason) {
+    case BatchCloseReason::kSizeCap:
+      if (close_size_cap_ != nullptr) close_size_cap_->Increment();
+      break;
+    case BatchCloseReason::kDeadline:
+      if (close_deadline_ != nullptr) close_deadline_->Increment();
+      break;
+    case BatchCloseReason::kFlush:
+      if (close_flush_ != nullptr) close_flush_->Increment();
+      break;
+    case BatchCloseReason::kNone:
+      break;
+  }
   return batch;
 }
 
@@ -129,13 +146,15 @@ std::vector<Batch> MultiBatchFormer::Add(
     const double busy = static_cast<std::size_t>(w) < busy_until.size()
                             ? busy_until[static_cast<std::size_t>(w)]
                             : 0.0;
-    closed.push_back(CloseLane(w, std::max(Deadline(w), busy)));
+    closed.push_back(CloseLane(w, std::max(Deadline(w), busy),
+                               BatchCloseReason::kDeadline));
   }
   auto& lane = lanes_[static_cast<std::size_t>(request.workload)];
   lane.push_back(request);
   if (static_cast<std::int64_t>(lane.size()) >=
       policy(request.workload).max_batch) {
-    closed.push_back(CloseLane(request.workload, request.arrival_s));
+    closed.push_back(CloseLane(request.workload, request.arrival_s,
+                               BatchCloseReason::kSizeCap));
   }
   return closed;
 }
@@ -159,7 +178,7 @@ std::vector<Batch> MultiBatchFormer::Flush(double now) {
     const double formed =
         std::max(lanes_[static_cast<std::size_t>(w)].back().arrival_s,
                  std::min(now, Deadline(w)));
-    closed.push_back(CloseLane(w, formed));
+    closed.push_back(CloseLane(w, formed, BatchCloseReason::kFlush));
   }
   return closed;
 }
@@ -183,6 +202,18 @@ void MultiBatchFormer::SetPolicy(WorkloadId w, BatchPolicy policy) {
 std::int64_t MultiBatchFormer::pending(WorkloadId w) const {
   NSF_CHECK(w >= 0 && w < workloads());
   return static_cast<std::int64_t>(lanes_[static_cast<std::size_t>(w)].size());
+}
+
+void MultiBatchFormer::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    close_size_cap_ = nullptr;
+    close_deadline_ = nullptr;
+    close_flush_ = nullptr;
+    return;
+  }
+  close_size_cap_ = registry->GetCounter("former.close_size_cap");
+  close_deadline_ = registry->GetCounter("former.close_deadline");
+  close_flush_ = registry->GetCounter("former.close_flush");
 }
 
 std::int64_t MultiBatchFormer::total_pending() const {

@@ -21,6 +21,11 @@
 
 #include "serve/request.h"
 
+namespace nsflow::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace nsflow::obs
+
 namespace nsflow::serve {
 
 struct BatchPolicy {
@@ -52,7 +57,7 @@ class BatchFormer {
   const BatchPolicy& policy() const { return policy_; }
 
  private:
-  Batch CloseAt(double formed_s);
+  Batch CloseAt(double formed_s, BatchCloseReason reason);
 
   BatchPolicy policy_;
   std::vector<Request> pending_;
@@ -106,8 +111,14 @@ class MultiBatchFormer {
     return policies_[static_cast<std::size_t>(w)];
   }
 
+  /// Publish per-close-reason tallies into `registry`
+  /// (`former.close_*` counters; docs/OBSERVABILITY.md). Null detaches.
+  /// Counter pointers are resolved once here, so the close path publishes
+  /// with a plain atomic increment.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
-  Batch CloseLane(WorkloadId w, double formed_s);
+  Batch CloseLane(WorkloadId w, double formed_s, BatchCloseReason reason);
   /// Lanes past their effective deadline at time `now`, fairness-ordered.
   std::vector<WorkloadId> ExpiredLanes(double now,
                                        const std::vector<double>& busy_until)
@@ -115,6 +126,10 @@ class MultiBatchFormer {
 
   std::vector<BatchPolicy> policies_;        // One per lane.
   std::vector<std::vector<Request>> lanes_;  // Pending, one lane/workload.
+  // Resolved by AttachMetrics; null = metrics off.
+  obs::Counter* close_size_cap_ = nullptr;
+  obs::Counter* close_deadline_ = nullptr;
+  obs::Counter* close_flush_ = nullptr;
 };
 
 }  // namespace nsflow::serve

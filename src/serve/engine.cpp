@@ -102,8 +102,20 @@ namespace {
 ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                         const std::vector<Request>& arrivals,
                         const ServeOptions& options,
-                        Autoscaler* autoscaler = nullptr) {
+                        Autoscaler* autoscaler = nullptr,
+                        std::shared_ptr<obs::Observability> obs = nullptr) {
   NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
+  // Observability (docs/OBSERVABILITY.md): resolve the instrument pointers
+  // once up front; with `obs` null every record site below is one pointer
+  // test — the whole overhead of tracing-off.
+  obs::TraceRecorder* recorder = obs != nullptr ? &obs->recorder : nullptr;
+  if (obs != nullptr) {
+    stats.AttachMetrics(&obs->metrics);
+    pool.AttachMetrics(&obs->metrics);
+    if (autoscaler != nullptr) {
+      autoscaler->AttachMetrics(&obs->metrics);
+    }
+  }
   // Per-lane batching policies: `per_workload_max_batch` overrides the
   // uniform cap where set (0 entries fall back).
   std::vector<BatchPolicy> policies(
@@ -171,6 +183,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   // availability feeds back into the former so lanes grow from backlog
   // while every replica that could take them is busy.
   MultiBatchFormer former(policies);
+  if (obs != nullptr) {
+    former.AttachMetrics(&obs->metrics);
+  }
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
   const auto dispatch = [&](Batch&& batch) {
@@ -185,8 +200,117 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                            return t < r.arrival_s;
                          }) -
         arrivals.begin());
-    dispatches.push_back(pool.Dispatch(batch, &stats, arrived - started));
+    const DispatchRecord dr = pool.Dispatch(batch, &stats, arrived - started);
+    dispatches.push_back(dr);
     started += batch.size();
+    if (recorder != nullptr) {
+      // Every phase stamp is resolved by dispatch time (enqueue == arrival
+      // on the virtual timeline), so the spans are written once, complete.
+      const auto close = static_cast<obs::BatchClose>(batch.close_reason);
+      obs::BatchSpan bspan;
+      bspan.batch_index = dr.batch_index;
+      bspan.workload = dr.workload;
+      bspan.replica = dr.replica;
+      bspan.close = close;
+      bspan.formed_s = batch.formed_s;
+      bspan.start_s = dr.start_s;
+      bspan.complete_s = dr.complete_s;
+      bspan.size = dr.size;
+      recorder->RecordBatch(bspan);
+      for (const Request& r : batch.requests) {
+        obs::RequestSpan span;
+        span.request_id = r.id;
+        span.workload = r.workload;
+        span.close = close;
+        span.arrival_s = r.arrival_s;
+        span.formed_s = batch.formed_s;
+        span.start_s = dr.start_s;
+        span.complete_s = dr.complete_s;
+        span.batch_index = dr.batch_index;
+        span.replica = dr.replica;
+        span.batch_size = static_cast<std::int32_t>(dr.size);
+        recorder->RecordRequest(span);
+      }
+    }
+  };
+
+  // Mirror new ServeStats PoolEvents into the trace: periodic samples
+  // become Chrome counter points, budget deferrals become autoscaler-track
+  // instants (applied deltas get richer instants straight from the delta
+  // in the tick loop below).
+  std::size_t timeline_seen = 0;
+  const auto sync_timeline = [&] {
+    if (recorder == nullptr) {
+      return;
+    }
+    const std::vector<PoolEvent>& timeline = stats.timeline();
+    for (; timeline_seen < timeline.size(); ++timeline_seen) {
+      const PoolEvent& event = timeline[timeline_seen];
+      if (event.event.empty()) {
+        obs::CounterSample sample;
+        sample.t_s = event.t_s;
+        sample.window_rate_rps = event.window_rate_rps;
+        sample.active_replicas =
+            static_cast<std::int32_t>(event.active_replicas);
+        sample.queue_depth = event.queue_depth;
+        recorder->RecordCounter(sample);
+      } else if (event.event.rfind("budget exhausted", 0) == 0) {
+        obs::InstantEvent instant;
+        instant.t_s = event.t_s;
+        instant.kind = obs::InstantKind::kAutoscalerDeferred;
+        instant.detail = event.event;
+        recorder->RecordInstant(std::move(instant));
+      }
+    }
+  };
+  const auto record_delta = [&](const PoolDelta& delta) {
+    if (recorder == nullptr) {
+      return;
+    }
+    obs::InstantEvent decision;
+    decision.t_s = delta.t_s;
+    decision.kind = obs::InstantKind::kAutoscalerDecision;
+    decision.replica = delta.replica;
+    decision.workload = delta.workload;
+    decision.detail = delta.reason;
+    recorder->RecordInstant(std::move(decision));
+    obs::InstantKind kind = obs::InstantKind::kAutoscalerDecision;
+    switch (delta.kind) {
+      case PoolDeltaKind::kAddReplica:
+        kind = obs::InstantKind::kReplicaAdded;
+        break;
+      case PoolDeltaKind::kRetireReplica:
+        kind = obs::InstantKind::kReplicaDraining;
+        break;
+      case PoolDeltaKind::kRefitReplica:
+        kind = obs::InstantKind::kReplicaRefit;
+        break;
+      case PoolDeltaKind::kSetBatchCap:
+        return;  // No replica track to annotate.
+    }
+    obs::InstantEvent transition;
+    transition.t_s = delta.t_s;
+    transition.kind = kind;
+    transition.replica = delta.replica;
+    transition.workload = delta.workload;
+    transition.detail = delta.reason;
+    recorder->RecordInstant(std::move(transition));
+  };
+
+  // Virtual-time metrics-snapshot clock (obs on): one timeline point every
+  // snapshot_interval_s, fired between arrivals like the autoscaler tick.
+  const double snapshot_interval_s =
+      obs != nullptr ? obs->options.snapshot_interval_s : 0.0;
+  double next_snapshot_s = snapshot_interval_s;
+  const auto snapshot_until = [&](double t) {
+    if (obs == nullptr || snapshot_interval_s <= 0.0) {
+      return;
+    }
+    while (next_snapshot_s <= t) {
+      pool.PublishCacheMetrics();
+      obs->metrics.TakeSnapshot(next_snapshot_s);
+      next_snapshot_s += snapshot_interval_s;
+    }
   };
 
   std::vector<PoolDelta> deltas;
@@ -200,11 +324,14 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     if (autoscaler != nullptr) {
       while (autoscaler->next_tick_s() <= request->arrival_s) {
         for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
+          record_delta(delta);
           deltas.push_back(std::move(delta));
         }
+        sync_timeline();
       }
       stats.RecordArrival(request->workload, request->arrival_s);
     }
+    snapshot_until(request->arrival_s);
     for (int w = 0; w < pool.workloads(); ++w) {
       busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
     }
@@ -216,10 +343,13 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   if (autoscaler != nullptr) {
     while (autoscaler->next_tick_s() <= options.duration_s) {
       for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
+        record_delta(delta);
         deltas.push_back(std::move(delta));
       }
+      sync_timeline();
     }
   }
+  snapshot_until(options.duration_s);
   for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
     dispatch(std::move(tail));
   }
@@ -229,6 +359,17 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   if (autoscaler != nullptr) {
     for (int r = 0; r < pool.size(); ++r) {
       stats.SetReplicaSpan(r, pool.AddedAt(r), pool.RetiredAt(r));
+      // Retire instants are only knowable post-run: a drained replica's
+      // actual retire time is its busy horizon at drain, not the decision.
+      const double retired = pool.RetiredAt(r);
+      if (recorder != nullptr && std::isfinite(retired)) {
+        obs::InstantEvent instant;
+        instant.t_s = retired;
+        instant.kind = obs::InstantKind::kReplicaRetired;
+        instant.replica = r;
+        instant.detail = "replica " + std::to_string(r) + " retired";
+        recorder->RecordInstant(std::move(instant));
+      }
     }
   }
 
@@ -253,6 +394,15 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       EffectiveOfferedRps(options, report.generated_requests),
       options.duration_s);
   report.replica_seconds = pool.ReplicaSeconds(report.summary.horizon_s);
+  if (obs != nullptr) {
+    // Final metrics point at the true horizon, then hand the bundle back
+    // for export.
+    pool.PublishCacheMetrics();
+    obs->metrics.TakeSnapshot(report.summary.horizon_s);
+    obs->meta.replicas = pool.size();
+    obs->meta.duration_s = options.duration_s;
+    report.obs = std::move(obs);
+  }
   return report;
 }
 
@@ -267,7 +417,12 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
   const std::vector<Request> arrivals = SyntheticArrivals(options);
   ServerPool pool(designs, dfg, options.worker_threads);
   ServeStats stats(pool.size());
-  return RunPipeline(pool, stats, arrivals, options);
+  std::shared_ptr<obs::Observability> obs;
+  if (options.trace.enabled) {
+    obs = std::make_shared<obs::Observability>(options.trace);
+    obs->meta.workload_names = {"workload 0"};
+  }
+  return RunPipeline(pool, stats, arrivals, options, nullptr, std::move(obs));
 }
 
 ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
@@ -295,6 +450,11 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
   for (WorkloadId w = 0; w < registry.size(); ++w) {
     stats.SetWorkloadName(w, registry.NameOf(w));
   }
+  std::shared_ptr<obs::Observability> obs;
+  if (options.trace.enabled) {
+    obs = std::make_shared<obs::Observability>(options.trace);
+    obs->meta.workload_names = registry.Names();
+  }
   if (options.autoscale) {
     for (const ReplicaSpec& spec : replicas) {
       NSF_CHECK_MSG(spec.workloads.size() == 1,
@@ -303,9 +463,10 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
                     "emits one, or pass --partition with --mix");
     }
     Autoscaler autoscaler(registry, mix, pool, options);
-    return RunPipeline(pool, stats, arrivals, options, &autoscaler);
+    return RunPipeline(pool, stats, arrivals, options, &autoscaler,
+                       std::move(obs));
   }
-  return RunPipeline(pool, stats, arrivals, options);
+  return RunPipeline(pool, stats, arrivals, options, nullptr, std::move(obs));
 }
 
 }  // namespace nsflow::serve

@@ -22,12 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dse/dse.h"
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
+#include "obs/observability.h"
 #include "serve/request.h"
 #include "serve/scenario.h"
 #include "serve/server_pool.h"
@@ -92,6 +94,13 @@ struct ServeOptions {
   /// partitioned pool — every replica dedicated to exactly one workload.
   bool autoscale = false;
   AutoscaleOptions autoscale_opts;
+  /// Observability (docs/OBSERVABILITY.md): with `trace.enabled` the engine
+  /// records every request/batch lifecycle span, autoscaler decision, and
+  /// replica transition on the virtual timeline into `ServeReport::obs`,
+  /// and the components publish aggregate metrics snapshotted every
+  /// `trace.snapshot_interval_s`. Off by default: the pipeline then pays
+  /// only a null check per record site.
+  obs::ObsOptions trace;
 };
 
 /// One entry of a multi-tenant QPS mix: `share` of the total offered load
@@ -122,6 +131,10 @@ struct ServeReport {
   /// the elastic-vs-static efficiency ratio divides the two
   /// (docs/AUTOSCALING.md).
   double replica_seconds = 0.0;
+  /// The run's observability bundle (null unless `ServeOptions::trace`
+  /// enabled it): drained spans export via ChromeTraceJson()/BinaryTrace(),
+  /// the metrics timeline via MetricsJson() (docs/OBSERVABILITY.md).
+  std::shared_ptr<obs::Observability> obs;
 };
 
 /// Generate the arrival trace for `options` — `options.scenario` picks the

@@ -26,6 +26,16 @@ struct Request {
   WorkloadId workload = 0;    // Which compiled workload this request targets.
 };
 
+/// Why the BatchFormer closed a batch — recorded on the batch so the
+/// observability layer can attribute forming latency to the policy edge
+/// that fired (docs/OBSERVABILITY.md).
+enum class BatchCloseReason {
+  kNone = 0,      // Not set (hand-built batches in tests/benches).
+  kSizeCap = 1,   // Reached the lane's max_batch.
+  kDeadline = 2,  // Oldest request hit max_wait (stretched to busy horizon).
+  kFlush = 3,     // Stream drained; the engine flushed the lane.
+};
+
 /// A group of requests coalesced by the BatchFormer and dispatched to one
 /// accelerator replica as a single RunWorkloadBatch launch. Batches never
 /// mix workloads: one batch = one workload = one kernel launch.
@@ -33,6 +43,7 @@ struct Batch {
   std::vector<Request> requests;
   double formed_s = 0.0;      // Virtual time the batch closed.
   WorkloadId workload = 0;    // Workload all member requests share.
+  BatchCloseReason close_reason = BatchCloseReason::kNone;
 
   std::int64_t size() const {
     return static_cast<std::int64_t>(requests.size());

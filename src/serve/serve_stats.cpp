@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 
 namespace nsflow::serve {
 
@@ -46,6 +47,12 @@ void ServeStats::RecordRequest(WorkloadId workload, double arrival_s,
   latencies_s_.push_back(complete_s - arrival_s);
   workload_latencies_s_[static_cast<std::size_t>(workload)].push_back(
       complete_s - arrival_s);
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Observe(complete_s - arrival_s);
+  }
+  if (completed_counter_ != nullptr) {
+    completed_counter_->Increment();
+  }
 }
 
 void ServeStats::RecordBatch(WorkloadId workload, std::int64_t size,
@@ -57,6 +64,9 @@ void ServeStats::RecordBatch(WorkloadId workload, std::int64_t size,
   batch_sizes_.push_back(size);
   depth_samples_.push_back(std::max<std::int64_t>(0, queue_depth));
   workload_batches_[static_cast<std::size_t>(workload)].push_back(size);
+  if (batch_counter_ != nullptr) {
+    batch_counter_->Increment();
+  }
 }
 
 void ServeStats::RecordReplicaBusy(int index, double busy_s) {
@@ -125,8 +135,25 @@ void ServeStats::SetReplicaSpan(int index, double added_s,
 }
 
 double ServeStats::Percentile(std::vector<double> values, double p) {
-  std::sort(values.begin(), values.end());
-  return PercentileSorted(values, p);
+  return PercentileInPlace(&values, p);
+}
+
+double ServeStats::PercentileInPlace(std::vector<double>* values, double p) {
+  NSF_CHECK(values != nullptr);
+  std::sort(values->begin(), values->end());
+  return PercentileSorted(*values, p);
+}
+
+void ServeStats::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    latency_hist_ = nullptr;
+    completed_counter_ = nullptr;
+    batch_counter_ = nullptr;
+    return;
+  }
+  latency_hist_ = registry->GetHistogram("serve.latency_s");
+  completed_counter_ = registry->GetCounter("serve.completed");
+  batch_counter_ = registry->GetCounter("serve.batches");
 }
 
 double ServeStats::PercentileSorted(const std::vector<double>& sorted,
@@ -205,6 +232,7 @@ StatsSummary ServeStats::Summarize(double offered_qps,
   s.timeline = timeline_;
 
   s.per_workload.reserve(workload_names_.size());
+  std::vector<double> scratch;  // Reused sort buffer across slices.
   for (std::size_t w = 0; w < workload_names_.size(); ++w) {
     WorkloadSummary slice;
     slice.name = workload_names_[w];
@@ -214,15 +242,22 @@ StatsSummary ServeStats::Summarize(double offered_qps,
       slice.throughput_rps =
           static_cast<double>(slice.completed) / s.horizon_s;
     }
-    std::vector<double> slice_sorted = latencies;
-    std::sort(slice_sorted.begin(), slice_sorted.end());
-    slice.p50_ms = PercentileSorted(slice_sorted, 50.0) * 1e3;
-    slice.p95_ms = PercentileSorted(slice_sorted, 95.0) * 1e3;
-    slice.p99_ms = PercentileSorted(slice_sorted, 99.0) * 1e3;
-    if (!slice_sorted.empty()) {
+    // Single-workload runs: slice 0's population *is* the aggregate — reuse
+    // the sorted copy above instead of sorting it again. Multi-workload
+    // runs reuse one scratch buffer's allocation across slices.
+    const std::vector<double>* slice_sorted = &sorted;
+    if (workload_names_.size() > 1) {
+      scratch.assign(latencies.begin(), latencies.end());
+      std::sort(scratch.begin(), scratch.end());
+      slice_sorted = &scratch;
+    }
+    slice.p50_ms = PercentileSorted(*slice_sorted, 50.0) * 1e3;
+    slice.p95_ms = PercentileSorted(*slice_sorted, 95.0) * 1e3;
+    slice.p99_ms = PercentileSorted(*slice_sorted, 99.0) * 1e3;
+    if (!slice_sorted->empty()) {
       slice.mean_ms = std::accumulate(latencies.begin(), latencies.end(), 0.0) /
                       static_cast<double>(latencies.size()) * 1e3;
-      slice.max_ms = slice_sorted.back() * 1e3;
+      slice.max_ms = slice_sorted->back() * 1e3;
     }
     const auto& batches = workload_batches_[w];
     slice.batches = static_cast<std::int64_t>(batches.size());

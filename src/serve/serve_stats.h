@@ -14,6 +14,12 @@
 
 #include "serve/request.h"
 
+namespace nsflow::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace nsflow::obs
+
 namespace nsflow::serve {
 
 /// Per-workload slice of a finished serve run (multi-tenant pools).
@@ -113,9 +119,14 @@ class ServeStats {
   void SetReplicaSpan(int index, double added_s, double retired_s);
 
   /// Nearest-rank percentile, p in [0, 100]. Exposed for tests. Copies and
-  /// sorts; Summarize() uses PercentileSorted on one sorted copy instead of
-  /// paying this per percentile.
+  /// sorts; prefer PercentileInPlace when the caller owns the buffer, or
+  /// PercentileSorted when it is already sorted.
   static double Percentile(std::vector<double> values, double p);
+
+  /// Non-copying variant: sorts `*values` ascending in place and evaluates
+  /// the percentile on it. The buffer stays sorted afterwards, so repeated
+  /// percentile queries on the same population pay one sort total.
+  static double PercentileInPlace(std::vector<double>* values, double p);
 
   /// Nearest-rank percentile over an already ascending-sorted vector.
   static double PercentileSorted(const std::vector<double>& sorted, double p);
@@ -128,6 +139,15 @@ class ServeStats {
   std::int64_t completed() const {
     return static_cast<std::int64_t>(latencies_s_.size());
   }
+
+  /// Timeline recorded so far (the engine reads the tail after each
+  /// autoscaler tick to mirror new PoolEvents into the trace).
+  const std::vector<PoolEvent>& timeline() const { return timeline_; }
+
+  /// Publish per-request latency (`serve.latency_s` histogram) and
+  /// completed/batch tallies into `registry`. Null detaches. Pointers are
+  /// resolved once here so the record path stays lookup-free.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   std::vector<double> latencies_s_;
@@ -144,6 +164,11 @@ class ServeStats {
   std::vector<std::string> workload_names_;
   std::vector<std::vector<double>> workload_latencies_s_;    // Per workload.
   std::vector<std::vector<std::int64_t>> workload_batches_;  // Batch sizes.
+
+  // Resolved by AttachMetrics; null = metrics off.
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* batch_counter_ = nullptr;
 };
 
 }  // namespace nsflow::serve

@@ -9,6 +9,7 @@
 
 #include "arch/fastpath.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace nsflow::serve {
 
@@ -207,9 +208,11 @@ double ServerPool::BatchSeconds(int replica, WorkloadId workload,
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     const auto it = latency_cache_.find(key);
     if (it != latency_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Timing-only fast path: the cycle model is a pure function of
   // (design, dfg, batch size), so no scratch Accelerator and no tensor
@@ -223,6 +226,29 @@ double ServerPool::BatchSeconds(int replica, WorkloadId workload,
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   latency_cache_.emplace(key, seconds);  // Second racer's insert is a no-op.
   return seconds;
+}
+
+void ServerPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    cache_hit_counter_ = nullptr;
+    cache_miss_counter_ = nullptr;
+    return;
+  }
+  cache_hit_counter_ = registry->GetCounter("pool.cache_hits");
+  cache_miss_counter_ = registry->GetCounter("pool.cache_misses");
+  PublishCacheMetrics();
+}
+
+void ServerPool::PublishCacheMetrics() {
+  if (cache_hit_counter_ == nullptr || cache_miss_counter_ == nullptr) {
+    return;
+  }
+  const std::int64_t hits = cache_hits();
+  const std::int64_t misses = cache_misses();
+  cache_hit_counter_->Increment(hits - published_hits_);
+  cache_miss_counter_->Increment(misses - published_misses_);
+  published_hits_ = hits;
+  published_misses_ = misses;
 }
 
 arch::ServingModel ServerPool::ServingModelFor(int kind,

@@ -29,6 +29,7 @@
 // thread scheduling: same designs + same batch stream -> same dispatch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -44,6 +45,11 @@
 #include "runtime/host_runtime.h"
 #include "serve/request.h"
 #include "serve/serve_stats.h"
+
+namespace nsflow::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace nsflow::obs
 
 namespace nsflow::serve {
 
@@ -209,6 +215,21 @@ class ServerPool {
   std::vector<DispatchRecord> Dispatch(const std::vector<Batch>& batches,
                                        ServeStats* stats);
 
+  /// Publish the latency-cache hit/miss tallies into `registry`
+  /// (`pool.cache_hits` / `pool.cache_misses`). Null detaches. The hot
+  /// BatchSeconds path only bumps local atomics; the counters are flushed
+  /// here and on each PublishCacheMetrics call.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+  /// Copy the current tallies into the attached counters (no-op when
+  /// detached). The engine calls this once post-run.
+  void PublishCacheMetrics();
+  std::int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::int64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Replicas sharing a design share cache entries; kind_[r] indexes the
   /// distinct-design table. The workload id completes the key because the
@@ -299,6 +320,14 @@ class ServerPool {
   std::unordered_map<Key, double, KeyHash> latency_cache_;
   std::map<std::pair<int, WorkloadId>, std::shared_future<arch::ServingModel>>
       model_cache_;
+
+  /// Warm-path tallies (relaxed atomics — worker threads race on them).
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
+  obs::Counter* cache_hit_counter_ = nullptr;     // Set by AttachMetrics.
+  obs::Counter* cache_miss_counter_ = nullptr;
+  std::int64_t published_hits_ = 0;    // Tally already flushed to the
+  std::int64_t published_misses_ = 0;  // counters (delta publishing).
 };
 
 /// Equality on the design fields that determine serving latency (used to

@@ -22,6 +22,7 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/table.h"
 #include "fpga/device.h"
 #include "graph/trace.h"
@@ -138,6 +139,16 @@ const std::vector<CommandSpec>& Commands() {
             "autoscale: per-workload replica floor"},
            {"--max-replicas", "N", "16",
             "autoscale: per-workload replica ceiling (replan bound)"},
+           {"--trace-out", "FILE", "off",
+            "record the run and write a Chrome trace_event JSON (a .bin"
+            " path writes the compact binary encoding instead) — load in"
+            " Perfetto (docs/OBSERVABILITY.md)"},
+           {"--metrics-out", "FILE", "off",
+            "record the run and write the metrics.json snapshot timeline"
+            " (docs/OBSERVABILITY.md)"},
+           {"--trace-detail", "spans|full", "spans",
+            "trace expansion: full additionally nests per-request"
+            " form/execute phase spans (export-time choice)"},
        })},
       {"plan", "",
        "search the DSE pareto frontier for the smallest replica pool meeting"
@@ -225,6 +236,8 @@ struct CliArgs {
   std::string mix;        // Multi-tenant QPS mix, e.g. "mlp=0.6,nvsa=0.4".
   bool partition = false; // Dedicate replica r to workload r % W.
   std::string plan_path;  // serve --plan: execute this PoolPlan JSON.
+  std::string trace_out;    // serve --trace-out: Chrome trace (or .bin).
+  std::string metrics_out;  // serve --metrics-out: metrics.json timeline.
   // Plan command.
   double p99_ms = 10.0;
   std::string budget = "u250";
@@ -351,6 +364,22 @@ CliArgs Parse(int argc, char** argv) {
       args.scenario_set = true;
     } else if (flag == "--plan") {
       args.plan_path = next();
+    } else if (flag == "--trace-out") {
+      args.trace_out = next();
+      args.serve.trace.enabled = true;
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = next();
+      args.serve.trace.enabled = true;
+    } else if (flag == "--trace-detail") {
+      const std::string detail = next();
+      if (detail == "spans") {
+        args.serve.trace.detail = obs::TraceDetail::kSpans;
+      } else if (detail == "full") {
+        args.serve.trace.detail = obs::TraceDetail::kFull;
+      } else {
+        throw Error("--trace-detail must be 'spans' or 'full', got '" +
+                    detail + "'");
+      }
     } else if (flag == "--autoscale") {
       args.serve.autoscale = true;
     } else if (flag == "--headroom") {
@@ -653,8 +682,54 @@ void PrintAutoscaleSummary(const serve::ServeReport& report,
       "Replica-seconds: %.1f elastic vs %.1f static-equivalent (%.0f%%)\n",
       report.replica_seconds, static_rs,
       static_rs > 0.0 ? 100.0 * report.replica_seconds / static_rs : 0.0);
+  // The decision log goes through the structured logger with a stdout sink
+  // (common/logging.h): the CLI keeps its exact historic format while the
+  // records stay level-filterable and capturable like every other emission.
+  const LogLevel level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  LogSink previous = SetLogSink([](const LogRecord& record) {
+    std::printf("  %s\n", record.message.c_str());
+  });
   for (const serve::PoolDelta& delta : report.deltas) {
-    std::printf("  t=%7.3fs  %s\n", delta.t_s, delta.reason.c_str());
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "t=%7.3fs", delta.t_s);
+    NSF_LOG(kInfo) << stamp << "  " << delta.reason;
+  }
+  SetLogSink(std::move(previous));
+  SetLogLevel(level);
+}
+
+/// Write the run's recorded trace/metrics to the --trace-out/--metrics-out
+/// paths (docs/OBSERVABILITY.md). A no-op when tracing was off.
+void ExportObservability(const CliArgs& args,
+                         const serve::ServeReport& report) {
+  if (report.obs == nullptr) {
+    return;
+  }
+  if (!args.trace_out.empty()) {
+    const bool binary =
+        args.trace_out.size() >= 4 &&
+        args.trace_out.compare(args.trace_out.size() - 4, 4, ".bin") == 0;
+    if (binary) {
+      WriteFile(args.trace_out, report.obs->BinaryTrace());
+      std::printf("Trace written to %s (compact binary, NSFT v1)\n",
+                  args.trace_out.c_str());
+    } else {
+      WriteFile(args.trace_out, report.obs->ChromeTraceJson() + "\n");
+      std::printf(
+          "Trace written to %s (Chrome trace_event JSON — load in Perfetto "
+          "or chrome://tracing)\n",
+          args.trace_out.c_str());
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    WriteFile(args.metrics_out, report.obs->MetricsJson() + "\n");
+    std::printf("Metrics timeline written to %s\n", args.metrics_out.c_str());
+  }
+  if (report.obs->recorder.dropped() > 0) {
+    std::printf("Trace ring dropped %lld oldest record(s) (raise the ring "
+                "capacity for full coverage)\n",
+                static_cast<long long>(report.obs->recorder.dropped()));
   }
 }
 
@@ -721,6 +796,7 @@ int RunServePlan(const CliArgs& args) {
   if (serve_options.autoscale) {
     PrintAutoscaleSummary(report, plan.TotalReplicas());
   }
+  ExportObservability(args, report);
   return 0;
 }
 
@@ -793,6 +869,7 @@ int RunServeMix(const CliArgs& args) {
   if (serve_options.autoscale) {
     PrintAutoscaleSummary(report, args.replicas);
   }
+  ExportObservability(args, report);
   for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
     const double single =
         report.single_request_by_workload[static_cast<std::size_t>(w)];
@@ -873,6 +950,7 @@ int RunServe(const CliArgs& args) {
       "Single-request baseline: %.3f ms -> %.1f rps per unbatched replica\n",
       report.single_request_s * 1e3,
       report.single_request_s > 0.0 ? 1.0 / report.single_request_s : 0.0);
+  ExportObservability(args, report);
   return 0;
 }
 

@@ -1,0 +1,360 @@
+// Observability tests (docs/OBSERVABILITY.md): pinned histogram bucket
+// boundaries, bit-exact Chrome/binary trace round trips, ring-buffer
+// eviction accounting, fixed-seed trace determinism of an autoscaled
+// diurnal run, request/batch span invariants, and the structured logger's
+// sink injection + level filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "serve/engine.h"
+#include "serve/workload_registry.h"
+
+namespace nsflow::obs {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(ObsHistogramTest, BucketBoundariesArePinned) {
+  // The schema is a versioned contract: these exact boundaries must hold
+  // across commits or serialized histograms stop being comparable.
+  EXPECT_EQ(Histogram::kSchemaVersion, 1);
+  EXPECT_EQ(Histogram::kBucketsPerOctave, 4);
+  EXPECT_EQ(Histogram::kBucketCount, 112);
+  EXPECT_DOUBLE_EQ(Histogram::Boundary(0), 1e-6);
+  // Whole octaves are exact powers of two of the base.
+  EXPECT_DOUBLE_EQ(Histogram::Boundary(4), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::Boundary(8), 4e-6);
+  EXPECT_DOUBLE_EQ(Histogram::Boundary(40), 1024e-6);
+  // Quarter-octave steps are monotone with ~19% relative width.
+  for (int i = 1; i < Histogram::kBucketCount; ++i) {
+    const double ratio =
+        Histogram::Boundary(i) / Histogram::Boundary(i - 1);
+    EXPECT_NEAR(ratio, std::exp2(0.25), 1e-12);
+  }
+  // BucketFor agrees with the boundaries, including the exact edges.
+  EXPECT_EQ(Histogram::BucketFor(1e-6), 0);
+  EXPECT_EQ(Histogram::BucketFor(2e-6), 4);
+  EXPECT_EQ(Histogram::BucketFor(2e-6 - 1e-12), 3);
+  EXPECT_EQ(Histogram::BucketFor(0.5e-6), -1);  // Underflow.
+  EXPECT_EQ(Histogram::BucketFor(1e9), Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogramTest, ObserveMergeAndPercentileBracket) {
+  Histogram a;
+  for (int i = 0; i < 90; ++i) {
+    a.Observe(1e-3);  // 1 ms.
+  }
+  for (int i = 0; i < 10; ++i) {
+    a.Observe(50e-3);  // 50 ms tail.
+  }
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_NEAR(a.sum_s(), 90 * 1e-3 + 10 * 50e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min_s(), 1e-3);
+  EXPECT_DOUBLE_EQ(a.max_s(), 50e-3);
+  // The bucketed percentile brackets the true value within one bucket
+  // (<= 2^(1/4) relative error on the upper edge it reports).
+  EXPECT_GE(a.ValueAtPercentile(50.0), 1e-3);
+  EXPECT_LE(a.ValueAtPercentile(50.0), 1e-3 * std::exp2(0.25) + 1e-12);
+  EXPECT_GE(a.ValueAtPercentile(99.0), 50e-3);
+  EXPECT_LE(a.ValueAtPercentile(99.0), 50e-3 * std::exp2(0.25) + 1e-12);
+
+  Histogram b;
+  b.Observe(0.1e-6);  // Underflow slot.
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 101);
+  EXPECT_EQ(b.underflow(), 1);
+  EXPECT_DOUBLE_EQ(b.max_s(), 50e-3);
+  EXPECT_DOUBLE_EQ(b.min_s(), 0.1e-6);
+}
+
+TEST(ObsMetricsTest, RegistryPointersAreStableAndSnapshotsAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("serve.completed");
+  EXPECT_EQ(c, registry.GetCounter("serve.completed"));
+  c->Increment(3);
+  registry.GetGauge("pool.rate")->Set(123.5);
+  registry.GetHistogram("serve.latency_s")->Observe(2e-3);
+  registry.TakeSnapshot(0.25);
+  c->Increment();
+  registry.TakeSnapshot(0.5);
+  ASSERT_EQ(registry.timeline().size(), 2u);
+  EXPECT_DOUBLE_EQ(registry.timeline()[0].t_s, 0.25);
+  const std::string doc = registry.TimelineJson().Dump(0);
+  EXPECT_NE(doc.find("\"nsflow-metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("serve.completed"), std::string::npos);
+}
+
+// ------------------------------------------------------------- round trips
+
+TraceData SampleTrace() {
+  TraceData data;
+  RequestSpan r;
+  r.request_id = 7;
+  r.workload = 1;
+  r.close = BatchClose::kSizeCap;
+  r.arrival_s = 0.001;
+  r.formed_s = 0.002;
+  r.start_s = 0.0025;
+  r.complete_s = 0.004;
+  r.batch_index = 3;
+  r.replica = 2;
+  r.batch_size = 4;
+  r.seq = 0;
+  data.requests.push_back(r);
+  BatchSpan b;
+  b.batch_index = 3;
+  b.workload = 1;
+  b.replica = 2;
+  b.close = BatchClose::kSizeCap;
+  b.formed_s = 0.002;
+  b.start_s = 0.0025;
+  b.complete_s = 0.004;
+  b.size = 4;
+  b.seq = 1;
+  data.batches.push_back(b);
+  InstantEvent i;
+  i.t_s = 0.25;
+  i.kind = InstantKind::kReplicaAdded;
+  i.replica = 5;
+  i.workload = 1;
+  i.detail = "add replica 5: demand above band";
+  i.seq = 2;
+  data.instants.push_back(i);
+  CounterSample s;
+  s.t_s = 0.25;
+  s.window_rate_rps = 212.5;
+  s.active_replicas = 6;
+  s.queue_depth = 11;
+  s.seq = 3;
+  data.counters.push_back(s);
+  return data;
+}
+
+TraceMeta SampleMeta() {
+  TraceMeta meta;
+  meta.workload_names = {"mlp", "resnet18"};
+  meta.replicas = 6;
+  meta.duration_s = 2.0;
+  return meta;
+}
+
+TEST(ObsChromeTraceTest, SerializeParseReserializeIsBitExact) {
+  for (const TraceDetail detail : {TraceDetail::kSpans, TraceDetail::kFull}) {
+    const std::vector<ChromeEvent> events =
+        BuildChromeTrace(SampleTrace(), SampleMeta(), detail);
+    const std::string text = SerializeChromeTrace(events);
+    const std::vector<ChromeEvent> parsed = ParseChromeTrace(text);
+    ASSERT_EQ(parsed.size(), events.size());
+    EXPECT_EQ(SerializeChromeTrace(parsed), text);
+  }
+}
+
+TEST(ObsChromeTraceTest, FullDetailNestsPhaseSpans) {
+  const auto spans = BuildChromeTrace(SampleTrace(), SampleMeta(),
+                                      TraceDetail::kSpans);
+  const auto full = BuildChromeTrace(SampleTrace(), SampleMeta(),
+                                     TraceDetail::kFull);
+  EXPECT_GT(full.size(), spans.size());
+}
+
+TEST(ObsBinaryTraceTest, EncodeDecodeReencodeIsByteExact) {
+  const TraceData data = SampleTrace();
+  const std::string bytes = SerializeBinaryTrace(data);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 4), "NSFT");
+  const TraceData decoded = ParseBinaryTrace(bytes);
+  ASSERT_EQ(decoded.requests.size(), 1u);
+  EXPECT_EQ(decoded.requests[0].request_id, 7);
+  EXPECT_EQ(decoded.requests[0].close, BatchClose::kSizeCap);
+  ASSERT_EQ(decoded.instants.size(), 1u);
+  EXPECT_EQ(decoded.instants[0].detail, data.instants[0].detail);
+  EXPECT_EQ(SerializeBinaryTrace(decoded), bytes);
+}
+
+TEST(ObsBinaryTraceTest, RejectsBadMagicAndTruncation) {
+  const std::string bytes = SerializeBinaryTrace(SampleTrace());
+  std::string corrupted = bytes;
+  corrupted[0] = 'X';
+  EXPECT_THROW(ParseBinaryTrace(corrupted), std::exception);
+  EXPECT_THROW(ParseBinaryTrace(bytes.substr(0, bytes.size() / 2)),
+               std::exception);
+}
+
+// ---------------------------------------------------------------- recorder
+
+TEST(ObsRecorderTest, RingModeDropsOldestAndCounts) {
+  TraceRecorder recorder(/*ring_capacity=*/4, /*shards=*/1);
+  for (int i = 0; i < 10; ++i) {
+    RequestSpan span;
+    span.request_id = i;
+    span.complete_s = static_cast<double>(i);
+    recorder.RecordRequest(span);
+  }
+  const TraceData data = recorder.Drain();
+  ASSERT_EQ(data.requests.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6);
+  EXPECT_EQ(data.dropped, 6);
+  // The retained window is the newest records, in time order.
+  EXPECT_EQ(data.requests.front().request_id, 6);
+  EXPECT_EQ(data.requests.back().request_id, 9);
+  // Control-plane instants are never ring-evicted.
+  for (int i = 0; i < 10; ++i) {
+    InstantEvent event;
+    event.t_s = static_cast<double>(i);
+    recorder.RecordInstant(event);
+  }
+  EXPECT_EQ(recorder.Drain().instants.size(), 10u);
+}
+
+TEST(ObsRecorderTest, DrainOrdersByTimestampThenSeq) {
+  TraceRecorder recorder;
+  for (int i = 0; i < 3; ++i) {
+    BatchSpan span;
+    span.batch_index = i;
+    span.start_s = 0.5;  // Identical stamps: seq breaks the tie.
+    recorder.RecordBatch(span);
+  }
+  const TraceData data = recorder.Drain();
+  ASSERT_EQ(data.batches.size(), 3u);
+  EXPECT_LT(data.batches[0].seq, data.batches[1].seq);
+  EXPECT_LT(data.batches[1].seq, data.batches[2].seq);
+}
+
+// ------------------------------------------------- traced serve invariants
+
+serve::ServeReport TracedDiurnalRun(serve::WorkloadRegistry& registry) {
+  const std::vector<serve::WorkloadShare> mix = {{"mlp", 0.3},
+                                                 {"resnet18", 0.7}};
+  const std::vector<serve::ReplicaSpec> replicas =
+      registry.ReplicaSpecs(2, /*partition=*/true);
+  serve::ServeOptions options;
+  options.qps = 300.0;
+  options.duration_s = 1.5;
+  options.seed = 42;
+  options.scenario = serve::ScenarioSpec::Parse("diurnal:depth=0.8");
+  options.autoscale = true;
+  options.autoscale_opts.max_replicas = 8;
+  options.autoscale_opts.devices = 64;
+  options.trace.enabled = true;
+  options.trace.detail = TraceDetail::kFull;
+  return serve::RunSyntheticServe(registry, replicas, mix, options);
+}
+
+TEST(ObsServeTest, FixedSeedTraceIsBitIdenticalAcrossRuns) {
+  serve::WorkloadRegistry registry;
+  registry.RegisterBuiltin("mlp");
+  registry.RegisterBuiltin("resnet18");
+  const serve::ServeReport first = TracedDiurnalRun(registry);
+  const serve::ServeReport second = TracedDiurnalRun(registry);
+  ASSERT_NE(first.obs, nullptr);
+  ASSERT_NE(second.obs, nullptr);
+  EXPECT_EQ(first.obs->ChromeTraceJson(), second.obs->ChromeTraceJson());
+  EXPECT_EQ(first.obs->BinaryTrace(), second.obs->BinaryTrace());
+  EXPECT_EQ(first.obs->MetricsJson(), second.obs->MetricsJson());
+}
+
+TEST(ObsServeTest, SpansSatisfyLifecycleInvariants) {
+  serve::WorkloadRegistry registry;
+  registry.RegisterBuiltin("mlp");
+  registry.RegisterBuiltin("resnet18");
+  const serve::ServeReport report = TracedDiurnalRun(registry);
+  ASSERT_NE(report.obs, nullptr);
+  const TraceData data = report.obs->recorder.Drain();
+
+  // Every completed request has exactly one span, every dispatched batch
+  // exactly one batch span.
+  EXPECT_EQ(static_cast<std::int64_t>(data.requests.size()),
+            report.summary.completed);
+  EXPECT_EQ(static_cast<std::int64_t>(data.batches.size()),
+            report.summary.batches);
+  EXPECT_GT(data.counters.size(), 0u);  // Periodic autoscaler samples.
+
+  std::map<std::int64_t, const BatchSpan*> batches;
+  for (const BatchSpan& batch : data.batches) {
+    EXPECT_LE(batch.formed_s, batch.start_s);
+    EXPECT_LT(batch.start_s, batch.complete_s);
+    EXPECT_GE(batch.size, 1);
+    EXPECT_NE(batch.close, BatchClose::kNone);
+    batches[batch.batch_index] = &batch;
+  }
+  std::map<std::int64_t, std::int64_t> batch_members;
+  for (const RequestSpan& span : data.requests) {
+    // Monotone lifecycle on the virtual timeline.
+    EXPECT_LE(span.arrival_s, span.formed_s);
+    EXPECT_LE(span.formed_s, span.start_s);
+    EXPECT_LT(span.start_s, span.complete_s);
+    // Every request's dispatch matches a batch span bit-exactly.
+    const auto it = batches.find(span.batch_index);
+    ASSERT_NE(it, batches.end());
+    EXPECT_EQ(span.replica, it->second->replica);
+    EXPECT_EQ(span.workload, it->second->workload);
+    EXPECT_EQ(span.start_s, it->second->start_s);
+    EXPECT_EQ(span.complete_s, it->second->complete_s);
+    EXPECT_EQ(span.batch_size, it->second->size);
+    ++batch_members[span.batch_index];
+  }
+  for (const auto& [index, members] : batch_members) {
+    EXPECT_EQ(members, batches.at(index)->size);
+  }
+  // The autoscaled run recorded decision instants, and every applied delta
+  // is mirrored as one.
+  std::int64_t decisions = 0;
+  for (const InstantEvent& instant : data.instants) {
+    if (instant.kind == InstantKind::kAutoscalerDecision) {
+      ++decisions;
+    }
+  }
+  EXPECT_EQ(decisions, static_cast<std::int64_t>(report.deltas.size()));
+}
+
+TEST(ObsServeTest, PercentileInPlaceMatchesCopyingPath) {
+  const std::vector<double> values = {5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0};
+  for (const double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0}) {
+    std::vector<double> scratch = values;
+    EXPECT_DOUBLE_EQ(serve::ServeStats::PercentileInPlace(&scratch, p),
+                     serve::ServeStats::Percentile(values, p))
+        << "p=" << p;
+  }
+  // The in-place path sorts its argument instead of copying.
+  std::vector<double> scratch = values;
+  serve::ServeStats::PercentileInPlace(&scratch, 50.0);
+  EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
+}
+
+// ------------------------------------------------------------------ logger
+
+TEST(ObsLoggingTest, SinkInjectionAndLevelFilter) {
+  std::vector<LogRecord> captured;
+  std::vector<std::string> messages;
+  const LogLevel level = GetLogLevel();
+  LogSink previous = SetLogSink([&](const LogRecord& record) {
+    captured.push_back(record);
+    messages.push_back(record.message);
+  });
+  SetLogLevel(LogLevel::kInfo);
+  NSF_LOG(kDebug) << "filtered out";
+  NSF_LOG(kInfo) << "count " << 42;
+  NSF_LOG(kError) << "boom";
+  SetLogSink(std::move(previous));
+  SetLogLevel(level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(messages[0], "count 42");
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[1].level, LogLevel::kError);
+  EXPECT_GT(captured[0].line, 0);
+  EXPECT_NE(std::string(LogBasename(captured[0].file)), "");
+  EXPECT_EQ(std::string(LogLevelName(LogLevel::kWarning)), "WARN");
+}
+
+}  // namespace
+}  // namespace nsflow::obs

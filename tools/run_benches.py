@@ -33,6 +33,7 @@ Usage:
                        [--plan-out BENCH_plan.json] [--smoke] [--full]
                        [--compare bench/baselines] [--tolerance 0.25]
                        [--wall-tolerance 10] [--delta-out BENCH_delta.json]
+                       [--trace-out trace.json]
 
   --smoke  reduced iteration counts (the CI bench-smoke job's mode)
   --full   additionally run the serve throughput/multi-tenant sweeps
@@ -96,6 +97,13 @@ def collect_metrics(serve_report, plan_report):
             ("serve.engine_wall_ms",
              serve_report["serve"]["engine_wall_ms"], "lower", "wall"),
         ]
+        obs = serve_report.get("obs_overhead")
+        if obs is not None:
+            metrics += [
+                ("obs_overhead.ratio", obs["ratio"], "lower", "wall"),
+                ("obs_overhead.on_wall_ms", obs["on_wall_ms"],
+                 "lower", "wall"),
+            ]
     if plan_report is not None:
         for row in plan_report["scenarios"]:
             tag = f"plan[{row['scenario']}]"
@@ -203,6 +211,10 @@ def main():
                              "only)")
     parser.add_argument("--delta-out", metavar="FILE",
                         help="write the per-metric comparison report here")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="also write the traced bench run's Chrome "
+                             "trace JSON (docs/OBSERVABILITY.md; the CI "
+                             "bench-smoke job uploads it)")
     args = parser.parse_args()
 
     build = pathlib.Path(args.build_dir).resolve()
@@ -211,10 +223,13 @@ def main():
     cmd = [str(fastpath), "--out", args.out]
     if args.smoke:
         cmd.append("--smoke")
+    if args.trace_out:
+        cmd += ["--trace-out", args.trace_out]
     result = run(cmd)
     if result.returncode != 0:
         print("error: bench_serve_fastpath failed "
-              "(estimator/functional divergence fails the bench)",
+              "(estimator/functional divergence, or the observability "
+              "overhead gate tripped)",
               file=sys.stderr)
         return result.returncode
 
@@ -237,6 +252,15 @@ def main():
           f"{serve['virtual_duration_s']:.1f} virtual s "
           f"({serve['engine_wall_ms']:.1f} ms wall), "
           f"p99 {serve['p99_ms']:.3f} ms")
+    obs = report.get("obs_overhead")
+    if obs is not None:
+        if not obs["ok"]:
+            print("error: observability overhead gate recorded a breach in "
+                  "the artifact", file=sys.stderr)
+            return 1
+        print(f"obs overhead: off {obs['off_wall_ms']:.3f} ms -> on "
+              f"{obs['on_wall_ms']:.3f} ms ({obs['ratio']:.2f}x, gate "
+              f"{obs['gate_ratio']:.2f}x + {obs['gate_epsilon_ms']:.1f} ms)")
 
     # Planner/scenario smoke: plan once, validate predicted vs measured
     # p99 under each arrival pattern, then the autoscale elastic-vs-static
