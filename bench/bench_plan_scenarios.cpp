@@ -17,6 +17,11 @@
 // `ServeOptions::autoscale` — and gated on the autoscaled run meeting the
 // same p99 SLO with at most 70% of the static pool's replica-seconds.
 //
+// The `adversity` section is the hardening gate (docs/SCENARIOS.md): the
+// same elastic diurnal run with a single replica failing at the crest,
+// gated on the p99 SLO holding at <= 15% extra replica-seconds versus the
+// fault-free elastic run.
+//
 // Usage: bench_plan_scenarios [--out BENCH_plan.json] [--smoke]
 #include <chrono>
 #include <cstdio>
@@ -267,6 +272,77 @@ int main(int argc, char** argv) {
   autoscale["static_wall_ms"] = Json(static_ms);
   autoscale["elastic_wall_ms"] = Json(elastic_ms);
 
+  // ---- bench_adversity: the hardening gate (docs/SCENARIOS.md
+  // "Adversity"). The same elastic diurnal run, now with the busiest
+  // replica failing at the crest (replica-fail defaults: at = 0.25 x D).
+  // The autoscaler must replan around the loss: same p99 SLO held, at most
+  // 15% extra replica-seconds versus the fault-free elastic run above.
+  std::printf("\n--- adversity: single replica loss at the diurnal peak ---\n");
+  constexpr double kFaultOverheadGate = 1.15;
+  serve::ServeOptions fault_options = elastic_options;
+  fault_options.adversity = serve::AdversitySpec::Parse("replica-fail");
+  const auto fault_start = Clock::now();
+  const serve::ServeReport fault_report = serve::RunSyntheticServe(
+      elastic_registry, elastic_plan.Replicas(), elastic_mix, fault_options);
+  const double fault_ms = ElapsedMs(fault_start);
+  const double fault_overhead =
+      elastic_report.replica_seconds > 0.0
+          ? fault_report.replica_seconds / elastic_report.replica_seconds
+          : 0.0;
+  const serve::PoolDeltaCounts fault_deltas =
+      serve::CountDeltas(fault_report.deltas);
+  std::printf(
+      "no-fault: p99 %7.3f ms, %8.1f replica-s\n",
+      elastic_report.summary.p99_ms, elastic_report.replica_seconds);
+  std::printf(
+      "fault:    p99 %7.3f ms, %8.1f replica-s (%.1f ms wall) -> "
+      "%.1f%% overhead, %d deltas\n",
+      fault_report.summary.p99_ms, fault_report.replica_seconds, fault_ms,
+      100.0 * (fault_overhead - 1.0), fault_deltas.total());
+  if (fault_report.summary.p99_ms > slo_ms) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADVERSITY VIOLATION: p99 %.3f ms misses the %.1f ms SLO "
+                 "through a single replica loss\n",
+                 fault_report.summary.p99_ms, slo_ms);
+  }
+  if (fault_overhead > kFaultOverheadGate) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADVERSITY VIOLATION: fault run spent %.1f%% extra "
+                 "replica-seconds (gate: %.0f%%)\n",
+                 100.0 * (fault_overhead - 1.0),
+                 100.0 * (kFaultOverheadGate - 1.0));
+  }
+  if (fault_report.summary.completed != fault_report.generated_requests) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADVERSITY VIOLATION: %lld of %lld requests completed — "
+                 "the failure lost or duplicated work\n",
+                 static_cast<long long>(fault_report.summary.completed),
+                 static_cast<long long>(fault_report.generated_requests));
+  }
+
+  JsonObject adversity;
+  adversity["pattern"] = Json(fault_options.adversity.ToString());
+  adversity["scenario"] = Json("diurnal:depth=0.8");
+  adversity["mix"] = Json("mlp=0.2,resnet18=0.8");
+  adversity["qps"] = Json(elastic_plan_options.qps);
+  adversity["p99_slo_ms"] = Json(slo_ms);
+  adversity["nofault_p99_ms"] = Json(elastic_report.summary.p99_ms);
+  adversity["nofault_replica_seconds"] =
+      Json(elastic_report.replica_seconds);
+  adversity["fault_p99_ms"] = Json(fault_report.summary.p99_ms);
+  adversity["fault_replica_seconds"] = Json(fault_report.replica_seconds);
+  adversity["replica_seconds_overhead"] = Json(fault_overhead);
+  adversity["overhead_gate"] = Json(kFaultOverheadGate);
+  adversity["deltas_add"] = Json(fault_deltas.adds);
+  adversity["deltas_retire"] = Json(fault_deltas.retires);
+  adversity["deltas_refit"] = Json(fault_deltas.refits);
+  adversity["completed"] = Json(fault_report.summary.completed);
+  adversity["generated"] = Json(fault_report.generated_requests);
+  adversity["fault_wall_ms"] = Json(fault_ms);
+
   JsonObject tolerance;
   tolerance["low"] = Json(kToleranceLow);
   tolerance["high"] = Json(kToleranceHigh);
@@ -283,6 +359,7 @@ int main(int argc, char** argv) {
   root["setup"] = Json(std::move(setup));
   root["scenarios"] = Json(std::move(scenario_rows));
   root["autoscale"] = Json(std::move(autoscale));
+  root["adversity"] = Json(std::move(adversity));
   root["tolerance"] = Json(std::move(tolerance));
 
   std::ofstream out(out_path, std::ios::binary);

@@ -94,6 +94,29 @@ ChromeEvent Instant(const InstantEvent& record, const TraceMeta& meta) {
       event.pid = kReplicasPid;
       event.tid = record.replica;
       break;
+    case InstantKind::kReplicaFailed:
+      event.name = "failed";
+      event.cat = "replica";
+      event.pid = kReplicasPid;
+      event.tid = record.replica;
+      break;
+    case InstantKind::kReplicaRecovered:
+      event.name = "recovered";
+      event.cat = "replica";
+      event.pid = kReplicasPid;
+      event.tid = record.replica;
+      break;
+    case InstantKind::kReplicaDerated:
+      event.name = "derated";
+      event.cat = "replica";
+      event.pid = kReplicasPid;
+      event.tid = record.replica;
+      break;
+    case InstantKind::kEnvironment:
+      event.name = "environment";
+      event.cat = "adversity";
+      event.pid = kAutoscalerPid;
+      break;
   }
   if (!record.detail.empty()) {
     event.args["detail"] = Json(record.detail);

@@ -81,6 +81,11 @@ enum class InstantKind : std::int32_t {
   kReplicaDraining = 3,
   kReplicaRetired = 4,
   kReplicaRefit = 5,
+  // Environment faults (the adversity engine, serve/adversity.h).
+  kReplicaFailed = 6,     // Replica went dark (detail = recovery time).
+  kReplicaRecovered = 7,  // Back up (possibly still warming).
+  kReplicaDerated = 8,    // Straggler derate window opened/closed.
+  kEnvironment = 9,       // Tenant churn / flash-crowd window markers.
 };
 
 struct InstantEvent {

@@ -1,0 +1,127 @@
+// Adversity engine — seeded environment-fault injection for NSFlow-Serve.
+//
+// Traffic scenarios (scenario.h) perturb *demand*; the adversity engine
+// perturbs the *environment* on the same deterministic virtual timeline, so
+// every fault pattern composes with every traffic scenario and the whole run
+// stays bit-reproducible under a fixed seed. An `AdversitySpec` names one
+// fault pattern:
+//
+//   none          healthy hardware (the default — byte-identical runs to a
+//                 build without the adversity layer).
+//   replica-fail  `count` replicas fail at `at`, recover `down` seconds
+//                 later, then spend `warmup` seconds re-warming before they
+//                 accept work. In-flight batches on a failed replica are
+//                 re-enqueued (no lost or duplicated requests) and the
+//                 autoscaler sees the lost capacity as demand pressure.
+//   straggler     `count` replicas derate by `factor` (2 = half speed) for
+//                 `duration` seconds starting at `at`. The derate multiplies
+//                 ServingModel batch latencies at dispatch time, so the
+//                 eager scheduler routes around the slowdown on its own.
+//   churn         tenant `workload` leaves at `at` and rejoins `down`
+//                 seconds later — its arrivals vanish for the window, which
+//                 drives the autoscaler's scale-to-floor + warm-refit path.
+//   flash         a correlated cross-tenant flash crowd: every tenant's
+//                 arrival rate is multiplied by `mult` inside
+//                 [at, at+width) (extra arrivals drawn from a dedicated
+//                 seeded stream, so the base trace is untouched).
+//
+// Fault targets default to `replica=-1`: resolve at fire time to the
+// busiest eligible replica (max scheduled-free time, ties to the lowest
+// id). A failure that would orphan a workload (no surviving capable
+// replica) is skipped and surfaced as a pool event instead of crashing the
+// run — the engine never injects an unservable topology.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace nsflow::serve {
+
+enum class AdversityKind {
+  kNone,
+  kReplicaFail,
+  kStraggler,
+  kChurn,
+  kFlash,
+};
+
+/// A parsed `--adversity` value: the fault pattern plus its numeric
+/// parameters. Same strict-parse conventions as `ScenarioSpec`: unknown
+/// names and unknown parameter keys throw (typos must not silently fall
+/// back to defaults), and provided values are range-checked. Defaults not
+/// listed in the spec are documented in docs/SCENARIOS.md; time-like
+/// defaults are duration-relative and resolved in BuildAdversityTimeline.
+struct AdversitySpec {
+  AdversityKind kind = AdversityKind::kNone;
+  std::map<std::string, double> params;  // Deterministic iteration order.
+
+  /// Parse "name" or "name:key=value,key=value" (e.g.
+  /// "replica-fail:at=4,down=2", "straggler:factor=2,count=1"). Throws on
+  /// unknown pattern names and unknown parameter keys.
+  static AdversitySpec Parse(const std::string& text);
+
+  /// Canonical round-trippable form ("replica-fail:at=4,down=2").
+  /// Parse(ToString()) == *this.
+  std::string ToString() const;
+
+  /// The pattern's name without parameters ("replica-fail").
+  std::string Name() const;
+
+  double Param(const std::string& key, double fallback) const;
+  bool enabled() const { return kind != AdversityKind::kNone; }
+  bool operator==(const AdversitySpec& other) const {
+    return kind == other.kind && params == other.params;
+  }
+};
+
+/// One entry in the resolved environment-event timeline. Start events
+/// carry their paired end time (`until_s`) so the engine can schedule the
+/// recovery against the replica it resolves at fire time.
+enum class AdversityEventKind {
+  kReplicaFail,     // replica goes dark at t_s, recovers at until_s.
+  kReplicaRecover,  // replica back up (resolved replica, emitted by engine).
+  kDerateStart,     // replica derated by `factor` until until_s.
+  kDerateEnd,       // derate window over (resolved replica).
+  kChurnLeave,      // tenant `workload` unregisters (arrivals masked).
+  kChurnRejoin,     // tenant `workload` re-registers.
+  kFlashStart,      // correlated flash crowd window opens.
+  kFlashEnd,        // flash crowd window closes.
+};
+
+struct AdversityEvent {
+  double t_s = 0.0;
+  AdversityEventKind kind = AdversityEventKind::kReplicaFail;
+  int replica = -1;         // -1: resolve to the busiest eligible at fire.
+  WorkloadId workload = -1; // churn only.
+  double factor = 1.0;      // straggler derate multiplier.
+  double until_s = 0.0;     // paired end time for start events.
+  double warmup_s = 0.0;    // replica-fail post-recovery warm-up.
+};
+
+/// Expand `spec` into the time-sorted environment-event timeline for a run
+/// of `duration_s` virtual seconds, resolving duration-relative defaults.
+/// Events at or past `duration_s` are dropped (nothing can fire after the
+/// horizon); paired end times may extend past it and simply never fire
+/// (the pool clamps dead time to its accounting horizon). Deterministic —
+/// contains no random draws.
+std::vector<AdversityEvent> BuildAdversityTimeline(const AdversitySpec& spec,
+                                                   double duration_s);
+
+/// Apply the arrival-side patterns (churn, flash) to a generated trace
+/// in place: churn erases the masked tenant's arrivals inside its window,
+/// flash superimposes extra arrivals at (mult-1) x qps x share per tenant
+/// drawn from a seed derived from `seed` (the base trace is bit-untouched).
+/// Ids are re-densified to 0..n-1 in time order. Replica-side patterns
+/// (replica-fail, straggler) leave the trace bit-identical. `shares` is the
+/// per-WorkloadId weight vector used to generate `arrivals` ({1.0} for a
+/// single-workload run).
+void ApplyAdversityArrivals(const AdversitySpec& spec,
+                            std::vector<Request>* arrivals, double qps,
+                            double duration_s, std::uint64_t seed,
+                            const std::vector<double>& shares);
+
+}  // namespace nsflow::serve

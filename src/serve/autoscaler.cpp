@@ -310,6 +310,16 @@ void Autoscaler::AttachMetrics(obs::MetricsRegistry* registry) {
   deferred_counter_ = registry->GetCounter("autoscaler.deferred_adds");
 }
 
+int Autoscaler::LiveMembers(const Group& group, double t) const {
+  int live = 0;
+  for (const int member : group.members) {
+    if (!pool_.Failed(member, t)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
 std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
                                         ServeStats& stats) {
   const double t = next_tick_s_;
@@ -346,9 +356,19 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
     const double demand =
         rate + static_cast<double>(former.pending(group.id)) / opts_.window_s;
     const double target_rate = demand * (1.0 + opts_.headroom);
-    const bool up = target_rate > opts_.up_band * group.provisioned_rps;
+    // Lost capacity is demand pressure: a dark member serves nothing, so
+    // the hysteresis bands center on the surviving share of the
+    // provisioned rate. All-live groups keep the exact fault-free math.
+    const int live = LiveMembers(group, t);
+    const double provisioned =
+        group.members.empty() ||
+                live == static_cast<int>(group.members.size())
+            ? group.provisioned_rps
+            : group.provisioned_rps * static_cast<double>(live) /
+                  static_cast<double>(group.members.size());
+    const bool up = target_rate > opts_.up_band * provisioned;
     const bool down =
-        target_rate < opts_.down_band * group.provisioned_rps &&
+        target_rate < opts_.down_band * provisioned &&
         t - group.last_delta_s >= opts_.cooldown_s;
     if (!up && !down) {
       continue;  // Inside the dead band: sample only.
@@ -357,7 +377,7 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
     target.trigger =
         "'" + group.workload + "' demand " + Rps(target_rate) + " rps " +
         (up ? "above" : "below") + " band of provisioned " +
-        Rps(group.provisioned_rps) + " rps";
+        Rps(provisioned) + " rps";
     // Re-center the hysteresis bands on what we just sized for, even when
     // the integer replica count ends up unchanged.
     group.provisioned_rps = target_rate;
@@ -386,9 +406,19 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
   std::vector<Freed> freed;
   for (const Target& target : targets) {
     Group& group = groups_[static_cast<std::size_t>(target.group)];
-    while (static_cast<int>(group.members.size()) > target.replicas) {
-      freed.push_back(Freed{group.members.back(), target.group});
-      group.members.pop_back();
+    // Shed the newest *live* members — a dark replica is not hardware we
+    // can hand to another tenant (it stays on the roster until recovery).
+    int live = LiveMembers(group, t);
+    for (std::size_t i = group.members.size();
+         i-- > 0 && live > target.replicas;) {
+      const int member = group.members[i];
+      if (pool_.Failed(member, t)) {
+        continue;
+      }
+      freed.push_back(Freed{member, target.group});
+      group.members.erase(group.members.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      --live;
     }
   }
 
@@ -406,6 +436,7 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
     }
     PoolEvent event;
     event.t_s = t;
+    event.kind = PoolEventKind::kDecision;
     event.event = delta.reason;
     event.active_replicas = pool_.ActiveReplicas(t);
     event.window_rate_rps = total_rate;
@@ -419,8 +450,9 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
   for (const Target& target : targets) {
     Group& group = groups_[static_cast<std::size_t>(target.group)];
     bool deferred = false;
-    while (!deferred &&
-           static_cast<int>(group.members.size()) < target.replicas) {
+    // Size against serving members: a dark replica contributes nothing, so
+    // single-replica loss re-triggers an add here one tick after the fault.
+    while (!deferred && LiveMembers(group, t) < target.replicas) {
       PoolDelta delta;
       delta.t_s = t;
       delta.workload = group.id;
@@ -465,6 +497,7 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
           // next band crossing retries with whatever freed up by then.
           PoolEvent capped;
           capped.t_s = t;
+          capped.kind = PoolEventKind::kDecision;
           capped.event = "budget exhausted, add deferred: " + target.trigger;
           capped.active_replicas = pool_.ActiveReplicas(t);
           capped.window_rate_rps = total_rate;

@@ -120,6 +120,12 @@ class Autoscaler {
 
   const PlanFrontier::WorkloadEntry& EntryById(WorkloadId id) const;
 
+  /// Members of `group` actually serving at `t` — dark (failed) replicas
+  /// stay on the roster but count for nothing, so lost capacity reads as
+  /// demand pressure in the band checks (replan-around-loss,
+  /// docs/AUTOSCALING.md).
+  int LiveMembers(const Group& group, double t) const;
+
   const WorkloadRegistry& registry_;
   ServerPool& pool_;
   AutoscaleOptions opts_;

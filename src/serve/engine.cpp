@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <thread>
@@ -188,6 +190,59 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   }
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
+
+  // Environment-event timeline (adversity.h). Replica failures need commit
+  // deferral: the eager scheduler books batches onto replicas ahead of the
+  // virtual clock, so a failure must be able to *abort* everything the
+  // schedule had placed on the dead replica past the failure instant and
+  // re-enqueue it. In deferred mode each dispatched batch's stats/spans
+  // are held until the clock provably passes its completion; fault-free
+  // runs commit inline — the exact pre-adversity path, bit-identical.
+  std::vector<AdversityEvent> env =
+      BuildAdversityTimeline(options.adversity, options.duration_s);
+  std::size_t env_next = 0;
+  const bool defer_commits =
+      options.adversity.kind == AdversityKind::kReplicaFail;
+  struct PendingCommit {
+    DispatchRecord record;
+    Batch batch;
+    std::int64_t depth = 0;
+  };
+  std::vector<PendingCommit> pending;
+
+  const auto write_spans = [&](const DispatchRecord& dr, const Batch& batch) {
+    if (recorder == nullptr) {
+      return;
+    }
+    // Every phase stamp is resolved by dispatch time (enqueue == arrival
+    // on the virtual timeline), so the spans are written once, complete.
+    const auto close = static_cast<obs::BatchClose>(batch.close_reason);
+    obs::BatchSpan bspan;
+    bspan.batch_index = dr.batch_index;
+    bspan.workload = dr.workload;
+    bspan.replica = dr.replica;
+    bspan.close = close;
+    bspan.formed_s = batch.formed_s;
+    bspan.start_s = dr.start_s;
+    bspan.complete_s = dr.complete_s;
+    bspan.size = dr.size;
+    recorder->RecordBatch(bspan);
+    for (const Request& r : batch.requests) {
+      obs::RequestSpan span;
+      span.request_id = r.id;
+      span.workload = r.workload;
+      span.close = close;
+      span.arrival_s = r.arrival_s;
+      span.formed_s = batch.formed_s;
+      span.start_s = dr.start_s;
+      span.complete_s = dr.complete_s;
+      span.batch_index = dr.batch_index;
+      span.replica = dr.replica;
+      span.batch_size = static_cast<std::int32_t>(dr.size);
+      recorder->RecordRequest(span);
+    }
+  };
+
   const auto dispatch = [&](Batch&& batch) {
     // Backlog the batch sees at its start: arrivals in the system (the
     // stream is sorted, so count by binary search) minus requests already
@@ -200,38 +255,45 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                            return t < r.arrival_s;
                          }) -
         arrivals.begin());
-    const DispatchRecord dr = pool.Dispatch(batch, &stats, arrived - started);
+    const std::int64_t depth = arrived - started;
+    if (defer_commits) {
+      const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth);
+      started += batch.size();
+      pending.push_back(PendingCommit{dr, std::move(batch), depth});
+      return;
+    }
+    const DispatchRecord dr = pool.Dispatch(batch, &stats, depth);
     dispatches.push_back(dr);
     started += batch.size();
-    if (recorder != nullptr) {
-      // Every phase stamp is resolved by dispatch time (enqueue == arrival
-      // on the virtual timeline), so the spans are written once, complete.
-      const auto close = static_cast<obs::BatchClose>(batch.close_reason);
-      obs::BatchSpan bspan;
-      bspan.batch_index = dr.batch_index;
-      bspan.workload = dr.workload;
-      bspan.replica = dr.replica;
-      bspan.close = close;
-      bspan.formed_s = batch.formed_s;
-      bspan.start_s = dr.start_s;
-      bspan.complete_s = dr.complete_s;
-      bspan.size = dr.size;
-      recorder->RecordBatch(bspan);
-      for (const Request& r : batch.requests) {
-        obs::RequestSpan span;
-        span.request_id = r.id;
-        span.workload = r.workload;
-        span.close = close;
-        span.arrival_s = r.arrival_s;
-        span.formed_s = batch.formed_s;
-        span.start_s = dr.start_s;
-        span.complete_s = dr.complete_s;
-        span.batch_index = dr.batch_index;
-        span.replica = dr.replica;
-        span.batch_size = static_cast<std::int32_t>(dr.size);
-        recorder->RecordRequest(span);
-      }
+    write_spans(dr, batch);
+  };
+
+  // Deferred-mode settlement: commit every pending batch completed by
+  // virtual time `t`, ordered by (completion, dispatch order) — a pure
+  // function of the schedule, so the stats stream (and with it the
+  // record-order latency mean) stays pinned by the seed.
+  const auto commit = [&](PendingCommit& p) {
+    stats.RecordBatch(p.batch.workload, p.batch.size(), p.depth);
+    stats.RecordReplicaBusy(p.record.replica,
+                            p.record.complete_s - p.record.start_s);
+    for (const Request& r : p.batch.requests) {
+      stats.RecordRequest(p.batch.workload, r.arrival_s, p.record.complete_s);
     }
+    dispatches.push_back(p.record);
+    write_spans(p.record, p.batch);
+  };
+  const auto commit_until = [&](double t) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingCommit& a, const PendingCommit& b) {
+                       return a.record.complete_s < b.record.complete_s;
+                     });
+    std::size_t done = 0;
+    while (done < pending.size() && pending[done].record.complete_s <= t) {
+      commit(pending[done]);
+      ++done;
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(done));
   };
 
   // Mirror new ServeStats PoolEvents into the trace: periodic samples
@@ -246,6 +308,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     const std::vector<PoolEvent>& timeline = stats.timeline();
     for (; timeline_seen < timeline.size(); ++timeline_seen) {
       const PoolEvent& event = timeline[timeline_seen];
+      if (event.kind == PoolEventKind::kFault) {
+        continue;  // The adversity engine emitted its own rich instants.
+      }
       if (event.event.empty()) {
         obs::CounterSample sample;
         sample.t_s = event.t_s;
@@ -314,21 +379,200 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   };
 
   std::vector<PoolDelta> deltas;
-  std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
-                                 0.0);
-  while (auto request = queue.Pop()) {
-    // Control decisions scheduled at or before this arrival fire first —
-    // the tick clock and the arrival stamps share one virtual timeline.
-    // The arrival record only exists to feed the autoscaler's windowed
-    // rate samples; static runs skip the bookkeeping (hot path).
-    if (autoscaler != nullptr) {
-      while (autoscaler->next_tick_s() <= request->arrival_s) {
+
+  // ---- Environment-event firing (adversity engine). Fault events are
+  // surfaced twice: a kFault PoolEvent on the stats timeline (the CLI
+  // epilogue and bench artifacts read it) and a typed instant on the obs
+  // trace (sync_timeline skips kFault so nothing double-emits).
+  const auto fault_event = [&](double t, std::string text) {
+    PoolEvent event;
+    event.t_s = t;
+    event.kind = PoolEventKind::kFault;
+    event.event = std::move(text);
+    event.active_replicas = pool.ActiveReplicas(t);
+    event.queue_depth = former.total_pending();
+    stats.RecordPoolEvent(std::move(event));
+  };
+  const auto fault_instant = [&](double t, obs::InstantKind kind, int replica,
+                                 WorkloadId workload, std::string detail) {
+    if (recorder == nullptr) {
+      return;
+    }
+    obs::InstantEvent instant;
+    instant.t_s = t;
+    instant.kind = kind;
+    instant.replica = replica;
+    instant.workload = workload;
+    instant.detail = std::move(detail);
+    recorder->RecordInstant(std::move(instant));
+  };
+  // End events paired to a start resolved at fire time (recovery, derate
+  // end) are spliced into the not-yet-fired suffix of the timeline.
+  const auto schedule_env = [&](AdversityEvent e) {
+    std::size_t at = env_next;
+    while (at < env.size() && env[at].t_s <= e.t_s) {
+      ++at;
+    }
+    env.insert(env.begin() + static_cast<std::ptrdiff_t>(at), std::move(e));
+  };
+  const auto seconds = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  const auto fire_env = [&](const AdversityEvent& e) {
+    switch (e.kind) {
+      case AdversityEventKind::kReplicaFail: {
+        const int target =
+            pool.ResolveFaultTarget(e.replica, e.t_s, /*for_failure=*/true);
+        if (target < 0) {
+          fault_event(e.t_s,
+                      "replica failure skipped: no eligible target (loss "
+                      "would orphan a workload)");
+          break;
+        }
+        // Settle history, then abort everything the schedule had placed on
+        // the dead replica past the failure instant.
+        commit_until(e.t_s);
+        std::vector<PendingCommit> aborted;
+        for (std::size_t i = 0; i < pending.size();) {
+          if (pending[i].record.replica == target) {
+            aborted.push_back(std::move(pending[i]));
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+        pool.FailReplica(target, e.t_s, e.until_s, e.warmup_s);
+        fault_event(e.t_s, "replica " + std::to_string(target) +
+                               " failed: dark until " + seconds(e.until_s) +
+                               " s, " + std::to_string(aborted.size()) +
+                               " in-flight batch(es) re-enqueued");
+        fault_instant(e.t_s, obs::InstantKind::kReplicaFailed, target, -1,
+                      "failed; recovery at " + seconds(e.until_s) + " s");
+        // Re-enqueue in original dispatch order: the batches re-enter the
+        // pipeline at the failure instant and reroute to survivors (FIFO
+        // within each batch is untouched — composition is preserved).
+        std::sort(aborted.begin(), aborted.end(),
+                  [](const PendingCommit& a, const PendingCommit& b) {
+                    return a.record.batch_index < b.record.batch_index;
+                  });
+        for (PendingCommit& p : aborted) {
+          started -= p.batch.size();
+          Batch batch = std::move(p.batch);
+          batch.formed_s = e.t_s;
+          dispatch(std::move(batch));
+        }
+        AdversityEvent recover;
+        recover.t_s = e.until_s;
+        recover.kind = AdversityEventKind::kReplicaRecover;
+        recover.replica = target;
+        recover.warmup_s = e.warmup_s;
+        schedule_env(std::move(recover));
+        break;
+      }
+      case AdversityEventKind::kReplicaRecover:
+        fault_event(e.t_s, "replica " + std::to_string(e.replica) +
+                               " recovered (warming for " +
+                               seconds(e.warmup_s) + " s)");
+        fault_instant(e.t_s, obs::InstantKind::kReplicaRecovered, e.replica,
+                      -1, "recovered; warming for " + seconds(e.warmup_s) +
+                              " s");
+        break;
+      case AdversityEventKind::kDerateStart: {
+        const int target =
+            pool.ResolveFaultTarget(e.replica, e.t_s, /*for_failure=*/false);
+        if (target < 0) {
+          fault_event(e.t_s, "straggler derate skipped: no eligible target");
+          break;
+        }
+        pool.SetDerate(target, e.factor, e.t_s, e.until_s);
+        fault_event(e.t_s, "replica " + std::to_string(target) +
+                               " derated x" + seconds(e.factor) +
+                               " until " + seconds(e.until_s) + " s");
+        fault_instant(e.t_s, obs::InstantKind::kReplicaDerated, target, -1,
+                      "derated x" + seconds(e.factor) + " until " +
+                          seconds(e.until_s) + " s");
+        AdversityEvent end;
+        end.t_s = e.until_s;
+        end.kind = AdversityEventKind::kDerateEnd;
+        end.replica = target;
+        end.factor = e.factor;
+        schedule_env(std::move(end));
+        break;
+      }
+      case AdversityEventKind::kDerateEnd:
+        fault_event(e.t_s, "replica " + std::to_string(e.replica) +
+                               " derate ended (back to full clock)");
+        fault_instant(e.t_s, obs::InstantKind::kReplicaDerated, e.replica,
+                      -1, "derate ended");
+        break;
+      case AdversityEventKind::kChurnLeave:
+        fault_event(e.t_s, "workload " + std::to_string(e.workload) +
+                               " churned out (arrivals masked until " +
+                               seconds(e.until_s) + " s)");
+        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
+                      "tenant churned out until " + seconds(e.until_s) +
+                          " s");
+        break;
+      case AdversityEventKind::kChurnRejoin:
+        fault_event(e.t_s, "workload " + std::to_string(e.workload) +
+                               " rejoined");
+        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
+                      "tenant rejoined");
+        break;
+      case AdversityEventKind::kFlashStart:
+        fault_event(e.t_s, "flash crowd x" + seconds(e.factor) +
+                               " across tenants until " +
+                               seconds(e.until_s) + " s");
+        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
+                      "flash crowd x" + seconds(e.factor) + " until " +
+                          seconds(e.until_s) + " s");
+        break;
+      case AdversityEventKind::kFlashEnd:
+        fault_event(e.t_s, "flash crowd ended");
+        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
+                      "flash crowd ended");
+        break;
+    }
+  };
+  // Everything scheduled at or before `t` fires in virtual-time order;
+  // environment events land before a control tick at the same instant
+  // (the world changes, then the control loop observes it).
+  const auto fire_until = [&](double t) {
+    while (true) {
+      const double env_t = env_next < env.size()
+                               ? env[env_next].t_s
+                               : std::numeric_limits<double>::infinity();
+      const double tick_t = autoscaler != nullptr
+                                ? autoscaler->next_tick_s()
+                                : std::numeric_limits<double>::infinity();
+      if (env_t > t && tick_t > t) {
+        break;
+      }
+      if (env_t <= tick_t) {
+        const AdversityEvent e = env[env_next++];
+        fire_env(e);  // May splice paired end events after env_next.
+      } else {
         for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
           record_delta(delta);
           deltas.push_back(std::move(delta));
         }
         sync_timeline();
       }
+    }
+  };
+
+  std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
+                                 0.0);
+  while (auto request = queue.Pop()) {
+    // Control decisions and environment events scheduled at or before this
+    // arrival fire first — the tick clock, the fault timeline, and the
+    // arrival stamps share one virtual timeline. The arrival record only
+    // exists to feed the autoscaler's windowed rate samples; static runs
+    // skip the bookkeeping (hot path).
+    fire_until(request->arrival_s);
+    if (autoscaler != nullptr) {
       stats.RecordArrival(request->workload, request->arrival_s);
     }
     snapshot_until(request->arrival_s);
@@ -339,20 +583,14 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       dispatch(std::move(batch));
     }
   }
-  // Run out the tick clock over the arrival-free tail, then flush.
-  if (autoscaler != nullptr) {
-    while (autoscaler->next_tick_s() <= options.duration_s) {
-      for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
-        record_delta(delta);
-        deltas.push_back(std::move(delta));
-      }
-      sync_timeline();
-    }
-  }
+  // Run out the tick and fault clocks over the arrival-free tail, flush,
+  // then settle whatever the deferred-commit mode still holds.
+  fire_until(options.duration_s);
   snapshot_until(options.duration_s);
   for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
     dispatch(std::move(tail));
   }
+  commit_until(std::numeric_limits<double>::infinity());
 
   // Utilization denominators: each replica against its provisioned span
   // (a no-op for static pools, whose spans are the whole horizon).
@@ -414,7 +652,9 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
   NSF_CHECK_MSG(!options.autoscale,
                 "autoscaling requires the multi-tenant engine — serve a "
                 "mix or a plan (docs/AUTOSCALING.md)");
-  const std::vector<Request> arrivals = SyntheticArrivals(options);
+  std::vector<Request> arrivals = SyntheticArrivals(options);
+  ApplyAdversityArrivals(options.adversity, &arrivals, options.qps,
+                         options.duration_s, options.seed, {1.0});
   ServerPool pool(designs, dfg, options.worker_threads);
   ServeStats stats(pool.size());
   std::shared_ptr<obs::Observability> obs;
@@ -443,8 +683,10 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
     shares[static_cast<std::size_t>(id)] = entry.share;
   }
 
-  const std::vector<Request> arrivals =
+  std::vector<Request> arrivals =
       SyntheticArrivals(options, shares, registry.Names());
+  ApplyAdversityArrivals(options.adversity, &arrivals, options.qps,
+                         options.duration_s, options.seed, shares);
   ServerPool pool(replicas, registry.Dataflows(), options.worker_threads);
   ServeStats stats(pool.size(), registry.size());
   for (WorkloadId w = 0; w < registry.size(); ++w) {

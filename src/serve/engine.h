@@ -30,6 +30,7 @@
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 #include "obs/observability.h"
+#include "serve/adversity.h"
 #include "serve/request.h"
 #include "serve/scenario.h"
 #include "serve/server_pool.h"
@@ -94,6 +95,11 @@ struct ServeOptions {
   /// partitioned pool — every replica dedicated to exactly one workload.
   bool autoscale = false;
   AutoscaleOptions autoscale_opts;
+  /// Environment-fault injection (adversity.h): a seed-deterministic
+  /// fault/straggler/churn/flash timeline composed with the traffic
+  /// scenario. The default `none` pattern leaves every run bit-identical
+  /// to a build without the adversity layer.
+  AdversitySpec adversity;
   /// Observability (docs/OBSERVABILITY.md): with `trace.enabled` the engine
   /// records every request/batch lifecycle span, autoscaler decision, and
   /// replica transition on the virtual timeline into `ServeReport::obs`,

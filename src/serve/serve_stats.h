@@ -39,12 +39,23 @@ struct WorkloadSummary {
 /// One point on the pool's reconfiguration/utilization timeline: either a
 /// periodic autoscaler sample (`event` empty) or an applied PoolDelta
 /// (`event` describes it). Recorded in virtual-time order.
+/// What produced a timeline entry — consumers branch on this instead of
+/// sniffing the event text (the trace exporter maps kSample to counter
+/// samples, kDecision to autoscaler instants, kFault to the adversity
+/// engine's own fault instants).
+enum class PoolEventKind {
+  kSample = 0,    // Periodic control-tick sample (event == "").
+  kDecision = 1,  // Applied autoscaler delta or budget deferral.
+  kFault = 2,     // Environment adversity event (failure/derate/churn).
+};
+
 struct PoolEvent {
   double t_s = 0.0;
   std::string event;            // "" for periodic samples.
   int active_replicas = 0;      // Provisioned (added, not retired) at t_s.
   double window_rate_rps = 0.0; // Trailing-window aggregate arrival rate.
   std::int64_t queue_depth = 0; // Requests pending in forming lanes at t_s.
+  PoolEventKind kind = PoolEventKind::kSample;
 };
 
 /// Point-in-time summary of a finished serve run.

@@ -165,6 +165,8 @@ void ServerPool::AppendReplica(const ReplicaSpec& spec, double ready_s) {
   draining_.push_back(false);
   added_at_.push_back(ready_s);
   retired_at_.push_back(std::numeric_limits<double>::infinity());
+  dead_.emplace_back();
+  derates_.emplace_back();
 }
 
 bool ServerPool::IsTunedFor(WorkloadId tuned_for, WorkloadId workload) const {
@@ -514,7 +516,7 @@ int ServerPool::ActiveReplicas(double t) const {
   int active = 0;
   for (int r = 0; r < size(); ++r) {
     const auto i = static_cast<std::size_t>(r);
-    if (added_at_[i] <= t && t < retired_at_[i]) {
+    if (added_at_[i] <= t && t < retired_at_[i] && !Failed(r, t)) {
       ++active;
     }
   }
@@ -528,8 +530,144 @@ double ServerPool::ReplicaSeconds(double horizon_s) const {
     const double from = std::min(added_at_[i], horizon_s);
     const double to = std::min(retired_at_[i], horizon_s);
     total += std::max(0.0, to - from);
+    // Dead time is not billed: a dark replica consumes no FPGA seconds
+    // (docs/AUTOSCALING.md — the adversity overhead gate compares the
+    // surviving fleet plus replacements against the fault-free run).
+    for (const DeadSpan& span : dead_[i]) {
+      const double dead_from = std::max(span.fail_s, from);
+      const double dead_to = std::min(span.recover_s, to);
+      total -= std::max(0.0, dead_to - dead_from);
+    }
   }
   return total;
+}
+
+void ServerPool::FailReplica(int replica, double fail_s, double recover_s,
+                             double warmup_s) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  const auto r = static_cast<std::size_t>(replica);
+  NSF_CHECK_MSG(recover_s > fail_s, "recovery must follow the failure");
+  NSF_CHECK_MSG(warmup_s >= 0.0, "warmup must be non-negative");
+  NSF_CHECK_MSG(!draining_[r], "cannot fail a draining replica");
+  NSF_CHECK_MSG(!Failed(replica, fail_s), "replica is already dark");
+  NSF_CHECK_MSG(dead_[r].empty() || dead_[r].back().up_s <= fail_s,
+                "failure overlaps the previous outage's warm-up");
+  // Never inject an unservable topology: every workload this replica
+  // serves must survive on another live replica.
+  for (std::size_t w = 0; w < dfgs_.size(); ++w) {
+    if (!serves_[r][w]) {
+      continue;
+    }
+    bool covered = false;
+    for (int other = 0; other < size() && !covered; ++other) {
+      covered = other != replica &&
+                !draining_[static_cast<std::size_t>(other)] &&
+                !Failed(other, fail_s) &&
+                serves_[static_cast<std::size_t>(other)][w];
+    }
+    NSF_CHECK_MSG(covered,
+                  "replica failure would leave a workload with no live "
+                  "replica able to serve it");
+  }
+  dead_[r].push_back(DeadSpan{fail_s, recover_s, recover_s + warmup_s});
+  // The schedule jumps past the outage: dispatch's argmin then routes
+  // around the dark replica (or correctly books post-recovery work on it
+  // when every survivor is busier).
+  free_at_[r] = std::max(free_at_[r], recover_s + warmup_s);
+}
+
+void ServerPool::SetDerate(int replica, double factor, double from_s,
+                           double until_s) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  NSF_CHECK_MSG(factor >= 1.0, "derate factor must be >= 1");
+  NSF_CHECK_MSG(until_s > from_s, "derate window must be non-empty");
+  derates_[static_cast<std::size_t>(replica)].push_back(
+      DerateSpan{from_s, until_s, factor});
+  has_derates_ = true;
+}
+
+bool ServerPool::Failed(int replica, double t) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  for (const DeadSpan& span : dead_[static_cast<std::size_t>(replica)]) {
+    if (t >= span.fail_s && t < span.recover_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ServerPool::DerateAt(int replica, double t) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  for (const DerateSpan& span : derates_[static_cast<std::size_t>(replica)]) {
+    if (t >= span.from_s && t < span.until_s) {
+      return span.factor;
+    }
+  }
+  return 1.0;
+}
+
+ServerPool::ReplicaHealth ServerPool::Health(int replica, double t) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  for (const DeadSpan& span : dead_[static_cast<std::size_t>(replica)]) {
+    if (t >= span.fail_s && t < span.recover_s) {
+      return ReplicaHealth::kFailed;
+    }
+    if (t >= span.recover_s && t < span.up_s) {
+      return ReplicaHealth::kRecovering;
+    }
+  }
+  if (DerateAt(replica, t) > 1.0) {
+    return ReplicaHealth::kDerated;
+  }
+  return ReplicaHealth::kUp;
+}
+
+double ServerPool::FreeAt(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return free_at_[static_cast<std::size_t>(replica)];
+}
+
+int ServerPool::ResolveFaultTarget(int requested, double t,
+                                   bool for_failure) const {
+  const auto eligible = [&](int r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (draining_[i] || Failed(r, t) || added_at_[i] > t ||
+        retired_at_[i] <= t) {
+      return false;
+    }
+    if (for_failure) {
+      // Losing this replica must orphan no workload (mirrors the
+      // FailReplica check so a resolved target never throws there).
+      for (std::size_t w = 0; w < dfgs_.size(); ++w) {
+        if (!serves_[i][w]) {
+          continue;
+        }
+        bool covered = false;
+        for (int other = 0; other < size() && !covered; ++other) {
+          covered = other != r &&
+                    !draining_[static_cast<std::size_t>(other)] &&
+                    !Failed(other, t) &&
+                    serves_[static_cast<std::size_t>(other)][w];
+        }
+        if (!covered) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (requested >= 0) {
+    return requested < size() && eligible(requested) ? requested : -1;
+  }
+  int choice = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (eligible(r) &&
+        (choice < 0 || free_at_[static_cast<std::size_t>(r)] >
+                           free_at_[static_cast<std::size_t>(choice)])) {
+      choice = r;
+    }
+  }
+  return choice;
 }
 
 DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
@@ -550,13 +688,18 @@ DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
     }
   }
   NSF_CHECK_MSG(choice >= 0, "no replica serves the batch's workload");
-  const double service = BatchSeconds(choice, batch.workload, batch.size());
   DispatchRecord record;
   record.batch_index = dispatched_batches_++;
   record.replica = choice;
   record.workload = batch.workload;
   record.start_s =
       std::max(batch.formed_s, free_at_[static_cast<std::size_t>(choice)]);
+  // A straggler's derate multiplies the modeled service time at the start
+  // instant; the guard keeps derate-free runs bit-identical (no *1.0).
+  double service = BatchSeconds(choice, batch.workload, batch.size());
+  if (has_derates_) {
+    service *= DerateAt(choice, record.start_s);
+  }
   record.complete_s = record.start_s + service;
   record.size = batch.size();
   free_at_[static_cast<std::size_t>(choice)] = record.complete_s;

@@ -201,6 +201,44 @@ class ServerPool {
   /// (docs/AUTOSCALING.md).
   double ReplicaSeconds(double horizon_s) const;
 
+  // ---- Environment faults (the adversity engine's surface; adversity.h).
+  // Fault state is deterministic virtual-time intervals, so health is a
+  // pure function of (replica, t) and a seeded run stays bit-reproducible.
+
+  enum class ReplicaHealth { kUp, kDerated, kFailed, kRecovering };
+
+  /// Fail `replica` at `fail_s`: dark until `recover_s`, then `warmup_s`
+  /// seconds of re-warming before it takes new work (its schedule jumps to
+  /// recover_s + warmup_s, so dispatch routes around the outage on its
+  /// own). Refuses to orphan a workload: everything it serves must keep
+  /// another live, non-draining capable replica. The engine re-enqueues
+  /// the in-flight batches it had scheduled here (no lost requests).
+  void FailReplica(int replica, double fail_s, double recover_s,
+                   double warmup_s = 0.0);
+
+  /// Derate `replica`'s clock by `factor` (service times multiply) inside
+  /// [from_s, until_s) — the straggler pattern. Cached cycle-model
+  /// latencies stay exact; the multiplier applies at dispatch time.
+  void SetDerate(int replica, double factor, double from_s, double until_s);
+
+  /// Whether `replica` is dark at `t` (inside a [fail, recover) window).
+  bool Failed(int replica, double t) const;
+  /// The derate multiplier in effect on `replica` at `t` (1.0 when none).
+  double DerateAt(int replica, double t) const;
+  /// Health state at `t`: kFailed in [fail, recover), kRecovering in
+  /// [recover, recover + warmup), kDerated inside a derate window, kUp
+  /// otherwise.
+  ReplicaHealth Health(int replica, double t) const;
+  /// The replica's scheduled-free time (the dispatch argmin key).
+  double FreeAt(int replica) const;
+
+  /// Resolve a fault target at virtual time `t`: `requested` if it is a
+  /// live (added, not retired/draining/failed) replica — additionally one
+  /// whose loss orphans no workload when `for_failure` — else -1. Pass
+  /// requested = -1 to pick the busiest eligible replica (max FreeAt, ties
+  /// to the lowest id); returns -1 when no replica is eligible.
+  int ResolveFaultTarget(int requested, double t, bool for_failure) const;
+
   /// Dispatch one formed batch to the earliest-available replica able to
   /// serve its workload (ties to the lowest id), advancing the schedule.
   /// Fills per-request latencies, the batch/backlog sample (`queue_depth`
@@ -306,6 +344,24 @@ class ServerPool {
   std::vector<bool> draining_;                       // No new batches.
   std::vector<double> added_at_;                     // Provisioning time.
   std::vector<double> retired_at_;                   // +inf while active.
+
+  /// Environment-fault intervals (adversity engine). Time-ordered and
+  /// non-overlapping per replica; empty vectors on healthy pools keep the
+  /// fast paths branch-free (`has_derates_` gates the dispatch multiply so
+  /// fault-free runs stay bit-identical to pre-adversity builds).
+  struct DeadSpan {
+    double fail_s;     // Replica goes dark.
+    double recover_s;  // Back from the dead...
+    double up_s;       // ...but warming until here (recover + warmup).
+  };
+  struct DerateSpan {
+    double from_s;
+    double until_s;
+    double factor;  // >= 1: service-time multiplier.
+  };
+  std::vector<std::vector<DeadSpan>> dead_;          // Per replica.
+  std::vector<std::vector<DerateSpan>> derates_;     // Per replica.
+  bool has_derates_ = false;
   std::int64_t dispatched_batches_ = 0;
   int worker_threads_;
 

@@ -123,6 +123,9 @@ const std::vector<CommandSpec>& Commands() {
            {"--scenario", "name[:k=v,...]", "poisson",
             "arrival pattern: poisson | diurnal | bursty | ramp | spike |"
             " closed | trace (docs/SCENARIOS.md)"},
+           {"--adversity", "name[:k=v,...]", "none",
+            "environment-fault injection: none | replica-fail | straggler |"
+            " churn | flash (seed-deterministic; docs/SCENARIOS.md)"},
            {"--plan", "FILE", "off",
             "execute a PoolPlan emitted by `nsflow plan --out` and report"
             " predicted vs measured latency"},
@@ -362,6 +365,8 @@ CliArgs Parse(int argc, char** argv) {
     } else if (flag == "--scenario") {
       args.serve.scenario = serve::ScenarioSpec::Parse(next());
       args.scenario_set = true;
+    } else if (flag == "--adversity") {
+      args.serve.adversity = serve::AdversitySpec::Parse(next());
     } else if (flag == "--plan") {
       args.plan_path = next();
     } else if (flag == "--trace-out") {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "serve/adversity.h"
 #include "serve/engine.h"
 #include "serve/scenario.h"
 
@@ -288,6 +289,24 @@ TEST(ScenarioTest, SpecRejectsUnknownNamesAndParameters) {
   // Off-state alone exceeding the mean rate has no valid on-state rate —
   // rejected at parse time, and the peak-rate query agrees.
   EXPECT_THROW(ScenarioSpec::Parse("bursty:idle=7"), Error);
+
+  // AdversitySpec shares the strict-parse contract (serve/adversity.h):
+  // unknown patterns and keys, malformed k=v entries, and out-of-range
+  // values all throw instead of silently falling back to defaults.
+  EXPECT_THROW(AdversitySpec::Parse("meteor"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:donw=2"), Error);  // Typo.
+  EXPECT_THROW(AdversitySpec::Parse("none:at=1"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:at="), Error);
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:at=soon"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("straggler:at"), Error);  // No '='.
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:down=0"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:count=0"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("replica-fail:replica=-2"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("straggler:factor=0.5"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("churn:workload=1.5"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("churn:workload=-1"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("flash:mult=0.9"), Error);
+  EXPECT_THROW(AdversitySpec::Parse("flash:width=-1"), Error);
 }
 
 TEST(ScenarioTest, ToStringRoundTripsHighPrecisionParams) {

@@ -4,8 +4,9 @@
 Runs the serve benches from an existing build tree and records the perf
 trajectory artifacts: BENCH_serve.json (fast-path cycle estimation — see
 docs/PERFORMANCE.md) and BENCH_plan.json (capacity-planner predicted vs
-measured p99 per traffic scenario plus the elastic-vs-static autoscale
-headline — see docs/PLANNING.md and docs/AUTOSCALING.md). The heavy
+measured p99 per traffic scenario, the elastic-vs-static autoscale
+headline, and the adversity hardening gate — see docs/PLANNING.md,
+docs/AUTOSCALING.md, and docs/SCENARIOS.md). The heavy
 lifting happens inside bench_serve_fastpath and bench_plan_scenarios;
 this script drives them, sanity-checks the emitted JSON, and fails loudly
 when the fast-path estimator diverges from the functional simulator, a
@@ -123,6 +124,16 @@ def collect_metrics(serve_report, plan_report):
                 ("autoscale.elastic_p99_ms", autoscale["elastic_p99_ms"],
                  "lower", "virtual"),
                 ("autoscale.elastic_wall_ms", autoscale["elastic_wall_ms"],
+                 "lower", "wall"),
+            ]
+        adversity = plan_report.get("adversity")
+        if adversity is not None:
+            metrics += [
+                ("adversity.replica_seconds_overhead",
+                 adversity["replica_seconds_overhead"], "lower", "virtual"),
+                ("adversity.fault_p99_ms", adversity["fault_p99_ms"],
+                 "lower", "virtual"),
+                ("adversity.fault_wall_ms", adversity["fault_wall_ms"],
                  "lower", "wall"),
             ]
     return metrics
@@ -294,6 +305,14 @@ def main():
               f"{autoscale['elastic_p99_ms']:.2f} ms "
               f"(SLO {autoscale['p99_slo_ms']:.0f} ms, "
               f"gate {100 * autoscale['replica_seconds_gate']:.0f}%)")
+    adversity = plan_report.get("adversity")
+    if adversity is not None:
+        print(f"adversity: {adversity['pattern']} held p99 "
+              f"{adversity['fault_p99_ms']:.2f} ms "
+              f"(SLO {adversity['p99_slo_ms']:.0f} ms) at "
+              f"{100 * (adversity['replica_seconds_overhead'] - 1):.1f}% "
+              f"replica-seconds overhead (gate "
+              f"{100 * (adversity['overhead_gate'] - 1):.0f}%)")
 
     if args.full:
         for bench in ("bench_serve_throughput", "bench_serve_multitenant",
