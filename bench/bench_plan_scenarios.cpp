@@ -22,6 +22,12 @@
 // gated on the p99 SLO holding at <= 15% extra replica-seconds versus the
 // fault-free elastic run.
 //
+// The `admission` section is the overload-shedding headline
+// (docs/ADMISSION.md): the planned pool driven at 3x its planning rate
+// (spike scenario) with one replica failed, gated on the critical tenant
+// holding its 50 ms p99 with only batch-tier traffic shed, zero
+// expired-but-dispatched requests, and bit-identical same-seed repeats.
+//
 // Usage: bench_plan_scenarios [--out BENCH_plan.json] [--smoke]
 #include <chrono>
 #include <cstdio>
@@ -343,6 +349,122 @@ int main(int argc, char** argv) {
   adversity["generated"] = Json(fault_report.generated_requests);
   adversity["fault_wall_ms"] = Json(fault_ms);
 
+  // ---- bench_admission: the overload-shedding headline (docs/ADMISSION.md).
+  // The same planned 2000-qps pool, now driven at 3x its planning rate by a
+  // spike scenario with one replica failed — an overload no static pool
+  // absorbs. The admission frontend must hold the critical tenant's 50 ms
+  // p99 by shedding *only* batch-tier traffic: zero critical sheds or
+  // expiries, zero expired-but-dispatched requests, and the whole guarded
+  // run bit-identical across two same-seed repeats.
+  std::printf("\n--- admission: 3x spike + replica loss, guarded ---\n");
+  serve::ServeOptions admission_options = elastic_options;
+  admission_options.autoscale = false;
+  admission_options.scenario = serve::ScenarioSpec::Parse("spike:mult=3");
+  admission_options.adversity = serve::AdversitySpec::Parse("replica-fail");
+  // An absolute per-tenant rate well above the 3x crest: the token bucket
+  // never bites, so every shed is the overload path protecting the pool.
+  admission_options.admission =
+      serve::AdmissionSpec::Parse("guard:rate=6000");
+  admission_options.tiers = {serve::SlaTier::kCritical,
+                             serve::SlaTier::kBatch};
+  const auto admission_start = Clock::now();
+  const serve::ServeReport guarded = serve::RunSyntheticServe(
+      elastic_registry, elastic_plan.Replicas(), elastic_mix,
+      admission_options);
+  const double admission_ms = ElapsedMs(admission_start);
+  const serve::ServeReport guarded_again = serve::RunSyntheticServe(
+      elastic_registry, elastic_plan.Replicas(), elastic_mix,
+      admission_options);
+
+  double critical_p99_ms = 0.0;
+  for (const serve::TierSummary& tier : guarded.summary.per_tier) {
+    if (tier.tier == serve::SlaTier::kCritical) {
+      critical_p99_ms = tier.p99_ms;
+    }
+  }
+  std::int64_t protected_loss = 0;  // Critical/standard sheds + expiries.
+  std::int64_t batch_shed = 0;
+  std::int64_t offered_total = 0;
+  for (const serve::AdmissionTenantSummary& row : guarded.admission) {
+    offered_total += row.offered;
+    if (row.tier == serve::SlaTier::kBatch) {
+      batch_shed += row.shed();
+    } else {
+      protected_loss += row.shed() + row.expired;
+    }
+  }
+  const bool bit_identical =
+      guarded.generated_requests == guarded_again.generated_requests &&
+      guarded.summary.completed == guarded_again.summary.completed &&
+      guarded.summary.p99_ms == guarded_again.summary.p99_ms &&
+      critical_p99_ms ==
+          [&] {
+            for (const serve::TierSummary& tier :
+                 guarded_again.summary.per_tier) {
+              if (tier.tier == serve::SlaTier::kCritical) {
+                return tier.p99_ms;
+              }
+            }
+            return -1.0;
+          }();
+  std::printf(
+      "guarded:  critical p99 %7.3f ms (SLO %.1f ms), %lld batch shed, "
+      "%lld protected-tier losses, %lld offered (%.1f ms wall)\n",
+      critical_p99_ms, slo_ms, static_cast<long long>(batch_shed),
+      static_cast<long long>(protected_loss),
+      static_cast<long long>(offered_total), admission_ms);
+  if (critical_p99_ms > slo_ms) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADMISSION VIOLATION: critical p99 %.3f ms misses the "
+                 "%.1f ms SLO through the 3x spike\n",
+                 critical_p99_ms, slo_ms);
+  }
+  if (protected_loss != 0) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADMISSION VIOLATION: %lld critical/standard requests "
+                 "shed or expired (only batch may shed)\n",
+                 static_cast<long long>(protected_loss));
+  }
+  if (batch_shed == 0) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADMISSION VIOLATION: the 3x spike shed no batch traffic "
+                 "— the overload gate was not exercised\n");
+  }
+  if (guarded.expired_dispatched != 0) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADMISSION VIOLATION: %lld expired request(s) were "
+                 "dispatched\n",
+                 static_cast<long long>(guarded.expired_dispatched));
+  }
+  if (!bit_identical) {
+    ++violations;
+    std::fprintf(stderr,
+                 "ADMISSION VIOLATION: two same-seed guarded runs "
+                 "diverged\n");
+  }
+
+  JsonObject admission;
+  admission["policy"] = Json(admission_options.admission.ToString());
+  admission["scenario"] = Json("spike:mult=3");
+  admission["adversity"] = Json(admission_options.adversity.ToString());
+  admission["mix"] = Json("mlp=0.2,resnet18=0.8");
+  admission["tiers"] = Json("mlp=critical,resnet18=batch");
+  admission["qps"] = Json(elastic_plan_options.qps);
+  admission["p99_slo_ms"] = Json(slo_ms);
+  admission["critical_p99_ms"] = Json(critical_p99_ms);
+  admission["batch_shed"] = Json(batch_shed);
+  admission["protected_tier_losses"] = Json(protected_loss);
+  admission["expired_dispatched"] = Json(guarded.expired_dispatched);
+  admission["offered"] = Json(offered_total);
+  admission["completed"] = Json(guarded.summary.completed);
+  admission["generated"] = Json(guarded.generated_requests);
+  admission["bit_identical"] = Json(bit_identical);
+  admission["wall_ms"] = Json(admission_ms);
+
   JsonObject tolerance;
   tolerance["low"] = Json(kToleranceLow);
   tolerance["high"] = Json(kToleranceHigh);
@@ -360,6 +482,7 @@ int main(int argc, char** argv) {
   root["scenarios"] = Json(std::move(scenario_rows));
   root["autoscale"] = Json(std::move(autoscale));
   root["adversity"] = Json(std::move(adversity));
+  root["admission"] = Json(std::move(admission));
   root["tolerance"] = Json(std::move(tolerance));
 
   std::ofstream out(out_path, std::ios::binary);

@@ -117,6 +117,21 @@ ChromeEvent Instant(const InstantEvent& record, const TraceMeta& meta) {
       event.cat = "adversity";
       event.pid = kAutoscalerPid;
       break;
+    case InstantKind::kAdmissionShed:
+      event.name = "shed";
+      event.cat = "admission";
+      event.pid = kAutoscalerPid;
+      break;
+    case InstantKind::kAdmissionRetry:
+      event.name = "retry";
+      event.cat = "admission";
+      event.pid = kAutoscalerPid;
+      break;
+    case InstantKind::kAdmissionExpired:
+      event.name = "expired";
+      event.cat = "admission";
+      event.pid = kAutoscalerPid;
+      break;
   }
   if (!record.detail.empty()) {
     event.args["detail"] = Json(record.detail);

@@ -86,6 +86,10 @@ enum class InstantKind : std::int32_t {
   kReplicaRecovered = 7,  // Back up (possibly still warming).
   kReplicaDerated = 8,    // Straggler derate window opened/closed.
   kEnvironment = 9,       // Tenant churn / flash-crowd window markers.
+  // Admission frontend decisions (serve/admission.h).
+  kAdmissionShed = 10,     // Final shed (detail = quota/overload + tier).
+  kAdmissionRetry = 11,    // Shed standard request scheduled for re-offer.
+  kAdmissionExpired = 12,  // Admitted request swept before dispatch.
 };
 
 struct InstantEvent {

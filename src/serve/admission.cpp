@@ -1,0 +1,419 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace nsflow::serve {
+
+const char* TierName(SlaTier tier) {
+  switch (tier) {
+    case SlaTier::kCritical: return "critical";
+    case SlaTier::kStandard: return "standard";
+    case SlaTier::kBatch: return "batch";
+  }
+  throw Error("unknown SLA tier");
+}
+
+SlaTier TierFromName(const std::string& name) {
+  if (name == "critical") {
+    return SlaTier::kCritical;
+  }
+  if (name == "standard") {
+    return SlaTier::kStandard;
+  }
+  if (name == "batch") {
+    return SlaTier::kBatch;
+  }
+  throw Error("unknown SLA tier '" + name +
+              "' (known: critical, standard, batch)");
+}
+
+namespace {
+
+struct KindInfo {
+  AdmissionKind kind;
+  const char* name;
+  // Parameter keys this policy accepts (nullptr-terminated).
+  const char* keys[8];
+};
+
+constexpr KindInfo kKinds[] = {
+    {AdmissionKind::kNone, "none", {nullptr}},
+    {AdmissionKind::kQuota,
+     "quota",
+     {"rate", "burst", "retry", "backoff", nullptr}},
+    {AdmissionKind::kSlo, "slo", {"deadline", "retry", "backoff", nullptr}},
+    {AdmissionKind::kOverload,
+     "overload",
+     {"depth", "live", "retry", "backoff", nullptr}},
+    {AdmissionKind::kGuard,
+     "guard",
+     {"rate", "burst", "deadline", "depth", "live", "retry", "backoff",
+      nullptr}},
+};
+
+const KindInfo& InfoFor(AdmissionKind kind) {
+  for (const KindInfo& info : kKinds) {
+    if (info.kind == kind) {
+      return info;
+    }
+  }
+  throw Error("unknown admission kind");
+}
+
+std::string KnownPolicyNames() {
+  std::string names;
+  for (const KindInfo& info : kKinds) {
+    names += (names.empty() ? "" : ", ") + std::string(info.name);
+  }
+  return names;
+}
+
+bool IsIntegral(double value) { return value == std::floor(value); }
+
+bool HasKey(const KindInfo& info, const char* key) {
+  for (const char* const* k = info.keys; *k != nullptr; ++k) {
+    if (std::strcmp(key, *k) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+AdmissionSpec AdmissionSpec::Parse(const std::string& text) {
+  AdmissionSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  bool known = false;
+  for (const KindInfo& info : kKinds) {
+    if (name == info.name) {
+      spec.kind = info.kind;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw Error("unknown admission policy '" + name +
+                "' (known: " + KnownPolicyNames() + ")");
+  }
+
+  std::size_t start = colon == std::string::npos ? text.size() : colon + 1;
+  while (start < text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string entry = text.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (entry.empty() || eq == std::string::npos || eq == 0) {
+      throw Error("bad admission parameter '" + entry +
+                  "' (expected key=value)");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    const KindInfo& info = InfoFor(spec.kind);
+    if (!HasKey(info, key.c_str())) {
+      std::string keys;
+      for (const char* const* k = info.keys; *k != nullptr; ++k) {
+        keys += (keys.empty() ? "" : ", ") + std::string(*k);
+      }
+      throw Error("admission policy '" + std::string(info.name) +
+                  "' has no parameter '" + key + "'" +
+                  (keys.empty() ? "" : " (known: " + keys + ")"));
+    }
+    try {
+      spec.params[key] = std::stod(value);
+    } catch (const std::exception&) {
+      throw Error("bad numeric value for admission parameter '" + key +
+                  "': '" + value + "'");
+    }
+    start = end + 1;
+  }
+
+  // Range validation of the provided parameters (defaults are always
+  // valid; the tenant-relative rate default resolves at construction).
+  const auto require = [&](bool ok, const char* message) {
+    if (!ok) {
+      throw Error("admission '" + spec.Name() + "': " + message);
+    }
+  };
+  const KindInfo& info = InfoFor(spec.kind);
+  if (HasKey(info, "rate")) {
+    require(spec.Param("rate", 1.0) > 0.0, "rate must be positive");
+    require(spec.Param("burst", 1.0) >= 1.0, "burst must be >= 1");
+  }
+  if (HasKey(info, "deadline")) {
+    require(spec.Param("deadline", 1.0) > 0.0, "deadline must be positive");
+  }
+  if (HasKey(info, "depth")) {
+    require(spec.Param("depth", 1.0) >= 1.0 &&
+                IsIntegral(spec.Param("depth", 1.0)),
+            "depth must be a positive integer");
+    require(spec.Param("live", 0.5) >= 0.0 && spec.Param("live", 0.5) <= 1.0,
+            "live must be a fraction in [0, 1]");
+  }
+  if (spec.kind != AdmissionKind::kNone) {
+    require(spec.Param("retry", 0.0) >= 0.0 &&
+                IsIntegral(spec.Param("retry", 0.0)),
+            "retry must be a non-negative integer");
+    require(spec.Param("backoff", 0.0) >= 0.0,
+            "backoff must be non-negative");
+  }
+  return spec;
+}
+
+std::string AdmissionSpec::Name() const { return InfoFor(kind).name; }
+
+std::string AdmissionSpec::ToString() const {
+  std::string out = Name();
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    sep = ',';
+    // Shortest form that parses back to the same double (same canonical
+    // printing as ScenarioSpec/AdversitySpec — report JSON records it).
+    char buf[64];
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) {
+          break;
+        }
+      }
+    }
+    out += key + "=" + buf;
+  }
+  return out;
+}
+
+double AdmissionSpec::Param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+AdmissionController::AdmissionController(const AdmissionSpec& spec,
+                                         std::vector<TenantConfig> tenants)
+    : spec_(spec), tenants_(std::move(tenants)) {
+  NSF_CHECK_MSG(!tenants_.empty(), "admission needs at least one tenant");
+  quota_on_ = spec_.kind == AdmissionKind::kQuota ||
+              spec_.kind == AdmissionKind::kGuard;
+  deadline_on_ = spec_.kind == AdmissionKind::kSlo ||
+                 spec_.kind == AdmissionKind::kGuard;
+  overload_on_ = spec_.kind == AdmissionKind::kOverload ||
+                 spec_.kind == AdmissionKind::kGuard;
+  deadline_s_ = spec_.Param("deadline", 0.05);
+  depth_ = static_cast<std::int64_t>(spec_.Param("depth", 64.0));
+  live_ = spec_.Param("live", 0.75);
+  retry_budget_ = static_cast<std::int64_t>(spec_.Param("retry", 1.0));
+  backoff_s_ = spec_.Param("backoff", 0.01);
+
+  stats_.reserve(tenants_.size());
+  buckets_.reserve(tenants_.size());
+  counters_.resize(tenants_.size());
+  for (const TenantConfig& tenant : tenants_) {
+    AdmissionTenantSummary stat;
+    stat.tenant = tenant.name;
+    stat.tier = tenant.tier;
+    stats_.push_back(std::move(stat));
+
+    Bucket bucket;
+    // An explicit rate is an absolute per-tenant contract; the default is
+    // the tenant's share of the run's offered rate (a bucket sized for the
+    // traffic actually aimed at it, so steady runs never quota-shed).
+    bucket.rate = spec_.Param("rate", tenant.offered_rps);
+    bucket.burst = spec_.Param("burst", std::max(1.0, 0.25 * bucket.rate));
+    bucket.tokens = bucket.burst;  // Opens full: bursts up to `burst` pass.
+    // A zero-share tenant (listed in the registry, absent from the mix)
+    // keeps a zero refill rate: it admits its opening burst and then
+    // quota-sheds — it has no traffic contract, so any arrivals that reach
+    // it (e.g. a replayed trace) are treated as over quota.
+    buckets_.push_back(bucket);
+  }
+}
+
+double AdmissionController::DeadlineBudget(SlaTier tier) const {
+  if (!deadline_on_ || tier == SlaTier::kBatch) {
+    return kInf;  // Batch is throughput traffic: no start deadline.
+  }
+  return tier == SlaTier::kCritical ? deadline_s_ : 4.0 * deadline_s_;
+}
+
+bool AdmissionController::TakeToken(WorkloadId workload, double now_s) {
+  Bucket& bucket = buckets_[static_cast<std::size_t>(workload)];
+  bucket.tokens = std::min(
+      bucket.burst, bucket.tokens + bucket.rate * (now_s - bucket.refilled_s));
+  bucket.refilled_s = now_s;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::CountFinalShed(const Request& request, bool quota) {
+  const auto w = static_cast<std::size_t>(request.workload);
+  if (quota) {
+    ++stats_[w].shed_quota;
+  } else {
+    ++stats_[w].shed_overload;
+  }
+  ++removed_;
+  if (counters_[w].shed != nullptr) {
+    counters_[w].shed->Increment();
+  }
+}
+
+bool AdmissionController::ShedOrRetry(Request* request, bool quota,
+                                      double now_s) {
+  const auto w = static_cast<std::size_t>(request->workload);
+  if (request->tier == SlaTier::kStandard &&
+      request->attempt < retry_budget_) {
+    // Exponential backoff from the *current* offer time; the deadline
+    // stays anchored at the original arrival (the client's contract).
+    PendingRetry retry;
+    retry.retry_at_s = now_s + backoff_s_ * std::ldexp(1.0, request->attempt);
+    retry.request = *request;
+    retry.request.arrival_s = retry.retry_at_s;
+    ++retry.request.attempt;
+    retries_.push(std::move(retry));
+    ++stats_[w].retried;
+    if (counters_[w].retried != nullptr) {
+      counters_[w].retried->Increment();
+    }
+    return false;
+  }
+  CountFinalShed(*request, quota);
+  return false;
+}
+
+bool AdmissionController::Offer(Request* request, std::int64_t backlog,
+                                double live_fraction) {
+  NSF_CHECK(request != nullptr);
+  const auto w = static_cast<std::size_t>(request->workload);
+  NSF_CHECK_MSG(w < tenants_.size(), "offer for an unknown tenant");
+  ++stats_[w].offered;
+  request->tier = tenants_[w].tier;
+  if (request->attempt == 0) {
+    request->deadline_s = request->arrival_s + DeadlineBudget(request->tier);
+  }
+  // A retry re-offered at or past its original deadline can no longer
+  // start in time: shed it instead of admitting doomed work.
+  if (request->arrival_s > request->deadline_s) {
+    CountFinalShed(*request, /*quota=*/false);
+    return false;
+  }
+  if (quota_on_ && !TakeToken(request->workload, request->arrival_s)) {
+    return ShedOrRetry(request, /*quota=*/true, request->arrival_s);
+  }
+  if (overload_on_) {
+    // Lowest tier first: batch sheds at the first overload signal (deep
+    // backlog *or* degraded pool), standard only under 4x-deep backlog,
+    // critical never load-sheds.
+    const bool overloaded = backlog >= depth_ || live_fraction < live_;
+    if (overloaded && request->tier == SlaTier::kBatch) {
+      CountFinalShed(*request, /*quota=*/false);
+      return false;
+    }
+    if (backlog >= 4 * depth_ && request->tier == SlaTier::kStandard) {
+      return ShedOrRetry(request, /*quota=*/false, request->arrival_s);
+    }
+  }
+  ++stats_[w].admitted;
+  if (counters_[w].admitted != nullptr) {
+    counters_[w].admitted->Increment();
+  }
+  return true;
+}
+
+double AdmissionController::NextRetryAt() const {
+  return retries_.empty() ? kInf : retries_.top().retry_at_s;
+}
+
+Request AdmissionController::PopRetry() {
+  NSF_CHECK_MSG(!retries_.empty(), "no pending retry to pop");
+  Request request = retries_.top().request;
+  retries_.pop();
+  return request;
+}
+
+std::int64_t AdmissionController::CloseRetries() {
+  std::int64_t closed = 0;
+  while (!retries_.empty()) {
+    // Shutdown: the frontend stops admitting, so a pending retry can never
+    // re-enter — it finalizes as an overload shed.
+    CountFinalShed(retries_.top().request, /*quota=*/false);
+    retries_.pop();
+    ++closed;
+  }
+  return closed;
+}
+
+std::int64_t AdmissionController::SweepExpired(Batch* batch, double start_s) {
+  NSF_CHECK(batch != nullptr);
+  auto& requests = batch->requests;
+  std::int64_t removed = 0;
+  const auto expired = [&](const Request& request) {
+    if (start_s <= request.deadline_s) {
+      return false;
+    }
+    const auto w = static_cast<std::size_t>(request.workload);
+    ++stats_[w].expired;
+    ++removed_;
+    if (counters_[w].expired != nullptr) {
+      counters_[w].expired->Increment();
+    }
+    ++removed;
+    return true;
+  };
+  requests.erase(std::remove_if(requests.begin(), requests.end(), expired),
+                 requests.end());
+  return removed;
+}
+
+SlaTier AdmissionController::TierOf(WorkloadId workload) const {
+  NSF_CHECK(workload >= 0 &&
+            static_cast<std::size_t>(workload) < tenants_.size());
+  return tenants_[static_cast<std::size_t>(workload)].tier;
+}
+
+bool AdmissionController::TierShed(SlaTier tier) const {
+  for (const AdmissionTenantSummary& stat : stats_) {
+    if (stat.tier == tier && (stat.shed() > 0 || stat.expired > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AdmissionTenantSummary> AdmissionController::Summaries() const {
+  return stats_;
+}
+
+void AdmissionController::AttachMetrics(obs::MetricsRegistry* registry) {
+  for (std::size_t w = 0; w < tenants_.size(); ++w) {
+    if (registry == nullptr) {
+      counters_[w] = Counters{};
+      continue;
+    }
+    const std::string& tenant = tenants_[w].name;
+    counters_[w].admitted = registry->GetCounter("admission.admitted." + tenant);
+    counters_[w].shed = registry->GetCounter("admission.shed." + tenant);
+    counters_[w].expired = registry->GetCounter("admission.expired." + tenant);
+    counters_[w].retried = registry->GetCounter("admission.retried." + tenant);
+  }
+}
+
+}  // namespace nsflow::serve

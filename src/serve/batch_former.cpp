@@ -79,6 +79,7 @@ MultiBatchFormer::MultiBatchFormer(std::vector<BatchPolicy> policies)
                   "max_wait_s must be non-negative");
   }
   lanes_.resize(policies_.size());
+  lane_priority_.assign(policies_.size(), 0);
 }
 
 Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s,
@@ -121,9 +122,16 @@ std::vector<WorkloadId> MultiBatchFormer::ExpiredLanes(
       expired.push_back(w);
     }
   }
-  // Oldest head-of-line first; workload id breaks exact ties.
+  // Lane priority first (critical preempts batch under admission tiers),
+  // then oldest head-of-line; workload id breaks exact ties. With all
+  // priorities at the default 0 this is the legacy fairness order.
   std::sort(expired.begin(), expired.end(),
             [this](WorkloadId a, WorkloadId b) {
+              const int pa = lane_priority_[static_cast<std::size_t>(a)];
+              const int pb = lane_priority_[static_cast<std::size_t>(b)];
+              if (pa != pb) {
+                return pa < pb;
+              }
               const double ha = lanes_[static_cast<std::size_t>(a)].front()
                                     .arrival_s;
               const double hb = lanes_[static_cast<std::size_t>(b)].front()
@@ -167,6 +175,11 @@ std::vector<Batch> MultiBatchFormer::Flush(double now) {
     }
   }
   std::sort(order.begin(), order.end(), [this](WorkloadId a, WorkloadId b) {
+    const int pa = lane_priority_[static_cast<std::size_t>(a)];
+    const int pb = lane_priority_[static_cast<std::size_t>(b)];
+    if (pa != pb) {
+      return pa < pb;
+    }
     const double ha = lanes_[static_cast<std::size_t>(a)].front().arrival_s;
     const double hb = lanes_[static_cast<std::size_t>(b)].front().arrival_s;
     return ha != hb ? ha < hb : a < b;
@@ -197,6 +210,11 @@ void MultiBatchFormer::SetPolicy(WorkloadId w, BatchPolicy policy) {
   NSF_CHECK_MSG(policy.max_batch >= 1, "max_batch must be positive");
   NSF_CHECK_MSG(policy.max_wait_s >= 0.0, "max_wait_s must be non-negative");
   policies_[static_cast<std::size_t>(w)] = policy;
+}
+
+void MultiBatchFormer::SetLanePriority(WorkloadId w, int priority) {
+  NSF_CHECK(w >= 0 && w < workloads());
+  lane_priority_[static_cast<std::size_t>(w)] = priority;
 }
 
 std::int64_t MultiBatchFormer::pending(WorkloadId w) const {

@@ -104,6 +104,13 @@ class MultiBatchFormer {
   /// simply lets the lane keep absorbing.
   void SetPolicy(WorkloadId w, BatchPolicy policy);
 
+  /// Dispatch-preemption order for lane `w`: when several lanes are past
+  /// deadline (or flushing) together, lower priority values close first —
+  /// the admission frontend maps a lane's SLA tier here so `critical`
+  /// batches preempt `batch`-tier ones (docs/ADMISSION.md). All-zero (the
+  /// default) preserves the legacy oldest-head-of-line order bit-exactly.
+  void SetLanePriority(WorkloadId w, int priority);
+
   std::int64_t pending(WorkloadId w) const;
   std::int64_t total_pending() const;
   int workloads() const { return static_cast<int>(lanes_.size()); }
@@ -126,6 +133,7 @@ class MultiBatchFormer {
 
   std::vector<BatchPolicy> policies_;        // One per lane.
   std::vector<std::vector<Request>> lanes_;  // Pending, one lane/workload.
+  std::vector<int> lane_priority_;           // Close order key; default 0.
   // Resolved by AttachMetrics; null = metrics off.
   obs::Counter* close_size_cap_ = nullptr;
   obs::Counter* close_deadline_ = nullptr;

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <optional>
+#include <queue>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -40,6 +42,7 @@ std::vector<Request> SyntheticArrivals(
     const ServeOptions& options, const std::vector<double>& shares,
     const std::vector<std::string>& workload_names) {
   NSF_CHECK_MSG(options.duration_s > 0.0, "duration must be positive");
+  std::vector<Request> arrivals;
   if (options.scenario.kind == ScenarioKind::kTrace) {
     // Replay: workload labels resolve through the registry's names; a
     // single-workload caller passes {} and the labels are ignored.
@@ -49,14 +52,23 @@ std::vector<Request> SyntheticArrivals(
     }
     std::ostringstream text;
     text << in.rdbuf();
-    return ParseArrivalTraceJson(text.str(), workload_names,
-                                 options.duration_s);
+    arrivals = ParseArrivalTraceJson(text.str(), workload_names,
+                                     options.duration_s);
+  } else {
+    // The workload draw shares the RNG stream with the inter-arrival draws,
+    // so one seed pins the entire (time, workload) trace whatever the
+    // scenario (see scenario.cpp).
+    arrivals = GenerateArrivals(options.scenario, options.qps,
+                                options.duration_s, options.seed, shares);
   }
-  // The workload draw shares the RNG stream with the inter-arrival draws,
-  // so one seed pins the entire (time, workload) trace whatever the
-  // scenario (see scenario.cpp).
-  return GenerateArrivals(options.scenario, options.qps, options.duration_s,
-                          options.seed, shares);
+  // Arrival-side adversity (churn masking, flash-crowd superimposition)
+  // composes here, inside the one arrival path: every consumer of the
+  // trace — forming, admission accounting, the autoscaler's rate window —
+  // sees the same composed stream, so flash extras can never bypass the
+  // per-tenant admission books. No-op for the default `none` spec.
+  ApplyAdversityArrivals(options.adversity, &arrivals, options.qps,
+                         options.duration_s, options.seed, shares);
+  return arrivals;
 }
 
 std::vector<WorkloadShare> ParseMix(const std::string& spec) {
@@ -105,6 +117,7 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                         const std::vector<Request>& arrivals,
                         const ServeOptions& options,
                         Autoscaler* autoscaler = nullptr,
+                        AdmissionController* admission = nullptr,
                         std::shared_ptr<obs::Observability> obs = nullptr) {
   NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
   // Observability (docs/OBSERVABILITY.md): resolve the instrument pointers
@@ -116,6 +129,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     pool.AttachMetrics(&obs->metrics);
     if (autoscaler != nullptr) {
       autoscaler->AttachMetrics(&obs->metrics);
+    }
+    if (admission != nullptr) {
+      admission->AttachMetrics(&obs->metrics);
     }
   }
   // Per-lane batching policies: `per_workload_max_batch` overrides the
@@ -188,8 +204,34 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   if (obs != nullptr) {
     former.AttachMetrics(&obs->metrics);
   }
+  if (admission != nullptr) {
+    // Tier-priority dispatch: when several lanes close together (or flush
+    // at drain), critical lanes preempt batch lanes (tier order == close
+    // order). Admission-off runs keep all-zero priorities — the legacy
+    // oldest-head-of-line order, bit-exactly.
+    for (int w = 0; w < pool.workloads(); ++w) {
+      former.SetLanePriority(w, static_cast<int>(admission->TierOf(w)));
+    }
+  }
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
+  std::int64_t expired_dispatched = 0;  // Defensive; the sweep keeps it 0.
+
+  // Admission's congestion signal. The eager scheduler books closed
+  // batches onto replicas ahead of the virtual clock, so forming lanes
+  // stay shallow even when the pool is hours behind — the real backlog
+  // lives in dispatched batches whose virtual start hasn't arrived yet.
+  // Track those here (only when a controller is attached: the
+  // admission-off path must stay byte-identical), draining entries as the
+  // offer clock passes their start. A replica failure re-enqueues aborted
+  // batches without deleting their old entries; the stale entries expire
+  // on their own as the clock passes, so the signal briefly over-counts
+  // during the outage — conservative shedding, still seed-deterministic.
+  std::priority_queue<std::pair<double, std::int64_t>,
+                      std::vector<std::pair<double, std::int64_t>>,
+                      std::greater<>>
+      scheduled_starts;
+  std::int64_t scheduled_backlog = 0;
 
   // Environment-event timeline (adversity.h). Replica failures need commit
   // deferral: the eager scheduler books batches onto replicas ahead of the
@@ -243,28 +285,73 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     }
   };
 
+  const auto admission_instant = [&](double t, obs::InstantKind kind,
+                                     WorkloadId workload,
+                                     std::string detail) {
+    if (recorder == nullptr) {
+      return;
+    }
+    obs::InstantEvent instant;
+    instant.t_s = t;
+    instant.kind = kind;
+    instant.workload = workload;
+    instant.detail = std::move(detail);
+    recorder->RecordInstant(std::move(instant));
+  };
+
   const auto dispatch = [&](Batch&& batch) {
-    // Backlog the batch sees at its start: arrivals in the system (the
-    // stream is sorted, so count by binary search) minus requests already
-    // sent to a replica.
     const double start =
         std::max(batch.formed_s, pool.EarliestFree(batch.workload));
+    if (admission != nullptr) {
+      // Deadline-expiry sweep: a member whose start deadline already
+      // passed is dropped here, before the dispatch — the
+      // never-dispatched invariant (docs/ADMISSION.md). A batch emptied by
+      // the sweep simply never dispatches.
+      const std::int64_t swept = admission->SweepExpired(&batch, start);
+      if (swept > 0) {
+        admission_instant(start, obs::InstantKind::kAdmissionExpired,
+                          batch.workload,
+                          std::to_string(swept) + " expired before dispatch");
+        if (batch.requests.empty()) {
+          return;
+        }
+      }
+      for (const Request& r : batch.requests) {
+        if (start > r.deadline_s) {
+          ++expired_dispatched;  // Defensive: the sweep keeps this at 0.
+        }
+      }
+    }
+    // Backlog the batch sees at its start: arrivals in the system (the
+    // stream is sorted, so count by binary search) minus requests already
+    // sent to a replica and minus everything admission removed for good
+    // (final sheds + expiries never reach a replica).
     const auto arrived = static_cast<std::int64_t>(
         std::upper_bound(arrivals.begin(), arrivals.end(), start,
                          [](double t, const Request& r) {
                            return t < r.arrival_s;
                          }) -
         arrivals.begin());
-    const std::int64_t depth = arrived - started;
+    const std::int64_t depth =
+        arrived - started -
+        (admission != nullptr ? admission->removed() : 0);
     if (defer_commits) {
       const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth);
       started += batch.size();
+      if (admission != nullptr) {
+        scheduled_starts.emplace(dr.start_s, batch.size());
+        scheduled_backlog += batch.size();
+      }
       pending.push_back(PendingCommit{dr, std::move(batch), depth});
       return;
     }
     const DispatchRecord dr = pool.Dispatch(batch, &stats, depth);
     dispatches.push_back(dr);
     started += batch.size();
+    if (admission != nullptr) {
+      scheduled_starts.emplace(dr.start_s, batch.size());
+      scheduled_backlog += batch.size();
+    }
     write_spans(dr, batch);
   };
 
@@ -565,36 +652,141 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
 
   std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
                                  0.0);
+  // Feed one admitted request into the forming lanes — the pre-admission
+  // hot path, unchanged when no controller is attached.
+  const auto add_to_former = [&](const Request& r) {
+    for (int w = 0; w < pool.workloads(); ++w) {
+      busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
+    }
+    for (Batch& batch : former.Add(r, busy_until)) {
+      dispatch(std::move(batch));
+    }
+  };
+  // Offer one arrival (or retry re-offer) to the admission controller;
+  // only admitted requests reach the former. The offer sees the admitted
+  // backlog — forming-lane depth plus dispatched requests whose virtual
+  // start is still ahead of the offer clock — and the pool's live
+  // fraction (failed replicas discounted) at the offer instant, both pure
+  // functions of the virtual timeline.
+  const auto offer = [&](Request r) {
+    if (admission == nullptr) {
+      add_to_former(r);
+      return;
+    }
+    const double t = r.arrival_s;
+    const int provisioned = pool.ActiveReplicas(t);
+    int failed = 0;
+    for (int rep = 0; rep < pool.size(); ++rep) {
+      if (pool.Failed(rep, t)) {
+        ++failed;
+      }
+    }
+    const double live_fraction =
+        provisioned > 0
+            ? static_cast<double>(std::max(0, provisioned - failed)) /
+                  static_cast<double>(provisioned)
+            : 1.0;
+    while (!scheduled_starts.empty() && scheduled_starts.top().first <= t) {
+      scheduled_backlog -= scheduled_starts.top().second;
+      scheduled_starts.pop();
+    }
+    const std::int64_t removed_before = admission->removed();
+    if (!admission->Offer(&r, former.total_pending() + scheduled_backlog,
+                          live_fraction)) {
+      const bool final_shed = admission->removed() > removed_before;
+      admission_instant(t,
+                        final_shed ? obs::InstantKind::kAdmissionShed
+                                   : obs::InstantKind::kAdmissionRetry,
+                        r.workload, TierName(r.tier));
+      return;
+    }
+    add_to_former(r);
+  };
+  // Re-offer every scheduled retry due at or before `t`, interleaved with
+  // the tick/fault clocks in virtual-time order (a re-shed retry may
+  // schedule another attempt inside the same window — the loop re-checks).
+  const auto drain_retries = [&](double t) {
+    if (admission == nullptr) {
+      return;
+    }
+    while (admission->NextRetryAt() <= t) {
+      const double retry_t = admission->NextRetryAt();
+      fire_until(retry_t);
+      Request retry = admission->PopRetry();
+      if (autoscaler != nullptr) {
+        stats.RecordArrival(retry.workload, retry_t);
+      }
+      snapshot_until(retry_t);
+      offer(std::move(retry));
+    }
+  };
   while (auto request = queue.Pop()) {
-    // Control decisions and environment events scheduled at or before this
-    // arrival fire first — the tick clock, the fault timeline, and the
-    // arrival stamps share one virtual timeline. The arrival record only
-    // exists to feed the autoscaler's windowed rate samples; static runs
-    // skip the bookkeeping (hot path).
+    // Control decisions, environment events, and retry re-offers scheduled
+    // at or before this arrival fire first — the tick clock, the fault
+    // timeline, the retry heap, and the arrival stamps share one virtual
+    // timeline. The arrival record only exists to feed the autoscaler's
+    // windowed rate samples; static runs skip the bookkeeping (hot path).
+    drain_retries(request->arrival_s);
     fire_until(request->arrival_s);
     if (autoscaler != nullptr) {
       stats.RecordArrival(request->workload, request->arrival_s);
     }
     snapshot_until(request->arrival_s);
-    for (int w = 0; w < pool.workloads(); ++w) {
-      busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
-    }
-    for (Batch& batch : former.Add(*request, busy_until)) {
-      dispatch(std::move(batch));
-    }
+    offer(*request);
   }
-  // Run out the tick and fault clocks over the arrival-free tail, flush,
-  // then settle whatever the deferred-commit mode still holds.
+  // Run out the retry heap, the tick and fault clocks over the
+  // arrival-free tail, flush, then settle whatever the deferred-commit
+  // mode still holds. Retries scheduled past the horizon never re-enter:
+  // shutdown finalizes them as sheds (graceful drain admits nothing new).
+  drain_retries(options.duration_s);
   fire_until(options.duration_s);
   snapshot_until(options.duration_s);
+  if (admission != nullptr) {
+    admission->CloseRetries();
+  }
   for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
     dispatch(std::move(tail));
   }
   commit_until(std::numeric_limits<double>::infinity());
 
+  // Graceful drain (admission runs): the arrival stream is over and every
+  // lane has flushed in tier order — retire the whole pool. Replicas
+  // finish what they already started (retire at their busy horizon), and
+  // the span accounting below judges them against their drained span.
+  if (admission != nullptr) {
+    std::vector<bool> was_draining(static_cast<std::size_t>(pool.size()));
+    for (int r = 0; r < pool.size(); ++r) {
+      was_draining[static_cast<std::size_t>(r)] = pool.draining(r);
+    }
+    const int drained = pool.DrainAll(options.duration_s);
+    PoolEvent event;
+    event.t_s = options.duration_s;
+    event.kind = PoolEventKind::kDecision;
+    event.event = "graceful drain: " + std::to_string(drained) +
+                  " replica(s) retired";
+    event.active_replicas = pool.ActiveReplicas(options.duration_s);
+    event.queue_depth = former.total_pending();
+    stats.RecordPoolEvent(std::move(event));
+    if (recorder != nullptr) {
+      for (int r = 0; r < pool.size(); ++r) {
+        if (was_draining[static_cast<std::size_t>(r)]) {
+          continue;  // The autoscaler already drained it mid-run.
+        }
+        obs::InstantEvent instant;
+        instant.t_s = options.duration_s;
+        instant.kind = obs::InstantKind::kReplicaDraining;
+        instant.replica = r;
+        instant.detail = "graceful drain";
+        recorder->RecordInstant(std::move(instant));
+      }
+    }
+  }
+
   // Utilization denominators: each replica against its provisioned span
   // (a no-op for static pools, whose spans are the whole horizon).
-  if (autoscaler != nullptr) {
+  // Admission runs also land here: the graceful drain gave every replica a
+  // finite retire time.
+  if (autoscaler != nullptr || admission != nullptr) {
     for (int r = 0; r < pool.size(); ++r) {
       stats.SetReplicaSpan(r, pool.AddedAt(r), pool.RetiredAt(r));
       // Retire instants are only knowable post-run: a drained replica's
@@ -628,6 +820,10 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                                 : report.single_request_by_workload.front();
   report.dispatches = std::move(dispatches);
   report.deltas = std::move(deltas);
+  if (admission != nullptr) {
+    report.admission = admission->Summaries();
+    report.expired_dispatched = expired_dispatched;
+  }
   report.summary = stats.Summarize(
       EffectiveOfferedRps(options, report.generated_requests),
       options.duration_s);
@@ -653,16 +849,30 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
                 "autoscaling requires the multi-tenant engine — serve a "
                 "mix or a plan (docs/AUTOSCALING.md)");
   std::vector<Request> arrivals = SyntheticArrivals(options);
-  ApplyAdversityArrivals(options.adversity, &arrivals, options.qps,
-                         options.duration_s, options.seed, {1.0});
   ServerPool pool(designs, dfg, options.worker_threads);
   ServeStats stats(pool.size());
+  std::optional<AdmissionController> admission;
+  if (options.admission.enabled()) {
+    NSF_CHECK_MSG(options.tiers.empty() || options.tiers.size() == 1,
+                  "tiers must have one entry per workload");
+    AdmissionController::TenantConfig tenant;
+    tenant.name = "workload 0";
+    tenant.tier =
+        options.tiers.empty() ? SlaTier::kStandard : options.tiers[0];
+    tenant.offered_rps = EffectiveOfferedRps(
+        options, static_cast<std::int64_t>(arrivals.size()));
+    stats.SetWorkloadTier(0, tenant.tier);
+    admission.emplace(options.admission,
+                      std::vector<AdmissionController::TenantConfig>{tenant});
+  }
   std::shared_ptr<obs::Observability> obs;
   if (options.trace.enabled) {
     obs = std::make_shared<obs::Observability>(options.trace);
     obs->meta.workload_names = {"workload 0"};
   }
-  return RunPipeline(pool, stats, arrivals, options, nullptr, std::move(obs));
+  return RunPipeline(pool, stats, arrivals, options, nullptr,
+                     admission.has_value() ? &*admission : nullptr,
+                     std::move(obs));
 }
 
 ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
@@ -685,13 +895,45 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
 
   std::vector<Request> arrivals =
       SyntheticArrivals(options, shares, registry.Names());
-  ApplyAdversityArrivals(options.adversity, &arrivals, options.qps,
-                         options.duration_s, options.seed, shares);
   ServerPool pool(replicas, registry.Dataflows(), options.worker_threads);
   ServeStats stats(pool.size(), registry.size());
   for (WorkloadId w = 0; w < registry.size(); ++w) {
     stats.SetWorkloadName(w, registry.NameOf(w));
   }
+  std::optional<AdmissionController> admission;
+  if (options.admission.enabled()) {
+    NSF_CHECK_MSG(options.tiers.empty() ||
+                      options.tiers.size() ==
+                          static_cast<std::size_t>(registry.size()),
+                  "tiers must have one entry per registry workload");
+    double total_share = 0.0;
+    for (const double share : shares) {
+      total_share += share;
+    }
+    const double offered_rps = EffectiveOfferedRps(
+        options, static_cast<std::int64_t>(arrivals.size()));
+    std::vector<AdmissionController::TenantConfig> tenants;
+    tenants.reserve(static_cast<std::size_t>(registry.size()));
+    for (WorkloadId w = 0; w < registry.size(); ++w) {
+      AdmissionController::TenantConfig tenant;
+      tenant.name = registry.NameOf(w);
+      tenant.tier = options.tiers.empty()
+                        ? SlaTier::kStandard
+                        : options.tiers[static_cast<std::size_t>(w)];
+      // The tenant's share of the run's offered rate sizes its default
+      // token bucket (an explicit rate= param overrides per tenant).
+      tenant.offered_rps =
+          total_share > 0.0
+              ? offered_rps * shares[static_cast<std::size_t>(w)] /
+                    total_share
+              : 0.0;
+      stats.SetWorkloadTier(w, tenant.tier);
+      tenants.push_back(std::move(tenant));
+    }
+    admission.emplace(options.admission, std::move(tenants));
+  }
+  AdmissionController* admission_ptr =
+      admission.has_value() ? &*admission : nullptr;
   std::shared_ptr<obs::Observability> obs;
   if (options.trace.enabled) {
     obs = std::make_shared<obs::Observability>(options.trace);
@@ -706,9 +948,10 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
     }
     Autoscaler autoscaler(registry, mix, pool, options);
     return RunPipeline(pool, stats, arrivals, options, &autoscaler,
-                       std::move(obs));
+                       admission_ptr, std::move(obs));
   }
-  return RunPipeline(pool, stats, arrivals, options, nullptr, std::move(obs));
+  return RunPipeline(pool, stats, arrivals, options, nullptr, admission_ptr,
+                     std::move(obs));
 }
 
 }  // namespace nsflow::serve

@@ -30,6 +30,7 @@
 #include "graph/dataflow_graph.h"
 #include "model/accel_model.h"
 #include "obs/observability.h"
+#include "serve/admission.h"
 #include "serve/adversity.h"
 #include "serve/request.h"
 #include "serve/scenario.h"
@@ -100,6 +101,19 @@ struct ServeOptions {
   /// scenario. The default `none` pattern leaves every run bit-identical
   /// to a build without the adversity layer.
   AdversitySpec adversity;
+  /// Admission frontend (docs/ADMISSION.md): with an enabled spec, every
+  /// generated arrival is offered to an AdmissionController before it can
+  /// enter the forming lanes — per-tenant token buckets, SLA-tier
+  /// deadlines with pre-dispatch expiry sweeps, load-aware overload
+  /// shedding, bounded retry/backoff, and a whole-pool graceful drain at
+  /// shutdown. The default `none` spec constructs no controller and leaves
+  /// every run byte-identical to a build without the admission layer.
+  AdmissionSpec admission;
+  /// SLA tier per WorkloadId (empty = every tenant `standard`). Only
+  /// consulted when `admission` is enabled; must then be empty or have one
+  /// entry per registry workload. The CLI parses `--tiers
+  /// mlp=critical,resnet18=batch` into this.
+  std::vector<SlaTier> tiers;
   /// Observability (docs/OBSERVABILITY.md): with `trace.enabled` the engine
   /// records every request/batch lifecycle span, autoscaler decision, and
   /// replica transition on the virtual timeline into `ServeReport::obs`,
@@ -137,6 +151,14 @@ struct ServeReport {
   /// the elastic-vs-static efficiency ratio divides the two
   /// (docs/AUTOSCALING.md).
   double replica_seconds = 0.0;
+  /// Per-tenant admission accounting (empty unless `ServeOptions::admission`
+  /// enabled a controller): offered/admitted/shed/expired/retried, one row
+  /// per registry workload. The CLI epilogue table and exit codes read it.
+  std::vector<AdmissionTenantSummary> admission;
+  /// Defensive invariant counter: requests dispatched with their start past
+  /// their deadline. The pre-dispatch expiry sweep keeps this at exactly 0;
+  /// the headline bench gates on it.
+  std::int64_t expired_dispatched = 0;
   /// The run's observability bundle (null unless `ServeOptions::trace`
   /// enabled it): drained spans export via ChromeTraceJson()/BinaryTrace(),
   /// the metrics timeline via MetricsJson() (docs/OBSERVABILITY.md).
@@ -144,7 +166,11 @@ struct ServeReport {
 };
 
 /// Generate the arrival trace for `options` — `options.scenario` picks the
-/// pattern (stationary Poisson by default; see scenario.h). Exposed for
+/// pattern (stationary Poisson by default; see scenario.h), and
+/// `options.adversity`'s arrival-side patterns (churn masking, flash-crowd
+/// superimposition) are applied before returning: there is exactly one
+/// arrival path, so flash extras can never bypass per-tenant admission
+/// accounting. Exposed for
 /// tests and for replaying the same trace against different pools. The
 /// multi-workload overload additionally samples each arrival's workload id
 /// from `shares` (normalized weights indexed by workload id) with the same

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 namespace nsflow::serve {
@@ -19,11 +21,33 @@ namespace nsflow::serve {
 /// a single-workload pipeline).
 using WorkloadId = int;
 
+/// SLA tier a request (and its tenant) belongs to. Ordered by protection:
+/// under overload the admission controller sheds the *highest* value first
+/// (batch before standard before critical), and at dispatch lower values
+/// preempt higher ones in the forming order (docs/ADMISSION.md).
+enum class SlaTier : std::int8_t {
+  kCritical = 0,  // Latency-SLO traffic; never load-shed.
+  kStandard = 1,  // Default tier; shed under deep overload, retried.
+  kBatch = 2,     // Throughput traffic; first to shed, no deadline.
+};
+
+/// Canonical tier names as accepted by `--tiers` (docs/ADMISSION.md).
+const char* TierName(SlaTier tier);
+
+/// Parses "critical" | "standard" | "batch"; throws `Error` on anything
+/// else (strict, like the scenario/adversity spec parsers).
+SlaTier TierFromName(const std::string& name);
+
 /// One inference/reasoning request entering the serving engine.
 struct Request {
   std::int64_t id = 0;
   double arrival_s = 0.0;     // Virtual arrival time.
   WorkloadId workload = 0;    // Which compiled workload this request targets.
+  SlaTier tier = SlaTier::kStandard;  // Stamped at admission.
+  // Latest virtual time execution may still *begin*; anchored at the
+  // original arrival (a retry keeps its first deadline). Infinity = none.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  std::int32_t attempt = 0;   // 0 = first offer; bumped per admission retry.
 };
 
 /// Why the BatchFormer closed a batch — recorded on the batch so the

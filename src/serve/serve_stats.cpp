@@ -27,12 +27,28 @@ ServeStats::ServeStats(int replicas, int workloads) {
   }
   workload_latencies_s_.resize(static_cast<std::size_t>(workloads));
   workload_batches_.resize(static_cast<std::size_t>(workloads));
+  workload_tiers_.assign(static_cast<std::size_t>(workloads),
+                         SlaTier::kStandard);
 }
 
 void ServeStats::SetWorkloadName(WorkloadId w, std::string name) {
   NSF_CHECK_MSG(w >= 0 && w < static_cast<int>(workload_names_.size()),
                 "workload index out of range");
   workload_names_[static_cast<std::size_t>(w)] = std::move(name);
+}
+
+void ServeStats::SetWorkloadTier(WorkloadId w, SlaTier tier) {
+  NSF_CHECK_MSG(w >= 0 && w < static_cast<int>(workload_tiers_.size()),
+                "workload index out of range");
+  workload_tiers_[static_cast<std::size_t>(w)] = tier;
+  tiers_set_ = true;
+  if (registry_ != nullptr) {
+    for (int t = 0; t < 3; ++t) {
+      tier_hists_[t] = registry_->GetHistogram(
+          std::string("serve.latency_s.") +
+          TierName(static_cast<SlaTier>(t)));
+    }
+  }
 }
 
 void ServeStats::RecordRequest(WorkloadId workload, double arrival_s,
@@ -49,6 +65,13 @@ void ServeStats::RecordRequest(WorkloadId workload, double arrival_s,
       complete_s - arrival_s);
   if (latency_hist_ != nullptr) {
     latency_hist_->Observe(complete_s - arrival_s);
+  }
+  if (tiers_set_) {
+    obs::Histogram* hist = tier_hists_[static_cast<int>(
+        workload_tiers_[static_cast<std::size_t>(workload)])];
+    if (hist != nullptr) {
+      hist->Observe(complete_s - arrival_s);
+    }
   }
   if (completed_counter_ != nullptr) {
     completed_counter_->Increment();
@@ -145,15 +168,26 @@ double ServeStats::PercentileInPlace(std::vector<double>* values, double p) {
 }
 
 void ServeStats::AttachMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
   if (registry == nullptr) {
     latency_hist_ = nullptr;
     completed_counter_ = nullptr;
     batch_counter_ = nullptr;
+    tier_hists_[0] = tier_hists_[1] = tier_hists_[2] = nullptr;
     return;
   }
   latency_hist_ = registry->GetHistogram("serve.latency_s");
   completed_counter_ = registry->GetCounter("serve.completed");
   batch_counter_ = registry->GetCounter("serve.batches");
+  // Tier histograms only exist in tiered (admission) runs, so untiered
+  // runs keep a byte-identical metrics dump.
+  if (tiers_set_) {
+    for (int t = 0; t < 3; ++t) {
+      tier_hists_[t] = registry->GetHistogram(
+          std::string("serve.latency_s.") +
+          TierName(static_cast<SlaTier>(t)));
+    }
+  }
 }
 
 double ServeStats::PercentileSorted(const std::vector<double>& sorted,
@@ -269,6 +303,37 @@ StatsSummary ServeStats::Summarize(double offered_qps,
     }
     s.per_workload.push_back(std::move(slice));
   }
+
+  // Tier slices (admission-tiered runs): each tier's percentiles over its
+  // own population, so batch-tier latencies cannot dilute the critical
+  // tier's p99. Workloads concatenate in workload-id order before the sort
+  // — a deterministic population regardless of completion interleaving.
+  if (tiers_set_) {
+    for (int t = 0; t < 3; ++t) {
+      const SlaTier tier = static_cast<SlaTier>(t);
+      scratch.clear();
+      bool any = false;
+      for (std::size_t w = 0; w < workload_tiers_.size(); ++w) {
+        if (workload_tiers_[w] != tier) {
+          continue;
+        }
+        any = true;
+        scratch.insert(scratch.end(), workload_latencies_s_[w].begin(),
+                       workload_latencies_s_[w].end());
+      }
+      if (!any) {
+        continue;  // No tenant mapped to this tier: no slice row.
+      }
+      std::sort(scratch.begin(), scratch.end());
+      TierSummary slice;
+      slice.name = TierName(tier);
+      slice.tier = tier;
+      slice.completed = static_cast<std::int64_t>(scratch.size());
+      slice.p50_ms = PercentileSorted(scratch, 50.0) * 1e3;
+      slice.p99_ms = PercentileSorted(scratch, 99.0) * 1e3;
+      s.per_tier.push_back(std::move(slice));
+    }
+  }
   return s;
 }
 
@@ -307,6 +372,17 @@ std::string ServeStats::ToTable(const StatsSummary& s) {
                         TablePrinter::Num(w.mean_batch, 2)});
     }
     out += "\n" + breakdown.ToString();
+  }
+
+  // SLA-tier breakdown (admission-tiered runs only).
+  if (!s.per_tier.empty()) {
+    TablePrinter tiers({"tier", "completed", "p50 (ms)", "p99 (ms)"});
+    for (const TierSummary& t : s.per_tier) {
+      tiers.AddRow({t.name, std::to_string(t.completed),
+                    TablePrinter::Num(t.p50_ms, 3),
+                    TablePrinter::Num(t.p99_ms, 3)});
+    }
+    out += "\n" + tiers.ToString();
   }
   return out;
 }

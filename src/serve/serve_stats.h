@@ -36,6 +36,18 @@ struct WorkloadSummary {
   double mean_batch = 0.0;       // Average formed batch size.
 };
 
+/// Per-SLA-tier latency slice (admission-tiered runs). Exists so a cheap
+/// batch-tier population can never mask a critical-tier SLO breach in the
+/// aggregate percentiles: each tier's p50/p99 is computed over that tier's
+/// own latency population.
+struct TierSummary {
+  std::string name;              // "critical" / "standard" / "batch".
+  SlaTier tier = SlaTier::kStandard;
+  std::int64_t completed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 /// One point on the pool's reconfiguration/utilization timeline: either a
 /// periodic autoscaler sample (`event` empty) or an applied PoolDelta
 /// (`event` describes it). Recorded in virtual-time order.
@@ -83,6 +95,9 @@ struct StatsSummary {
   /// One slice per registered workload (a single slice in single-workload
   /// runs); ToTable prints the per-workload section when there are >= 2.
   std::vector<WorkloadSummary> per_workload;
+  /// One slice per SLA tier with at least one assigned workload — empty
+  /// unless SetWorkloadTier was called (admission-tiered runs only).
+  std::vector<TierSummary> per_tier;
   /// Reconfiguration/utilization-over-time timeline (autoscaled runs;
   /// empty otherwise). Samples and deltas interleaved in time order.
   std::vector<PoolEvent> timeline;
@@ -95,6 +110,12 @@ class ServeStats {
 
   /// Label workload `w`'s slice in the summary/table.
   void SetWorkloadName(WorkloadId w, std::string name);
+
+  /// Assign workload `w` to an SLA tier. Any call switches the summary into
+  /// tiered mode: Summarize emits per-tier latency slices and AttachMetrics
+  /// additionally registers `serve.latency_s.<tier>` histograms. Untiered
+  /// runs never see either (their output stays byte-identical).
+  void SetWorkloadTier(WorkloadId w, SlaTier tier);
 
   /// One request finished: latency = complete - arrival (virtual seconds).
   void RecordRequest(double arrival_s, double complete_s) {
@@ -175,11 +196,17 @@ class ServeStats {
   std::vector<std::string> workload_names_;
   std::vector<std::vector<double>> workload_latencies_s_;    // Per workload.
   std::vector<std::vector<std::int64_t>> workload_batches_;  // Batch sizes.
+  std::vector<SlaTier> workload_tiers_;  // Meaningful iff tiers_set_.
+  bool tiers_set_ = false;
 
   // Resolved by AttachMetrics; null = metrics off.
   obs::Histogram* latency_hist_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;
   obs::Counter* batch_counter_ = nullptr;
+  obs::Histogram* tier_hists_[3] = {nullptr, nullptr, nullptr};
+  obs::MetricsRegistry* registry_ = nullptr;  // Kept so a SetWorkloadTier
+                                              // after AttachMetrics can
+                                              // still register tier hists.
 };
 
 }  // namespace nsflow::serve

@@ -480,6 +480,21 @@ void ServerPool::DrainReplica(int replica, double now_s) {
   retired_at_[r] = std::max(now_s, free_at_[r]);
 }
 
+int ServerPool::DrainAll(double now_s) {
+  int drained = 0;
+  for (int r = 0; r < size(); ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (draining_[i]) {
+      continue;  // Already drained (autoscaler retire or a repeat call).
+    }
+    draining_[i] = true;
+    // In-flight work finishes; an idle replica retires at the drain point.
+    retired_at_[i] = std::max(now_s, free_at_[i]);
+    ++drained;
+  }
+  return drained;
+}
+
 void ServerPool::RefitInPlace(int replica, const ReplicaSpec& spec,
                               double ready_s) {
   NSF_CHECK(replica >= 0 && replica < size());

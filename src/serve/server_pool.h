@@ -181,6 +181,13 @@ class ServerPool {
   /// capable replica.
   void DrainReplica(int replica, double now_s);
 
+  /// Whole-process graceful drain (engine shutdown, docs/ADMISSION.md):
+  /// every still-active replica begins draining at `now_s` exactly as in
+  /// DrainReplica, but without the no-orphan guard — nothing new is
+  /// admitted past the drain point, so losing the last capable replica is
+  /// the goal, not a hazard. Returns how many replicas were retired here.
+  int DrainAll(double now_s);
+
   /// Redeploy `replica` per `spec` (typically: same hardware, a different
   /// tenant's workload set — the refit allocation applies automatically
   /// via the tuned_for provenance). The replica is unavailable until

@@ -13,6 +13,7 @@
 // accepts exactly its own flags — a flag from another command (or an
 // unknown one) is an error with a non-zero exit, never silently ignored.
 // tools/check_doc_links.py cross-checks these tables against the docs.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -126,6 +127,13 @@ const std::vector<CommandSpec>& Commands() {
            {"--adversity", "name[:k=v,...]", "none",
             "environment-fault injection: none | replica-fail | straggler |"
             " churn | flash (seed-deterministic; docs/SCENARIOS.md)"},
+           {"--admission", "name[:k=v,...]", "none",
+            "admission frontend: none | quota | slo | overload | guard —"
+            " per-tenant token buckets, SLA-tier deadlines, overload"
+            " shedding, bounded retries (docs/ADMISSION.md)"},
+           {"--tiers", "name=tier,...", "standard",
+            "with --admission: SLA tier per workload, critical | standard |"
+            " batch, e.g. mlp=critical,resnet18=batch (docs/ADMISSION.md)"},
            {"--plan", "FILE", "off",
             "execute a PoolPlan emitted by `nsflow plan --out` and report"
             " predicted vs measured latency"},
@@ -237,6 +245,7 @@ struct CliArgs {
   int replicas = 1;
   bool heterogeneous = false;
   std::string mix;        // Multi-tenant QPS mix, e.g. "mlp=0.6,nvsa=0.4".
+  std::string tiers;      // --tiers text, resolved against the registry.
   bool partition = false; // Dedicate replica r to workload r % W.
   std::string plan_path;  // serve --plan: execute this PoolPlan JSON.
   std::string trace_out;    // serve --trace-out: Chrome trace (or .bin).
@@ -367,6 +376,10 @@ CliArgs Parse(int argc, char** argv) {
       args.scenario_set = true;
     } else if (flag == "--adversity") {
       args.serve.adversity = serve::AdversitySpec::Parse(next());
+    } else if (flag == "--admission") {
+      args.serve.admission = serve::AdmissionSpec::Parse(next());
+    } else if (flag == "--tiers") {
+      args.tiers = next();
     } else if (flag == "--plan") {
       args.plan_path = next();
     } else if (flag == "--trace-out") {
@@ -738,6 +751,94 @@ void ExportObservability(const CliArgs& args,
   }
 }
 
+/// Resolve the --tiers text ("mlp=critical,resnet18=batch") against the
+/// run's workload names into a per-WorkloadId tier vector. Unlisted
+/// workloads stay `standard`; empty text means no tier overrides at all.
+std::vector<serve::SlaTier> ResolveTiers(const CliArgs& args,
+                                         const std::vector<std::string>&
+                                             names) {
+  if (args.tiers.empty()) {
+    return {};
+  }
+  if (!args.serve.admission.enabled()) {
+    throw Error(
+        "--tiers needs an admission frontend: add --admission "
+        "(docs/ADMISSION.md)");
+  }
+  std::vector<serve::SlaTier> tiers(names.size(), serve::SlaTier::kStandard);
+  const std::string& text = args.tiers;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string entry = text.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (entry.empty() || eq == 0 || eq == std::string::npos ||
+        eq + 1 >= entry.size()) {
+      throw Error("bad --tiers entry '" + entry +
+                  "' (expected name=tier, e.g. mlp=critical)");
+    }
+    const std::string name = entry.substr(0, eq);
+    const serve::SlaTier tier = serve::TierFromName(entry.substr(eq + 1));
+    const auto it = std::find(names.begin(), names.end(), name);
+    if (it == names.end()) {
+      std::string served;
+      for (const std::string& n : names) {
+        served += (served.empty() ? "" : ", ") + n;
+      }
+      throw Error("--tiers names unknown workload '" + name +
+                  "' (this run serves: " + served + ")");
+    }
+    tiers[static_cast<std::size_t>(it - names.begin())] = tier;
+    start = end + 1;
+  }
+  return tiers;
+}
+
+/// Admission epilogue: the per-tenant accounting table, plus the run's exit
+/// code — 4 when the critical tier shed or expired anything, 5 when only
+/// standard did, 0 otherwise (batch-only shedding is the designed overload
+/// response, not a failure). A report without admission rows returns 0 and
+/// prints nothing.
+int PrintAdmissionSummary(const CliArgs& args,
+                          const serve::ServeReport& report) {
+  if (report.admission.empty()) {
+    return 0;
+  }
+  TablePrinter table({"tenant", "tier", "offered", "admitted", "shed",
+                      "expired", "retried"});
+  bool critical_loss = false;
+  bool standard_loss = false;
+  for (const serve::AdmissionTenantSummary& row : report.admission) {
+    table.AddRow({row.tenant, serve::TierName(row.tier),
+                  std::to_string(row.offered), std::to_string(row.admitted),
+                  std::to_string(row.shed()), std::to_string(row.expired),
+                  std::to_string(row.retried)});
+    if (row.shed() > 0 || row.expired > 0) {
+      if (row.tier == serve::SlaTier::kCritical) {
+        critical_loss = true;
+      } else if (row.tier == serve::SlaTier::kStandard) {
+        standard_loss = true;
+      }
+    }
+  }
+  std::printf("\nAdmission (%s):\n%s",
+              args.serve.admission.ToString().c_str(),
+              table.ToString().c_str());
+  if (report.expired_dispatched > 0) {
+    // The pre-dispatch sweep should make this unreachable; surface loudly
+    // if the invariant ever breaks rather than burying it in a trace.
+    std::printf("WARNING: %lld expired request(s) were dispatched\n",
+                static_cast<long long>(report.expired_dispatched));
+  }
+  if (critical_loss) {
+    return 4;
+  }
+  return standard_loss ? 5 : 0;
+}
+
 /// Execute a PoolPlan emitted by `nsflow plan --out`: rebuild its designs
 /// (deterministic DSE at the recorded budgets), run the planned pool, and
 /// print measured latency next to the plan's predictions.
@@ -773,6 +874,13 @@ int RunServePlan(const CliArgs& args) {
   }
 
   serve::ServeOptions serve_options = ValidationOptions(args, plan);
+  {
+    std::vector<std::string> names;
+    for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
+      names.push_back(registry.NameOf(w));
+    }
+    serve_options.tiers = ResolveTiers(args, names);
+  }
   if (serve_options.autoscale) {
     // The plan carries the replan target: its SLO, budget device, and the
     // recorded DSE knobs (so the frontier rebuild is bit-identical to the
@@ -801,8 +909,9 @@ int RunServePlan(const CliArgs& args) {
   if (serve_options.autoscale) {
     PrintAutoscaleSummary(report, plan.TotalReplicas());
   }
+  const int admission_code = PrintAdmissionSummary(args, report);
   ExportObservability(args, report);
-  return 0;
+  return admission_code;
 }
 
 /// Multi-tenant serve: compile every mix workload through the registry,
@@ -860,6 +969,13 @@ int RunServeMix(const CliArgs& args) {
               static_cast<long long>(registry.cache().hits()));
 
   serve::ServeOptions serve_options = args.serve;
+  {
+    std::vector<std::string> names;
+    for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
+      names.push_back(registry.NameOf(w));
+    }
+    serve_options.tiers = ResolveTiers(args, names);
+  }
   if (serve_options.autoscale) {
     // The frontier must model the pool actually deployed: carry the
     // compile-time DSE knobs into the replan target (the SLO/budget stay
@@ -874,6 +990,7 @@ int RunServeMix(const CliArgs& args) {
   if (serve_options.autoscale) {
     PrintAutoscaleSummary(report, args.replicas);
   }
+  const int admission_code = PrintAdmissionSummary(args, report);
   ExportObservability(args, report);
   for (serve::WorkloadId w = 0; w < registry.size(); ++w) {
     const double single =
@@ -884,7 +1001,7 @@ int RunServeMix(const CliArgs& args) {
         registry.NameOf(w).c_str(), single * 1e3,
         single > 0.0 ? 1.0 / single : 0.0);
   }
-  return 0;
+  return admission_code;
 }
 
 int RunServe(const CliArgs& args) {
@@ -948,15 +1065,18 @@ int RunServe(const CliArgs& args) {
       args.serve.max_wait_s * 1e3);
   std::printf("Arrival trace: %s\n\n", TrafficLine(args.serve).c_str());
 
+  serve::ServeOptions serve_options = args.serve;
+  serve_options.tiers = ResolveTiers(args, {workload_name});
   const serve::ServeReport report =
-      serve::RunSyntheticServe(*compiled.dataflow, designs, args.serve);
+      serve::RunSyntheticServe(*compiled.dataflow, designs, serve_options);
   std::printf("%s\n", serve::ServeStats::ToTable(report.summary).c_str());
   std::printf(
       "Single-request baseline: %.3f ms -> %.1f rps per unbatched replica\n",
       report.single_request_s * 1e3,
       report.single_request_s > 0.0 ? 1.0 / report.single_request_s : 0.0);
+  const int admission_code = PrintAdmissionSummary(args, report);
   ExportObservability(args, report);
-  return 0;
+  return admission_code;
 }
 
 int Main(int argc, char** argv) {

@@ -24,7 +24,8 @@ import sys
 import tempfile
 
 
-def run_serve(cli, outdir, tag, seed, adversity, scenario):
+def run_serve(cli, outdir, tag, seed, adversity, scenario,
+              admission="", tiers=""):
     """One traced serve run; returns (trace_path, metrics_path)."""
     trace = outdir / f"trace_{tag}.json"
     metrics = outdir / f"metrics_{tag}.json"
@@ -41,8 +42,15 @@ def run_serve(cli, outdir, tag, seed, adversity, scenario):
         "--trace-out", str(trace),
         "--metrics-out", str(metrics),
     ]
+    if admission:
+        cmd += ["--admission", admission]
+    if tiers:
+        cmd += ["--tiers", tiers]
     result = subprocess.run(cmd, capture_output=True, text=True)
-    if result.returncode != 0:
+    # Admission runs signal shedding severity through exit codes 4/5 by
+    # design (docs/ADMISSION.md); only other codes are run failures.
+    expected = (0, 4, 5) if admission else (0,)
+    if result.returncode not in expected:
         sys.stderr.write(result.stdout + result.stderr)
         raise SystemExit(f"serve run failed (seed {seed}): {' '.join(cmd)}")
     for path in (trace, metrics):
@@ -61,6 +69,13 @@ def main():
                         help="fault pattern under test")
     parser.add_argument("--scenario", default="diurnal:depth=0.8",
                         help="traffic scenario composed with the fault")
+    parser.add_argument("--admission", default="",
+                        help="admission policy spec composed with the run "
+                             "(empty = flag omitted, the byte-identical "
+                             "admission-off path)")
+    parser.add_argument("--tiers", default="",
+                        help="--tiers assignment for admission runs "
+                             "(empty = flag omitted)")
     args = parser.parse_args()
 
     cli = pathlib.Path(args.cli)
@@ -76,9 +91,11 @@ def main():
         first_trace_of = {}
         for seed in seeds:
             a_trace, a_metrics = run_serve(cli, outdir, f"s{seed}_a", seed,
-                                           args.adversity, args.scenario)
+                                           args.adversity, args.scenario,
+                                           args.admission, args.tiers)
             b_trace, b_metrics = run_serve(cli, outdir, f"s{seed}_b", seed,
-                                           args.adversity, args.scenario)
+                                           args.adversity, args.scenario,
+                                           args.admission, args.tiers)
             for name, a, b in (("trace", a_trace, b_trace),
                                ("metrics", a_metrics, b_metrics)):
                 if filecmp.cmp(a, b, shallow=False):
@@ -104,8 +121,10 @@ def main():
 
     if failures:
         raise SystemExit(f"{failures} determinism check(s) failed")
-    print(f"determinism smoke passed for seeds {seeds} "
-          f"({args.adversity} x {args.scenario})")
+    combo = f"{args.adversity} x {args.scenario}"
+    if args.admission:
+        combo += f" x {args.admission}"
+    print(f"determinism smoke passed for seeds {seeds} ({combo})")
 
 
 if __name__ == "__main__":

@@ -5,8 +5,9 @@ Runs the serve benches from an existing build tree and records the perf
 trajectory artifacts: BENCH_serve.json (fast-path cycle estimation — see
 docs/PERFORMANCE.md) and BENCH_plan.json (capacity-planner predicted vs
 measured p99 per traffic scenario, the elastic-vs-static autoscale
-headline, and the adversity hardening gate — see docs/PLANNING.md,
-docs/AUTOSCALING.md, and docs/SCENARIOS.md). The heavy
+headline, the adversity hardening gate, and the admission overload gate —
+see docs/PLANNING.md, docs/AUTOSCALING.md, docs/SCENARIOS.md, and
+docs/ADMISSION.md). The heavy
 lifting happens inside bench_serve_fastpath and bench_plan_scenarios;
 this script drives them, sanity-checks the emitted JSON, and fails loudly
 when the fast-path estimator diverges from the functional simulator, a
@@ -134,6 +135,14 @@ def collect_metrics(serve_report, plan_report):
                 ("adversity.fault_p99_ms", adversity["fault_p99_ms"],
                  "lower", "virtual"),
                 ("adversity.fault_wall_ms", adversity["fault_wall_ms"],
+                 "lower", "wall"),
+            ]
+        admission = plan_report.get("admission")
+        if admission is not None:
+            metrics += [
+                ("admission.critical_p99_ms",
+                 admission["critical_p99_ms"], "lower", "virtual"),
+                ("admission.wall_ms", admission["wall_ms"],
                  "lower", "wall"),
             ]
     return metrics
@@ -313,6 +322,15 @@ def main():
               f"{100 * (adversity['replica_seconds_overhead'] - 1):.1f}% "
               f"replica-seconds overhead (gate "
               f"{100 * (adversity['overhead_gate'] - 1):.0f}%)")
+    admission = plan_report.get("admission")
+    if admission is not None:
+        print(f"admission: {admission['policy']} held critical p99 "
+              f"{admission['critical_p99_ms']:.2f} ms "
+              f"(SLO {admission['p99_slo_ms']:.0f} ms) under "
+              f"{admission['scenario']} + {admission['adversity']}, "
+              f"shedding {admission['batch_shed']} batch-tier request(s), "
+              f"{admission['protected_tier_losses']} protected-tier "
+              f"loss(es)")
 
     if args.full:
         for bench in ("bench_serve_throughput", "bench_serve_multitenant",
