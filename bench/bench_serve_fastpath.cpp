@@ -17,7 +17,12 @@
 // evaluate; any divergence makes the bench exit non-zero, which is what
 // the CI bench-smoke job keys on.
 //
-// A fourth section gates the observability overhead contract
+// A fourth section measures the discrete-event core (docs/ENGINE.md):
+// heap schedule/fire throughput under a stationary event pattern — gated
+// at 10M events/s on optimized unsanitized builds, non-zero exit below —
+// plus the legacy-vs-event driver wall ratio on the same fixed-seed run.
+//
+// A fifth section gates the observability overhead contract
 // (docs/OBSERVABILITY.md): the same fixed-seed mix run is timed with
 // tracing off and on (paired, best-of-N), and the bench exits non-zero
 // when obs-on costs more than 5% wall-clock over obs-off (plus a small
@@ -42,8 +47,22 @@
 #include "obs/observability.h"
 #include "runtime/host_runtime.h"
 #include "serve/engine.h"
+#include "serve/event_core.h"
 #include "serve/server_pool.h"
 #include "serve/workload_registry.h"
+
+// The event-core throughput gate only binds on an optimized,
+// unsanitized build — Debug or sanitizer legs still measure and record
+// the number, but a slow instrumented heap is not a regression.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define NSFLOW_BENCH_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define NSFLOW_BENCH_SANITIZED 1
+#endif
 
 namespace {
 
@@ -53,6 +72,13 @@ double ElapsedNs(Clock::time_point start) {
   return std::chrono::duration<double, std::nano>(Clock::now() - start)
       .count();
 }
+
+constexpr bool kEventGateEnforced =
+#if defined(NDEBUG) && !defined(NSFLOW_BENCH_SANITIZED)
+    true;
+#else
+    false;
+#endif
 
 }  // namespace
 
@@ -249,6 +275,83 @@ int main(int argc, char** argv) {
               engine_wall_ms, report.summary.throughput_rps,
               report.summary.p99_ms);
 
+  // ----------------------------------------------- event-core throughput
+  // The headline discrete-event metric (docs/ENGINE.md): schedule/fire
+  // throughput of the engine's event heap under the stationary-scenario
+  // shape. The cursor protocol keeps the timeline heap shallow — one
+  // outstanding arrival, the tick, the adversity cursor, the drain, a
+  // stray retry — so the measured window is a rolling 8-deep schedule
+  // with a tick interleaved every 16th event. Gate: >= 10M events/s on
+  // an optimized, unsanitized build; below it the bench exits non-zero.
+  const double event_gate_per_s = 10e6;
+  const std::int64_t micro_events = smoke ? 2'000'000 : 8'000'000;
+  double heap_events_per_s = 0.0;
+  {
+    serve::event_core::EventList list;
+    list.Reserve(128);
+    double clock_s = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      list.Push(clock_s + 1e-3 * i, serve::event_core::EventClass::kArrival);
+    }
+    const auto start = Clock::now();
+    for (std::int64_t i = 0; i < micro_events; ++i) {
+      const serve::event_core::Event e = list.Pop();
+      sink += e.t_s;
+      clock_s = e.t_s;
+      list.Push(clock_s + 8e-3,
+                (i & 15) == 0
+                    ? serve::event_core::EventClass::kAutoscalerTick
+                    : serve::event_core::EventClass::kArrival);
+    }
+    heap_events_per_s =
+        static_cast<double>(micro_events) / (ElapsedNs(start) / 1e9);
+  }
+  const bool event_gate_ok =
+      !kEventGateEnforced || heap_events_per_s >= event_gate_per_s;
+  std::printf("Event core: %.1fM events/s heap schedule/fire (gate %.0fM%s) "
+              "%s\n",
+              heap_events_per_s / 1e6, event_gate_per_s / 1e6,
+              kEventGateEnforced ? "" : ", informational on this build",
+              event_gate_ok ? "OK" : "FAIL");
+
+  // Old-vs-new driver wall: the same fixed-seed mix run under the
+  // preserved polling loop and the event driver (byte-identical output —
+  // tests/event_core_test.cpp proves it; here only wall-clock differs).
+  const int engine_rounds = smoke ? 3 : 5;
+  double legacy_wall_ms = 0.0;
+  double event_wall_ms = 0.0;
+  std::int64_t event_run_requests = 0;
+  for (int round = 0; round < engine_rounds; ++round) {
+    serve::ServeOptions engine_options = options;
+    engine_options.engine = serve::ServeEngine::kLegacy;
+    auto start = Clock::now();
+    const serve::ServeReport legacy_run =
+        serve::RunSyntheticServe(registry, specs, mix, engine_options);
+    const double legacy_ms = ElapsedNs(start) / 1e6;
+    sink += static_cast<double>(legacy_run.summary.completed);
+    if (round == 0 || legacy_ms < legacy_wall_ms) {
+      legacy_wall_ms = legacy_ms;
+    }
+
+    engine_options.engine = serve::ServeEngine::kEvent;
+    start = Clock::now();
+    const serve::ServeReport event_run =
+        serve::RunSyntheticServe(registry, specs, mix, engine_options);
+    const double event_ms = ElapsedNs(start) / 1e6;
+    sink += static_cast<double>(event_run.summary.completed);
+    event_run_requests = event_run.generated_requests;
+    if (round == 0 || event_ms < event_wall_ms) {
+      event_wall_ms = event_ms;
+    }
+  }
+  const double legacy_over_event = legacy_wall_ms / event_wall_ms;
+  const double run_events_per_s =
+      static_cast<double>(event_run_requests) / (event_wall_ms / 1e3);
+  std::printf("Engine wall (best of %d): legacy %.2f ms, event %.2f ms -> "
+              "%.2fx; %.0fk arrival events/s end-to-end\n",
+              engine_rounds, legacy_wall_ms, event_wall_ms, legacy_over_event,
+              run_events_per_s / 1e3);
+
   // ------------------------------------------- observability overhead gate
   // Paired obs-off / obs-on runs of the same fixed-seed mix, best-of-N
   // (the virtual clock makes the *work* identical; only recording cost
@@ -339,6 +442,17 @@ int main(int argc, char** argv) {
   obs_overhead["gate_epsilon_ms"] = Json(obs_epsilon_ms);
   obs_overhead["ok"] = Json(obs_gate_ok);
 
+  JsonObject event_core;
+  event_core["micro_events"] = Json(micro_events);
+  event_core["heap_events_per_s"] = Json(heap_events_per_s);
+  event_core["gate_events_per_s"] = Json(event_gate_per_s);
+  event_core["gate_enforced"] = Json(kEventGateEnforced);
+  event_core["ok"] = Json(event_gate_ok);
+  event_core["legacy_wall_ms"] = Json(legacy_wall_ms);
+  event_core["event_wall_ms"] = Json(event_wall_ms);
+  event_core["legacy_over_event"] = Json(legacy_over_event);
+  event_core["run_events_per_s"] = Json(run_events_per_s);
+
   JsonObject contract;
   contract["checked"] = Json(static_cast<std::int64_t>(evals.size()));
   contract["divergent"] = Json(divergent);
@@ -349,6 +463,7 @@ int main(int argc, char** argv) {
   root["cold_cache"] = Json(std::move(cold_cache));
   root["latency_cache"] = Json(std::move(cache));
   root["serve"] = Json(std::move(serve_run));
+  root["event_core"] = Json(std::move(event_core));
   root["obs_overhead"] = Json(std::move(obs_overhead));
   root["contract"] = Json(std::move(contract));
   root["checksum_sink"] = Json(sink);  // Keeps the timed loops honest.
@@ -373,6 +488,13 @@ int main(int argc, char** argv) {
                  "FAIL: observability overhead %.3fx exceeds the 5%% gate "
                  "(off %.3f ms, on %.3f ms)\n",
                  obs_ratio, obs_off_ms, obs_on_ms);
+    return 1;
+  }
+  if (!event_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: event core %.1fM events/s below the %.0fM events/s "
+                 "gate\n",
+                 heap_events_per_s / 1e6, event_gate_per_s / 1e6);
     return 1;
   }
   return 0;

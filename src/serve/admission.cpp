@@ -402,6 +402,24 @@ std::vector<AdmissionTenantSummary> AdmissionController::Summaries() const {
   return stats_;
 }
 
+int AdmissionExitCode(const std::vector<AdmissionTenantSummary>& rows) {
+  bool critical_loss = false;
+  bool standard_loss = false;
+  for (const AdmissionTenantSummary& row : rows) {
+    if (row.shed() > 0 || row.expired > 0) {
+      if (row.tier == SlaTier::kCritical) {
+        critical_loss = true;
+      } else if (row.tier == SlaTier::kStandard) {
+        standard_loss = true;
+      }
+    }
+  }
+  if (critical_loss) {
+    return 4;
+  }
+  return standard_loss ? 5 : 0;
+}
+
 void AdmissionController::AttachMetrics(obs::MetricsRegistry* registry) {
   for (std::size_t w = 0; w < tenants_.size(); ++w) {
     if (registry == nullptr) {

@@ -85,6 +85,13 @@ struct AdmissionTenantSummary {
   std::int64_t shed() const { return shed_quota + shed_overload; }
 };
 
+/// The run's admission exit code, computed over the report's tenant rows:
+/// 4 when the critical tier shed or expired anything, 5 when only standard
+/// did, 0 otherwise — batch-only shedding is the designed overload
+/// response, not a failure. Shared by the CLI epilogue and the
+/// differential harness so the contract lives in exactly one place.
+int AdmissionExitCode(const std::vector<AdmissionTenantSummary>& rows);
+
 /// The admission controller. Single-threaded, driven by the engine's
 /// consumer loop in virtual-time order:
 ///

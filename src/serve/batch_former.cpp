@@ -91,6 +91,13 @@ Batch MultiBatchFormer::CloseLane(WorkloadId w, double formed_s,
   batch.workload = w;
   batch.close_reason = reason;
   lane.clear();
+  if (!spares_.empty()) {
+    // The move above surrendered the lane's capacity to the batch; refill
+    // it from the recycled stash so steady-state forming never grows a
+    // vector (docs/ENGINE.md's allocation contract).
+    lane = std::move(spares_.back());
+    spares_.pop_back();
+  }
   switch (reason) {
     case BatchCloseReason::kSizeCap:
       if (close_size_cap_ != nullptr) close_size_cap_->Increment();
@@ -232,6 +239,20 @@ void MultiBatchFormer::AttachMetrics(obs::MetricsRegistry* registry) {
   close_size_cap_ = registry->GetCounter("former.close_size_cap");
   close_deadline_ = registry->GetCounter("former.close_deadline");
   close_flush_ = registry->GetCounter("former.close_flush");
+}
+
+void MultiBatchFormer::Recycle(std::vector<Request>&& storage) {
+  if (storage.capacity() == 0) {
+    return;
+  }
+  // Bound the stash at one spare per lane — enough to cover the worst
+  // case of every lane closing at one arrival, without hoarding capacity
+  // from a transient burst forever.
+  if (spares_.size() >= lanes_.size()) {
+    return;
+  }
+  storage.clear();
+  spares_.push_back(std::move(storage));
 }
 
 std::int64_t MultiBatchFormer::total_pending() const {

@@ -124,6 +124,12 @@ class MultiBatchFormer {
   /// with a plain atomic increment.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  /// Returns a settled batch's request storage so the next lane close
+  /// reuses its capacity instead of growing a fresh vector — part of the
+  /// serve path's zero-steady-state-allocation contract (docs/ENGINE.md).
+  /// Purely an allocation optimization: forming behavior is unchanged.
+  void Recycle(std::vector<Request>&& storage);
+
  private:
   Batch CloseLane(WorkloadId w, double formed_s, BatchCloseReason reason);
   /// Lanes past their effective deadline at time `now`, fairness-ordered.
@@ -134,6 +140,7 @@ class MultiBatchFormer {
   std::vector<BatchPolicy> policies_;        // One per lane.
   std::vector<std::vector<Request>> lanes_;  // Pending, one lane/workload.
   std::vector<int> lane_priority_;           // Close order key; default 0.
+  std::vector<std::vector<Request>> spares_;  // Recycled lane storage.
   // Resolved by AttachMetrics; null = metrics off.
   obs::Counter* close_size_cap_ = nullptr;
   obs::Counter* close_deadline_ = nullptr;

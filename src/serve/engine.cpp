@@ -7,7 +7,6 @@
 #include <limits>
 #include <map>
 #include <optional>
-#include <queue>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "common/error.h"
 #include "serve/autoscaler.h"
 #include "serve/batch_former.h"
+#include "serve/event_core.h"
 #include "serve/request_queue.h"
 
 namespace nsflow::serve {
@@ -106,113 +106,44 @@ std::vector<WorkloadShare> ParseMix(const std::string& spec) {
 
 namespace {
 
-/// Shared forming + dispatch loop: stream `arrivals` through the queue into
-/// the multi-workload former, sending every closed batch to the earliest
-/// capable replica. Works unchanged for the single-workload path (one lane,
-/// every replica capable). With `autoscaler` non-null, its control
-/// decisions interleave with the arrival stream on the virtual timeline:
-/// every tick at or before the next arrival fires first, so a fixed seed
-/// pins the whole (arrival, decision) sequence.
-ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
-                        const std::vector<Request>& arrivals,
-                        const ServeOptions& options,
-                        Autoscaler* autoscaler = nullptr,
-                        AdmissionController* admission = nullptr,
-                        std::shared_ptr<obs::Observability> obs = nullptr) {
-  NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
-  // Observability (docs/OBSERVABILITY.md): resolve the instrument pointers
-  // once up front; with `obs` null every record site below is one pointer
-  // test — the whole overhead of tracing-off.
-  obs::TraceRecorder* recorder = obs != nullptr ? &obs->recorder : nullptr;
-  if (obs != nullptr) {
-    stats.AttachMetrics(&obs->metrics);
-    pool.AttachMetrics(&obs->metrics);
-    if (autoscaler != nullptr) {
-      autoscaler->AttachMetrics(&obs->metrics);
-    }
-    if (admission != nullptr) {
-      admission->AttachMetrics(&obs->metrics);
-    }
-  }
-  // Per-lane batching policies: `per_workload_max_batch` overrides the
-  // uniform cap where set (0 entries fall back).
-  std::vector<BatchPolicy> policies(
-      static_cast<std::size_t>(pool.workloads()),
-      BatchPolicy{options.max_batch, options.max_wait_s});
-  NSF_CHECK_MSG(options.per_workload_max_batch.empty() ||
-                    options.per_workload_max_batch.size() ==
-                        policies.size(),
-                "per_workload_max_batch must have one entry per workload");
-  for (std::size_t w = 0; w < options.per_workload_max_batch.size(); ++w) {
-    if (options.per_workload_max_batch[w] > 0) {
-      policies[w].max_batch = options.per_workload_max_batch[w];
-    }
-  }
+using event_core::EventClass;
 
-  // Producer thread feeds the queue in arrival order; the consumer below
-  // drains it into the batch former. FIFO + virtual timestamps keep the
-  // result independent of how the two threads interleave. The joiner
-  // makes the consumer exception-safe: an error thrown mid-pipeline (an
-  // autoscaler guard, a bad trace) must propagate to the caller, not hit
-  // the joinable-thread destructor and terminate the process.
-  RequestQueue queue;
-  std::thread producer([&] {
-    for (const Request& request : arrivals) {
-      if (!queue.Push(request)) {
-        break;  // Queue closed under us — nothing left to feed.
-      }
-    }
-    queue.Close();
-  });
-  struct ProducerJoiner {
-    RequestQueue& queue;
-    std::thread& producer;
-    ~ProducerJoiner() {
-      queue.Close();  // Unblocks a producer still pushing.
-      if (producer.joinable()) {
-        producer.join();
-      }
-    }
-  } joiner{queue, producer};
+/// Shared pipeline state + event handlers (docs/ENGINE.md).
+///
+/// Two drivers advance the virtual clock over the same handler set:
+///
+///   * RunEventLoop — the discrete-event core (serve/event_core.h): one
+///     binary min-heap keyed (time, class, seq) schedules arrivals,
+///     adversity faults, autoscaler ticks, admission retries, and the
+///     drain; handlers fire in heap order. The default.
+///   * RunLegacyLoop — the pre-event-core polling interleave, preserved
+///     verbatim as the differential oracle (tests/event_core_test.cpp)
+///     and the bench's old-vs-new wall reference.
+///
+/// Both produce the identical call sequence into the former, pool,
+/// autoscaler, admission controller, stats, and trace recorder — the
+/// same-instant ordering contract (adversity < tick < retry < arrival <
+/// drain) is explicit in EventClass and was derived from, and is pinned
+/// against, the legacy interleave. Lane closes, dispatches, batch
+/// completions, admission sweeps, and metric snapshots are *not* heap
+/// events: the eager scheduler books batches onto replicas ahead of the
+/// clock (a dispatch at virtual time t is decided when forming closes the
+/// batch, which can be earlier than t), so those stay consequences inside
+/// the handlers — docs/ENGINE.md walks through why hoisting them into the
+/// heap would change observable ordering.
+struct PipelineContext {
+  // ---- wiring (fixed for the run)
+  ServerPool& pool;
+  ServeStats& stats;
+  const std::vector<Request>& arrivals;
+  const ServeOptions& options;
+  Autoscaler* autoscaler = nullptr;
+  AdmissionController* admission = nullptr;
+  std::shared_ptr<obs::Observability> obs;
+  obs::TraceRecorder* recorder = nullptr;
 
-  // Parallel cycle-model warm-up, restricted to workloads that actually
-  // have traffic — idle tenants stay lazily memoized (their unbatched
-  // baseline below is the only evaluation they pay).
-  std::vector<bool> active(static_cast<std::size_t>(pool.workloads()), false);
-  for (const Request& request : arrivals) {
-    active[static_cast<std::size_t>(request.workload)] = true;
-  }
-  // Warm each active lane only up to *its* batch cap — a cap-1 lane never
-  // forms a batch its policy forbids, so pre-evaluating larger sizes for
-  // it would be wasted cold-start work. Lanes sharing a cap warm together.
-  std::map<std::int64_t, std::vector<WorkloadId>> active_by_cap;
-  for (int w = 0; w < pool.workloads(); ++w) {
-    if (active[static_cast<std::size_t>(w)]) {
-      active_by_cap[policies[static_cast<std::size_t>(w)].max_batch]
-          .push_back(w);
-    }
-  }
-  for (const auto& [cap, ids] : active_by_cap) {
-    pool.WarmBatchSizes(cap, ids);
-  }
-
-  // Integrated forming + dispatch: each closed batch goes straight to the
-  // earliest-available capable replica, and the pool's per-workload
-  // availability feeds back into the former so lanes grow from backlog
-  // while every replica that could take them is busy.
-  MultiBatchFormer former(policies);
-  if (obs != nullptr) {
-    former.AttachMetrics(&obs->metrics);
-  }
-  if (admission != nullptr) {
-    // Tier-priority dispatch: when several lanes close together (or flush
-    // at drain), critical lanes preempt batch lanes (tier order == close
-    // order). Admission-off runs keep all-zero priorities — the legacy
-    // oldest-head-of-line order, bit-exactly.
-    for (int w = 0; w < pool.workloads(); ++w) {
-      former.SetLanePriority(w, static_cast<int>(admission->TierOf(w)));
-    }
-  }
+  // ---- mutable run state
+  MultiBatchFormer former;
   std::vector<DispatchRecord> dispatches;
   std::int64_t started = 0;  // Requests whose batch already dispatched.
   std::int64_t expired_dispatched = 0;  // Defensive; the sweep keeps it 0.
@@ -227,10 +158,11 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   // batches without deleting their old entries; the stale entries expire
   // on their own as the clock passes, so the signal briefly over-counts
   // during the outage — conservative shedding, still seed-deterministic.
-  std::priority_queue<std::pair<double, std::int64_t>,
-                      std::vector<std::pair<double, std::int64_t>>,
-                      std::greater<>>
-      scheduled_starts;
+  // The tracker is an event_core min-heap of kDispatch-class records
+  // (start time, batch size): pop order for equal starts differs from the
+  // old pair heap only within a same-instant drain whose sum is all that
+  // is observed.
+  event_core::EventList scheduled_starts;
   std::int64_t scheduled_backlog = 0;
 
   // Environment-event timeline (adversity.h). Replica failures need commit
@@ -240,19 +172,149 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
   // re-enqueue it. In deferred mode each dispatched batch's stats/spans
   // are held until the clock provably passes its completion; fault-free
   // runs commit inline — the exact pre-adversity path, bit-identical.
-  std::vector<AdversityEvent> env =
-      BuildAdversityTimeline(options.adversity, options.duration_s);
+  std::vector<AdversityEvent> env;
   std::size_t env_next = 0;
-  const bool defer_commits =
-      options.adversity.kind == AdversityKind::kReplicaFail;
+  bool defer_commits = false;
   struct PendingCommit {
     DispatchRecord record;
     Batch batch;
     std::int64_t depth = 0;
   };
-  std::vector<PendingCommit> pending;
+  // Deferred commits ride pooled intrusive nodes (event_core::NodePool): a
+  // fault run churns through thousands of pending records, and the LIFO
+  // freelist keeps that churn allocation-free once the first arena block
+  // exists (the zero-allocation contract, docs/ENGINE.md). Only the
+  // pointers are sorted at settlement — the records never move.
+  event_core::NodePool<PendingCommit> pending_pool;
+  std::vector<PendingCommit*> pending;
 
-  const auto write_spans = [&](const DispatchRecord& dr, const Batch& batch) {
+  std::size_t timeline_seen = 0;
+  double snapshot_interval_s = 0.0;
+  double next_snapshot_s = 0.0;
+  std::vector<PoolDelta> deltas;
+  std::vector<double> busy_until;
+
+  // Event-driver state: null outside RunEventLoop. `retry_event_t` is the
+  // earliest outstanding kAdmissionRetry event (+inf when none) — the
+  // dedupe that keeps one live retry event per deadline; stale events
+  // no-op through the NextRetryAt guard.
+  event_core::EventList* events = nullptr;
+  double retry_event_t = std::numeric_limits<double>::infinity();
+
+  PipelineContext(ServerPool& pool_in, ServeStats& stats_in,
+                  const std::vector<Request>& arrivals_in,
+                  const ServeOptions& options_in, Autoscaler* autoscaler_in,
+                  AdmissionController* admission_in,
+                  std::shared_ptr<obs::Observability> obs_in)
+      : pool(pool_in),
+        stats(stats_in),
+        arrivals(arrivals_in),
+        options(options_in),
+        autoscaler(autoscaler_in),
+        admission(admission_in),
+        obs(std::move(obs_in)),
+        former(BuildPolicies(pool_in, options_in)) {
+    NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
+    // Observability (docs/OBSERVABILITY.md): resolve the instrument
+    // pointers once up front; with `obs` null every record site below is
+    // one pointer test — the whole overhead of tracing-off.
+    recorder = obs != nullptr ? &obs->recorder : nullptr;
+    if (obs != nullptr) {
+      stats.AttachMetrics(&obs->metrics);
+      pool.AttachMetrics(&obs->metrics);
+      if (autoscaler != nullptr) {
+        autoscaler->AttachMetrics(&obs->metrics);
+      }
+      if (admission != nullptr) {
+        admission->AttachMetrics(&obs->metrics);
+      }
+      former.AttachMetrics(&obs->metrics);
+    }
+    stats.Reserve(static_cast<std::int64_t>(arrivals.size()));
+
+    // Parallel cycle-model warm-up, restricted to workloads that actually
+    // have traffic — idle tenants stay lazily memoized (their unbatched
+    // baseline below is the only evaluation they pay).
+    std::vector<bool> active(static_cast<std::size_t>(pool.workloads()),
+                             false);
+    for (const Request& request : arrivals) {
+      active[static_cast<std::size_t>(request.workload)] = true;
+    }
+    // Warm each active lane only up to *its* batch cap — a cap-1 lane
+    // never forms a batch its policy forbids, so pre-evaluating larger
+    // sizes for it would be wasted cold-start work. Lanes sharing a cap
+    // warm together.
+    std::map<std::int64_t, std::vector<WorkloadId>> active_by_cap;
+    for (int w = 0; w < pool.workloads(); ++w) {
+      if (active[static_cast<std::size_t>(w)]) {
+        active_by_cap[former.policy(w).max_batch].push_back(w);
+      }
+    }
+    for (const auto& [cap, ids] : active_by_cap) {
+      pool.WarmBatchSizes(cap, ids);
+    }
+
+    if (admission != nullptr) {
+      // Tier-priority dispatch: when several lanes close together (or
+      // flush at drain), critical lanes preempt batch lanes (tier order ==
+      // close order). Admission-off runs keep all-zero priorities — the
+      // legacy oldest-head-of-line order, bit-exactly.
+      for (int w = 0; w < pool.workloads(); ++w) {
+        former.SetLanePriority(w, static_cast<int>(admission->TierOf(w)));
+      }
+      scheduled_starts.Reserve(256);
+    }
+
+    env = BuildAdversityTimeline(options.adversity, options.duration_s);
+    defer_commits = options.adversity.kind == AdversityKind::kReplicaFail;
+
+    // Virtual-time metrics-snapshot clock (obs on): one timeline point
+    // every snapshot_interval_s, fired between arrivals like the
+    // autoscaler tick.
+    snapshot_interval_s =
+        obs != nullptr ? obs->options.snapshot_interval_s : 0.0;
+    next_snapshot_s = snapshot_interval_s;
+
+    busy_until.assign(static_cast<std::size_t>(pool.workloads()), 0.0);
+  }
+
+  ~PipelineContext() {
+    // Normal runs settle every deferred commit (CommitUntil(+inf) in
+    // FinishRun); this covers exception unwinds, where the pool requires
+    // live nodes released before it dies.
+    for (PendingCommit* p : pending) {
+      pending_pool.Release(p);
+    }
+  }
+
+  // Per-lane batching policies: `per_workload_max_batch` overrides the
+  // uniform cap where set (0 entries fall back).
+  static std::vector<BatchPolicy> BuildPolicies(const ServerPool& pool,
+                                                const ServeOptions& options) {
+    std::vector<BatchPolicy> policies(
+        static_cast<std::size_t>(pool.workloads()),
+        BatchPolicy{options.max_batch, options.max_wait_s});
+    NSF_CHECK_MSG(options.per_workload_max_batch.empty() ||
+                      options.per_workload_max_batch.size() ==
+                          policies.size(),
+                  "per_workload_max_batch must have one entry per workload");
+    for (std::size_t w = 0; w < options.per_workload_max_batch.size(); ++w) {
+      if (options.per_workload_max_batch[w] > 0) {
+        policies[w].max_batch = options.per_workload_max_batch[w];
+      }
+    }
+    return policies;
+  }
+
+  static std::string Seconds(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  }
+
+  // ------------------------------------------------------------- recording
+
+  void WriteSpans(const DispatchRecord& dr, const Batch& batch) {
     if (recorder == nullptr) {
       return;
     }
@@ -283,11 +345,10 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       span.batch_size = static_cast<std::int32_t>(dr.size);
       recorder->RecordRequest(span);
     }
-  };
+  }
 
-  const auto admission_instant = [&](double t, obs::InstantKind kind,
-                                     WorkloadId workload,
-                                     std::string detail) {
+  void AdmissionInstant(double t, obs::InstantKind kind, WorkloadId workload,
+                        std::string detail) {
     if (recorder == nullptr) {
       return;
     }
@@ -297,98 +358,13 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     instant.workload = workload;
     instant.detail = std::move(detail);
     recorder->RecordInstant(std::move(instant));
-  };
-
-  const auto dispatch = [&](Batch&& batch) {
-    const double start =
-        std::max(batch.formed_s, pool.EarliestFree(batch.workload));
-    if (admission != nullptr) {
-      // Deadline-expiry sweep: a member whose start deadline already
-      // passed is dropped here, before the dispatch — the
-      // never-dispatched invariant (docs/ADMISSION.md). A batch emptied by
-      // the sweep simply never dispatches.
-      const std::int64_t swept = admission->SweepExpired(&batch, start);
-      if (swept > 0) {
-        admission_instant(start, obs::InstantKind::kAdmissionExpired,
-                          batch.workload,
-                          std::to_string(swept) + " expired before dispatch");
-        if (batch.requests.empty()) {
-          return;
-        }
-      }
-      for (const Request& r : batch.requests) {
-        if (start > r.deadline_s) {
-          ++expired_dispatched;  // Defensive: the sweep keeps this at 0.
-        }
-      }
-    }
-    // Backlog the batch sees at its start: arrivals in the system (the
-    // stream is sorted, so count by binary search) minus requests already
-    // sent to a replica and minus everything admission removed for good
-    // (final sheds + expiries never reach a replica).
-    const auto arrived = static_cast<std::int64_t>(
-        std::upper_bound(arrivals.begin(), arrivals.end(), start,
-                         [](double t, const Request& r) {
-                           return t < r.arrival_s;
-                         }) -
-        arrivals.begin());
-    const std::int64_t depth =
-        arrived - started -
-        (admission != nullptr ? admission->removed() : 0);
-    if (defer_commits) {
-      const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth);
-      started += batch.size();
-      if (admission != nullptr) {
-        scheduled_starts.emplace(dr.start_s, batch.size());
-        scheduled_backlog += batch.size();
-      }
-      pending.push_back(PendingCommit{dr, std::move(batch), depth});
-      return;
-    }
-    const DispatchRecord dr = pool.Dispatch(batch, &stats, depth);
-    dispatches.push_back(dr);
-    started += batch.size();
-    if (admission != nullptr) {
-      scheduled_starts.emplace(dr.start_s, batch.size());
-      scheduled_backlog += batch.size();
-    }
-    write_spans(dr, batch);
-  };
-
-  // Deferred-mode settlement: commit every pending batch completed by
-  // virtual time `t`, ordered by (completion, dispatch order) — a pure
-  // function of the schedule, so the stats stream (and with it the
-  // record-order latency mean) stays pinned by the seed.
-  const auto commit = [&](PendingCommit& p) {
-    stats.RecordBatch(p.batch.workload, p.batch.size(), p.depth);
-    stats.RecordReplicaBusy(p.record.replica,
-                            p.record.complete_s - p.record.start_s);
-    for (const Request& r : p.batch.requests) {
-      stats.RecordRequest(p.batch.workload, r.arrival_s, p.record.complete_s);
-    }
-    dispatches.push_back(p.record);
-    write_spans(p.record, p.batch);
-  };
-  const auto commit_until = [&](double t) {
-    std::stable_sort(pending.begin(), pending.end(),
-                     [](const PendingCommit& a, const PendingCommit& b) {
-                       return a.record.complete_s < b.record.complete_s;
-                     });
-    std::size_t done = 0;
-    while (done < pending.size() && pending[done].record.complete_s <= t) {
-      commit(pending[done]);
-      ++done;
-    }
-    pending.erase(pending.begin(),
-                  pending.begin() + static_cast<std::ptrdiff_t>(done));
-  };
+  }
 
   // Mirror new ServeStats PoolEvents into the trace: periodic samples
   // become Chrome counter points, budget deferrals become autoscaler-track
   // instants (applied deltas get richer instants straight from the delta
-  // in the tick loop below).
-  std::size_t timeline_seen = 0;
-  const auto sync_timeline = [&] {
+  // in the tick handler below).
+  void SyncTimeline() {
     if (recorder == nullptr) {
       return;
     }
@@ -414,8 +390,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
         recorder->RecordInstant(std::move(instant));
       }
     }
-  };
-  const auto record_delta = [&](const PoolDelta& delta) {
+  }
+
+  void RecordDelta(const PoolDelta& delta) {
     if (recorder == nullptr) {
       return;
     }
@@ -447,14 +424,9 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     transition.workload = delta.workload;
     transition.detail = delta.reason;
     recorder->RecordInstant(std::move(transition));
-  };
+  }
 
-  // Virtual-time metrics-snapshot clock (obs on): one timeline point every
-  // snapshot_interval_s, fired between arrivals like the autoscaler tick.
-  const double snapshot_interval_s =
-      obs != nullptr ? obs->options.snapshot_interval_s : 0.0;
-  double next_snapshot_s = snapshot_interval_s;
-  const auto snapshot_until = [&](double t) {
+  void SnapshotUntil(double t) {
     if (obs == nullptr || snapshot_interval_s <= 0.0) {
       return;
     }
@@ -463,15 +435,13 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       obs->metrics.TakeSnapshot(next_snapshot_s);
       next_snapshot_s += snapshot_interval_s;
     }
-  };
+  }
 
-  std::vector<PoolDelta> deltas;
-
-  // ---- Environment-event firing (adversity engine). Fault events are
+  // ---- Environment-event surfacing (adversity engine). Fault events are
   // surfaced twice: a kFault PoolEvent on the stats timeline (the CLI
   // epilogue and bench artifacts read it) and a typed instant on the obs
-  // trace (sync_timeline skips kFault so nothing double-emits).
-  const auto fault_event = [&](double t, std::string text) {
+  // trace (SyncTimeline skips kFault so nothing double-emits).
+  void FaultEvent(double t, std::string text) {
     PoolEvent event;
     event.t_s = t;
     event.kind = PoolEventKind::kFault;
@@ -479,9 +449,10 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     event.active_replicas = pool.ActiveReplicas(t);
     event.queue_depth = former.total_pending();
     stats.RecordPoolEvent(std::move(event));
-  };
-  const auto fault_instant = [&](double t, obs::InstantKind kind, int replica,
-                                 WorkloadId workload, std::string detail) {
+  }
+
+  void FaultInstant(double t, obs::InstantKind kind, int replica,
+                    WorkloadId workload, std::string detail) {
     if (recorder == nullptr) {
       return;
     }
@@ -492,51 +463,147 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
     instant.workload = workload;
     instant.detail = std::move(detail);
     recorder->RecordInstant(std::move(instant));
-  };
+  }
+
+  // ---------------------------------------------------- dispatch + commit
+
+  void Dispatch(Batch&& batch) {
+    const double start =
+        std::max(batch.formed_s, pool.EarliestFree(batch.workload));
+    if (admission != nullptr) {
+      // Deadline-expiry sweep: a member whose start deadline already
+      // passed is dropped here, before the dispatch — the
+      // never-dispatched invariant (docs/ADMISSION.md). A batch emptied by
+      // the sweep simply never dispatches.
+      const std::int64_t swept = admission->SweepExpired(&batch, start);
+      if (swept > 0) {
+        AdmissionInstant(start, obs::InstantKind::kAdmissionExpired,
+                         batch.workload,
+                         std::to_string(swept) + " expired before dispatch");
+        if (batch.requests.empty()) {
+          former.Recycle(std::move(batch.requests));
+          return;
+        }
+      }
+      for (const Request& r : batch.requests) {
+        if (start > r.deadline_s) {
+          ++expired_dispatched;  // Defensive: the sweep keeps this at 0.
+        }
+      }
+    }
+    // Backlog the batch sees at its start: arrivals in the system (the
+    // stream is sorted, so count by binary search) minus requests already
+    // sent to a replica and minus everything admission removed for good
+    // (final sheds + expiries never reach a replica).
+    const auto arrived = static_cast<std::int64_t>(
+        std::upper_bound(arrivals.begin(), arrivals.end(), start,
+                         [](double t, const Request& r) {
+                           return t < r.arrival_s;
+                         }) -
+        arrivals.begin());
+    const std::int64_t depth =
+        arrived - started -
+        (admission != nullptr ? admission->removed() : 0);
+    if (defer_commits) {
+      const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth);
+      started += batch.size();
+      if (admission != nullptr) {
+        scheduled_starts.Push(dr.start_s, EventClass::kDispatch,
+                              batch.size());
+        scheduled_backlog += batch.size();
+      }
+      pending.push_back(
+          pending_pool.Acquire(PendingCommit{dr, std::move(batch), depth}));
+      return;
+    }
+    const DispatchRecord dr = pool.Dispatch(batch, &stats, depth);
+    dispatches.push_back(dr);
+    started += batch.size();
+    if (admission != nullptr) {
+      scheduled_starts.Push(dr.start_s, EventClass::kDispatch, batch.size());
+      scheduled_backlog += batch.size();
+    }
+    WriteSpans(dr, batch);
+    former.Recycle(std::move(batch.requests));
+  }
+
+  // Deferred-mode settlement: commit every pending batch completed by
+  // virtual time `t`, ordered by (completion, dispatch order) — a pure
+  // function of the schedule, so the stats stream (and with it the
+  // record-order latency mean) stays pinned by the seed.
+  void Commit(PendingCommit& p) {
+    stats.RecordBatch(p.batch.workload, p.batch.size(), p.depth);
+    stats.RecordReplicaBusy(p.record.replica,
+                            p.record.complete_s - p.record.start_s);
+    for (const Request& r : p.batch.requests) {
+      stats.RecordRequest(p.batch.workload, r.arrival_s, p.record.complete_s);
+    }
+    dispatches.push_back(p.record);
+    WriteSpans(p.record, p.batch);
+    former.Recycle(std::move(p.batch.requests));
+  }
+
+  void CommitUntil(double t) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingCommit* a, const PendingCommit* b) {
+                       return a->record.complete_s < b->record.complete_s;
+                     });
+    std::size_t done = 0;
+    while (done < pending.size() && pending[done]->record.complete_s <= t) {
+      Commit(*pending[done]);
+      pending_pool.Release(pending[done]);
+      ++done;
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(done));
+  }
+
+  // ----------------------------------------------------- adversity events
+
   // End events paired to a start resolved at fire time (recovery, derate
-  // end) are spliced into the not-yet-fired suffix of the timeline.
-  const auto schedule_env = [&](AdversityEvent e) {
+  // end) are spliced into the not-yet-fired suffix of the timeline. The
+  // event driver schedules at most one kAdversity heap event at a time —
+  // pushed for env[env_next] only after the previous handler (and any
+  // splice it did) finished — so the heap never holds a stale env time.
+  void ScheduleEnv(AdversityEvent e) {
     std::size_t at = env_next;
     while (at < env.size() && env[at].t_s <= e.t_s) {
       ++at;
     }
     env.insert(env.begin() + static_cast<std::ptrdiff_t>(at), std::move(e));
-  };
-  const auto seconds = [](double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return std::string(buf);
-  };
-  const auto fire_env = [&](const AdversityEvent& e) {
+  }
+
+  void FireEnv(const AdversityEvent& e) {
     switch (e.kind) {
       case AdversityEventKind::kReplicaFail: {
         const int target =
             pool.ResolveFaultTarget(e.replica, e.t_s, /*for_failure=*/true);
         if (target < 0) {
-          fault_event(e.t_s,
-                      "replica failure skipped: no eligible target (loss "
-                      "would orphan a workload)");
+          FaultEvent(e.t_s,
+                     "replica failure skipped: no eligible target (loss "
+                     "would orphan a workload)");
           break;
         }
         // Settle history, then abort everything the schedule had placed on
         // the dead replica past the failure instant.
-        commit_until(e.t_s);
+        CommitUntil(e.t_s);
         std::vector<PendingCommit> aborted;
         for (std::size_t i = 0; i < pending.size();) {
-          if (pending[i].record.replica == target) {
-            aborted.push_back(std::move(pending[i]));
+          if (pending[i]->record.replica == target) {
+            aborted.push_back(std::move(*pending[i]));
+            pending_pool.Release(pending[i]);
             pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
           } else {
             ++i;
           }
         }
         pool.FailReplica(target, e.t_s, e.until_s, e.warmup_s);
-        fault_event(e.t_s, "replica " + std::to_string(target) +
-                               " failed: dark until " + seconds(e.until_s) +
-                               " s, " + std::to_string(aborted.size()) +
-                               " in-flight batch(es) re-enqueued");
-        fault_instant(e.t_s, obs::InstantKind::kReplicaFailed, target, -1,
-                      "failed; recovery at " + seconds(e.until_s) + " s");
+        FaultEvent(e.t_s, "replica " + std::to_string(target) +
+                              " failed: dark until " + Seconds(e.until_s) +
+                              " s, " + std::to_string(aborted.size()) +
+                              " in-flight batch(es) re-enqueued");
+        FaultInstant(e.t_s, obs::InstantKind::kReplicaFailed, target, -1,
+                     "failed; recovery at " + Seconds(e.until_s) + " s");
         // Re-enqueue in original dispatch order: the batches re-enter the
         // pipeline at the failure instant and reroute to survivors (FIFO
         // within each batch is untouched — composition is preserved).
@@ -548,85 +615,96 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
           started -= p.batch.size();
           Batch batch = std::move(p.batch);
           batch.formed_s = e.t_s;
-          dispatch(std::move(batch));
+          Dispatch(std::move(batch));
         }
         AdversityEvent recover;
         recover.t_s = e.until_s;
         recover.kind = AdversityEventKind::kReplicaRecover;
         recover.replica = target;
         recover.warmup_s = e.warmup_s;
-        schedule_env(std::move(recover));
+        ScheduleEnv(std::move(recover));
         break;
       }
       case AdversityEventKind::kReplicaRecover:
-        fault_event(e.t_s, "replica " + std::to_string(e.replica) +
-                               " recovered (warming for " +
-                               seconds(e.warmup_s) + " s)");
-        fault_instant(e.t_s, obs::InstantKind::kReplicaRecovered, e.replica,
-                      -1, "recovered; warming for " + seconds(e.warmup_s) +
-                              " s");
+        FaultEvent(e.t_s, "replica " + std::to_string(e.replica) +
+                              " recovered (warming for " +
+                              Seconds(e.warmup_s) + " s)");
+        FaultInstant(e.t_s, obs::InstantKind::kReplicaRecovered, e.replica,
+                     -1, "recovered; warming for " + Seconds(e.warmup_s) +
+                             " s");
         break;
       case AdversityEventKind::kDerateStart: {
         const int target =
             pool.ResolveFaultTarget(e.replica, e.t_s, /*for_failure=*/false);
         if (target < 0) {
-          fault_event(e.t_s, "straggler derate skipped: no eligible target");
+          FaultEvent(e.t_s, "straggler derate skipped: no eligible target");
           break;
         }
         pool.SetDerate(target, e.factor, e.t_s, e.until_s);
-        fault_event(e.t_s, "replica " + std::to_string(target) +
-                               " derated x" + seconds(e.factor) +
-                               " until " + seconds(e.until_s) + " s");
-        fault_instant(e.t_s, obs::InstantKind::kReplicaDerated, target, -1,
-                      "derated x" + seconds(e.factor) + " until " +
-                          seconds(e.until_s) + " s");
+        FaultEvent(e.t_s, "replica " + std::to_string(target) +
+                              " derated x" + Seconds(e.factor) +
+                              " until " + Seconds(e.until_s) + " s");
+        FaultInstant(e.t_s, obs::InstantKind::kReplicaDerated, target, -1,
+                     "derated x" + Seconds(e.factor) + " until " +
+                         Seconds(e.until_s) + " s");
         AdversityEvent end;
         end.t_s = e.until_s;
         end.kind = AdversityEventKind::kDerateEnd;
         end.replica = target;
         end.factor = e.factor;
-        schedule_env(std::move(end));
+        ScheduleEnv(std::move(end));
         break;
       }
       case AdversityEventKind::kDerateEnd:
-        fault_event(e.t_s, "replica " + std::to_string(e.replica) +
-                               " derate ended (back to full clock)");
-        fault_instant(e.t_s, obs::InstantKind::kReplicaDerated, e.replica,
-                      -1, "derate ended");
+        FaultEvent(e.t_s, "replica " + std::to_string(e.replica) +
+                              " derate ended (back to full clock)");
+        FaultInstant(e.t_s, obs::InstantKind::kReplicaDerated, e.replica,
+                     -1, "derate ended");
         break;
       case AdversityEventKind::kChurnLeave:
-        fault_event(e.t_s, "workload " + std::to_string(e.workload) +
-                               " churned out (arrivals masked until " +
-                               seconds(e.until_s) + " s)");
-        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
-                      "tenant churned out until " + seconds(e.until_s) +
-                          " s");
+        FaultEvent(e.t_s, "workload " + std::to_string(e.workload) +
+                              " churned out (arrivals masked until " +
+                              Seconds(e.until_s) + " s)");
+        FaultInstant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
+                     "tenant churned out until " + Seconds(e.until_s) +
+                         " s");
         break;
       case AdversityEventKind::kChurnRejoin:
-        fault_event(e.t_s, "workload " + std::to_string(e.workload) +
-                               " rejoined");
-        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
-                      "tenant rejoined");
+        FaultEvent(e.t_s, "workload " + std::to_string(e.workload) +
+                              " rejoined");
+        FaultInstant(e.t_s, obs::InstantKind::kEnvironment, -1, e.workload,
+                     "tenant rejoined");
         break;
       case AdversityEventKind::kFlashStart:
-        fault_event(e.t_s, "flash crowd x" + seconds(e.factor) +
-                               " across tenants until " +
-                               seconds(e.until_s) + " s");
-        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
-                      "flash crowd x" + seconds(e.factor) + " until " +
-                          seconds(e.until_s) + " s");
+        FaultEvent(e.t_s, "flash crowd x" + Seconds(e.factor) +
+                              " across tenants until " +
+                              Seconds(e.until_s) + " s");
+        FaultInstant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
+                     "flash crowd x" + Seconds(e.factor) + " until " +
+                         Seconds(e.until_s) + " s");
         break;
       case AdversityEventKind::kFlashEnd:
-        fault_event(e.t_s, "flash crowd ended");
-        fault_instant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
-                      "flash crowd ended");
+        FaultEvent(e.t_s, "flash crowd ended");
+        FaultInstant(e.t_s, obs::InstantKind::kEnvironment, -1, -1,
+                     "flash crowd ended");
         break;
     }
-  };
-  // Everything scheduled at or before `t` fires in virtual-time order;
-  // environment events land before a control tick at the same instant
-  // (the world changes, then the control loop observes it).
-  const auto fire_until = [&](double t) {
+  }
+
+  // One autoscaler control decision (kAutoscalerTick).
+  void FireTick() {
+    for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
+      RecordDelta(delta);
+      deltas.push_back(std::move(delta));
+    }
+    SyncTimeline();
+  }
+
+  // Legacy polling driver only: everything scheduled at or before `t`
+  // fires in virtual-time order; environment events land before a control
+  // tick at the same instant (the world changes, then the control loop
+  // observes it) — the implicit ordering EventClass makes explicit.
+  void FireUntil(double t) {
     while (true) {
       const double env_t = env_next < env.size()
                                ? env[env_next].t_s
@@ -639,38 +717,35 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
       }
       if (env_t <= tick_t) {
         const AdversityEvent e = env[env_next++];
-        fire_env(e);  // May splice paired end events after env_next.
+        FireEnv(e);  // May splice paired end events after env_next.
       } else {
-        for (PoolDelta& delta : autoscaler->Tick(former, stats)) {
-          record_delta(delta);
-          deltas.push_back(std::move(delta));
-        }
-        sync_timeline();
+        FireTick();
       }
     }
-  };
+  }
 
-  std::vector<double> busy_until(static_cast<std::size_t>(pool.workloads()),
-                                 0.0);
+  // ------------------------------------------------------ admission path
+
   // Feed one admitted request into the forming lanes — the pre-admission
   // hot path, unchanged when no controller is attached.
-  const auto add_to_former = [&](const Request& r) {
+  void AddToFormer(const Request& r) {
     for (int w = 0; w < pool.workloads(); ++w) {
       busy_until[static_cast<std::size_t>(w)] = pool.EarliestFree(w);
     }
     for (Batch& batch : former.Add(r, busy_until)) {
-      dispatch(std::move(batch));
+      Dispatch(std::move(batch));
     }
-  };
+  }
+
   // Offer one arrival (or retry re-offer) to the admission controller;
   // only admitted requests reach the former. The offer sees the admitted
   // backlog — forming-lane depth plus dispatched requests whose virtual
   // start is still ahead of the offer clock — and the pool's live
   // fraction (failed replicas discounted) at the offer instant, both pure
   // functions of the virtual timeline.
-  const auto offer = [&](Request r) {
+  void Offer(Request r) {
     if (admission == nullptr) {
-      add_to_former(r);
+      AddToFormer(r);
       return;
     }
     const double t = r.arrival_s;
@@ -686,158 +761,355 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
             ? static_cast<double>(std::max(0, provisioned - failed)) /
                   static_cast<double>(provisioned)
             : 1.0;
-    while (!scheduled_starts.empty() && scheduled_starts.top().first <= t) {
-      scheduled_backlog -= scheduled_starts.top().second;
-      scheduled_starts.pop();
+    while (!scheduled_starts.empty() && scheduled_starts.Top().t_s <= t) {
+      scheduled_backlog -= scheduled_starts.Pop().payload;
     }
     const std::int64_t removed_before = admission->removed();
     if (!admission->Offer(&r, former.total_pending() + scheduled_backlog,
                           live_fraction)) {
       const bool final_shed = admission->removed() > removed_before;
-      admission_instant(t,
-                        final_shed ? obs::InstantKind::kAdmissionShed
-                                   : obs::InstantKind::kAdmissionRetry,
-                        r.workload, TierName(r.tier));
+      AdmissionInstant(t,
+                       final_shed ? obs::InstantKind::kAdmissionShed
+                                  : obs::InstantKind::kAdmissionRetry,
+                       r.workload, TierName(r.tier));
+      MaybeScheduleRetryEvent();
       return;
     }
-    add_to_former(r);
-  };
-  // Re-offer every scheduled retry due at or before `t`, interleaved with
-  // the tick/fault clocks in virtual-time order (a re-shed retry may
-  // schedule another attempt inside the same window — the loop re-checks).
-  const auto drain_retries = [&](double t) {
+    AddToFormer(r);
+    MaybeScheduleRetryEvent();
+  }
+
+  // Event driver: keep one live kAdmissionRetry heap event at the earliest
+  // pending retry deadline. A shed during an offer can only schedule
+  // retries at or after the current instant, so pushing here (after every
+  // offer) covers every way the retry heap can gain an earlier head.
+  void MaybeScheduleRetryEvent() {
+    if (events == nullptr || admission == nullptr) {
+      return;
+    }
+    const double next = admission->NextRetryAt();
+    if (next < retry_event_t) {
+      events->Push(next, EventClass::kAdmissionRetry);
+      retry_event_t = next;
+    }
+  }
+
+  // Event driver's kAdmissionRetry handler: re-offer every retry due at or
+  // before `t`. Earlier-deadline retries always had their own event (see
+  // MaybeScheduleRetryEvent), so everything processed here is due exactly
+  // now; a re-shed can chain another same-instant attempt — the loop
+  // re-checks, matching the legacy drain. Stale events (their retry
+  // already consumed by an earlier event at the same deadline) fall
+  // through the guard and no-op.
+  void ProcessRetriesAt(double t) {
     if (admission == nullptr) {
       return;
     }
     while (admission->NextRetryAt() <= t) {
       const double retry_t = admission->NextRetryAt();
-      fire_until(retry_t);
       Request retry = admission->PopRetry();
       if (autoscaler != nullptr) {
         stats.RecordArrival(retry.workload, retry_t);
       }
-      snapshot_until(retry_t);
-      offer(std::move(retry));
+      SnapshotUntil(retry_t);
+      Offer(std::move(retry));
     }
-  };
-  while (auto request = queue.Pop()) {
-    // Control decisions, environment events, and retry re-offers scheduled
-    // at or before this arrival fire first — the tick clock, the fault
-    // timeline, the retry heap, and the arrival stamps share one virtual
-    // timeline. The arrival record only exists to feed the autoscaler's
-    // windowed rate samples; static runs skip the bookkeeping (hot path).
-    drain_retries(request->arrival_s);
-    fire_until(request->arrival_s);
+  }
+
+  // Legacy polling driver: re-offer every scheduled retry due at or before
+  // `t`, interleaved with the tick/fault clocks in virtual-time order (a
+  // re-shed retry may schedule another attempt inside the same window —
+  // the loop re-checks).
+  void DrainRetries(double t) {
+    if (admission == nullptr) {
+      return;
+    }
+    while (admission->NextRetryAt() <= t) {
+      const double retry_t = admission->NextRetryAt();
+      FireUntil(retry_t);
+      Request retry = admission->PopRetry();
+      if (autoscaler != nullptr) {
+        stats.RecordArrival(retry.workload, retry_t);
+      }
+      SnapshotUntil(retry_t);
+      Offer(std::move(retry));
+    }
+  }
+
+  // One arrival enters: the arrival record only exists to feed the
+  // autoscaler's windowed rate samples; static runs skip the bookkeeping
+  // (hot path). Shared verbatim by both drivers — they differ only in how
+  // the events *preceding* the arrival were ordered.
+  void HandleArrival(const Request& request) {
     if (autoscaler != nullptr) {
-      stats.RecordArrival(request->workload, request->arrival_s);
+      stats.RecordArrival(request.workload, request.arrival_s);
     }
-    snapshot_until(request->arrival_s);
-    offer(*request);
+    SnapshotUntil(request.arrival_s);
+    Offer(request);
   }
-  // Run out the retry heap, the tick and fault clocks over the
-  // arrival-free tail, flush, then settle whatever the deferred-commit
-  // mode still holds. Retries scheduled past the horizon never re-enter:
-  // shutdown finalizes them as sheds (graceful drain admits nothing new).
-  drain_retries(options.duration_s);
-  fire_until(options.duration_s);
-  snapshot_until(options.duration_s);
-  if (admission != nullptr) {
-    admission->CloseRetries();
-  }
-  for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
-    dispatch(std::move(tail));
-  }
-  commit_until(std::numeric_limits<double>::infinity());
 
-  // Graceful drain (admission runs): the arrival stream is over and every
-  // lane has flushed in tier order — retire the whole pool. Replicas
-  // finish what they already started (retire at their busy horizon), and
-  // the span accounting below judges them against their drained span.
-  if (admission != nullptr) {
-    std::vector<bool> was_draining(static_cast<std::size_t>(pool.size()));
-    for (int r = 0; r < pool.size(); ++r) {
-      was_draining[static_cast<std::size_t>(r)] = pool.draining(r);
+  // ---------------------------------------------------------- the drivers
+
+  // The discrete-event driver: one min-heap orders arrivals, adversity
+  // faults, autoscaler ticks, admission retries, and the drain on the
+  // virtual timeline; same-instant ties resolve by EventClass then push
+  // seq. Arrivals and the env timeline ride cursors — one outstanding
+  // heap event each — so the heap stays shallow and, past the initial
+  // Reserve, steady-state scheduling never allocates.
+  void RunEventLoop() {
+    event_core::EventList heap;
+    heap.Reserve(64);
+    events = &heap;
+    retry_event_t = std::numeric_limits<double>::infinity();
+    // Arrivals normally end before the horizon; a replayed trace that
+    // overruns it still gets processed (the legacy loop consumed the whole
+    // queue), so the drain sits at whichever is later.
+    const double drain_t =
+        arrivals.empty()
+            ? options.duration_s
+            : std::max(options.duration_s, arrivals.back().arrival_s);
+    std::size_t next_arrival = 0;
+    if (!arrivals.empty()) {
+      heap.Push(arrivals[0].arrival_s, EventClass::kArrival);
     }
-    const int drained = pool.DrainAll(options.duration_s);
-    PoolEvent event;
-    event.t_s = options.duration_s;
-    event.kind = PoolEventKind::kDecision;
-    event.event = "graceful drain: " + std::to_string(drained) +
-                  " replica(s) retired";
-    event.active_replicas = pool.ActiveReplicas(options.duration_s);
-    event.queue_depth = former.total_pending();
-    stats.RecordPoolEvent(std::move(event));
-    if (recorder != nullptr) {
-      for (int r = 0; r < pool.size(); ++r) {
-        if (was_draining[static_cast<std::size_t>(r)]) {
-          continue;  // The autoscaler already drained it mid-run.
+    if (env_next < env.size()) {
+      heap.Push(env[env_next].t_s, EventClass::kAdversity);
+    }
+    if (autoscaler != nullptr && std::isfinite(autoscaler->next_tick_s())) {
+      heap.Push(autoscaler->next_tick_s(), EventClass::kAutoscalerTick);
+    }
+    heap.Push(drain_t, EventClass::kDrain);
+    bool running = true;
+    while (running) {
+      const event_core::Event e = heap.Pop();
+      switch (e.cls) {
+        case EventClass::kAdversity: {
+          const AdversityEvent env_event = env[env_next++];
+          FireEnv(env_event);  // May splice paired end events.
+          if (env_next < env.size()) {
+            heap.Push(env[env_next].t_s, EventClass::kAdversity);
+          }
+          break;
         }
-        obs::InstantEvent instant;
-        instant.t_s = options.duration_s;
-        instant.kind = obs::InstantKind::kReplicaDraining;
-        instant.replica = r;
-        instant.detail = "graceful drain";
-        recorder->RecordInstant(std::move(instant));
+        case EventClass::kAutoscalerTick: {
+          FireTick();
+          const double next_tick = autoscaler->next_tick_s();
+          if (std::isfinite(next_tick)) {
+            heap.Push(next_tick, EventClass::kAutoscalerTick);
+          }
+          break;
+        }
+        case EventClass::kAdmissionRetry: {
+          if (e.t_s >= retry_event_t) {
+            retry_event_t = std::numeric_limits<double>::infinity();
+          }
+          ProcessRetriesAt(e.t_s);
+          break;
+        }
+        case EventClass::kArrival: {
+          HandleArrival(arrivals[next_arrival]);
+          ++next_arrival;
+          if (next_arrival < arrivals.size()) {
+            heap.Push(arrivals[next_arrival].arrival_s,
+                      EventClass::kArrival);
+          }
+          break;
+        }
+        case EventClass::kDrain:
+          // Everything at or before the horizon has fired (kDrain is the
+          // highest class value, so same-instant work went first); the
+          // shared shutdown sequence runs back in Run().
+          running = false;
+          break;
+        default:
+          NSF_CHECK_MSG(false, "folded event class on the timeline heap");
+      }
+    }
+    events = nullptr;
+  }
+
+  // The preserved polling driver (the differential oracle): producer
+  // thread feeds the queue in arrival order; the consumer drains it into
+  // the batch former. FIFO + virtual timestamps keep the result
+  // independent of how the two threads interleave. The joiner makes the
+  // consumer exception-safe: an error thrown mid-pipeline (an autoscaler
+  // guard, a bad trace) must propagate to the caller, not hit the
+  // joinable-thread destructor and terminate the process.
+  void RunLegacyLoop() {
+    RequestQueue queue;
+    std::thread producer([&] {
+      for (const Request& request : arrivals) {
+        if (!queue.Push(request)) {
+          break;  // Queue closed under us — nothing left to feed.
+        }
+      }
+      queue.Close();
+    });
+    struct ProducerJoiner {
+      RequestQueue& queue;
+      std::thread& producer;
+      ~ProducerJoiner() {
+        queue.Close();  // Unblocks a producer still pushing.
+        if (producer.joinable()) {
+          producer.join();
+        }
+      }
+    } joiner{queue, producer};
+
+    while (auto request = queue.Pop()) {
+      // Control decisions, environment events, and retry re-offers
+      // scheduled at or before this arrival fire first — the tick clock,
+      // the fault timeline, the retry heap, and the arrival stamps share
+      // one virtual timeline.
+      DrainRetries(request->arrival_s);
+      FireUntil(request->arrival_s);
+      HandleArrival(*request);
+    }
+    // Run out the retry heap and the tick and fault clocks over the
+    // arrival-free tail (the event driver covers this from the heap).
+    DrainRetries(options.duration_s);
+    FireUntil(options.duration_s);
+  }
+
+  // ------------------------------------------------------------- shutdown
+
+  // Shared tail: flush the lanes, settle deferred commits, gracefully
+  // drain an admission-run pool, and resolve the post-run replica spans.
+  // Retries scheduled past the horizon never re-enter: shutdown finalizes
+  // them as sheds (graceful drain admits nothing new).
+  void FinishRun() {
+    SnapshotUntil(options.duration_s);
+    if (admission != nullptr) {
+      admission->CloseRetries();
+    }
+    for (Batch& tail : former.Flush(options.duration_s + options.max_wait_s)) {
+      Dispatch(std::move(tail));
+    }
+    CommitUntil(std::numeric_limits<double>::infinity());
+
+    // Graceful drain (admission runs): the arrival stream is over and
+    // every lane has flushed in tier order — retire the whole pool.
+    // Replicas finish what they already started (retire at their busy
+    // horizon), and the span accounting below judges them against their
+    // drained span.
+    if (admission != nullptr) {
+      std::vector<bool> was_draining(static_cast<std::size_t>(pool.size()));
+      for (int r = 0; r < pool.size(); ++r) {
+        was_draining[static_cast<std::size_t>(r)] = pool.draining(r);
+      }
+      const int drained = pool.DrainAll(options.duration_s);
+      PoolEvent event;
+      event.t_s = options.duration_s;
+      event.kind = PoolEventKind::kDecision;
+      event.event = "graceful drain: " + std::to_string(drained) +
+                    " replica(s) retired";
+      event.active_replicas = pool.ActiveReplicas(options.duration_s);
+      event.queue_depth = former.total_pending();
+      stats.RecordPoolEvent(std::move(event));
+      if (recorder != nullptr) {
+        for (int r = 0; r < pool.size(); ++r) {
+          if (was_draining[static_cast<std::size_t>(r)]) {
+            continue;  // The autoscaler already drained it mid-run.
+          }
+          obs::InstantEvent instant;
+          instant.t_s = options.duration_s;
+          instant.kind = obs::InstantKind::kReplicaDraining;
+          instant.replica = r;
+          instant.detail = "graceful drain";
+          recorder->RecordInstant(std::move(instant));
+        }
+      }
+    }
+
+    // Utilization denominators: each replica against its provisioned span
+    // (a no-op for static pools, whose spans are the whole horizon).
+    // Admission runs also land here: the graceful drain gave every replica
+    // a finite retire time.
+    if (autoscaler != nullptr || admission != nullptr) {
+      for (int r = 0; r < pool.size(); ++r) {
+        stats.SetReplicaSpan(r, pool.AddedAt(r), pool.RetiredAt(r));
+        // Retire instants are only knowable post-run: a drained replica's
+        // actual retire time is its busy horizon at drain, not the
+        // decision.
+        const double retired = pool.RetiredAt(r);
+        if (recorder != nullptr && std::isfinite(retired)) {
+          obs::InstantEvent instant;
+          instant.t_s = retired;
+          instant.kind = obs::InstantKind::kReplicaRetired;
+          instant.replica = r;
+          instant.detail = "replica " + std::to_string(r) + " retired";
+          recorder->RecordInstant(std::move(instant));
+        }
       }
     }
   }
 
-  // Utilization denominators: each replica against its provisioned span
-  // (a no-op for static pools, whose spans are the whole horizon).
-  // Admission runs also land here: the graceful drain gave every replica a
-  // finite retire time.
-  if (autoscaler != nullptr || admission != nullptr) {
-    for (int r = 0; r < pool.size(); ++r) {
-      stats.SetReplicaSpan(r, pool.AddedAt(r), pool.RetiredAt(r));
-      // Retire instants are only knowable post-run: a drained replica's
-      // actual retire time is its busy horizon at drain, not the decision.
-      const double retired = pool.RetiredAt(r);
-      if (recorder != nullptr && std::isfinite(retired)) {
-        obs::InstantEvent instant;
-        instant.t_s = retired;
-        instant.kind = obs::InstantKind::kReplicaRetired;
-        instant.replica = r;
-        instant.detail = "replica " + std::to_string(r) + " retired";
-        recorder->RecordInstant(std::move(instant));
+  ServeReport BuildReport() {
+    ServeReport report;
+    report.generated_requests = static_cast<std::int64_t>(arrivals.size());
+    for (int w = 0; w < pool.workloads(); ++w) {
+      // The unbatched baseline runs on the first replica deployed for w.
+      for (int r = 0; r < pool.size(); ++r) {
+        if (pool.CanServe(r, w)) {
+          report.single_request_by_workload.push_back(
+              pool.BatchSeconds(r, w, 1));
+          break;
+        }
       }
     }
+    report.single_request_s = report.single_request_by_workload.empty()
+                                  ? 0.0
+                                  : report.single_request_by_workload.front();
+    report.dispatches = std::move(dispatches);
+    report.deltas = std::move(deltas);
+    if (admission != nullptr) {
+      report.admission = admission->Summaries();
+      report.expired_dispatched = expired_dispatched;
+    }
+    report.summary = stats.Summarize(
+        EffectiveOfferedRps(options, report.generated_requests),
+        options.duration_s);
+    report.replica_seconds = pool.ReplicaSeconds(report.summary.horizon_s);
+    if (obs != nullptr) {
+      // Final metrics point at the true horizon, then hand the bundle back
+      // for export.
+      pool.PublishCacheMetrics();
+      obs->metrics.TakeSnapshot(report.summary.horizon_s);
+      obs->meta.replicas = pool.size();
+      obs->meta.duration_s = options.duration_s;
+      report.obs = std::move(obs);
+    }
+    return report;
   }
 
-  ServeReport report;
-  report.generated_requests = static_cast<std::int64_t>(arrivals.size());
-  for (int w = 0; w < pool.workloads(); ++w) {
-    // The unbatched baseline runs on the first replica deployed for w.
-    for (int r = 0; r < pool.size(); ++r) {
-      if (pool.CanServe(r, w)) {
-        report.single_request_by_workload.push_back(
-            pool.BatchSeconds(r, w, 1));
-        break;
-      }
+  ServeReport Run() {
+    if (options.engine == ServeEngine::kLegacy) {
+      RunLegacyLoop();
+    } else {
+      RunEventLoop();
     }
+    FinishRun();
+    return BuildReport();
   }
-  report.single_request_s = report.single_request_by_workload.empty()
-                                ? 0.0
-                                : report.single_request_by_workload.front();
-  report.dispatches = std::move(dispatches);
-  report.deltas = std::move(deltas);
-  if (admission != nullptr) {
-    report.admission = admission->Summaries();
-    report.expired_dispatched = expired_dispatched;
-  }
-  report.summary = stats.Summarize(
-      EffectiveOfferedRps(options, report.generated_requests),
-      options.duration_s);
-  report.replica_seconds = pool.ReplicaSeconds(report.summary.horizon_s);
-  if (obs != nullptr) {
-    // Final metrics point at the true horizon, then hand the bundle back
-    // for export.
-    pool.PublishCacheMetrics();
-    obs->metrics.TakeSnapshot(report.summary.horizon_s);
-    obs->meta.replicas = pool.size();
-    obs->meta.duration_s = options.duration_s;
-    report.obs = std::move(obs);
-  }
-  return report;
+};
+
+/// Shared forming + dispatch pipeline: stream `arrivals` into the
+/// multi-workload former, sending every closed batch to the earliest
+/// capable replica. Works unchanged for the single-workload path (one
+/// lane, every replica capable). With `autoscaler` non-null, its control
+/// decisions interleave with the arrival stream on the virtual timeline:
+/// every tick at or before the next arrival fires first, so a fixed seed
+/// pins the whole (arrival, decision) sequence. `options.engine` selects
+/// the driver; both produce byte-identical runs (see PipelineContext).
+ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
+                        const std::vector<Request>& arrivals,
+                        const ServeOptions& options,
+                        Autoscaler* autoscaler = nullptr,
+                        AdmissionController* admission = nullptr,
+                        std::shared_ptr<obs::Observability> obs = nullptr) {
+  PipelineContext context(pool, stats, arrivals, options, autoscaler,
+                          admission, std::move(obs));
+  return context.Run();
 }
 
 }  // namespace

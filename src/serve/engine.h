@@ -73,6 +73,21 @@ struct AutoscaleOptions {
   double dictionary_bytes = 512.0 * 1024.0;
 };
 
+/// Which pipeline driver runs the virtual timeline (docs/ENGINE.md).
+/// Both drivers share every handler — the batch former, pool, autoscaler,
+/// admission, adversity, and obs subscribers see the identical call
+/// sequence — so fixed-seed runs are byte-identical between them; the
+/// differential matrix in tests/event_core_test.cpp enforces it.
+enum class ServeEngine {
+  /// Discrete-event core (serve/event_core.h): one binary min-heap keyed
+  /// (virtual_time, class, seq) drives arrivals, adversity faults,
+  /// autoscaler ticks, admission retries, and the drain. The default.
+  kEvent = 0,
+  /// The pre-event-core polling interleave, kept as the differential
+  /// oracle and the bench's old-vs-new wall reference.
+  kLegacy = 1,
+};
+
 struct ServeOptions {
   double qps = 100.0;          // Open-loop offered load (Poisson arrivals).
   double duration_s = 1.0;     // Virtual length of the arrival trace.
@@ -114,6 +129,10 @@ struct ServeOptions {
   /// entry per registry workload. The CLI parses `--tiers
   /// mlp=critical,resnet18=batch` into this.
   std::vector<SlaTier> tiers;
+  /// Pipeline driver selection — event-driven by default; `kLegacy` runs
+  /// the preserved polling loop (byte-identical output, used as the
+  /// differential oracle and for the bench's wall-clock ratio).
+  ServeEngine engine = ServeEngine::kEvent;
   /// Observability (docs/OBSERVABILITY.md): with `trace.enabled` the engine
   /// records every request/batch lifecycle span, autoscaler decision, and
   /// replica transition on the virtual timeline into `ServeReport::obs`,

@@ -1,0 +1,31 @@
+#include "serve/event_core.h"
+
+namespace nsflow::serve::event_core {
+
+const char* EventClassName(EventClass cls) {
+  switch (cls) {
+    case EventClass::kAdversity:
+      return "adversity";
+    case EventClass::kAutoscalerTick:
+      return "autoscaler-tick";
+    case EventClass::kAdmissionRetry:
+      return "admission-retry";
+    case EventClass::kArrival:
+      return "arrival";
+    case EventClass::kLaneDeadline:
+      return "lane-deadline";
+    case EventClass::kDispatch:
+      return "dispatch";
+    case EventClass::kBatchComplete:
+      return "batch-complete";
+    case EventClass::kAdmissionSweep:
+      return "admission-sweep";
+    case EventClass::kSnapshot:
+      return "snapshot";
+    case EventClass::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+}  // namespace nsflow::serve::event_core

@@ -31,6 +31,17 @@ ServeStats::ServeStats(int replicas, int workloads) {
                          SlaTier::kStandard);
 }
 
+void ServeStats::Reserve(std::int64_t expected_requests) {
+  if (expected_requests <= 0) {
+    return;
+  }
+  const auto n = static_cast<std::size_t>(expected_requests);
+  latencies_s_.reserve(n);
+  arrivals_s_.reserve(n);
+  completions_s_.reserve(n);
+  arrival_stamps_.reserve(n);
+}
+
 void ServeStats::SetWorkloadName(WorkloadId w, std::string name) {
   NSF_CHECK_MSG(w >= 0 && w < static_cast<int>(workload_names_.size()),
                 "workload index out of range");

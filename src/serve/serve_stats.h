@@ -117,6 +117,12 @@ class ServeStats {
   /// runs never see either (their output stays byte-identical).
   void SetWorkloadTier(WorkloadId w, SlaTier tier);
 
+  /// Pre-size the per-request populations for an `expected_requests`-sized
+  /// run, so steady-state recording never reallocates mid-stream (part of
+  /// the serve path's allocation contract, docs/ENGINE.md). Purely an
+  /// allocation hint — recording behavior and output are unchanged.
+  void Reserve(std::int64_t expected_requests);
+
   /// One request finished: latency = complete - arrival (virtual seconds).
   void RecordRequest(double arrival_s, double complete_s) {
     RecordRequest(0, arrival_s, complete_s);

@@ -131,6 +131,10 @@ const std::vector<CommandSpec>& Commands() {
             "admission frontend: none | quota | slo | overload | guard —"
             " per-tenant token buckets, SLA-tier deadlines, overload"
             " shedding, bounded retries (docs/ADMISSION.md)"},
+           {"--engine", "NAME", "event",
+            "pipeline driver: event (discrete-event core) | legacy"
+            " (preserved polling loop) — byte-identical output"
+            " (docs/ENGINE.md)"},
            {"--tiers", "name=tier,...", "standard",
             "with --admission: SLA tier per workload, critical | standard |"
             " batch, e.g. mlp=critical,resnet18=batch (docs/ADMISSION.md)"},
@@ -378,6 +382,16 @@ CliArgs Parse(int argc, char** argv) {
       args.serve.adversity = serve::AdversitySpec::Parse(next());
     } else if (flag == "--admission") {
       args.serve.admission = serve::AdmissionSpec::Parse(next());
+    } else if (flag == "--engine") {
+      const std::string engine = next();
+      if (engine == "event") {
+        args.serve.engine = serve::ServeEngine::kEvent;
+      } else if (engine == "legacy") {
+        args.serve.engine = serve::ServeEngine::kLegacy;
+      } else {
+        throw Error("unknown --engine '" + engine +
+                    "' (expected event or legacy)");
+      }
     } else if (flag == "--tiers") {
       args.tiers = next();
     } else if (flag == "--plan") {
@@ -809,20 +823,11 @@ int PrintAdmissionSummary(const CliArgs& args,
   }
   TablePrinter table({"tenant", "tier", "offered", "admitted", "shed",
                       "expired", "retried"});
-  bool critical_loss = false;
-  bool standard_loss = false;
   for (const serve::AdmissionTenantSummary& row : report.admission) {
     table.AddRow({row.tenant, serve::TierName(row.tier),
                   std::to_string(row.offered), std::to_string(row.admitted),
                   std::to_string(row.shed()), std::to_string(row.expired),
                   std::to_string(row.retried)});
-    if (row.shed() > 0 || row.expired > 0) {
-      if (row.tier == serve::SlaTier::kCritical) {
-        critical_loss = true;
-      } else if (row.tier == serve::SlaTier::kStandard) {
-        standard_loss = true;
-      }
-    }
   }
   std::printf("\nAdmission (%s):\n%s",
               args.serve.admission.ToString().c_str(),
@@ -833,10 +838,7 @@ int PrintAdmissionSummary(const CliArgs& args,
     std::printf("WARNING: %lld expired request(s) were dispatched\n",
                 static_cast<long long>(report.expired_dispatched));
   }
-  if (critical_loss) {
-    return 4;
-  }
-  return standard_loss ? 5 : 0;
+  return serve::AdmissionExitCode(report.admission);
 }
 
 /// Execute a PoolPlan emitted by `nsflow plan --out`: rebuild its designs

@@ -106,6 +106,16 @@ def collect_metrics(serve_report, plan_report):
                 ("obs_overhead.on_wall_ms", obs["on_wall_ms"],
                  "lower", "wall"),
             ]
+        event_core = serve_report.get("event_core")
+        if event_core is not None:
+            metrics += [
+                ("event_core.heap_events_per_s",
+                 event_core["heap_events_per_s"], "higher", "wall"),
+                ("event_core.event_wall_ms", event_core["event_wall_ms"],
+                 "lower", "wall"),
+                ("event_core.legacy_over_event",
+                 event_core["legacy_over_event"], "higher", "wall"),
+            ]
     if plan_report is not None:
         for row in plan_report["scenarios"]:
             tag = f"plan[{row['scenario']}]"
@@ -281,6 +291,19 @@ def main():
         print(f"obs overhead: off {obs['off_wall_ms']:.3f} ms -> on "
               f"{obs['on_wall_ms']:.3f} ms ({obs['ratio']:.2f}x, gate "
               f"{obs['gate_ratio']:.2f}x + {obs['gate_epsilon_ms']:.1f} ms)")
+    event_core = report.get("event_core")
+    if event_core is not None:
+        if not event_core["ok"]:
+            print("error: event-core events/s gate recorded a breach in "
+                  "the artifact", file=sys.stderr)
+            return 1
+        gate = ("" if event_core["gate_enforced"]
+                else ", informational on this build")
+        print(f"event core: {event_core['heap_events_per_s'] / 1e6:.1f}M "
+              f"events/s (gate "
+              f"{event_core['gate_events_per_s'] / 1e6:.0f}M{gate}), "
+              f"legacy/event wall "
+              f"{event_core['legacy_over_event']:.2f}x")
 
     # Planner/scenario smoke: plan once, validate predicted vs measured
     # p99 under each arrival pattern, then the autoscale elastic-vs-static
