@@ -28,6 +28,13 @@
 // holding its 50 ms p99 with only batch-tier traffic shed, zero
 // expired-but-dispatched requests, and bit-identical same-seed repeats.
 //
+// The `cluster` section is the multi-node survival gate (docs/CLUSTER.md):
+// the two-tenant mix planned across a 2-node cluster and served through
+// the cluster router while one whole node fails at the diurnal crest,
+// gated on the critical tenant holding its p99 SLO, every cross-node
+// dispatch carrying non-zero modeled network time, and same-seed
+// bit-identity.
+//
 // Usage: bench_plan_scenarios [--out BENCH_plan.json] [--smoke]
 #include <chrono>
 #include <cstdio>
@@ -465,6 +472,113 @@ int main(int argc, char** argv) {
   admission["bit_identical"] = Json(bit_identical);
   admission["wall_ms"] = Json(admission_ms);
 
+  // ---- bench_cluster: the multi-node survival gate (docs/CLUSTER.md).
+  // The same two-tenant mix planned across a 2-node cluster (the planner
+  // splits the boards and places every replica), then served through the
+  // cluster router with the guard frontend while one whole node fails at
+  // the diurnal crest. Gated on the critical tenant holding its p99 SLO
+  // through the outage, every cross-node dispatch carrying non-zero
+  // modeled network time, and two same-seed runs staying bit-identical.
+  std::printf("\n--- cluster: 2-node plan through a node failure ---\n");
+  serve::PlanOptions cluster_plan_options = elastic_plan_options;
+  cluster_plan_options.nodes = 2;
+  const serve::PoolPlan cluster_plan = serve::PlanCapacity(
+      elastic_registry, elastic_mix, cluster_plan_options);
+  if (!cluster_plan.feasible) {
+    std::fprintf(stderr, "error: cluster plan infeasible: %s\n",
+                 cluster_plan.note.c_str());
+    return 1;
+  }
+
+  serve::ServeOptions cluster_options = elastic_options;
+  cluster_options.autoscale = false;
+  cluster_options.per_workload_max_batch =
+      cluster_plan.PerWorkloadMaxBatch();
+  cluster_options.cluster =
+      serve::ClusterSpec::Parse("least-loaded:nodes=2");
+  cluster_options.cluster_nodes = cluster_plan.Placement();
+  // Node 1 goes fully dark at the crest for a quarter of the run; the
+  // per-replica orphan guard keeps each tenant's last capable replica, so
+  // the survivors on node 0 absorb the cluster's whole load.
+  cluster_options.adversity = serve::AdversitySpec::Parse(
+      "replica-fail:at=" + std::to_string(duration_s * 0.25) +
+      ",down=" + std::to_string(duration_s * 0.25) + ",node=1");
+  cluster_options.admission = serve::AdmissionSpec::Parse("guard:rate=6000");
+  cluster_options.tiers = {serve::SlaTier::kCritical,
+                           serve::SlaTier::kBatch};
+  const auto cluster_start = Clock::now();
+  const serve::ServeReport clustered = serve::RunSyntheticServe(
+      elastic_registry, cluster_plan.Replicas(), elastic_mix,
+      cluster_options);
+  const double cluster_ms = ElapsedMs(cluster_start);
+  const serve::ServeReport clustered_again = serve::RunSyntheticServe(
+      elastic_registry, cluster_plan.Replicas(), elastic_mix,
+      cluster_options);
+
+  double cluster_critical_p99_ms = 0.0;
+  for (const serve::TierSummary& tier : clustered.summary.per_tier) {
+    if (tier.tier == serve::SlaTier::kCritical) {
+      cluster_critical_p99_ms = tier.p99_ms;
+    }
+  }
+  std::int64_t remote_batches = 0;
+  double bytes_moved = 0.0;
+  double network_s = 0.0;
+  for (const serve::NodeSummary& node : clustered.summary.per_node) {
+    remote_batches += node.remote_batches;
+    bytes_moved += node.bytes_in + node.bytes_out;
+    network_s += node.network_s;
+  }
+  const bool cluster_bit_identical =
+      clustered.generated_requests == clustered_again.generated_requests &&
+      clustered.summary.completed == clustered_again.summary.completed &&
+      clustered.summary.p99_ms == clustered_again.summary.p99_ms;
+  std::printf(
+      "clustered: critical p99 %7.3f ms (SLO %.1f ms), %lld remote "
+      "batch(es), %.0f bytes moved, %.3f ms network (%.1f ms wall)\n",
+      cluster_critical_p99_ms, slo_ms,
+      static_cast<long long>(remote_batches), bytes_moved, network_s * 1e3,
+      cluster_ms);
+  if (cluster_critical_p99_ms > slo_ms) {
+    ++violations;
+    std::fprintf(stderr,
+                 "CLUSTER VIOLATION: critical p99 %.3f ms misses the %.1f "
+                 "ms SLO through the node failure\n",
+                 cluster_critical_p99_ms, slo_ms);
+  }
+  if (remote_batches <= 0 || network_s <= 0.0) {
+    ++violations;
+    std::fprintf(stderr,
+                 "CLUSTER VIOLATION: no priced cross-node dispatch (%lld "
+                 "remote, %.6f s network) — the router never left home\n",
+                 static_cast<long long>(remote_batches), network_s);
+  }
+  if (!cluster_bit_identical) {
+    ++violations;
+    std::fprintf(stderr,
+                 "CLUSTER VIOLATION: two same-seed clustered runs "
+                 "diverged\n");
+  }
+
+  JsonObject cluster;
+  cluster["spec"] = Json(cluster_options.cluster.ToString());
+  cluster["nodes"] = Json(cluster_plan.nodes);
+  cluster["scenario"] = Json("diurnal:depth=0.8");
+  cluster["adversity"] = Json(cluster_options.adversity.ToString());
+  cluster["mix"] = Json("mlp=0.2,resnet18=0.8");
+  cluster["tiers"] = Json("mlp=critical,resnet18=batch");
+  cluster["qps"] = Json(elastic_plan_options.qps);
+  cluster["p99_slo_ms"] = Json(slo_ms);
+  cluster["replicas"] = Json(cluster_plan.TotalReplicas());
+  cluster["critical_p99_ms"] = Json(cluster_critical_p99_ms);
+  cluster["remote_batches"] = Json(remote_batches);
+  cluster["bytes_moved"] = Json(bytes_moved);
+  cluster["network_s"] = Json(network_s);
+  cluster["completed"] = Json(clustered.summary.completed);
+  cluster["generated"] = Json(clustered.generated_requests);
+  cluster["bit_identical"] = Json(cluster_bit_identical);
+  cluster["wall_ms"] = Json(cluster_ms);
+
   JsonObject tolerance;
   tolerance["low"] = Json(kToleranceLow);
   tolerance["high"] = Json(kToleranceHigh);
@@ -483,6 +597,7 @@ int main(int argc, char** argv) {
   root["autoscale"] = Json(std::move(autoscale));
   root["adversity"] = Json(std::move(adversity));
   root["admission"] = Json(std::move(admission));
+  root["cluster"] = Json(std::move(cluster));
   root["tolerance"] = Json(std::move(tolerance));
 
   std::ofstream out(out_path, std::ios::binary);

@@ -132,6 +132,11 @@ ChromeEvent Instant(const InstantEvent& record, const TraceMeta& meta) {
       event.cat = "admission";
       event.pid = kAutoscalerPid;
       break;
+    case InstantKind::kClusterRoute:
+      event.name = "route";
+      event.cat = "cluster";
+      event.pid = kAutoscalerPid;
+      break;
   }
   if (!record.detail.empty()) {
     event.args["detail"] = Json(record.detail);

@@ -90,6 +90,10 @@ enum class InstantKind : std::int32_t {
   kAdmissionShed = 10,     // Final shed (detail = quota/overload + tier).
   kAdmissionRetry = 11,    // Shed standard request scheduled for re-offer.
   kAdmissionExpired = 12,  // Admitted request swept before dispatch.
+  // Cluster router decisions (serve/cluster.h). Only cross-node routes are
+  // recorded — a one-node cluster's trace stays byte-identical.
+  kClusterRoute = 13,      // Batch routed off its home node (detail =
+                           // "node0->node1 bytes=...").
 };
 
 struct InstantEvent {

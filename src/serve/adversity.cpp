@@ -17,14 +17,14 @@ struct KindInfo {
   AdversityKind kind;
   const char* name;
   // Parameter keys this pattern accepts (nullptr-terminated).
-  const char* keys[6];
+  const char* keys[7];
 };
 
 constexpr KindInfo kKinds[] = {
     {AdversityKind::kNone, "none", {nullptr}},
     {AdversityKind::kReplicaFail,
      "replica-fail",
-     {"at", "down", "replica", "count", "warmup", nullptr}},
+     {"at", "down", "replica", "count", "warmup", "node", nullptr}},
     {AdversityKind::kStraggler,
      "straggler",
      {"at", "duration", "factor", "replica", "count", nullptr}},
@@ -129,6 +129,10 @@ AdversitySpec AdversitySpec::Parse(const std::string& text) {
       require(spec.Param("replica", -1.0) >= -1.0 &&
                   IsIntegral(spec.Param("replica", -1.0)),
               "replica must be an integer >= -1 (-1 picks the busiest)");
+      require(spec.Param("node", -1.0) >= -1.0 &&
+                  IsIntegral(spec.Param("node", -1.0)),
+              "node must be an integer >= -1 (-1 targets replicas, not a "
+              "cluster node)");
       break;
     case AdversityKind::kStraggler:
       require(spec.Param("at", 0.0) >= 0.0, "at must be non-negative");
@@ -205,6 +209,21 @@ std::vector<AdversityEvent> BuildAdversityTimeline(const AdversitySpec& spec,
       const double warmup = spec.Param("warmup", 0.05);
       const int count = static_cast<int>(spec.Param("count", 1.0));
       const int replica = static_cast<int>(spec.Param("replica", -1.0));
+      const int node = static_cast<int>(spec.Param("node", -1.0));
+      if (node >= 0) {
+        // Whole-node outage: one event carrying the node id; the engine
+        // expands it to every replica pinned there at fire time (so
+        // autoscaler-added replicas on the node fail too). `count` and
+        // `replica` are meaningless alongside `node`.
+        AdversityEvent e;
+        e.t_s = at;
+        e.kind = AdversityEventKind::kReplicaFail;
+        e.node = node;
+        e.until_s = at + down;
+        e.warmup_s = warmup;
+        events.push_back(e);
+        break;
+      }
       for (int i = 0; i < count; ++i) {
         AdversityEvent e;
         e.t_s = at;

@@ -13,6 +13,9 @@
 //                 accept work. In-flight batches on a failed replica are
 //                 re-enqueued (no lost or duplicated requests) and the
 //                 autoscaler sees the lost capacity as demand pressure.
+//                 `node=K` (clustered runs, docs/CLUSTER.md) fails every
+//                 replica pinned to cluster node K instead — the whole-node
+//                 outage the cluster bench gate drives.
 //   straggler     `count` replicas derate by `factor` (2 = half speed) for
 //                 `duration` seconds starting at `at`. The derate multiplies
 //                 ServingModel batch latencies at dispatch time, so the
@@ -100,6 +103,8 @@ struct AdversityEvent {
   double factor = 1.0;      // straggler derate multiplier.
   double until_s = 0.0;     // paired end time for start events.
   double warmup_s = 0.0;    // replica-fail post-recovery warm-up.
+  int node = -1;            // >= 0: fail the whole cluster node instead of
+                            // a single replica (docs/CLUSTER.md).
 };
 
 /// Expand `spec` into the time-sorted environment-event timeline for a run

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "fpga/resource_model.h"
 #include "obs/metrics.h"
+#include "serve/cluster.h"
 
 namespace nsflow::serve {
 namespace {
@@ -470,6 +471,9 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
         freed.erase(freed.begin() + donor);
         delta.kind = PoolDeltaKind::kRefitReplica;
         delta.replica = from.replica;
+        if (cluster_ != nullptr && cluster_->nodes() > 1) {
+          delta.node = pool_.NodeOf(from.replica);
+        }
         delta.spec.design = pool_.design(from.replica);
         delta.spec.workloads = {group.id};
         delta.spec.tuned_for =
@@ -514,9 +518,25 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
             entry.points[static_cast<std::size_t>(point)].design;
         delta.spec.workloads = {group.id};
         delta.spec.tuned_for = group.id;
+        // Cross-node placement (docs/CLUSTER.md): pick the warm-add's node
+        // before the add so the new replica's own default tag (node 0)
+        // cannot bias the population count. A drain on one node plus this
+        // add on the emptiest one is the cluster's migration primitive.
+        // One-node clusters skip all of it — their reason strings (and
+        // with them the stats timeline and trace) must stay byte-identical
+        // to a cluster-free run.
+        const bool multi_node = cluster_ != nullptr && cluster_->nodes() > 1;
+        const int add_node =
+            multi_node ? cluster_->LeastPopulatedNode() : -1;
         delta.replica = pool_.AddReplica(delta.spec, t + opts_.reconfig_s);
-        delta.reason = "add replica " + std::to_string(delta.replica) +
-                       ": " + target.trigger;
+        if (multi_node) {
+          cluster_->AssignReplica(delta.replica, add_node);
+          delta.node = add_node;
+        }
+        delta.reason =
+            "add replica " + std::to_string(delta.replica) +
+            (multi_node ? " on node " + std::to_string(add_node) : "") +
+            ": " + target.trigger;
         stats.AddReplicaSlot();
         origin_.emplace_back(group.id, point);
         replica_resources_.push_back(needed);
@@ -546,6 +566,9 @@ std::vector<PoolDelta> Autoscaler::Tick(MultiBatchFormer& former,
     delta.t_s = t;
     delta.workload = group.id;
     delta.replica = from.replica;
+    if (cluster_ != nullptr && cluster_->nodes() > 1) {
+      delta.node = pool_.NodeOf(from.replica);
+    }
     for (const Target& target : targets) {
       if (target.group == from.group) {
         delta.reason = "retire replica " + std::to_string(from.replica) +

@@ -51,6 +51,8 @@ class MetricsRegistry;
 
 namespace nsflow::serve {
 
+class ClusterPool;
+
 class Autoscaler {
  public:
   /// `pool` supplies the initial layout and receives the deltas; it must
@@ -75,6 +77,13 @@ class Autoscaler {
   /// Publish control-loop tallies into `registry` (`autoscaler.ticks`,
   /// per-kind delta counters, deferred adds). Null detaches.
   void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Make deltas node-aware (clustered runs, docs/CLUSTER.md): warm adds
+  /// land on the cluster's least-populated node and every delta records
+  /// the node it touched, so a drain on node A plus an add on node B reads
+  /// as the cross-node migration it is. Null detaches (the default —
+  /// deltas then carry node -1 and the pool stays single-box).
+  void SetCluster(ClusterPool* cluster) { cluster_ = cluster; }
 
  private:
   struct Group {
@@ -128,6 +137,7 @@ class Autoscaler {
 
   const WorkloadRegistry& registry_;
   ServerPool& pool_;
+  ClusterPool* cluster_ = nullptr;  // Set by SetCluster (clustered runs).
   AutoscaleOptions opts_;
   ServeOptions serve_;       // qps/scenario/batching the run was driven at.
   PlanFrontier frontier_;

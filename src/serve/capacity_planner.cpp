@@ -189,6 +189,20 @@ std::vector<std::int64_t> PoolPlan::PerWorkloadMaxBatch() const {
   return caps;
 }
 
+std::vector<int> PoolPlan::Placement() const {
+  std::vector<int> nodes_out;
+  nodes_out.reserve(static_cast<std::size_t>(TotalReplicas()));
+  for (const GroupPlan& group : groups) {
+    for (int r = 0; r < group.replicas; ++r) {
+      nodes_out.push_back(
+          static_cast<std::size_t>(r) < group.placement.size()
+              ? group.placement[static_cast<std::size_t>(r)]
+              : 0);
+    }
+  }
+  return nodes_out;
+}
+
 std::vector<ReplicaSpec> PoolPlan::Replicas() const {
   std::vector<ReplicaSpec> specs;
   specs.reserve(static_cast<std::size_t>(TotalReplicas()));
@@ -258,6 +272,11 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
   NSF_CHECK_MSG(options.p99_slo_s > 0.0, "p99 SLO must be positive");
   NSF_CHECK_MSG(options.qps > 0.0, "qps must be positive");
   NSF_CHECK_MSG(options.devices >= 1, "need at least one device");
+  NSF_CHECK_MSG(options.nodes >= 1, "need at least one node");
+  NSF_CHECK_MSG(options.devices % options.nodes == 0,
+                "devices must split evenly across nodes (" +
+                    std::to_string(options.devices) + " boards over " +
+                    std::to_string(options.nodes) + " nodes)");
   NSF_CHECK_MSG(options.max_replicas_per_workload >= 1,
                 "need at least one replica per workload");
   NSF_CHECK_MSG(
@@ -283,6 +302,7 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
   plan.p99_slo_s = options.p99_slo_s;
   plan.device_name = options.device;
   plan.devices = options.devices;
+  plan.nodes = options.nodes;
   plan.max_batch = options.max_batch;
   plan.max_wait_s = options.max_wait_s;
   plan.scenario = options.scenario;
@@ -443,6 +463,63 @@ PoolPlan PlanCapacity(const WorkloadRegistry& registry,
                  " provides (add --devices or relax the SLO)";
   }
 
+  // Cross-node placement (docs/CLUSTER.md): the boards split evenly
+  // across the nodes, and replicas land greedily in group order on the
+  // node carrying the least accumulated bottleneck-share load (ties to
+  // the lowest node) — tenants shard across the cluster instead of
+  // packing node 0. Each node's summed resources must then fit its own
+  // devices/nodes board slice, checked exactly like the aggregate.
+  if (plan.nodes > 1) {
+    const double per_node_boards =
+        static_cast<double>(plan.devices) / static_cast<double>(plan.nodes);
+    std::vector<double> load(static_cast<std::size_t>(plan.nodes), 0.0);
+    std::vector<PlanResources> node_use(
+        static_cast<std::size_t>(plan.nodes));
+    for (GroupPlan& group : plan.groups) {
+      if (group.replicas == 0) {
+        continue;
+      }
+      const ResourceReport report = EstimateResources(group.design, device);
+      const double bottleneck = BottleneckShare(report);
+      group.placement.assign(static_cast<std::size_t>(group.replicas), 0);
+      for (int r = 0; r < group.replicas; ++r) {
+        int target = 0;
+        for (int n = 1; n < plan.nodes; ++n) {
+          if (load[static_cast<std::size_t>(n)] <
+              load[static_cast<std::size_t>(target)]) {
+            target = n;
+          }
+        }
+        group.placement[static_cast<std::size_t>(r)] = target;
+        const auto t = static_cast<std::size_t>(target);
+        load[t] += bottleneck;
+        node_use[t].dsp += report.dsp;
+        node_use[t].lut += report.lut;
+        node_use[t].ff += report.ff;
+        node_use[t].bram18 += report.bram18;
+        node_use[t].uram += report.uram;
+      }
+    }
+    for (int n = 0; n < plan.nodes; ++n) {
+      const PlanResources& use = node_use[static_cast<std::size_t>(n)];
+      const bool node_fits =
+          use.dsp <= per_node_boards * static_cast<double>(device.dsp) &&
+          use.lut <= per_node_boards * static_cast<double>(device.lut) &&
+          use.ff <= per_node_boards * static_cast<double>(device.ff) &&
+          use.bram18 <=
+              per_node_boards * static_cast<double>(device.bram18) &&
+          use.uram <= per_node_boards * static_cast<double>(device.uram);
+      if (!node_fits) {
+        plan.feasible = false;
+        plan.note += (plan.note.empty() ? "" : "; ");
+        plan.note += "node " + std::to_string(n) +
+                     " overflows its per-node budget of " +
+                     std::to_string(plan.devices / plan.nodes) + " x " +
+                     device.name + " (add --devices or --nodes)";
+      }
+    }
+  }
+
   plan.predicted_p50_s = AggregateQuantile(plan.groups, shares_norm, 0.5);
   plan.predicted_p99_s = AggregateQuantile(plan.groups, shares_norm, 0.99);
   return plan;
@@ -476,6 +553,15 @@ Json PoolPlan::ToJson() const {
   budget["devices"] = Json(devices);
   root["budget"] = Json(std::move(budget));
 
+  // Cluster shape and placement are emitted only for multi-node plans, so
+  // a single-node plan's JSON stays byte-identical to the pre-cluster
+  // schema (and pre-cluster readers keep loading it).
+  if (nodes > 1) {
+    JsonObject cluster;
+    cluster["nodes"] = Json(nodes);
+    root["cluster"] = Json(std::move(cluster));
+  }
+
   JsonObject batching;
   batching["max_batch"] = Json(max_batch);
   batching["max_wait_ms"] = Json(max_wait_s * 1e3);
@@ -506,6 +592,13 @@ Json PoolPlan::ToJson() const {
     predicted["wait_p99_ms"] = Json(group.wait_p99_s * 1e3);
     predicted["utilization"] = Json(group.utilization);
     g["predicted"] = Json(std::move(predicted));
+    if (nodes > 1 && !group.placement.empty()) {
+      JsonArray placement;
+      for (const int node : group.placement) {
+        placement.push_back(Json(node));
+      }
+      g["placement"] = Json(std::move(placement));
+    }
     groups_json.push_back(Json(std::move(g)));
   }
   root["groups"] = Json(std::move(groups_json));
@@ -550,6 +643,11 @@ PoolPlan LoadPlan(const Json& plan_json, WorkloadRegistry& registry) {
   plan.p99_slo_s = plan_json.At("slo").At("p99_ms").AsDouble() * 1e-3;
   plan.device_name = plan_json.At("budget").At("device").AsString();
   plan.devices = static_cast<int>(plan_json.At("budget").At("devices").AsInt());
+  // Cluster shape joined the schema in PR 10; single-node plans omit it.
+  if (plan_json.Contains("cluster")) {
+    plan.nodes =
+        static_cast<int>(plan_json.At("cluster").At("nodes").AsInt());
+  }
   plan.max_batch = plan_json.At("batching").At("max_batch").AsInt();
   plan.max_wait_s =
       plan_json.At("batching").At("max_wait_ms").AsDouble() * 1e-3;
@@ -604,6 +702,16 @@ PoolPlan LoadPlan(const Json& plan_json, WorkloadRegistry& registry) {
     group.predicted_p99_s = predicted.At("p99_ms").AsDouble() * 1e-3;
     group.wait_p99_s = predicted.At("wait_p99_ms").AsDouble() * 1e-3;
     group.utilization = predicted.At("utilization").AsDouble();
+    if (entry.Contains("placement")) {
+      for (const Json& node : entry.At("placement").AsArray()) {
+        group.placement.push_back(static_cast<int>(node.AsInt()));
+      }
+      NSF_CHECK_MSG(
+          static_cast<int>(group.placement.size()) == group.replicas,
+          "plan group '" + group.workload +
+              "' records a placement for a different replica count — the "
+              "plan is stale; re-run nsflow plan");
+    }
     if (group.replicas > 0) {
       DseOptions options = base;
       options.max_pes = group.pe_budget;

@@ -57,6 +57,11 @@ struct PlanOptions {
   /// FPGA budget: `devices` boards of the named device ("u250" | "zcu104").
   std::string device = "u250";
   int devices = 1;
+  /// Cluster shape: the boards are split evenly across `nodes` hosts
+  /// (`devices` must divide by `nodes`), and every replica is placed on a
+  /// node under that per-node budget (docs/CLUSTER.md). 1 = one host, no
+  /// placement — the plan JSON stays byte-identical to a pre-cluster plan.
+  int nodes = 1;
   /// Search bounds and stability margin.
   int max_replicas_per_workload = 16;
   double max_utilization = 0.85;  // Planned rho cap (stability margin).
@@ -93,6 +98,9 @@ struct GroupPlan {
   double wait_p99_s = 0.0;      // Queueing-wait component of p99.
   double predicted_p50_s = 0.0;
   double predicted_p99_s = 0.0;
+  /// Node of each of the group's replicas, in `Replicas()` order. Empty on
+  /// single-node plans (everything implicitly on node 0).
+  std::vector<int> placement;
 };
 
 /// Per-resource totals of a plan against the device budget.
@@ -118,6 +126,7 @@ struct PoolPlan {
   double p99_slo_s = 0.0;
   std::string device_name;     // CLI name ("u250"), not the display name.
   int devices = 1;
+  int nodes = 1;               // Cluster hosts the boards are split over.
   std::int64_t max_batch = 8;
   double max_wait_s = 5e-3;
   ScenarioSpec scenario;
@@ -142,6 +151,9 @@ struct PoolPlan {
   /// The groups' chosen batch caps as `ServeOptions::per_workload_max_batch`
   /// (indexed by WorkloadId).
   std::vector<std::int64_t> PerWorkloadMaxBatch() const;
+  /// Replica -> node, flattened in `Replicas()` order (the
+  /// `ServeOptions::cluster_nodes` input). All zeros on single-node plans.
+  std::vector<int> Placement() const;
   Json ToJson() const;
 };
 

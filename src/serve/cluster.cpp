@@ -1,0 +1,423 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "serve/server_pool.h"
+
+namespace nsflow::serve {
+namespace {
+
+struct PolicyInfo {
+  ClusterRouterPolicy policy;
+  const char* name;
+  // Parameter keys this policy accepts (nullptr-terminated).
+  const char* keys[6];
+};
+
+constexpr PolicyInfo kPolicies[] = {
+    {ClusterRouterPolicy::kNone, "none", {nullptr}},
+    {ClusterRouterPolicy::kHash,
+     "hash",
+     {"nodes", "hops", "hop_us", "gbps", nullptr}},
+    {ClusterRouterPolicy::kLeastLoaded,
+     "least-loaded",
+     {"nodes", "hops", "hop_us", "gbps", "affinity", nullptr}},
+};
+
+const PolicyInfo& InfoFor(ClusterRouterPolicy policy) {
+  for (const PolicyInfo& info : kPolicies) {
+    if (info.policy == policy) {
+      return info;
+    }
+  }
+  throw Error("unknown cluster router policy");
+}
+
+std::string KnownPolicyNames() {
+  std::string names;
+  for (const PolicyInfo& info : kPolicies) {
+    names += (names.empty() ? "" : ", ") + std::string(info.name);
+  }
+  return names;
+}
+
+bool IsIntegral(double value) { return value == std::floor(value); }
+
+/// SplitMix64 — the router's stateless mixer. Strong enough to spread
+/// (workload, lead id) pairs uniformly over the capable nodes, and a pure
+/// function of its input, so hash routing is seedless and bit-stable.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ClusterSpec ClusterSpec::Parse(const std::string& text) {
+  ClusterSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  bool known = false;
+  for (const PolicyInfo& info : kPolicies) {
+    if (name == info.name) {
+      spec.policy = info.policy;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw Error("unknown cluster router '" + name +
+                "' (known: " + KnownPolicyNames() + ")");
+  }
+
+  std::size_t start = colon == std::string::npos ? text.size() : colon + 1;
+  while (start < text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string entry = text.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (entry.empty() || eq == std::string::npos || eq == 0) {
+      throw Error("bad cluster parameter '" + entry +
+                  "' (expected key=value)");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    const PolicyInfo& info = InfoFor(spec.policy);
+    bool accepted = false;
+    for (const char* const* k = info.keys; *k != nullptr; ++k) {
+      if (key == *k) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      std::string keys;
+      for (const char* const* k = info.keys; *k != nullptr; ++k) {
+        keys += (keys.empty() ? "" : ", ") + std::string(*k);
+      }
+      throw Error("cluster router '" + std::string(info.name) +
+                  "' has no parameter '" + key + "'" +
+                  (keys.empty() ? "" : " (known: " + keys + ")"));
+    }
+    try {
+      spec.params[key] = std::stod(value);
+    } catch (const std::exception&) {
+      throw Error("bad numeric value for cluster parameter '" + key +
+                  "': '" + value + "'");
+    }
+    start = end + 1;
+  }
+
+  // Range validation of the provided parameters (defaults are always valid).
+  const auto require = [&](bool ok, const char* message) {
+    if (!ok) {
+      throw Error("cluster '" + spec.Name() + "': " + message);
+    }
+  };
+  if (spec.enabled()) {
+    require(spec.Param("nodes", 2.0) >= 1.0 &&
+                IsIntegral(spec.Param("nodes", 2.0)),
+            "nodes must be a positive integer");
+    require(spec.Param("hops", 1.0) >= 0.0 &&
+                IsIntegral(spec.Param("hops", 1.0)),
+            "hops must be a non-negative integer");
+    require(spec.Param("hop_us", 5.0) >= 0.0,
+            "hop_us must be non-negative");
+    require(spec.Param("gbps", 100.0) > 0.0, "gbps must be positive");
+    require(spec.Param("affinity", 1.0) >= 0.0,
+            "affinity must be non-negative");
+  }
+  return spec;
+}
+
+std::string ClusterSpec::Name() const { return InfoFor(policy).name; }
+
+std::string ClusterSpec::ToString() const {
+  std::string out = Name();
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    sep = ',';
+    // Shortest form that parses back to the same double (same canonical
+    // printing as ScenarioSpec::ToString — report JSON records it).
+    char buf[64];
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) {
+          break;
+        }
+      }
+    }
+    out += key + "=" + buf;
+  }
+  return out;
+}
+
+double ClusterSpec::Param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+NetworkModel::NetworkModel(const ClusterSpec& spec,
+                           const std::vector<const DataflowGraph*>& dfgs)
+    : hop_total_s_(spec.hops() * spec.hop_s()),
+      bytes_per_s_(spec.gigabits_per_s() * 1e9 / 8.0) {
+  footprints_.reserve(dfgs.size());
+  for (const DataflowGraph* dfg : dfgs) {
+    NSF_CHECK(dfg != nullptr);
+    footprints_.push_back(Footprint(*dfg));
+  }
+}
+
+WorkloadFootprint NetworkModel::Footprint(const DataflowGraph& dfg) {
+  constexpr double kElemBytes = 4.0;  // fp32/int32 activation elements.
+  WorkloadFootprint fp;
+  const std::vector<LayerNode>& layers = dfg.layers();
+  const std::vector<VsaNode>& vsa = dfg.vsa_ops();
+  // The SIMD element stream is the payload of last resort (graphs with
+  // neither NN nor VSA kernels); never zero, so every remote dispatch
+  // prices at least the hop latency plus one element.
+  const double simd_bytes =
+      kElemBytes * std::max(1.0, dfg.TotalSimdElems());
+  if (!layers.empty()) {
+    const GemmDims& gemm = layers.front().gemm;
+    fp.request_bytes = kElemBytes * static_cast<double>(gemm.m) *
+                       static_cast<double>(gemm.n);
+  } else if (!vsa.empty()) {
+    const VsaDims& dims = vsa.front().vsa;
+    fp.request_bytes = kElemBytes * static_cast<double>(dims.count) *
+                       static_cast<double>(dims.dim);
+  } else {
+    fp.request_bytes = simd_bytes;
+  }
+  if (!vsa.empty()) {
+    // Symbolic output: the final op's result hypervector.
+    fp.response_bytes =
+        kElemBytes * static_cast<double>(vsa.back().vsa.dim);
+  } else if (!layers.empty()) {
+    fp.response_bytes = layers.back().output_bytes;
+  } else {
+    fp.response_bytes = simd_bytes;
+  }
+  return fp;
+}
+
+double NetworkModel::RequestBytes(WorkloadId workload,
+                                  std::int64_t batch_size) const {
+  NSF_CHECK(workload >= 0 &&
+            workload < static_cast<WorkloadId>(footprints_.size()));
+  return footprints_[static_cast<std::size_t>(workload)].request_bytes *
+         static_cast<double>(batch_size);
+}
+
+double NetworkModel::ResponseBytes(WorkloadId workload,
+                                   std::int64_t batch_size) const {
+  NSF_CHECK(workload >= 0 &&
+            workload < static_cast<WorkloadId>(footprints_.size()));
+  return footprints_[static_cast<std::size_t>(workload)].response_bytes *
+         static_cast<double>(batch_size);
+}
+
+double NetworkModel::TransferSeconds(double bytes) const {
+  return hop_total_s_ + bytes / bytes_per_s_;
+}
+
+ClusterPool::ClusterPool(const ClusterSpec& spec, ServerPool& pool,
+                         const std::vector<const DataflowGraph*>& dfgs,
+                         const std::vector<int>& placement)
+    : spec_(spec),
+      nodes_(spec.enabled() ? spec.nodes() : 1),
+      pool_(pool),
+      network_(spec, dfgs) {
+  NSF_CHECK_MSG(spec.enabled(), "ClusterPool needs an enabled ClusterSpec");
+  NSF_CHECK_MSG(placement.empty() ||
+                    placement.size() == static_cast<std::size_t>(pool.size()),
+                "cluster placement must cover every initial replica");
+  for (int r = 0; r < pool.size(); ++r) {
+    const int node = placement.empty()
+                         ? r % nodes_
+                         : placement[static_cast<std::size_t>(r)];
+    NSF_CHECK_MSG(node >= 0 && node < nodes_,
+                  "cluster placement names a node outside the cluster");
+    pool_.SetReplicaNode(r, node);
+  }
+  accounts_.resize(static_cast<std::size_t>(nodes_));
+  for (int n = 0; n < nodes_; ++n) {
+    accounts_[static_cast<std::size_t>(n)].node = n;
+  }
+  // Home nodes: where each tenant's arrivals ingress — the node holding
+  // most of its capable replicas at construction, ties to the lowest id.
+  home_.assign(static_cast<std::size_t>(pool.workloads()), 0);
+  for (WorkloadId w = 0; w < pool.workloads(); ++w) {
+    int best = 0;
+    int best_count = -1;
+    for (int n = 0; n < nodes_; ++n) {
+      int count = 0;
+      for (int r = 0; r < pool.size(); ++r) {
+        if (pool.NodeOf(r) == n && pool.CanServe(r, w)) {
+          ++count;
+        }
+      }
+      if (count > best_count) {
+        best = n;
+        best_count = count;
+      }
+    }
+    home_[static_cast<std::size_t>(w)] = best;
+  }
+}
+
+int ClusterPool::HomeNode(WorkloadId workload) const {
+  NSF_CHECK(workload >= 0 &&
+            workload < static_cast<WorkloadId>(home_.size()));
+  return home_[static_cast<std::size_t>(workload)];
+}
+
+RouteDecision ClusterPool::Route(const Batch& batch) const {
+  RouteDecision route;
+  route.home = HomeNode(batch.workload);
+  route.node = route.home;
+  if (nodes_ > 1) {
+    // Candidate nodes: the ones holding at least one live capable replica
+    // right now (a fully failed/drained node drops out of the rotation).
+    // No candidate at all — e.g. mid-outage — falls back to home, where
+    // ServerPool's own schedule stretches the wait.
+    std::vector<int> capable;
+    capable.reserve(static_cast<std::size_t>(nodes_));
+    for (int n = 0; n < nodes_; ++n) {
+      if (pool_.NodeCanServe(batch.workload, n)) {
+        capable.push_back(n);
+      }
+    }
+    if (!capable.empty()) {
+      if (spec_.policy == ClusterRouterPolicy::kHash) {
+        // Sticky, schedule-oblivious spread over the capable nodes keyed
+        // by (workload, lead request id) — the consistent-hash policy.
+        const std::uint64_t lead =
+            batch.requests.empty()
+                ? 0
+                : static_cast<std::uint64_t>(batch.requests.front().id);
+        const std::uint64_t key =
+            Mix64((static_cast<std::uint64_t>(batch.workload) << 32) ^ lead);
+        route.node = capable[key % capable.size()];
+      } else {
+        // Least-loaded: earliest projected start including the request
+        // transfer a remote choice must wait for, plus the locality-
+        // affinity penalty on leaving home. Ties to the lowest node id.
+        const double in_s = network_.TransferSeconds(
+            network_.RequestBytes(batch.workload, batch.size()));
+        int best = capable.front();
+        double best_score = 0.0;
+        bool first = true;
+        for (const int n : capable) {
+          const bool remote = n != route.home;
+          const double ready =
+              batch.formed_s + (remote ? in_s : 0.0);
+          double score =
+              std::max(ready, pool_.EarliestFree(batch.workload, n));
+          if (remote) {
+            score += spec_.affinity() * in_s;
+          }
+          if (first || score < best_score) {
+            best = n;
+            best_score = score;
+            first = false;
+          }
+        }
+        route.node = best;
+      }
+    }
+  }
+  route.remote = route.node != route.home;
+  if (route.remote) {
+    route.request_bytes =
+        network_.RequestBytes(batch.workload, batch.size());
+    route.response_bytes =
+        network_.ResponseBytes(batch.workload, batch.size());
+    route.ingress_s = network_.TransferSeconds(route.request_bytes);
+    route.egress_s = network_.TransferSeconds(route.response_bytes);
+  }
+  return route;
+}
+
+void ClusterPool::RecordDispatch(const RouteDecision& route) {
+  NodeSummary& account = accounts_[static_cast<std::size_t>(route.node)];
+  account.batches += 1;
+  if (route.remote) {
+    account.remote_batches += 1;
+    account.bytes_in += route.request_bytes;
+    account.bytes_out += route.response_bytes;
+    account.network_s += route.ingress_s + route.egress_s;
+    if (remote_counter_ != nullptr) {
+      remote_counter_->Increment();
+      bytes_counter_->Increment(static_cast<std::int64_t>(
+          std::llround(route.request_bytes + route.response_bytes)));
+      transfer_hist_->Observe(route.ingress_s + route.egress_s);
+    }
+  } else if (local_counter_ != nullptr) {
+    local_counter_->Increment();
+  }
+}
+
+void ClusterPool::AssignReplica(int replica, int node) {
+  NSF_CHECK_MSG(node >= 0 && node < nodes_,
+                "AssignReplica names a node outside the cluster");
+  pool_.SetReplicaNode(replica, node);
+}
+
+int ClusterPool::LeastPopulatedNode() const {
+  int best = 0;
+  int best_count = -1;
+  for (int n = 0; n < nodes_; ++n) {
+    int count = 0;
+    for (int r = 0; r < pool_.size(); ++r) {
+      if (pool_.NodeOf(r) == n && !pool_.draining(r)) {
+        ++count;
+      }
+    }
+    if (best_count < 0 || count < best_count) {
+      best = n;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeSummary> ClusterPool::Snapshot() const {
+  std::vector<NodeSummary> out = accounts_;
+  for (int r = 0; r < pool_.size(); ++r) {
+    if (std::isinf(pool_.RetiredAt(r))) {
+      out[static_cast<std::size_t>(pool_.NodeOf(r))].replicas += 1;
+    }
+  }
+  return out;
+}
+
+void ClusterPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    local_counter_ = nullptr;
+    remote_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    transfer_hist_ = nullptr;
+    return;
+  }
+  local_counter_ = registry->GetCounter("cluster.local_dispatches");
+  remote_counter_ = registry->GetCounter("cluster.remote_dispatches");
+  bytes_counter_ = registry->GetCounter("cluster.bytes_moved");
+  transfer_hist_ = registry->GetHistogram("cluster.transfer_s");
+}
+
+}  // namespace nsflow::serve

@@ -139,6 +139,7 @@ struct PipelineContext {
   const ServeOptions& options;
   Autoscaler* autoscaler = nullptr;
   AdmissionController* admission = nullptr;
+  ClusterPool* cluster = nullptr;
   std::shared_ptr<obs::Observability> obs;
   obs::TraceRecorder* recorder = nullptr;
 
@@ -179,6 +180,7 @@ struct PipelineContext {
     DispatchRecord record;
     Batch batch;
     std::int64_t depth = 0;
+    double tail_s = 0.0;  // Cluster response-transfer latency tail.
   };
   // Deferred commits ride pooled intrusive nodes (event_core::NodePool): a
   // fault run churns through thousands of pending records, and the LIFO
@@ -204,7 +206,7 @@ struct PipelineContext {
   PipelineContext(ServerPool& pool_in, ServeStats& stats_in,
                   const std::vector<Request>& arrivals_in,
                   const ServeOptions& options_in, Autoscaler* autoscaler_in,
-                  AdmissionController* admission_in,
+                  AdmissionController* admission_in, ClusterPool* cluster_in,
                   std::shared_ptr<obs::Observability> obs_in)
       : pool(pool_in),
         stats(stats_in),
@@ -212,6 +214,7 @@ struct PipelineContext {
         options(options_in),
         autoscaler(autoscaler_in),
         admission(admission_in),
+        cluster(cluster_in),
         obs(std::move(obs_in)),
         former(BuildPolicies(pool_in, options_in)) {
     NSF_CHECK_MSG(options.max_batch >= 1, "max_batch must be positive");
@@ -229,6 +232,12 @@ struct PipelineContext {
         admission->AttachMetrics(&obs->metrics);
       }
       former.AttachMetrics(&obs->metrics);
+      // A one-node cluster registers nothing: its instruments would all
+      // read zero, but their presence alone would change metrics.json —
+      // the single-node byte-identity contract (docs/CLUSTER.md).
+      if (cluster != nullptr && cluster->nodes() > 1) {
+        cluster->AttachMetrics(&obs->metrics);
+      }
     }
     stats.Reserve(static_cast<std::int64_t>(arrivals.size()));
 
@@ -465,11 +474,49 @@ struct PipelineContext {
     recorder->RecordInstant(std::move(instant));
   }
 
+  // One cross-node routing decision on the trace (local dispatches stay
+  // silent — a one-node cluster emits nothing, keeping its trace
+  // byte-identical to a cluster-free run).
+  void ClusterInstant(double t, const RouteDecision& route,
+                      WorkloadId workload) {
+    if (recorder == nullptr) {
+      return;
+    }
+    obs::InstantEvent instant;
+    instant.t_s = t;
+    instant.kind = obs::InstantKind::kClusterRoute;
+    instant.workload = workload;
+    instant.detail =
+        "node" + std::to_string(route.home) + "->node" +
+        std::to_string(route.node) + " bytes=" +
+        std::to_string(static_cast<long long>(
+            std::llround(route.request_bytes + route.response_bytes)));
+    recorder->RecordInstant(std::move(instant));
+  }
+
   // ---------------------------------------------------- dispatch + commit
 
   void Dispatch(Batch&& batch) {
-    const double start =
-        std::max(batch.formed_s, pool.EarliestFree(batch.workload));
+    int node = -1;
+    double tail_s = 0.0;
+    if (cluster != nullptr) {
+      const RouteDecision route = cluster->Route(batch);
+      node = route.node;
+      if (route.remote) {
+        // Cross-node dispatch is priced, never free: the request transfer
+        // must land on the routed node before the batch can start there
+        // (formed_s shifts by the ingress), and the response transfer
+        // stretches only the recorded client latency (the record_tail_s
+        // below — the replica frees at compute completion).
+        ClusterInstant(batch.formed_s, route, batch.workload);
+        batch.formed_s += route.ingress_s;
+        tail_s = route.egress_s;
+      }
+      cluster->RecordDispatch(route);
+    }
+    const double start = std::max(
+        batch.formed_s, node >= 0 ? pool.EarliestFree(batch.workload, node)
+                                  : pool.EarliestFree(batch.workload));
     if (admission != nullptr) {
       // Deadline-expiry sweep: a member whose start deadline already
       // passed is dropped here, before the dispatch — the
@@ -505,18 +552,19 @@ struct PipelineContext {
         arrived - started -
         (admission != nullptr ? admission->removed() : 0);
     if (defer_commits) {
-      const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth);
+      const DispatchRecord dr = pool.Dispatch(batch, nullptr, depth, node);
       started += batch.size();
       if (admission != nullptr) {
         scheduled_starts.Push(dr.start_s, EventClass::kDispatch,
                               batch.size());
         scheduled_backlog += batch.size();
       }
-      pending.push_back(
-          pending_pool.Acquire(PendingCommit{dr, std::move(batch), depth}));
+      pending.push_back(pending_pool.Acquire(
+          PendingCommit{dr, std::move(batch), depth, tail_s}));
       return;
     }
-    const DispatchRecord dr = pool.Dispatch(batch, &stats, depth);
+    const DispatchRecord dr = pool.Dispatch(batch, &stats, depth, node,
+                                            tail_s);
     dispatches.push_back(dr);
     started += batch.size();
     if (admission != nullptr) {
@@ -535,8 +583,12 @@ struct PipelineContext {
     stats.RecordBatch(p.batch.workload, p.batch.size(), p.depth);
     stats.RecordReplicaBusy(p.record.replica,
                             p.record.complete_s - p.record.start_s);
+    // Cluster response-transfer tail: same != 0.0 guard as pool.Dispatch,
+    // so tail-free runs record bit-identical latencies.
+    const double observed = p.tail_s != 0.0 ? p.record.complete_s + p.tail_s
+                                            : p.record.complete_s;
     for (const Request& r : p.batch.requests) {
-      stats.RecordRequest(p.batch.workload, r.arrival_s, p.record.complete_s);
+      stats.RecordRequest(p.batch.workload, r.arrival_s, observed);
     }
     dispatches.push_back(p.record);
     WriteSpans(p.record, p.batch);
@@ -573,56 +625,86 @@ struct PipelineContext {
     env.insert(env.begin() + static_cast<std::ptrdiff_t>(at), std::move(e));
   }
 
+  // One replica failure (the kReplicaFail workhorse — also looped over a
+  // whole node's replicas for `replica-fail:node=K`). Eligibility — live,
+  // non-draining, and no workload orphaned by the loss — re-resolves per
+  // call, so a node failure keeps each tenant's last capable replica up.
+  void FailOneReplica(const AdversityEvent& e, int requested) {
+    const int target =
+        pool.ResolveFaultTarget(requested, e.t_s, /*for_failure=*/true);
+    if (target < 0) {
+      FaultEvent(e.t_s,
+                 "replica failure skipped: no eligible target (loss "
+                 "would orphan a workload)");
+      return;
+    }
+    // Settle history, then abort everything the schedule had placed on
+    // the dead replica past the failure instant.
+    CommitUntil(e.t_s);
+    std::vector<PendingCommit> aborted;
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i]->record.replica == target) {
+        aborted.push_back(std::move(*pending[i]));
+        pending_pool.Release(pending[i]);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    pool.FailReplica(target, e.t_s, e.until_s, e.warmup_s);
+    FaultEvent(e.t_s, "replica " + std::to_string(target) +
+                          " failed: dark until " + Seconds(e.until_s) +
+                          " s, " + std::to_string(aborted.size()) +
+                          " in-flight batch(es) re-enqueued");
+    FaultInstant(e.t_s, obs::InstantKind::kReplicaFailed, target, -1,
+                 "failed; recovery at " + Seconds(e.until_s) + " s");
+    // Re-enqueue in original dispatch order: the batches re-enter the
+    // pipeline at the failure instant and reroute to survivors (FIFO
+    // within each batch is untouched — composition is preserved).
+    std::sort(aborted.begin(), aborted.end(),
+              [](const PendingCommit& a, const PendingCommit& b) {
+                return a.record.batch_index < b.record.batch_index;
+              });
+    for (PendingCommit& p : aborted) {
+      started -= p.batch.size();
+      Batch batch = std::move(p.batch);
+      batch.formed_s = e.t_s;
+      Dispatch(std::move(batch));
+    }
+    AdversityEvent recover;
+    recover.t_s = e.until_s;
+    recover.kind = AdversityEventKind::kReplicaRecover;
+    recover.replica = target;
+    recover.warmup_s = e.warmup_s;
+    ScheduleEnv(std::move(recover));
+  }
+
   void FireEnv(const AdversityEvent& e) {
     switch (e.kind) {
       case AdversityEventKind::kReplicaFail: {
-        const int target =
-            pool.ResolveFaultTarget(e.replica, e.t_s, /*for_failure=*/true);
-        if (target < 0) {
-          FaultEvent(e.t_s,
-                     "replica failure skipped: no eligible target (loss "
-                     "would orphan a workload)");
+        if (e.node >= 0) {
+          // Whole-node outage (`replica-fail:node=K`, docs/CLUSTER.md):
+          // every replica pinned to the node goes through the per-replica
+          // failure path. Re-enqueued batches reroute through the cluster
+          // router, which prices the cross-node hop to the survivors.
+          if (cluster == nullptr) {
+            FaultEvent(e.t_s,
+                       "node failure skipped: no cluster is configured "
+                       "(serve with --cluster)");
+            break;
+          }
+          FaultEvent(e.t_s, "node " + std::to_string(e.node) +
+                                " failing: dark until " +
+                                Seconds(e.until_s) + " s");
+          const int replicas = pool.size();
+          for (int r = 0; r < replicas; ++r) {
+            if (pool.NodeOf(r) == e.node) {
+              FailOneReplica(e, r);
+            }
+          }
           break;
         }
-        // Settle history, then abort everything the schedule had placed on
-        // the dead replica past the failure instant.
-        CommitUntil(e.t_s);
-        std::vector<PendingCommit> aborted;
-        for (std::size_t i = 0; i < pending.size();) {
-          if (pending[i]->record.replica == target) {
-            aborted.push_back(std::move(*pending[i]));
-            pending_pool.Release(pending[i]);
-            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
-          } else {
-            ++i;
-          }
-        }
-        pool.FailReplica(target, e.t_s, e.until_s, e.warmup_s);
-        FaultEvent(e.t_s, "replica " + std::to_string(target) +
-                              " failed: dark until " + Seconds(e.until_s) +
-                              " s, " + std::to_string(aborted.size()) +
-                              " in-flight batch(es) re-enqueued");
-        FaultInstant(e.t_s, obs::InstantKind::kReplicaFailed, target, -1,
-                     "failed; recovery at " + Seconds(e.until_s) + " s");
-        // Re-enqueue in original dispatch order: the batches re-enter the
-        // pipeline at the failure instant and reroute to survivors (FIFO
-        // within each batch is untouched — composition is preserved).
-        std::sort(aborted.begin(), aborted.end(),
-                  [](const PendingCommit& a, const PendingCommit& b) {
-                    return a.record.batch_index < b.record.batch_index;
-                  });
-        for (PendingCommit& p : aborted) {
-          started -= p.batch.size();
-          Batch batch = std::move(p.batch);
-          batch.formed_s = e.t_s;
-          Dispatch(std::move(batch));
-        }
-        AdversityEvent recover;
-        recover.t_s = e.until_s;
-        recover.kind = AdversityEventKind::kReplicaRecover;
-        recover.replica = target;
-        recover.warmup_s = e.warmup_s;
-        ScheduleEnv(std::move(recover));
+        FailOneReplica(e, e.replica);
         break;
       }
       case AdversityEventKind::kReplicaRecover:
@@ -1069,6 +1151,12 @@ struct PipelineContext {
     report.summary = stats.Summarize(
         EffectiveOfferedRps(options, report.generated_requests),
         options.duration_s);
+    // Per-node slices only for real multi-node clusters: a one-node
+    // cluster leaves the summary (and its table) byte-identical to a
+    // cluster-free run.
+    if (cluster != nullptr && cluster->nodes() > 1) {
+      report.summary.per_node = cluster->Snapshot();
+    }
     report.replica_seconds = pool.ReplicaSeconds(report.summary.horizon_s);
     if (obs != nullptr) {
       // Final metrics point at the true horizon, then hand the bundle back
@@ -1106,9 +1194,10 @@ ServeReport RunPipeline(ServerPool& pool, ServeStats& stats,
                         const ServeOptions& options,
                         Autoscaler* autoscaler = nullptr,
                         AdmissionController* admission = nullptr,
+                        ClusterPool* cluster = nullptr,
                         std::shared_ptr<obs::Observability> obs = nullptr) {
   PipelineContext context(pool, stats, arrivals, options, autoscaler,
-                          admission, std::move(obs));
+                          admission, cluster, std::move(obs));
   return context.Run();
 }
 
@@ -1120,6 +1209,9 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
   NSF_CHECK_MSG(!options.autoscale,
                 "autoscaling requires the multi-tenant engine — serve a "
                 "mix or a plan (docs/AUTOSCALING.md)");
+  NSF_CHECK_MSG(!options.cluster.enabled(),
+                "clustering requires the multi-tenant engine — serve a "
+                "mix or a plan (docs/CLUSTER.md)");
   std::vector<Request> arrivals = SyntheticArrivals(options);
   ServerPool pool(designs, dfg, options.worker_threads);
   ServeStats stats(pool.size());
@@ -1143,7 +1235,7 @@ ServeReport RunSyntheticServe(const DataflowGraph& dfg,
     obs->meta.workload_names = {"workload 0"};
   }
   return RunPipeline(pool, stats, arrivals, options, nullptr,
-                     admission.has_value() ? &*admission : nullptr,
+                     admission.has_value() ? &*admission : nullptr, nullptr,
                      std::move(obs));
 }
 
@@ -1206,6 +1298,16 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
   }
   AdmissionController* admission_ptr =
       admission.has_value() ? &*admission : nullptr;
+  // Cluster layer (docs/CLUSTER.md): tag every replica with its node and
+  // stand up the router + network model. Constructed even for an explicit
+  // one-node cluster — it then routes everything locally and surfaces
+  // nothing, so its output stays byte-identical to the no-cluster path.
+  std::optional<ClusterPool> cluster;
+  if (options.cluster.enabled()) {
+    cluster.emplace(options.cluster, pool, registry.Dataflows(),
+                    options.cluster_nodes);
+  }
+  ClusterPool* cluster_ptr = cluster.has_value() ? &*cluster : nullptr;
   std::shared_ptr<obs::Observability> obs;
   if (options.trace.enabled) {
     obs = std::make_shared<obs::Observability>(options.trace);
@@ -1219,11 +1321,14 @@ ServeReport RunSyntheticServe(const WorkloadRegistry& registry,
                     "emits one, or pass --partition with --mix");
     }
     Autoscaler autoscaler(registry, mix, pool, options);
+    if (cluster_ptr != nullptr) {
+      autoscaler.SetCluster(cluster_ptr);
+    }
     return RunPipeline(pool, stats, arrivals, options, &autoscaler,
-                       admission_ptr, std::move(obs));
+                       admission_ptr, cluster_ptr, std::move(obs));
   }
   return RunPipeline(pool, stats, arrivals, options, nullptr, admission_ptr,
-                     std::move(obs));
+                     cluster_ptr, std::move(obs));
 }
 
 }  // namespace nsflow::serve

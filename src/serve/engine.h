@@ -32,6 +32,7 @@
 #include "obs/observability.h"
 #include "serve/admission.h"
 #include "serve/adversity.h"
+#include "serve/cluster.h"
 #include "serve/request.h"
 #include "serve/scenario.h"
 #include "serve/server_pool.h"
@@ -129,6 +130,18 @@ struct ServeOptions {
   /// entry per registry workload. The CLI parses `--tiers
   /// mlp=critical,resnet18=batch` into this.
   std::vector<SlaTier> tiers;
+  /// Multi-node cluster serving (docs/CLUSTER.md): with an enabled spec the
+  /// multi-tenant engine shards the pool's replicas over N nodes, routes
+  /// every formed batch through the cluster router, and prices cross-node
+  /// dispatch with the modeled interconnect. The default `none` spec builds
+  /// no cluster and leaves every run byte-identical to a build without the
+  /// cluster layer; so does an explicit one-node cluster (all routing is
+  /// then local and no cluster instruments register).
+  ClusterSpec cluster;
+  /// Initial replica -> node placement, indexed like the replica list
+  /// (empty = replica r on node r % nodes). `nsflow serve --plan` fills
+  /// this from the plan's recorded placement.
+  std::vector<int> cluster_nodes;
   /// Pipeline driver selection — event-driven by default; `kLegacy` runs
   /// the preserved polling loop (byte-identical output, used as the
   /// differential oracle and for the bench's wall-clock ratio).

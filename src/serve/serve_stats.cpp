@@ -385,6 +385,21 @@ std::string ServeStats::ToTable(const StatsSummary& s) {
     out += "\n" + breakdown.ToString();
   }
 
+  // Per-node cluster slices (clustered runs only, docs/CLUSTER.md).
+  if (!s.per_node.empty()) {
+    TablePrinter nodes({"node", "replicas", "batches", "remote", "bytes in",
+                        "bytes out", "network (ms)"});
+    for (const NodeSummary& n : s.per_node) {
+      nodes.AddRow({"node " + std::to_string(n.node),
+                    std::to_string(n.replicas), std::to_string(n.batches),
+                    std::to_string(n.remote_batches),
+                    TablePrinter::Num(n.bytes_in, 0),
+                    TablePrinter::Num(n.bytes_out, 0),
+                    TablePrinter::Num(n.network_s * 1e3, 3)});
+    }
+    out += "\n" + nodes.ToString();
+  }
+
   // SLA-tier breakdown (admission-tiered runs only).
   if (!s.per_tier.empty()) {
     TablePrinter tiers({"tier", "completed", "p50 (ms)", "p99 (ms)"});

@@ -48,6 +48,19 @@ struct TierSummary {
   double p99_ms = 0.0;
 };
 
+/// Per-node slice of a clustered serve run (docs/CLUSTER.md). Filled by
+/// `ClusterPool::Snapshot()`; empty on single-box runs, so their summary
+/// (and table) stays byte-identical to a cluster-free build.
+struct NodeSummary {
+  int node = 0;
+  int replicas = 0;               // Live (non-retired) replicas at run end.
+  std::int64_t batches = 0;       // Batches this node executed.
+  std::int64_t remote_batches = 0;  // ... of which arrived cross-node.
+  double bytes_in = 0.0;          // Request payload moved onto the node.
+  double bytes_out = 0.0;         // Response payload moved off the node.
+  double network_s = 0.0;         // Modeled transfer time priced here.
+};
+
 /// One point on the pool's reconfiguration/utilization timeline: either a
 /// periodic autoscaler sample (`event` empty) or an applied PoolDelta
 /// (`event` describes it). Recorded in virtual-time order.
@@ -101,6 +114,9 @@ struct StatsSummary {
   /// Reconfiguration/utilization-over-time timeline (autoscaled runs;
   /// empty otherwise). Samples and deltas interleaved in time order.
   std::vector<PoolEvent> timeline;
+  /// One slice per cluster node (clustered runs with > 1 node only; the
+  /// engine leaves it empty otherwise so single-box output is unchanged).
+  std::vector<NodeSummary> per_node;
 };
 
 class ServeStats {

@@ -165,6 +165,7 @@ void ServerPool::AppendReplica(const ReplicaSpec& spec, double ready_s) {
   draining_.push_back(false);
   added_at_.push_back(ready_s);
   retired_at_.push_back(std::numeric_limits<double>::infinity());
+  node_of_.push_back(0);
   dead_.emplace_back();
   derates_.emplace_back();
 }
@@ -437,6 +438,45 @@ double ServerPool::EarliestFree(WorkloadId workload) const {
   return earliest;
 }
 
+double ServerPool::EarliestFree(WorkloadId workload, int node) const {
+  NSF_CHECK(workload >= 0 && workload < workloads());
+  double earliest = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < size(); ++r) {
+    if (!draining_[static_cast<std::size_t>(r)] &&
+        node_of_[static_cast<std::size_t>(r)] == node &&
+        serves_[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(workload)]) {
+      earliest =
+          std::min(earliest, free_at_[static_cast<std::size_t>(r)]);
+    }
+  }
+  return earliest;
+}
+
+void ServerPool::SetReplicaNode(int replica, int node) {
+  NSF_CHECK(replica >= 0 && replica < size());
+  NSF_CHECK_MSG(node >= 0, "cluster node must be non-negative");
+  node_of_[static_cast<std::size_t>(replica)] = node;
+}
+
+int ServerPool::NodeOf(int replica) const {
+  NSF_CHECK(replica >= 0 && replica < size());
+  return node_of_[static_cast<std::size_t>(replica)];
+}
+
+bool ServerPool::NodeCanServe(WorkloadId workload, int node) const {
+  NSF_CHECK(workload >= 0 && workload < workloads());
+  for (int r = 0; r < size(); ++r) {
+    if (!draining_[static_cast<std::size_t>(r)] &&
+        node_of_[static_cast<std::size_t>(r)] == node &&
+        serves_[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(workload)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void ServerPool::ResetSchedule() {
   // Replicas warm-added mid-run stay unavailable before their ready time.
   for (std::size_t r = 0; r < free_at_.size(); ++r) {
@@ -686,15 +726,18 @@ int ServerPool::ResolveFaultTarget(int requested, double t,
 }
 
 DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
-                                    std::int64_t queue_depth) {
+                                    std::int64_t queue_depth, int node,
+                                    double record_tail_s) {
   NSF_CHECK_MSG(batch.size() > 0, "cannot dispatch an empty batch");
   // Earliest-available replica among those deployed for the batch's
   // workload, ties to the lowest id. Draining replicas take no new work —
-  // their in-flight batch is the last thing they run.
+  // their in-flight batch is the last thing they run. A non-negative
+  // `node` further narrows to that cluster node's replicas.
   int choice = -1;
   for (int r = 0; r < size(); ++r) {
     if (!CanServe(r, batch.workload) ||
-        draining_[static_cast<std::size_t>(r)]) {
+        draining_[static_cast<std::size_t>(r)] ||
+        (node >= 0 && node_of_[static_cast<std::size_t>(r)] != node)) {
       continue;
     }
     if (choice < 0 || free_at_[static_cast<std::size_t>(r)] <
@@ -722,9 +765,15 @@ DispatchRecord ServerPool::Dispatch(const Batch& batch, ServeStats* stats,
   if (stats != nullptr) {
     stats->RecordBatch(batch.workload, batch.size(), queue_depth);
     stats->RecordReplicaBusy(choice, service);
+    // The response-transfer tail extends only the client-observed latency
+    // (the replica freed at complete_s; the interconnect carries the
+    // reply). The != 0.0 guard keeps tail-free runs bit-identical — no
+    // `+ 0.0` is ever applied.
+    const double observed = record_tail_s != 0.0
+                                ? record.complete_s + record_tail_s
+                                : record.complete_s;
     for (const auto& request : batch.requests) {
-      stats->RecordRequest(batch.workload, request.arrival_s,
-                           record.complete_s);
+      stats->RecordRequest(batch.workload, request.arrival_s, observed);
     }
   }
   return record;

@@ -90,6 +90,8 @@ struct PoolDelta {
   std::int64_t batch_cap = 0;  // kSetBatchCap payload.
   ReplicaSpec spec;        // kAddReplica / kRefitReplica payload.
   std::string reason;      // Human-readable trigger ("rate 212 rps > ...").
+  int node = -1;           // Cluster node the delta lands on (-1 = single
+                           // box / not clustered; docs/CLUSTER.md).
 };
 
 /// Per-kind tally of a delta log — shared by the CLI epilogue, the bench
@@ -158,6 +160,24 @@ class ServerPool {
   double EarliestFree() const;
   /// Same, restricted to replicas able to serve `workload`.
   double EarliestFree(WorkloadId workload) const;
+  /// Same, further restricted to `workload`-capable replicas pinned to
+  /// cluster `node` (the cluster router's per-node schedule probe).
+  double EarliestFree(WorkloadId workload, int node) const;
+
+  // ---- Cluster node tags (serve/cluster.h). Every replica belongs to
+  // node 0 until a ClusterPool pins it elsewhere; the tags only narrow
+  // dispatch when a caller passes an explicit node, so non-clustered use
+  // is untouched.
+
+  /// Pin `replica` to cluster `node` (>= 0).
+  void SetReplicaNode(int replica, int node);
+  /// The cluster node `replica` is pinned to (0 by default).
+  int NodeOf(int replica) const;
+  /// Whether `node` holds at least one non-draining replica able to serve
+  /// `workload`. (Failed replicas still count — their schedule already
+  /// carries the outage, so the least-loaded router prices them out while
+  /// the hash router deliberately stays sticky through faults.)
+  bool NodeCanServe(WorkloadId workload, int node) const;
 
   /// Forget the schedule (every replica free at the time it was added, 0
   /// for the initial pool). Cached latencies and drain marks keep.
@@ -250,9 +270,14 @@ class ServerPool {
   /// serve its workload (ties to the lowest id), advancing the schedule.
   /// Fills per-request latencies, the batch/backlog sample (`queue_depth`
   /// is the caller-observed backlog at dispatch), and replica busy time
-  /// into `stats` when non-null.
+  /// into `stats` when non-null. `node` >= 0 narrows the candidate set to
+  /// that cluster node's replicas; `record_tail_s` extends the *recorded*
+  /// per-request latency (the cluster's response-transfer pricing) without
+  /// touching the replica schedule — the replica frees at compute
+  /// completion, the interconnect carries the reply.
   DispatchRecord Dispatch(const Batch& batch, ServeStats* stats,
-                          std::int64_t queue_depth = 0);
+                          std::int64_t queue_depth = 0, int node = -1,
+                          double record_tail_s = 0.0);
 
   /// Dispatch a whole batch stream (formation order) against a fresh
   /// schedule, deriving backlog samples from the batches' own arrival
@@ -351,6 +376,7 @@ class ServerPool {
   std::vector<bool> draining_;                       // No new batches.
   std::vector<double> added_at_;                     // Provisioning time.
   std::vector<double> retired_at_;                   // +inf while active.
+  std::vector<int> node_of_;                         // Cluster node tag.
 
   /// Environment-fault intervals (adversity engine). Time-ordered and
   /// non-overlapping per replica; empty vectors on healthy pools keep the

@@ -30,6 +30,7 @@
 #include "model/device_zoo.h"
 #include "nsflow/framework.h"
 #include "serve/capacity_planner.h"
+#include "serve/cluster.h"
 #include "serve/engine.h"
 #include "serve/scenario.h"
 #include "workloads/builders.h"
@@ -131,6 +132,10 @@ const std::vector<CommandSpec>& Commands() {
             "admission frontend: none | quota | slo | overload | guard —"
             " per-tenant token buckets, SLA-tier deadlines, overload"
             " shedding, bounded retries (docs/ADMISSION.md)"},
+           {"--cluster", "name[:k=v,...]", "none",
+            "multi-node serving: none | hash | least-loaded — replicas"
+            " shard across nodes=N hosts and cross-node dispatch pays the"
+            " modeled interconnect (hops, hop_us, gbps; docs/CLUSTER.md)"},
            {"--engine", "NAME", "event",
             "pipeline driver: event (discrete-event core) | legacy"
             " (preserved polling loop) — byte-identical output"
@@ -174,6 +179,10 @@ const std::vector<CommandSpec>& Commands() {
            {"--p99-ms", "F", "10", "p99 latency SLO, ms"},
            {"--budget", "NAME", "u250", "budget FPGA device: u250 | zcu104"},
            {"--devices", "N", "1", "how many budget devices the pool may use"},
+           {"--nodes", "N", "1",
+            "cluster hosts the devices split across — replicas are placed"
+            " per node and serve --plan deploys the cluster"
+            " (docs/CLUSTER.md)"},
            {"--qps", "F", "100", "offered load to plan for (mean rate; the"
                                  " scenario's peak shape scales it)"},
            {"--scenario", "name[:k=v,...]", "poisson",
@@ -258,6 +267,8 @@ struct CliArgs {
   double p99_ms = 10.0;
   std::string budget = "u250";
   int devices = 1;
+  int nodes = 1;           // plan --nodes: cluster hosts to place across.
+  bool cluster_set = false;  // serve --cluster given explicitly.
   int max_replicas = 16;
   std::string plan_out;
   bool validate = false;
@@ -382,6 +393,9 @@ CliArgs Parse(int argc, char** argv) {
       args.serve.adversity = serve::AdversitySpec::Parse(next());
     } else if (flag == "--admission") {
       args.serve.admission = serve::AdmissionSpec::Parse(next());
+    } else if (flag == "--cluster") {
+      args.serve.cluster = serve::ClusterSpec::Parse(next());
+      args.cluster_set = true;
     } else if (flag == "--engine") {
       const std::string engine = next();
       if (engine == "event") {
@@ -433,6 +447,8 @@ CliArgs Parse(int argc, char** argv) {
       args.budget = next();
     } else if (flag == "--devices") {
       args.devices = static_cast<int>(std::stoll(next()));
+    } else if (flag == "--nodes") {
+      args.nodes = static_cast<int>(std::stoll(next()));
     } else if (flag == "--max-replicas") {
       // `plan`'s search bound and `serve --autoscale`'s replan ceiling —
       // only the owning command accepts the flag, so set both.
@@ -605,6 +621,17 @@ void PrintPlan(const serve::PoolPlan& plan) {
       plan.resources.dsp, plan.resources.lut / 1e3, plan.resources.bram18,
       plan.resources.uram,
       plan.resources.fits ? "fits the budget" : "EXCEEDS the budget");
+  if (plan.nodes > 1) {
+    std::string placement;
+    for (const serve::GroupPlan& group : plan.groups) {
+      placement += (placement.empty() ? "" : "; ") + group.workload + " ->";
+      for (const int node : group.placement) {
+        placement += " " + std::to_string(node);
+      }
+    }
+    std::printf("Cluster: %d device(s) split across %d node(s) — %s\n",
+                plan.devices, plan.nodes, placement.c_str());
+  }
   std::printf("Aggregate predicted: p50 %.3f ms, p99 %.3f ms (SLO %.3f ms)\n",
               plan.predicted_p50_s * 1e3, plan.predicted_p99_s * 1e3,
               plan.p99_slo_s * 1e3);
@@ -631,6 +658,22 @@ serve::ServeOptions ValidationOptions(const CliArgs& args,
   if (!args.scenario_set) {
     options.scenario = plan.scenario;
   }
+  // A multi-node plan deploys as a cluster: the plan's recorded placement
+  // pins replicas to nodes, and the router defaults to least-loaded unless
+  // --cluster picked a policy explicitly (docs/CLUSTER.md).
+  if (plan.nodes > 1) {
+    if (!options.cluster.enabled()) {
+      options.cluster = serve::ClusterSpec::Parse(
+          "least-loaded:nodes=" + std::to_string(plan.nodes));
+    }
+    NSF_CHECK_MSG(options.cluster.nodes() == plan.nodes,
+                  "--cluster names " +
+                      std::to_string(options.cluster.nodes()) +
+                      " node(s) but the plan placed replicas across " +
+                      std::to_string(plan.nodes) +
+                      " — match nodes= to the plan (docs/CLUSTER.md)");
+    options.cluster_nodes = plan.Placement();
+  }
   return options;
 }
 
@@ -655,6 +698,7 @@ int RunPlanCommand(const CliArgs& args) {
   plan_options.p99_slo_s = args.p99_ms * 1e-3;
   plan_options.device = args.budget;
   plan_options.devices = args.devices;
+  plan_options.nodes = args.nodes;
   plan_options.max_replicas_per_workload = args.max_replicas;
   plan_options.max_batch = args.serve.max_batch;
   plan_options.max_wait_s = args.serve.max_wait_s;
@@ -900,6 +944,9 @@ int RunServePlan(const CliArgs& args) {
       "workload(s)%s\n",
       args.plan_path.c_str(), plan.TotalReplicas(), plan.groups.size(),
       serve_options.autoscale ? ", elastic (--autoscale)" : "");
+  if (serve_options.cluster.enabled()) {
+    std::printf("Cluster: %s\n", serve_options.cluster.ToString().c_str());
+  }
   std::printf("Traffic: %s\n\n", TrafficLine(serve_options).c_str());
 
   const serve::ServeReport report =
@@ -966,6 +1013,9 @@ int RunServeMix(const CliArgs& args) {
       args.serve.max_wait_s * 1e3);
   std::printf("Arrival trace: %s, mix %s\n", TrafficLine(args.serve).c_str(),
               args.mix.c_str());
+  if (args.serve.cluster.enabled()) {
+    std::printf("Cluster: %s\n", args.serve.cluster.ToString().c_str());
+  }
   std::printf("Compile cache: %lld compile(s), %lld hit(s)\n\n",
               static_cast<long long>(registry.cache().misses()),
               static_cast<long long>(registry.cache().hits()));

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
 """Check docs/*.md + README.md against the repo: links and the nsflow CLI.
 
-Two passes, no network:
+Three passes, no network:
 
-1. Relative markdown links must resolve. External links
-   (http/https/mailto) are skipped; everything else is resolved against
-   the linking file's directory (or the repo root for absolute-style
-   paths) and must exist. Anchors are stripped — only the file part is
-   checked.
+1. Relative markdown links must resolve — file part *and* `#anchor`
+   fragment. External links (http/https/mailto) are skipped; everything
+   else is resolved against the linking file's directory (or the repo
+   root for absolute-style paths) and must exist. A fragment (in-page or
+   cross-file) must match a GitHub heading slug in the target markdown
+   file: lowercased, punctuation stripped, spaces hyphenated, duplicate
+   headings suffixed -1, -2, ... — the same anchors github.com renders.
 
-2. The docs and the CLI must agree. The per-command flag tables in
+2. Every `src/<dir>/` subsystem must be *named* by at least one doc
+   (README.md or docs/*.md): a new source directory cannot land without
+   a sentence somewhere saying what it is. docs/README.md is the
+   intended home, but any doc satisfies the check.
+
+3. The docs and the CLI must agree. The per-command flag tables in
    src/tools/nsflow_cli.cpp (the single source of `--help` and flag
    validation) are parsed, then:
      * every `nsflow <subcommand>` invocation in a fenced code block must
@@ -48,6 +55,42 @@ def md_files():
     return [f for f in files if os.path.isfile(f)]
 
 
+def github_slug(heading):
+    """The anchor GitHub renders for a markdown heading line."""
+    text = heading.lstrip("#").strip()
+    # Keep link text, drop the URL; drop inline-code backticks.
+    text = re.sub(r"\[([^\]]*)\]\([^)\s]*\)", r"\1", text)
+    text = text.replace("`", "").lower()
+    # Word chars, spaces, and hyphens survive; everything else vanishes
+    # (so an em dash contributes nothing and its flanking spaces become
+    # the doubled hyphen GitHub produces).
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, _cache={}):
+    """All heading anchors of one markdown file (fences skipped,
+    duplicate slugs suffixed -1, -2, ... exactly as GitHub does)."""
+    if path in _cache:
+        return _cache[path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence or not re.match(r"#{1,6}\s", line):
+                continue
+            slug = github_slug(line)
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _cache[path] = anchors
+    return anchors
+
+
 def check(path):
     broken = []
     with open(path, encoding="utf-8") as f:
@@ -56,16 +99,39 @@ def check(path):
         target = match.group(1)
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        file_part = target.split("#", 1)[0]
-        if not file_part:  # Pure in-page anchor.
-            continue
-        if file_part.startswith("/"):
+        file_part, _, fragment = target.partition("#")
+        if not file_part:  # In-page anchor: resolve against this file.
+            resolved = path
+        elif file_part.startswith("/"):
             resolved = os.path.join(REPO_ROOT, file_part.lstrip("/"))
         else:
             resolved = os.path.join(os.path.dirname(path), file_part)
         if not os.path.exists(resolved):
             broken.append((target, resolved))
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved):
+                broken.append(
+                    (target, f"{resolved} has no heading #{fragment}"))
     return broken
+
+
+def check_subsystem_coverage(files):
+    """Every src/<dir>/ subsystem must be named by at least one doc."""
+    src = os.path.join(REPO_ROOT, "src")
+    subsystems = sorted(d for d in os.listdir(src)
+                        if os.path.isdir(os.path.join(src, d)))
+    corpus = ""
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            corpus += f.read()
+    problems = []
+    for name in subsystems:
+        if not re.search(rf"src/{re.escape(name)}(?![\w-])", corpus):
+            problems.append(
+                f"subsystem src/{name}/ is not named by any doc — add it "
+                "to docs/README.md (or the doc that owns it)")
+    return problems
 
 
 def parse_cli_spec():
@@ -231,6 +297,9 @@ def main():
             rel = os.path.relpath(path, REPO_ROOT)
             print(f"BROKEN: {rel}: ({target}) -> {resolved}")
             failures += 1
+    for problem in check_subsystem_coverage(files):
+        print(f"SUBSYSTEM: {problem}")
+        failures += 1
     cli_problems = check_cli_docs(files, parse_cli_spec())
     for problem in cli_problems:
         print(f"CLI-DOC DRIFT: {problem}")

@@ -25,7 +25,7 @@ import tempfile
 
 
 def run_serve(cli, outdir, tag, seed, adversity, scenario,
-              admission="", tiers=""):
+              admission="", tiers="", cluster=""):
     """One traced serve run; returns (trace_path, metrics_path)."""
     trace = outdir / f"trace_{tag}.json"
     metrics = outdir / f"metrics_{tag}.json"
@@ -46,6 +46,8 @@ def run_serve(cli, outdir, tag, seed, adversity, scenario,
         cmd += ["--admission", admission]
     if tiers:
         cmd += ["--tiers", tiers]
+    if cluster:
+        cmd += ["--cluster", cluster]
     result = subprocess.run(cmd, capture_output=True, text=True)
     # Admission runs signal shedding severity through exit codes 4/5 by
     # design (docs/ADMISSION.md); only other codes are run failures.
@@ -76,6 +78,10 @@ def main():
     parser.add_argument("--tiers", default="",
                         help="--tiers assignment for admission runs "
                              "(empty = flag omitted)")
+    parser.add_argument("--cluster", default="",
+                        help="cluster spec composed with the run, e.g. "
+                             "least-loaded:nodes=2 (empty = flag omitted, "
+                             "the byte-identical single-box path)")
     args = parser.parse_args()
 
     cli = pathlib.Path(args.cli)
@@ -92,10 +98,12 @@ def main():
         for seed in seeds:
             a_trace, a_metrics = run_serve(cli, outdir, f"s{seed}_a", seed,
                                            args.adversity, args.scenario,
-                                           args.admission, args.tiers)
+                                           args.admission, args.tiers,
+                                           args.cluster)
             b_trace, b_metrics = run_serve(cli, outdir, f"s{seed}_b", seed,
                                            args.adversity, args.scenario,
-                                           args.admission, args.tiers)
+                                           args.admission, args.tiers,
+                                           args.cluster)
             for name, a, b in (("trace", a_trace, b_trace),
                                ("metrics", a_metrics, b_metrics)):
                 if filecmp.cmp(a, b, shallow=False):
@@ -124,6 +132,8 @@ def main():
     combo = f"{args.adversity} x {args.scenario}"
     if args.admission:
         combo += f" x {args.admission}"
+    if args.cluster:
+        combo += f" x {args.cluster}"
     print(f"determinism smoke passed for seeds {seeds} ({combo})")
 
 

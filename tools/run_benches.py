@@ -5,9 +5,10 @@ Runs the serve benches from an existing build tree and records the perf
 trajectory artifacts: BENCH_serve.json (fast-path cycle estimation — see
 docs/PERFORMANCE.md) and BENCH_plan.json (capacity-planner predicted vs
 measured p99 per traffic scenario, the elastic-vs-static autoscale
-headline, the adversity hardening gate, and the admission overload gate —
-see docs/PLANNING.md, docs/AUTOSCALING.md, docs/SCENARIOS.md, and
-docs/ADMISSION.md). The heavy
+headline, the adversity hardening gate, the admission overload gate, and
+the multi-node cluster survival gate — see docs/PLANNING.md,
+docs/AUTOSCALING.md, docs/SCENARIOS.md, docs/ADMISSION.md, and
+docs/CLUSTER.md). The heavy
 lifting happens inside bench_serve_fastpath and bench_plan_scenarios;
 this script drives them, sanity-checks the emitted JSON, and fails loudly
 when the fast-path estimator diverges from the functional simulator, a
@@ -154,6 +155,17 @@ def collect_metrics(serve_report, plan_report):
                  admission["critical_p99_ms"], "lower", "virtual"),
                 ("admission.wall_ms", admission["wall_ms"],
                  "lower", "wall"),
+            ]
+        cluster = plan_report.get("cluster")
+        if cluster is not None:
+            metrics += [
+                ("cluster.critical_p99_ms",
+                 cluster["critical_p99_ms"], "lower", "virtual"),
+                ("cluster.remote_batches", cluster["remote_batches"],
+                 "lower", "virtual"),
+                ("cluster.network_s", cluster["network_s"],
+                 "lower", "virtual"),
+                ("cluster.wall_ms", cluster["wall_ms"], "lower", "wall"),
             ]
     return metrics
 
@@ -354,6 +366,14 @@ def main():
               f"shedding {admission['batch_shed']} batch-tier request(s), "
               f"{admission['protected_tier_losses']} protected-tier "
               f"loss(es)")
+    cluster = plan_report.get("cluster")
+    if cluster is not None:
+        print(f"cluster: {cluster['spec']} over {cluster['nodes']} node(s) "
+              f"held critical p99 {cluster['critical_p99_ms']:.2f} ms "
+              f"(SLO {cluster['p99_slo_ms']:.0f} ms) through "
+              f"{cluster['adversity']}, {cluster['remote_batches']} remote "
+              f"batch(es), {cluster['bytes_moved'] / 1e6:.1f} MB moved, "
+              f"{cluster['network_s'] * 1e3:.1f} ms modeled network")
 
     if args.full:
         for bench in ("bench_serve_throughput", "bench_serve_multitenant",
